@@ -1,0 +1,7 @@
+"""Figure-regeneration benchmarks (pytest-benchmark).
+
+One module per results figure of the paper (Figs. 13-18, 20-23) plus
+ablation benches for the design choices DESIGN.md calls out.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

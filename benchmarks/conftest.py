@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One session-scoped :class:`~repro.bench.runner.ExperimentRunner` backs
+all figures, so grid cells computed for an early figure are reused by
+later ones (exactly how the paper's figures share the same runs).  Each
+benchmark times the *regeneration of its figure from this shared
+state*; the first figure to need a cell pays for its functional
+simulation.
+
+The grid is the paper's full size axis and a four-point pattern axis
+(10,000 dropped for bench runtime; the CLI regenerates the full grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+
+#: Paper sizes (full axis) and a reduced pattern axis.
+BENCH_SIZES = ["50KB", "1MB", "10MB", "100MB", "200MB"]
+BENCH_COUNTS = [100, 1_000, 5_000, 20_000]
+
+#: Functional-simulation scale for benches (see DESIGN.md §2).
+BENCH_SCALE = 0.005
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=BENCH_SCALE, seed=2013)
+
+
+def regenerate(benchmark, figure_id: str, runner: ExperimentRunner):
+    """Benchmark one figure regeneration and return its table."""
+    from repro.bench.experiments import run_figure
+
+    table = benchmark.pedantic(
+        run_figure,
+        args=(figure_id, runner, BENCH_SIZES, BENCH_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    return table

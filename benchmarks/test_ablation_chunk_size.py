@@ -1,0 +1,43 @@
+"""Ablation B — per-thread chunk length of the global-only kernel.
+
+Small chunks raise parallelism and let neighbouring threads share
+128-byte segments (partial coalescing); big chunks cut the +X overlap
+redundancy.  The sweep exposes the trade-off the paper's chunking
+discussion implies.
+"""
+
+import pytest
+
+from repro.gpu import Device
+from repro.kernels import run_global_kernel
+
+CHUNKS = [64, 128, 512, 2048]
+
+
+@pytest.fixture(scope="module")
+def workload(runner):
+    dfa = runner.dfa_for(1000)
+    cell = runner.factory.cell("10MB", 1000)
+    return dfa, cell.data
+
+
+@pytest.mark.parametrize("chunk_len", CHUNKS)
+def test_chunk_size_sweep(benchmark, workload, chunk_len):
+    dfa, data = workload
+
+    result = benchmark.pedantic(
+        run_global_kernel,
+        args=(dfa, data, Device()),
+        kwargs=dict(chunk_len=chunk_len),
+        rounds=1,
+        iterations=1,
+    )
+    c = result.counters
+    print(
+        f"\nchunk={chunk_len}: overlap_ratio={c.overlap_ratio:.3f} "
+        f"txn/byte={c.global_transactions / c.bytes_scanned:.2f} "
+        f"-> {result.throughput_gbps:.1f} Gbps"
+    )
+    assert len(result.matches) > 0
+    # Overlap redundancy shrinks as chunks grow.
+    assert c.overlap_ratio < 1 + (dfa.patterns.max_length / chunk_len)

@@ -1,0 +1,45 @@
+"""Ablation D — STT compression vs the dense texture table.
+
+Prices the trade the paper's refs [18][19] explore on the Cell: a
+compressed automaton shrinks the texture working set (better cache
+residency as dictionaries grow) at the price of extra per-fetch work.
+The bench reports compression ratios across the dictionary axis and
+verifies both schemes stay bit-exact.
+"""
+
+import pytest
+
+from repro.compress import BandedSTT, BitmapDeltaSTT, ClassCompressedDFA
+from repro.core import AhoCorasickAutomaton
+
+
+@pytest.mark.parametrize("n_patterns", [100, 1000, 5000])
+def test_compression_sweep(benchmark, runner, n_patterns):
+    patterns = runner.factory.patterns_for(n_patterns)
+    dfa = runner.dfa_for(n_patterns)
+
+    def build_and_verify():
+        banded = BandedSTT.from_stt(dfa.stt)
+        assert banded.verify_against(dfa.stt)
+        ac = AhoCorasickAutomaton.build(patterns)
+        bitmap = BitmapDeltaSTT.from_automaton(ac)
+        assert bitmap.verify_against(dfa, sample=500)
+        classes = ClassCompressedDFA.from_dfa(dfa)
+        assert classes.verify_against(dfa)
+        return banded, bitmap, classes
+
+    banded, bitmap, classes = benchmark.pedantic(
+        build_and_verify, rounds=1, iterations=1
+    )
+    bs, ms, cs = banded.stats(), bitmap.stats(), classes.stats()
+    print(
+        f"\n{n_patterns} patterns / {dfa.n_states} states: "
+        f"dense {bs.dense_bytes / 2**20:.2f} MiB | "
+        f"banded {bs.compressed_bytes / 2**20:.2f} MiB ({bs.ratio:.1f}x) | "
+        f"bitmap {ms.compressed_bytes / 2**20:.2f} MiB ({ms.ratio:.1f}x) | "
+        f"classes({classes.n_classes}) "
+        f"{cs.compressed_bytes / 2**20:.2f} MiB ({cs.ratio:.1f}x)"
+    )
+    assert bs.ratio > 2.0
+    assert ms.ratio > bs.ratio  # failure-delta compresses harder
+    assert cs.ratio > 1.5       # prose distinguishes few byte classes

@@ -1,0 +1,42 @@
+"""Ablation G — multi-GPU strong scaling (paper ref [14] style).
+
+Slices one large input across 1..8 simulated devices and records the
+strong-scaling curve.  The serial fraction (per-device dispatch +
+launch overhead) must bend the curve — perfect scaling would indicate
+the model forgot the cluster's overheads.
+"""
+
+import pytest
+
+from repro.kernels.multi_gpu import run_multi_gpu
+
+
+@pytest.fixture(scope="module")
+def workload(runner):
+    dfa = runner.dfa_for(1000)
+    # Scaling needs compute-dominated slices: use a 4 MB input (not a
+    # bench-scale cell) so each device still amortizes its overheads.
+    data = runner.factory.corpus.generate_array(4_000_000, stream_seed=77)
+    return dfa, data
+
+
+def test_multigpu_scaling(benchmark, workload):
+    dfa, data = workload
+
+    def sweep():
+        return {n: run_multi_gpu(dfa, data, n) for n in (1, 2, 4, 8)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = results[1].seconds
+    print()
+    for n, r in results.items():
+        speedup = base / r.seconds
+        print(
+            f"  {n} device(s): {r.seconds * 1e3:8.3f} ms  "
+            f"speedup {speedup:4.2f}  efficiency {speedup / n:4.2f}"
+        )
+    # Functional invariance across the sweep.
+    assert all(r.matches == results[1].matches for r in results.values())
+    # Scaling helps but is sublinear (the serial fraction).
+    assert results[4].seconds < results[1].seconds
+    assert (base / results[8].seconds) < 8.0

@@ -1,0 +1,49 @@
+"""Ablation A — shared staging size vs occupancy (DESIGN.md §5.4).
+
+The paper stages "8~12 KB of the 16 KB shared memory" per block.  This
+bench sweeps the staging footprint (via threads x chunk geometry) and
+reports the throughput trade-off: bigger staging amortizes overlap
+bytes but strangles the resident-warp pool that hides texture latency.
+"""
+
+import pytest
+
+from repro.gpu import Device
+from repro.kernels import run_shared_kernel
+
+GEOMETRIES = {
+    "2KB_block": dict(threads_per_block=64, chunk_bytes=32),
+    "4KB_block": dict(threads_per_block=128, chunk_bytes=32),
+    "8KB_block": dict(threads_per_block=128, chunk_bytes=64),
+    "12KB_block": dict(threads_per_block=192, chunk_bytes=64),
+}
+
+
+@pytest.fixture(scope="module")
+def workload(runner):
+    dfa = runner.dfa_for(1000)
+    cell = runner.factory.cell("10MB", 1000)
+    return dfa, cell.data
+
+
+@pytest.mark.parametrize("label", list(GEOMETRIES))
+def test_occupancy_sweep(benchmark, workload, label):
+    dfa, data = workload
+    geom = GEOMETRIES[label]
+
+    result = benchmark.pedantic(
+        run_shared_kernel,
+        args=(dfa, data, Device()),
+        kwargs=geom,
+        rounds=1,
+        iterations=1,
+    )
+    occ = result.occupancy
+    print(
+        f"\n{label}: staged={result.launch.shared_bytes_per_block}B "
+        f"blocks/SM={occ.blocks_per_sm} warps/SM={occ.warps_per_sm} "
+        f"-> {result.throughput_gbps:.1f} Gbps ({result.timing.regime})"
+    )
+    # Sanity: every geometry still matches correctly and launches.
+    assert len(result.matches) > 0
+    assert occ.warps_per_sm >= 2

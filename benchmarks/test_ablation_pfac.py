@@ -1,0 +1,35 @@
+"""Ablation C — PFAC (Lin et al.) vs the paper's shared-memory AC-DFA.
+
+PFAC trades the +X overlap bookkeeping for one thread per byte and a
+failureless trie; its input reads coalesce naturally but its warps
+diverge as threads die.  The bench reports both kernels on the same
+cell and checks they agree functionally.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_figure
+
+from benchmarks.conftest import regenerate
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return ["1MB", "10MB"], [100, 1000]
+
+
+def test_ablation_pfac(benchmark, runner, small_grid):
+    sizes, counts = small_grid
+    table = benchmark.pedantic(
+        run_figure,
+        args=("abl_pfac", runner, sizes, counts),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    # Functional agreement is enforced inside the runner (match counts
+    # equal across kernels); here we record the performance ratio and
+    # sanity-check it is a bounded constant, not an ordering claim —
+    # PFAC's standing vs AC-DFA depends on the dictionary depth profile.
+    assert 0.05 <= table.min_value() and table.max_value() <= 50.0

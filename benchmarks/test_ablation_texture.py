@@ -1,0 +1,34 @@
+"""Ablation F — the paper's texture-memory placement choice (DESIGN §5.3).
+
+Section IV-B-2 places the STT in texture memory specifically for the
+on-chip cache.  This bench quantifies that choice by running the same
+shared-memory kernel with the STT in plain (uncached) global memory:
+every fetch instruction then stalls a full DRAM round trip.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_figure
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return ["1MB", "10MB"], [100, 1000, 5000]
+
+
+def test_ablation_texture_placement(benchmark, runner, small_grid):
+    sizes, counts = small_grid
+    table = benchmark.pedantic(
+        run_figure,
+        args=("abl_texture", runner, sizes, counts),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    # Texture caching always pays.
+    assert table.min_value() > 1.0
+    # It pays *most* for small dictionaries (high hit rates to lose):
+    # the ratio falls as the dictionary outgrows the caches.
+    for row in table.values:
+        assert row[0] >= row[-1]

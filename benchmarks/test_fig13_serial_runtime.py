@@ -1,0 +1,21 @@
+"""Fig. 13 — serial run times vs input size × pattern count.
+
+Paper claim: run times grow with both input size and dictionary size
+(the dictionary effect comes from the STT working set outgrowing the
+CPU's L2).
+"""
+
+from benchmarks.conftest import BENCH_COUNTS, BENCH_SIZES, regenerate
+
+
+def test_fig13_serial_runtime(benchmark, runner):
+    table = regenerate(benchmark, "fig13", runner)
+
+    # Run time grows with input size at every dictionary size.
+    for col in range(len(BENCH_COUNTS)):
+        series = [row[col] for row in table.values]
+        assert series == sorted(series), f"col {col} not size-monotone"
+
+    # Run time never shrinks as the dictionary grows (same input).
+    for row in table.values:
+        assert row[-1] >= row[0]

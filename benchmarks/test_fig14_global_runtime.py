@@ -1,0 +1,17 @@
+"""Fig. 14 — global-memory-only kernel run times.
+
+Paper claim: run times grow with input size and with the number of
+patterns (texture misses add to the already transaction-bound loop).
+"""
+
+from benchmarks.conftest import BENCH_COUNTS, regenerate
+
+
+def test_fig14_global_runtime(benchmark, runner):
+    table = regenerate(benchmark, "fig14", runner)
+
+    for col in range(len(BENCH_COUNTS)):
+        series = [row[col] for row in table.values]
+        assert series == sorted(series), f"col {col} not size-monotone"
+    for row in table.values:
+        assert row[-1] >= row[0]

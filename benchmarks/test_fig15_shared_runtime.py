@@ -1,0 +1,18 @@
+"""Fig. 15 — shared-memory kernel run times.
+
+Paper claim: the shared kernel's run-time growth with the number of
+patterns is the mildest of the three approaches (its per-byte work is
+on-chip; only texture misses grow).
+"""
+
+from benchmarks.conftest import BENCH_COUNTS, regenerate
+
+
+def test_fig15_shared_runtime(benchmark, runner):
+    table = regenerate(benchmark, "fig15", runner)
+
+    for col in range(len(BENCH_COUNTS)):
+        series = [row[col] for row in table.values]
+        assert series == sorted(series), f"col {col} not size-monotone"
+    for row in table.values:
+        assert row[-1] >= row[0]

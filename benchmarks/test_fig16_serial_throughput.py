@@ -1,0 +1,18 @@
+"""Fig. 16 — serial throughput (Gbps).
+
+Paper claim: serial throughput sits around ~1 Gbps and decreases as the
+number of patterns grows.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig16_serial_throughput(benchmark, runner):
+    table = regenerate(benchmark, "fig16", runner)
+
+    # Absolute scale: a 2.2 GHz core runs AC-DFA at O(1) Gbps.
+    assert 0.1 <= table.max_value() <= 3.0
+
+    # Non-increasing in the pattern count on every size row.
+    for row in table.values:
+        assert row[-1] <= row[0] * 1.001

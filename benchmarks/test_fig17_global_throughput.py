@@ -1,0 +1,20 @@
+"""Fig. 17 — global-memory-only throughput (Gbps).
+
+Paper claim: throughput increases with input size (launch overhead
+amortizes) and decreases with the number of patterns.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig17_global_throughput(benchmark, runner):
+    table = regenerate(benchmark, "fig17", runner)
+
+    # Throughput grows (weakly) with input size at fixed patterns.
+    for col in range(len(table.col_labels)):
+        series = [row[col] for row in table.values]
+        assert series[0] <= series[-1] * 1.05
+
+    # Decreases with pattern count on every size row.
+    for row in table.values:
+        assert row[-1] <= row[0]

@@ -1,0 +1,22 @@
+"""Fig. 18 — shared-memory throughput (Gbps); the paper's headline.
+
+Paper claims: maximum throughput ~127 Gbps at (200MB, 100 patterns);
+throughput increases with data size; decreases with pattern count.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig18_shared_throughput(benchmark, runner):
+    table = regenerate(benchmark, "fig18", runner)
+
+    # Headline: max throughput lands in the paper's neighbourhood
+    # (order 100 Gbps, not 10 or 1000) at the biggest size / smallest
+    # dictionary cell.
+    peak = table.value("200MB", "100")
+    assert 60.0 <= table.max_value() <= 260.0
+    assert peak >= 0.8 * table.max_value()
+
+    # Decreases with pattern count on every size row.
+    for row in table.values:
+        assert row[-1] <= row[0]

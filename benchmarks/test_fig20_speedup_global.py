@@ -1,0 +1,19 @@
+"""Fig. 20 — speedup of the global-only kernel over serial.
+
+Paper band: 3.3-13.2x.  Shape criterion: the measured band must overlap
+the paper's (absolute agreement is not expected from a simulated
+substrate; see EXPERIMENTS.md).
+"""
+
+from repro.bench.calibrate import check_band
+from repro.bench.experiments import FIGURES
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig20_speedup_global_vs_serial(benchmark, runner):
+    table = regenerate(benchmark, "fig20", runner)
+
+    assert table.min_value() > 1.0  # the GPU always wins
+    chk = check_band(FIGURES["fig20"], table)
+    assert chk.overlaps, f"measured {chk.measured} vs paper {chk.paper}"

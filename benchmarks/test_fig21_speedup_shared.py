@@ -1,0 +1,17 @@
+"""Fig. 21 — speedup of the shared-memory kernel over serial.
+
+Paper band: 36.1-222.0x (max at 100MB / 20,000 patterns).
+"""
+
+from repro.bench.calibrate import check_band
+from repro.bench.experiments import FIGURES
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig21_speedup_shared_vs_serial(benchmark, runner):
+    table = regenerate(benchmark, "fig21", runner)
+
+    assert table.min_value() > 10.0  # order-of-magnitude win everywhere
+    chk = check_band(FIGURES["fig21"], table)
+    assert chk.overlaps, f"measured {chk.measured} vs paper {chk.paper}"

@@ -1,0 +1,19 @@
+"""Fig. 22 — speedup of the shared-memory kernel over global-only.
+
+Paper band: 7.3-19.3x ("the benefit of the shared memory is large").
+"""
+
+from repro.bench.calibrate import check_band
+from repro.bench.experiments import FIGURES
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig22_shared_vs_global(benchmark, runner):
+    table = regenerate(benchmark, "fig22", runner)
+
+    # The paper's core result: staging through shared memory wins on
+    # every single cell.
+    assert table.min_value() > 1.0
+    chk = check_band(FIGURES["fig22"], table)
+    assert chk.overlaps, f"measured {chk.measured} vs paper {chk.paper}"

@@ -1,0 +1,26 @@
+"""Fig. 23 — the diagonal store scheme vs coalescing-only staging.
+
+Paper band: 1.5-5.3x, larger at larger dictionaries.  This is the
+paper's distinctive contribution: same coalesced global loads, only the
+shared-memory placement differs.
+"""
+
+from repro.bench.calibrate import check_band
+from repro.bench.experiments import FIGURES
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig23_bank_conflict_ablation(benchmark, runner):
+    table = regenerate(benchmark, "fig23", runner)
+
+    # The scheme never loses.
+    assert table.min_value() >= 1.0
+    chk = check_band(FIGURES["fig23"], table)
+    assert chk.overlaps, f"measured {chk.measured} vs paper {chk.paper}"
+
+    # The paper's growth claim: the benefit at large dictionaries
+    # exceeds the benefit at small ones (compare row-wise extremes on
+    # the largest input).
+    big_input = table.values[-1]
+    assert max(big_input[1:]) > big_input[0]

@@ -1,0 +1,72 @@
+"""Library self-performance — real wall-clock, not modeled time.
+
+Everything else in ``benchmarks/`` reports *modeled* GTX-285 numbers;
+these benches measure the Python library itself, because the
+reproduction is only usable if the functional simulation runs at
+practical speeds.  The HPC coding guides' rule — "no optimization
+without measuring" — applied to our own hot paths:
+
+* DFA construction rate (phase 1),
+* lockstep scan throughput (the engine every kernel shares),
+* conflict/coalescing accounting rate,
+* the high-level Matcher round trip.
+
+These benches use real timing (multiple rounds), so they are the ones
+to watch when refactoring the NumPy hot loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, match_serial
+from repro.gpu.coalesce import coalesce_halfwarp_batch
+from repro.gpu.shared_memory import conflict_degrees
+from repro.matcher import Matcher
+
+
+@pytest.fixture(scope="module")
+def prose(runner):
+    dfa = runner.dfa_for(1000)
+    data = runner.factory.corpus.generate_array(1_000_000, stream_seed=55)
+    return dfa, data
+
+
+def test_perf_dfa_construction(benchmark, runner):
+    patterns = runner.factory.patterns_for(1000)
+    dfa = benchmark(DFA.build, patterns)
+    assert dfa.n_states > 1000
+
+
+def test_perf_lockstep_scan_throughput(benchmark, prose):
+    dfa, data = prose
+
+    result = benchmark(match_serial, dfa, data)
+    assert len(result) > 0
+    mb_per_s = data.size / benchmark.stats.stats.mean / 1e6
+    print(f"\nlockstep scan: {mb_per_s:.1f} MB/s functional throughput")
+    # Regression floor: the vectorized engine must stay above
+    # real-time-ish rates or grid experiments become impractical.
+    assert mb_per_s > 5.0
+
+
+def test_perf_matcher_roundtrip(benchmark, prose):
+    dfa, data = prose
+    m = Matcher.from_dfa(dfa)
+    hits = benchmark(m.findall, bytes(data[:200_000]))
+    assert len(hits) > 0
+
+
+def test_perf_conflict_accounting(benchmark):
+    rng = np.random.default_rng(1)
+    addresses = rng.integers(0, 1 << 14, size=(20_000, 16))
+
+    degrees = benchmark(conflict_degrees, addresses)
+    assert degrees.shape == (20_000,)
+
+
+def test_perf_coalescer(benchmark):
+    rng = np.random.default_rng(2)
+    addresses = rng.integers(0, 1 << 20, size=(20_000, 16))
+
+    summary = benchmark(coalesce_halfwarp_batch, addresses, 4)
+    assert summary.transactions >= 20_000

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Antivirus signature scanning — the paper's third application domain.
+
+Builds a database of high-entropy byte signatures, infects a synthetic
+executable with a known subset, and scans with the high-level
+:class:`repro.Matcher` API across all backends.  Unlike the prose and
+DNA workloads, signatures are *rare* in benign data, so this example
+also demonstrates the STT compression extension paying off: the banded
+form barely compresses the full-byte-alphabet rows, while the
+failure-delta bitmap form still shrinks the table dramatically.
+
+Run:  python examples/antivirus_scan.py
+"""
+
+from repro import Matcher
+from repro.compress import BandedSTT, BitmapDeltaSTT
+from repro.core import AhoCorasickAutomaton
+from repro.workload.binary import (
+    implant_signatures,
+    signature_dictionary,
+    synthetic_executable,
+)
+
+
+def main() -> None:
+    signatures = signature_dictionary(2000, seed=17)
+    clean = synthetic_executable(2_000_000, seed=99)
+    infected, truth = implant_signatures(clean, signatures, 25, seed=5)
+    print(f"database : {len(signatures)} signatures "
+          f"({signatures.stats().min_length}-"
+          f"{signatures.stats().max_length} bytes)")
+    print(f"target   : {len(infected):,} byte executable image, "
+          f"{len(truth)} implanted infections\n")
+
+    matcher = Matcher(signatures, backend="gpu")
+    print(f"automaton: {matcher.n_states} states, STT "
+          f"{matcher.dfa.stt.stats().megabytes:.1f} MiB")
+
+    result = matcher.scan_with_timing(infected)
+    hits = matcher.findall(infected)
+    print(f"scan     : {result.seconds * 1e3:.3f} ms modeled on the GTX 285 "
+          f"({result.throughput_gbps:.1f} Gbps, {result.timing.regime})")
+    print(f"verdict  : {len(hits)} signature hits\n")
+
+    found = {(s, pid) for s, _, pid in hits}
+    truth_set = set(truth)
+    missed = truth_set - found
+    extra = found - truth_set
+    print(f"ground truth: {len(truth_set & found)}/{len(truth)} implants "
+          f"detected, {len(extra)} chance hits, {len(missed)} missed")
+    assert not missed, "a signature implant escaped the scan!"
+
+    # Clean file: expect silence.
+    assert not Matcher(signatures).contains_any(clean)
+    print("clean image scans silent (zero false positives)\n")
+
+    # Compression on a full-byte-alphabet dictionary.
+    ac = AhoCorasickAutomaton.build(signatures)
+    banded = BandedSTT.from_stt(matcher.dfa.stt).stats()
+    bitmap = BitmapDeltaSTT.from_automaton(ac).stats()
+    print("STT compression on binary signatures:")
+    print(f"  dense : {banded.dense_bytes / 2**20:7.2f} MiB")
+    print(f"  banded: {banded.compressed_bytes / 2**20:7.2f} MiB "
+          f"({banded.ratio:4.1f}x) — bands are wide: bytes span 0..255")
+    print(f"  bitmap: {bitmap.compressed_bytes / 2**20:7.2f} MiB "
+          f"({bitmap.ratio:4.1f}x) — failure deltas stay tiny")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Store-scheme ablation — the paper's Fig. 23 on your own workload.
+
+Runs the shared-memory kernel under all four store schemes on one
+magazine-corpus cell and prints the per-scheme conflict accounting and
+modeled time, making the mechanism of the paper's diagonal scheme
+visible: same coalesced staging traffic, wildly different bank
+serialization.
+
+Run:  python examples/bank_conflict_ablation.py [n_patterns]
+"""
+
+import sys
+
+from repro.core import DFA
+from repro.gpu import Device
+from repro.kernels import run_shared_kernel
+from repro.workload import DatasetFactory
+
+SCHEMES = ["naive", "coalesce_only", "transposed", "diagonal"]
+
+
+def main(n_patterns: int = 5000) -> None:
+    factory = DatasetFactory(scale=0.01)
+    cell = factory.cell("10MB", n_patterns)
+    dfa = DFA.build(cell.patterns)
+    print(f"workload: {cell.size_label} magazine text "
+          f"(simulated at {cell.sim_bytes:,} B), "
+          f"{n_patterns} patterns, {dfa.n_states} states\n")
+
+    header = (f"{'scheme':>14} {'store deg':>10} {'load deg':>9} "
+              f"{'glob txns':>10} {'ms (model)':>11} {'Gbps':>7}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for scheme in SCHEMES:
+        r = run_shared_kernel(dfa, cell.data, Device(), scheme=scheme)
+        c = r.counters
+        if baseline is None:
+            baseline = r.seconds
+        print(f"{scheme:>14} "
+              f"{c.avg_conflict_degree:>10.2f} "
+              f"{'-':>9} "
+              f"{c.global_transactions:>10,} "
+              f"{r.seconds * 1e3:>11.3f} "
+              f"{r.throughput_gbps:>7.1f}")
+    print()
+
+    naive = run_shared_kernel(dfa, cell.data, Device(), scheme="naive")
+    diag = run_shared_kernel(dfa, cell.data, Device(), scheme="diagonal")
+    co = run_shared_kernel(dfa, cell.data, Device(), scheme="coalesce_only")
+    print(f"diagonal vs coalesce-only : {co.seconds / diag.seconds:5.2f}x "
+          f"(paper Fig. 23 band: 1.5-5.3x)")
+    print(f"diagonal vs naive staging : {naive.seconds / diag.seconds:5.2f}x")
+    print("\nAll four schemes returned identical matches: "
+          f"{diag.matches == naive.matches == co.matches}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5000)

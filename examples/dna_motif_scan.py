@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""DNA motif scanning — the paper's bioinformatics application.
+
+The paper cites genome/protein matching (refs [11], [14]) as the other
+major AC workload.  This example scans a synthetic genome for a
+dictionary of transcription-factor-binding-style motifs and restriction
+sites, comparing all three implementations plus PFAC.
+
+The 4-letter DNA alphabet stresses the AC machine very differently
+from prose: trie branching is dense, failure states are deep, and the
+active STT rows concentrate on far fewer cache lines — which is why the
+GPU kernels degrade less with dictionary size here than on magazine
+text (observable in the printed texture hit rates).
+
+Run:  python examples/dna_motif_scan.py
+"""
+
+import numpy as np
+
+from repro.core import DFA, PatternSet, match_serial
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_pfac_kernel, run_shared_kernel
+
+#: A few real restriction-enzyme recognition sites...
+RESTRICTION_SITES = {
+    "EcoRI": "GAATTC",
+    "BamHI": "GGATCC",
+    "HindIII": "AAGCTT",
+    "NotI": "GCGGCCGC",
+    "PstI": "CTGCAG",
+    "SmaI": "CCCGGG",
+}
+
+
+def synthetic_genome(n: int, seed: int = 42, gc_content: float = 0.41) -> bytes:
+    """IID genome with human-like GC content."""
+    rng = np.random.default_rng(seed)
+    at = (1 - gc_content) / 2
+    gc = gc_content / 2
+    bases = rng.choice(
+        np.frombuffer(b"ACGT", dtype=np.uint8),
+        size=n,
+        p=[at, gc, gc, at],
+    )
+    return bases.tobytes()
+
+
+def random_motifs(count: int, rng: np.random.Generator) -> list:
+    """Random 6-12-mer motifs (binding-site-like)."""
+    out = []
+    bases = "ACGT"
+    for _ in range(count):
+        k = int(rng.integers(6, 13))
+        out.append("".join(bases[int(b)] for b in rng.integers(0, 4, k)))
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+    motifs = dict(RESTRICTION_SITES)
+    for i, m in enumerate(random_motifs(200, rng)):
+        motifs.setdefault(f"motif_{i:03d}", m)
+
+    names = list(motifs)
+    patterns = PatternSet.from_strings([motifs[n] for n in names])
+    dfa = DFA.build(patterns)
+    genome = synthetic_genome(2_000_000)
+    print(f"dictionary: {len(patterns)} motifs, {dfa.n_states} DFA states")
+    print(f"genome    : {len(genome):,} bp\n")
+
+    serial = match_serial(dfa, genome)
+    print(f"serial matcher: {len(serial)} motif occurrences")
+
+    # Occurrences per restriction site: E[count] ~ n / 4^k.
+    counts = serial.count_by_pattern(len(patterns))
+    print("\nrestriction-site census (expected ~ n / 4^k):")
+    for idx, name in enumerate(names[: len(RESTRICTION_SITES)]):
+        k = len(motifs[name])
+        expected = len(genome) / 4**k
+        print(f"  {name:8} {motifs[name]:10} observed {counts[idx]:6d}  "
+              f"expected ~{expected:7.1f}")
+
+    print("\nGPU implementations (same match set, modeled GTX 285 time):")
+    for label, run in (
+        ("global-only ", run_global_kernel),
+        ("shared/diag ", run_shared_kernel),
+        ("pfac        ", run_pfac_kernel),
+    ):
+        r = run(dfa, genome, Device())
+        assert r.matches == serial, f"{label} disagrees with serial!"
+        hit = r.counters.texture_hit_rate
+        print(f"  {label}: {r.seconds * 1e3:8.3f} ms "
+              f"({r.throughput_gbps:6.1f} Gbps, tex hit {hit:.3f})")
+
+
+if __name__ == "__main__":
+    main()

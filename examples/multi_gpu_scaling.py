@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Multi-GPU strong scaling — the cluster extension (paper ref [14]).
+
+Tumeo & Villa run AC-based DNA analysis across GPU clusters by slicing
+the input.  This example scans one large genome with 1..8 simulated
+GTX 285s and prints the strong-scaling curve, making the serial
+fraction visible: per-device launch + host dispatch overheads flatten
+the curve long before the devices run out of work.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro.core import DFA
+from repro.kernels.multi_gpu import run_multi_gpu
+from repro.workload.dna import motif_dictionary, synthetic_genome
+
+
+def main() -> None:
+    genome = synthetic_genome(8_000_000, seed=13)
+    motifs = motif_dictionary(500, genome=genome, seed=21)
+    dfa = DFA.build(motifs)
+    print(f"genome    : {len(genome):,} bp")
+    print(f"dictionary: {len(motifs)} motifs, {dfa.n_states} states\n")
+
+    base = None
+    print(f"{'devices':>8} {'ms (model)':>11} {'Gbps':>8} "
+          f"{'speedup':>8} {'efficiency':>11} {'matches':>9}")
+    print("-" * 62)
+    for n in (1, 2, 4, 8):
+        r = run_multi_gpu(dfa, genome, n)
+        if base is None:
+            base = r.seconds
+            speedup = 1.0
+        else:
+            speedup = base / r.seconds
+        eff = speedup / n
+        print(f"{n:>8} {r.seconds * 1e3:>11.3f} {r.throughput_gbps:>8.1f} "
+              f"{speedup:>8.2f} {eff:>11.2f} {len(r.matches):>9}")
+
+    single = run_multi_gpu(dfa, genome, 1)
+    octo = run_multi_gpu(dfa, genome, 8)
+    assert single.matches == octo.matches
+    print("\n1-device and 8-device scans return identical matches; "
+          "the flattening efficiency is the cluster's serial fraction "
+          "(dispatch + per-launch overhead).")
+
+
+if __name__ == "__main__":
+    main()

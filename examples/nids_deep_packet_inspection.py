@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""NIDS deep packet inspection — the paper's motivating application.
+
+The paper motivates GPU-accelerated AC with Snort-style network
+intrusion detection (Section IV-A, refs [12], [16]): every packet
+payload is scanned against thousands of signature content strings.
+
+This example:
+
+1. parses a small Snort-style rule file (repro.workload.snort),
+2. builds one AC DFA from all rule contents,
+3. synthesizes a packet stream (mostly benign HTTP with injected
+   attacks),
+4. scans the whole stream with the shared-memory kernel in one launch
+   (the paper's batching: many packets, one big input buffer), and
+5. maps matches back to packets and rules to raise alerts.
+
+Run:  python examples/nids_deep_packet_inspection.py
+"""
+
+import numpy as np
+
+from repro.core import DFA
+from repro.gpu import Device
+from repro.kernels import run_shared_kernel
+from repro.workload.snort import parse_rules, rules_to_patterns
+
+RULES = r"""
+# Minimal demo signature set (Snort-style content rules)
+alert tcp any any -> any 80 (msg:"admin console probe"; content:"GET /admin"; nocase; sid:1000001;)
+alert tcp any any -> any 80 (msg:"SQL injection attempt"; content:"UNION SELECT"; nocase; sid:1000002;)
+alert tcp any any -> any 80 (msg:"path traversal"; content:"../../"; nocase; sid:1000003;)
+alert tcp any any -> any 80 (msg:"shellcode NOP sled"; content:"|90 90 90 90 90 90|"; sid:1000004;)
+alert tcp any any -> any 21 (msg:"ftp root login"; content:"USER root"; nocase; sid:1000005;)
+alert tcp any any -> any any (msg:"suspicious powershell"; content:"powershell -enc"; nocase; sid:1000006;)
+"""
+
+BENIGN = [
+    b"GET /index.html HTTP/1.1\r\nHost: example.com\r\nUser-Agent: demo\r\n\r\n",
+    b"GET /images/logo.png HTTP/1.1\r\nHost: example.com\r\n\r\n",
+    b"POST /api/v1/items HTTP/1.1\r\nContent-Type: application/json\r\n\r\n{\"q\": 1}",
+    b"HTTP/1.1 200 OK\r\nContent-Length: 512\r\n\r\n" + b"A" * 64,
+]
+
+ATTACKS = [
+    b"GET /admin HTTP/1.1\r\nHost: victim\r\n\r\n",
+    b"GET /search?q=1 union select password from users-- HTTP/1.1\r\n\r\n",
+    b"GET /../../../../etc/passwd HTTP/1.1\r\n\r\n",
+    b"\x90\x90\x90\x90\x90\x90\x90\x90/bin/sh",
+    b"USER root\r\nPASS hunter2\r\n",
+    b"cmd=PowerShell -Enc SQBFAFgA",
+]
+
+
+def build_stream(n_packets: int, attack_rate: float, seed: int = 7):
+    """Synthesize a packet stream; returns (payload bytes, offsets)."""
+    rng = np.random.default_rng(seed)
+    payloads = []
+    labels = []
+    for _ in range(n_packets):
+        if rng.random() < attack_rate:
+            payloads.append(ATTACKS[int(rng.integers(len(ATTACKS)))])
+            labels.append(True)
+        else:
+            payloads.append(BENIGN[int(rng.integers(len(BENIGN)))])
+            labels.append(False)
+    offsets = np.zeros(len(payloads) + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in payloads], out=offsets[1:])
+    return b"".join(payloads), offsets, labels
+
+
+def main() -> None:
+    rules = parse_rules(RULES)
+    patterns, owners = rules_to_patterns(rules)
+    dfa = DFA.build(patterns)
+    print(f"loaded {len(rules)} rules -> {len(patterns)} content patterns, "
+          f"{dfa.n_states} DFA states\n")
+
+    stream, offsets, labels = build_stream(n_packets=4000, attack_rate=0.05)
+    print(f"packet stream: {len(offsets) - 1} packets, {len(stream)} bytes, "
+          f"{sum(labels)} attacks injected")
+
+    # The demo rules are all nocase (lowercased at build time), so one
+    # scan over a lowercased shadow of the payload covers them -- the
+    # standard single-case AC trick.  A mixed rule set would scan the
+    # raw payload against a second, case-sensitive dictionary.
+    result = run_shared_kernel(dfa, stream.lower(), Device())
+    print(f"scan: {result.seconds * 1e3:.3f} ms modeled, "
+          f"{result.throughput_gbps:.1f} Gbps, {len(result.matches)} hits\n")
+
+    # Map match end-positions back to packets (offsets are sorted).
+    ends = result.matches.ends
+    pkt_idx = np.searchsorted(offsets, ends, side="right") - 1
+    alerts = {}
+    for pid, pkt in zip(result.matches.pattern_ids.tolist(), pkt_idx.tolist()):
+        ridx, sid = owners[pid]
+        alerts.setdefault(sid, set()).add(pkt)
+
+    print("alerts:")
+    for rule in rules:
+        pkts = alerts.get(rule.sid, set())
+        print(f"  sid {rule.sid} [{rule.msg}]: {len(pkts)} packets")
+
+    flagged = set().union(*alerts.values()) if alerts else set()
+    attack_pkts = {i for i, is_attack in enumerate(labels) if is_attack}
+    caught = len(flagged & attack_pkts)
+    print(f"\ndetection: {caught}/{len(attack_pkts)} injected attacks "
+          f"flagged, {len(flagged - attack_pkts)} benign packets matched "
+          "a signature")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's running example, end to end.
+
+Builds the AC machine for the dictionary {he, she, his, hers} (paper
+Fig. 1/3), matches the paper's walkthrough string "ushers", and then
+runs the same dictionary through all three simulated implementations
+(serial CPU, global-memory-only kernel, shared-memory kernel) on a
+larger text to show the performance model in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DFA, PatternSet, match_serial
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_shared_kernel
+
+PATTERNS = ["he", "she", "his", "hers"]
+
+
+def main() -> None:
+    # ---- phase 1: build the machine (trie -> automaton -> DFA/STT) ----
+    patterns = PatternSet.from_strings(PATTERNS)
+    dfa = DFA.build(patterns)
+    print(f"dictionary: {PATTERNS}")
+    print(f"DFA states: {dfa.n_states}  "
+          f"(paper Fig. 3 has 10 states for this dictionary)")
+    print(f"STT size  : {dfa.stt.stats().bytes_total} bytes "
+          f"({dfa.n_states} rows x 257 columns x 4 B)\n")
+
+    # ---- phase 2: match the paper's walkthrough string ------------------
+    text = "ushers"
+    result = match_serial(dfa, text)
+    print(f"matches in {text!r}:")
+    for m in result:
+        pat = patterns.pattern_bytes(m.pattern_id).decode()
+        start = m.start(len(pat))
+        print(f"  {pat!r:8} at [{start}, {m.end}]  "
+              f"(text[{start}:{m.end + 1}] = {text[start:m.end + 1]!r})")
+    print()
+
+    # ---- the three implementations on a bigger input ----------------------
+    big_text = ("she sells seashells; he admires hers while his cat "
+                "ushers the others out ") * 5000  # ~400 KB
+    serial = match_serial(dfa, big_text)
+    print(f"input: {len(big_text)} bytes, {len(serial)} occurrences\n")
+
+    for label, run in (
+        ("global-memory-only kernel", run_global_kernel),
+        ("shared-memory kernel     ", run_shared_kernel),
+    ):
+        r = run(dfa, big_text, Device())
+        assert r.matches == serial, "kernel disagrees with serial matcher!"
+        print(f"{label}: {r.seconds * 1e3:7.3f} ms modeled "
+              f"({r.throughput_gbps:6.1f} Gbps, {r.timing.regime}, "
+              f"{r.occupancy.warps_per_sm} warps/SM)")
+
+    print("\nBoth kernels return byte-identical match sets; the shared-"
+          "memory kernel wins on modeled time (paper Fig. 22).")
+
+
+if __name__ == "__main__":
+    main()

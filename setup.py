@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build an
+editable wheel.  This shim lets ``pip install -e . --no-build-isolation``
+fall back to the classic ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "High Throughput Parallel Implementation of
+Aho-Corasick Algorithm on a GPU" (Tran, Lee, Hong & Choi, IPPS 2013).
+
+The package implements the paper end to end on a simulated GTX 285:
+
+* :mod:`repro.core` — the AC algorithm (trie → automaton → DFA/STT),
+  serial matchers, chunk-overlap machinery.
+* :mod:`repro.gpu` — the GPU substrate: SIMT geometry, global-memory
+  coalescing, 16-bank shared memory, texture cache, and the analytic
+  latency-hiding timing model.
+* :mod:`repro.kernels` — the paper's kernels (global-memory-only,
+  shared-memory with the diagonal bank-conflict-free store scheme) and
+  the PFAC extension, all functional and event-emitting.
+* :mod:`repro.workload` — synthetic magazine-style corpus and pattern
+  extraction reproducing the paper's evaluation inputs.
+* :mod:`repro.bench` — the experiment harness regenerating every
+  results figure (Figs. 13–18, 20–23).
+* :mod:`repro.compress` — STT compression extensions.
+
+Quickstart::
+
+    from repro import PatternSet, DFA, match_serial
+    dfa = DFA.build(PatternSet.from_strings(["he", "she", "his", "hers"]))
+    print(match_serial(dfa, "ushers").as_pairs())
+"""
+
+from repro.core import (
+    DFA,
+    AhoCorasickAutomaton,
+    Match,
+    MatchResult,
+    PatternSet,
+    STT,
+    build_dfa,
+    match_serial,
+)
+from repro.matcher import Matcher
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFA",
+    "AhoCorasickAutomaton",
+    "Match",
+    "MatchResult",
+    "Matcher",
+    "PatternSet",
+    "STT",
+    "build_dfa",
+    "match_serial",
+    "__version__",
+]

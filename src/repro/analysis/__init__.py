@@ -1,0 +1,31 @@
+"""Analysis tools: occupancy exploration, roofline placement, ASCII charts."""
+
+from repro.analysis.charts import bar_chart, figure_chart, sparkline, trend_summary
+from repro.analysis.events import compare_reports, event_report
+from repro.analysis.occupancy import (
+    DEFAULT_CANDIDATES,
+    GeometryReport,
+    best_geometry,
+    explore,
+    static_report,
+)
+from repro.analysis.roofline import RooflinePoint, roofline_point
+from repro.analysis.waves import WaveAnalysis, analyze_waves
+
+__all__ = [
+    "compare_reports",
+    "event_report",
+    "WaveAnalysis",
+    "analyze_waves",
+    "bar_chart",
+    "figure_chart",
+    "sparkline",
+    "trend_summary",
+    "DEFAULT_CANDIDATES",
+    "GeometryReport",
+    "best_geometry",
+    "explore",
+    "static_report",
+    "RooflinePoint",
+    "roofline_point",
+]

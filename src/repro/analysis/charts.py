@@ -1,0 +1,90 @@
+"""ASCII charts for terminal-rendered figures.
+
+The paper's figures are grouped bar/line charts; the CLI renders their
+tabular equivalents (``repro.bench.report``), and this module adds a
+visual form that works in any terminal: horizontal bar charts per
+series and multi-series sparkline grids.  No plotting dependency —
+the repository stays NumPy-only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.report import FigureTable
+from repro.errors import ExperimentError
+
+#: Eight-level vertical resolution for sparklines.
+_SPARK = " .:-=+*#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart; bars scaled to the max value."""
+    if len(labels) != len(values):
+        raise ExperimentError("labels/values length mismatch")
+    if not values:
+        raise ExperimentError("nothing to chart")
+    if min(values) < 0:
+        raise ExperimentError("bar_chart requires non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        n = int(round(width * value / peak))
+        lines.append(
+            f"{str(label):>{label_w}} |{'#' * n}{' ' * (width - n)}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Single-row sparkline of a series (min..max normalized)."""
+    if not values:
+        raise ExperimentError("nothing to chart")
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK[len(_SPARK) // 2] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK) - 1))
+        out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def figure_chart(table: FigureTable, *, width: int = 44) -> str:
+    """Render a FigureTable as one bar chart per pattern-count series.
+
+    Mirrors the paper's figure layout: input size on the category axis,
+    one chart block per dictionary size.
+    """
+    blocks: List[str] = [f"{table.figure_id}: {table.title} [{table.unit}]"]
+    for col, count in enumerate(table.col_labels):
+        series = [row[col] for row in table.values]
+        blocks.append(f"\n-- {count} patterns --")
+        blocks.append(
+            bar_chart(table.row_labels, series, width=width, unit=f" {table.unit}")
+        )
+    return "\n".join(blocks)
+
+
+def trend_summary(table: FigureTable) -> str:
+    """Compact sparkline grid: one line per input size."""
+    lines = [f"{table.figure_id} trends vs patterns ({table.unit}):"]
+    label_w = max(len(l) for l in table.row_labels)
+    for label, row in zip(table.row_labels, table.values):
+        lines.append(
+            f"  {label:>{label_w}} {sparkline(row)}  "
+            f"[{min(row):.3g} .. {max(row):.3g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Event report: explain one kernel launch's cost, line by line.
+
+`repro-ac match` and the examples print a throughput number; this
+module explains *where it came from* — the per-byte event rates and the
+timing decomposition — in a fixed-width block suitable for terminals
+and bug reports.  It is the human-readable view of
+:class:`~repro.gpu.counters.EventCounters` +
+:class:`~repro.gpu.counters.TimingBreakdown`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ExperimentError
+from repro.kernels.base import KernelResult
+
+
+def event_report(result: KernelResult) -> str:
+    """Render the full cost story of one kernel result."""
+    c = result.counters
+    t = result.timing
+    n = max(c.bytes_owned, 1)
+    lines: List[str] = []
+    lines.append(
+        f"kernel {result.name}"
+        + (f" [{result.scheme}]" if result.scheme else "")
+        + f" over {c.bytes_owned:,} bytes"
+    )
+    lines.append(
+        f"  launch      : {result.launch.n_blocks} blocks x "
+        f"{result.launch.threads_per_block} threads, "
+        f"{result.launch.shared_bytes_per_block} B shared/block, "
+        f"{result.occupancy.warps_per_sm} warps/SM "
+        f"({result.occupancy.limiting_resource})"
+    )
+    lines.append(
+        f"  scan        : {c.bytes_scanned:,} bytes incl. overlap "
+        f"(x{c.overlap_ratio:.3f}), {c.warp_iterations:,} warp iterations"
+    )
+    lines.append(
+        f"  global mem  : {c.global_transactions:,} transactions, "
+        f"{c.global_bytes:,} bus bytes "
+        f"({c.global_bytes / n:.2f} B per input byte)"
+    )
+    if c.shared_accesses:
+        lines.append(
+            f"  shared mem  : {c.shared_accesses:,} half-warp accesses, "
+            f"avg conflict degree {c.avg_conflict_degree:.2f} "
+            f"({c.bank_conflict_excess:,} serialized extra)"
+        )
+    lines.append(
+        f"  texture     : {c.texture_accesses:,} half-warp fetches, "
+        f"{c.texture_misses:,} DRAM line fills "
+        f"(hit rate {c.texture_hit_rate:.3f})"
+    )
+    lines.append(
+        f"  matches     : {len(result.matches):,} occurrences "
+        f"({c.raw_match_writes:,} raw hit writes)"
+    )
+    lines.append(
+        f"  timing      : {t.seconds * 1e3:.3f} ms modeled -> "
+        f"{t.throughput_gbps(c.bytes_owned):.1f} Gbps ({t.regime})"
+    )
+    total = max(t.total_cycles, 1.0)
+    lines.append(
+        f"  cycle split : compute {t.compute_cycles / total:6.1%} | "
+        f"mem-latency {t.memory_latency_cycles / total:6.1%} | "
+        f"bandwidth {t.bandwidth_cycles / total:6.1%} | "
+        f"launch {t.launch_overhead_cycles / total:6.1%}"
+    )
+    return "\n".join(lines)
+
+
+def compare_reports(a: KernelResult, b: KernelResult) -> str:
+    """Side-by-side ratio summary of two results on the same input."""
+    if a.counters.bytes_owned != b.counters.bytes_owned:
+        raise ExperimentError("results cover different inputs")
+    ratio = b.seconds / a.seconds if a.seconds else float("inf")
+    fast, slow = (a, b) if a.seconds <= b.seconds else (b, a)
+    return (
+        f"{a.name}{f'[{a.scheme}]' if a.scheme else ''} vs "
+        f"{b.name}{f'[{b.scheme}]' if b.scheme else ''}: "
+        f"{a.seconds * 1e3:.3f} ms vs {b.seconds * 1e3:.3f} ms "
+        f"-> {fast.name}{f'[{fast.scheme}]' if fast.scheme else ''} wins "
+        f"x{max(ratio, 1 / ratio):.2f}"
+    )

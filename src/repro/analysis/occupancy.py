@@ -1,0 +1,154 @@
+"""Occupancy exploration — the design space behind the paper's geometry.
+
+The shared kernel's launch geometry (threads per block × chunk bytes ×
+reserved shared memory) fixes three coupled quantities: the staging
+footprint, the resident-warp pool that hides texture latency, and the
+overlap redundancy.  The paper settles on "8~12 KB of the 16 KB" with
+no sweep; :func:`explore` produces the full table so the choice can be
+inspected, and :func:`best_geometry` picks the modeled optimum for a
+given workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.dfa import DFA
+from repro.errors import DeviceError, LaunchError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.device import Device
+from repro.gpu.layouts import BlockGeometry
+from repro.kernels.shared_mem import run_shared_kernel
+
+#: Candidate (threads_per_block, chunk_bytes) pairs; all keep the
+#: staging buffer within 16 KB alongside a small reserve.
+DEFAULT_CANDIDATES: Tuple[Tuple[int, int], ...] = (
+    (64, 32),
+    (64, 64),
+    (128, 32),
+    (128, 64),
+    (128, 96),
+    (192, 64),
+    (256, 16),
+    (256, 32),
+    (256, 48),
+    (512, 16),
+)
+
+
+@dataclass(frozen=True)
+class GeometryReport:
+    """One candidate geometry's static + modeled properties."""
+
+    threads_per_block: int
+    chunk_bytes: int
+    staged_bytes: int
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy_fraction: float
+    overlap_ratio: float
+    #: Modeled throughput on the probe workload (None for static-only).
+    gbps: Optional[float] = None
+    regime: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line summary."""
+        perf = (
+            f" {self.gbps:7.1f} Gbps ({self.regime})"
+            if self.gbps is not None
+            else ""
+        )
+        return (
+            f"{self.threads_per_block:4d} thr x {self.chunk_bytes:3d} B: "
+            f"staged {self.staged_bytes:6d} B, "
+            f"{self.blocks_per_sm} blk/SM, {self.warps_per_sm:2d} warps/SM "
+            f"(occ {self.occupancy_fraction:.2f}), "
+            f"overlap x{self.overlap_ratio:.2f}{perf}"
+        )
+
+
+def static_report(
+    threads_per_block: int,
+    chunk_bytes: int,
+    overlap_bytes: int,
+    config: Optional[DeviceConfig] = None,
+    reserved_shared: int = 2048,
+) -> GeometryReport:
+    """Static occupancy/overlap accounting for one geometry."""
+    config = config or gtx285()
+    geom = BlockGeometry(
+        n_threads=threads_per_block,
+        chunk_bytes=chunk_bytes,
+        overlap_bytes=overlap_bytes,
+        lanes=config.half_warp,
+        n_banks=config.shared_banks,
+    )
+    shared = geom.shared_bytes_needed + reserved_shared
+    occ = config.occupancy(threads_per_block, shared)
+    return GeometryReport(
+        threads_per_block=threads_per_block,
+        chunk_bytes=chunk_bytes,
+        staged_bytes=geom.shared_bytes_needed,
+        blocks_per_sm=occ.blocks_per_sm,
+        warps_per_sm=occ.warps_per_sm,
+        occupancy_fraction=occ.fraction(config),
+        overlap_ratio=geom.window_bytes / geom.chunk_bytes,
+    )
+
+
+def explore(
+    dfa: DFA,
+    data,
+    candidates: Iterable[Tuple[int, int]] = DEFAULT_CANDIDATES,
+    config: Optional[DeviceConfig] = None,
+    reserved_shared: int = 2048,
+) -> List[GeometryReport]:
+    """Run the shared kernel under every feasible candidate geometry.
+
+    Infeasible candidates (staging exceeds shared memory with this
+    dictionary's overlap) are skipped silently — the caller sees only
+    geometries that would actually launch.
+    """
+    config = config or gtx285()
+    overlap = dfa.patterns.max_length - 1
+    out: List[GeometryReport] = []
+    for threads, chunk in candidates:
+        try:
+            static = static_report(
+                threads, chunk, overlap, config, reserved_shared
+            )
+            result = run_shared_kernel(
+                dfa,
+                data,
+                Device(config),
+                threads_per_block=threads,
+                chunk_bytes=chunk,
+                reserved_shared=reserved_shared,
+            )
+        except DeviceError:
+            # Covers LaunchError (staging too big) and occupancy-level
+            # rejections (block exceeds thread slots).
+            continue
+        out.append(
+            GeometryReport(
+                threads_per_block=threads,
+                chunk_bytes=chunk,
+                staged_bytes=static.staged_bytes,
+                blocks_per_sm=static.blocks_per_sm,
+                warps_per_sm=static.warps_per_sm,
+                occupancy_fraction=static.occupancy_fraction,
+                overlap_ratio=static.overlap_ratio,
+                gbps=result.throughput_gbps,
+                regime=result.timing.regime,
+            )
+        )
+    return out
+
+
+def best_geometry(reports: List[GeometryReport]) -> GeometryReport:
+    """Highest-throughput geometry of an :func:`explore` sweep."""
+    scored = [r for r in reports if r.gbps is not None]
+    if not scored:
+        raise LaunchError("no feasible geometry in sweep")
+    return max(scored, key=lambda r: r.gbps)

@@ -1,0 +1,88 @@
+"""Roofline view of a kernel launch.
+
+Places a priced kernel on the classic roofline: achieved instruction
+throughput vs the device's issue ceiling and the bandwidth-scaled
+memory ceiling.  Useful to see at a glance *why* a cell of the paper's
+grid landed where it did — the global-only kernel sits pinned to the
+scattered-bandwidth roof, the shared kernel climbs toward the compute
+roof as the dictionary shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.kernels.base import KernelResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel's position in roofline coordinates."""
+
+    #: Issue work per byte of off-chip traffic (cycles / byte) — the
+    #: roofline's x-axis (an arithmetic-intensity analogue).
+    intensity_cycles_per_byte: float
+    #: Achieved useful-cycle throughput (cycles / second).
+    achieved_cycles_per_s: float
+    #: Device issue ceiling (cycles / second).
+    compute_roof_cycles_per_s: float
+    #: Bandwidth roof expressed in achievable cycles/s at this intensity.
+    memory_roof_cycles_per_s: float
+    regime: str
+
+    @property
+    def bound(self) -> str:
+        """Which roof constrains this point."""
+        return (
+            "compute"
+            if self.compute_roof_cycles_per_s <= self.memory_roof_cycles_per_s
+            else "memory"
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / applicable roof (<= ~1)."""
+        roof = min(self.compute_roof_cycles_per_s, self.memory_roof_cycles_per_s)
+        return self.achieved_cycles_per_s / roof if roof else 0.0
+
+    def describe(self) -> str:
+        """One-line roofline summary."""
+        return (
+            f"intensity {self.intensity_cycles_per_byte:8.2f} cyc/B | "
+            f"achieved {self.achieved_cycles_per_s / 1e9:6.2f} Gcyc/s of "
+            f"{min(self.compute_roof_cycles_per_s, self.memory_roof_cycles_per_s) / 1e9:6.2f} "
+            f"({self.bound}-roofed, eff {self.efficiency:.2f})"
+        )
+
+
+def roofline_point(
+    result: KernelResult, config: Optional[DeviceConfig] = None
+) -> RooflinePoint:
+    """Compute the roofline coordinates of a priced kernel run."""
+    config = config or gtx285()
+    tb = result.timing
+    if tb.seconds <= 0:
+        raise ExperimentError("kernel result has no timing")
+
+    compute_cycles_total = tb.compute_cycles * config.sm_count
+    # Off-chip traffic proxy: bandwidth term converted back to bytes.
+    bus_bytes = (
+        tb.bandwidth_cycles / config.seconds_to_cycles(1.0)
+    ) * config.global_bandwidth_gbs * 1e9
+    bus_bytes = max(bus_bytes, 1.0)
+
+    intensity = compute_cycles_total / bus_bytes
+    achieved = compute_cycles_total / tb.seconds
+    compute_roof = config.sm_count * config.clock_hz
+    memory_roof = intensity * config.global_bandwidth_gbs * 1e9
+
+    return RooflinePoint(
+        intensity_cycles_per_byte=intensity,
+        achieved_cycles_per_s=achieved,
+        compute_roof_cycles_per_s=compute_roof,
+        memory_roof_cycles_per_s=memory_roof,
+        regime=tb.regime,
+    )

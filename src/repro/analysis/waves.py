@@ -1,0 +1,77 @@
+"""Wave/tail analysis — grid quantization the analytic model smooths over.
+
+A grid executes in *waves*: each SM runs ``blocks_per_sm`` resident
+blocks at a time, so a grid of B blocks on S SMs needs
+``ceil(B / (S * blocks_per_sm))`` waves, and the last wave typically
+underfills the machine (the "tail effect").  The analytic latency model
+divides work evenly across SMs — exact in the many-wave limit, but
+optimistic for tiny grids (the paper's 50 KB cells).  This module
+quantifies that gap so EXPERIMENTS.md can bound it instead of hiding
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.geometry import LaunchConfig
+
+
+@dataclass(frozen=True)
+class WaveAnalysis:
+    """Wave decomposition of one launch."""
+
+    n_blocks: int
+    blocks_per_sm: int
+    concurrent_blocks: int
+    full_waves: int
+    tail_blocks: int
+
+    @property
+    def n_waves(self) -> int:
+        """Total waves (full + tail)."""
+        return self.full_waves + (1 if self.tail_blocks else 0)
+
+    @property
+    def tail_utilization(self) -> float:
+        """Machine fill during the tail wave (1.0 when no tail)."""
+        if self.tail_blocks == 0:
+            return 1.0
+        return self.tail_blocks / self.concurrent_blocks
+
+    @property
+    def quantization_factor(self) -> float:
+        """Modeled-time underestimate bound from wave quantization.
+
+        The even-division model charges ``n_blocks / concurrent`` wave
+        equivalents; the machine actually executes ``n_waves``.  Their
+        ratio bounds how much the analytic time could under-report for
+        a wave-synchronous kernel (real kernels interleave, so the true
+        error is below this bound).
+        """
+        ideal = self.n_blocks / self.concurrent_blocks
+        if ideal == 0:
+            return 1.0
+        return self.n_waves / ideal
+
+
+def analyze_waves(
+    launch: LaunchConfig, config: Optional[DeviceConfig] = None
+) -> WaveAnalysis:
+    """Decompose *launch* into waves on *config*."""
+    config = config or gtx285()
+    occ = launch.validate(config)
+    concurrent = occ.blocks_per_sm * config.sm_count
+    if concurrent <= 0:
+        raise ExperimentError("launch cannot make progress")
+    full, tail = divmod(launch.n_blocks, concurrent)
+    return WaveAnalysis(
+        n_blocks=launch.n_blocks,
+        blocks_per_sm=occ.blocks_per_sm,
+        concurrent_blocks=concurrent,
+        full_waves=full,
+        tail_blocks=tail,
+    )

@@ -1,0 +1,22 @@
+"""Benchmark harness: regenerates every results figure of the paper."""
+
+from repro.bench.cpu_model import CpuConfig, SerialCost, serial_cost_from_trace
+from repro.bench.experiments import ABLATIONS, FIGURES, FigureSpec, get_figure, run_figure
+from repro.bench.report import FigureTable, build_table
+from repro.bench.runner import CellResult, ExperimentRunner, ScaledKernel
+
+__all__ = [
+    "CpuConfig",
+    "SerialCost",
+    "serial_cost_from_trace",
+    "ABLATIONS",
+    "FIGURES",
+    "FigureSpec",
+    "get_figure",
+    "run_figure",
+    "FigureTable",
+    "build_table",
+    "CellResult",
+    "ExperimentRunner",
+    "ScaledKernel",
+]

@@ -1,0 +1,152 @@
+"""Serial-CPU timing model — the paper's single-core baseline.
+
+The paper's serial runs use one core of a 2.2 GHz Intel Core2 (Section
+V).  Serial AC-DFA is a pointer-chasing loop over the STT: a handful of
+pipeline cycles per byte while the active STT rows stay in the L2
+cache, plus a DRAM round-trip whenever the fetched row's line has
+fallen out.  That is why the paper's serial run times grow so strongly
+with the dictionary (Fig. 13): a 20,000-pattern STT is ~100 MB and its
+*active* lines no longer fit a 4 MB L2.
+
+The model prices a scan from the same fetch trace the GPU kernels use:
+
+    cycles/byte = base + line_miss_rate(L2) × miss_penalty
+
+with the line miss rate from the hot-set cache approximation
+(:mod:`repro.gpu.texture`) applied to the CPU's L2 geometry.  Constants
+are fixed here and recorded in EXPERIMENTS.md; they land the absolute
+serial throughput in the ~1 Gbps region the paper's 127 Gbps / 222×
+headline implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dfa import DFA
+from repro.core.lockstep import LockstepTrace
+from repro.errors import ExperimentError
+from repro.gpu.config import TextureCacheConfig
+from repro.gpu.texture import hot_set_hit_rate, stt_line_ids
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """The paper's serial machine (2.2 GHz Core2, 4 MB L2).
+
+    ``n_cores`` describes the physical chip (the paper's testbed is a
+    4-core part); the paper's baseline uses a single core, so the
+    default pricing ignores the others — :func:`multicore_cost` models
+    the obvious chunk-parallel OpenMP port as an extension baseline.
+    """
+
+    name: str = "Intel Core2 2.2 GHz"
+    clock_ghz: float = 2.2
+    n_cores: int = 4
+    l2_bytes: int = 4 * 1024 * 1024
+    line_bytes: int = 64
+    #: Pipeline cycles per byte with an L2-resident working set
+    #: (load byte, table index arithmetic, load entry, flag test, loop).
+    base_cycles_per_byte: float = 14.0
+    #: Extra cycles for an L2 miss serviced from DRAM (DDR2-era
+    #: ~110 ns at 2.2 GHz).
+    miss_penalty_cycles: float = 250.0
+    #: L2 capacity usable by STT lines (code/stack/text share it).
+    capacity_efficiency: float = 0.5
+    #: Parallel-scaling efficiency of a chunked multicore scan: cores
+    #: share the L2 and the memory controller, so scaling is sublinear
+    #: (Core2-era measurements put memory-bound codes around 0.7-0.85).
+    multicore_efficiency: float = 0.8
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_ghz * 1e9
+
+
+@dataclass(frozen=True)
+class SerialCost:
+    """Priced serial scan."""
+
+    cycles_per_byte: float
+    line_miss_rate: float
+    seconds: float
+    input_bytes: int
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Input bits per second in Gbit/s."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.input_bytes * 8 / self.seconds / 1e9
+
+
+def serial_cost_from_trace(
+    dfa: DFA,
+    trace: LockstepTrace,
+    windows: np.ndarray,
+    paper_bytes: int,
+    cpu: CpuConfig = CpuConfig(),
+) -> SerialCost:
+    """Price a serial scan of *paper_bytes* using a measured fetch trace.
+
+    The trace may come from any functional run over the same text
+    distribution (the harness reuses the shared kernel's); only its
+    line-level access *distribution* matters here.
+    """
+    if paper_bytes <= 0:
+        raise ExperimentError("paper_bytes must be positive")
+    line_ids = stt_line_ids(
+        trace.states_fetched(), windows, line_bytes=cpu.line_bytes
+    )
+    flat = line_ids[trace.valid]
+    l2_as_cache = TextureCacheConfig(
+        size_bytes=cpu.l2_bytes, line_bytes=cpu.line_bytes, associativity=16
+    )
+    # Steady-state rate: the sim trace is a scaled sample of a
+    # paper-scale scan, where first-touch misses amortize to nothing.
+    est = hot_set_hit_rate(
+        flat,
+        l2_as_cache,
+        capacity_efficiency=cpu.capacity_efficiency,
+        include_compulsory=False,
+    )
+    miss_rate = est.miss_rate
+    cpb = cpu.base_cycles_per_byte + miss_rate * cpu.miss_penalty_cycles
+    seconds = paper_bytes * cpb / cpu.clock_hz
+    return SerialCost(
+        cycles_per_byte=cpb,
+        line_miss_rate=miss_rate,
+        seconds=seconds,
+        input_bytes=paper_bytes,
+    )
+
+
+def multicore_cost(
+    serial: SerialCost,
+    cpu: CpuConfig = CpuConfig(),
+    n_cores: int = 0,
+) -> SerialCost:
+    """Price a chunk-parallel scan on *n_cores* of the same chip.
+
+    The obvious OpenMP port of AC (the comparison baseline Zha & Sahni
+    use, paper ref [18]): split the input into per-core chunks with the
+    +X overlap rule (correct by the same theorem as the GPU chunking)
+    and scan concurrently.  Cores contend for the shared L2 and memory
+    controller, captured by ``multicore_efficiency``.
+
+    ``n_cores = 0`` uses the chip's full core count.
+    """
+    cores = n_cores or cpu.n_cores
+    if cores < 1:
+        raise ExperimentError("n_cores must be >= 1")
+    speedup = 1.0 if cores == 1 else cores * cpu.multicore_efficiency
+    speedup = max(speedup, 1.0)
+    return SerialCost(
+        cycles_per_byte=serial.cycles_per_byte / speedup,
+        line_miss_rate=serial.line_miss_rate,
+        seconds=serial.seconds / speedup,
+        input_bytes=serial.input_bytes,
+    )

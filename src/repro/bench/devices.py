@@ -1,0 +1,110 @@
+"""Cross-device comparison — does the model generalize beyond GTX 285?
+
+Section III of the paper gestures at newer architectures (Fermi-class
+Tesla with configurable L1/shared).  This module runs identical cells
+on several device configurations and tabulates the modeled outcomes,
+exposing which architectural lever moves which kernel: the Fermi
+preset's larger shared memory admits more staging blocks per SM
+(deeper latency hiding), while its 32-bank layout leaves the diagonal
+scheme's conflict-freeness intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dfa import DFA
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, fermi_c2050, gtx285
+from repro.gpu.device import Device
+from repro.kernels.base import CostParams
+from repro.kernels.global_only import run_global_kernel
+from repro.kernels.shared_mem import run_shared_kernel
+
+#: Named device roster for comparisons.
+DEVICE_ROSTER: Dict[str, DeviceConfig] = {
+    "gtx285": gtx285(),
+    "fermi_c2050": fermi_c2050(),
+}
+
+
+@dataclass(frozen=True)
+class DeviceComparison:
+    """One device's outcome on one workload."""
+
+    device: str
+    kernel: str
+    gbps: float
+    seconds: float
+    regime: str
+    warps_per_sm: int
+
+
+def compare_devices(
+    dfa: DFA,
+    data,
+    *,
+    devices: Optional[Dict[str, DeviceConfig]] = None,
+    kernels: Sequence[str] = ("global", "shared"),
+    params: Optional[CostParams] = None,
+) -> List[DeviceComparison]:
+    """Run the requested kernels on every device in the roster."""
+    devices = devices or DEVICE_ROSTER
+    params = params or CostParams()
+    runs = {
+        "global": lambda cfg: run_global_kernel(
+            dfa, data, Device(cfg), params=params
+        ),
+        "shared": lambda cfg: run_shared_kernel(
+            dfa, data, Device(cfg), params=params
+        ),
+    }
+    unknown = set(kernels) - set(runs)
+    if unknown:
+        raise ExperimentError(f"unknown kernels {sorted(unknown)}")
+    out: List[DeviceComparison] = []
+    for name, cfg in devices.items():
+        for kname in kernels:
+            r = runs[kname](cfg)
+            out.append(
+                DeviceComparison(
+                    device=name,
+                    kernel=kname,
+                    gbps=r.throughput_gbps,
+                    seconds=r.seconds,
+                    regime=r.timing.regime,
+                    warps_per_sm=r.occupancy.warps_per_sm,
+                )
+            )
+    return out
+
+
+def comparison_table(rows: List[DeviceComparison]) -> str:
+    """Monospace table of a :func:`compare_devices` result."""
+    if not rows:
+        raise ExperimentError("no comparison rows")
+    header = (
+        f"{'device':>14} {'kernel':>8} {'Gbps':>8} {'ms':>9} "
+        f"{'regime':>16} {'warps/SM':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.device:>14} {r.kernel:>8} {r.gbps:>8.1f} "
+            f"{r.seconds * 1e3:>9.3f} {r.regime:>16} {r.warps_per_sm:>9}"
+        )
+    return "\n".join(lines)
+
+
+def speedup_between(
+    rows: List[DeviceComparison], kernel: str, fast: str, slow: str
+) -> float:
+    """seconds(slow device) / seconds(fast device) for one kernel."""
+    index: Dict[Tuple[str, str], DeviceComparison] = {
+        (r.device, r.kernel): r for r in rows
+    }
+    try:
+        return index[(slow, kernel)].seconds / index[(fast, kernel)].seconds
+    except KeyError as exc:
+        raise ExperimentError(f"missing comparison row: {exc}") from None

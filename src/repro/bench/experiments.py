@@ -1,0 +1,197 @@
+"""Experiment definitions: one spec per results figure of the paper.
+
+Figures 13-18 report run times / throughputs of the three approaches;
+Figures 20-22 report pairwise speedups; Figure 23 reports the
+bank-conflict-avoidance ablation.  Every spec names the kernels it
+needs, how to extract its metric from a :class:`~repro.bench.runner.CellResult`,
+and the paper's reported value band (used by EXPERIMENTS.md and the
+shape-check tests, *not* to tune the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.bench.report import FigureTable, build_table
+from repro.bench.runner import CellResult, ExperimentRunner
+from repro.errors import ExperimentError
+from repro.workload.datasets import PAPER_PATTERN_COUNTS, PAPER_SIZES
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative description of one paper figure."""
+
+    figure_id: str
+    title: str
+    unit: str
+    kernels: Tuple[str, ...]
+    extractor: Callable[[CellResult], float]
+    #: (min, max) of the values the paper reports, when stated.
+    paper_band: Optional[Tuple[float, float]] = None
+    #: Expected qualitative trend vs pattern count: "down", "up", "flat-ish".
+    trend_vs_patterns: Optional[str] = None
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    "fig13": FigureSpec(
+        "fig13",
+        "Serial run time vs input size x patterns",
+        "seconds",
+        ("serial",),
+        lambda c: c.seconds("serial"),
+        trend_vs_patterns="up",
+    ),
+    "fig14": FigureSpec(
+        "fig14",
+        "Global-memory-only kernel run time",
+        "seconds",
+        ("global",),
+        lambda c: c.seconds("global"),
+        trend_vs_patterns="up",
+    ),
+    "fig15": FigureSpec(
+        "fig15",
+        "Shared-memory kernel run time",
+        "seconds",
+        ("shared",),
+        lambda c: c.seconds("shared"),
+        trend_vs_patterns="up",
+    ),
+    "fig16": FigureSpec(
+        "fig16",
+        "Serial throughput",
+        "Gbps",
+        ("serial",),
+        lambda c: c.gbps("serial"),
+        trend_vs_patterns="down",
+    ),
+    "fig17": FigureSpec(
+        "fig17",
+        "Global-memory-only throughput",
+        "Gbps",
+        ("global",),
+        lambda c: c.gbps("global"),
+        trend_vs_patterns="down",
+    ),
+    "fig18": FigureSpec(
+        "fig18",
+        "Shared-memory throughput (paper max ~127 Gbps)",
+        "Gbps",
+        ("shared",),
+        lambda c: c.gbps("shared"),
+        paper_band=(20.0, 127.0),
+        trend_vs_patterns="down",
+    ),
+    "fig20": FigureSpec(
+        "fig20",
+        "Speedup: global-only vs serial (paper 3.3-13.2x)",
+        "x",
+        ("serial", "global"),
+        lambda c: c.speedup("global", "serial"),
+        paper_band=(3.3, 13.2),
+        trend_vs_patterns="up",
+    ),
+    "fig21": FigureSpec(
+        "fig21",
+        "Speedup: shared vs serial (paper 36.1-222.0x)",
+        "x",
+        ("serial", "shared"),
+        lambda c: c.speedup("shared", "serial"),
+        paper_band=(36.1, 222.0),
+        trend_vs_patterns="up",
+    ),
+    "fig22": FigureSpec(
+        "fig22",
+        "Speedup: shared vs global-only (paper 7.3-19.3x)",
+        "x",
+        ("global", "shared"),
+        lambda c: c.speedup("shared", "global"),
+        paper_band=(7.3, 19.3),
+        trend_vs_patterns="up",
+    ),
+    "fig23": FigureSpec(
+        "fig23",
+        "Speedup: diagonal store vs coalescing-only (paper 1.5-5.3x)",
+        "x",
+        ("shared", "shared_coalesce"),
+        lambda c: c.speedup("shared", "shared_coalesce"),
+        paper_band=(1.5, 5.3),
+        trend_vs_patterns="up",
+    ),
+}
+
+#: Extra (non-paper) ablations runnable through the same machinery.
+ABLATIONS: Dict[str, FigureSpec] = {
+    "abl_naive": FigureSpec(
+        "abl_naive",
+        "Speedup: diagonal store vs fully naive staging+store",
+        "x",
+        ("shared", "shared_naive"),
+        lambda c: c.speedup("shared", "shared_naive"),
+        trend_vs_patterns="up",
+    ),
+    "abl_transposed": FigureSpec(
+        "abl_transposed",
+        "Speedup: diagonal vs transposed layout",
+        "x",
+        ("shared", "shared_transposed"),
+        lambda c: c.speedup("shared", "shared_transposed"),
+    ),
+    "abl_pfac": FigureSpec(
+        "abl_pfac",
+        "Speedup: shared AC-DFA vs PFAC",
+        "x",
+        ("shared", "pfac"),
+        lambda c: c.speedup("shared", "pfac"),
+    ),
+    "abl_multicore": FigureSpec(
+        "abl_multicore",
+        "Speedup: shared kernel vs 4-core OpenMP-style CPU baseline",
+        "x",
+        ("serial_mt", "shared"),
+        lambda c: c.speedup("shared", "serial_mt"),
+    ),
+    "abl_texture": FigureSpec(
+        "abl_texture",
+        "Speedup: texture-cached STT vs uncached global STT",
+        "x",
+        ("shared", "shared_global_stt"),
+        lambda c: c.speedup("shared", "shared_global_stt"),
+        trend_vs_patterns="down",
+    ),
+}
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure or ablation spec by id."""
+    spec = FIGURES.get(figure_id) or ABLATIONS.get(figure_id)
+    if spec is None:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; known: "
+            f"{sorted(FIGURES) + sorted(ABLATIONS)}"
+        )
+    return spec
+
+
+def run_figure(
+    figure_id: str,
+    runner: ExperimentRunner,
+    sizes: Optional[Sequence[str]] = None,
+    pattern_counts: Optional[Sequence[int]] = None,
+) -> FigureTable:
+    """Execute all cells a figure needs and build its table."""
+    spec = get_figure(figure_id)
+    sizes = list(sizes or PAPER_SIZES)
+    pattern_counts = list(pattern_counts or PAPER_PATTERN_COUNTS)
+    cells = runner.run_grid(sizes, pattern_counts, kernels=spec.kernels)
+    return build_table(
+        spec.figure_id,
+        spec.title,
+        spec.unit,
+        cells,
+        spec.extractor,
+        sizes,
+        pattern_counts,
+    )

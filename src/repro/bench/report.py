@@ -1,0 +1,109 @@
+"""ASCII tables in the shape of the paper's figures.
+
+Each results figure of the paper is a family of curves over input size
+(x-axis) with one series per pattern count.  The equivalent textual
+artifact is a sizes × pattern-counts table; :class:`FigureTable` holds
+one and renders it for the CLI, the benches and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class FigureTable:
+    """A sizes × pattern-counts value table for one figure."""
+
+    figure_id: str
+    title: str
+    unit: str
+    row_labels: List[str]
+    col_labels: List[str]
+    values: List[List[float]]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.row_labels):
+            raise ExperimentError("row count mismatch")
+        for row in self.values:
+            if len(row) != len(self.col_labels):
+                raise ExperimentError("column count mismatch")
+
+    # -- aggregates -----------------------------------------------------------
+    def min_value(self) -> float:
+        """Smallest cell (used for paper-range checks)."""
+        return min(v for row in self.values for v in row)
+
+    def max_value(self) -> float:
+        """Largest cell (used for paper-range checks)."""
+        return max(v for row in self.values for v in row)
+
+    def value(self, row_label: str, col_label: str) -> float:
+        """Cell lookup by labels."""
+        try:
+            r = self.row_labels.index(row_label)
+            c = self.col_labels.index(col_label)
+        except ValueError as exc:
+            raise ExperimentError(f"no such cell: {exc}") from None
+        return self.values[r][c]
+
+    # -- rendering ---------------------------------------------------------------
+    def render(self, fmt: str = "{:>12.4g}") -> str:
+        """Monospace table with a header line."""
+        head = f"{self.figure_id}: {self.title} [{self.unit}]"
+        col_hdr = f"{'':>10}" + "".join(
+            f"{c:>12}" for c in self.col_labels
+        )
+        lines = [head, "-" * len(col_hdr), col_hdr]
+        for label, row in zip(self.row_labels, self.values):
+            lines.append(
+                f"{label:>10}" + "".join(fmt.format(v) for v in row)
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV form (header row = pattern counts)."""
+        lines = ["size," + ",".join(self.col_labels)]
+        for label, row in zip(self.row_labels, self.values):
+            lines.append(label + "," + ",".join(f"{v:.6g}" for v in row))
+        return "\n".join(lines)
+
+
+def build_table(
+    figure_id: str,
+    title: str,
+    unit: str,
+    cells,
+    extractor: Callable,
+    sizes: Sequence[str],
+    pattern_counts: Sequence[int],
+) -> FigureTable:
+    """Assemble a FigureTable from a list of CellResults.
+
+    ``extractor(cell) -> float`` pulls the figure's metric out of each
+    cell; cells must cover the full sizes × counts product.
+    """
+    index = {(c.size_label, c.n_patterns): c for c in cells}
+    values: List[List[float]] = []
+    for s in sizes:
+        row = []
+        for p in pattern_counts:
+            try:
+                cell = index[(s, p)]
+            except KeyError:
+                raise ExperimentError(
+                    f"missing cell ({s}, {p}) for {figure_id}"
+                ) from None
+            row.append(float(extractor(cell)))
+        values.append(row)
+    return FigureTable(
+        figure_id=figure_id,
+        title=title,
+        unit=unit,
+        row_labels=list(sizes),
+        col_labels=[str(p) for p in pattern_counts],
+        values=values,
+    )

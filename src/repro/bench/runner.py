@@ -1,0 +1,336 @@
+"""Experiment runner: grid cells → priced kernel results.
+
+One :class:`ExperimentRunner` owns a dataset factory (the simulated
+corpus), a device configuration, the calibration constants, and a cache
+of built DFAs; :meth:`run_cell` executes the requested kernels over one
+(size, patterns) cell and scales the modeled timings from simulation
+byte counts to paper byte counts (see
+:mod:`repro.workload.datasets` for why that is sound).
+
+Scaling happens on the *components* of the timing breakdown: compute,
+memory-latency and bandwidth cycles are all linear in bytes scanned, so
+each is multiplied by ``paper_bytes / sim_bytes`` and the max-rule is
+re-applied; the fixed launch overhead is added unscaled.  A cell result
+therefore reports what the model predicts for the paper's actual input
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.cpu_model import CpuConfig, SerialCost, serial_cost_from_trace
+from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.core.dfa import DFA
+from repro.core.lockstep import run_dfa_lockstep
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.counters import TimingBreakdown
+from repro.gpu.device import Device
+from repro.kernels.base import CostParams, KernelResult
+from repro.kernels.global_only import run_global_kernel
+from repro.kernels.pfac import run_pfac_kernel
+from repro.kernels.shared_mem import run_shared_kernel
+from repro.workload.datasets import DatasetFactory, Workload
+
+#: Kernel registry names accepted by run_cell.
+KERNEL_NAMES = (
+    "serial",
+    "serial_mt",
+    "global",
+    "shared",
+    "shared_coalesce",
+    "shared_naive",
+    "shared_transposed",
+    "shared_global_stt",
+    "pfac",
+)
+
+
+@dataclass(frozen=True)
+class ScaledKernel:
+    """One kernel's cell outcome at paper scale."""
+
+    name: str
+    seconds: float
+    gbps: float
+    regime: str
+    tex_hit_rate: float
+    avg_conflict_degree: float
+    warps_per_sm: int
+    matches: int
+
+
+@dataclass
+class CellResult:
+    """All requested measurements for one grid cell."""
+
+    size_label: str
+    paper_bytes: int
+    sim_bytes: int
+    n_patterns: int
+    n_states: int
+    serial: Optional[SerialCost] = None
+    serial_mt: Optional[SerialCost] = None
+    kernels: Dict[str, ScaledKernel] = field(default_factory=dict)
+
+    def seconds(self, name: str) -> float:
+        """Paper-scale run time of *name* ('serial', 'serial_mt' or a
+        kernel)."""
+        if name in ("serial", "serial_mt"):
+            cost = getattr(self, name)
+            if cost is None:
+                raise ExperimentError(f"{name} baseline not run for this cell")
+            return cost.seconds
+        try:
+            return self.kernels[name].seconds
+        except KeyError:
+            raise ExperimentError(
+                f"kernel {name!r} not run for this cell; "
+                f"have {sorted(self.kernels)}"
+            ) from None
+
+    def gbps(self, name: str) -> float:
+        """Paper-scale throughput of *name* in Gbit/s."""
+        if name in ("serial", "serial_mt"):
+            cost = getattr(self, name)
+            if cost is None:
+                raise ExperimentError(f"{name} baseline not run for this cell")
+            return cost.throughput_gbps
+        return self.kernels[name].gbps
+
+    def speedup(self, fast: str, slow: str) -> float:
+        """seconds(slow) / seconds(fast)."""
+        return self.seconds(slow) / self.seconds(fast)
+
+
+def scale_breakdown(
+    tb: TimingBreakdown,
+    factor: float,
+    config: DeviceConfig,
+    input_bytes: int,
+    body_multiplier: float = 1.0,
+) -> Tuple[float, float, str]:
+    """Rescale a sim-scale breakdown to paper bytes.
+
+    Returns ``(seconds, gbps, regime)`` after multiplying each linear
+    component by *factor* and re-applying the max rule.
+    ``body_multiplier`` scales the body only (used by the wave
+    correction; launch overhead is unaffected).
+    """
+    if factor <= 0:
+        raise ExperimentError("scale factor must be positive")
+    if body_multiplier < 1.0:
+        raise ExperimentError("body_multiplier must be >= 1")
+    factor = factor * body_multiplier
+    comp = tb.compute_cycles * factor
+    mem = tb.memory_latency_cycles * factor
+    bw = tb.bandwidth_cycles * factor
+    # Mirror estimate_time's composition rule on the scaled components.
+    memory_term = max(mem, bw)
+    kappa = config.overlap_inefficiency
+    body = max(comp, memory_term) + kappa * min(comp, memory_term)
+    if comp >= memory_term:
+        regime = "compute_bound"
+    elif mem >= bw:
+        regime = "latency_bound"
+    else:
+        regime = "bandwidth_bound"
+    total = body + tb.launch_overhead_cycles
+    seconds = config.cycles_to_seconds(total)
+    gbps = input_bytes * 8 / seconds / 1e9 if seconds > 0 else 0.0
+    return seconds, gbps, regime
+
+
+class ExperimentRunner:
+    """Executes grid cells with caching of dictionaries and cells."""
+
+    def __init__(
+        self,
+        scale: float = 0.01,
+        seed: int = 2013,
+        device_config: Optional[DeviceConfig] = None,
+        cpu: Optional[CpuConfig] = None,
+        params: Optional[CostParams] = None,
+        global_chunk_len: int = 512,
+        shared_threads_per_block: int = 128,
+        shared_chunk_bytes: int = 64,
+        wave_correction: bool = False,
+    ):
+        self.factory = DatasetFactory(seed=seed, scale=scale)
+        self.device_config = device_config or gtx285()
+        self.cpu = cpu or CpuConfig()
+        self.params = params or CostParams()
+        self.global_chunk_len = global_chunk_len
+        self.shared_threads_per_block = shared_threads_per_block
+        self.shared_chunk_bytes = shared_chunk_bytes
+        #: Opt-in: multiply each kernel body by the wave-quantization
+        #: factor of its (paper-scale) grid.  The even-division default
+        #: matches the calibration in EXPERIMENTS.md; the correction
+        #: exposes the small-input underutilization the paper's 50 KB
+        #: cells really suffer (see repro.analysis.waves).
+        self.wave_correction = wave_correction
+        self._dfa_cache: Dict[int, DFA] = {}
+        self._cell_cache: Dict[Tuple[str, int, Tuple[str, ...]], CellResult] = {}
+
+    # -- building blocks ---------------------------------------------------
+    def dfa_for(self, n_patterns: int) -> DFA:
+        """Build (once) the DFA for a dictionary size."""
+        if n_patterns not in self._dfa_cache:
+            self._dfa_cache[n_patterns] = DFA.build(
+                self.factory.patterns_for(n_patterns)
+            )
+        return self._dfa_cache[n_patterns]
+
+    def _fresh_device(self, dfa: DFA) -> Device:
+        dev = Device(self.device_config)
+        dev.bind_texture(dfa.stt)
+        return dev
+
+    def _serial(self, dfa: DFA, cell: Workload) -> SerialCost:
+        plan = plan_chunks(
+            cell.data.size, 4096, required_overlap(dfa.patterns.max_length)
+        )
+        windows = build_windows(cell.data, plan)
+        trace = run_dfa_lockstep(dfa, windows, plan)
+        return serial_cost_from_trace(
+            dfa, trace, windows, cell.paper_bytes, self.cpu
+        )
+
+    def _scaled(self, result: KernelResult, cell: Workload) -> ScaledKernel:
+        factor = cell.paper_bytes / cell.sim_bytes
+        body_multiplier = 1.0
+        if self.wave_correction:
+            from repro.analysis.waves import analyze_waves
+            from repro.gpu.geometry import LaunchConfig
+
+            paper_blocks = max(round(result.launch.n_blocks * factor), 1)
+            wa = analyze_waves(
+                LaunchConfig(
+                    paper_blocks,
+                    result.launch.threads_per_block,
+                    result.launch.shared_bytes_per_block,
+                ),
+                self.device_config,
+            )
+            body_multiplier = max(wa.quantization_factor, 1.0)
+        seconds, gbps, regime = scale_breakdown(
+            result.timing,
+            factor,
+            self.device_config,
+            cell.paper_bytes,
+            body_multiplier=body_multiplier,
+        )
+        return ScaledKernel(
+            name=result.name if result.scheme in (None, "diagonal") else (
+                f"{result.name}[{result.scheme}]"
+            ),
+            seconds=seconds,
+            gbps=gbps,
+            regime=regime,
+            tex_hit_rate=result.counters.texture_hit_rate,
+            avg_conflict_degree=result.counters.avg_conflict_degree,
+            warps_per_sm=result.occupancy.warps_per_sm,
+            matches=len(result.matches),
+        )
+
+    # -- cells ---------------------------------------------------------------
+    def run_cell(
+        self,
+        size_label: str,
+        n_patterns: int,
+        kernels: Sequence[str] = ("serial", "global", "shared"),
+    ) -> CellResult:
+        """Run the requested kernels/baselines over one grid cell."""
+        unknown = set(kernels) - set(KERNEL_NAMES)
+        if unknown:
+            raise ExperimentError(
+                f"unknown kernels {sorted(unknown)}; valid: {KERNEL_NAMES}"
+            )
+        key = (size_label, n_patterns, tuple(sorted(kernels)))
+        if key in self._cell_cache:
+            return self._cell_cache[key]
+
+        cell = self.factory.cell(size_label, n_patterns)
+        dfa = self.dfa_for(n_patterns)
+        out = CellResult(
+            size_label=size_label,
+            paper_bytes=cell.paper_bytes,
+            sim_bytes=cell.sim_bytes,
+            n_patterns=n_patterns,
+            n_states=dfa.n_states,
+        )
+
+        if "serial" in kernels or "serial_mt" in kernels:
+            out.serial = self._serial(dfa, cell)
+        if "serial_mt" in kernels:
+            from repro.bench.cpu_model import multicore_cost
+
+            out.serial_mt = multicore_cost(out.serial, self.cpu)
+        if "global" in kernels:
+            r = run_global_kernel(
+                dfa,
+                cell.data,
+                self._fresh_device(dfa),
+                chunk_len=self.global_chunk_len,
+                params=self.params,
+            )
+            out.kernels["global"] = self._scaled(r, cell)
+        shared_variants = {
+            "shared": "diagonal",
+            "shared_coalesce": "coalesce_only",
+            "shared_naive": "naive",
+            "shared_transposed": "transposed",
+        }
+        for kname, scheme in shared_variants.items():
+            if kname in kernels:
+                r = run_shared_kernel(
+                    dfa,
+                    cell.data,
+                    self._fresh_device(dfa),
+                    scheme=scheme,
+                    threads_per_block=self.shared_threads_per_block,
+                    chunk_bytes=self.shared_chunk_bytes,
+                    params=self.params,
+                )
+                sk = self._scaled(r, cell)
+                out.kernels[kname] = ScaledKernel(**{**sk.__dict__, "name": kname})
+        if "shared_global_stt" in kernels:
+            r = run_shared_kernel(
+                dfa,
+                cell.data,
+                self._fresh_device(dfa),
+                scheme="diagonal",
+                threads_per_block=self.shared_threads_per_block,
+                chunk_bytes=self.shared_chunk_bytes,
+                params=self.params,
+                stt_in_texture=False,
+            )
+            sk = self._scaled(r, cell)
+            out.kernels["shared_global_stt"] = ScaledKernel(
+                **{**sk.__dict__, "name": "shared_global_stt"}
+            )
+        if "pfac" in kernels:
+            r = run_pfac_kernel(
+                dfa, cell.data, self._fresh_device(dfa), params=self.params
+            )
+            out.kernels["pfac"] = self._scaled(r, cell)
+
+        self._cell_cache[key] = out
+        return out
+
+    def run_grid(
+        self,
+        sizes: Sequence[str],
+        pattern_counts: Sequence[int],
+        kernels: Sequence[str] = ("serial", "global", "shared"),
+    ) -> List[CellResult]:
+        """Run a (sub)grid, sizes-major."""
+        return [
+            self.run_cell(s, p, kernels)
+            for s in sizes
+            for p in pattern_counts
+        ]

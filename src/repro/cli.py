@@ -1,0 +1,282 @@
+"""Command-line interface: regenerate paper figures and inspect the model.
+
+Examples
+--------
+Regenerate Fig. 18 (shared-memory throughput) on the full paper grid::
+
+    repro-ac fig18
+
+Faster, smaller grid with CSV output::
+
+    repro-ac fig22 --sizes 1MB,10MB --patterns 100,1000 --csv
+
+Calibration / shape-check report::
+
+    repro-ac calibrate
+
+Device summary and a one-off match::
+
+    repro-ac device
+    repro-ac match --patterns-file dict.txt --text-file input.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.calibrate import calibration_report
+from repro.bench.experiments import ABLATIONS, FIGURES, run_figure
+from repro.bench.runner import ExperimentRunner
+from repro.gpu.config import gtx285
+from repro.workload.datasets import PAPER_PATTERN_COUNTS, PAPER_SIZES
+
+
+def _parse_sizes(value: Optional[str]) -> List[str]:
+    if not value:
+        return list(PAPER_SIZES)
+    return [s.strip() for s in value.split(",") if s.strip()]
+
+
+def _parse_counts(value: Optional[str]) -> List[int]:
+    if not value:
+        return list(PAPER_PATTERN_COUNTS)
+    return [int(s) for s in value.split(",") if s.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-ac argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-ac",
+        description=(
+            "Reproduction of 'High Throughput Parallel Implementation of "
+            "Aho-Corasick Algorithm on a GPU' (IPPS 2013)"
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    fig_ids = sorted(FIGURES) + sorted(ABLATIONS)
+    for fid in fig_ids:
+        spec = (FIGURES | ABLATIONS)[fid]
+        fp = sub.add_parser(fid, help=spec.title)
+        fp.add_argument("--sizes", help="comma list, e.g. 1MB,10MB")
+        fp.add_argument("--patterns", help="comma list, e.g. 100,1000")
+        fp.add_argument(
+            "--scale", type=float, default=0.01,
+            help="functional-simulation scale (default 0.01)",
+        )
+        fp.add_argument("--seed", type=int, default=2013)
+        fp.add_argument("--csv", action="store_true", help="CSV output")
+        fp.add_argument(
+            "--chart", action="store_true", help="ASCII bar charts"
+        )
+
+    cal = sub.add_parser("calibrate", help="paper-vs-model band report")
+    cal.add_argument("--scale", type=float, default=0.01)
+    cal.add_argument("--seed", type=int, default=2013)
+
+    sub.add_parser("device", help="print the simulated device parameters")
+
+    val = sub.add_parser(
+        "validate",
+        help="cross-validate the analytic timing model against the "
+        "discrete-event SIMT scheduler",
+    )
+    val.add_argument("--iters", type=int, default=400)
+
+    occ = sub.add_parser(
+        "occupancy", help="sweep shared-kernel launch geometries"
+    )
+    occ.add_argument("--patterns", type=int, default=1000)
+    occ.add_argument("--size", default="10MB")
+    occ.add_argument("--scale", type=float, default=0.01)
+
+    comp = sub.add_parser(
+        "compress", help="STT compression report (banded + bitmap)"
+    )
+    comp.add_argument("--patterns", type=int, default=1000)
+
+    dot = sub.add_parser(
+        "dot", help="emit a Graphviz rendering of an automaton"
+    )
+    dot.add_argument("--patterns-file", required=True)
+    dot.add_argument("--no-failure-edges", action="store_true")
+
+    exp = sub.add_parser(
+        "export", help="write every results figure to CSV files"
+    )
+    exp.add_argument("--outdir", required=True)
+    exp.add_argument("--scale", type=float, default=0.01)
+    exp.add_argument("--seed", type=int, default=2013)
+    exp.add_argument("--sizes", help="comma list, e.g. 1MB,10MB")
+    exp.add_argument("--patterns", help="comma list, e.g. 100,1000")
+
+    m = sub.add_parser("match", help="run the shared kernel on your own data")
+    m.add_argument("--patterns-file", required=True,
+                   help="one pattern per line")
+    m.add_argument("--text-file", required=True, help="input bytes")
+    m.add_argument("--kernel", default="shared",
+                   choices=["shared", "global", "pfac"])
+    return p
+
+
+def _cmd_figure(fid: str, args) -> int:
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    table = run_figure(
+        fid, runner, _parse_sizes(args.sizes), _parse_counts(args.patterns)
+    )
+    if args.csv:
+        print(table.to_csv())
+    elif getattr(args, "chart", False):
+        from repro.analysis import figure_chart, trend_summary
+
+        print(figure_chart(table))
+        print()
+        print(trend_summary(table))
+    else:
+        print(table.render())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.gpu.validate import run_validation, validation_report
+
+    print(validation_report(run_validation(iters=args.iters)))
+    return 0
+
+
+def _cmd_occupancy(args) -> int:
+    from repro.analysis import best_geometry, explore
+    from repro.workload.datasets import DatasetFactory
+    from repro.core import DFA
+
+    factory = DatasetFactory(scale=args.scale)
+    cell = factory.cell(args.size, args.patterns)
+    dfa = DFA.build(cell.patterns)
+    reports = explore(dfa, cell.data)
+    for r in reports:
+        print(r.describe())
+    best = best_geometry(reports)
+    print(
+        f"\nbest: {best.threads_per_block} threads x {best.chunk_bytes} B "
+        f"chunks ({best.gbps:.1f} Gbps)"
+    )
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.compress import BandedSTT, BitmapDeltaSTT
+    from repro.core import AhoCorasickAutomaton, DFA
+    from repro.workload.datasets import DatasetFactory
+
+    factory = DatasetFactory(scale=0.01)
+    patterns = factory.patterns_for(args.patterns)
+    ac = AhoCorasickAutomaton.build(patterns)
+    dfa = DFA.from_automaton(ac)
+    banded = BandedSTT.from_stt(dfa.stt)
+    bitmap = BitmapDeltaSTT.from_automaton(ac)
+    bs, ms = banded.stats(), bitmap.stats()
+    print(f"{args.patterns} patterns, {dfa.n_states} states")
+    print(f"dense STT : {bs.dense_bytes / 2**20:8.2f} MiB")
+    print(f"banded    : {bs.compressed_bytes / 2**20:8.2f} MiB "
+          f"({bs.ratio:5.1f}x)")
+    print(f"bitmap    : {ms.compressed_bytes / 2**20:8.2f} MiB "
+          f"({ms.ratio:5.1f}x)")
+    print(f"banded exact: {banded.verify_against(dfa.stt)}")
+    print(f"bitmap exact: {bitmap.verify_against(dfa, sample=1000)}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    import os
+
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    sizes = _parse_sizes(args.sizes)
+    counts = _parse_counts(args.patterns)
+    os.makedirs(args.outdir, exist_ok=True)
+    for fid in sorted(FIGURES):
+        table = run_figure(fid, runner, sizes, counts)
+        path = os.path.join(args.outdir, f"{fid}.csv")
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(table.to_csv() + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.core import AhoCorasickAutomaton, PatternSet
+    from repro.core.visualize import to_dot
+
+    with open(args.patterns_file, "r", encoding="latin-1") as fh:
+        patterns = [line.rstrip("\n") for line in fh if line.strip()]
+    ac = AhoCorasickAutomaton.build(PatternSet.from_strings(patterns))
+    print(to_dot(ac, include_failure_edges=not args.no_failure_edges))
+    return 0
+
+
+def _cmd_match(args) -> int:
+    from repro.core import DFA, PatternSet
+    from repro.kernels import (
+        run_global_kernel,
+        run_pfac_kernel,
+        run_shared_kernel,
+    )
+
+    with open(args.patterns_file, "r", encoding="latin-1") as fh:
+        patterns = [line.rstrip("\n") for line in fh if line.strip()]
+    with open(args.text_file, "rb") as fh:
+        text = fh.read()
+    dfa = DFA.build(PatternSet.from_strings(patterns))
+    kernel = {
+        "shared": run_shared_kernel,
+        "global": run_global_kernel,
+        "pfac": run_pfac_kernel,
+    }[args.kernel]
+    result = kernel(dfa, text)
+    from repro.analysis import event_report
+
+    print(f"kernel        : {result.name}")
+    print(f"matches       : {len(result.matches)}")
+    print(f"modeled time  : {result.seconds * 1e3:.3f} ms")
+    print(f"throughput    : {result.throughput_gbps:.2f} Gbps")
+    print(f"regime        : {result.timing.regime}")
+    for m in list(result.matches)[:10]:
+        print(f"  end={m.end} pattern={m.pattern_id}")
+    if len(result.matches) > 10:
+        print(f"  ... {len(result.matches) - 10} more")
+    print()
+    print(event_report(result))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command in FIGURES or args.command in ABLATIONS:
+        return _cmd_figure(args.command, args)
+    if args.command == "calibrate":
+        runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+        print(calibration_report(runner))
+        return 0
+    if args.command == "device":
+        for k, v in gtx285().describe().items():
+            print(f"{k:>18}: {v}")
+        return 0
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "occupancy":
+        return _cmd_occupancy(args)
+    if args.command == "compress":
+        return _cmd_compress(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "dot":
+        return _cmd_dot(args)
+    if args.command == "match":
+        return _cmd_match(args)
+    return 2  # pragma: no cover - argparse guards
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""STT compression extensions (paper refs [18], [19]).
+
+Three schemes trading per-fetch arithmetic for texture-working-set size:
+
+* :class:`~repro.compress.banded.BandedSTT` — branch-free band + default
+  per row (mild compression, zero data-dependence);
+* :class:`~repro.compress.bitmap.BitmapDeltaSTT` — failure-delta bitmaps
+  with popcount indexing (heavy compression, chain-walk lookups);
+* :class:`~repro.compress.alphabet.ClassCompressedDFA` — byte
+  equivalence classes shrink the table's *columns* (one extra on-chip
+  indirection per fetch, huge wins on small alphabets).
+"""
+
+from repro.compress.alphabet import (
+    AlphabetClasses,
+    ClassCompressedDFA,
+    compute_classes,
+)
+from repro.compress.banded import BandedSTT, CompressionStats
+from repro.compress.bitmap import BitmapDeltaSTT
+
+__all__ = [
+    "AlphabetClasses",
+    "ClassCompressedDFA",
+    "compute_classes",
+    "BandedSTT",
+    "BitmapDeltaSTT",
+    "CompressionStats",
+]

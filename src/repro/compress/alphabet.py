@@ -1,0 +1,150 @@
+"""Alphabet-class compression — shrink the STT's *columns*.
+
+Classic automaton-compression trick (used by RE engines like RE2 and
+lex): two input bytes are *equivalent* if every state maps them to the
+same next state; equivalence classes partition the 256-byte alphabet,
+and the STT only needs one column per class plus a 256-entry class map:
+
+    next = STT_c[state][class_of[byte]]
+
+For a prose dictionary only the letters (plus a few separators) are
+distinguished — the class count drops from 256 to a few dozen — and the
+texture working set shrinks proportionally, attacking exactly the
+degradation mechanism of the paper's Figs. 16-18 from the other side
+(fewer columns instead of cached rows).  The lookup adds one on-chip
+table indirection per byte.
+
+:class:`ClassCompressedDFA` is bit-exact with the dense DFA
+(property-tested) and reports its footprint for the compression
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE
+from repro.core.dfa import DFA
+from repro.compress.banded import CompressionStats
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class AlphabetClasses:
+    """A byte-equivalence partition.
+
+    ``class_of[b]`` is the class index of byte ``b``; ``n_classes`` is
+    the partition size.  Bytes in one class are *provably*
+    indistinguishable to the automaton.
+    """
+
+    class_of: np.ndarray
+    n_classes: int
+
+    def members(self, cls: int) -> np.ndarray:
+        """Bytes belonging to class *cls*."""
+        if not 0 <= cls < self.n_classes:
+            raise ReproError(f"class {cls} out of range")
+        return np.flatnonzero(self.class_of == cls)
+
+
+def compute_classes(dfa: DFA) -> AlphabetClasses:
+    """Partition the byte alphabet by column equivalence.
+
+    Two bytes are equivalent iff their STT columns are identical —
+    computed in one vectorized pass over the ``(n_states, 256)``
+    transition block.
+    """
+    table = dfa.stt.next_states  # (n_states, 256)
+    # Unique columns: transpose -> unique rows.
+    cols = np.ascontiguousarray(table.T)
+    _, first_idx, inverse = np.unique(
+        cols.view([("", cols.dtype)] * cols.shape[1]),
+        return_index=True,
+        return_inverse=True,
+    )
+    # Renumber classes by first occurrence for determinism.
+    order = np.argsort(first_idx)
+    renumber = np.empty_like(order)
+    renumber[order] = np.arange(order.size)
+    class_of = renumber[inverse.ravel()].astype(np.int32)
+    return AlphabetClasses(class_of=class_of, n_classes=int(order.size))
+
+
+class ClassCompressedDFA:
+    """The DFA with alphabet-class column compression.
+
+    Build from a dense :class:`~repro.core.dfa.DFA`; behaves like its
+    ``next_states`` lookup, bit-exactly.
+    """
+
+    __slots__ = ("classes", "table", "match_flags", "_dense_bytes")
+
+    def __init__(self, classes, table, match_flags, dense_bytes):
+        self.classes = classes
+        self.table = table
+        self.match_flags = match_flags
+        self._dense_bytes = dense_bytes
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "ClassCompressedDFA":
+        """Compute classes and gather the compressed table."""
+        classes = compute_classes(dfa)
+        # One representative byte per class, in class order.
+        reps = np.empty(classes.n_classes, dtype=np.int64)
+        for c in range(classes.n_classes):
+            reps[c] = int(np.flatnonzero(classes.class_of == c)[0])
+        table = np.ascontiguousarray(
+            dfa.stt.next_states[:, reps], dtype=STATE_DTYPE
+        )
+        return cls(
+            classes=classes,
+            table=table,
+            match_flags=np.array(dfa.stt.match_flags, dtype=np.int8),
+            dense_bytes=dfa.stt.stats().bytes_total,
+        )
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.table.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of byte-equivalence classes (compressed columns)."""
+        return self.classes.n_classes
+
+    def next_states(self, states: np.ndarray, syms: np.ndarray) -> np.ndarray:
+        """Vectorized δ via the class map (bit-exact with the dense DFA)."""
+        states = np.asarray(states, dtype=np.int64)
+        syms = np.asarray(syms, dtype=np.int64)
+        if syms.size and (syms.min() < 0 or syms.max() >= ALPHABET_SIZE):
+            raise ReproError("symbol out of range")
+        return self.table[states, self.classes.class_of[syms]]
+
+    def delta(self, state: int, sym: int) -> int:
+        """Scalar δ lookup."""
+        return int(self.next_states(np.array([state]), np.array([sym]))[0])
+
+    def stats(self) -> CompressionStats:
+        """Footprint accounting (table + class map + flags)."""
+        compressed = (
+            self.table.nbytes
+            + self.classes.class_of.nbytes
+            + self.match_flags.nbytes
+        )
+        return CompressionStats(
+            dense_bytes=self._dense_bytes,
+            compressed_bytes=compressed,
+            n_states=self.n_states,
+        )
+
+    def verify_against(self, dfa: DFA) -> bool:
+        """Exhaustive equality with the dense table."""
+        n = self.n_states
+        states = np.repeat(np.arange(n, dtype=np.int64), ALPHABET_SIZE)
+        syms = np.tile(np.arange(ALPHABET_SIZE, dtype=np.int64), n)
+        got = self.next_states(states, syms).reshape(n, ALPHABET_SIZE)
+        return bool(np.array_equal(got, dfa.stt.next_states))

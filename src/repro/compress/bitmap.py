@@ -1,0 +1,157 @@
+"""Bitmap/delta STT compression (extension; paper refs [18], [19]).
+
+The second compression family Zha et al. use: store each state's row as
+a *delta against its failure state's row*.  A DFA row is, by
+construction, its failure row overwritten with the state's own trie
+edges — typically a handful of columns — so the delta is tiny:
+
+* ``bitmap[s]``  — 256-bit mask of columns where state ``s`` differs
+  from ``fail(s)`` (for the root: differs from "go to root");
+* ``packed[s]``  — the differing targets, in column order, indexed by
+  popcount of the bitmap prefix.
+
+Lookup walks the failure chain until a set bit is found (the root
+terminates every walk).  The chain length is bounded by the state's
+depth, and on real text the expected walk is short — but unlike
+:class:`~repro.compress.banded.BandedSTT` it is *data-dependent*,
+which is exactly the trade the compression ablation prices: maximum
+compression vs branch-free fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE
+from repro.core.automaton import AhoCorasickAutomaton
+from repro.core.dfa import DFA
+from repro.core.trie import ROOT
+from repro.errors import ReproError
+from repro.compress.banded import CompressionStats
+
+
+class BitmapDeltaSTT:
+    """Failure-delta compressed STT.
+
+    Build with :meth:`from_automaton` (the failure function is needed;
+    the dense DFA alone does not retain it).
+    """
+
+    __slots__ = ("bitmaps", "offsets", "packed", "fail", "root_row", "_dense_bytes")
+
+    def __init__(self, bitmaps, offsets, packed, fail, root_row, dense_bytes):
+        self.bitmaps = bitmaps          # (n_states, 256) bool-packed as uint8 bits? keep bool for clarity
+        self.offsets = offsets
+        self.packed = packed
+        self.fail = fail
+        self.root_row = root_row
+        self._dense_bytes = dense_bytes
+
+    @classmethod
+    def from_automaton(cls, ac: AhoCorasickAutomaton) -> "BitmapDeltaSTT":
+        """Compress by storing each state's delta vs its failure state."""
+        dfa = DFA.from_automaton(ac)
+        table = dfa.stt.next_states
+        n = dfa.n_states
+        fail = np.array(ac.fail, dtype=np.int64)
+
+        bitmaps = np.zeros((n, ALPHABET_SIZE // 8), dtype=np.uint8)
+        packed_chunks: List[np.ndarray] = []
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        root_row = np.array(table[ROOT], dtype=STATE_DTYPE)
+        for s in range(1, n):
+            diff_cols = np.flatnonzero(table[s] != table[fail[s]])
+            if diff_cols.size:
+                # ufunc.at: several diff columns can share one bitmap
+                # byte; plain fancy-index |= would drop all but one.
+                np.bitwise_or.at(
+                    bitmaps[s],
+                    diff_cols // 8,
+                    (1 << (diff_cols % 8)).astype(np.uint8),
+                )
+                packed_chunks.append(table[s, diff_cols])
+            offsets[s + 1] = offsets[s] + diff_cols.size
+        packed = (
+            np.concatenate(packed_chunks).astype(STATE_DTYPE)
+            if packed_chunks
+            else np.empty(0, dtype=STATE_DTYPE)
+        )
+        return cls(
+            bitmaps=bitmaps,
+            offsets=offsets,
+            packed=packed,
+            fail=fail,
+            root_row=root_row,
+            dense_bytes=dfa.stt.stats().bytes_total,
+        )
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.fail.size
+
+    def _has_bit(self, state: int, sym: int) -> bool:
+        return bool(self.bitmaps[state, sym // 8] & (1 << (sym % 8)))
+
+    def _popcount_prefix(self, state: int, sym: int) -> int:
+        """Number of set bits strictly below *sym* in the state's bitmap."""
+        full_bytes = self.bitmaps[state, : sym // 8]
+        count = int(np.unpackbits(full_bytes).sum()) if full_bytes.size else 0
+        rem = sym % 8
+        if rem:
+            last = int(self.bitmaps[state, sym // 8]) & ((1 << rem) - 1)
+            count += bin(last).count("1")
+        return count
+
+    def delta(self, state: int, sym: int) -> int:
+        """δ(state, sym) by failure-chain walk (scalar; exact)."""
+        if not 0 <= state < self.n_states:
+            raise ReproError("state index out of range")
+        if not 0 <= sym < ALPHABET_SIZE:
+            raise ReproError("symbol out of range")
+        s = state
+        while s != ROOT:
+            if self._has_bit(s, sym):
+                idx = self.offsets[s] + self._popcount_prefix(s, sym)
+                return int(self.packed[idx])
+            s = int(self.fail[s])
+        return int(self.root_row[sym])
+
+    def chain_length(self, state: int, sym: int) -> int:
+        """Failure-chain steps the lookup performed (cost metric)."""
+        s, steps = state, 0
+        while s != ROOT:
+            if self._has_bit(s, sym):
+                return steps
+            s = int(self.fail[s])
+            steps += 1
+        return steps
+
+    def stats(self) -> CompressionStats:
+        """Compression accounting."""
+        compressed = (
+            self.bitmaps.nbytes
+            + self.offsets.nbytes
+            + self.packed.nbytes
+            + self.fail.nbytes
+            + self.root_row.nbytes
+        )
+        return CompressionStats(
+            dense_bytes=self._dense_bytes,
+            compressed_bytes=compressed,
+            n_states=self.n_states,
+        )
+
+    def verify_against(self, dfa: DFA, sample: int = 2000, seed: int = 0) -> bool:
+        """Randomized equality check against the dense table."""
+        rng = np.random.default_rng(seed)
+        states = rng.integers(0, self.n_states, size=sample)
+        syms = rng.integers(0, ALPHABET_SIZE, size=sample)
+        dense = dfa.stt.next_states
+        return all(
+            self.delta(int(s), int(a)) == int(dense[s, a])
+            for s, a in zip(states, syms)
+        )

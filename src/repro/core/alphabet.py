@@ -1,0 +1,91 @@
+"""Byte alphabet used by the Aho-Corasick automaton.
+
+The paper (Section IV-B-1) maps input symbols to the 256 characters of
+the ASCII table, giving the State Transition Table (STT) 257 columns:
+256 next-state columns plus one column that flags whether the row's
+state is a *matched* state (the paper's ``M`` column, Fig. 5).
+
+This module centralizes those constants and the couple of helpers used
+to convert Python-level pattern/text objects into ``uint8`` NumPy
+arrays.  Keeping every conversion in one place means the rest of the
+library can assume "text is a C-contiguous uint8 array" and never pay
+for re-validation (a guideline from the HPC coding guides: validate at
+the boundary, compute on raw arrays inside).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import PatternError
+
+#: Number of distinct input symbols (extended ASCII bytes).
+ALPHABET_SIZE: int = 256
+
+#: Column index of the match flag in the 257-column STT (paper Fig. 5).
+MATCH_COLUMN: int = ALPHABET_SIZE
+
+#: Total number of STT columns: 256 transitions + 1 match flag.
+STT_COLUMNS: int = ALPHABET_SIZE + 1
+
+#: dtype used for all text buffers.
+TEXT_DTYPE = np.uint8
+
+#: dtype used for STT entries / state ids.  int32 matches what a CUDA
+#: implementation would use (texture fetches of 32-bit words).
+STATE_DTYPE = np.int32
+
+BytesLike = Union[bytes, bytearray, memoryview, str, np.ndarray]
+
+
+def encode(data: BytesLike, *, name: str = "data") -> np.ndarray:
+    """Convert *data* to a C-contiguous ``uint8`` NumPy array.
+
+    Accepts ``bytes``/``bytearray``/``memoryview``, ``str`` (encoded as
+    Latin-1 so every code point maps to exactly one byte, mirroring the
+    paper's byte-per-character ASCII assumption), or an existing uint8
+    array (returned as-is when already contiguous: *views, not copies*).
+
+    Parameters
+    ----------
+    data:
+        The text or pattern to encode.
+    name:
+        Label used in error messages.
+
+    Raises
+    ------
+    PatternError
+        If *data* is of an unsupported type or a ``str`` containing
+        code points above U+00FF.
+    """
+    if isinstance(data, np.ndarray):
+        if data.dtype != TEXT_DTYPE:
+            raise PatternError(
+                f"{name} array must have dtype uint8, got {data.dtype}"
+            )
+        if data.ndim != 1:
+            raise PatternError(f"{name} array must be 1-D, got {data.ndim}-D")
+        return np.ascontiguousarray(data)
+    if isinstance(data, str):
+        try:
+            raw = data.encode("latin-1")
+        except UnicodeEncodeError as exc:
+            raise PatternError(
+                f"{name} contains non Latin-1 characters; the AC alphabet "
+                "is the 256 single-byte symbols (paper Section IV-B-1)"
+            ) from exc
+        return np.frombuffer(raw, dtype=TEXT_DTYPE)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return np.frombuffer(bytes(data), dtype=TEXT_DTYPE)
+    raise PatternError(
+        f"{name} must be bytes-like, str, or a uint8 ndarray; "
+        f"got {type(data).__name__}"
+    )
+
+
+def decode(array: np.ndarray) -> bytes:
+    """Inverse of :func:`encode` for uint8 arrays (returns ``bytes``)."""
+    return np.asarray(array, dtype=TEXT_DTYPE).tobytes()

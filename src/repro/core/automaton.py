@@ -1,0 +1,192 @@
+"""The classic Aho-Corasick automaton: goto / failure / output functions.
+
+This is a faithful implementation of the three functions of paper
+Fig. 1 (and Aho & Corasick 1975):
+
+* ``goto(s, a)`` — trie edge, with the root self-loop convention
+  ``g(0, a) = 0`` for symbols without a root edge, so ``g(0, a)`` never
+  fails;
+* ``fail(s)`` — the longest proper suffix of the string of ``s`` that
+  is also a trie prefix;
+* ``output(s)`` — ids of every pattern ending at ``s``, including
+  patterns inherited through the failure chain (e.g. "he" is emitted
+  at the state for "she").
+
+The NFA-style matcher (:meth:`AhoCorasickAutomaton.match`) follows
+failure links at run time exactly as the paper's Section II walkthrough
+("ushers") describes.  It is the *correctness oracle* for everything
+else in the repository: the DFA, the serial vectorized matcher, and
+every GPU kernel must reproduce its match set byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import BytesLike, encode
+from repro.core.pattern_set import PatternSet
+from repro.core.trie import ROOT, Trie
+from repro.errors import AutomatonError
+
+
+class AhoCorasickAutomaton:
+    """Aho-Corasick pattern-matching machine (goto/failure/output form).
+
+    Build with :meth:`build`; use :meth:`match` to enumerate all
+    occurrences of all patterns in a text.
+
+    Attributes
+    ----------
+    trie:
+        The underlying keyword trie (defined goto edges).
+    fail:
+        ``fail[s]`` — failure state of ``s`` (``0`` for depth<=1).
+    outputs:
+        ``outputs[s]`` — tuple of pattern ids emitted on entering ``s``.
+    patterns:
+        The :class:`~repro.core.pattern_set.PatternSet` this machine
+        recognizes.
+    """
+
+    __slots__ = ("trie", "fail", "outputs", "patterns")
+
+    def __init__(
+        self,
+        trie: Trie,
+        fail: List[int],
+        outputs: List[Tuple[int, ...]],
+        patterns: PatternSet,
+    ) -> None:
+        self.trie = trie
+        self.fail = fail
+        self.outputs = outputs
+        self.patterns = patterns
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, patterns: PatternSet) -> "AhoCorasickAutomaton":
+        """Phase 1 of the AC algorithm: construct the machine.
+
+        Runs the standard two-step construction: insert all patterns
+        into a trie, then compute failure links and merged output sets
+        by breadth-first traversal (each state's failure target is
+        strictly shallower, so BFS order finalizes dependencies first).
+        """
+        trie = Trie.from_patterns(patterns)
+        n = trie.n_states
+        fail = [ROOT] * n
+        outputs: List[List[int]] = [list(t) for t in trie.terminal]
+
+        # Depth-1 states fail to the root; deeper states extend their
+        # parent's failure state by their incoming symbol.
+        queue = deque()
+        for byte, child in sorted(trie.children[ROOT].items()):
+            fail[child] = ROOT
+            queue.append(child)
+        while queue:
+            state = queue.popleft()
+            for byte, child in sorted(trie.children[state].items()):
+                queue.append(child)
+                # Walk the failure chain of `state` until a state with a
+                # `byte` edge is found (the root always "has" one via
+                # its self-loop convention).
+                f = fail[state]
+                while f != ROOT and byte not in trie.children[f]:
+                    f = fail[f]
+                fail[child] = trie.children[f].get(byte, ROOT)
+                if fail[child] == child:  # depth-1 child of root
+                    fail[child] = ROOT
+                # Merge outputs inherited through the failure link.
+                outputs[child].extend(outputs[fail[child]])
+
+        return cls(trie, fail, [tuple(o) for o in outputs], patterns)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of automaton states."""
+        return self.trie.n_states
+
+    def goto(self, state: int, byte: int) -> int:
+        """Goto function with the root self-loop: never fails at the root.
+
+        Returns ``-1`` for *fail* at non-root states.
+        """
+        nxt = self.trie.goto(state, byte)
+        if nxt >= 0:
+            return nxt
+        return ROOT if state == ROOT else -1
+
+    def step(self, state: int, byte: int) -> int:
+        """One full AC move: goto, consulting failure links on *fail*.
+
+        This is exactly the machine of paper Section II — the basis for
+        the DFA next-move function δ, and what
+        :meth:`~repro.core.dfa.DFA.from_automaton` precomputes into the
+        STT.
+        """
+        if not 0 <= byte < 256:
+            raise AutomatonError(f"input symbol {byte!r} outside byte range")
+        nxt = self.goto(state, byte)
+        while nxt < 0:
+            state = self.fail[state]
+            nxt = self.goto(state, byte)
+        return nxt
+
+    def match(self, text: BytesLike) -> List[Tuple[int, int]]:
+        """Enumerate all matches in *text* (the correctness oracle).
+
+        Returns
+        -------
+        list of ``(end_position, pattern_id)`` tuples, ordered by end
+        position then pattern id.  ``end_position`` is the index of the
+        *last* byte of the occurrence, matching the paper's "emits
+        output at the end position" description.
+        """
+        data = encode(text, name="text")
+        out: List[Tuple[int, int]] = []
+        state = ROOT
+        outputs = self.outputs
+        for pos, byte in enumerate(data.tolist()):
+            state = self.step(state, byte)
+            for pid in outputs[state]:
+                out.append((pos, pid))
+        out.sort()
+        return out
+
+    def count_matches(self, text: BytesLike) -> int:
+        """Total number of occurrences of any pattern in *text*."""
+        return len(self.match(text))
+
+    def match_starts(self, text: BytesLike) -> List[Tuple[int, int]]:
+        """Matches keyed by *start* position (used by chunked kernels).
+
+        Returns ``(start_position, pattern_id)`` tuples; start =
+        end − len(pattern) + 1.
+        """
+        lengths = self.patterns.lengths()
+        return sorted(
+            (end - int(lengths[pid]) + 1, pid) for end, pid in self.match(text)
+        )
+
+
+def naive_find_all(patterns: PatternSet, text: BytesLike) -> List[Tuple[int, int]]:
+    """Brute-force all-occurrence scan used to cross-check the oracle.
+
+    Quadratic; only suitable for tests.  Returns ``(end, pattern_id)``
+    sorted like :meth:`AhoCorasickAutomaton.match`.
+    """
+    data = bytes(encode(text, name="text"))
+    out: List[Tuple[int, int]] = []
+    for pid, pat in enumerate(patterns.as_bytes_list()):
+        start = data.find(pat)
+        while start != -1:
+            out.append((start + len(pat) - 1, pid))
+            start = data.find(pat, start + 1)
+    out.sort()
+    return out

@@ -1,0 +1,212 @@
+"""Double-array Aho-Corasick (compact trie + failure links).
+
+The dense STT spends 257 columns on every state; production CPU
+implementations (Darts, many IDS engines) instead store the *goto*
+function in a double array — two int arrays ``base``/``check`` where
+the transition ``s --c--> t`` holds iff ``check[base[s] + c] == s``,
+with failure links consulted on misses exactly like the classic AC
+machine.  Memory drops from O(states × 257) to roughly
+O(states + alphabet), at the cost of a data-dependent failure walk per
+miss.
+
+This implementation is the repository's third matcher family (after
+the dense-DFA and PFAC forms): built from the same
+:class:`~repro.core.automaton.AhoCorasickAutomaton`, verified
+byte-exact against the oracle, and used by the CPU-side comparison in
+the compression ablation.
+
+Construction uses first-fit base placement with a moving search floor —
+O(states × alphabet) worst case, linear in practice for natural-text
+tries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, BytesLike, encode
+from repro.core.automaton import AhoCorasickAutomaton
+from repro.core.match import MatchResult
+from repro.core.pattern_set import PatternSet
+from repro.core.trie import ROOT
+from repro.errors import AutomatonError
+
+#: check[] value marking a free slot.
+FREE = -1
+
+
+class DoubleArrayAC:
+    """Double-array AC machine (goto/fail/output form).
+
+    Attributes
+    ----------
+    base, check:
+        The double array: child of ``s`` under byte ``c`` is
+        ``base[s] + c`` when ``check[base[s] + c] == s``.
+    fail:
+        Failure links (state-indexed, like the automaton's).
+    out_offsets, out_ids:
+        CSR output map (failure-inherited, same as the DFA's).
+    """
+
+    __slots__ = (
+        "base",
+        "check",
+        "targets",
+        "fail",
+        "out_offsets",
+        "out_ids",
+        "patterns",
+        "n_states",
+    )
+
+    def __init__(
+        self, base, check, targets, fail, out_offsets, out_ids, patterns, n_states
+    ):
+        self.base = base
+        self.check = check
+        self.targets = targets
+        self.fail = fail
+        self.out_offsets = out_offsets
+        self.out_ids = out_ids
+        self.patterns = patterns
+        self.n_states = n_states
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_automaton(cls, ac: AhoCorasickAutomaton) -> "DoubleArrayAC":
+        """Pack the automaton's goto function into a double array."""
+        n = ac.n_states
+        trie = ac.trie
+
+        # Estimate array length generously; grow on demand.
+        cap = max(n * 2 + ALPHABET_SIZE, 4 * ALPHABET_SIZE)
+        base = np.zeros(n, dtype=np.int64)
+        check = np.full(cap, FREE, dtype=np.int64)
+
+        def ensure(size: int):
+            nonlocal check, cap
+            if size > cap:
+                new_cap = max(size, cap * 2)
+                grown = np.full(new_cap, FREE, dtype=np.int64)
+                grown[:cap] = check
+                check = grown
+                cap = new_cap
+
+        search_floor = 0
+        # BFS order keeps parents placed before children are assigned.
+        order = [ROOT] + list(trie.bfs_order())
+        for s in order:
+            symbols = sorted(trie.children[s])
+            if not symbols:
+                base[s] = 0
+                continue
+            b = max(search_floor - symbols[0], 0)
+            while True:
+                hi = b + symbols[-1]
+                ensure(hi + 1)
+                if all(check[b + c] == FREE for c in symbols):
+                    break
+                b += 1
+            base[s] = b
+            for c in symbols:
+                check[b + c] = s
+            # Advance the floor past fully dense prefixes cheaply.
+            while search_floor < cap and check[search_floor] != FREE:
+                search_floor += 1
+
+        # Child identity: slot index IS the child state in classic
+        # darts; here states keep their BFS ids, so a parallel targets
+        # array maps owned slots to child state ids.
+        targets = np.full(cap, FREE, dtype=np.int64)
+        for s in order:
+            for c, child in trie.children[s].items():
+                targets[base[s] + c] = child
+        return cls(
+            base=base,
+            check=check,
+            targets=targets,
+            fail=np.array(ac.fail, dtype=np.int64),
+            out_offsets=_csr_offsets(ac),
+            out_ids=_csr_ids(ac),
+            patterns=ac.patterns,
+            n_states=n,
+        )
+
+    @classmethod
+    def build(cls, patterns: PatternSet) -> "DoubleArrayAC":
+        """One-shot build from a pattern set."""
+        return cls.from_automaton(AhoCorasickAutomaton.build(patterns))
+
+    # -- transitions -------------------------------------------------------
+    def goto(self, state: int, byte: int) -> int:
+        """Raw goto: child id or -1 on miss (root self-loop applied)."""
+        slot = int(self.base[state]) + byte
+        if slot < self.check.size and self.check[slot] == state:
+            return int(self.targets[slot])
+        return ROOT if state == ROOT else -1
+
+    def step(self, state: int, byte: int) -> int:
+        """Full AC move with failure-walk on goto misses."""
+        if not 0 <= byte < ALPHABET_SIZE:
+            raise AutomatonError(f"symbol {byte} out of range")
+        nxt = self.goto(state, byte)
+        while nxt < 0:
+            state = int(self.fail[state])
+            nxt = self.goto(state, byte)
+        return nxt
+
+    # -- matching --------------------------------------------------------
+    def match(self, text: BytesLike) -> MatchResult:
+        """Scan *text*; exact same result as the dense-DFA matchers."""
+        data = encode(text, name="text")
+        state = ROOT
+        ends: List[int] = []
+        pids: List[int] = []
+        offs = self.out_offsets
+        ids = self.out_ids
+        for pos, byte in enumerate(data.tolist()):
+            state = self.step(state, byte)
+            lo, hi = offs[state], offs[state + 1]
+            if hi > lo:
+                for pid in ids[lo:hi].tolist():
+                    ends.append(pos)
+                    pids.append(pid)
+        return MatchResult(
+            np.array(ends, dtype=np.int64), np.array(pids, dtype=np.int64)
+        )
+
+    # -- accounting -----------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Footprint of all arrays."""
+        return (
+            self.base.nbytes
+            + self.check.nbytes
+            + self.targets.nbytes
+            + self.fail.nbytes
+            + self.out_offsets.nbytes
+            + self.out_ids.nbytes
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of double-array slots in use (packing quality)."""
+        used = int((self.check != FREE).sum())
+        return used / self.check.size if self.check.size else 1.0
+
+
+def _csr_offsets(ac: AhoCorasickAutomaton) -> np.ndarray:
+    n = ac.n_states
+    counts = np.fromiter(
+        (len(ac.outputs[s]) for s in range(n)), dtype=np.int64, count=n
+    )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def _csr_ids(ac: AhoCorasickAutomaton) -> np.ndarray:
+    chunks: List[Tuple[int, ...]] = [ac.outputs[s] for s in range(ac.n_states)]
+    flat = [pid for chunk in chunks for pid in chunk]
+    return np.array(flat, dtype=np.int64)

@@ -1,0 +1,188 @@
+"""Whole-DFA serialization and integrity validation.
+
+:mod:`repro.core.stt` serializes the bare transition matrix; real
+deployments (the paper's NIDS scenario rebuilds dictionaries offline
+and ships compiled automata to sensors) need the *whole* phase-1
+artifact: STT + output map + pattern lengths + the patterns themselves.
+This module packages those into a single self-describing binary format,
+and provides :func:`validate_stt` — the structural integrity check run
+on every load, so a corrupted or truncated artifact fails loudly
+instead of silently mis-matching.
+
+Format: ``REPRODFA`` magic, one JSON header line (versions, section
+lengths), then raw little-endian sections in fixed order.  No pickle —
+artifacts from untrusted sources stay safe to load.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import BinaryIO, List, Union
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, MATCH_COLUMN
+from repro.core.dfa import DFA
+from repro.core.pattern_set import PatternSet
+from repro.core.stt import STT
+from repro.errors import SerializationError
+
+_MAGIC = b"REPRODFA"
+_VERSION = 1
+
+
+def validate_stt(stt: STT) -> List[str]:
+    """Structural integrity check of a transition table.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * transition closure — every δ(s, a) must be a valid state id;
+    * binary match flags;
+    * root reachability is NOT required (states unreachable from the
+      root are wasteful but harmless), but negative ids are fatal.
+    """
+    problems: List[str] = []
+    table = stt.table
+    n = stt.n_states
+    trans = table[:, :ALPHABET_SIZE]
+    if trans.min() < 0:
+        problems.append(
+            f"negative transition target (min {int(trans.min())})"
+        )
+    if trans.max() >= n:
+        problems.append(
+            f"transition target {int(trans.max())} out of range "
+            f"(n_states={n})"
+        )
+    flags = table[:, MATCH_COLUMN]
+    bad_flags = np.setdiff1d(np.unique(flags), [0, 1])
+    if bad_flags.size:
+        problems.append(f"non-binary match flags: {bad_flags.tolist()[:5]}")
+    return problems
+
+
+def validate_dfa(dfa: DFA) -> List[str]:
+    """Full-artifact integrity check: STT + output map + patterns."""
+    problems = validate_stt(dfa.stt)
+    n = dfa.n_states
+    offs = dfa.out_offsets
+    if offs.shape != (n + 1,):
+        problems.append(f"out_offsets shape {offs.shape} != ({n + 1},)")
+    else:
+        if offs[0] != 0 or np.any(np.diff(offs) < 0):
+            problems.append("out_offsets not monotone from 0")
+        if offs[-1] != dfa.out_ids.size:
+            problems.append(
+                f"out_offsets end {int(offs[-1])} != out_ids size "
+                f"{dfa.out_ids.size}"
+            )
+    n_pat = len(dfa.patterns)
+    if dfa.out_ids.size and (
+        dfa.out_ids.min() < 0 or dfa.out_ids.max() >= n_pat
+    ):
+        problems.append("output pattern id out of range")
+    # Match flags must agree with the output map.
+    flags = dfa.stt.match_flags.astype(bool)
+    has_out = (np.diff(dfa.out_offsets) > 0)
+    if not np.array_equal(flags, has_out):
+        bad = int(np.flatnonzero(flags != has_out)[0])
+        problems.append(
+            f"match flag / output map disagreement at state {bad}"
+        )
+    return problems
+
+
+def save_dfa(dfa: DFA, fp: Union[str, BinaryIO]) -> None:
+    """Serialize the full phase-1 artifact."""
+    pattern_blob = b"\n".join(
+        p.hex().encode("ascii") for p in dfa.patterns.as_bytes_list()
+    )
+    sections = [
+        dfa.stt.table.astype("<i4").tobytes(),
+        dfa.out_offsets.astype("<i8").tobytes(),
+        dfa.out_ids.astype("<i8").tobytes(),
+        pattern_blob,
+    ]
+    header = {
+        "version": _VERSION,
+        "n_states": dfa.n_states,
+        "n_patterns": len(dfa.patterns),
+        "sections": [len(s) for s in sections],
+    }
+    payload = json.dumps(header).encode("ascii") + b"\n"
+    if isinstance(fp, str):
+        with open(fp, "wb") as fh:
+            _write(fh, payload, sections)
+    else:
+        _write(fp, payload, sections)
+
+
+def _write(fh: BinaryIO, header: bytes, sections) -> None:
+    fh.write(_MAGIC)
+    fh.write(header)
+    for s in sections:
+        fh.write(s)
+
+
+def load_dfa(fp: Union[str, BinaryIO]) -> DFA:
+    """Inverse of :func:`save_dfa`; validates before returning."""
+    if isinstance(fp, str):
+        with open(fp, "rb") as fh:
+            return _read(fh)
+    return _read(fp)
+
+
+def _read(fh: BinaryIO) -> DFA:
+    magic = fh.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise SerializationError("not a DFA artifact (bad magic)")
+    line = bytearray()
+    while True:
+        ch = fh.read(1)
+        if not ch:
+            raise SerializationError("truncated DFA header")
+        if ch == b"\n":
+            break
+        line += ch
+    try:
+        header = json.loads(line.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt DFA header: {exc}") from exc
+    if header.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported DFA artifact version {header.get('version')!r}"
+        )
+    try:
+        n_states = int(header["n_states"])
+        sizes = [int(x) for x in header["sections"]]
+        if len(sizes) != 4:
+            raise KeyError("sections")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed DFA header: {exc}") from exc
+
+    raw = [fh.read(sz) for sz in sizes]
+    for got, want in zip(raw, sizes):
+        if len(got) != want:
+            raise SerializationError("truncated DFA artifact body")
+
+    table = np.frombuffer(raw[0], dtype="<i4")
+    if table.size != n_states * (ALPHABET_SIZE + 1):
+        raise SerializationError("STT section size mismatch")
+    table = table.reshape(n_states, ALPHABET_SIZE + 1).astype(np.int32)
+    offsets = np.frombuffer(raw[1], dtype="<i8").astype(np.int64)
+    ids = np.frombuffer(raw[2], dtype="<i8").astype(np.int64)
+    try:
+        patterns = PatternSet.from_bytes(
+            [bytes.fromhex(tok.decode("ascii")) for tok in raw[3].split(b"\n")]
+        )
+    except ValueError as exc:
+        raise SerializationError(f"corrupt pattern section: {exc}") from exc
+
+    dfa = DFA(STT(table), offsets, ids, patterns)
+    problems = validate_dfa(dfa)
+    if problems:
+        raise SerializationError(
+            "DFA artifact failed validation: " + "; ".join(problems)
+        )
+    return dfa

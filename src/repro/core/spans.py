@@ -1,0 +1,105 @@
+"""Span utilities: turn match sets into actionable intervals.
+
+Downstream consumers of a multi-pattern matcher rarely want raw
+(end, pattern) pairs; NIDS verdicts, redaction pipelines and annotation
+tools work with *intervals*.  This module converts
+:class:`~repro.core.match.MatchResult` objects into span form and
+provides the standard interval operations, all vectorized:
+
+* :func:`to_spans` — (start, end) intervals per occurrence;
+* :func:`merge_spans` — union of overlapping/adjacent intervals;
+* :func:`coverage` — bytes covered by at least one match;
+* :func:`redact` — replace covered bytes (log sanitization);
+* :func:`split_uncovered` — the complement intervals (clean regions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.match import MatchResult
+from repro.errors import ReproError
+
+
+def to_spans(result: MatchResult, pattern_lengths: np.ndarray) -> np.ndarray:
+    """Convert a match result to an ``(n, 2)`` array of [start, end) spans.
+
+    Spans are sorted by start then end (python-slice convention:
+    ``text[start:end]`` is the occurrence).
+    """
+    lengths = np.asarray(pattern_lengths, dtype=np.int64)
+    starts = result.ends - lengths[result.pattern_ids] + 1
+    ends = result.ends + 1
+    spans = np.stack([starts, ends], axis=1)
+    order = np.lexsort((spans[:, 1], spans[:, 0]))
+    return spans[order]
+
+
+def merge_spans(spans: np.ndarray, *, gap: int = 0) -> np.ndarray:
+    """Union of intervals; spans closer than *gap* bytes also merge.
+
+    Input must be ``(n, 2)`` with ``start < end``; output is sorted and
+    pairwise disjoint.
+    """
+    spans = np.asarray(spans, dtype=np.int64)
+    if spans.size == 0:
+        return spans.reshape(0, 2)
+    if spans.ndim != 2 or spans.shape[1] != 2:
+        raise ReproError(f"spans must be (n, 2); got {spans.shape}")
+    if np.any(spans[:, 0] >= spans[:, 1]):
+        raise ReproError("every span needs start < end")
+    if gap < 0:
+        raise ReproError("gap must be >= 0")
+    order = np.lexsort((spans[:, 1], spans[:, 0]))
+    spans = spans[order]
+    out: List[Tuple[int, int]] = [tuple(spans[0])]
+    for s, e in spans[1:].tolist():
+        if s <= out[-1][1] + gap:
+            out[-1] = (out[-1][0], max(out[-1][1], e))
+        else:
+            out.append((s, e))
+    return np.array(out, dtype=np.int64)
+
+
+def coverage(spans: np.ndarray, text_length: int) -> Tuple[int, float]:
+    """Bytes covered by at least one span, absolute and as a fraction."""
+    if text_length < 0:
+        raise ReproError("text_length must be >= 0")
+    merged = merge_spans(spans) if len(spans) else np.zeros((0, 2), np.int64)
+    covered = int((merged[:, 1] - merged[:, 0]).sum()) if len(merged) else 0
+    frac = covered / text_length if text_length else 0.0
+    return covered, frac
+
+
+def redact(
+    data: bytes, spans: np.ndarray, *, fill: int = ord("*")
+) -> bytes:
+    """Replace every covered byte of *data* with *fill* (sanitization)."""
+    if not 0 <= fill <= 255:
+        raise ReproError("fill must be a byte value")
+    buf = bytearray(data)
+    for s, e in merge_spans(spans).tolist() if len(spans) else []:
+        if s < 0 or e > len(buf):
+            raise ReproError(f"span [{s}, {e}) outside data")
+        buf[s:e] = bytes([fill]) * (e - s)
+    return bytes(buf)
+
+
+def split_uncovered(
+    spans: np.ndarray, text_length: int
+) -> np.ndarray:
+    """Complement intervals: the regions no match touches."""
+    if text_length < 0:
+        raise ReproError("text_length must be >= 0")
+    merged = merge_spans(spans) if len(spans) else np.zeros((0, 2), np.int64)
+    out: List[Tuple[int, int]] = []
+    pos = 0
+    for s, e in merged.tolist():
+        if s > pos:
+            out.append((pos, min(s, text_length)))
+        pos = max(pos, e)
+    if pos < text_length:
+        out.append((pos, text_length))
+    return np.array(out, dtype=np.int64).reshape(-1, 2)

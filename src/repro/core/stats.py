@@ -1,0 +1,137 @@
+"""Automaton and workload statistics — characterize what the caches see.
+
+Every cache model in the substrate is driven by where the automaton
+spends its time; this module computes the descriptive statistics that
+explain a workload's behaviour before any timing model runs:
+
+* :func:`automaton_stats` — structural: states per depth, branching
+  factors, output density;
+* :func:`visit_stats` — dynamic: the state-visit distribution of a
+  scan (depth profile, entropy, hot-set concentration), computed from
+  a lockstep trace's histogram.
+
+EXPERIMENTS.md uses these to document why prose, DNA and binary
+dictionaries behave differently on the same kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.automaton import AhoCorasickAutomaton
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class AutomatonStats:
+    """Structural statistics of an AC machine."""
+
+    n_states: int
+    max_depth: int
+    states_per_depth: Tuple[int, ...]
+    mean_branching: float
+    max_branching: int
+    emitting_states: int
+
+    @property
+    def emitting_fraction(self) -> float:
+        """Fraction of states that emit at least one pattern."""
+        return self.emitting_states / self.n_states if self.n_states else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human summary."""
+        depth_head = ", ".join(
+            f"d{d}:{c}" for d, c in enumerate(self.states_per_depth[:6])
+        )
+        return (
+            f"states={self.n_states} max_depth={self.max_depth} "
+            f"[{depth_head}{'...' if self.max_depth > 5 else ''}] "
+            f"branch mean={self.mean_branching:.2f} max={self.max_branching} "
+            f"emitting={self.emitting_states} "
+            f"({self.emitting_fraction:.1%})"
+        )
+
+
+def automaton_stats(ac: AhoCorasickAutomaton) -> AutomatonStats:
+    """Compute structural statistics of *ac*."""
+    trie = ac.trie
+    n = ac.n_states
+    depths = np.array(trie.depth, dtype=np.int64)
+    per_depth = np.bincount(depths)
+    branching = np.array(
+        [len(trie.children[s]) for s in range(n)], dtype=np.int64
+    )
+    internal = branching[branching > 0]
+    return AutomatonStats(
+        n_states=n,
+        max_depth=int(depths.max()),
+        states_per_depth=tuple(int(x) for x in per_depth),
+        mean_branching=float(internal.mean()) if internal.size else 0.0,
+        max_branching=int(branching.max()) if n else 0,
+        emitting_states=sum(1 for s in range(n) if ac.outputs[s]),
+    )
+
+
+@dataclass(frozen=True)
+class VisitStats:
+    """Dynamic statistics of a scan's state-visit histogram."""
+
+    total_visits: int
+    distinct_states_visited: int
+    entropy_bits: float
+    #: Fraction of visits landing on the k hottest states, for the ks
+    #: in HOT_KS.
+    hot_coverage: Tuple[Tuple[int, float], ...]
+    mean_visit_depth: float
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        cov = ", ".join(f"top{k}:{f:.1%}" for k, f in self.hot_coverage)
+        return (
+            f"visits={self.total_visits} distinct={self.distinct_states_visited} "
+            f"H={self.entropy_bits:.2f} bits [{cov}] "
+            f"mean_depth={self.mean_visit_depth:.2f}"
+        )
+
+
+#: Hot-set sizes reported by visit_stats.
+HOT_KS = (8, 64, 512)
+
+
+def visit_stats(
+    ac: AhoCorasickAutomaton, histogram: np.ndarray
+) -> VisitStats:
+    """Summarize a state-visit *histogram* (see LockstepTrace).
+
+    Raises
+    ------
+    ReproError
+        If the histogram length disagrees with the automaton.
+    """
+    histogram = np.asarray(histogram, dtype=np.int64)
+    if histogram.shape != (ac.n_states,):
+        raise ReproError(
+            f"histogram length {histogram.shape} != n_states {ac.n_states}"
+        )
+    total = int(histogram.sum())
+    if total == 0:
+        return VisitStats(0, 0, 0.0, tuple((k, 0.0) for k in HOT_KS), 0.0)
+    visited = histogram > 0
+    probs = histogram[visited] / total
+    entropy = float(-(probs * np.log2(probs)).sum())
+    order = np.argsort(histogram)[::-1]
+    coverage = []
+    for k in HOT_KS:
+        coverage.append((k, float(histogram[order[:k]].sum() / total)))
+    depths = np.array(ac.trie.depth, dtype=np.float64)
+    mean_depth = float((histogram * depths).sum() / total)
+    return VisitStats(
+        total_visits=total,
+        distinct_states_visited=int(visited.sum()),
+        entropy_bits=entropy,
+        hot_coverage=tuple(coverage),
+        mean_visit_depth=mean_depth,
+    )

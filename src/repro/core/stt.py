@@ -1,0 +1,197 @@
+"""State Transition Table (STT) — the paper's Fig. 5 data structure.
+
+The STT is a dense 2-D ``int32`` matrix with one row per DFA state and
+257 columns: columns ``0..255`` hold the next state for each input
+byte, column 256 (:data:`~repro.core.alphabet.MATCH_COLUMN`) holds the
+match flag (1 when the state emits output).  The paper stores this
+matrix in GPU texture memory and relies on the texture cache's 2-D
+locality; our GPU substrate (:mod:`repro.gpu.texture`) models exactly
+that, so the STT also knows how to describe its own memory footprint
+in texture-cache lines.
+
+The paper's Fig. 5 draws the match column first; we put it last so the
+transition block ``stt.table[:, :256]`` is a contiguous view (NumPy
+guide: prefer views over copies in the hot path).  The on-disk format
+records the layout so both conventions round-trip.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import BinaryIO, Tuple, Union
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, MATCH_COLUMN, STATE_DTYPE, STT_COLUMNS
+from repro.errors import SerializationError
+
+_MAGIC = b"REPROSTT"
+_VERSION = 2
+
+
+@dataclass(frozen=True)
+class STTStats:
+    """Memory-footprint statistics of an STT.
+
+    ``bytes_total`` drives the texture-cache behaviour study: as the
+    number of patterns grows, the STT outgrows the 8 KB per-SM texture
+    cache and miss rates climb (the mechanism behind the paper's
+    Fig. 16-18 throughput degradation).
+    """
+
+    n_states: int
+    n_columns: int
+    bytes_total: int
+    bytes_per_row: int
+
+    @property
+    def megabytes(self) -> float:
+        """Total footprint in MiB."""
+        return self.bytes_total / (1024.0 * 1024.0)
+
+
+class STT:
+    """Dense state transition table.
+
+    Parameters
+    ----------
+    table:
+        ``(n_states, 257)`` int32 array.  Ownership is taken; the array
+        is marked read-only because phase 2 of the AC algorithm never
+        mutates the STT (the property that lets the paper place it in
+        read-only texture memory).
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: np.ndarray):
+        table = np.ascontiguousarray(table, dtype=STATE_DTYPE)
+        if table.ndim != 2 or table.shape[1] != STT_COLUMNS:
+            raise SerializationError(
+                f"STT must be (n_states, {STT_COLUMNS}); got {table.shape}"
+            )
+        table.setflags(write=False)
+        self.table = table
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of DFA states (rows)."""
+        return self.table.shape[0]
+
+    @property
+    def next_states(self) -> np.ndarray:
+        """Read-only ``(n_states, 256)`` view of the transition block."""
+        return self.table[:, :ALPHABET_SIZE]
+
+    @property
+    def match_flags(self) -> np.ndarray:
+        """Read-only ``(n_states,)`` view of the match column."""
+        return self.table[:, MATCH_COLUMN]
+
+    def stats(self) -> STTStats:
+        """Memory-footprint statistics (texture-resident size)."""
+        return STTStats(
+            n_states=self.n_states,
+            n_columns=STT_COLUMNS,
+            bytes_total=self.table.nbytes,
+            bytes_per_row=STT_COLUMNS * self.table.itemsize,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, STT):
+            return NotImplemented
+        return self.table.shape == other.table.shape and bool(
+            np.array_equal(self.table, other.table)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash((self.table.shape, self.table.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"STT(n_states={self.n_states}, {self.stats().megabytes:.2f} MiB)"
+
+    # -- serialization ----------------------------------------------------
+
+    def save(self, fp: Union[str, BinaryIO]) -> None:
+        """Serialize to a file path or binary stream.
+
+        Format: 8-byte magic, one JSON header line (version, shape,
+        dtype, match-column position), then the raw C-order table
+        bytes.  The header keeps the format self-describing without
+        pulling in pickle (untrusted STT files stay safe to load).
+        """
+        header = {
+            "version": _VERSION,
+            "n_states": self.n_states,
+            "n_columns": STT_COLUMNS,
+            "dtype": str(self.table.dtype),
+            "match_column": MATCH_COLUMN,
+        }
+        payload = json.dumps(header).encode("ascii") + b"\n"
+        if isinstance(fp, str):
+            with open(fp, "wb") as fh:
+                self._write(fh, payload)
+        else:
+            self._write(fp, payload)
+
+    def _write(self, fh: BinaryIO, header_payload: bytes) -> None:
+        fh.write(_MAGIC)
+        fh.write(header_payload)
+        fh.write(self.table.tobytes())
+
+    @classmethod
+    def load(cls, fp: Union[str, BinaryIO]) -> "STT":
+        """Inverse of :meth:`save`; validates magic, version and size."""
+        if isinstance(fp, str):
+            with open(fp, "rb") as fh:
+                return cls._read(fh)
+        return cls._read(fp)
+
+    @classmethod
+    def _read(cls, fh: BinaryIO) -> "STT":
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise SerializationError("not an STT file (bad magic)")
+        line = io.BytesIO()
+        while True:
+            ch = fh.read(1)
+            if not ch:
+                raise SerializationError("truncated STT header")
+            if ch == b"\n":
+                break
+            line.write(ch)
+        try:
+            header = json.loads(line.getvalue().decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"corrupt STT header: {exc}") from exc
+        if header.get("version") not in (1, _VERSION):
+            raise SerializationError(
+                f"unsupported STT version {header.get('version')!r}"
+            )
+        n_states = int(header["n_states"])
+        n_columns = int(header["n_columns"])
+        if n_columns != STT_COLUMNS:
+            raise SerializationError(
+                f"STT file has {n_columns} columns; expected {STT_COLUMNS}"
+            )
+        dtype = np.dtype(header["dtype"])
+        expected = n_states * n_columns * dtype.itemsize
+        raw = fh.read(expected)
+        if len(raw) != expected:
+            raise SerializationError(
+                f"truncated STT body: expected {expected} bytes, got {len(raw)}"
+            )
+        table = np.frombuffer(raw, dtype=dtype).reshape(n_states, n_columns)
+        return cls(table.astype(STATE_DTYPE, copy=True))
+
+
+def roundtrip_bytes(stt: STT) -> Tuple[bytes, "STT"]:
+    """Serialize *stt* to bytes and load it back (testing helper)."""
+    buf = io.BytesIO()
+    stt.save(buf)
+    data = buf.getvalue()
+    return data, STT.load(io.BytesIO(data))

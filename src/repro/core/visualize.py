@@ -1,0 +1,145 @@
+"""Render AC machines as text and Graphviz DOT — the paper's Figs. 1-5.
+
+For documentation, debugging and teaching: reproduce the paper's
+illustrative figures from a live automaton —
+
+* :func:`goto_table` / :func:`failure_table` / :func:`output_table` —
+  the three functions of Fig. 1 in tabular text;
+* :func:`stt_table` — the State Transition Table of Fig. 5 (match
+  column first, exactly as the paper draws it);
+* :func:`to_dot` — a Graphviz digraph of the automaton (solid goto
+  edges, dashed failure edges, doubled match states) matching Fig. 3's
+  conventions.
+
+Everything returns strings; nothing here imports plotting libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.automaton import AhoCorasickAutomaton
+from repro.core.dfa import DFA
+from repro.core.trie import ROOT
+from repro.errors import ReproError
+
+
+def _printable(byte: int) -> str:
+    return chr(byte) if 32 < byte < 127 else f"\\x{byte:02x}"
+
+
+def goto_table(ac: AhoCorasickAutomaton) -> str:
+    """The defined goto edges, one line per state (paper Fig. 1a)."""
+    lines = ["state | goto"]
+    for s in range(ac.n_states):
+        kids = ac.trie.children[s]
+        edges = ", ".join(
+            f"{_printable(c)}->{t}" for c, t in sorted(kids.items())
+        )
+        lines.append(f"{s:5d} | {edges if edges else '-'}")
+    return "\n".join(lines)
+
+
+def failure_table(ac: AhoCorasickAutomaton) -> str:
+    """The failure function for non-root states (paper Fig. 1b)."""
+    states = list(range(1, ac.n_states))
+    header = "i    " + "".join(f"{s:>5}" for s in states)
+    row = "f(i) " + "".join(f"{ac.fail[s]:>5}" for s in states)
+    return header + "\n" + row
+
+
+def output_table(ac: AhoCorasickAutomaton) -> str:
+    """Emitting states and their keywords (paper Fig. 1c)."""
+    lines = ["state | output"]
+    for s in range(ac.n_states):
+        if ac.outputs[s]:
+            words = ", ".join(
+                ac.patterns.pattern_bytes(pid).decode("latin-1")
+                for pid in ac.outputs[s]
+            )
+            lines.append(f"{s:5d} | {{{words}}}")
+    if len(lines) == 1:
+        lines.append("  (no emitting states)")
+    return "\n".join(lines)
+
+
+def stt_table(
+    dfa: DFA,
+    symbols: Optional[Iterable[int]] = None,
+    max_states: int = 32,
+) -> str:
+    """The STT in the paper's Fig. 5 layout (M column first).
+
+    *symbols* selects the columns to print (default: the bytes that
+    actually label trie edges, which is what makes small examples
+    legible); *max_states* truncates tall tables.
+    """
+    if max_states <= 0:
+        raise ReproError("max_states must be positive")
+    if symbols is None:
+        used = set()
+        for s in range(dfa.n_states):
+            row = dfa.stt.next_states[s]
+            # Columns that lead somewhere other than the root's default.
+            for c in range(256):
+                if row[c] != dfa.stt.next_states[0][c] or (
+                    s == 0 and row[c] != 0
+                ):
+                    used.add(c)
+        symbols = sorted(used)[:12]
+    symbols = list(symbols)
+    header = "state |   M |" + "".join(f"{_printable(c):>5}" for c in symbols)
+    lines = [header, "-" * len(header)]
+    shown = min(dfa.n_states, max_states)
+    for s in range(shown):
+        flag = int(dfa.stt.match_flags[s])
+        cells = "".join(
+            f"{int(dfa.stt.next_states[s, c]):>5}" for c in symbols
+        )
+        lines.append(f"{s:5d} | {flag:3d} |{cells}")
+    if shown < dfa.n_states:
+        lines.append(f"... ({dfa.n_states - shown} more states)")
+    return "\n".join(lines)
+
+
+def to_dot(
+    ac: AhoCorasickAutomaton,
+    *,
+    include_failure_edges: bool = True,
+    max_states: int = 200,
+) -> str:
+    """Graphviz DOT source for the automaton (paper Fig. 3 style).
+
+    Solid edges: goto; dashed edges: failure links (to non-root states
+    only, as the paper draws them); doublecircle: emitting states.
+    """
+    if ac.n_states > max_states:
+        raise ReproError(
+            f"automaton has {ac.n_states} states; refusing to render more "
+            f"than {max_states} (raise max_states to override)"
+        )
+    lines: List[str] = [
+        "digraph ac {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontname="monospace"];',
+    ]
+    for s in range(ac.n_states):
+        shape = "doublecircle" if ac.outputs[s] else "circle"
+        label_words = ""
+        if ac.outputs[s]:
+            words = ",".join(
+                ac.patterns.pattern_bytes(pid).decode("latin-1")
+                for pid in ac.outputs[s]
+            )
+            label_words = f"\\n{{{words}}}"
+        lines.append(f'  n{s} [shape={shape}, label="{s}{label_words}"];')
+    for s, c, child in ac.trie.edges():
+        lines.append(f'  n{s} -> n{child} [label="{_printable(c)}"];')
+    if include_failure_edges:
+        for s in range(1, ac.n_states):
+            if ac.fail[s] != ROOT:
+                lines.append(
+                    f"  n{s} -> n{ac.fail[s]} [style=dashed, color=gray];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting genuine programming errors
+(``TypeError`` from misuse of NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class PatternError(ReproError):
+    """Raised for invalid pattern sets (empty patterns, wrong types...)."""
+
+
+class AutomatonError(ReproError):
+    """Raised when an automaton is queried in an invalid way."""
+
+
+class ChunkingError(ReproError):
+    """Raised for invalid chunk geometry (chunk size <= 0, overlap < 0...)."""
+
+
+class DeviceError(ReproError):
+    """Raised by the GPU substrate for invalid device configuration."""
+
+
+class LaunchError(DeviceError):
+    """Raised when a kernel launch violates device limits.
+
+    Examples: requesting more shared memory per block than the device
+    has, more threads per block than the SIMT limit, or a grid of zero
+    blocks.
+    """
+
+
+class MemoryModelError(DeviceError):
+    """Raised by the memory-hierarchy models for invalid traffic."""
+
+
+class SerializationError(ReproError):
+    """Raised when loading a corrupt or incompatible serialized STT."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the benchmark harness for unknown experiments/params."""

@@ -1,0 +1,80 @@
+"""GPU substrate: the simulated GTX 285 the paper's kernels run on.
+
+Functional pieces (coalescer, banked shared memory, texture cache,
+store-scheme layouts) count the memory events a CUDA execution would
+generate; the analytic latency model prices those events; the
+discrete-event SIMT scheduler validates the model's asymptotes.
+"""
+
+from repro.gpu.config import (
+    DeviceConfig,
+    Occupancy,
+    TextureCacheConfig,
+    fermi_c2050,
+    gtx285,
+)
+from repro.gpu.counters import EventCounters, TimingBreakdown
+from repro.gpu.coalesce import CoalesceSummary, coalesce_halfwarp_batch
+from repro.gpu.device import Device, TextureBinding
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.latency import KernelCost, estimate_time
+from repro.gpu.layouts import (
+    SCHEMES,
+    BlockGeometry,
+    DiagonalLayout,
+    LinearLayout,
+    NaiveLayout,
+    StoreScheme,
+    TransposedLayout,
+    get_scheme,
+)
+from repro.gpu.gridsim import GridResult, simulate_grid, uniform_grid
+from repro.gpu.shared_memory import SharedAccessSummary, conflict_degrees, summarize
+from repro.gpu.simt import SMScheduler, WarpProgram, uniform_warps
+from repro.gpu.validate import run_validation, validation_report
+from repro.gpu.texture import (
+    CacheEstimate,
+    TextureCacheSim,
+    hot_set_hit_rate,
+    stt_line_ids,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "Occupancy",
+    "TextureCacheConfig",
+    "fermi_c2050",
+    "gtx285",
+    "EventCounters",
+    "TimingBreakdown",
+    "CoalesceSummary",
+    "coalesce_halfwarp_batch",
+    "Device",
+    "TextureBinding",
+    "LaunchConfig",
+    "KernelCost",
+    "estimate_time",
+    "SCHEMES",
+    "BlockGeometry",
+    "DiagonalLayout",
+    "LinearLayout",
+    "NaiveLayout",
+    "StoreScheme",
+    "TransposedLayout",
+    "get_scheme",
+    "SharedAccessSummary",
+    "conflict_degrees",
+    "summarize",
+    "SMScheduler",
+    "WarpProgram",
+    "uniform_warps",
+    "GridResult",
+    "simulate_grid",
+    "uniform_grid",
+    "run_validation",
+    "validation_report",
+    "CacheEstimate",
+    "TextureCacheSim",
+    "hot_set_hit_rate",
+    "stt_line_ids",
+]

@@ -1,0 +1,186 @@
+"""Global-memory coalescing model (paper Section IV-B-3, Figs. 9-10).
+
+On compute-capability 1.2/1.3 hardware, the memory controller services
+a half-warp's load/store as one transaction per *aligned segment*
+touched: "multiple global memory loads whose addresses fall within
+128-bytes range are combined into one request".  A half-warp reading 16
+consecutive 4-byte words therefore costs one 64-byte transaction, while
+16 threads striding through their own chunks touch 16 distinct
+segments and cost 16 transactions — the entire motivation for the
+paper's cooperative staging loop.
+
+The functions here are pure address arithmetic, fully vectorized:
+kernels hand in ``(n_halfwarps, half_warp)`` address matrices and get
+back transaction counts and bus bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+
+
+@dataclass(frozen=True)
+class CoalesceSummary:
+    """Result of coalescing a batch of half-warp accesses."""
+
+    #: Half-warp memory instructions issued.
+    accesses: int
+    #: Memory transactions after segment merging.
+    transactions: int
+    #: Bytes moved on the bus (each transaction moves a whole segment,
+    #: clipped to the controller's minimum granularity).
+    bus_bytes: int
+    #: Bytes the program actually requested.
+    useful_bytes: int
+
+    @property
+    def transactions_per_access(self) -> float:
+        """1.0 = perfectly coalesced; 16.0 = fully scattered half-warps."""
+        if self.accesses == 0:
+            return 0.0
+        return self.transactions / self.accesses
+
+    @property
+    def bus_efficiency(self) -> float:
+        """useful_bytes / bus_bytes — wasted-bandwidth metric."""
+        if self.bus_bytes == 0:
+            return 1.0
+        return self.useful_bytes / self.bus_bytes
+
+
+def coalesce_halfwarp_batch(
+    addresses: np.ndarray,
+    access_bytes: int,
+    *,
+    segment_bytes: int = 128,
+    min_transaction_bytes: int = 32,
+    active: np.ndarray = None,
+) -> CoalesceSummary:
+    """Coalesce a batch of half-warp accesses.
+
+    Parameters
+    ----------
+    addresses:
+        ``(n_halfwarps, lanes)`` int array of byte addresses, one row
+        per half-warp memory instruction.
+    access_bytes:
+        Bytes requested per lane (1 for the naive byte loads, 4 for the
+        cooperative word loads of Fig. 9).
+    segment_bytes:
+        Coalescing window (128 B on the GTX 285).
+    min_transaction_bytes:
+        Smallest bus transfer; a transaction covering a single byte
+        still moves this much.
+    active:
+        Optional boolean mask of the same shape — lanes that are
+        predicated off (e.g. threads past the end of the input) issue
+        no address.
+
+    Returns
+    -------
+    CoalesceSummary
+
+    Notes
+    -----
+    The model counts one transaction per *distinct aligned segment*
+    touched by each half-warp row, which is the documented CC-1.2+
+    behaviour.  The stricter CC-1.0 rules (in-order lane alignment)
+    are not modelled; the paper's device is CC 1.3.
+    """
+    addresses = np.asarray(addresses)
+    if addresses.ndim != 2:
+        raise MemoryModelError(
+            f"addresses must be (n_halfwarps, lanes); got shape {addresses.shape}"
+        )
+    if access_bytes <= 0 or segment_bytes <= 0:
+        raise MemoryModelError("access_bytes and segment_bytes must be positive")
+    if np.any(addresses < 0):
+        raise MemoryModelError("negative byte address in access batch")
+
+    if active is None:
+        active_count = addresses.size
+        segs = addresses // segment_bytes
+        # Count distinct segments per row: sort rows, count steps.
+        segs = np.sort(segs, axis=1)
+        distinct = 1 + np.count_nonzero(np.diff(segs, axis=1), axis=1)
+        transactions = int(distinct.sum())
+        n_rows = addresses.shape[0]
+    else:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != addresses.shape:
+            raise MemoryModelError("active mask shape mismatch")
+        active_count = int(active.sum())
+        # Inactive lanes get a sentinel that collapses into the row's
+        # first active segment count via masking below.
+        segs = np.where(active, addresses // segment_bytes, -1)
+        segs = np.sort(segs, axis=1)
+        is_new = np.empty_like(segs, dtype=bool)
+        is_new[:, 0] = segs[:, 0] >= 0
+        is_new[:, 1:] = (np.diff(segs, axis=1) != 0) & (segs[:, 1:] >= 0)
+        per_row = is_new.sum(axis=1)
+        transactions = int(per_row.sum())
+        n_rows = int((per_row > 0).sum())
+
+    per_transaction = min(
+        segment_bytes, max(min_transaction_bytes, access_bytes)
+    )
+    # A transaction moves at least `min_transaction_bytes`; a fully
+    # coalesced half-warp moves lanes*access_bytes in one transaction.
+    # We approximate bus bytes as max(min granule, useful bytes within
+    # that transaction).  For scattered accesses the per-transaction
+    # useful payload is `access_bytes`.
+    if transactions:
+        useful = active_count * access_bytes
+        avg_useful_per_txn = useful / transactions
+        bus_per_txn = max(min_transaction_bytes, avg_useful_per_txn)
+        bus_bytes = int(round(bus_per_txn * transactions))
+    else:
+        useful = 0
+        bus_bytes = 0
+
+    return CoalesceSummary(
+        accesses=n_rows,
+        transactions=transactions,
+        bus_bytes=bus_bytes,
+        useful_bytes=useful,
+    )
+
+
+def strided_chunk_addresses(
+    base: int, chunk_len: int, step: int, n_threads: int, lanes: int = 16
+) -> np.ndarray:
+    """Addresses of the *naive* per-thread global loads (paper Fig. 7).
+
+    Thread ``t`` reads byte ``base + t*chunk_len + step``.  Returns the
+    ``(n_halfwarps, lanes)`` matrix for one step over all threads
+    (padding the ragged tail by replicating the last thread — harmless
+    for segment counting).
+    """
+    t = np.arange(n_threads, dtype=np.int64)
+    addr = base + t * chunk_len + step
+    pad = (-n_threads) % lanes
+    if pad:
+        addr = np.concatenate([addr, np.repeat(addr[-1:], pad)])
+    return addr.reshape(-1, lanes)
+
+
+def cooperative_word_addresses(
+    base: int, total_words: int, n_threads: int, lanes: int = 16
+) -> np.ndarray:
+    """Addresses of the cooperative coalesced loads (paper Figs. 9-10).
+
+    Load step ``k``, lane ``l`` reads the 4-byte word at
+    ``base + (k*n_threads + l)*4`` — consecutive words across the
+    half-warp, the perfectly-coalescing pattern.  Returns all half-warp
+    rows for a block staging ``total_words`` words.
+    """
+    w = np.arange(total_words, dtype=np.int64)
+    addr = base + w * 4
+    pad = (-total_words) % lanes
+    if pad:
+        addr = np.concatenate([addr, np.repeat(addr[-1:], pad)])
+    return addr.reshape(-1, lanes)

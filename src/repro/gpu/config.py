@@ -1,0 +1,311 @@
+"""Device configuration for the simulated GPU (paper Section III).
+
+The paper's testbed is an NVIDIA GeForce GTX 285: 240 thread processors
+at 1.476 GHz, 16 KB of shared memory per SM split into 16 banks, a
+read-only texture path with an on-chip cache, and an off-chip G-DRAM
+("global memory") reached over a ~500-cycle latency.  (The paper's
+Section V describes the 240 cores as "organized in 8 streaming
+multiprocessors"; the GT200 die actually organizes them as 30 SMs × 8
+cores, with texture caches shared per 3-SM cluster.  We model the real
+organization — it is what determines occupancy and cache behaviour —
+and note the discrepancy here.)
+
+All timing constants are *model parameters*, not claims about silicon:
+they are chosen from the CUDA programming-guide ranges for compute
+capability 1.3 and then held fixed across every experiment, so the
+relative results (the paper's figures) are driven by the counted
+memory events, not by per-experiment tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class TextureCacheConfig:
+    """Geometry of the per-SM texture cache.
+
+    GT200 has ~24 KB of L1 texture cache per 3-SM texture cluster;
+    we model the per-SM effective share.  The cache is optimized for
+    2-D spatial locality (paper Section IV-B-2) — in our model that
+    shows up as line granularity over the row-major STT address space.
+    """
+
+    size_bytes: int = 8 * 1024
+    line_bytes: int = 32
+    associativity: int = 8
+
+    @property
+    def n_lines(self) -> int:
+        """Total cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of associative sets."""
+        return max(self.n_lines // self.associativity, 1)
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Complete parameter set of a simulated CUDA device.
+
+    The defaults are the GTX 285 (compute capability 1.3) used in the
+    paper.  Use :func:`gtx285` / :func:`fermi_c2050` for presets and
+    :meth:`with_overrides` for ablations.
+    """
+
+    name: str = "GeForce GTX 285"
+    compute_capability: str = "1.3"
+
+    # -- execution resources --------------------------------------------
+    sm_count: int = 30
+    cores_per_sm: int = 8
+    clock_ghz: float = 1.476
+    warp_size: int = 32
+    half_warp: int = 16
+    max_threads_per_block: int = 512
+    max_threads_per_sm: int = 1024
+    max_warps_per_sm: int = 32
+    max_blocks_per_sm: int = 8
+    #: Register file per SM (32-bit registers; GT200: 16K).
+    registers_per_sm: int = 16 * 1024
+
+    # -- shared memory ---------------------------------------------------
+    shared_mem_per_sm: int = 16 * 1024
+    shared_banks: int = 16
+    bank_width_bytes: int = 4
+    #: Cycles for a conflict-free shared access by a half-warp.
+    shared_access_cycles: float = 2.0
+
+    # -- global memory ----------------------------------------------------
+    global_mem_bytes: int = 1024 * 1024 * 1024  # 1 GB device memory
+    #: Round-trip latency of a global-memory transaction, in core clocks.
+    global_latency_cycles: float = 500.0
+    #: Peak device-memory bandwidth (GTX 285: 159 GB/s).
+    global_bandwidth_gbs: float = 159.0
+    #: Segment size used by the compute-1.x coalescer.
+    coalesce_segment_bytes: int = 128
+    #: Minimum transaction granularity (a sub-128 B request still moves
+    #: at least this many bytes across the bus).
+    min_transaction_bytes: int = 32
+    #: Fraction of peak bandwidth GDDR3 sustains under *scattered*
+    #: 32-byte transactions (row-activation overhead); sequential
+    #: streams run at peak.  Kernels divide scattered bus bytes by this.
+    dram_scatter_efficiency: float = 0.3
+
+    # -- texture path ------------------------------------------------------
+    texture_cache: TextureCacheConfig = field(default_factory=TextureCacheConfig)
+    #: Extra issue cost of a texture fetch that hits in the L1 cache.
+    texture_hit_cycles: float = 4.0
+    #: Device-level texture L2 (GT200: ~32 KB per memory partition,
+    #: 8 partitions).  L1 misses that hit here stay off the DRAM bus.
+    texture_l2_bytes: int = 256 * 1024
+    #: Latency of an L1 miss served by the texture L2.
+    texture_l2_latency_cycles: float = 200.0
+    #: Latency of a texture miss served from device memory.
+    texture_miss_latency_cycles: float = 500.0
+
+    # -- pipeline / model constants ----------------------------------------
+    #: Issue cycles per warp-instruction (8 cores run a 32-lane warp in
+    #: 4 clocks on CC 1.x).
+    cycles_per_warp_instruction: float = 4.0
+    #: Cycles between two memory requests leaving the same SM
+    #: (departure delay in Hong-Kim terms); throughput cost of every
+    #: off-chip transaction and cap on memory-level parallelism.
+    memory_departure_cycles: float = 6.0
+    #: Fixed kernel-launch + driver overhead in microseconds.
+    kernel_launch_overhead_us: float = 6.0
+    #: Imperfect compute/memory overlap: the slack resource still
+    #: steals this fraction of its cycles from the critical path
+    #: (real SMs never hide perfectly; Fig. 19(a) is the ideal case).
+    overlap_inefficiency: float = 0.3
+    #: Host→device copy bandwidth (PCIe gen2 x16 practical).
+    h2d_bandwidth_gbs: float = 5.5
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise DeviceError("SM/core counts must be positive")
+        if self.warp_size % self.half_warp:
+            raise DeviceError("warp_size must be a multiple of half_warp")
+        if self.shared_banks <= 0 or self.bank_width_bytes <= 0:
+            raise DeviceError("invalid shared-memory geometry")
+        if self.clock_ghz <= 0:
+            raise DeviceError("clock must be positive")
+
+    # -- derived quantities ----------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """Total thread processors (paper: 240 for the GTX 285)."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to wall seconds."""
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert wall seconds to core cycles."""
+        return seconds * self.clock_hz
+
+    # -- occupancy ----------------------------------------------------------
+    def occupancy(
+        self,
+        threads_per_block: int,
+        shared_bytes_per_block: int,
+        registers_per_thread: int = 0,
+    ) -> "Occupancy":
+        """Resident blocks/warps per SM for a launch configuration.
+
+        Mirrors the CUDA occupancy calculation over the three block
+        resources: thread/warp slots, shared memory, and (optionally)
+        registers.  ``registers_per_thread = 0`` skips the register
+        constraint — the AC kernels are register-light, so the paper's
+        geometry never hits it, but the calculator supports it for the
+        occupancy explorer.
+
+        Raises
+        ------
+        DeviceError
+            If a single block already exceeds a per-SM resource.
+        """
+        if threads_per_block <= 0:
+            raise DeviceError("threads_per_block must be positive")
+        if registers_per_thread < 0:
+            raise DeviceError("registers_per_thread must be >= 0")
+        if threads_per_block > self.max_threads_per_block:
+            raise DeviceError(
+                f"{threads_per_block} threads/block exceeds device limit "
+                f"{self.max_threads_per_block}"
+            )
+        if shared_bytes_per_block > self.shared_mem_per_sm:
+            raise DeviceError(
+                f"block needs {shared_bytes_per_block} B shared; SM has "
+                f"{self.shared_mem_per_sm} B"
+            )
+        regs_per_block = registers_per_thread * threads_per_block
+        if regs_per_block > self.registers_per_sm:
+            raise DeviceError(
+                f"block needs {regs_per_block} registers; SM has "
+                f"{self.registers_per_sm}"
+            )
+        warps_per_block = -(-threads_per_block // self.warp_size)
+        limit_threads = self.max_threads_per_sm // threads_per_block
+        limit_warps = self.max_warps_per_sm // warps_per_block
+        limit_blocks = self.max_blocks_per_sm
+        if shared_bytes_per_block > 0:
+            limit_shared = self.shared_mem_per_sm // shared_bytes_per_block
+        else:
+            limit_shared = 1 << 30  # shared memory not a constraint
+        if regs_per_block > 0:
+            limit_regs = self.registers_per_sm // regs_per_block
+        else:
+            limit_regs = 1 << 30  # registers not a constraint
+        blocks = max(
+            min(limit_threads, limit_warps, limit_blocks, limit_shared, limit_regs),
+            1,
+        )
+        return Occupancy(
+            blocks_per_sm=blocks,
+            warps_per_block=warps_per_block,
+            warps_per_sm=blocks * warps_per_block,
+            threads_per_sm=blocks * threads_per_block,
+            limiting_resource=_limiter(
+                limit_threads, limit_warps, limit_blocks, limit_shared, limit_regs
+            ),
+        )
+
+    def with_overrides(self, **kwargs) -> "DeviceConfig":
+        """A copy of this config with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary used by the CLI and reports."""
+        return {
+            "name": self.name,
+            "SMs": self.sm_count,
+            "cores": self.total_cores,
+            "clock_GHz": self.clock_ghz,
+            "shared_per_SM_KB": self.shared_mem_per_sm // 1024,
+            "banks": self.shared_banks,
+            "tex_cache_KB": self.texture_cache.size_bytes / 1024,
+            "global_BW_GBs": self.global_bandwidth_gbs,
+        }
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    warps_per_sm: int
+    threads_per_sm: int
+    limiting_resource: str
+
+    def fraction(self, config: DeviceConfig) -> float:
+        """Occupancy as a fraction of the SM's warp slots."""
+        return self.warps_per_sm / config.max_warps_per_sm
+
+
+def _limiter(
+    threads: int, warps: int, blocks: int, shared: int, regs: int = 1 << 30
+) -> str:
+    best = min(threads, warps, blocks, shared, regs)
+    if best == regs:
+        return "registers"
+    if best == shared:
+        return "shared_memory"
+    if best == threads:
+        return "thread_slots"
+    if best == warps:
+        return "warp_slots"
+    return "block_slots"
+
+
+def gtx285() -> DeviceConfig:
+    """The paper's device (defaults)."""
+    return DeviceConfig()
+
+
+def fermi_c2050() -> DeviceConfig:
+    """A Fermi-class preset (paper Section III mentions Tesla/Fermi).
+
+    48 KB shared/L1 split, 32 banks, higher clocks-per-SM parallelism.
+    Used by the extension benches to show the model generalizes.
+    """
+    return DeviceConfig(
+        name="Tesla C2050 (Fermi)",
+        compute_capability="2.0",
+        sm_count=14,
+        cores_per_sm=32,
+        clock_ghz=1.15,
+        max_threads_per_block=1024,
+        max_threads_per_sm=1536,
+        max_warps_per_sm=48,
+        max_blocks_per_sm=8,
+        shared_mem_per_sm=48 * 1024,
+        shared_banks=32,
+        global_bandwidth_gbs=144.0,
+        texture_cache=TextureCacheConfig(size_bytes=12 * 1024),
+        cycles_per_warp_instruction=2.0,
+    )
+
+
+def serial_cpu_like() -> DeviceConfig:
+    """Degenerate 1-SM, 1-warp device used only in substrate tests."""
+    return DeviceConfig(
+        name="debug-1sm",
+        sm_count=1,
+        cores_per_sm=8,
+        max_blocks_per_sm=1,
+    )

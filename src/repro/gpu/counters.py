@@ -1,0 +1,141 @@
+"""Event counters — the currency between functional kernels and timing.
+
+A kernel run on the substrate produces an :class:`EventCounters` bundle
+describing *what the hardware would have had to do*: how many global
+transactions the coalescer issued, how many extra cycles bank conflicts
+serialized, how many texture fetches hit or missed.  The timing model
+(:mod:`repro.gpu.latency`) prices the bundle; nothing downstream ever
+re-derives events from the input, so the accounting is auditable in one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class EventCounters:
+    """Aggregate hardware events of one kernel launch.
+
+    All counts are totals across the whole grid.  ``add`` merges
+    bundles (e.g. staging phase + matching phase).
+    """
+
+    #: Bytes of input text scanned (excludes overlap re-scans).
+    bytes_owned: int = 0
+    #: Bytes actually read by matching threads (includes overlap).
+    bytes_scanned: int = 0
+
+    # -- global memory ----------------------------------------------------
+    #: Coalesced transactions issued to global memory.
+    global_transactions: int = 0
+    #: Bytes moved across the device-memory bus (segment-granular).
+    global_bytes: int = 0
+    #: Warp-level long-latency global events (one per warp memory
+    #: instruction that had to go off-chip).
+    global_warp_events: int = 0
+
+    # -- shared memory ------------------------------------------------------
+    #: Half-warp shared accesses issued (stores during staging + loads
+    #: during matching).
+    shared_accesses: int = 0
+    #: Sum of conflict degrees over those accesses: an access with
+    #: degree d serializes into d bank cycles, so
+    #: ``shared_cycles >= shared_accesses`` and equality means
+    #: conflict-free.
+    shared_serialized_accesses: int = 0
+
+    # -- texture path ----------------------------------------------------
+    texture_accesses: int = 0
+    texture_misses: int = 0
+
+    # -- bookkeeping -------------------------------------------------------
+    #: Warp-iterations executed (one iteration = one input byte per lane).
+    warp_iterations: int = 0
+    #: Match-output buffer writes before ownership dedup.
+    raw_match_writes: int = 0
+
+    def add(self, other: "EventCounters") -> "EventCounters":
+        """Element-wise accumulate *other* into self (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    # -- derived rates ----------------------------------------------------
+    @property
+    def texture_hit_rate(self) -> float:
+        """Fraction of half-warp texture accesses served by the cache.
+
+        Clamped at 0: an access carrying several distinct miss lines
+        counts as fully missing.
+        """
+        if self.texture_accesses == 0:
+            return 1.0
+        return max(1.0 - self.texture_misses / self.texture_accesses, 0.0)
+
+    @property
+    def bank_conflict_excess(self) -> int:
+        """Extra serialized half-warp cycles caused by conflicts."""
+        return self.shared_serialized_accesses - self.shared_accesses
+
+    @property
+    def avg_conflict_degree(self) -> float:
+        """Mean bank-conflict degree over all shared accesses (1 = free)."""
+        if self.shared_accesses == 0:
+            return 1.0
+        return self.shared_serialized_accesses / self.shared_accesses
+
+    @property
+    def overlap_ratio(self) -> float:
+        """bytes_scanned / bytes_owned — chunk-overlap redundancy."""
+        if self.bytes_owned == 0:
+            return 1.0
+        return self.bytes_scanned / self.bytes_owned
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and the runner).
+
+        ``texture_accesses`` counts half-warp instructions while
+        ``texture_misses`` counts distinct missing lines, so a single
+        access can carry up to 16 misses.
+        """
+        assert (
+            self.texture_misses <= self.texture_accesses * 16
+        ), "more miss-line requests than lanes could issue"
+        assert (
+            self.shared_serialized_accesses >= self.shared_accesses
+            or self.shared_accesses == 0
+        ), "conflict degree below 1"
+        for f in fields(self):
+            assert getattr(self, f.name) >= 0, f"negative counter {f.name}"
+
+
+@dataclass
+class TimingBreakdown:
+    """Output of the latency model: where the cycles went.
+
+    ``regime`` labels which Fig. 19 case the launch landed in:
+    ``"compute_bound"`` — memory latency fully hidden by multithreading
+    (Fig. 19a); ``"latency_bound"`` — not enough warps to cover misses
+    (Fig. 19b); ``"bandwidth_bound"`` — the bus itself saturated.
+    """
+
+    compute_cycles: float = 0.0
+    memory_latency_cycles: float = 0.0
+    bandwidth_cycles: float = 0.0
+    launch_overhead_cycles: float = 0.0
+    total_cycles: float = 0.0
+    regime: str = "compute_bound"
+    #: Resident warps per SM used for latency hiding.
+    resident_warps: int = 0
+    #: Memory-level parallelism the model granted.
+    mwp: float = 0.0
+
+    seconds: float = 0.0
+
+    def throughput_gbps(self, input_bytes: int) -> float:
+        """Input bits per second in Gbit/s, the paper's reporting unit."""
+        if self.seconds <= 0:
+            return 0.0
+        return input_bytes * 8 / self.seconds / 1e9

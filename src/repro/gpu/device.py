@@ -1,0 +1,107 @@
+"""Device facade: binds the pieces of the substrate together.
+
+A :class:`Device` owns a :class:`~repro.gpu.config.DeviceConfig` and
+provides the three operations a CUDA host program performs in the
+paper's workflow: copy data to the device, bind the STT to texture
+memory, and launch a kernel (price a :class:`~repro.gpu.latency.KernelCost`).
+
+The functional side of "running" a kernel (producing matches) is done
+by the kernel modules themselves; the Device is the accounting
+authority — it validates launches against hardware limits and converts
+costs into a :class:`~repro.gpu.counters.TimingBreakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.stt import STT
+from repro.errors import DeviceError, LaunchError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.counters import TimingBreakdown
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.latency import KernelCost, estimate_time, h2d_copy_seconds
+
+
+@dataclass(frozen=True)
+class TextureBinding:
+    """An STT resident in texture memory."""
+
+    n_states: int
+    bytes_total: int
+
+    @property
+    def megabytes(self) -> float:
+        """Texture footprint in MiB."""
+        return self.bytes_total / 2**20
+
+
+class Device:
+    """A simulated CUDA device (defaults to the paper's GTX 285)."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None):
+        self.config = config or gtx285()
+        self._texture: Optional[TextureBinding] = None
+        self._allocated_bytes = 0
+
+    # -- host <-> device ---------------------------------------------------
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve global memory; returns total allocated after the call.
+
+        Raises
+        ------
+        DeviceError
+            If the device memory would be exceeded (the paper's 200 MB
+            inputs + a 20k-pattern STT fit comfortably in 1 GB; this
+            guard catches unscaled misuse).
+        """
+        if nbytes < 0:
+            raise DeviceError("cannot allocate a negative size")
+        if self._allocated_bytes + nbytes > self.config.global_mem_bytes:
+            raise DeviceError(
+                f"device memory exhausted: {self._allocated_bytes + nbytes} B "
+                f"requested of {self.config.global_mem_bytes} B"
+            )
+        self._allocated_bytes += nbytes
+        return self._allocated_bytes
+
+    def free_all(self) -> None:
+        """Release all allocations (simulation-level bookkeeping)."""
+        self._allocated_bytes = 0
+        self._texture = None
+
+    def copy_h2d_seconds(self, nbytes: int) -> float:
+        """Host→device copy time over PCIe (reported, never benchmarked:
+        the paper excludes one-time copies from its measurements)."""
+        return h2d_copy_seconds(nbytes, self.config)
+
+    def bind_texture(self, stt: STT) -> TextureBinding:
+        """Place the STT in texture memory (paper Section IV-B-2)."""
+        stats = stt.stats()
+        self.alloc(stats.bytes_total)
+        binding = TextureBinding(
+            n_states=stats.n_states, bytes_total=stats.bytes_total
+        )
+        self._texture = binding
+        return binding
+
+    @property
+    def texture(self) -> Optional[TextureBinding]:
+        """Currently bound STT, if any."""
+        return self._texture
+
+    # -- launches -----------------------------------------------------------
+
+    def launch(self, launch: LaunchConfig, cost: KernelCost) -> TimingBreakdown:
+        """Validate the launch against device limits and price it."""
+        occ = launch.validate(self.config)
+        if occ.warps_per_sm != cost.occupancy.warps_per_sm:
+            raise LaunchError(
+                "cost bundle computed for a different occupancy "
+                f"({cost.occupancy.warps_per_sm} warps/SM) than the launch "
+                f"({occ.warps_per_sm} warps/SM)"
+            )
+        cost.counters.validate()
+        return estimate_time(cost, self.config)

@@ -1,0 +1,85 @@
+"""SIMT launch geometry: grids, blocks, warps (paper Section III).
+
+A kernel launch is a grid of thread blocks; blocks are distributed
+round-robin over the SMs and their threads execute in warps of 32
+(half-warps of 16 for the memory system).  This module holds the
+arithmetic that maps a problem size onto that hierarchy, shared by the
+kernels, the analytic timing model and the discrete-event scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.config import DeviceConfig, Occupancy
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch: grid × block geometry plus shared usage."""
+
+    n_blocks: int
+    threads_per_block: int
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0:
+            raise LaunchError(f"grid must have >= 1 block, got {self.n_blocks}")
+        if self.threads_per_block <= 0:
+            raise LaunchError(
+                f"block must have >= 1 thread, got {self.threads_per_block}"
+            )
+        if self.shared_bytes_per_block < 0:
+            raise LaunchError("shared_bytes_per_block must be >= 0")
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across the whole grid."""
+        return self.n_blocks * self.threads_per_block
+
+    def warps_per_block(self, config: DeviceConfig) -> int:
+        """Warps per block (ceil division by warp size)."""
+        return -(-self.threads_per_block // config.warp_size)
+
+    def validate(self, config: DeviceConfig) -> Occupancy:
+        """Check device limits; returns the launch's occupancy."""
+        if self.threads_per_block > config.max_threads_per_block:
+            raise LaunchError(
+                f"{self.threads_per_block} threads/block exceeds limit "
+                f"{config.max_threads_per_block}"
+            )
+        if self.shared_bytes_per_block > config.shared_mem_per_sm:
+            raise LaunchError(
+                f"{self.shared_bytes_per_block} B shared/block exceeds SM "
+                f"capacity {config.shared_mem_per_sm} B"
+            )
+        return config.occupancy(self.threads_per_block, self.shared_bytes_per_block)
+
+    def blocks_on_sm(self, config: DeviceConfig, sm: int) -> int:
+        """Blocks that SM *sm* executes under round-robin distribution."""
+        if not 0 <= sm < config.sm_count:
+            raise LaunchError(f"sm {sm} out of range")
+        base, extra = divmod(self.n_blocks, config.sm_count)
+        return base + (1 if sm < extra else 0)
+
+    def max_blocks_per_sm_used(self, config: DeviceConfig) -> int:
+        """Blocks on the busiest SM (grid-level load balance)."""
+        return -(-self.n_blocks // config.sm_count)
+
+
+def halfwarp_lanes(thread_ids: np.ndarray, half_warp: int = 16) -> np.ndarray:
+    """Group a 1-D thread-id array into ``(n_halfwarps, half_warp)`` rows.
+
+    Pads the ragged tail by repeating the last thread id (padding lanes
+    should be masked by callers via an ``active`` array when it matters).
+    """
+    thread_ids = np.asarray(thread_ids).ravel()
+    pad = (-thread_ids.size) % half_warp
+    if pad:
+        thread_ids = np.concatenate(
+            [thread_ids, np.repeat(thread_ids[-1:], pad)]
+        )
+    return thread_ids.reshape(-1, half_warp)

@@ -1,0 +1,140 @@
+"""Grid-level discrete-event simulation: blocks, waves, tails.
+
+:mod:`repro.gpu.simt` simulates one SM's warps; this module lifts the
+simulation to the *grid*: blocks are dispatched to SMs by greedy list
+scheduling (a block launches on the first SM that frees capacity,
+matching the hardware's work distributor), each block's execution time
+comes from an :class:`~repro.gpu.simt.SMScheduler` run of its warps,
+and the kernel finishes when the last block retires.
+
+This is the mechanistic ground truth for two things the analytic model
+approximates:
+
+* the even-division assumption (``total / n_sm``) — exact in the
+  many-wave limit, optimistic for small grids;
+* the tail effect quantified statically by
+  :func:`repro.analysis.waves.analyze_waves` — here reproduced
+  dynamically, including unequal block durations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import DeviceError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.simt import SMScheduler, WarpProgram
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of a grid simulation."""
+
+    total_cycles: float
+    n_blocks: int
+    n_waves_observed: int
+    #: Sum of per-block busy cycles (the even-division model's input).
+    block_cycles_total: float
+    sm_count: int
+    blocks_per_sm: int
+
+    @property
+    def even_division_cycles(self) -> float:
+        """What the analytic model would charge: total work / SMs."""
+        return self.block_cycles_total / self.sm_count
+
+    @property
+    def quantization_ratio(self) -> float:
+        """Observed / even-division time (>= ~1; tail effect)."""
+        if self.even_division_cycles == 0:
+            return 1.0
+        return self.total_cycles / self.even_division_cycles
+
+
+def simulate_grid(
+    block_programs: Sequence[Sequence[WarpProgram]],
+    *,
+    blocks_per_sm: int = 1,
+    config: Optional[DeviceConfig] = None,
+) -> GridResult:
+    """Simulate a grid whose block *i* runs ``block_programs[i]``.
+
+    Parameters
+    ----------
+    block_programs:
+        One warp-program list per block.
+    blocks_per_sm:
+        Concurrent blocks each SM can host (from occupancy).  Blocks
+        co-resident on an SM time-share its issue port; we approximate
+        that by running each block's warps through the SM scheduler
+        independently and letting ``blocks_per_sm`` slots per SM
+        execute concurrently — optimistic for co-resident interference,
+        exact for the 1-block-per-SM geometry the shared kernel uses.
+
+    Returns
+    -------
+    GridResult
+    """
+    config = config or gtx285()
+    if not block_programs:
+        raise DeviceError("grid must contain at least one block")
+    if blocks_per_sm < 1:
+        raise DeviceError("blocks_per_sm must be >= 1")
+
+    sched = SMScheduler(
+        mwp_limit=max(
+            int(config.global_latency_cycles / config.memory_departure_cycles),
+            1,
+        ),
+        departure_cycles=config.memory_departure_cycles,
+    )
+    durations = [
+        sched.run(list(progs)).total_cycles for progs in block_programs
+    ]
+
+    slots = config.sm_count * blocks_per_sm
+    # Greedy list scheduling over `slots` block executors: every block
+    # starts on the executor that frees first.
+    heap: List[float] = [0.0] * min(slots, len(durations))
+    heapq.heapify(heap)
+    finish = 0.0
+    for d in durations:
+        start = heapq.heappop(heap)
+        end = start + d
+        finish = max(finish, end)
+        heapq.heappush(heap, end)
+
+    waves = -(-len(durations) // slots)
+    return GridResult(
+        total_cycles=finish,
+        n_blocks=len(durations),
+        n_waves_observed=waves,
+        block_cycles_total=float(sum(durations)),
+        sm_count=config.sm_count,
+        blocks_per_sm=blocks_per_sm,
+    )
+
+
+def uniform_grid(
+    n_blocks: int,
+    warps_per_block: int,
+    iters_per_warp: int,
+    compute_cycles_per_iter: float,
+    miss_rate: float,
+    miss_latency: float,
+) -> List[List[WarpProgram]]:
+    """Convenience: a grid of identical blocks."""
+    if n_blocks < 1:
+        raise DeviceError("n_blocks must be >= 1")
+    block = [
+        WarpProgram(
+            n_iterations=iters_per_warp,
+            compute_cycles_per_iter=compute_cycles_per_iter,
+            miss_every=(1.0 / miss_rate) if miss_rate > 0 else 0.0,
+            miss_latency=miss_latency,
+        )
+        for _ in range(warps_per_block)
+    ]
+    return [list(block) for _ in range(n_blocks)]

@@ -1,0 +1,288 @@
+"""Shared-memory store schemes (paper Section IV-B-3, Figs. 11-12).
+
+A block stages its input bytes into shared memory and then every thread
+reads its own chunk back out.  *Where* each 4-byte unit lands decides
+whether the staging stores and the matching loads hit distinct banks:
+
+* :class:`LinearLayout` — word ``w`` of the block's data lands in slot
+  ``w``.  Cooperative stores are conflict-free (consecutive lanes →
+  consecutive banks) but matching loads stride by the chunk length and
+  collide: with 64-byte chunks all 16 lanes of a half-warp hit the
+  *same* bank (the "a lot of bank conflicts" case of the paper).
+* :class:`DiagonalLayout` — the paper's scheme (Fig. 11): within each
+  16-word row the words are rotated by the row index, so cooperative
+  stores stay conflict-free *and* the strided matching loads spread
+  across all 16 banks (Fig. 12).
+* :class:`TransposedLayout` — an instructive alternative: perfect for
+  matching loads (consecutive lanes → consecutive slots) but its
+  *stores* collide; included to show the paper's scheme is the one that
+  fixes both phases at once (ablated in the Fig. 23 bench module).
+
+Staging itself comes in two flavours, selected by
+``cooperative_staging``: the paper's cooperative coalesced loop
+(Figs. 9-10) or the naive every-thread-loads-its-own-chunk loop used as
+the Fig. 23 baseline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+
+
+@dataclass(frozen=True)
+class BlockGeometry:
+    """Shared-staging geometry of one thread block.
+
+    Attributes
+    ----------
+    n_threads:
+        Threads per block (a multiple of ``lanes``).
+    chunk_bytes:
+        Bytes owned by each thread (multiple of 4 so chunk starts stay
+        word-aligned in shared memory).
+    overlap_bytes:
+        The +X spanning bytes staged past the block's owned region so
+        the block's last threads can finish their windows locally.
+    lanes:
+        Half-warp width (16 on the GTX 285).
+    n_banks:
+        Shared banks (16).
+    """
+
+    n_threads: int
+    chunk_bytes: int
+    overlap_bytes: int
+    lanes: int = 16
+    n_banks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0 or self.n_threads % self.lanes:
+            raise MemoryModelError(
+                f"n_threads ({self.n_threads}) must be a positive multiple "
+                f"of lanes ({self.lanes})"
+            )
+        if self.chunk_bytes <= 0 or self.chunk_bytes % 4:
+            raise MemoryModelError(
+                f"chunk_bytes ({self.chunk_bytes}) must be a positive "
+                "multiple of 4"
+            )
+        if self.overlap_bytes < 0:
+            raise MemoryModelError("overlap_bytes must be >= 0")
+
+    @property
+    def owned_bytes(self) -> int:
+        """Input bytes the block's threads own."""
+        return self.n_threads * self.chunk_bytes
+
+    @property
+    def staged_bytes(self) -> int:
+        """Bytes staged to shared memory (owned + overlap, word-padded)."""
+        raw = self.owned_bytes + self.overlap_bytes
+        return -(-raw // 4) * 4
+
+    @property
+    def staged_words(self) -> int:
+        """4-byte words staged per block."""
+        return self.staged_bytes // 4
+
+    @property
+    def chunk_words(self) -> int:
+        """Words per owned chunk."""
+        return self.chunk_bytes // 4
+
+    @property
+    def window_bytes(self) -> int:
+        """Bytes each thread scans (chunk + overlap)."""
+        return self.chunk_bytes + self.overlap_bytes
+
+    @property
+    def shared_bytes_needed(self) -> int:
+        """Shared-memory footprint of the staging buffer."""
+        return self.staged_words * 4
+
+
+class StoreScheme(ABC):
+    """Mapping from block-linear word index to shared-memory slot."""
+
+    #: Identifier used in reports and the Fig. 23 bench.
+    name: str = "abstract"
+    #: True when staging uses the cooperative coalesced loop.
+    cooperative_staging: bool = True
+
+    @abstractmethod
+    def slot_of_word(self, w: np.ndarray, geom: BlockGeometry) -> np.ndarray:
+        """Shared word slot for block-linear word index ``w``."""
+
+    # -- derived address patterns ---------------------------------------
+
+    def staging_store_addresses(self, geom: BlockGeometry) -> tuple:
+        """Byte addresses of every staging store, grouped per half-warp.
+
+        Returns ``(addresses, active)`` of shape
+        ``(n_halfwarp_accesses, lanes)``.
+
+        Cooperative staging: store step ``k`` has lane ``l`` writing
+        word ``k*lanes + l``.  Naive staging: thread ``t`` (lane within
+        its half-warp) writes word ``t*chunk_words + q`` at step ``q``
+        — all lanes of a half-warp write the same step of *their own*
+        chunks simultaneously (SIMD).
+        """
+        W = geom.staged_words
+        if self.cooperative_staging:
+            w = np.arange(W, dtype=np.int64)
+            pad = (-W) % geom.lanes
+            if pad:
+                w = np.concatenate([w, w[-pad:]])  # replicate; masked off
+                active = np.ones(w.size, dtype=bool)
+                active[-pad:] = False
+            else:
+                active = np.ones(w.size, dtype=bool)
+            slots = self.slot_of_word(w, geom)
+            return (
+                (slots * 4).reshape(-1, geom.lanes),
+                active.reshape(-1, geom.lanes),
+            )
+        # Naive: per-thread sequential stores.  Thread t writes its own
+        # chunk words; lanes of one half-warp are 16 consecutive t.
+        t = np.arange(geom.n_threads, dtype=np.int64)
+        rows = []
+        actives = []
+        for q in range(geom.chunk_words):
+            w = t * geom.chunk_words + q
+            ok = w < W
+            slots = self.slot_of_word(np.where(ok, w, 0), geom)
+            rows.append((slots * 4).reshape(-1, geom.lanes))
+            actives.append(ok.reshape(-1, geom.lanes))
+        return np.concatenate(rows), np.concatenate(actives)
+
+    def match_load_addresses(self, geom: BlockGeometry) -> tuple:
+        """Byte addresses of every matching-phase word load per half-warp.
+
+        Thread ``t`` scans its window one 4-byte word at a time; at word
+        step ``q`` it loads block word ``(t*chunk_bytes)//4 + q``.
+        Returns ``(addresses, active)`` shaped
+        ``(window_words * n_halfwarps, lanes)``.
+        """
+        window_words = -(-geom.window_bytes // 4)
+        t = np.arange(geom.n_threads, dtype=np.int64)
+        base_word = (t * geom.chunk_bytes) // 4
+        rows = []
+        actives = []
+        W = geom.staged_words
+        for q in range(window_words):
+            w = base_word + q
+            ok = w < W
+            slots = self.slot_of_word(np.where(ok, w, 0), geom)
+            rows.append((slots * 4).reshape(-1, geom.lanes))
+            actives.append(ok.reshape(-1, geom.lanes))
+        return np.concatenate(rows), np.concatenate(actives)
+
+    def is_bijective(self, geom: BlockGeometry) -> bool:
+        """True when the word→slot map is a permutation of the buffer."""
+        w = np.arange(geom.staged_words, dtype=np.int64)
+        slots = self.slot_of_word(w, geom)
+        return (
+            slots.min() >= 0
+            and slots.max() < geom.staged_words
+            and np.unique(slots).size == geom.staged_words
+        )
+
+
+class LinearLayout(StoreScheme):
+    """Identity layout with cooperative staging ("coalescing only").
+
+    This is the Fig. 23 middle baseline: global loads are coalesced and
+    the cooperative stores are conflict-free, but the matching loads
+    collide because each thread strides through its contiguous chunk.
+    """
+
+    name = "coalesce_only"
+    cooperative_staging = True
+
+    def slot_of_word(self, w: np.ndarray, geom: BlockGeometry) -> np.ndarray:
+        """Identity: word ``w`` lands in slot ``w``."""
+        return np.asarray(w, dtype=np.int64)
+
+
+class NaiveLayout(LinearLayout):
+    """Identity layout with *naive* per-thread staging (Fig. 23 baseline).
+
+    Every thread loads its own chunk from global memory byte-row by
+    byte-row (uncoalesced) and stores it contiguously (bank-conflicting
+    stores as well as loads).
+    """
+
+    name = "naive"
+    cooperative_staging = False
+
+
+class DiagonalLayout(StoreScheme):
+    """The paper's diagonal scheme (Figs. 11-12).
+
+    Within each row of ``n_banks`` consecutive words, word ``w`` is
+    rotated to slot ``row*n_banks + (row + w) mod n_banks``.  Staging
+    stores stay conflict-free (a store step touches one row with all
+    lanes on distinct banks), and the matching loads of the paper's
+    geometry (chunk a multiple of the bank row) land on 16 distinct
+    banks (Fig. 12).
+    """
+
+    name = "diagonal"
+    cooperative_staging = True
+
+    def slot_of_word(self, w: np.ndarray, geom: BlockGeometry) -> np.ndarray:
+        """Rotate word ``w`` within its bank row by the row index."""
+        w = np.asarray(w, dtype=np.int64)
+        nb = geom.n_banks
+        row = w // nb
+        rotated = row * nb + (row + w) % nb
+        # A trailing partial row cannot rotate without escaping the
+        # buffer; it stays in place (it holds overlap padding only).
+        full_rows = geom.staged_words // nb
+        return np.where(row < full_rows, rotated, w)
+
+
+class TransposedLayout(StoreScheme):
+    """Chunk-transposed layout: slot = q*n_threads + t.
+
+    Matching loads become perfectly conflict-free for *any* chunk size,
+    but the cooperative stores now collide — a half-warp's 16
+    consecutive words belong to at most ⌈16/chunk_words⌉ threads and
+    map to few banks.  Kept as an ablation to demonstrate why the paper
+    rotates rows instead of transposing.
+    """
+
+    name = "transposed"
+    cooperative_staging = True
+
+    def slot_of_word(self, w: np.ndarray, geom: BlockGeometry) -> np.ndarray:
+        """Transpose: chunk word ``q`` of thread ``t`` -> slot q*T + t."""
+        w = np.asarray(w, dtype=np.int64)
+        cw = geom.chunk_words
+        owned_words = geom.n_threads * cw
+        t = w // cw
+        q = w % cw
+        slot = np.where(w < owned_words, q * geom.n_threads + t, w)
+        return slot
+
+
+#: Registry used by kernels, benches and the CLI.
+SCHEMES = {
+    scheme.name: scheme
+    for scheme in (NaiveLayout(), LinearLayout(), DiagonalLayout(), TransposedLayout())
+}
+
+
+def get_scheme(name: str) -> StoreScheme:
+    """Look up a store scheme by its registry name."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise MemoryModelError(
+            f"unknown store scheme {name!r}; available: {sorted(SCHEMES)}"
+        ) from None

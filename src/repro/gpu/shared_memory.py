@@ -1,0 +1,157 @@
+"""Banked shared memory with exact conflict accounting (Section IV-B-3).
+
+The GTX 285 splits each SM's 16 KB shared memory into 16 banks of
+4-byte words; successive words live in successive banks.  A half-warp
+access in which ``d`` lanes hit the same bank serializes into ``d``
+bank cycles — the *bank conflict* the paper's diagonal store scheme is
+designed to eliminate (Figs. 11-12, evaluated in Fig. 23).
+
+:func:`conflict_degrees` computes the exact serialization degree for a
+batch of half-warp address vectors, vectorized across the batch.  The
+broadcast exception is modelled: if *all* lanes read the same word the
+hardware broadcasts it in one cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+
+
+@dataclass(frozen=True)
+class SharedAccessSummary:
+    """Conflict accounting for a batch of half-warp shared accesses."""
+
+    accesses: int
+    #: Sum of conflict degrees; equals ``accesses`` when conflict-free.
+    serialized_accesses: int
+    max_degree: int
+
+    @property
+    def avg_degree(self) -> float:
+        """Mean serialization degree (1.0 = conflict-free)."""
+        return self.serialized_accesses / self.accesses if self.accesses else 1.0
+
+    @property
+    def conflict_free(self) -> bool:
+        """True when no access serialized."""
+        return self.serialized_accesses == self.accesses
+
+
+def bank_of(addresses: np.ndarray, n_banks: int = 16, bank_width: int = 4) -> np.ndarray:
+    """Bank index of each byte address (word-interleaved mapping)."""
+    return (np.asarray(addresses) // bank_width) % n_banks
+
+
+def conflict_degrees(
+    addresses: np.ndarray,
+    n_banks: int = 16,
+    bank_width: int = 4,
+    *,
+    active: np.ndarray = None,
+) -> np.ndarray:
+    """Serialization degree of each half-warp access in a batch.
+
+    Parameters
+    ----------
+    addresses:
+        ``(n_halfwarps, lanes)`` byte addresses into shared memory.
+    n_banks, bank_width:
+        Bank geometry (16 × 4 B on the GTX 285).
+    active:
+        Optional lane mask; inactive lanes issue no access.
+
+    Returns
+    -------
+    ``(n_halfwarps,)`` int array: for each access, the maximum number
+    of active lanes that map to one bank — except that lanes reading
+    the *identical word* count once (hardware broadcast).
+
+    Notes
+    -----
+    The degree is computed per *distinct word* per bank: n lanes on the
+    same word broadcast (1 cycle), n lanes on different words of one
+    bank serialize (n cycles).  This matches the CUDA 1.x documented
+    behaviour for read broadcasts; writes to the same word would be
+    undefined in CUDA and are rejected by the kernels, not here.
+    """
+    addresses = np.asarray(addresses)
+    if addresses.ndim != 2:
+        raise MemoryModelError(
+            f"addresses must be (n_halfwarps, lanes); got {addresses.shape}"
+        )
+    if addresses.shape[1] > n_banks * 64:
+        raise MemoryModelError("lane count implausibly large")
+    words = addresses // bank_width
+    banks = words % n_banks
+    n_rows, lanes = addresses.shape
+
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != addresses.shape:
+            raise MemoryModelError("active mask shape mismatch")
+    else:
+        active = np.ones_like(addresses, dtype=bool)
+
+    # For each row and bank, count DISTINCT words touched.  Sort each
+    # row by (bank, word); a lane contributes 1 when it opens a new
+    # (bank, word) pair; per-bank degree = number of new pairs in that
+    # bank; row degree = max over banks.
+    key = np.where(active, banks * (words.max() + 2) + words, -1)
+    order = np.argsort(key, axis=1)
+    key_sorted = np.take_along_axis(key, order, axis=1)
+    banks_sorted = np.take_along_axis(np.where(active, banks, -1), order, axis=1)
+
+    new_pair = np.empty_like(key_sorted, dtype=bool)
+    new_pair[:, 0] = key_sorted[:, 0] >= 0
+    new_pair[:, 1:] = (np.diff(key_sorted, axis=1) != 0) & (key_sorted[:, 1:] >= 0)
+
+    degrees = np.zeros(n_rows, dtype=np.int64)
+    # Per-bank counting without a Python loop over rows: offset each
+    # row's banks into a global id space and bincount the new pairs.
+    rows = np.repeat(np.arange(n_rows), lanes).reshape(n_rows, lanes)
+    flat_ids = (rows * n_banks + np.where(banks_sorted >= 0, banks_sorted, 0)).ravel()
+    weights = new_pair.ravel().astype(np.int64)
+    per_row_bank = np.bincount(
+        flat_ids, weights=weights, minlength=n_rows * n_banks
+    ).reshape(n_rows, n_banks)
+    degrees = per_row_bank.max(axis=1).astype(np.int64)
+    # Rows with no active lane have degree 0; normalize to 1 "free" access?
+    # No: such rows issued nothing — caller excludes them from counts.
+    return degrees
+
+
+def summarize(
+    addresses: np.ndarray,
+    n_banks: int = 16,
+    bank_width: int = 4,
+    *,
+    active: np.ndarray = None,
+) -> SharedAccessSummary:
+    """Aggregate :func:`conflict_degrees` into a summary bundle."""
+    deg = conflict_degrees(addresses, n_banks, bank_width, active=active)
+    issued = deg[deg > 0]
+    return SharedAccessSummary(
+        accesses=int(issued.size),
+        serialized_accesses=int(issued.sum()),
+        max_degree=int(issued.max()) if issued.size else 0,
+    )
+
+
+def bruteforce_degree(
+    addresses: np.ndarray, n_banks: int = 16, bank_width: int = 4
+) -> int:
+    """Reference implementation for a single half-warp (tests only).
+
+    Counts distinct words per bank with plain Python sets.
+    """
+    per_bank = {}
+    for a in np.asarray(addresses).ravel().tolist():
+        w = a // bank_width
+        per_bank.setdefault(w % n_banks, set()).add(w)
+    if not per_bank:
+        return 0
+    return max(len(ws) for ws in per_bank.values())

@@ -1,0 +1,175 @@
+"""Discrete-event SIMT warp scheduler — ground truth for the timing model.
+
+A deliberately small but *mechanistic* simulator of one SM: resident
+warps round-robin on a single issue port; a warp that takes a miss
+parks until its memory request returns; requests depart at most one per
+departure-delay and at most ``mwp_limit`` may be outstanding (the
+memory-level-parallelism cap).  This reproduces the paper's Fig. 19
+mechanics directly:
+
+* few misses + many warps   → misses fully hidden (Fig. 19a): the SM's
+  busy time ≈ total compute cycles;
+* frequent misses           → the warp pool drains, the SM idles on
+  memory (Fig. 19b): busy time ≈ misses × latency / MWP.
+
+The analytic model (:mod:`repro.gpu.latency`) claims exactly those two
+asymptotes; ``tests/gpu/test_simt.py`` drives both through this
+scheduler and enforces agreement within a tolerance band.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class WarpProgram:
+    """Synthetic per-warp workload: n iterations, deterministic misses.
+
+    ``miss_every`` = k means iterations k, 2k, 3k... end in a memory
+    request (k may be fractional: misses are spaced by accumulating a
+    fractional counter, matching an average miss rate of 1/k).
+    ``miss_every = 0`` disables misses.
+    """
+
+    n_iterations: int
+    compute_cycles_per_iter: float
+    miss_every: float
+    miss_latency: float
+
+    def __post_init__(self) -> None:
+        if self.n_iterations < 0 or self.compute_cycles_per_iter < 0:
+            raise DeviceError("negative warp program parameter")
+        if self.miss_every < 0 or self.miss_latency < 0:
+            raise DeviceError("negative miss parameter")
+
+
+@dataclass
+class _WarpState:
+    program: WarpProgram
+    iters_done: int = 0
+    ready_at: float = 0.0
+    miss_accum: float = 0.0
+
+    def finished(self) -> bool:
+        return self.iters_done >= self.program.n_iterations
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one SM simulation."""
+
+    total_cycles: float
+    compute_cycles: float
+    idle_cycles: float
+    misses_issued: int
+
+    @property
+    def utilization(self) -> float:
+        """Issue-port busy fraction."""
+        if self.total_cycles == 0:
+            return 1.0
+        return self.compute_cycles / self.total_cycles
+
+
+class SMScheduler:
+    """Single-SM discrete-event scheduler.
+
+    Parameters
+    ----------
+    mwp_limit:
+        Maximum outstanding memory requests (the MWP cap).
+    departure_cycles:
+        Minimum gap between two request departures.
+    """
+
+    def __init__(self, mwp_limit: int, departure_cycles: float):
+        if mwp_limit < 1:
+            raise DeviceError("mwp_limit must be >= 1")
+        if departure_cycles < 0:
+            raise DeviceError("departure_cycles must be >= 0")
+        self.mwp_limit = mwp_limit
+        self.departure_cycles = departure_cycles
+
+    def run(self, programs: List[WarpProgram]) -> ScheduleResult:
+        """Simulate the warps to completion; returns cycle accounting."""
+        if not programs:
+            return ScheduleResult(0.0, 0.0, 0.0, 0)
+        warps = [_WarpState(p) for p in programs]
+        time = 0.0
+        compute = 0.0
+        misses = 0
+        next_departure = 0.0
+        outstanding: List[float] = []  # completion-time heap
+
+        last_completion = 0.0
+        while True:
+            pending = [w for w in warps if not w.finished()]
+            if not pending:
+                break
+            # Earliest-ready warp; if none ready now, idle to it.
+            w = min(pending, key=lambda s: s.ready_at)
+            if w.ready_at > time:
+                time = w.ready_at  # issue-port idle gap
+
+            c = w.program.compute_cycles_per_iter
+            time += c
+            compute += c
+            w.iters_done += 1
+
+            if w.program.miss_every > 0:
+                w.miss_accum += 1.0 / w.program.miss_every
+            if w.miss_accum >= 1.0:
+                w.miss_accum -= 1.0
+                misses += 1
+                depart = max(time, next_departure)
+                # Drain requests already completed by the departure time.
+                while outstanding and outstanding[0] <= depart:
+                    heapq.heappop(outstanding)
+                # If the outstanding cap is still saturated, the request
+                # waits for the earliest in-flight completion.
+                while len(outstanding) >= self.mwp_limit:
+                    depart = max(depart, heapq.heappop(outstanding))
+                next_departure = depart + self.departure_cycles
+                completion = depart + w.program.miss_latency
+                heapq.heappush(outstanding, completion)
+                w.ready_at = completion
+                last_completion = max(last_completion, completion)
+            else:
+                w.ready_at = time
+
+        # The kernel is not done until its final memory requests retire
+        # (their results feed the last output writes).
+        time = max(time, last_completion)
+        return ScheduleResult(
+            total_cycles=time,
+            compute_cycles=compute,
+            idle_cycles=max(time - compute, 0.0),
+            misses_issued=misses,
+        )
+
+
+def uniform_warps(
+    n_warps: int,
+    n_iterations: int,
+    compute_cycles_per_iter: float,
+    miss_rate: float,
+    miss_latency: float,
+) -> List[WarpProgram]:
+    """Build *n_warps* identical programs with an average miss rate."""
+    if not 0 <= miss_rate <= 1:
+        raise DeviceError("miss_rate must be in [0, 1]")
+    miss_every = (1.0 / miss_rate) if miss_rate > 0 else 0.0
+    return [
+        WarpProgram(
+            n_iterations=n_iterations,
+            compute_cycles_per_iter=compute_cycles_per_iter,
+            miss_every=miss_every,
+            miss_latency=miss_latency,
+        )
+        for _ in range(n_warps)
+    ]

@@ -1,0 +1,144 @@
+"""Cross-validation harness: analytic timing vs discrete-event scheduling.
+
+The analytic model (:mod:`repro.gpu.latency`) claims the max-rule
+composition of three bounds; the discrete-event scheduler
+(:mod:`repro.gpu.simt`) *mechanistically executes* warps with the same
+parameters.  This harness sweeps a grid of synthetic kernels through
+both and reports agreement, giving the repository a standing answer to
+"why should I believe the timing model?" — run ``repro-ac validate``.
+
+The sweep spans both Fig. 19 regimes: compute-bound points (rare
+misses, deep warp pools) and latency-bound points (frequent misses,
+shallow pools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.simt import SMScheduler, uniform_warps
+
+#: (warps, compute cycles/iter, miss rate, latency) sweep points.
+DEFAULT_SWEEP: Tuple[Tuple[int, float, float, float], ...] = (
+    (4, 40.0, 0.00, 500.0),
+    (8, 40.0, 0.01, 500.0),
+    (16, 40.0, 0.02, 500.0),
+    (32, 60.0, 0.02, 400.0),
+    (8, 10.0, 0.20, 500.0),
+    (16, 10.0, 0.30, 500.0),
+    (8, 8.0, 0.50, 600.0),
+    (4, 8.0, 1.00, 500.0),
+    (24, 20.0, 0.10, 300.0),
+    (32, 12.0, 0.05, 500.0),
+)
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One sweep point's analytic-vs-mechanistic comparison."""
+
+    warps: int
+    compute_per_iter: float
+    miss_rate: float
+    latency: float
+    analytic_cycles: float
+    simulated_cycles: float
+    regime: str
+
+    @property
+    def ratio(self) -> float:
+        """analytic / simulated (1.0 = perfect)."""
+        if self.simulated_cycles == 0:
+            return 1.0
+        return self.analytic_cycles / self.simulated_cycles
+
+    def describe(self) -> str:
+        """One-line report entry."""
+        return (
+            f"W={self.warps:2d} c={self.compute_per_iter:5.1f} "
+            f"m={self.miss_rate:4.2f} L={self.latency:5.0f} | "
+            f"analytic {self.analytic_cycles:12.0f} vs sim "
+            f"{self.simulated_cycles:12.0f} (x{self.ratio:4.2f}, "
+            f"{self.regime})"
+        )
+
+
+def analytic_cycles(
+    warps: int,
+    iters: int,
+    compute_per_iter: float,
+    miss_rate: float,
+    latency: float,
+    config: DeviceConfig,
+) -> Tuple[float, str]:
+    """The latency model's prediction for the synthetic kernel.
+
+    Mirrors :func:`repro.gpu.latency.estimate_time` on one SM with the
+    miss stream expressed as dependent stalls.
+    """
+    compute = warps * iters * compute_per_iter
+    misses = warps * iters * miss_rate
+    mwp = max(min(float(warps), latency / config.memory_departure_cycles), 1.0)
+    memory = misses * latency / mwp
+    kappa = config.overlap_inefficiency
+    body = max(compute, memory) + kappa * min(compute, memory)
+    return body, ("compute_bound" if compute >= memory else "latency_bound")
+
+
+def run_validation(
+    sweep: Sequence[Tuple[int, float, float, float]] = DEFAULT_SWEEP,
+    *,
+    iters: int = 400,
+    config: Optional[DeviceConfig] = None,
+) -> List[ValidationPoint]:
+    """Execute the sweep through both models."""
+    config = config or gtx285()
+    out: List[ValidationPoint] = []
+    for warps, c, m, latency in sweep:
+        sched = SMScheduler(
+            mwp_limit=max(int(latency / config.memory_departure_cycles), 1),
+            departure_cycles=config.memory_departure_cycles,
+        )
+        sim = sched.run(uniform_warps(warps, iters, c, m, latency))
+        ana, regime = analytic_cycles(warps, iters, c, m, latency, config)
+        out.append(
+            ValidationPoint(
+                warps=warps,
+                compute_per_iter=c,
+                miss_rate=m,
+                latency=latency,
+                analytic_cycles=ana,
+                simulated_cycles=sim.total_cycles,
+                regime=regime,
+            )
+        )
+    return out
+
+
+def validation_report(
+    points: Optional[List[ValidationPoint]] = None,
+    *,
+    tolerance: float = 0.5,
+) -> str:
+    """Human-readable sweep report with a pass/fail verdict.
+
+    ``tolerance`` is the allowed |log-ratio|: 0.5 ≈ within 65 %/165 %.
+    """
+    if tolerance <= 0:
+        raise ExperimentError("tolerance must be positive")
+    points = points if points is not None else run_validation()
+    import math
+
+    lines = ["analytic latency model vs discrete-event SIMT scheduler:"]
+    worst = 0.0
+    for p in points:
+        lines.append("  " + p.describe())
+        worst = max(worst, abs(math.log(max(p.ratio, 1e-12))))
+    verdict = "PASS" if worst <= tolerance else "FAIL"
+    lines.append(
+        f"worst |log ratio| = {worst:.3f} (tolerance {tolerance}) -> {verdict}"
+    )
+    return "\n".join(lines)

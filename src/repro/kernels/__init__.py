@@ -1,0 +1,28 @@
+"""The paper's GPU kernels, functional and event-emitting.
+
+* :func:`~repro.kernels.global_only.run_global_kernel` — Section
+  IV-B-3's global-memory-only parallelization (Fig. 7).
+* :func:`~repro.kernels.shared_mem.run_shared_kernel` — the
+  shared-memory parallelization with selectable store scheme
+  (Figs. 8-12; the scheme parameter drives the Fig. 23 ablation).
+* :func:`~repro.kernels.pfac.run_pfac_kernel` — the Parallel
+  Failureless AC variant of Lin et al., implemented as a related-work
+  baseline (extension).
+"""
+
+from repro.kernels.base import CostParams, KernelResult, TextureTraffic
+from repro.kernels.global_only import run_global_kernel
+from repro.kernels.multi_gpu import MultiGpuResult, run_multi_gpu
+from repro.kernels.pfac import run_pfac_kernel
+from repro.kernels.shared_mem import run_shared_kernel
+
+__all__ = [
+    "CostParams",
+    "KernelResult",
+    "TextureTraffic",
+    "MultiGpuResult",
+    "run_global_kernel",
+    "run_multi_gpu",
+    "run_pfac_kernel",
+    "run_shared_kernel",
+]

@@ -1,0 +1,293 @@
+"""Shared kernel infrastructure: cost parameters, texture traffic, results.
+
+Every kernel in this package runs in two decoupled passes:
+
+1. **measure** — the lockstep DFA engine produces the exact match set
+   plus every countable memory event (transactions, bank-conflict
+   degrees, two-level texture traffic);
+2. **price** — the measured events are assembled into a
+   :class:`~repro.gpu.latency.KernelCost` using the instruction-mix
+   constants of :class:`CostParams` and priced by the device.
+
+The split matters: calibration (``repro.bench.calibrate``) re-prices
+cached measurements under candidate constants without re-running the
+functional simulation, and it guarantees the constants can never
+influence *what* was measured.
+
+Texture model (paper Section IV-B-2, plus the GT200's real hierarchy):
+each SM has a small L1 texture cache and the device shares a ~256 KB
+texture L2.  For every half-warp STT fetch instruction we classify each
+lane's line as L1-hit / L2-hit / DRAM and charge the instruction a
+**mean-lane** stall (the texture pipeline services the lanes' misses
+concurrently; the warp's expected wait is the average outstanding
+severity, bounded between the optimistic all-overlap and pessimistic
+max-lane readings).  Distinct DRAM lines additionally pay a bus
+transaction and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dfa import DFA
+from repro.core.lockstep import LockstepTrace
+from repro.core.match import MatchResult
+from repro.errors import MemoryModelError
+from repro.gpu.config import DeviceConfig, Occupancy, TextureCacheConfig
+from repro.gpu.counters import EventCounters, TimingBreakdown
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.texture import stt_line_ids
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Instruction-mix constants of the AC inner loops (warp instructions).
+
+    ``instr_per_iter_*`` counts the warp instructions issued per
+    input-byte iteration (address arithmetic, the input-byte load
+    instruction itself, the texture fetch issue, match-flag test, state
+    move, loop bookkeeping).  Values are in the range a hand-written
+    CUDA AC kernel disassembles to; the calibration report
+    (EXPERIMENTS.md) records the final choices, which are then held
+    fixed across all experiments.
+    """
+
+    #: Inner-loop warp instructions per byte, global-memory-only kernel.
+    instr_per_iter_global: float = 12.0
+    #: Inner-loop warp instructions per byte, shared-memory kernel.
+    instr_per_iter_shared: float = 10.0
+    #: Staging-loop warp instructions per cooperative load/store pair.
+    instr_per_staged_word: float = 3.0
+    #: Warp instructions to format and write one raw match record.
+    instr_per_match_write: float = 10.0
+    #: __syncthreads() cost per block staging round.
+    sync_cycles_per_block: float = 60.0
+    #: Texture-cache capacity efficiency for the hot-set model.
+    tex_capacity_efficiency: float = 0.8
+    #: Cross-warp bank-interference coefficient (see Notes).
+    bank_interference_beta: float = 4.0
+
+    # Notes on ``bank_interference_beta``: the paper explains Fig. 23's
+    # growth ("the speedup of our scheme is larger as the number of
+    # patterns increases ... the chances of the shared memory bank
+    # conflicts increases") by deeper multithreading under texture-miss
+    # pressure increasing conflict exposure.  We model that stated
+    # mechanism explicitly: the serialization *excess* of a conflicting
+    # layout is amplified by
+    # ``1 + beta * dram_pressure * (resident_warps - 1)``
+    # where ``dram_pressure`` is the measured probability that a texture
+    # instruction stalls to DRAM.  A conflict-free layout has zero
+    # excess and is unaffected, exactly as in the paper.
+
+
+@dataclass(frozen=True)
+class TextureTraffic:
+    """Two-level texture accounting of one kernel run.
+
+    Attributes
+    ----------
+    accesses:
+        Half-warp texture fetch instructions issued.
+    dependent_latency_cycles:
+        Total severity-weighted stall cycles across those instructions
+        (mean-lane model; before MWP overlap).
+    l2_line_requests:
+        Distinct L1-missing lines served on chip by the texture L2.
+    dram_line_requests:
+        Distinct lines that had to come from device memory (these pay
+        bus transactions + bandwidth).
+    dram_instr_rate:
+        Fraction of fetch instructions with at least one DRAM lane —
+        the multithreading-pressure input of the Fig. 23 interference
+        term.
+    lane_l1_hit_rate:
+        Per-lane L1 hit fraction (reporting).
+    """
+
+    accesses: int
+    dependent_latency_cycles: float
+    l2_line_requests: int
+    dram_line_requests: int
+    dram_instr_rate: float
+    lane_l1_hit_rate: float
+    #: Distinct lines touched per instruction regardless of cache state
+    #: — the traffic an *uncached* STT placement would pay (used by the
+    #: texture-placement ablation).
+    total_line_requests: int = 0
+
+    @property
+    def dram_bytes(self) -> int:
+        """DRAM fill traffic (32 B texture lines)."""
+        return self.dram_line_requests * 32
+
+
+def _distinct_per_row(rows: np.ndarray, mask: np.ndarray) -> int:
+    """Count distinct masked values per row, summed over rows."""
+    key = np.where(mask, rows, -1)
+    key = np.sort(key, axis=1)
+    is_new = np.empty_like(key, dtype=bool)
+    is_new[:, 0] = key[:, 0] >= 0
+    is_new[:, 1:] = (np.diff(key, axis=1) != 0) & (key[:, 1:] >= 0)
+    return int(is_new.sum())
+
+
+def hot_line_set(
+    line_ids: np.ndarray, valid: np.ndarray, capacity_lines: int
+) -> np.ndarray:
+    """The cache-resident line set under the hot-set LRU approximation.
+
+    Returns the ``capacity_lines`` most-frequently-fetched line ids
+    (sorted), computed from the *valid* fetches of the trace.
+    """
+    flat = line_ids[valid]
+    if flat.size == 0:
+        return np.empty(0, dtype=np.int64)
+    uniq, counts = np.unique(flat, return_counts=True)
+    if uniq.size <= capacity_lines:
+        return np.sort(uniq)
+    order = np.argsort(counts)[::-1][:capacity_lines]
+    return np.sort(uniq[order])
+
+
+def texture_traffic(
+    dfa: DFA,
+    trace: LockstepTrace,
+    windows: np.ndarray,
+    config: DeviceConfig,
+    params: CostParams,
+    lanes: int = 16,
+) -> TextureTraffic:
+    """Price the STT texture fetches of a lockstep run (two-level model)."""
+    fetched = trace.states_fetched()
+    line_bytes = config.texture_cache.line_bytes
+    line_ids = stt_line_ids(fetched, windows, line_bytes=line_bytes)
+    valid = trace.valid
+
+    l1_capacity = int(
+        config.texture_cache.n_lines * params.tex_capacity_efficiency
+    )
+    l2_capacity = int(
+        (config.texture_l2_bytes // line_bytes) * params.tex_capacity_efficiency
+    )
+    # Nested hot sets: L1-hot ⊂ L2-hot by construction (same ranking).
+    hot_l2 = hot_line_set(line_ids, valid, l2_capacity)
+    hot_l1 = hot_line_set(line_ids, valid, l1_capacity)
+
+    in_l1 = np.isin(line_ids, hot_l1)
+    in_l2 = np.isin(line_ids, hot_l2)
+    l1_miss = valid & ~in_l1
+    dram = valid & ~in_l2
+    l2_serviced = l1_miss & in_l2
+
+    # Group the thread axis into half-warps.
+    window_len, n_threads = line_ids.shape
+    pad = (-n_threads) % lanes
+    if pad:
+        line_ids = np.pad(line_ids, ((0, 0), (0, pad)))
+        valid_p = np.pad(valid, ((0, 0), (0, pad)))
+        l2_p = np.pad(l2_serviced, ((0, 0), (0, pad)))
+        dram_p = np.pad(dram, ((0, 0), (0, pad)))
+    else:
+        valid_p, l2_p, dram_p = valid, l2_serviced, dram
+    groups = line_ids.shape[1] // lanes
+    rows_lines = line_ids.reshape(window_len * groups, lanes)
+    rows_valid = valid_p.reshape(window_len * groups, lanes)
+    rows_l2 = l2_p.reshape(window_len * groups, lanes)
+    rows_dram = dram_p.reshape(window_len * groups, lanes)
+
+    accesses = int(rows_valid.any(axis=1).sum())
+    l2_lines = _distinct_per_row(rows_lines, rows_l2)
+    dram_lines = _distinct_per_row(rows_lines, rows_dram)
+    total_lines = _distinct_per_row(rows_lines, rows_valid)
+    dram_instr = int((rows_dram.any(axis=1)).sum())
+
+    # Mean-lane severity: each lane contributes its own latency; the
+    # instruction's expected stall is the lane average.
+    total_valid = int(valid.sum())
+    n_l2_lanes = int(l2_serviced.sum())
+    n_dram_lanes = int(dram.sum())
+    if total_valid:
+        lane_avg_total = (
+            n_l2_lanes * config.texture_l2_latency_cycles
+            + n_dram_lanes * config.texture_miss_latency_cycles
+        ) / lanes
+    else:
+        lane_avg_total = 0.0
+
+    return TextureTraffic(
+        accesses=accesses,
+        dependent_latency_cycles=lane_avg_total,
+        l2_line_requests=l2_lines,
+        dram_line_requests=dram_lines,
+        dram_instr_rate=(dram_instr / accesses) if accesses else 0.0,
+        lane_l1_hit_rate=(
+            1.0 - (n_l2_lanes + n_dram_lanes) / total_valid
+            if total_valid
+            else 1.0
+        ),
+        total_line_requests=total_lines,
+    )
+
+
+@dataclass
+class KernelResult:
+    """Functional + performance outcome of one simulated kernel launch."""
+
+    name: str
+    matches: MatchResult
+    counters: EventCounters
+    timing: TimingBreakdown
+    launch: LaunchConfig
+    occupancy: Occupancy
+    #: Present for shared-memory kernels: the store scheme used.
+    scheme: Optional[str] = None
+
+    @property
+    def seconds(self) -> float:
+        """Modeled kernel time in seconds."""
+        return self.timing.seconds
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Input bits per modeled second (the paper's unit)."""
+        return self.timing.throughput_gbps(self.counters.bytes_owned)
+
+    def summary(self) -> dict:
+        """Flat dict for reports and the CLI."""
+        return {
+            "kernel": self.name,
+            "scheme": self.scheme,
+            "matches": len(self.matches),
+            "seconds": self.seconds,
+            "gbps": self.throughput_gbps,
+            "regime": self.timing.regime,
+            "tex_hit_rate": self.counters.texture_hit_rate,
+            "avg_conflict_degree": self.counters.avg_conflict_degree,
+            "warps_per_sm": self.occupancy.warps_per_sm,
+        }
+
+
+def grouped_thread_addresses(
+    addresses: np.ndarray, valid: np.ndarray, lanes: int = 16
+) -> tuple:
+    """Reshape ``(window_len, n_threads)`` access matrices into half-warp rows.
+
+    Returns ``(rows, active)`` of shape ``(window_len * groups, lanes)``
+    — the layout :func:`repro.gpu.coalesce.coalesce_halfwarp_batch` and
+    :func:`repro.gpu.shared_memory.conflict_degrees` expect.
+    """
+    if addresses.shape != valid.shape:
+        raise MemoryModelError("addresses/valid shape mismatch")
+    window_len, n_threads = addresses.shape
+    pad = (-n_threads) % lanes
+    if pad:
+        addresses = np.pad(addresses, ((0, 0), (0, pad)))
+        valid = np.pad(valid, ((0, 0), (0, pad)))
+    groups = addresses.shape[1] // lanes
+    return (
+        addresses.reshape(window_len * groups, lanes),
+        valid.reshape(window_len * groups, lanes),
+    )

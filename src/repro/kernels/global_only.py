@@ -1,0 +1,219 @@
+"""Global-memory-only AC kernel (paper Section IV-B-3, Fig. 7).
+
+Each thread owns one chunk of the input resident in global memory and
+walks the DFA over its window (chunk + X overlap) reading the input
+*directly from global memory*, one byte per iteration.  The STT is
+fetched through the texture path.  Because the threads of a half-warp
+stride through memory a whole chunk apart, their input loads fall in 16
+different 128-byte segments and cannot coalesce — every iteration
+costs a half-warp-full of global transactions, which is precisely the
+overhead the shared-memory kernel removes.
+
+With no shared-memory usage the occupancy is high (the paper: "a higher
+degree of multithreading in play"), but the uncoalesced transactions
+saturate the SM's request-issue path and the kernel lands in the
+paper's Fig. 19(b) regime on all but the smallest dictionaries.
+
+The module exposes :func:`measure_global` (functional run + event
+counting) and :func:`price_global` (cost assembly) separately;
+:func:`run_global_kernel` is the fused convenience entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.alphabet import encode
+from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.core.dfa import DFA
+from repro.core.lockstep import extract_matches, run_dfa_lockstep
+from repro.core.match import MatchResult
+from repro.errors import LaunchError
+from repro.gpu.coalesce import CoalesceSummary, coalesce_halfwarp_batch
+from repro.gpu.counters import EventCounters
+from repro.gpu.device import Device
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.latency import KernelCost
+from repro.kernels.base import (
+    CostParams,
+    KernelResult,
+    TextureTraffic,
+    grouped_thread_addresses,
+    texture_traffic,
+)
+
+#: Default chunk per thread.  Large enough to amortize per-thread state,
+#: small enough to spawn a grid that fills 30 SMs on megabyte inputs.
+DEFAULT_CHUNK_LEN = 512
+
+#: Default block size (no shared memory -> 4 blocks of 256 = full SM).
+DEFAULT_THREADS_PER_BLOCK = 256
+
+
+@dataclass
+class GlobalMeasurement:
+    """Everything measured from one functional global-kernel run."""
+
+    matches: MatchResult
+    raw_hits: int
+    input_bytes: int
+    bytes_scanned: int
+    window_len: int
+    n_threads: int
+    input_summary: CoalesceSummary
+    tex: TextureTraffic
+    launch: LaunchConfig
+
+
+def measure_global(
+    dfa: DFA,
+    data,
+    config,
+    *,
+    chunk_len: int = DEFAULT_CHUNK_LEN,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+    params: Optional[CostParams] = None,
+) -> GlobalMeasurement:
+    """Functional pass + event measurement (no pricing)."""
+    params = params or CostParams()
+    arr = encode(data, name="data")
+    if arr.size == 0:
+        raise LaunchError("cannot launch a kernel over an empty input")
+    if chunk_len <= 0:
+        raise LaunchError(f"chunk_len must be positive, got {chunk_len}")
+
+    overlap = required_overlap(dfa.patterns.max_length)
+    plan = plan_chunks(arr.size, chunk_len, overlap)
+    windows = build_windows(arr, plan)
+    trace = run_dfa_lockstep(dfa, windows, plan)
+    matches, raw_hits = extract_matches(dfa, trace)
+
+    n_threads = plan.n_chunks
+    n_blocks = max(-(-n_threads // threads_per_block), 1)
+    launch = LaunchConfig(
+        n_blocks=n_blocks,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=0,
+    )
+
+    positions = (
+        plan.starts[None, :]
+        + np.arange(plan.window_len, dtype=np.int64)[:, None]
+    )
+    rows, active = grouped_thread_addresses(positions, trace.valid)
+    input_summary = coalesce_halfwarp_batch(
+        rows,
+        access_bytes=1,
+        segment_bytes=config.coalesce_segment_bytes,
+        min_transaction_bytes=config.min_transaction_bytes,
+        active=active,
+    )
+    tex = texture_traffic(dfa, trace, windows, config, params)
+
+    return GlobalMeasurement(
+        matches=matches,
+        raw_hits=raw_hits,
+        input_bytes=int(arr.size),
+        bytes_scanned=trace.total_fetches(),
+        window_len=plan.window_len,
+        n_threads=n_threads,
+        input_summary=input_summary,
+        tex=tex,
+        launch=launch,
+    )
+
+
+def price_global(
+    meas: GlobalMeasurement,
+    device: Device,
+    params: Optional[CostParams] = None,
+) -> KernelResult:
+    """Assemble and price the cost of a measured run."""
+    params = params or CostParams()
+    config = device.config
+    occupancy = meas.launch.validate(config)
+
+    warp_iterations = meas.window_len * (
+        -(-meas.n_threads // config.warp_size)
+    )
+    counters = EventCounters(
+        bytes_owned=meas.input_bytes,
+        bytes_scanned=meas.bytes_scanned,
+        global_transactions=meas.input_summary.transactions,
+        global_bytes=meas.input_summary.bus_bytes,
+        global_warp_events=meas.input_summary.accesses,
+        texture_accesses=meas.tex.accesses,
+        # "Misses" = fills from device memory; L1 misses served by the
+        # on-chip texture L2 are not counted against the hit rate.
+        texture_misses=meas.tex.dram_line_requests,
+        warp_iterations=warp_iterations,
+        raw_match_writes=meas.raw_hits,
+    )
+
+    cpwi = config.cycles_per_warp_instruction
+    compute = (
+        warp_iterations * params.instr_per_iter_global * cpwi
+        + meas.tex.accesses * config.texture_hit_cycles
+        + meas.raw_hits / config.warp_size * params.instr_per_match_write * cpwi
+    )
+
+    # Each input-load instruction stalls its warp for a full DRAM
+    # round-trip (global loads are uncached on the GTX 285).
+    input_dependent = (
+        meas.input_summary.accesses * config.global_latency_cycles
+    )
+
+    # Both the per-thread input reads and the texture fills are
+    # scattered 32 B transactions; GDDR3 serves those well below peak.
+    scatter = config.dram_scatter_efficiency
+    match_bytes = meas.raw_hits * 8
+    cost = KernelCost(
+        counters=counters,
+        occupancy=occupancy,
+        compute_cycles_total=compute,
+        dependent_latency_cycles=(
+            input_dependent + meas.tex.dependent_latency_cycles
+        ),
+        mem_requests_pipelined=(
+            meas.input_summary.transactions + meas.tex.dram_line_requests
+        ),
+        mem_bytes_total=(
+            (meas.input_summary.bus_bytes + meas.tex.dram_bytes) / scatter
+            + match_bytes
+        ),
+        input_bytes=meas.input_bytes,
+    )
+    timing = device.launch(meas.launch, cost)
+    return KernelResult(
+        name="global_only",
+        matches=meas.matches,
+        counters=counters,
+        timing=timing,
+        launch=meas.launch,
+        occupancy=occupancy,
+    )
+
+
+def run_global_kernel(
+    dfa: DFA,
+    data,
+    device: Optional[Device] = None,
+    *,
+    chunk_len: int = DEFAULT_CHUNK_LEN,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+    params: Optional[CostParams] = None,
+) -> KernelResult:
+    """Run the global-memory-only kernel on *data* (measure + price)."""
+    device = device or Device()
+    meas = measure_global(
+        dfa,
+        data,
+        device.config,
+        chunk_len=chunk_len,
+        threads_per_block=threads_per_block,
+        params=params,
+    )
+    return price_global(meas, device, params)

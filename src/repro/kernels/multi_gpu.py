@@ -1,0 +1,131 @@
+"""Multi-GPU data partitioning (extension; paper ref [14]).
+
+Tumeo & Villa accelerate DNA analysis by slicing the input across a
+GPU cluster: each device holds the full automaton and scans its slice,
+with the paper's +X overlap rule applied at slice boundaries so no
+cross-slice occurrence is lost.  This module reproduces that scheme on
+N simulated devices:
+
+* the input is cut into ``n_devices`` near-equal slices;
+* every slice is extended by the overlap window and scanned with any
+  of this package's kernels;
+* each device keeps only matches *starting* in its own slice (the same
+  ownership rule the per-thread chunks use, lifted one level);
+* wall time = slowest device + a fixed host-side merge/dispatch cost
+  per device (the cluster's serial fraction).
+
+The functional result is provably the single-device match set — tested
+in ``tests/kernels/test_multi_gpu.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.alphabet import encode
+from repro.core.chunking import required_overlap
+from repro.core.dfa import DFA
+from repro.core.match import MatchResult
+from repro.errors import LaunchError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.device import Device
+from repro.kernels.base import KernelResult
+from repro.kernels.shared_mem import run_shared_kernel
+
+#: Host-side per-device dispatch + result-merge overhead (seconds).
+#: Makes the cluster's serial fraction explicit: below ~1 MB per
+#: device, adding devices *hurts* (visible in the scaling tests).
+HOST_DISPATCH_SECONDS = 20e-6
+
+
+@dataclass
+class MultiGpuResult:
+    """Outcome of a multi-device scan."""
+
+    matches: MatchResult
+    per_device: List[KernelResult]
+    seconds: float
+    input_bytes: int
+
+    @property
+    def n_devices(self) -> int:
+        """Devices used."""
+        return len(self.per_device)
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Aggregate input bits per second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.input_bytes * 8 / self.seconds / 1e9
+
+    def scaling_efficiency(self, single_device_seconds: float) -> float:
+        """speedup / n_devices (1.0 = perfect strong scaling)."""
+        return (single_device_seconds / self.seconds) / self.n_devices
+
+
+def run_multi_gpu(
+    dfa: DFA,
+    data,
+    n_devices: int,
+    *,
+    kernel: Callable[..., KernelResult] = run_shared_kernel,
+    device_config: Optional[DeviceConfig] = None,
+    **kernel_kwargs,
+) -> MultiGpuResult:
+    """Scan *data* across *n_devices* simulated GPUs.
+
+    Parameters
+    ----------
+    dfa:
+        The automaton (replicated to every device, as in ref [14]).
+    data:
+        Input text.
+    n_devices:
+        Number of simulated devices (>= 1).
+    kernel:
+        Any kernel entry point with the ``(dfa, data, device, **kw)``
+        signature (shared by default).
+    device_config:
+        Per-device configuration (GTX 285 by default).
+    """
+    if n_devices < 1:
+        raise LaunchError(f"n_devices must be >= 1, got {n_devices}")
+    arr = encode(data, name="data")
+    if arr.size == 0:
+        raise LaunchError("cannot scan an empty input")
+    config = device_config or gtx285()
+
+    overlap = required_overlap(dfa.patterns.max_length)
+    slice_len = -(-arr.size // n_devices)
+    results: List[KernelResult] = []
+    owned: List[MatchResult] = []
+    for d in range(n_devices):
+        start = d * slice_len
+        if start >= arr.size:
+            break
+        end = min(start + slice_len, arr.size)
+        window_end = min(end + overlap, arr.size)
+        slice_data = arr[start:window_end]
+        r = kernel(dfa, slice_data, Device(config), **kernel_kwargs)
+        results.append(r)
+        # Lift match positions back to global coordinates and keep the
+        # occurrences that *start* inside the owned slice.
+        ends = r.matches.ends + start
+        pids = r.matches.pattern_ids
+        starts = ends - dfa.pattern_lengths[pids] + 1
+        keep = (starts >= start) & (starts < end)
+        owned.append(MatchResult(ends[keep], pids[keep]))
+
+    matches = MatchResult.concat(owned)
+    slowest = max(r.seconds for r in results)
+    seconds = slowest + HOST_DISPATCH_SECONDS * len(results)
+    return MultiGpuResult(
+        matches=matches,
+        per_device=results,
+        seconds=seconds,
+        input_bytes=int(arr.size),
+    )

@@ -1,0 +1,337 @@
+"""PFAC — Parallel Failureless Aho-Corasick (Lin et al., GLOBECOM'10).
+
+The paper's Section IV-A discusses PFAC as the main related GPU
+approach: instead of chunking, PFAC launches *one thread per input
+byte*; thread ``i`` walks a failure-less trie (undefined transition =
+terminate) and reports every pattern that starts at position ``i``.
+There is no overlap bookkeeping and no failure function, at the price
+of ``O(max pattern length)`` redundant scanning per byte.
+
+We implement it as a comparison baseline (the Abl. C bench): its input
+loads are naturally coalesced (adjacent threads read adjacent bytes)
+but its threads diverge heavily — most die within a few steps — so a
+warp's issue slots are wasted on disabled lanes, and the modeled cost
+charges full warp iterations until the *last* lane of the warp dies.
+
+Texture accounting uses the same hot-set model as the AC kernels but at
+per-fetch granularity with a fixed half-warp merge factor, because the
+PFAC trace is produced in thread batches to bound memory (documented
+approximation; the AC kernels use exact per-half-warp merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE, encode
+from repro.core.dfa import DFA
+from repro.core.match import MatchResult
+from repro.core.pattern_set import PatternSet
+from repro.core.trie import ROOT, Trie
+from repro.errors import LaunchError
+from repro.gpu.counters import EventCounters
+from repro.gpu.device import Device
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.latency import KernelCost
+from repro.gpu.texture import stt_line_ids
+from repro.kernels.base import CostParams, KernelResult
+
+#: Dead state of the failureless trie.
+DEAD = -1
+
+#: Threads processed per functional batch (bounds peak memory).
+BATCH_THREADS = 1 << 19
+
+#: Average distinct-line merge factor within a half-warp's misses
+#: (PFAC approximation; the AC kernels compute this exactly).
+HALFWARP_MISS_MERGE = 4.0
+
+
+@dataclass(frozen=True)
+class PfacAutomaton:
+    """Failureless trie in dense table form.
+
+    ``table[s, a]`` is the next state or :data:`DEAD`.  ``out_*`` is
+    the CSR output map over *exact* terminal states (no failure-chain
+    inheritance — PFAC finds suffix patterns from their own start
+    threads instead).
+    """
+
+    table: np.ndarray
+    out_offsets: np.ndarray
+    out_ids: np.ndarray
+    max_depth: int
+    patterns: PatternSet
+
+    @property
+    def n_states(self) -> int:
+        """Number of trie states."""
+        return self.table.shape[0]
+
+    @classmethod
+    def build(cls, patterns: PatternSet) -> "PfacAutomaton":
+        """Build the failureless table from a pattern set."""
+        trie = Trie.from_patterns(patterns)
+        n = trie.n_states
+        table = np.full((n, ALPHABET_SIZE), DEAD, dtype=STATE_DTYPE)
+        for state, byte, child in trie.edges():
+            table[state, byte] = child
+        counts = np.fromiter(
+            (len(trie.terminal[s]) for s in range(n)), dtype=np.int64, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        ids = np.empty(int(offsets[-1]), dtype=np.int64)
+        pos = 0
+        for s in range(n):
+            t = trie.terminal[s]
+            ids[pos : pos + len(t)] = t
+            pos += len(t)
+        return cls(
+            table=table,
+            out_offsets=offsets,
+            out_ids=ids,
+            max_depth=patterns.max_length,
+            patterns=patterns,
+        )
+
+
+def _run_batch(
+    pfac: PfacAutomaton,
+    data: np.ndarray,
+    start: int,
+    stop: int,
+    hot_lines: Optional[np.ndarray],
+    line_bytes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int]:
+    """Walk threads [start, stop); returns matches + fetch accounting.
+
+    Returns ``(ends, pids, line_hist_ids, fetches, misses, warp_iters)``
+    where ``line_hist_ids`` is the unique-line array of this batch
+    (used to build the global histogram on pass A).
+    """
+    n = data.size
+    idx = np.arange(start, stop, dtype=np.int64)
+    state = np.zeros(idx.size, dtype=np.int64)
+    alive = np.ones(idx.size, dtype=bool)
+    ends_out: List[np.ndarray] = []
+    pids_out: List[np.ndarray] = []
+    fetches = 0
+    misses = 0
+    lines_seen: List[np.ndarray] = []
+    warp_iters = 0
+    table = pfac.table
+    offs = pfac.out_offsets
+
+    for d in range(pfac.max_depth):
+        pos = idx + d
+        alive = alive & (pos < n)
+        if not alive.any():
+            break
+        sym = np.where(alive, data[np.minimum(pos, n - 1)], 0)
+        # Texture fetch happens for alive lanes (they read table[state]).
+        a_states = state[alive]
+        a_syms = sym[alive].astype(np.int64)
+        lids = stt_line_ids(a_states, a_syms, line_bytes=line_bytes)
+        fetches += int(lids.size)
+        if hot_lines is not None and lids.size:
+            misses += int((~np.isin(lids, hot_lines)).sum())
+        if hot_lines is None and lids.size:
+            lines_seen.append(np.unique(lids))
+        # A warp stays live until its last lane dies: count warp
+        # iterations as warps containing any alive lane.
+        alive_w = alive.reshape(-1, 32) if alive.size % 32 == 0 else None
+        if alive_w is None:
+            pad = (-alive.size) % 32
+            alive_w = np.pad(alive, (0, pad)).reshape(-1, 32)
+        warp_iters += int(alive_w.any(axis=1).sum())
+
+        nxt = np.where(alive, table[np.minimum(state, table.shape[0] - 1), sym], DEAD)
+        state = np.where(nxt >= 0, nxt, 0)
+        newly_dead = alive & (nxt < 0)
+        alive = alive & ~newly_dead
+
+        # Emit outputs of states entered this step.
+        entered = np.where(alive, state, 0)
+        counts = offs[entered + 1] - offs[entered]
+        counts = np.where(alive, counts, 0)
+        hit = counts > 0
+        if hit.any():
+            h_idx = idx[hit]
+            h_states = entered[hit]
+            h_counts = counts[hit]
+            total = int(h_counts.sum())
+            starts_csr = offs[h_states]
+            flat = np.arange(total, dtype=np.int64)
+            cum = np.cumsum(h_counts)
+            flat -= np.repeat(cum - h_counts, h_counts)
+            flat += np.repeat(starts_csr, h_counts)
+            pids = pfac.out_ids[flat]
+            ends = np.repeat(h_idx + d, h_counts)
+            ends_out.append(ends)
+            pids_out.append(pids)
+
+    ends = np.concatenate(ends_out) if ends_out else np.empty(0, dtype=np.int64)
+    pids = np.concatenate(pids_out) if pids_out else np.empty(0, dtype=np.int64)
+    uniq = (
+        np.unique(np.concatenate(lines_seen))
+        if lines_seen
+        else np.empty(0, dtype=np.int64)
+    )
+    return ends, pids, uniq, fetches, misses, warp_iters
+
+
+def run_pfac_kernel(
+    dfa: DFA,
+    data,
+    device: Optional[Device] = None,
+    *,
+    threads_per_block: int = 256,
+    params: Optional[CostParams] = None,
+) -> KernelResult:
+    """Run PFAC over *data*; matches are identical to the AC kernels.
+
+    ``dfa`` supplies the pattern set (the failureless table is built
+    from it); reusing the DFA argument keeps the kernel signatures
+    uniform across the bench harness.
+    """
+    device = device or Device()
+    params = params or CostParams()
+    config = device.config
+    arr = encode(data, name="data")
+    if arr.size == 0:
+        raise LaunchError("cannot launch a kernel over an empty input")
+
+    pfac = PfacAutomaton.build(dfa.patterns)
+
+    # ---- pass A: functional + line histogram ------------------------------
+    all_ends: List[np.ndarray] = []
+    all_pids: List[np.ndarray] = []
+    uniq_lines: List[np.ndarray] = []
+    fetches_total = 0
+    warp_iters = 0
+    for start in range(0, arr.size, BATCH_THREADS):
+        stop = min(start + BATCH_THREADS, arr.size)
+        ends, pids, uniq, fetches, _, iters = _run_batch(
+            pfac, arr, start, stop, None, config.texture_cache.line_bytes
+        )
+        all_ends.append(ends)
+        all_pids.append(pids)
+        uniq_lines.append(uniq)
+        fetches_total += fetches
+        warp_iters += iters
+    matches = MatchResult(
+        np.concatenate(all_ends) if all_ends else np.empty(0, dtype=np.int64),
+        np.concatenate(all_pids) if all_pids else np.empty(0, dtype=np.int64),
+    )
+
+    # Hot set: PFAC visits shallow trie states overwhelmingly; keep the
+    # most frequent lines.  Frequency needs a second pass; we use the
+    # first batch's full trace as the frequency sample.
+    sample_stop = min(BATCH_THREADS, arr.size)
+    sample_lines = _collect_sample_lines(
+        pfac, arr, sample_stop, config.texture_cache.line_bytes
+    )
+    capacity = int(
+        config.texture_cache.n_lines * params.tex_capacity_efficiency
+    )
+    if sample_lines.size:
+        uniq, counts = np.unique(sample_lines, return_counts=True)
+        order = np.argsort(counts)[::-1][:capacity]
+        hot = np.sort(uniq[order])
+    else:
+        hot = np.empty(0, dtype=np.int64)
+
+    # ---- pass B: miss counting against the hot set ---------------------------
+    misses_total = 0
+    for start in range(0, arr.size, BATCH_THREADS):
+        stop = min(start + BATCH_THREADS, arr.size)
+        _, _, _, _, misses, _ = _run_batch(
+            pfac, arr, start, stop, hot, config.texture_cache.line_bytes
+        )
+        misses_total += misses
+    miss_requests = misses_total / HALFWARP_MISS_MERGE
+
+    # ---- launch + cost ----------------------------------------------------------
+    n_blocks = max(-(-arr.size // threads_per_block), 1)
+    launch = LaunchConfig(n_blocks=n_blocks, threads_per_block=threads_per_block)
+    occupancy = launch.validate(config)
+
+    # Input loads: step d reads a contiguous byte run -> coalesced:
+    # one 128 B segment per half-warp per step.
+    input_transactions = warp_iters * 2  # 2 half-warps per warp-iteration
+    input_bus = input_transactions * config.min_transaction_bytes
+
+    counters = EventCounters(
+        bytes_owned=int(arr.size),
+        bytes_scanned=fetches_total,
+        global_transactions=input_transactions,
+        global_bytes=input_bus,
+        global_warp_events=warp_iters,
+        texture_accesses=int(fetches_total / config.half_warp) or 1,
+        texture_misses=int(miss_requests),
+        warp_iterations=warp_iters,
+        raw_match_writes=len(matches),
+    )
+
+    cpwi = config.cycles_per_warp_instruction
+    compute = (
+        warp_iters * params.instr_per_iter_global * cpwi
+        + counters.texture_accesses * config.texture_hit_cycles
+        + len(matches) / config.warp_size * params.instr_per_match_write * cpwi
+    )
+    cost = KernelCost(
+        counters=counters,
+        occupancy=occupancy,
+        compute_cycles_total=compute,
+        # Approximate: every merged miss stalls a warp one L2 latency
+        # (PFAC's working set is the shallow failureless trie, which
+        # rarely reaches DRAM).
+        dependent_latency_cycles=(
+            miss_requests * config.texture_l2_latency_cycles
+        ),
+        mem_requests_pipelined=input_transactions,
+        mem_bytes_total=input_bus + miss_requests * config.texture_cache.line_bytes,
+        input_bytes=int(arr.size),
+    )
+    timing = device.launch(launch, cost)
+
+    return KernelResult(
+        name="pfac",
+        matches=matches,
+        counters=counters,
+        timing=timing,
+        launch=launch,
+        occupancy=occupancy,
+    )
+
+
+def _collect_sample_lines(
+    pfac: PfacAutomaton, data: np.ndarray, stop: int, line_bytes: int
+) -> np.ndarray:
+    """Full (not unique) line trace of threads [0, stop) for frequency."""
+    n = data.size
+    idx = np.arange(0, stop, dtype=np.int64)
+    state = np.zeros(idx.size, dtype=np.int64)
+    alive = np.ones(idx.size, dtype=bool)
+    out: List[np.ndarray] = []
+    for d in range(pfac.max_depth):
+        pos = idx + d
+        alive = alive & (pos < n)
+        if not alive.any():
+            break
+        sym = np.where(alive, data[np.minimum(pos, n - 1)], 0)
+        out.append(
+            stt_line_ids(
+                state[alive], sym[alive].astype(np.int64), line_bytes=line_bytes
+            )
+        )
+        nxt = np.where(
+            alive, pfac.table[np.minimum(state, pfac.n_states - 1), sym], DEAD
+        )
+        state = np.where(nxt >= 0, nxt, 0)
+        alive = alive & (nxt >= 0)
+    return np.concatenate(out) if out else np.empty(0, dtype=np.int64)

@@ -1,0 +1,328 @@
+"""Shared-memory AC kernel (paper Section IV-B-3, Figs. 8-12).
+
+The block's threads first *cooperatively stage* the block's input from
+global memory into shared memory — each thread loads one 4-byte word
+per step, so a half-warp's 16 words form one coalesced 64-byte
+transaction (Figs. 9-10) — then synchronize, then every thread matches
+its own chunk out of shared memory, fetching STT rows through the
+texture path.
+
+Where the staged words land in the shared banks is the kernel's
+``scheme`` parameter (:mod:`repro.gpu.layouts`):
+
+* ``"diagonal"``      — the paper's conflict-free scheme (default);
+* ``"coalesce_only"`` — coalesced staging, linear placement: the
+  matching loads collide (Fig. 23's baseline);
+* ``"naive"``         — per-thread uncoalesced staging *and* linear
+  placement (Fig. 23's worst case);
+* ``"transposed"``    — load-perfect/store-broken alternative (ablation).
+
+The default geometry stages 8 KB + overlap per 128-thread block with
+64-byte chunks — the paper's "8~12 KB of the 16 KB shared memory for
+the input text data", and exactly the geometry for which the diagonal
+scheme is conflict-free in both phases.
+
+Like the global kernel, this module separates :func:`measure_shared`
+from :func:`price_shared`; :func:`run_shared_kernel` fuses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.alphabet import encode
+from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.core.dfa import DFA
+from repro.core.lockstep import extract_matches, run_dfa_lockstep
+from repro.core.match import MatchResult
+from repro.errors import LaunchError
+from repro.gpu.coalesce import (
+    CoalesceSummary,
+    coalesce_halfwarp_batch,
+    cooperative_word_addresses,
+    strided_chunk_addresses,
+)
+from repro.gpu.counters import EventCounters
+from repro.gpu.device import Device
+from repro.gpu.geometry import LaunchConfig
+from repro.gpu.latency import KernelCost
+from repro.gpu.layouts import BlockGeometry, get_scheme
+from repro.gpu.shared_memory import SharedAccessSummary, summarize
+from repro.kernels.base import (
+    CostParams,
+    KernelResult,
+    TextureTraffic,
+    texture_traffic,
+)
+
+#: Paper geometry: 128 threads x 64-byte chunks = 8 KB staged per block.
+DEFAULT_THREADS_PER_BLOCK = 128
+DEFAULT_CHUNK_BYTES = 64
+
+#: Shared memory held back for "other works" (paper Section IV-B-3).
+DEFAULT_RESERVED_SHARED = 2048
+
+
+@dataclass
+class SharedMeasurement:
+    """Everything measured from one functional shared-kernel run."""
+
+    matches: MatchResult
+    raw_hits: int
+    input_bytes: int
+    bytes_scanned: int
+    window_len: int
+    n_threads: int
+    n_blocks: int
+    scheme_name: str
+    cooperative_staging: bool
+    staging_global: CoalesceSummary  # per block
+    staging_stores: SharedAccessSummary  # per block
+    match_loads: SharedAccessSummary  # per block
+    tex: TextureTraffic
+    launch: LaunchConfig
+    #: False = the texture-placement ablation: the STT lives in plain
+    #: (uncached) global memory; every fetch pays a DRAM round trip.
+    stt_in_texture: bool = True
+
+
+def measure_shared(
+    dfa: DFA,
+    data,
+    config,
+    *,
+    scheme: str = "diagonal",
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    reserved_shared: int = DEFAULT_RESERVED_SHARED,
+    params: Optional[CostParams] = None,
+    stt_in_texture: bool = True,
+) -> SharedMeasurement:
+    """Functional pass + event measurement (no pricing)."""
+    params = params or CostParams()
+    store = get_scheme(scheme)
+    arr = encode(data, name="data")
+    if arr.size == 0:
+        raise LaunchError("cannot launch a kernel over an empty input")
+
+    overlap = required_overlap(dfa.patterns.max_length)
+    geom = BlockGeometry(
+        n_threads=threads_per_block,
+        chunk_bytes=chunk_bytes,
+        overlap_bytes=overlap,
+        lanes=config.half_warp,
+        n_banks=config.shared_banks,
+    )
+    shared_bytes = geom.shared_bytes_needed + reserved_shared
+    if shared_bytes > config.shared_mem_per_sm:
+        raise LaunchError(
+            f"staging buffer ({shared_bytes} B incl. {reserved_shared} B "
+            f"reserved) exceeds shared memory ({config.shared_mem_per_sm} B); "
+            "reduce chunk_bytes or threads_per_block"
+        )
+
+    plan = plan_chunks(arr.size, chunk_bytes, overlap)
+    windows = build_windows(arr, plan)
+    trace = run_dfa_lockstep(dfa, windows, plan)
+    matches, raw_hits = extract_matches(dfa, trace)
+
+    n_threads = plan.n_chunks
+    n_blocks = max(-(-n_threads // threads_per_block), 1)
+    launch = LaunchConfig(
+        n_blocks=n_blocks,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=shared_bytes,
+    )
+
+    # Per-block templates (identical across blocks; scaled at pricing).
+    if store.cooperative_staging:
+        g_addr = cooperative_word_addresses(
+            0, geom.staged_words, threads_per_block, lanes=geom.lanes
+        )
+    else:
+        g_addr = np.concatenate(
+            [
+                strided_chunk_addresses(
+                    0, geom.chunk_bytes, 4 * q, threads_per_block,
+                    lanes=geom.lanes,
+                )
+                for q in range(geom.chunk_words)
+            ]
+        )
+    staging_global = coalesce_halfwarp_batch(
+        g_addr,
+        access_bytes=4,
+        segment_bytes=config.coalesce_segment_bytes,
+        min_transaction_bytes=config.min_transaction_bytes,
+    )
+    st_addr, st_act = store.staging_store_addresses(geom)
+    staging_stores = summarize(
+        st_addr, config.shared_banks, config.bank_width_bytes, active=st_act
+    )
+    ld_addr, ld_act = store.match_load_addresses(geom)
+    match_loads = summarize(
+        ld_addr, config.shared_banks, config.bank_width_bytes, active=ld_act
+    )
+
+    tex = texture_traffic(dfa, trace, windows, config, params)
+
+    return SharedMeasurement(
+        matches=matches,
+        raw_hits=raw_hits,
+        input_bytes=int(arr.size),
+        bytes_scanned=trace.total_fetches(),
+        window_len=plan.window_len,
+        n_threads=n_threads,
+        n_blocks=n_blocks,
+        scheme_name=store.name,
+        cooperative_staging=store.cooperative_staging,
+        staging_global=staging_global,
+        staging_stores=staging_stores,
+        match_loads=match_loads,
+        tex=tex,
+        launch=launch,
+        stt_in_texture=stt_in_texture,
+    )
+
+
+def price_shared(
+    meas: SharedMeasurement,
+    device: Device,
+    params: Optional[CostParams] = None,
+) -> KernelResult:
+    """Assemble and price the cost of a measured run."""
+    params = params or CostParams()
+    config = device.config
+    occupancy = meas.launch.validate(config)
+    nb = meas.n_blocks
+
+    # Cross-warp bank interference under miss-driven multithreading —
+    # the paper's stated Fig. 23 mechanism (see CostParams notes).
+    warps = occupancy.warps_per_sm
+    interference = 1.0 + params.bank_interference_beta * (
+        meas.tex.dram_instr_rate
+    ) * max(warps - 1, 0)
+    # The matching loop reads shared memory one *byte* per iteration;
+    # the word-granular template repeats for each of the 4 bytes with
+    # identical bank behaviour.
+    ld_accesses = meas.match_loads.accesses * 4
+    ld_serialized = meas.match_loads.serialized_accesses * 4
+    ld_excess_eff = (ld_serialized - ld_accesses) * interference
+    st_excess = (
+        meas.staging_stores.serialized_accesses - meas.staging_stores.accesses
+    )
+
+    warp_iterations = meas.window_len * (
+        -(-meas.n_threads // config.warp_size)
+    )
+    counters = EventCounters(
+        bytes_owned=meas.input_bytes,
+        bytes_scanned=meas.bytes_scanned,
+        global_transactions=meas.staging_global.transactions * nb,
+        global_bytes=meas.staging_global.bus_bytes * nb,
+        global_warp_events=meas.staging_global.accesses * nb,
+        shared_accesses=(meas.staging_stores.accesses + ld_accesses) * nb,
+        shared_serialized_accesses=(
+            meas.staging_stores.serialized_accesses + ld_serialized
+        )
+        * nb,
+        texture_accesses=meas.tex.accesses,
+        # "Misses" = fills from device memory; L1 misses served by the
+        # on-chip texture L2 are not counted against the hit rate.
+        texture_misses=meas.tex.dram_line_requests,
+        warp_iterations=warp_iterations,
+        raw_match_writes=meas.raw_hits,
+    )
+
+    cpwi = config.cycles_per_warp_instruction
+    shared_cycles = (
+        (meas.staging_stores.accesses + st_excess + ld_accesses + ld_excess_eff)
+        * nb
+        * config.shared_access_cycles
+    )
+    compute = (
+        warp_iterations * params.instr_per_iter_shared * cpwi
+        + shared_cycles
+        + meas.staging_global.accesses * nb * params.instr_per_staged_word * cpwi
+        + meas.tex.accesses * config.texture_hit_cycles
+        + meas.raw_hits / config.warp_size * params.instr_per_match_write * cpwi
+        + nb * params.sync_cycles_per_block
+    )
+
+    match_bytes = meas.raw_hits * 8
+    staging_txns = meas.staging_global.transactions * nb
+    scatter = config.dram_scatter_efficiency
+    if not meas.stt_in_texture:
+        # Texture-placement ablation (DESIGN.md §5.3): the STT sits in
+        # plain global memory, which compute-1.x hardware does not
+        # cache — every fetch instruction stalls a DRAM round trip and
+        # every distinct line is a scattered transaction.
+        stt_dependent = meas.tex.accesses * config.global_latency_cycles
+        stt_lines = meas.tex.total_line_requests
+        stt_bus = stt_lines * config.texture_cache.line_bytes / scatter
+    else:
+        stt_dependent = meas.tex.dependent_latency_cycles
+        stt_lines = meas.tex.dram_line_requests
+        stt_bus = meas.tex.dram_bytes / scatter
+    if meas.cooperative_staging:
+        dependent = stt_dependent
+        staging_bus = counters.global_bytes  # sequential stream: peak BW
+    else:
+        # Naive staging: each thread's load feeds its own store — the
+        # warp stalls a DRAM round-trip per staged word row — and the
+        # scattered transactions run at degraded DRAM efficiency.
+        dependent = (
+            stt_dependent
+            + meas.staging_global.accesses * nb * config.global_latency_cycles
+        )
+        staging_bus = counters.global_bytes / scatter
+    cost = KernelCost(
+        counters=counters,
+        occupancy=occupancy,
+        compute_cycles_total=compute,
+        dependent_latency_cycles=dependent,
+        mem_requests_pipelined=staging_txns + stt_lines,
+        mem_bytes_total=staging_bus + stt_bus + match_bytes,
+        input_bytes=meas.input_bytes,
+    )
+    timing = device.launch(meas.launch, cost)
+    return KernelResult(
+        name="shared_memory",
+        matches=meas.matches,
+        counters=counters,
+        timing=timing,
+        launch=meas.launch,
+        occupancy=occupancy,
+        scheme=meas.scheme_name,
+    )
+
+
+def run_shared_kernel(
+    dfa: DFA,
+    data,
+    device: Optional[Device] = None,
+    *,
+    scheme: str = "diagonal",
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    reserved_shared: int = DEFAULT_RESERVED_SHARED,
+    params: Optional[CostParams] = None,
+    stt_in_texture: bool = True,
+) -> KernelResult:
+    """Run the shared-memory kernel on *data* (measure + price)."""
+    device = device or Device()
+    meas = measure_shared(
+        dfa,
+        data,
+        device.config,
+        scheme=scheme,
+        threads_per_block=threads_per_block,
+        chunk_bytes=chunk_bytes,
+        reserved_shared=reserved_shared,
+        params=params,
+        stt_in_texture=stt_in_texture,
+    )
+    return price_shared(meas, device, params)

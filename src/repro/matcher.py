@@ -1,0 +1,309 @@
+"""High-level convenience API: the class downstream users actually adopt.
+
+:class:`Matcher` wraps the whole pipeline — pattern validation, phase-1
+construction, matcher selection, streaming, persistence — behind the
+interface of a typical multi-pattern-matching library (pyahocorasick,
+hyperscan bindings):
+
+    >>> m = Matcher(["he", "she", "his", "hers"])
+    >>> m.count("ushers")
+    3
+    >>> [(m.pattern(pid), start, end) for start, end, pid in m.finditer("ushers")]
+    [('she', 1, 4), ('he', 2, 4), ('hers', 2, 6)]
+
+Backends: ``"serial"`` (vectorized CPU scan), ``"gpu"`` (the paper's
+shared-memory kernel on the simulated device — identical matches, plus
+modeled timing on the result object), ``"double_array"`` (compact CPU
+form).  All are interchangeable because every backend is tested
+byte-exact against the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.alphabet import BytesLike
+from repro.core.dfa import DFA
+from repro.core.match import MatchResult
+from repro.core.pattern_set import PatternSet
+from repro.core.serial import match_serial
+from repro.core.serialization import load_dfa, save_dfa
+from repro.core.streaming import StreamMatcher
+from repro.errors import ReproError
+
+#: Valid backend names.
+BACKENDS = ("serial", "gpu", "double_array")
+
+
+class Matcher:
+    """Multi-pattern matcher over a fixed dictionary.
+
+    Parameters
+    ----------
+    patterns:
+        Sequence of str/bytes patterns, or an existing
+        :class:`~repro.core.pattern_set.PatternSet`.
+    backend:
+        ``"serial"`` (default), ``"gpu"``, or ``"double_array"``.
+    case_insensitive:
+        Lowercase the dictionary at build time and every scanned text
+        at scan time (the standard single-case AC trick used by IDS
+        engines; only ASCII letters fold).  Patterns that collide after
+        folding ("He"/"he") are merged, first id wins.
+    """
+
+    def __init__(
+        self,
+        patterns: Union[Sequence[BytesLike], PatternSet],
+        *,
+        backend: str = "serial",
+        case_insensitive: bool = False,
+    ):
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if not isinstance(patterns, PatternSet):
+            patterns = PatternSet(patterns)
+        self.case_insensitive = case_insensitive
+        if case_insensitive:
+            patterns = PatternSet.from_bytes(
+                [p.lower() for p in patterns.as_bytes_list()]
+            )
+        self._dfa = DFA.build(patterns)
+        self.backend = backend
+        self._double_array = None
+        if backend == "double_array":
+            from repro.core.double_array import DoubleArrayAC
+
+            self._double_array = DoubleArrayAC.build(patterns)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_dfa(cls, dfa: DFA, *, backend: str = "serial") -> "Matcher":
+        """Wrap a pre-built DFA (e.g. loaded from disk)."""
+        obj = cls.__new__(cls)
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        obj._dfa = dfa
+        obj.backend = backend
+        obj.case_insensitive = False
+        obj._double_array = None
+        if backend == "double_array":
+            from repro.core.automaton import AhoCorasickAutomaton
+            from repro.core.double_array import DoubleArrayAC
+
+            obj._double_array = DoubleArrayAC.from_automaton(
+                AhoCorasickAutomaton.build(dfa.patterns)
+            )
+        return obj
+
+    @classmethod
+    def load(cls, path: str, *, backend: str = "serial") -> "Matcher":
+        """Load a matcher persisted with :meth:`save`."""
+        return cls.from_dfa(load_dfa(path), backend=backend)
+
+    def save(self, path: str) -> None:
+        """Persist the compiled machine (see repro.core.serialization)."""
+        save_dfa(self._dfa, path)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def dfa(self) -> DFA:
+        """The underlying automaton."""
+        return self._dfa
+
+    @property
+    def n_patterns(self) -> int:
+        """Dictionary size."""
+        return len(self._dfa.patterns)
+
+    @property
+    def n_states(self) -> int:
+        """Automaton size."""
+        return self._dfa.n_states
+
+    def pattern(self, pattern_id: int, *, as_text: bool = True):
+        """The pattern string/bytes for an id."""
+        raw = self._dfa.patterns.pattern_bytes(pattern_id)
+        return raw.decode("latin-1") if as_text else raw
+
+    def _fold(self, text: BytesLike) -> BytesLike:
+        if not self.case_insensitive:
+            return text
+        if isinstance(text, str):
+            return text.lower()
+        if isinstance(text, (bytes, bytearray, memoryview)):
+            return bytes(text).lower()
+        # uint8 ndarray: fold ASCII uppercase in place-free form.
+        import numpy as np
+
+        arr = text.copy()
+        upper = (arr >= 65) & (arr <= 90)
+        arr[upper] += 32
+        return arr
+
+    # -- scanning ------------------------------------------------------------
+    def scan(self, text: BytesLike) -> MatchResult:
+        """Scan *text*; returns the raw :class:`MatchResult`."""
+        text = self._fold(text)
+        if self.backend == "gpu":
+            from repro.gpu.device import Device
+            from repro.kernels.shared_mem import run_shared_kernel
+
+            return run_shared_kernel(self._dfa, text, Device()).matches
+        if self.backend == "double_array":
+            return self._double_array.match(text)
+        return match_serial(self._dfa, text)
+
+    def scan_with_timing(self, text: BytesLike):
+        """GPU backend only: full KernelResult with modeled timing."""
+        if self.backend != "gpu":
+            raise ReproError("scan_with_timing requires the 'gpu' backend")
+        from repro.gpu.device import Device
+        from repro.kernels.shared_mem import run_shared_kernel
+
+        return run_shared_kernel(self._dfa, text, Device())
+
+    def finditer(
+        self, text: BytesLike
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(start, end_exclusive, pattern_id)`` per occurrence.
+
+        Ordered by start, then end.  (End is exclusive, python-slice
+        style, unlike the paper's inclusive end positions.)
+        """
+        result = self.scan(text)
+        lengths = self._dfa.pattern_lengths
+        triples = [
+            (int(e) - int(lengths[p]) + 1, int(e) + 1, int(p))
+            for e, p in zip(result.ends, result.pattern_ids)
+        ]
+        triples.sort()
+        return iter(triples)
+
+    def findall(self, text: BytesLike) -> List[Tuple[int, int, int]]:
+        """List form of :meth:`finditer`."""
+        return list(self.finditer(text))
+
+    def count(self, text: BytesLike) -> int:
+        """Total occurrences of any pattern."""
+        return len(self.scan(text))
+
+    def contains_any(self, text: BytesLike) -> bool:
+        """True when at least one pattern occurs."""
+        return self.count(text) > 0
+
+    def count_by_pattern(self, text: BytesLike) -> List[int]:
+        """Occurrence count per pattern id."""
+        return self.scan(text).count_by_pattern(self.n_patterns).tolist()
+
+    def find_first(
+        self, text: BytesLike, *, chunk: int = 1 << 16
+    ) -> Optional[Tuple[int, int, int]]:
+        """First occurrence as ``(start, end, pattern_id)``, or None.
+
+        Early-exit scan: the text is fed through a stream matcher in
+        chunks and scanning stops at the first reporting chunk, so a
+        hit near the front of a large buffer costs O(hit position),
+        not O(len(text)) — the "any signature present?" fast path an
+        AV engine wants.
+        """
+        folded = self._fold(text)
+        from repro.core.alphabet import encode
+
+        data = encode(folded, name="text")
+        stream = StreamMatcher(self._dfa)
+        lengths = self._dfa.pattern_lengths
+        max_len = int(self._dfa.patterns.max_length)
+
+        def best_of(hits):
+            triples = [
+                (int(e) - int(lengths[p]) + 1, int(e) + 1, int(p))
+                for e, p in hits
+            ]
+            return min(triples) if triples else None
+
+        best = None
+        pos = 0
+        n = int(data.size)
+        while pos < n:
+            hits = stream.feed(data[pos : pos + chunk])
+            pos += chunk
+            cand = best_of(hits)
+            if cand is not None and (best is None or cand < best):
+                best = cand
+            if best is not None:
+                # An earlier-starting match could still be in flight;
+                # it must end before best_start + max_len.  Drain up to
+                # that position, then the minimum is final.
+                limit = best[0] + max_len
+                while pos < min(limit, n):
+                    more = stream.feed(data[pos : pos + chunk])
+                    pos += chunk
+                    cand = best_of(more)
+                    if cand is not None and cand < best:
+                        best = cand
+                return best
+        return best
+
+    def scan_packets(self, stream) -> dict:
+        """Scan a :class:`~repro.workload.packets.PacketStream` batch.
+
+        One kernel-style pass over the whole batch buffer, then matches
+        mapped back per packet (the Gnort batching pattern).  Returns
+        ``{packet_index: [(start, end, pattern_id), ...]}`` with
+        packet-local positions; occurrences straddling packet
+        boundaries are attributed to the packet owning their start and
+        excluded if they cross into the next packet (payloads are
+        independent).
+        """
+        result = self.scan(stream.payload)
+        lengths = self._dfa.pattern_lengths
+        out: dict = {}
+        starts = result.ends - lengths[result.pattern_ids] + 1
+        pkt_idx = stream.packet_of_position(starts)
+        for s, e, pid, pkt in zip(
+            starts.tolist(),
+            (result.ends + 1).tolist(),
+            result.pattern_ids.tolist(),
+            pkt_idx.tolist(),
+        ):
+            pkt_end = int(stream.offsets[pkt + 1])
+            if e > pkt_end:
+                continue  # straddles a packet boundary: not a real hit
+            base = int(stream.offsets[pkt])
+            out.setdefault(pkt, []).append((s - base, e - base, pid))
+        return out
+
+    def stream(self) -> StreamMatcher:
+        """A fresh incremental matcher sharing this dictionary."""
+        return StreamMatcher(self._dfa)
+
+    def highlight(
+        self, text: str, *, open_mark: str = "[", close_mark: str = "]"
+    ) -> str:
+        """Debugging aid: bracket every occurrence in *text*.
+
+        Overlapping occurrences are merged into maximal covered spans.
+        """
+        spans = [(s, e) for s, e, _ in self.finditer(text)]
+        if not spans:
+            return text
+        spans.sort()
+        merged: List[List[int]] = [list(spans[0])]
+        for s, e in spans[1:]:
+            if s <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], e)
+            else:
+                merged.append([s, e])
+        out: List[str] = []
+        pos = 0
+        for s, e in merged:
+            out.append(text[pos:s])
+            out.append(open_mark + text[s:e] + close_mark)
+            pos = e
+        out.append(text[pos:])
+        return "".join(out)

@@ -1,0 +1,54 @@
+"""Evaluation workloads: synthetic magazine corpus, pattern extraction,
+the paper's size × dictionary grid, and a Snort-rule substrate for the
+NIDS example."""
+
+from repro.workload.binary import (
+    implant_signatures,
+    signature_dictionary,
+    synthetic_executable,
+)
+from repro.workload.corpus import CORE_VOCABULARY, MagazineCorpus
+from repro.workload.dna import (
+    RESTRICTION_SITES,
+    motif_dictionary,
+    synthetic_genome,
+)
+from repro.workload.datasets import (
+    DEFAULT_SCALE,
+    PAPER_PATTERN_COUNTS,
+    PAPER_SIZES,
+    DatasetFactory,
+    Workload,
+)
+from repro.workload.packets import PacketStream, generate_stream
+from repro.workload.patterns import extract_patterns, paper_pattern_sets
+from repro.workload.snort import (
+    SnortRule,
+    parse_rule,
+    parse_rules,
+    rules_to_patterns,
+)
+
+__all__ = [
+    "implant_signatures",
+    "signature_dictionary",
+    "synthetic_executable",
+    "CORE_VOCABULARY",
+    "MagazineCorpus",
+    "RESTRICTION_SITES",
+    "motif_dictionary",
+    "synthetic_genome",
+    "DEFAULT_SCALE",
+    "PAPER_PATTERN_COUNTS",
+    "PAPER_SIZES",
+    "DatasetFactory",
+    "Workload",
+    "PacketStream",
+    "generate_stream",
+    "extract_patterns",
+    "paper_pattern_sets",
+    "SnortRule",
+    "parse_rule",
+    "parse_rules",
+    "rules_to_patterns",
+]

@@ -1,0 +1,157 @@
+"""Binary/antivirus workloads — the paper's third application domain.
+
+"It is used in anti-virus software to protect computers from viruses"
+(paper Section IV-A).  Virus scanning differs from prose and DNA in two
+AC-relevant ways: the alphabet is the full byte range (so STT rows
+cannot band-compress as hard), and signatures are *rare* in benign data
+(matches are the exception, not the rule).  This module synthesizes
+both sides:
+
+* :func:`synthetic_executable` — an executable-like byte stream: a
+  mixture of code-ish opcode bytes, zero padding runs, ASCII string
+  table fragments, and high-entropy (packed/compressed) sections;
+* :func:`signature_dictionary` — hex-style byte signatures, some of
+  which are implanted into the stream by
+  :func:`implant_signatures` so scans have ground-truth positives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.pattern_set import PatternSet
+from repro.errors import ReproError
+
+#: Rough x86-flavoured "common opcode" bytes to bias code sections.
+_COMMON_OPCODES = np.frombuffer(
+    bytes(
+        [0x55, 0x89, 0x8B, 0x48, 0x83, 0xE8, 0xC3, 0x90, 0x74, 0x75,
+         0x85, 0x31, 0x5D, 0xFF, 0x0F, 0xEB, 0x01, 0x00, 0x24, 0x4C]
+    ),
+    dtype=np.uint8,
+)
+
+
+def synthetic_executable(
+    n: int,
+    *,
+    seed: int = 99,
+    code_fraction: float = 0.55,
+    zero_fraction: float = 0.15,
+    string_fraction: float = 0.15,
+) -> bytes:
+    """Generate *n* bytes of executable-like data in labelled sections."""
+    if n < 0:
+        raise ReproError("length must be >= 0")
+    fracs = (code_fraction, zero_fraction, string_fraction)
+    if any(f < 0 for f in fracs) or sum(fracs) > 1.0:
+        raise ReproError("section fractions must be >= 0 and sum <= 1")
+    if n == 0:
+        return b""
+    rng = np.random.default_rng(seed)
+    out = np.empty(n, dtype=np.uint8)
+    pos = 0
+    ascii_pool = np.frombuffer(
+        b"/usr/lib/libc.so.6GLIBC_2.17__cxa_finalizemallocfreestrlenprintf"
+        b"error: invalid argument%s%d\\n.text.data.bss.rodata",
+        dtype=np.uint8,
+    )
+    while pos < n:
+        section = int(rng.integers(0, 4))
+        length = min(int(rng.integers(64, 2048)), n - pos)
+        if section == 0:  # code: biased opcode mixture
+            biased = rng.random(length) < sum(fracs[:1]) + 0.25
+            vals = np.where(
+                biased,
+                _COMMON_OPCODES[rng.integers(0, _COMMON_OPCODES.size, length)],
+                rng.integers(0, 256, length).astype(np.uint8),
+            )
+            out[pos : pos + length] = vals
+        elif section == 1:  # zero padding
+            out[pos : pos + length] = 0
+        elif section == 2:  # string table: contiguous pool fragments
+            written = 0
+            while written < length:
+                frag_len = min(
+                    int(rng.integers(4, 32)), length - written
+                )
+                start = int(rng.integers(0, max(ascii_pool.size - frag_len, 1)))
+                out[pos + written : pos + written + frag_len] = ascii_pool[
+                    start : start + frag_len
+                ]
+                written += frag_len
+        else:  # packed/high entropy
+            out[pos : pos + length] = rng.integers(0, 256, length)
+        pos += length
+    return out.tobytes()
+
+
+def signature_dictionary(
+    n_signatures: int,
+    *,
+    seed: int = 17,
+    min_len: int = 8,
+    max_len: int = 24,
+) -> PatternSet:
+    """Random high-entropy byte signatures (AV-database style).
+
+    Signatures avoid the all-zero prefix (real databases exclude
+    padding-only patterns as too noisy).
+    """
+    if n_signatures <= 0:
+        raise ReproError("n_signatures must be positive")
+    if not 2 <= min_len <= max_len:
+        raise ReproError("invalid signature length bounds")
+    rng = np.random.default_rng(seed)
+    sigs: List[bytes] = []
+    seen = set()
+    while len(sigs) < n_signatures:
+        k = int(rng.integers(min_len, max_len + 1))
+        sig = bytes(rng.integers(0, 256, size=k, dtype=np.uint8).tolist())
+        if sig[0] == 0 or sig in seen:
+            continue
+        seen.add(sig)
+        sigs.append(sig)
+    return PatternSet.from_bytes(sigs)
+
+
+def implant_signatures(
+    data: bytes,
+    signatures: PatternSet,
+    n_implants: int,
+    *,
+    seed: int = 5,
+) -> Tuple[bytes, List[Tuple[int, int]]]:
+    """Overwrite *n_implants* random windows of *data* with signatures.
+
+    Returns the infected data and the ground truth as
+    ``(start_position, pattern_id)`` pairs, non-overlapping so every
+    implant is guaranteed to survive verbatim.
+    """
+    if n_implants < 0:
+        raise ReproError("n_implants must be >= 0")
+    buf = bytearray(data)
+    rng = np.random.default_rng(seed)
+    truth: List[Tuple[int, int]] = []
+    occupied: List[Tuple[int, int]] = []
+    max_len = signatures.max_length
+    if n_implants and len(buf) < max_len:
+        raise ReproError("data too small to implant signatures")
+    attempts = 0
+    while len(truth) < n_implants:
+        attempts += 1
+        if attempts > 200 * max(n_implants, 1):
+            raise ReproError("could not place all implants without overlap")
+        pid = int(rng.integers(0, len(signatures)))
+        sig = signatures.pattern_bytes(pid)
+        start = int(rng.integers(0, len(buf) - len(sig) + 1))
+        span = (start, start + len(sig))
+        if any(a < span[1] and span[0] < b for a, b in occupied):
+            continue
+        buf[span[0] : span[1]] = sig
+        occupied.append(span)
+        truth.append((start, pid))
+    truth.sort()
+    return bytes(buf), truth

@@ -1,0 +1,151 @@
+"""The paper's evaluation grid and its scaled realization.
+
+Section V sweeps input sizes of 50 KB - 200 MB against dictionaries of
+100 - 20,000 patterns.  Running the *functional* simulation over
+hundreds of megabytes of Python-simulated GPU is pointless — the event
+*rates* (conflicts/byte, texture miss rate, transactions/byte) converge
+within the first megabyte — so the harness materializes each cell at
+``scale × paper_size`` bytes (default 1/100), measures the rates on the
+scaled run, and prices the timing model with the *paper-scale* byte
+count.  ``scale=1.0`` reproduces the grid literally if you have the
+patience.  EXPERIMENTS.md records the convergence check.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pattern_set import PatternSet
+from repro.errors import ReproError
+from repro.workload.corpus import MagazineCorpus
+from repro.workload.patterns import extract_patterns
+
+#: The paper's input sizes (label -> bytes).  "MB" in the paper is 10^6.
+PAPER_SIZES: Dict[str, int] = {
+    "50KB": 50_000,
+    "1MB": 1_000_000,
+    "10MB": 10_000_000,
+    "100MB": 100_000_000,
+    "200MB": 200_000_000,
+}
+
+#: The paper's dictionary sizes.
+PAPER_PATTERN_COUNTS: Tuple[int, ...] = (100, 1_000, 5_000, 10_000, 20_000)
+
+#: Default functional-simulation scale (1/100 of paper bytes).
+DEFAULT_SCALE = 0.01
+
+#: Never simulate fewer bytes than this, whatever the scale, so event
+#: rates are measured on a meaningful sample (the CPU-L2 hot-set
+#: estimate needs several fetches per resident line to converge).
+MIN_SIM_BYTES = 200_000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation cell: text + dictionary, at paper and sim scale."""
+
+    size_label: str
+    paper_bytes: int
+    sim_bytes: int
+    n_patterns: int
+    data: np.ndarray
+    patterns: PatternSet
+
+    @property
+    def scale(self) -> float:
+        """Achieved simulation scale."""
+        return self.sim_bytes / self.paper_bytes
+
+
+class DatasetFactory:
+    """Materializes (and caches) grid cells deterministically.
+
+    One factory = one simulated "50 GB collection": a fixed
+    :class:`MagazineCorpus`, a fixed pattern-source stream, and
+    input-text streams per size.  Cells are cached because the harness
+    revisits the same text with several kernels.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2013,
+        scale: float = DEFAULT_SCALE,
+        corpus: Optional[MagazineCorpus] = None,
+    ):
+        if not 0 < scale <= 1.0:
+            raise ReproError(f"scale must be in (0, 1], got {scale}")
+        self.seed = seed
+        self.scale = scale
+        self.corpus = corpus or MagazineCorpus(seed=seed)
+        self._pattern_source: Optional[bytes] = None
+        self._pattern_cache: Dict[int, PatternSet] = {}
+        self._text_cache: Dict[str, np.ndarray] = {}
+
+    # -- pieces -----------------------------------------------------------
+    def sim_bytes_for(self, paper_bytes: int) -> int:
+        """Simulated byte count for a paper-scale size."""
+        return min(
+            paper_bytes, max(int(paper_bytes * self.scale), MIN_SIM_BYTES)
+        )
+
+    def patterns_for(self, n_patterns: int) -> PatternSet:
+        """The dictionary with *n_patterns* entries (cached)."""
+        if n_patterns not in self._pattern_cache:
+            if self._pattern_source is None:
+                self._pattern_source = self.corpus.generate(
+                    4_000_000, stream_seed=self.seed ^ 0x5EED
+                )
+            self._pattern_cache[n_patterns] = extract_patterns(
+                self._pattern_source, n_patterns, seed=self.seed + n_patterns
+            )
+        return self._pattern_cache[n_patterns]
+
+    def text_for(self, size_label: str) -> np.ndarray:
+        """The input text for a size label (cached)."""
+        if size_label not in self._text_cache:
+            try:
+                paper_bytes = PAPER_SIZES[size_label]
+            except KeyError:
+                raise ReproError(
+                    f"unknown size label {size_label!r}; "
+                    f"known: {sorted(PAPER_SIZES)}"
+                ) from None
+            # NOTE: a *stable* label hash — Python's hash() is salted
+            # per process and would break cross-run reproducibility.
+            label_code = zlib.crc32(size_label.encode("ascii")) % 10_000
+            self._text_cache[size_label] = self.corpus.generate_array(
+                self.sim_bytes_for(paper_bytes),
+                stream_seed=self.seed + label_code,
+            )
+        return self._text_cache[size_label]
+
+    # -- cells ------------------------------------------------------------
+    def cell(self, size_label: str, n_patterns: int) -> Workload:
+        """Materialize one grid cell."""
+        paper_bytes = PAPER_SIZES[size_label]
+        data = self.text_for(size_label)
+        return Workload(
+            size_label=size_label,
+            paper_bytes=paper_bytes,
+            sim_bytes=int(data.size),
+            n_patterns=n_patterns,
+            data=data,
+            patterns=self.patterns_for(n_patterns),
+        )
+
+    def grid(
+        self,
+        sizes: Optional[List[str]] = None,
+        pattern_counts: Optional[List[int]] = None,
+    ) -> List[Workload]:
+        """All cells of the (sub)grid, sizes-major order."""
+        sizes = sizes or list(PAPER_SIZES)
+        pattern_counts = pattern_counts or list(PAPER_PATTERN_COUNTS)
+        return [
+            self.cell(s, p) for s in sizes for p in pattern_counts
+        ]

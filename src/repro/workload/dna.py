@@ -1,0 +1,150 @@
+"""DNA workloads — the paper's bioinformatics application domain.
+
+Tumeo & Villa (paper ref [14]) accelerate DNA analysis with AC on GPU
+clusters; Schatz & Trapnell (ref [11]) do exact string matching on
+genomes.  This module provides the genome/motif equivalents of the
+magazine corpus: a seeded genome generator with controllable GC content
+and tandem-repeat structure, and motif dictionaries mixing real
+restriction-enzyme sites with extracted k-mers (so, as in the prose
+workloads, the dictionary actually *occurs* in the scanned data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.pattern_set import PatternSet
+from repro.errors import ReproError
+
+#: Recognition sites of common restriction enzymes.
+RESTRICTION_SITES: Dict[str, str] = {
+    "EcoRI": "GAATTC",
+    "BamHI": "GGATCC",
+    "HindIII": "AAGCTT",
+    "NotI": "GCGGCCGC",
+    "PstI": "CTGCAG",
+    "SmaI": "CCCGGG",
+    "XhoI": "CTCGAG",
+    "KpnI": "GGTACC",
+    "SacI": "GAGCTC",
+    "SalI": "GTCGAC",
+}
+
+_BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def synthetic_genome(
+    n: int,
+    *,
+    seed: int = 42,
+    gc_content: float = 0.41,
+    repeat_fraction: float = 0.05,
+    repeat_unit: int = 300,
+) -> bytes:
+    """Generate *n* bases of synthetic genome.
+
+    Mostly IID bases at the requested GC content, with
+    ``repeat_fraction`` of the sequence replaced by tandem copies of
+    short repeat units — the low-complexity structure real genomes have
+    and that stresses AC failure chains (long partial matches).
+    """
+    if n < 0:
+        raise ReproError("genome length must be >= 0")
+    if not 0 < gc_content < 1:
+        raise ReproError("gc_content must be in (0, 1)")
+    if not 0 <= repeat_fraction < 1:
+        raise ReproError("repeat_fraction must be in [0, 1)")
+    if n == 0:
+        return b""
+    rng = np.random.default_rng(seed)
+    at = (1 - gc_content) / 2
+    gc = gc_content / 2
+    genome = rng.choice(_BASES, size=n, p=[at, gc, gc, at])
+
+    # Paste tandem repeats over random windows.
+    repeat_bases = int(n * repeat_fraction)
+    placed = 0
+    while placed < repeat_bases and n > repeat_unit * 2:
+        unit_len = int(rng.integers(5, 40))
+        unit = rng.choice(_BASES, size=unit_len)
+        span = int(rng.integers(repeat_unit // 2, repeat_unit * 2))
+        start = int(rng.integers(0, n - span))
+        reps = -(-span // unit_len)
+        genome[start : start + span] = np.tile(unit, reps)[:span]
+        placed += span
+    return genome.tobytes()
+
+
+def motif_dictionary(
+    n_motifs: int,
+    genome: Optional[bytes] = None,
+    *,
+    seed: int = 7,
+    min_len: int = 6,
+    max_len: int = 12,
+    include_restriction_sites: bool = True,
+) -> PatternSet:
+    """Build a motif dictionary of *n_motifs* patterns.
+
+    Half the motifs are extracted from *genome* (guaranteed hits, like
+    the paper's corpus-extracted patterns); the rest are random k-mers
+    (background load).  Restriction sites are prepended when requested
+    and count toward ``n_motifs``.
+    """
+    if n_motifs <= 0:
+        raise ReproError("n_motifs must be positive")
+    if not 1 <= min_len <= max_len:
+        raise ReproError("invalid motif length bounds")
+    rng = np.random.default_rng(seed)
+    motifs: List[bytes] = []
+    seen = set()
+
+    def add(m: bytes) -> None:
+        if m not in seen and len(motifs) < n_motifs:
+            seen.add(m)
+            motifs.append(m)
+
+    if include_restriction_sites:
+        for site in RESTRICTION_SITES.values():
+            add(site.encode("ascii"))
+
+    if genome and len(genome) > max_len + 1:
+        target_extracted = (n_motifs + 1) // 2
+        attempts = 0
+        while len(motifs) < target_extracted and attempts < 50 * n_motifs:
+            attempts += 1
+            k = int(rng.integers(min_len, max_len + 1))
+            pos = int(rng.integers(0, len(genome) - k))
+            add(genome[pos : pos + k])
+
+    attempts = 0
+    while len(motifs) < n_motifs:
+        attempts += 1
+        if attempts > 200 * n_motifs:
+            raise ReproError(
+                f"could not assemble {n_motifs} distinct motifs"
+            )
+        k = int(rng.integers(min_len, max_len + 1))
+        add(bytes(_BASES[rng.integers(0, 4, size=k)]))
+
+    return PatternSet.from_bytes(motifs)
+
+
+def expected_iid_occurrences(
+    genome_length: int, motif_length: int, gc_content: float = 0.41
+) -> float:
+    """Expected occurrences of one IID motif (statistics sanity checks).
+
+    For a motif drawn uniformly, E[count] ≈ (n − k + 1) / 4^k at
+    balanced composition; this refines by GC content assuming the motif
+    itself was drawn from the same composition (adequate for tests).
+    """
+    if motif_length <= 0 or genome_length < motif_length:
+        return 0.0
+    at = (1 - gc_content) / 2
+    gc = gc_content / 2
+    # Mean per-position match probability for a same-composition motif.
+    p = (2 * at * at + 2 * gc * gc) ** motif_length
+    return (genome_length - motif_length + 1) * p

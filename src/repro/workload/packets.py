@@ -1,0 +1,121 @@
+"""Packet-stream workload — the paper's deep-packet-inspection input.
+
+Gnort-style NIDS processing (paper ref [16]) batches many packet
+payloads into one GPU buffer and scans them in a single launch.  This
+module generates such streams: benign HTTP-ish traffic templates with
+attack payloads injected at a controlled rate, plus the offset table
+needed to map matches back to packets — the exact plumbing the NIDS
+example and integration tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Benign request/response templates (method lines vary via formatting).
+BENIGN_TEMPLATES: Tuple[bytes, ...] = (
+    b"GET /%s HTTP/1.1\r\nHost: %s\r\nUser-Agent: Mozilla/5.0\r\n\r\n",
+    b"POST /api/%s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\n\r\n{}",
+    b"HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Length: 128\r\n\r\n",
+    b"HTTP/1.1 304 Not Modified\r\nETag: \"%s\"\r\n\r\n",
+)
+
+_PATHS = (b"index.html", b"images/logo.png", b"v1/items", b"assets/app.js",
+          b"news/today", b"search", b"login", b"static/site.css")
+_HOSTS = (b"example.com", b"news.example.org", b"cdn.example.net")
+
+
+@dataclass(frozen=True)
+class PacketStream:
+    """A batched packet buffer plus per-packet metadata."""
+
+    payload: bytes
+    offsets: np.ndarray          # (n_packets + 1,) cumulative offsets
+    attack_labels: Tuple[bool, ...]
+
+    @property
+    def n_packets(self) -> int:
+        """Packets in the batch."""
+        return len(self.attack_labels)
+
+    def packet(self, index: int) -> bytes:
+        """Payload bytes of packet *index*."""
+        if not 0 <= index < self.n_packets:
+            raise ReproError(f"packet index {index} out of range")
+        return self.payload[self.offsets[index] : self.offsets[index + 1]]
+
+    def packet_of_position(self, positions: np.ndarray) -> np.ndarray:
+        """Map byte positions in the batch to packet indices."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= len(self.payload)
+        ):
+            raise ReproError("position outside the batch buffer")
+        return np.searchsorted(self.offsets, positions, side="right") - 1
+
+    @property
+    def attack_packet_indices(self) -> Tuple[int, ...]:
+        """Ground-truth indices of injected attack packets."""
+        return tuple(
+            i for i, is_attack in enumerate(self.attack_labels) if is_attack
+        )
+
+
+def generate_stream(
+    n_packets: int,
+    attack_payloads: Sequence[bytes],
+    *,
+    attack_rate: float = 0.05,
+    seed: int = 7,
+) -> PacketStream:
+    """Generate a batch of *n_packets* with attacks injected.
+
+    Parameters
+    ----------
+    n_packets:
+        Batch size.
+    attack_payloads:
+        Payloads to inject (each chosen uniformly when a packet is an
+        attack).  May be empty only if ``attack_rate == 0``.
+    attack_rate:
+        Probability a packet is an attack.
+    """
+    if n_packets <= 0:
+        raise ReproError("n_packets must be positive")
+    if not 0 <= attack_rate <= 1:
+        raise ReproError("attack_rate must be in [0, 1]")
+    if attack_rate > 0 and not attack_payloads:
+        raise ReproError("attack_rate > 0 requires attack payloads")
+    rng = np.random.default_rng(seed)
+    payloads: List[bytes] = []
+    labels: List[bool] = []
+    for _ in range(n_packets):
+        if attack_rate and rng.random() < attack_rate:
+            payloads.append(
+                bytes(attack_payloads[int(rng.integers(len(attack_payloads)))])
+            )
+            labels.append(True)
+        else:
+            template = BENIGN_TEMPLATES[int(rng.integers(len(BENIGN_TEMPLATES)))]
+            fillers = (
+                _PATHS[int(rng.integers(len(_PATHS)))],
+                _HOSTS[int(rng.integers(len(_HOSTS)))],
+            )
+            body = template
+            for f in fillers:
+                if b"%s" in body:
+                    body = body.replace(b"%s", f, 1)
+            payloads.append(body)
+            labels.append(False)
+    offsets = np.zeros(n_packets + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in payloads], out=offsets[1:])
+    return PacketStream(
+        payload=b"".join(payloads),
+        offsets=offsets,
+        attack_labels=tuple(labels),
+    )

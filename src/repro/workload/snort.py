@@ -1,0 +1,133 @@
+"""Minimal Snort-style content-rule parser (example-app substrate).
+
+The paper motivates AC with deep packet inspection in Snort-class NIDS
+(Section IV-A, refs [12], [16]).  The NIDS example application
+(``examples/nids_deep_packet_inspection.py``) needs rule *content*
+strings to build its dictionary from, so this module implements the
+subset of the Snort rule language that defines them:
+
+    alert tcp any any -> any 80 (msg:"admin probe"; \
+        content:"GET /admin"; nocase; sid:1000001;)
+
+Supported: the ``content`` option with ``|41 42|`` hex escapes,
+``nocase``, ``msg`` and ``sid``.  Multiple ``content`` options per rule
+each become one pattern.  Everything else in the option block is
+preserved but ignored — this is a workload generator, not an IDS.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.pattern_set import PatternSet
+from repro.errors import ReproError
+
+_RULE_RE = re.compile(
+    r"^(?P<action>alert|log|pass|drop)\s+(?P<proto>\w+)\s+(?P<header>[^(]+)"
+    r"\((?P<options>.*)\)\s*$"
+)
+_OPTION_RE = re.compile(r'(\w+)\s*:\s*(?:"((?:[^"\\]|\\.)*)"|([^;]*))\s*;')
+_NOCASE_RE = re.compile(r"\bnocase\s*;")
+_HEX_RE = re.compile(r"\|([0-9A-Fa-f\s]+)\|")
+
+
+@dataclass(frozen=True)
+class SnortRule:
+    """One parsed rule: its contents become AC patterns."""
+
+    action: str
+    protocol: str
+    header: str
+    msg: str
+    sid: int
+    contents: Tuple[bytes, ...]
+    nocase: bool = False
+
+
+def _decode_content(raw: str) -> bytes:
+    """Decode a content string with |hex| escapes into bytes."""
+    out = bytearray()
+    pos = 0
+    for m in _HEX_RE.finditer(raw):
+        out += raw[pos : m.start()].encode("latin-1")
+        hex_str = m.group(1).replace(" ", "")
+        if len(hex_str) % 2:
+            raise ReproError(f"odd-length hex escape in content: {raw!r}")
+        out += bytes.fromhex(hex_str)
+        pos = m.end()
+    out += raw[pos:].encode("latin-1")
+    return bytes(out)
+
+
+def parse_rule(line: str) -> SnortRule:
+    """Parse one rule line; raises :class:`ReproError` on malformed input."""
+    m = _RULE_RE.match(line.strip())
+    if not m:
+        raise ReproError(f"malformed rule: {line[:80]!r}")
+    options = m.group("options")
+    contents: List[bytes] = []
+    msg = ""
+    sid = 0
+    for om in _OPTION_RE.finditer(options):
+        key = om.group(1)
+        value = om.group(2) if om.group(2) is not None else (om.group(3) or "")
+        if key == "content":
+            decoded = _decode_content(value)
+            if not decoded:
+                raise ReproError(f"empty content in rule: {line[:80]!r}")
+            contents.append(decoded)
+        elif key == "msg":
+            msg = value
+        elif key == "sid":
+            try:
+                sid = int(value.strip())
+            except ValueError:
+                raise ReproError(f"non-integer sid in rule: {line[:80]!r}") from None
+    if not contents:
+        raise ReproError(f"rule has no content option: {line[:80]!r}")
+    return SnortRule(
+        action=m.group("action"),
+        protocol=m.group("proto"),
+        header=m.group("header").strip(),
+        msg=msg,
+        sid=sid,
+        contents=tuple(contents),
+        nocase=bool(_NOCASE_RE.search(options)),
+    )
+
+
+def parse_rules(text: str) -> List[SnortRule]:
+    """Parse a rule file body; blank lines and ``#`` comments skipped."""
+    rules = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rules.append(parse_rule(line))
+    return rules
+
+
+def rules_to_patterns(rules: List[SnortRule]) -> Tuple[PatternSet, List[Tuple[int, int]]]:
+    """Flatten rules into a PatternSet plus a pattern->(rule idx, sid) map.
+
+    ``nocase`` contents are lowercased (callers must lowercase the
+    scanned payload too — the standard single-case AC trick).
+    Duplicate contents across rules are merged; the map keeps the first
+    owning rule.
+    """
+    if not rules:
+        raise ReproError("no rules to convert")
+    payloads: List[bytes] = []
+    owners: List[Tuple[int, int]] = []
+    seen = {}
+    for ridx, rule in enumerate(rules):
+        for content in rule.contents:
+            pat = content.lower() if rule.nocase else content
+            if pat in seen:
+                continue
+            seen[pat] = True
+            payloads.append(pat)
+            owners.append((ridx, rule.sid))
+    return PatternSet.from_bytes(payloads), owners

@@ -1,0 +1,49 @@
+"""Tests for the event report renderer."""
+
+import pytest
+
+from repro.analysis.events import compare_reports, event_report
+from repro.errors import ExperimentError
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_shared_kernel
+
+TEXT = b"she sells seashells by the seashore and hers " * 300
+
+
+class TestEventReport:
+    @pytest.fixture(scope="class")
+    def shared(self, english_dfa):
+        return run_shared_kernel(english_dfa, TEXT, Device())
+
+    def test_contains_all_sections(self, shared):
+        text = event_report(shared)
+        for key in ("launch", "scan", "global mem", "shared mem",
+                    "texture", "matches", "timing", "cycle split"):
+            assert key in text, key
+
+    def test_scheme_shown(self, shared):
+        assert "[diagonal]" in event_report(shared)
+
+    def test_global_kernel_omits_shared_section(self, english_dfa):
+        r = run_global_kernel(english_dfa, TEXT, Device())
+        assert "shared mem" not in event_report(r)
+
+    def test_numbers_consistent(self, shared):
+        text = event_report(shared)
+        assert f"{len(shared.matches):,} occurrences" in text
+        assert f"{shared.counters.bytes_owned:,} bytes" in text
+
+
+class TestCompareReports:
+    def test_winner_reported(self, english_dfa):
+        g = run_global_kernel(english_dfa, TEXT, Device())
+        s = run_shared_kernel(english_dfa, TEXT, Device())
+        text = compare_reports(g, s)
+        assert "wins" in text
+        assert "shared_memory" in text
+
+    def test_mismatched_inputs_rejected(self, english_dfa):
+        a = run_global_kernel(english_dfa, TEXT, Device())
+        b = run_global_kernel(english_dfa, TEXT[:100], Device())
+        with pytest.raises(ExperimentError):
+            compare_reports(a, b)

@@ -1,0 +1,59 @@
+"""Tests for the occupancy explorer."""
+
+import pytest
+
+from repro.analysis import best_geometry, explore, static_report
+from repro.errors import LaunchError
+from repro.gpu import gtx285
+
+
+class TestStaticReport:
+    def test_paper_geometry(self):
+        r = static_report(128, 64, overlap_bytes=15)
+        assert r.staged_bytes >= 128 * 64
+        assert r.blocks_per_sm == 1  # 8KB staging + reserve: one block
+        assert r.warps_per_sm == 4
+        assert r.overlap_ratio == pytest.approx((64 + 15) / 64)
+
+    def test_small_blocks_raise_occupancy(self):
+        small = static_report(256, 16, overlap_bytes=15)
+        big = static_report(128, 64, overlap_bytes=15)
+        assert small.warps_per_sm > big.warps_per_sm
+        assert small.overlap_ratio > big.overlap_ratio
+
+    def test_describe_contains_numbers(self):
+        text = static_report(128, 64, overlap_bytes=15).describe()
+        assert "warps/SM" in text and "overlap" in text
+
+    def test_infeasible_geometry_raises(self):
+        with pytest.raises(Exception):
+            static_report(512, 64, overlap_bytes=15)  # 32 KB staging
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def sweep(self, english_dfa):
+        data = b"they say that she will make all of this work out " * 400
+        return explore(english_dfa, data, config=gtx285())
+
+    def test_all_reports_have_performance(self, sweep):
+        assert len(sweep) >= 5
+        assert all(r.gbps is not None and r.gbps > 0 for r in sweep)
+
+    def test_infeasible_candidates_skipped(self, english_dfa):
+        data = b"xyz " * 1000
+        reports = explore(
+            english_dfa, data, candidates=[(512, 64), (128, 64)]
+        )
+        # 512x64 = 32 KB staging: skipped; 128x64 remains.
+        assert [(r.threads_per_block, r.chunk_bytes) for r in reports] == [
+            (128, 64)
+        ]
+
+    def test_best_geometry_is_argmax(self, sweep):
+        best = best_geometry(sweep)
+        assert best.gbps == max(r.gbps for r in sweep)
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(LaunchError):
+            best_geometry([])

@@ -1,0 +1,94 @@
+"""Tests for roofline placement and ASCII charts."""
+
+import pytest
+
+from repro.analysis import (
+    bar_chart,
+    figure_chart,
+    roofline_point,
+    sparkline,
+    trend_summary,
+)
+from repro.bench.report import FigureTable
+from repro.errors import ExperimentError
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_shared_kernel
+
+TEXT = b"she sells seashells; he and hers went there with his hat " * 500
+
+
+class TestRoofline:
+    def test_global_kernel_is_memory_roofed(self, english_dfa):
+        r = run_global_kernel(english_dfa, TEXT, Device())
+        pt = roofline_point(r)
+        assert pt.bound == "memory"
+        assert pt.intensity_cycles_per_byte > 0
+
+    def test_shared_kernel_higher_intensity(self, english_dfa):
+        g = roofline_point(run_global_kernel(english_dfa, TEXT, Device()))
+        s = roofline_point(run_shared_kernel(english_dfa, TEXT, Device()))
+        # Staging removes off-chip traffic: more cycles per bus byte.
+        assert s.intensity_cycles_per_byte > g.intensity_cycles_per_byte
+
+    def test_efficiency_bounded(self, english_dfa):
+        pt = roofline_point(run_shared_kernel(english_dfa, TEXT, Device()))
+        assert 0.0 < pt.efficiency <= 1.5  # model slack, not exact 1.0
+
+    def test_describe(self, english_dfa):
+        pt = roofline_point(run_shared_kernel(english_dfa, TEXT, Device()))
+        assert "cyc/B" in pt.describe()
+
+
+def demo_table():
+    return FigureTable(
+        figure_id="figX",
+        title="demo",
+        unit="Gbps",
+        row_labels=["50KB", "1MB"],
+        col_labels=["100", "1000"],
+        values=[[10.0, 5.0], [20.0, 9.0]],
+    )
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_title_and_unit(self):
+        text = bar_chart(["a"], [1.0], title="T", unit=" Gbps")
+        assert text.startswith("T")
+        assert "Gbps" in text
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            bar_chart([], [])
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [-1.0])
+
+    def test_sparkline_range(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == " " and s[-1] == "#"
+
+    def test_sparkline_flat_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_sparkline_empty(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+    def test_figure_chart_blocks(self):
+        text = figure_chart(demo_table())
+        assert "-- 100 patterns --" in text
+        assert "-- 1000 patterns --" in text
+        assert "50KB" in text
+
+    def test_trend_summary(self):
+        text = trend_summary(demo_table())
+        assert "figX trends" in text
+        assert "[5 .. 10]" in text

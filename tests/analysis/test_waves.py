@@ -1,0 +1,47 @@
+"""Tests for the wave/tail analysis."""
+
+import pytest
+
+from repro.analysis.waves import analyze_waves
+from repro.gpu import LaunchConfig, gtx285
+
+
+class TestWaves:
+    def test_exact_fill_no_tail(self):
+        cfg = gtx285()
+        # 256-thread blocks, no shared: 4 blocks/SM x 30 SMs = 120.
+        wa = analyze_waves(LaunchConfig(120, 256), cfg)
+        assert wa.concurrent_blocks == 120
+        assert wa.full_waves == 1 and wa.tail_blocks == 0
+        assert wa.n_waves == 1
+        assert wa.tail_utilization == 1.0
+        assert wa.quantization_factor == pytest.approx(1.0)
+
+    def test_tail_wave(self):
+        cfg = gtx285()
+        wa = analyze_waves(LaunchConfig(130, 256), cfg)
+        assert wa.full_waves == 1 and wa.tail_blocks == 10
+        assert wa.n_waves == 2
+        assert wa.tail_utilization == pytest.approx(10 / 120)
+
+    def test_tiny_grid_heavily_quantized(self):
+        cfg = gtx285()
+        # A 50 KB input at 512 B chunks: ~1 block grid.
+        wa = analyze_waves(LaunchConfig(1, 256), cfg)
+        assert wa.n_waves == 1
+        # Even division would charge 1/120 of a wave: 120x optimistic.
+        assert wa.quantization_factor == pytest.approx(120.0)
+
+    def test_many_waves_converge_to_ideal(self):
+        cfg = gtx285()
+        wa = analyze_waves(LaunchConfig(120 * 50 + 1, 256), cfg)
+        assert wa.quantization_factor < 1.03
+
+    def test_shared_memory_limits_concurrency(self):
+        cfg = gtx285()
+        wa = analyze_waves(
+            LaunchConfig(60, 128, shared_bytes_per_block=9 * 1024), cfg
+        )
+        assert wa.blocks_per_sm == 1
+        assert wa.concurrent_blocks == 30
+        assert wa.n_waves == 2

@@ -1,0 +1,58 @@
+"""Tests for the calibration/shape-check machinery (small grid)."""
+
+import pytest
+
+from repro.bench.calibrate import (
+    BandCheck,
+    calibration_report,
+    check_band,
+    ordering_violations,
+)
+from repro.bench.experiments import FIGURES, run_figure
+from repro.bench.runner import ExperimentRunner
+
+SIZES = ["1MB"]
+COUNTS = [100, 1000]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.001, seed=11)
+
+
+class TestBandCheck:
+    def test_overlap_logic(self):
+        assert BandCheck("f", (1, 5), (4, 9)).overlaps
+        assert BandCheck("f", (4, 9), (1, 5)).overlaps
+        assert not BandCheck("f", (1, 2), (3, 4)).overlaps
+        assert BandCheck("f", (1, 2), None).overlaps
+
+    def test_ratio_of_maxima(self):
+        assert BandCheck("f", (1, 10), (1, 5)).ratio_of_maxima == 2.0
+        assert BandCheck("f", (1, 10), None).ratio_of_maxima is None
+
+    def test_check_band_from_table(self, runner):
+        spec = FIGURES["fig22"]
+        table = run_figure("fig22", runner, SIZES, COUNTS)
+        chk = check_band(spec, table)
+        assert chk.measured[0] <= chk.measured[1]
+        assert chk.paper == (7.3, 19.3)
+
+
+class TestOrderingAndReport:
+    def test_no_ordering_violations_on_representative_cells(self, runner):
+        assert ordering_violations(runner, SIZES, COUNTS) == []
+
+    def test_report_mentions_each_figure(self, runner):
+        text = calibration_report(
+            runner, sizes=SIZES, counts=COUNTS, figures=("fig22", "fig23")
+        )
+        assert "fig22" in text and "fig23" in text
+        assert "ordering" in text
+
+    def test_paper_band_overlap_on_representative_cells(self, runner):
+        """The reproduction's headline claim, exercised in-suite on a
+        small grid: fig22's measured band must intersect the paper's."""
+        table = run_figure("fig22", runner, SIZES, COUNTS)
+        chk = check_band(FIGURES["fig22"], table)
+        assert chk.overlaps

@@ -1,0 +1,125 @@
+"""Tests for the repro-ac command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_figure_is_a_subcommand(self):
+        parser = build_parser()
+        for fid in ("fig13", "fig18", "fig23", "abl_pfac"):
+            args = parser.parse_args([fid])
+            assert args.command == fid
+
+    def test_figure_options(self):
+        args = build_parser().parse_args(
+            ["fig18", "--sizes", "1MB,10MB", "--patterns", "100", "--csv"]
+        )
+        assert args.sizes == "1MB,10MB"
+        assert args.csv
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_device(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 285" in out
+
+    def test_figure_run_small(self, capsys):
+        rc = main(
+            ["fig16", "--sizes", "50KB", "--patterns", "100",
+             "--scale", "0.001"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "Gbps" in out
+
+    def test_figure_csv(self, capsys):
+        rc = main(
+            ["fig16", "--sizes", "50KB", "--patterns", "100",
+             "--scale", "0.001", "--csv"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("size,100")
+
+    def test_match_command(self, tmp_path, capsys):
+        pat = tmp_path / "patterns.txt"
+        pat.write_text("he\nshe\nhis\nhers\n")
+        txt = tmp_path / "input.bin"
+        txt.write_bytes(b"ushers " * 100)
+        rc = main(
+            ["match", "--patterns-file", str(pat), "--text-file", str(txt)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matches       : 300" in out
+        assert "Gbps" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        rc = main(
+            ["export", "--outdir", str(tmp_path / "csv"),
+             "--sizes", "50KB", "--patterns", "100", "--scale", "0.001"]
+        )
+        assert rc == 0
+        written = sorted(p.name for p in (tmp_path / "csv").glob("*.csv"))
+        assert written == [
+            "fig13.csv", "fig14.csv", "fig15.csv", "fig16.csv",
+            "fig17.csv", "fig18.csv", "fig20.csv", "fig21.csv",
+            "fig22.csv", "fig23.csv",
+        ]
+        body = (tmp_path / "csv" / "fig18.csv").read_text()
+        assert body.startswith("size,100")
+
+    def test_occupancy_command(self, capsys):
+        rc = main(
+            ["occupancy", "--patterns", "100", "--size", "50KB",
+             "--scale", "0.001"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warps/SM" in out and "best:" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--iters", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_compress_command(self, capsys):
+        assert main(["compress", "--patterns", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "banded exact: True" in out
+        assert "bitmap exact: True" in out
+
+    def test_dot_command(self, tmp_path, capsys):
+        pat = tmp_path / "p.txt"
+        pat.write_text("he\nshe\n")
+        assert main(["dot", "--patterns-file", str(pat)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph ac {")
+
+    def test_figure_chart_flag(self, capsys):
+        rc = main(
+            ["fig16", "--sizes", "50KB", "--patterns", "100",
+             "--scale", "0.001", "--chart"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-- 100 patterns --" in out
+        assert "trends" in out
+
+    def test_match_kernel_choice(self, tmp_path, capsys):
+        pat = tmp_path / "p.txt"
+        pat.write_text("ab\n")
+        txt = tmp_path / "t.bin"
+        txt.write_bytes(b"abab")
+        rc = main(
+            ["match", "--patterns-file", str(pat), "--text-file", str(txt),
+             "--kernel", "pfac"]
+        )
+        assert rc == 0
+        assert "pfac" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for the serial CPU timing model."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cpu_model import CpuConfig, serial_cost_from_trace
+from repro.core import encode, plan_chunks
+from repro.core.chunking import build_windows
+from repro.core.lockstep import run_dfa_lockstep
+from repro.errors import ExperimentError
+
+
+def trace_for(dfa, text: bytes):
+    data = encode(text)
+    plan = plan_chunks(data.size, 4096, dfa.patterns.max_length - 1)
+    windows = build_windows(data, plan)
+    return run_dfa_lockstep(dfa, windows, plan), windows
+
+
+class TestSerialCost:
+    def test_base_cost_when_stt_fits(self, paper_dfa):
+        # A 10-state STT always fits L2: cycles/byte == base.
+        trace, windows = trace_for(paper_dfa, b"she sells seashells " * 200)
+        cpu = CpuConfig()
+        cost = serial_cost_from_trace(paper_dfa, trace, windows, 10**6, cpu)
+        assert cost.line_miss_rate == pytest.approx(0.0)
+        assert cost.cycles_per_byte == pytest.approx(cpu.base_cycles_per_byte)
+
+    def test_seconds_formula(self, paper_dfa):
+        trace, windows = trace_for(paper_dfa, b"x" * 4000)
+        cpu = CpuConfig()
+        cost = serial_cost_from_trace(paper_dfa, trace, windows, 2_000_000, cpu)
+        expected = 2_000_000 * cpu.base_cycles_per_byte / cpu.clock_hz
+        assert cost.seconds == pytest.approx(expected)
+
+    def test_throughput_unit(self, paper_dfa):
+        trace, windows = trace_for(paper_dfa, b"x" * 4000)
+        cost = serial_cost_from_trace(paper_dfa, trace, windows, 10**6)
+        assert cost.throughput_gbps == pytest.approx(
+            10**6 * 8 / cost.seconds / 1e9
+        )
+
+    def test_tiny_l2_forces_misses(self, english_dfa):
+        trace, windows = trace_for(
+            english_dfa, b"they say that she will make all of this " * 100
+        )
+        tiny = CpuConfig(l2_bytes=256)  # 4 lines only
+        cost = serial_cost_from_trace(english_dfa, trace, windows, 10**6, tiny)
+        assert cost.line_miss_rate > 0.2
+        assert cost.cycles_per_byte > tiny.base_cycles_per_byte
+
+    def test_miss_rate_monotone_in_l2_size(self, english_dfa):
+        trace, windows = trace_for(
+            english_dfa, b"what would they say about all of that " * 100
+        )
+        rates = [
+            serial_cost_from_trace(
+                english_dfa, trace, windows, 10**6, CpuConfig(l2_bytes=size)
+            ).line_miss_rate
+            for size in (256, 4096, 4 * 1024 * 1024)
+        ]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_invalid_paper_bytes(self, paper_dfa):
+        trace, windows = trace_for(paper_dfa, b"abc")
+        with pytest.raises(ExperimentError):
+            serial_cost_from_trace(paper_dfa, trace, windows, 0)
+
+
+class TestMulticore:
+    def base(self, paper_dfa):
+        trace, windows = trace_for(paper_dfa, b"hers " * 200)
+        return serial_cost_from_trace(paper_dfa, trace, windows, 10**6)
+
+    def test_four_cores_sublinear(self, paper_dfa):
+        from repro.bench.cpu_model import multicore_cost
+
+        serial = self.base(paper_dfa)
+        mt = multicore_cost(serial)
+        cpu = CpuConfig()
+        assert mt.seconds == pytest.approx(
+            serial.seconds / (cpu.n_cores * cpu.multicore_efficiency)
+        )
+        assert mt.seconds < serial.seconds
+        assert mt.seconds > serial.seconds / cpu.n_cores  # sublinear
+
+    def test_one_core_is_identity(self, paper_dfa):
+        from repro.bench.cpu_model import multicore_cost
+
+        serial = self.base(paper_dfa)
+        assert multicore_cost(serial, n_cores=1).seconds == serial.seconds
+
+    def test_invalid_cores(self, paper_dfa):
+        from repro.bench.cpu_model import multicore_cost
+
+        with pytest.raises(ExperimentError):
+            multicore_cost(self.base(paper_dfa), n_cores=-1)
+
+    def test_runner_integration(self):
+        from repro.bench.runner import ExperimentRunner
+
+        r = ExperimentRunner(scale=0.001, seed=9)
+        cell = r.run_cell("50KB", 100, kernels=("serial", "serial_mt", "shared"))
+        assert cell.seconds("serial_mt") < cell.seconds("serial")
+        # The GPU still beats the 4-core chip (the paper's larger point).
+        assert cell.seconds("shared") < cell.seconds("serial_mt")

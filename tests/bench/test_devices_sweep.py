@@ -1,0 +1,103 @@
+"""Tests for the device comparison and sensitivity sweep modules."""
+
+import pytest
+
+from repro.bench.devices import (
+    DEVICE_ROSTER,
+    compare_devices,
+    comparison_table,
+    speedup_between,
+)
+from repro.bench.sweep import (
+    DEFAULT_SWEEPS,
+    full_report,
+    sensitivity_sweep,
+    shared_over_global_ratio,
+)
+from repro.errors import ExperimentError
+from repro.gpu import gtx285
+
+TEXT = b"they say that she will make all of this work out fine " * 400
+
+
+class TestCompareDevices:
+    @pytest.fixture(scope="class")
+    def rows(self, english_dfa):
+        return compare_devices(english_dfa, TEXT)
+
+    def test_covers_roster_and_kernels(self, rows):
+        combos = {(r.device, r.kernel) for r in rows}
+        assert combos == {
+            ("gtx285", "global"),
+            ("gtx285", "shared"),
+            ("fermi_c2050", "global"),
+            ("fermi_c2050", "shared"),
+        }
+
+    def test_shared_beats_global_on_every_device(self, rows):
+        by_dev = {}
+        for r in rows:
+            by_dev.setdefault(r.device, {})[r.kernel] = r.seconds
+        for dev, kernels in by_dev.items():
+            assert kernels["shared"] < kernels["global"], dev
+
+    def test_table_renders(self, rows):
+        text = comparison_table(rows)
+        assert "gtx285" in text and "fermi_c2050" in text
+        assert "Gbps" in text
+
+    def test_speedup_between(self, rows):
+        v = speedup_between(rows, "shared", fast="fermi_c2050", slow="gtx285")
+        assert v > 0
+
+    def test_speedup_missing_row(self, rows):
+        with pytest.raises(ExperimentError):
+            speedup_between(rows, "shared", fast="gtx999", slow="gtx285")
+
+    def test_unknown_kernel(self, english_dfa):
+        with pytest.raises(ExperimentError):
+            compare_devices(english_dfa, TEXT, kernels=("warp",))
+
+    def test_empty_table(self):
+        with pytest.raises(ExperimentError):
+            comparison_table([])
+
+
+class TestSensitivitySweep:
+    def test_metric_positive(self, english_dfa):
+        assert shared_over_global_ratio(english_dfa, TEXT, gtx285()) > 1.0
+
+    def test_single_constant_sweep(self, english_dfa):
+        result = sensitivity_sweep(
+            english_dfa, TEXT, "memory_departure_cycles", (3.0, 12.0)
+        )
+        assert len(result.points) == 2
+        assert result.swing >= 1.0
+        assert "memory_departure_cycles" in result.describe()
+
+    def test_claim_robust_across_departure_range(self, english_dfa):
+        """Headline robustness: shared wins for any plausible departure."""
+        result = sensitivity_sweep(
+            english_dfa,
+            TEXT,
+            "memory_departure_cycles",
+            DEFAULT_SWEEPS["memory_departure_cycles"],
+        )
+        assert result.always_positive_claim
+
+    def test_unknown_constant(self, english_dfa):
+        with pytest.raises(ExperimentError):
+            sensitivity_sweep(english_dfa, TEXT, "flux_capacitance", (1.0,))
+
+    def test_empty_values(self, english_dfa):
+        with pytest.raises(ExperimentError):
+            sensitivity_sweep(english_dfa, TEXT, "global_latency_cycles", ())
+
+    def test_full_report_runs(self, english_dfa):
+        text = full_report(
+            english_dfa,
+            TEXT,
+            sweeps={"overlap_inefficiency": (0.0, 0.6)},
+        )
+        assert "sensitivity" in text
+        assert "robust" in text

@@ -1,0 +1,80 @@
+"""Tests for figure specs and the figure runner (small grids)."""
+
+import pytest
+
+from repro.bench.experiments import ABLATIONS, FIGURES, get_figure, run_figure
+from repro.bench.runner import ExperimentRunner
+from repro.errors import ExperimentError
+
+SIZES = ["50KB"]
+COUNTS = [100, 1000]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.001, seed=7)
+
+
+class TestSpecs:
+    def test_every_results_figure_is_defined(self):
+        assert set(FIGURES) == {
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig20", "fig21", "fig22", "fig23",
+        }
+
+    def test_paper_bands_recorded(self):
+        assert FIGURES["fig20"].paper_band == (3.3, 13.2)
+        assert FIGURES["fig21"].paper_band == (36.1, 222.0)
+        assert FIGURES["fig22"].paper_band == (7.3, 19.3)
+        assert FIGURES["fig23"].paper_band == (1.5, 5.3)
+
+    def test_get_figure_resolves_ablations(self):
+        assert get_figure("abl_pfac").figure_id == "abl_pfac"
+
+    def test_get_figure_unknown(self):
+        with pytest.raises(ExperimentError, match="unknown figure"):
+            get_figure("fig99")
+
+
+class TestRunFigure:
+    def test_runtime_figures_consistent_with_throughput(self, runner):
+        t13 = run_figure("fig13", runner, SIZES, COUNTS)
+        t16 = run_figure("fig16", runner, SIZES, COUNTS)
+        # throughput = bytes * 8 / seconds on every cell.
+        secs = t13.value("50KB", "100")
+        gbps = t16.value("50KB", "100")
+        assert gbps == pytest.approx(50_000 * 8 / secs / 1e9)
+
+    def test_speedup_figures_consistent(self, runner):
+        t13 = run_figure("fig13", runner, SIZES, COUNTS)
+        t15 = run_figure("fig15", runner, SIZES, COUNTS)
+        t21 = run_figure("fig21", runner, SIZES, COUNTS)
+        assert t21.value("50KB", "100") == pytest.approx(
+            t13.value("50KB", "100") / t15.value("50KB", "100")
+        )
+
+    def test_shared_beats_global_everywhere(self, runner):
+        t22 = run_figure("fig22", runner, SIZES, COUNTS)
+        assert t22.min_value() > 1.0
+
+    def test_diagonal_beats_coalesce_only(self, runner):
+        t23 = run_figure("fig23", runner, SIZES, COUNTS)
+        assert t23.min_value() >= 1.0
+
+    def test_throughput_decreases_with_patterns(self, runner):
+        """The paper's universal trend (Figs. 16-18)."""
+        for fid in ("fig16", "fig17", "fig18"):
+            t = run_figure(fid, runner, SIZES, [100, 1000])
+            row = t.values[0]
+            assert row[0] >= row[1], fid
+
+    def test_runtimes_increase_with_patterns(self, runner):
+        for fid in ("fig13", "fig14", "fig15"):
+            t = run_figure(fid, runner, SIZES, [100, 1000])
+            row = t.values[0]
+            assert row[1] >= row[0], fid
+
+    def test_table_labels(self, runner):
+        t = run_figure("fig18", runner, SIZES, COUNTS)
+        assert t.row_labels == SIZES
+        assert t.col_labels == ["100", "1000"]

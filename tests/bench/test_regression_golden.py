@@ -1,0 +1,69 @@
+"""Golden-value regression: the modeled figures must not drift silently.
+
+``golden_figures.json`` pins every results figure on a small fixed grid
+(scale 0.001, seed 2013).  Any change to the model, the workload
+generators or the calibration constants that moves a figure by more
+than the tolerance fails here — on purpose: such changes must be
+deliberate, re-golden'd, and re-documented in EXPERIMENTS.md.
+
+To regenerate after an intentional model change::
+
+    python - <<'PY'
+    import json
+    from repro.bench import ExperimentRunner, run_figure
+    r = ExperimentRunner(scale=0.001, seed=2013)
+    sizes, counts = ["50KB", "1MB"], [100, 1000]
+    golden = {"scale": 0.001, "seed": 2013, "sizes": sizes,
+              "counts": counts, "figures": {}}
+    for fid in ("fig13","fig16","fig17","fig18","fig20","fig21",
+                "fig22","fig23"):
+        golden["figures"][fid] = run_figure(fid, r, sizes, counts).values
+    json.dump(golden, open("tests/bench/golden_figures.json", "w"), indent=1)
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import ExperimentRunner, run_figure
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_figures.json"
+#: Determinism is exact in principle; the tolerance absorbs numerical
+#: noise from library-version differences in reductions.
+RELATIVE_TOLERANCE = 0.02
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def runner(golden):
+    return ExperimentRunner(scale=golden["scale"], seed=golden["seed"])
+
+
+def test_golden_file_shape(golden):
+    assert set(golden["figures"]) == {
+        "fig13", "fig16", "fig17", "fig18", "fig20", "fig21", "fig22",
+        "fig23",
+    }
+    for fid, values in golden["figures"].items():
+        assert len(values) == len(golden["sizes"]), fid
+        assert all(len(row) == len(golden["counts"]) for row in values), fid
+
+
+@pytest.mark.parametrize(
+    "fid",
+    ["fig13", "fig16", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23"],
+)
+def test_figure_matches_golden(golden, runner, fid):
+    table = run_figure(fid, runner, golden["sizes"], golden["counts"])
+    expected = golden["figures"][fid]
+    for i, row in enumerate(table.values):
+        for j, value in enumerate(row):
+            assert value == pytest.approx(
+                expected[i][j], rel=RELATIVE_TOLERANCE
+            ), (fid, golden["sizes"][i], golden["counts"][j])

@@ -1,0 +1,70 @@
+"""Tests for the figure-table report builder."""
+
+import pytest
+
+from repro.bench.report import FigureTable, build_table
+from repro.errors import ExperimentError
+
+
+def table():
+    return FigureTable(
+        figure_id="figX",
+        title="demo",
+        unit="Gbps",
+        row_labels=["50KB", "1MB"],
+        col_labels=["100", "1000"],
+        values=[[1.0, 2.0], [3.0, 4.0]],
+    )
+
+
+class TestFigureTable:
+    def test_minmax(self):
+        t = table()
+        assert t.min_value() == 1.0
+        assert t.max_value() == 4.0
+
+    def test_value_lookup(self):
+        assert table().value("1MB", "100") == 3.0
+
+    def test_value_lookup_missing(self):
+        with pytest.raises(ExperimentError):
+            table().value("9GB", "100")
+
+    def test_shape_validation(self):
+        with pytest.raises(ExperimentError):
+            FigureTable("f", "t", "u", ["a"], ["b"], [[1.0], [2.0]])
+        with pytest.raises(ExperimentError):
+            FigureTable("f", "t", "u", ["a"], ["b", "c"], [[1.0]])
+
+    def test_render_contains_everything(self):
+        text = table().render()
+        assert "figX" in text and "Gbps" in text
+        assert "50KB" in text and "1000" in text
+
+    def test_csv(self):
+        csv = table().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "size,100,1000"
+        assert lines[1].startswith("50KB,1")
+
+
+class TestBuildTable:
+    class FakeCell:
+        def __init__(self, size_label, n_patterns, v):
+            self.size_label = size_label
+            self.n_patterns = n_patterns
+            self.v = v
+
+    def test_build(self):
+        cells = [
+            self.FakeCell("50KB", 100, 1.5),
+            self.FakeCell("50KB", 1000, 2.5),
+        ]
+        t = build_table(
+            "figY", "t", "x", cells, lambda c: c.v, ["50KB"], [100, 1000]
+        )
+        assert t.values == [[1.5, 2.5]]
+
+    def test_missing_cell(self):
+        with pytest.raises(ExperimentError, match="missing cell"):
+            build_table("figY", "t", "x", [], lambda c: 0, ["50KB"], [100])

@@ -1,0 +1,85 @@
+"""Tests for banded STT compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import BandedSTT
+from repro.core import DFA, PatternSet
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def banded_paper(paper_dfa):
+    return BandedSTT.from_stt(paper_dfa.stt)
+
+
+class TestExactness:
+    def test_exhaustive_equality_paper(self, paper_dfa, banded_paper):
+        assert banded_paper.verify_against(paper_dfa.stt)
+
+    def test_exhaustive_equality_english(self, english_dfa):
+        banded = BandedSTT.from_stt(english_dfa.stt)
+        assert banded.verify_against(english_dfa.stt)
+
+    def test_scalar_delta(self, paper_dfa, banded_paper):
+        for s in range(paper_dfa.n_states):
+            for a in (0, ord("h"), ord("s"), ord("e"), 255):
+                assert banded_paper.delta(s, a) == paper_dfa.delta(s, a)
+
+    def test_match_flags_preserved(self, paper_dfa, banded_paper):
+        assert np.array_equal(
+            banded_paper.match_flags.astype(np.int32),
+            paper_dfa.stt.match_flags,
+        )
+
+    def test_out_of_range_state(self, banded_paper):
+        with pytest.raises(ReproError):
+            banded_paper.next_states(np.array([999]), np.array([0]))
+
+
+class TestCompression:
+    def test_saves_memory_on_text_dictionary(self, english_dfa):
+        stats = BandedSTT.from_stt(english_dfa.stt).stats()
+        # Prose rows band tightly into the letter range.
+        assert stats.ratio > 3.0
+        assert stats.compressed_bytes < stats.dense_bytes
+
+    def test_ratio_definition(self, banded_paper):
+        s = banded_paper.stats()
+        assert s.ratio == pytest.approx(s.dense_bytes / s.compressed_bytes)
+
+    def test_dna_dictionary_compresses_hard(self):
+        dfa = DFA.build(PatternSet.from_strings(["GATTACA", "ACGT", "TTTT"]))
+        stats = BandedSTT.from_stt(dfa.stt).stats()
+        # 4-letter alphabet: bands are <= ~20 columns of 256.
+        assert stats.ratio > 6.0
+
+    def test_lockstep_match_equivalence(self, english_dfa):
+        """Scanning with the compressed table gives identical states."""
+        banded = BandedSTT.from_stt(english_dfa.stt)
+        rng = np.random.default_rng(3)
+        text = rng.integers(ord("a"), ord("z") + 1, size=2000).astype(np.int64)
+        s_dense = np.int64(0)
+        s_band = np.int64(0)
+        dense = english_dfa.stt.next_states
+        for b in text:
+            s_dense = dense[s_dense, b]
+            s_band = banded.next_states(
+                np.array([s_band]), np.array([b])
+            )[0]
+            assert s_dense == s_band
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.text(alphabet="abcde", min_size=1, max_size=5),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+def test_property_banded_always_exact(patterns):
+    dfa = DFA.build(PatternSet.from_strings(patterns))
+    assert BandedSTT.from_stt(dfa.stt).verify_against(dfa.stt)

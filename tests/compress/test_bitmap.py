@@ -1,0 +1,84 @@
+"""Tests for bitmap/failure-delta STT compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import BitmapDeltaSTT
+from repro.core import DFA, AhoCorasickAutomaton, PatternSet
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def bitmap_paper(paper_automaton):
+    return BitmapDeltaSTT.from_automaton(paper_automaton)
+
+
+class TestExactness:
+    def test_exhaustive_equality_paper(self, paper_automaton, paper_dfa, bitmap_paper):
+        for s in range(paper_dfa.n_states):
+            for a in range(256):
+                assert bitmap_paper.delta(s, a) == paper_dfa.delta(s, a), (s, a)
+
+    def test_randomized_equality_english(self, english_patterns, english_dfa):
+        ac = AhoCorasickAutomaton.build(english_patterns)
+        bm = BitmapDeltaSTT.from_automaton(ac)
+        assert bm.verify_against(english_dfa, sample=3000)
+
+    def test_out_of_range(self, bitmap_paper):
+        with pytest.raises(ReproError):
+            bitmap_paper.delta(999, 0)
+        with pytest.raises(ReproError):
+            bitmap_paper.delta(0, 300)
+
+
+class TestChainWalk:
+    def test_root_chain_is_zero(self, bitmap_paper):
+        assert bitmap_paper.chain_length(0, ord("z")) == 0
+
+    def test_chain_bounded_by_depth(self, paper_automaton, bitmap_paper):
+        trie = paper_automaton.trie
+        for s in range(bitmap_paper.n_states):
+            for a in (ord("h"), ord("z")):
+                assert bitmap_paper.chain_length(s, a) <= trie.depth[s]
+
+    def test_defined_edge_resolves_immediately(self, paper_automaton, bitmap_paper):
+        # State for "sh" has an 'e' edge that differs from its failure
+        # row only if fail('sh')='h' maps 'e' elsewhere... regardless,
+        # a delta bit at the state itself means chain length 0.
+        s = 0
+        for ch in b"sh":
+            s = paper_automaton.trie.goto(s, ch)
+        if bitmap_paper._has_bit(s, ord("e")):
+            assert bitmap_paper.chain_length(s, ord("e")) == 0
+
+
+class TestCompression:
+    def test_compresses_large_dictionaries(self, english_patterns):
+        ac = AhoCorasickAutomaton.build(english_patterns)
+        stats = BitmapDeltaSTT.from_automaton(ac).stats()
+        # Delta rows are tiny: expect order-of-magnitude compression.
+        assert stats.ratio > 8.0
+
+    def test_stats_accounting(self, bitmap_paper):
+        s = bitmap_paper.stats()
+        assert s.compressed_bytes > 0
+        assert s.n_states == bitmap_paper.n_states
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.text(alphabet="abc", min_size=1, max_size=4),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    )
+)
+def test_property_bitmap_always_exact(patterns):
+    ps = PatternSet.from_strings(patterns)
+    ac = AhoCorasickAutomaton.build(ps)
+    dfa = DFA.from_automaton(ac)
+    bm = BitmapDeltaSTT.from_automaton(ac)
+    for s in range(dfa.n_states):
+        for a in (97, 98, 99, 0, 255):
+            assert bm.delta(s, a) == dfa.delta(s, a)

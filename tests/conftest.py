@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's running example and randomized inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, AhoCorasickAutomaton, PatternSet
+
+#: The dictionary of paper Fig. 1/3: {he, she, his, hers}.
+PAPER_PATTERNS = ["he", "she", "his", "hers"]
+
+
+@pytest.fixture(scope="session")
+def paper_patterns() -> PatternSet:
+    return PatternSet.from_strings(PAPER_PATTERNS)
+
+
+@pytest.fixture(scope="session")
+def paper_automaton(paper_patterns) -> AhoCorasickAutomaton:
+    return AhoCorasickAutomaton.build(paper_patterns)
+
+
+@pytest.fixture(scope="session")
+def paper_dfa(paper_automaton) -> DFA:
+    return DFA.from_automaton(paper_automaton)
+
+
+@pytest.fixture(scope="session")
+def english_patterns() -> PatternSet:
+    words = [
+        "the", "and", "that", "have", "for", "not", "with", "you",
+        "this", "but", "his", "from", "they", "say", "her", "she",
+        "will", "one", "all", "would", "there", "their", "what",
+        "out", "about", "who", "get", "which", "when", "make",
+    ]
+    return PatternSet.from_strings(words)
+
+
+@pytest.fixture(scope="session")
+def english_dfa(english_patterns) -> DFA:
+    return DFA.build(english_patterns)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20130520)  # IPPS 2013 conference date
+
+
+def random_text(rng: np.random.Generator, n: int, alphabet: bytes = b"abcdefgh ") -> bytes:
+    """Uniform random text over a small alphabet (dense match rates)."""
+    idx = rng.integers(0, len(alphabet), size=n)
+    return bytes(bytearray(alphabet[i] for i in idx))

@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.alphabet (byte encoding boundary)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import (
+    ALPHABET_SIZE,
+    MATCH_COLUMN,
+    STT_COLUMNS,
+    decode,
+    encode,
+)
+from repro.errors import PatternError
+
+
+class TestConstants:
+    def test_alphabet_covers_all_bytes(self):
+        assert ALPHABET_SIZE == 256
+
+    def test_stt_has_match_column(self):
+        # Paper Fig. 5: 256 symbol columns + 1 match column.
+        assert STT_COLUMNS == 257
+        assert MATCH_COLUMN == 256
+
+
+class TestEncode:
+    def test_bytes_roundtrip(self):
+        data = bytes(range(256))
+        arr = encode(data)
+        assert arr.dtype == np.uint8
+        assert decode(arr) == data
+
+    def test_str_latin1(self):
+        arr = encode("hers\xff")
+        assert arr.tolist() == [104, 101, 114, 115, 255]
+
+    def test_str_non_latin1_rejected(self):
+        with pytest.raises(PatternError, match="Latin-1"):
+            encode("日本語")
+
+    def test_bytearray_and_memoryview(self):
+        assert encode(bytearray(b"abc")).tolist() == [97, 98, 99]
+        assert encode(memoryview(b"abc")).tolist() == [97, 98, 99]
+
+    def test_uint8_array_passthrough_is_view(self):
+        arr = np.frombuffer(b"hello", dtype=np.uint8)
+        out = encode(arr)
+        # Contiguous uint8 input must not be copied (views, not copies).
+        assert out is arr or out.base is arr or np.shares_memory(out, arr)
+
+    def test_noncontiguous_array_made_contiguous(self):
+        arr = np.frombuffer(b"abcdef", dtype=np.uint8)[::2]
+        out = encode(arr)
+        assert out.flags.c_contiguous
+        assert decode(out) == b"ace"
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(PatternError, match="uint8"):
+            encode(np.zeros(4, dtype=np.int32))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(PatternError, match="1-D"):
+            encode(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(PatternError, match="bytes-like"):
+            encode(12345)  # type: ignore[arg-type]
+
+    def test_empty_input_allowed(self):
+        assert encode(b"").size == 0
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(PatternError, match="myfield"):
+            encode(3.14, name="myfield")  # type: ignore[arg-type]

@@ -1,0 +1,128 @@
+"""Unit tests for the AC automaton (goto/failure/output of paper Fig. 1)."""
+
+import pytest
+
+from repro.core import AhoCorasickAutomaton, PatternSet, naive_find_all
+from repro.core.trie import ROOT
+from repro.errors import AutomatonError
+
+
+def state_of(ac, word: str) -> int:
+    """Walk the raw trie to the state spelling *word*."""
+    s = ROOT
+    for ch in word.encode():
+        s = ac.trie.goto(s, ch)
+        assert s >= 0, f"no trie path for {word!r}"
+    return s
+
+
+class TestFailureFunction:
+    """Paper Fig. 1(b): f(1..9) = 0,0,0,1,2,0,3,0,3 in their numbering."""
+
+    def test_depth_one_fails_to_root(self, paper_automaton):
+        ac = paper_automaton
+        assert ac.fail[state_of(ac, "h")] == ROOT
+        assert ac.fail[state_of(ac, "s")] == ROOT
+
+    def test_fig1b_failure_targets(self, paper_automaton):
+        ac = paper_automaton
+        # f(sh) = h, f(she) = he, f(hi) = 0, f(his) = s, f(her) = 0, f(hers) = s
+        assert ac.fail[state_of(ac, "sh")] == state_of(ac, "h")
+        assert ac.fail[state_of(ac, "she")] == state_of(ac, "he")
+        assert ac.fail[state_of(ac, "hi")] == ROOT
+        assert ac.fail[state_of(ac, "his")] == state_of(ac, "s")
+        assert ac.fail[state_of(ac, "her")] == ROOT
+        assert ac.fail[state_of(ac, "hers")] == state_of(ac, "s")
+
+    def test_failure_is_strictly_shallower(self, paper_automaton):
+        ac = paper_automaton
+        for s in range(1, ac.n_states):
+            assert ac.trie.depth[ac.fail[s]] < ac.trie.depth[s]
+
+    def test_failure_is_longest_proper_suffix_prefix(self):
+        # For "aaaa", the failure chain is a_{k} -> a_{k-1}.
+        ac = AhoCorasickAutomaton.build(PatternSet.from_strings(["aaaa"]))
+        states = [state_of(ac, "a" * k) for k in range(1, 5)]
+        assert ac.fail[states[0]] == ROOT
+        for k in range(1, 4):
+            assert ac.fail[states[k]] == states[k - 1]
+
+
+class TestOutputFunction:
+    """Paper Fig. 1(c): output(5)={she,he}, output(2)={he}, output(7)={his}, output(9)={hers}."""
+
+    def test_she_state_emits_she_and_he(self, paper_automaton):
+        ac = paper_automaton
+        assert set(ac.outputs[state_of(ac, "she")]) == {0, 1}  # he=0, she=1
+
+    def test_plain_terminals(self, paper_automaton):
+        ac = paper_automaton
+        assert set(ac.outputs[state_of(ac, "he")]) == {0}
+        assert set(ac.outputs[state_of(ac, "his")]) == {2}
+        assert set(ac.outputs[state_of(ac, "hers")]) == {3}
+
+    def test_non_terminal_states_emit_nothing(self, paper_automaton):
+        ac = paper_automaton
+        for w in ("h", "s", "sh", "hi", "her"):
+            assert ac.outputs[state_of(ac, w)] == ()
+
+    def test_nested_suffix_outputs_chain(self):
+        ac = AhoCorasickAutomaton.build(
+            PatternSet.from_strings(["a", "ba", "cba"])
+        )
+        assert set(ac.outputs[state_of(ac, "cba")]) == {0, 1, 2}
+        assert set(ac.outputs[state_of(ac, "ba")]) == {0, 1}
+
+
+class TestGotoAndStep:
+    def test_root_self_loop(self, paper_automaton):
+        ac = paper_automaton
+        assert ac.goto(ROOT, ord("u")) == ROOT  # g(0,'u') = 0
+
+    def test_goto_fail_at_nonroot(self, paper_automaton):
+        ac = paper_automaton
+        assert ac.goto(state_of(ac, "he"), ord("z")) == -1
+
+    def test_step_follows_failure_chain(self, paper_automaton):
+        # Paper walkthrough: at state for "she", input 'r' must reach
+        # the state for "her" via f(she)=he.
+        ac = paper_automaton
+        assert ac.step(state_of(ac, "she"), ord("r")) == state_of(ac, "her")
+
+    def test_step_rejects_out_of_range_symbol(self, paper_automaton):
+        with pytest.raises(AutomatonError):
+            paper_automaton.step(0, 256)
+        with pytest.raises(AutomatonError):
+            paper_automaton.step(0, -1)
+
+
+class TestMatch:
+    def test_paper_ushers_walkthrough(self, paper_automaton):
+        # "ushers": she+he end at index 3, hers ends at index 5.
+        assert paper_automaton.match("ushers") == [(3, 0), (3, 1), (5, 3)]
+
+    def test_match_equals_naive(self, paper_automaton, paper_patterns):
+        text = "she sells seashells; he hisses at hers usher hershe"
+        assert paper_automaton.match(text) == naive_find_all(paper_patterns, text)
+
+    def test_empty_text(self, paper_automaton):
+        assert paper_automaton.match("") == []
+
+    def test_no_match(self, paper_automaton):
+        assert paper_automaton.match("zzzzzz") == []
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasickAutomaton.build(PatternSet.from_strings(["aa"]))
+        assert ac.match("aaaa") == [(1, 0), (2, 0), (3, 0)]
+
+    def test_count_matches(self, paper_automaton):
+        assert paper_automaton.count_matches("ushers") == 3
+
+    def test_match_starts(self, paper_automaton):
+        # she starts at 1, he starts at 2, hers starts at 2.
+        assert paper_automaton.match_starts("ushers") == [(1, 1), (2, 0), (2, 3)]
+
+    def test_binary_text(self):
+        ps = PatternSet.from_bytes([bytes([0, 0, 1])])
+        ac = AhoCorasickAutomaton.build(ps)
+        assert ac.match(bytes([0, 0, 0, 1, 0])) == [(3, 0)]

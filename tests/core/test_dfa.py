@@ -1,0 +1,118 @@
+"""Unit tests for the DFA/STT construction (paper Figs. 2/3/5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, AhoCorasickAutomaton, PatternSet
+from repro.core.alphabet import ALPHABET_SIZE, MATCH_COLUMN
+from repro.core.trie import ROOT
+
+
+def state_of(dfa: DFA, word: str) -> int:
+    s = ROOT
+    for ch in word.encode():
+        s = dfa.delta(s, ch)
+    return s
+
+
+class TestPaperDfa:
+    def test_delta_never_fails(self, paper_dfa):
+        # DFA property: δ(s, a) is always a valid state (no fail).
+        table = paper_dfa.stt.next_states
+        assert table.min() >= 0
+        assert table.max() < paper_dfa.n_states
+
+    def test_fig3_walkthrough_ushers(self, paper_dfa):
+        # δ(0,u)=0, then s-h-e reaches the she-state (match),
+        # then r-s reaches the hers-state (match).
+        s = state_of(paper_dfa, "ushe")
+        assert paper_dfa.is_match_state(s)
+        assert set(paper_dfa.outputs_of(s).tolist()) == {0, 1}
+        s2 = state_of(paper_dfa, "ushers")
+        assert paper_dfa.is_match_state(s2)
+        assert set(paper_dfa.outputs_of(s2).tolist()) == {3}
+
+    def test_fail_transitions_precomputed(self, paper_dfa, paper_automaton):
+        # The "thin line" fail transitions of Fig. 3: from the she-state,
+        # 'r' goes straight to the her-state in one step.
+        she = state_of(paper_dfa, "she")
+        her = state_of(paper_dfa, "her")
+        assert paper_dfa.delta(she, ord("r")) == her
+
+    def test_exhaustive_equivalence_with_automaton(
+        self, paper_dfa, paper_automaton
+    ):
+        assert paper_dfa.verify_against_automaton(paper_automaton)
+
+    def test_match_column_flags(self, paper_dfa, paper_automaton):
+        flags = paper_dfa.stt.match_flags
+        for s in range(paper_dfa.n_states):
+            assert bool(flags[s]) == bool(paper_automaton.outputs[s])
+
+    def test_stt_shape(self, paper_dfa):
+        assert paper_dfa.stt.table.shape == (10, 257)
+
+
+class TestCsrOutputs:
+    def test_outputs_of_matches_automaton(self, paper_dfa, paper_automaton):
+        for s in range(paper_dfa.n_states):
+            assert (
+                sorted(paper_dfa.outputs_of(s).tolist())
+                == sorted(paper_automaton.outputs[s])
+            )
+
+    def test_gather_matches_expands_multi_output_states(self, paper_dfa):
+        she = state_of(paper_dfa, "she")
+        ends, pids = paper_dfa.gather_matches(
+            np.array([7, 9]), np.array([she, she])
+        )
+        assert ends.tolist() == [7, 7, 9, 9]
+        assert sorted(pids[:2].tolist()) == [0, 1]
+
+    def test_gather_matches_empty(self, paper_dfa):
+        ends, pids = paper_dfa.gather_matches(
+            np.array([3]), np.array([ROOT])
+        )
+        assert ends.size == 0 and pids.size == 0
+
+    def test_gather_matches_no_input(self, paper_dfa):
+        ends, pids = paper_dfa.gather_matches(np.array([]), np.array([]))
+        assert ends.size == 0 and pids.size == 0
+
+
+class TestExhaustiveEquivalence:
+    @pytest.mark.parametrize(
+        "patterns",
+        [
+            ["a"],
+            ["aa", "ab", "ba"],
+            ["abcde", "bcd", "cde", "e"],
+            ["x" * 10, "x" * 5, "x"],
+        ],
+    )
+    def test_dfa_equals_automaton(self, patterns):
+        ac = AhoCorasickAutomaton.build(PatternSet.from_strings(patterns))
+        dfa = DFA.from_automaton(ac)
+        assert dfa.verify_against_automaton(ac)
+
+    def test_single_byte_alphabet_all_values(self):
+        ps = PatternSet.from_bytes([bytes([b]) for b in (0, 127, 255)])
+        dfa = DFA.build(ps)
+        for b, pid in zip((0, 127, 255), range(3)):
+            s = dfa.delta(ROOT, b)
+            assert dfa.outputs_of(s).tolist() == [pid]
+
+    def test_build_convenience(self):
+        from repro.core import build_dfa
+
+        dfa = build_dfa(["he", "she"])
+        assert dfa.n_states > 1
+
+    def test_root_self_loops_for_undefined_symbols(self, paper_dfa):
+        row = paper_dfa.stt.table[ROOT, :ALPHABET_SIZE]
+        undefined = [b for b in range(256) if b not in (ord("h"), ord("s"))]
+        assert np.all(row[undefined] == ROOT)
+
+    def test_match_flag_column_is_binary(self, paper_dfa):
+        col = paper_dfa.stt.table[:, MATCH_COLUMN]
+        assert set(np.unique(col)).issubset({0, 1})

@@ -1,0 +1,99 @@
+"""Tests for the double-array AC machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AhoCorasickAutomaton, DFA, PatternSet, match_serial, naive_find_all
+from repro.core.double_array import FREE, DoubleArrayAC
+from repro.errors import AutomatonError
+
+
+@pytest.fixture(scope="module")
+def da_paper(paper_automaton):
+    return DoubleArrayAC.from_automaton(paper_automaton)
+
+
+class TestStructure:
+    def test_goto_reproduces_trie_edges(self, paper_automaton, da_paper):
+        trie = paper_automaton.trie
+        for s, c, child in trie.edges():
+            assert da_paper.goto(s, c) == child
+
+    def test_goto_root_self_loop(self, da_paper):
+        assert da_paper.goto(0, ord("z")) == 0
+
+    def test_goto_miss_at_nonroot(self, da_paper, paper_automaton):
+        s = paper_automaton.trie.goto(0, ord("h"))
+        assert da_paper.goto(s, ord("z")) == -1
+
+    def test_no_slot_collisions(self, da_paper):
+        # Every owned slot is owned by exactly one state: check[] was
+        # written once per (state, symbol) by construction; verify the
+        # inverse map is consistent.
+        for slot in range(da_paper.check.size):
+            owner = int(da_paper.check[slot])
+            if owner == FREE:
+                assert da_paper.targets[slot] == FREE
+            else:
+                c = slot - int(da_paper.base[owner])
+                assert 0 <= c < 256
+                assert da_paper.goto(owner, c) == int(da_paper.targets[slot])
+
+    def test_step_equals_automaton(self, paper_automaton, da_paper):
+        for s in range(paper_automaton.n_states):
+            for a in (ord("h"), ord("e"), ord("r"), ord("s"), ord("z"), 0):
+                assert da_paper.step(s, a) == paper_automaton.step(s, a)
+
+    def test_step_symbol_range(self, da_paper):
+        with pytest.raises(AutomatonError):
+            da_paper.step(0, 256)
+
+
+class TestMatching:
+    def test_paper_example(self, da_paper):
+        assert da_paper.match("ushers").as_pairs() == [(3, 0), (3, 1), (5, 3)]
+
+    def test_equals_dense_dfa(self, english_patterns, english_dfa):
+        da = DoubleArrayAC.build(english_patterns)
+        text = b"they say that she will make all of this work out " * 20
+        assert da.match(text) == match_serial(english_dfa, text)
+
+    def test_overlapping_matches(self):
+        da = DoubleArrayAC.build(PatternSet.from_strings(["aa", "aaa"]))
+        assert da.match("aaaa").as_set() == {
+            (1, 0), (2, 0), (3, 0), (2, 1), (3, 1),
+        }
+
+    def test_empty_text(self, da_paper):
+        assert len(da_paper.match(b"")) == 0
+
+
+class TestMemory:
+    def test_compact_for_large_dictionaries(self, english_patterns, english_dfa):
+        da = DoubleArrayAC.build(english_patterns)
+        dense = english_dfa.stt.stats().bytes_total
+        assert da.memory_bytes() < dense / 4
+
+    def test_fill_ratio_in_range(self, da_paper):
+        assert 0.0 < da_paper.fill_ratio() <= 1.0
+
+    def test_fill_ratio_reasonable_for_text(self, english_patterns):
+        da = DoubleArrayAC.build(english_patterns)
+        # First-fit packing of text tries should not be pathological.
+        assert da.fill_ratio() > 0.05
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.text(alphabet="abcd", min_size=1, max_size=6),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    ),
+    st.text(alphabet="abcd", min_size=0, max_size=150),
+)
+def test_property_double_array_equals_oracle(patterns, text):
+    ps = PatternSet.from_strings(patterns)
+    da = DoubleArrayAC.build(ps)
+    assert da.match(text).as_pairs() == naive_find_all(ps, text)

@@ -1,0 +1,94 @@
+"""Unit tests for the lockstep DFA engine and its traces."""
+
+import numpy as np
+
+from repro.core import encode, plan_chunks
+from repro.core.chunking import build_windows
+from repro.core.lockstep import extract_matches, run_dfa_lockstep
+from repro.core.trie import ROOT
+
+
+def run(dfa, text: bytes, chunk_len: int, overlap: int = None):
+    if overlap is None:
+        overlap = dfa.patterns.max_length - 1
+    data = encode(text)
+    plan = plan_chunks(data.size, chunk_len, overlap)
+    windows = build_windows(data, plan)
+    return plan, run_dfa_lockstep(dfa, windows, plan)
+
+
+class TestTraceGeometry:
+    def test_shapes(self, paper_dfa):
+        plan, trace = run(paper_dfa, b"ushers victim", 4)
+        assert trace.states_after.shape == (plan.window_len, plan.n_chunks)
+        assert trace.valid.shape == trace.states_after.shape
+        assert trace.n_threads == plan.n_chunks
+        assert trace.window_len == plan.window_len
+
+    def test_valid_mask_respects_input_end(self, paper_dfa):
+        _, trace = run(paper_dfa, b"abcde", 4)  # 2 chunks, window 7
+        # Thread 0 scans positions 0..6 -> only 0..4 valid.
+        assert trace.valid[:, 0].tolist() == [True] * 5 + [False] * 2
+        # Thread 1 scans positions 4..10 -> only 4 valid.
+        assert trace.valid[0, 1] and not trace.valid[1, 1]
+
+    def test_states_fetched_shifts_by_one(self, paper_dfa):
+        _, trace = run(paper_dfa, b"hers", 4)
+        fetched = trace.states_fetched()
+        assert np.all(fetched[0] == ROOT)
+        assert np.array_equal(fetched[1:], trace.states_after[:-1])
+
+    def test_total_fetches_equals_scanned_bytes(self, paper_dfa):
+        plan, trace = run(paper_dfa, b"x" * 100, 8)
+        assert trace.total_fetches() == plan.scan_bytes_total()
+
+
+class TestVisitHistogram:
+    def test_histogram_sums_to_fetches(self, paper_dfa):
+        _, trace = run(paper_dfa, b"she sells seashells", 4)
+        hist = trace.visit_histogram(paper_dfa.n_states)
+        assert hist.sum() == trace.total_fetches()
+
+    def test_root_dominates_on_non_matching_text(self, paper_dfa):
+        _, trace = run(paper_dfa, b"zzzzzzzzzzzz", 4)
+        hist = trace.visit_histogram(paper_dfa.n_states)
+        assert hist[ROOT] == trace.total_fetches()
+
+    def test_histogram_counts_specific_path(self, paper_dfa):
+        # Single chunk over "he": fetch ROOT then the h-state.
+        _, trace = run(paper_dfa, b"he", 8)
+        hist = trace.visit_histogram(paper_dfa.n_states)
+        assert hist[ROOT] == 1
+        assert hist.sum() == 2
+
+
+class TestExtractMatches:
+    def test_paper_example(self, paper_dfa):
+        _, trace = run(paper_dfa, b"ushers", 3)
+        matches, raw = extract_matches(paper_dfa, trace)
+        assert matches.as_pairs() == [(3, 0), (3, 1), (5, 3)]
+        assert raw >= 2  # at least the two matched states, pre-dedup
+
+    def test_no_matches(self, paper_dfa):
+        _, trace = run(paper_dfa, b"qqqq", 2)
+        matches, raw = extract_matches(paper_dfa, trace)
+        assert len(matches) == 0 and raw == 0
+
+    def test_raw_hits_count_overlap_duplicates(self, paper_dfa):
+        # chunk 1 with overlap 3: "he" at positions 0-1 is seen by
+        # chunk 0 (owner) AND would be seen again scanning from pos 1?
+        # Use text where a match is fully inside the overlap of the
+        # previous chunk to force a duplicate raw hit.
+        _, trace = run(paper_dfa, b"xhey", 2)  # chunks: xh|ey, windows 5
+        matches, raw = extract_matches(paper_dfa, trace)
+        assert matches.as_pairs() == [(2, 0)]
+        assert raw == 1  # thread 1 starts at 'e', cannot see 'he'
+
+    def test_duplicate_raw_hits_deduplicated(self, paper_dfa):
+        # "hehe": chunk 0 owns [0,2), chunk 1 owns [2,4).
+        # Window of chunk 0 = positions 0..4 -> sees both matches;
+        # ownership keeps only the first for thread 0.
+        _, trace = run(paper_dfa, b"hehe", 2)
+        matches, raw = extract_matches(paper_dfa, trace)
+        assert matches.as_pairs() == [(1, 0), (3, 0)]
+        assert raw == 3  # thread 0 saw 2 hits, thread 1 saw 1

@@ -1,0 +1,86 @@
+"""Unit tests for Match/MatchResult containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Match, MatchResult
+
+
+class TestMatch:
+    def test_ordering(self):
+        assert Match(1, 5) < Match(2, 0)
+        assert Match(2, 0) < Match(2, 1)
+
+    def test_start(self):
+        assert Match(end=9, pattern_id=0).start(pattern_length=4) == 6
+
+
+class TestCanonicalization:
+    def test_sorted_and_deduped(self):
+        r = MatchResult(np.array([5, 3, 5, 3]), np.array([1, 0, 1, 0]))
+        assert r.as_pairs() == [(3, 0), (5, 1)]
+
+    def test_equality_ignores_input_order(self):
+        a = MatchResult(np.array([9, 1]), np.array([0, 2]))
+        b = MatchResult(np.array([1, 9]), np.array([2, 0]))
+        assert a == b and hash(a) == hash(b)
+
+    def test_same_end_different_patterns_kept(self):
+        r = MatchResult(np.array([4, 4]), np.array([1, 0]))
+        assert r.as_pairs() == [(4, 0), (4, 1)]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MatchResult(np.array([1, 2]), np.array([1]))
+
+    def test_arrays_readonly(self):
+        r = MatchResult(np.array([1]), np.array([0]))
+        with pytest.raises(ValueError):
+            r.ends[0] = 5
+
+
+class TestConstructorsAndViews:
+    def test_empty(self):
+        r = MatchResult.empty()
+        assert len(r) == 0 and r.as_pairs() == []
+
+    def test_from_pairs_roundtrip(self):
+        pairs = [(3, 0), (3, 1), (5, 3)]
+        assert MatchResult.from_pairs(pairs).as_pairs() == pairs
+
+    def test_from_pairs_empty(self):
+        assert len(MatchResult.from_pairs([])) == 0
+
+    def test_concat_unions(self):
+        a = MatchResult.from_pairs([(1, 0), (2, 0)])
+        b = MatchResult.from_pairs([(2, 0), (3, 1)])
+        assert MatchResult.concat([a, b]).as_pairs() == [(1, 0), (2, 0), (3, 1)]
+
+    def test_concat_empty_list(self):
+        assert len(MatchResult.concat([])) == 0
+
+    def test_iter_yields_match_objects(self):
+        r = MatchResult.from_pairs([(1, 0)])
+        assert list(r) == [Match(1, 0)]
+
+    def test_as_set(self):
+        r = MatchResult.from_pairs([(3, 0), (5, 3)])
+        assert r.as_set() == {(3, 0), (5, 3)}
+
+    def test_eq_other_type(self):
+        assert MatchResult.empty() != 42
+
+
+class TestDerivedViews:
+    def test_starts(self):
+        r = MatchResult.from_pairs([(3, 0), (3, 1), (5, 3)])
+        lengths = np.array([2, 3, 3, 4])  # he, she, his, hers
+        assert r.starts(lengths).tolist() == [2, 1, 2]
+
+    def test_count_by_pattern(self):
+        r = MatchResult.from_pairs([(1, 0), (2, 0), (9, 3)])
+        assert r.count_by_pattern(4).tolist() == [2, 0, 0, 1]
+
+    def test_restrict_to_range(self):
+        r = MatchResult.from_pairs([(1, 0), (5, 1), (9, 2)])
+        assert r.restrict_to_range(2, 9).as_pairs() == [(5, 1)]

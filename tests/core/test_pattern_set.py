@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.pattern_set."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternSet
+from repro.errors import PatternError
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        ps = PatternSet.from_strings(["he", "she"])
+        assert len(ps) == 2
+        assert ps.pattern_bytes(0) == b"he"
+
+    def test_from_bytes(self):
+        ps = PatternSet.from_bytes([b"\x00\x01", b"\xff"])
+        assert len(ps) == 2
+        assert ps.pattern_bytes(1) == b"\xff"
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PatternError, match="at least one"):
+            PatternSet([])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError, match="empty"):
+            PatternSet.from_strings(["ok", ""])
+
+    def test_duplicates_removed_keeping_first(self):
+        ps = PatternSet.from_strings(["he", "she", "he"])
+        assert len(ps) == 2
+        assert ps.as_bytes_list() == [b"he", b"she"]
+
+    def test_mixed_input_types(self):
+        ps = PatternSet(["he", b"she", np.frombuffer(b"his", dtype=np.uint8)])
+        assert ps.as_bytes_list() == [b"he", b"she", b"his"]
+
+    def test_patterns_are_readonly(self):
+        ps = PatternSet.from_strings(["he"])
+        with pytest.raises(ValueError):
+            ps[0][0] = 0
+
+
+class TestStats:
+    def test_stats_paper_dictionary(self, paper_patterns):
+        s = paper_patterns.stats()
+        assert s.count == 4
+        assert s.min_length == 2
+        assert s.max_length == 4
+        assert s.total_bytes == 2 + 3 + 3 + 4
+        assert s.mean_length == pytest.approx(3.0)
+
+    def test_overlap_is_maxlen_minus_one(self, paper_patterns):
+        assert paper_patterns.stats().overlap == 3
+
+    def test_lengths_indexed_by_pattern_id(self, paper_patterns):
+        assert paper_patterns.lengths().tolist() == [2, 3, 3, 4]
+
+
+class TestProtocol:
+    def test_iteration_yields_arrays(self, paper_patterns):
+        arrs = list(paper_patterns)
+        assert len(arrs) == 4
+        assert all(a.dtype == np.uint8 for a in arrs)
+
+    def test_contains(self, paper_patterns):
+        assert "hers" in paper_patterns
+        assert b"he" in paper_patterns
+        assert "xyz" not in paper_patterns
+
+    def test_equality_and_hash(self):
+        a = PatternSet.from_strings(["he", "she"])
+        b = PatternSet.from_strings(["he", "she"])
+        c = PatternSet.from_strings(["she", "he"])  # order matters (ids differ)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_other_type(self, paper_patterns):
+        assert paper_patterns != ["he"]

@@ -1,0 +1,82 @@
+"""Unit tests for the serial matchers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternSet, DFA, match_serial, match_serial_python, naive_find_all
+from repro.core.serial import serial_state_histogram
+
+
+class TestPythonReference:
+    def test_paper_example(self, paper_dfa):
+        assert match_serial_python(paper_dfa, "ushers") == [(3, 0), (3, 1), (5, 3)]
+
+    def test_empty(self, paper_dfa):
+        assert match_serial_python(paper_dfa, "") == []
+
+    def test_accepts_bytes_and_str(self, paper_dfa):
+        assert match_serial_python(paper_dfa, b"ushers") == match_serial_python(
+            paper_dfa, "ushers"
+        )
+
+
+class TestVectorizedSerial:
+    def test_equals_python_reference(self, english_dfa):
+        text = (
+            "they say that she will make all of this work out fine, "
+            "and there is not one thing about it that they would not do"
+        )
+        assert (
+            match_serial(english_dfa, text).as_pairs()
+            == match_serial_python(english_dfa, text)
+        )
+
+    def test_equals_naive(self, english_dfa, english_patterns):
+        text = "when they have what you would, their say makes the out"
+        assert match_serial(english_dfa, text).as_set() == set(
+            naive_find_all(english_patterns, text)
+        )
+
+    def test_empty_text(self, paper_dfa):
+        assert len(match_serial(paper_dfa, b"")) == 0
+
+    def test_text_shorter_than_chunk(self, paper_dfa):
+        assert match_serial(paper_dfa, "ushers", chunk_len=4096).as_pairs() == [
+            (3, 0),
+            (3, 1),
+            (5, 3),
+        ]
+
+    def test_chunk_len_does_not_change_result(self, paper_dfa):
+        text = "hershey sherhis hers" * 20
+        baseline = match_serial(paper_dfa, text, chunk_len=4096)
+        for chunk in (1, 3, 17, 100):
+            assert match_serial(paper_dfa, text, chunk_len=chunk) == baseline
+
+    def test_large_random_text_against_naive(self, rng):
+        from tests.conftest import random_text
+
+        ps = PatternSet.from_strings(["ab", "ba", "aba", "bbbb"])
+        dfa = DFA.build(ps)
+        text = random_text(rng, 20_000, alphabet=b"ab")
+        assert match_serial(dfa, text).as_set() == set(naive_find_all(ps, text))
+
+
+class TestStateHistogram:
+    def test_sums_to_scanned_bytes(self, paper_dfa):
+        text = b"she sells seashells by the seashore"
+        hist = serial_state_histogram(paper_dfa, text, chunk_len=8)
+        # Chunked scan re-reads overlap bytes; total fetches >= len(text).
+        assert hist.sum() >= len(text)
+
+    def test_empty_text(self, paper_dfa):
+        hist = serial_state_histogram(paper_dfa, b"")
+        assert hist.shape == (paper_dfa.n_states,)
+        assert hist.sum() == 0
+
+    def test_skewed_toward_shallow_states(self, english_dfa):
+        # English-like text visits the root region overwhelmingly more
+        # than deep states — the property both cache models exploit.
+        text = b"the quick brown fox jumps over the lazy dog " * 50
+        hist = serial_state_histogram(english_dfa, text)
+        assert hist[0] > hist[10:].max()

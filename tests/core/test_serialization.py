@@ -1,0 +1,128 @@
+"""Tests for whole-DFA serialization and integrity validation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet, STT, match_serial
+from repro.core.serialization import (
+    load_dfa,
+    save_dfa,
+    validate_dfa,
+    validate_stt,
+)
+from repro.errors import SerializationError
+
+
+def roundtrip(dfa: DFA) -> DFA:
+    buf = io.BytesIO()
+    save_dfa(dfa, buf)
+    return load_dfa(io.BytesIO(buf.getvalue()))
+
+
+class TestRoundtrip:
+    def test_paper_dfa(self, paper_dfa):
+        loaded = roundtrip(paper_dfa)
+        assert loaded.stt == paper_dfa.stt
+        assert np.array_equal(loaded.out_offsets, paper_dfa.out_offsets)
+        assert np.array_equal(loaded.out_ids, paper_dfa.out_ids)
+        assert loaded.patterns == paper_dfa.patterns
+
+    def test_loaded_dfa_matches_identically(self, paper_dfa):
+        loaded = roundtrip(paper_dfa)
+        text = b"ushers and sheriffs " * 50
+        assert match_serial(loaded, text) == match_serial(paper_dfa, text)
+
+    def test_binary_patterns_roundtrip(self):
+        dfa = DFA.build(PatternSet.from_bytes([b"\x00\xff", b"\n\r"]))
+        loaded = roundtrip(dfa)
+        assert loaded.patterns.as_bytes_list() == [b"\x00\xff", b"\n\r"]
+
+    def test_path_roundtrip(self, paper_dfa, tmp_path):
+        p = str(tmp_path / "machine.dfa")
+        save_dfa(paper_dfa, p)
+        assert load_dfa(p).stt == paper_dfa.stt
+
+
+class TestCorruptArtifacts:
+    def payload(self, dfa) -> bytes:
+        buf = io.BytesIO()
+        save_dfa(dfa, buf)
+        return buf.getvalue()
+
+    def test_bad_magic(self, paper_dfa):
+        data = b"XX" + self.payload(paper_dfa)[2:]
+        with pytest.raises(SerializationError, match="magic"):
+            load_dfa(io.BytesIO(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError, match="header"):
+            load_dfa(io.BytesIO(b"REPRODFA{\"version\": 1"))
+
+    def test_truncated_body(self, paper_dfa):
+        data = self.payload(paper_dfa)
+        with pytest.raises(SerializationError, match="truncated"):
+            load_dfa(io.BytesIO(data[:-20]))
+
+    def test_wrong_version(self, paper_dfa):
+        data = self.payload(paper_dfa).replace(
+            b'"version": 1', b'"version": 7'
+        )
+        with pytest.raises(SerializationError, match="version"):
+            load_dfa(io.BytesIO(data))
+
+    def test_malformed_header_fields(self, paper_dfa):
+        data = self.payload(paper_dfa).replace(
+            b'"n_states": 10', b'"n_states": "ten"'
+        )
+        with pytest.raises(SerializationError):
+            load_dfa(io.BytesIO(data))
+
+    def test_corrupted_transition_fails_validation(self, paper_dfa):
+        data = bytearray(self.payload(paper_dfa))
+        # Flip a transition entry to an out-of-range state id.
+        header_end = data.index(b"\n") + 1
+        data[header_end : header_end + 4] = (9999).to_bytes(4, "little")
+        with pytest.raises(SerializationError, match="validation"):
+            load_dfa(io.BytesIO(bytes(data)))
+
+
+class TestValidate:
+    def test_valid_dfa_has_no_problems(self, paper_dfa, english_dfa):
+        assert validate_dfa(paper_dfa) == []
+        assert validate_dfa(english_dfa) == []
+
+    def test_out_of_range_transition_detected(self):
+        table = np.zeros((2, 257), dtype=np.int32)
+        table[1, 5] = 42
+        problems = validate_stt(STT(table))
+        assert any("out of range" in p for p in problems)
+
+    def test_negative_transition_detected(self):
+        table = np.zeros((2, 257), dtype=np.int32)
+        table[0, 0] = -1
+        problems = validate_stt(STT(table))
+        assert any("negative" in p for p in problems)
+
+    def test_non_binary_flags_detected(self):
+        table = np.zeros((2, 257), dtype=np.int32)
+        table[1, 256] = 3
+        problems = validate_stt(STT(table))
+        assert any("match flags" in p for p in problems)
+
+    def test_flag_output_disagreement_detected(self, paper_dfa):
+        # Clone with a flag flipped on a state that emits nothing.
+        table = np.array(paper_dfa.stt.table, copy=True)
+        silent = int(
+            np.flatnonzero(np.diff(paper_dfa.out_offsets) == 0)[0]
+        )
+        table[silent, 256] = 1
+        broken = DFA(
+            STT(table),
+            paper_dfa.out_offsets,
+            paper_dfa.out_ids,
+            paper_dfa.patterns,
+        )
+        problems = validate_dfa(broken)
+        assert any("disagreement" in p for p in problems)

@@ -1,0 +1,76 @@
+"""Fuzz the artifact loaders: corrupt bytes must fail *controlledly*.
+
+Untrusted-input contract: ``load_dfa``/``STT.load`` either return a
+valid object or raise :class:`~repro.errors.SerializationError` — never
+an uncontrolled ``ValueError``/``IndexError``/segfaulting reshape from
+attacker-controlled headers.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DFA, PatternSet, STT
+from repro.core.serialization import load_dfa, save_dfa
+from repro.errors import SerializationError
+
+
+def valid_blob() -> bytes:
+    dfa = DFA.build(PatternSet.from_strings(["he", "she"]))
+    buf = io.BytesIO()
+    save_dfa(dfa, buf)
+    return buf.getvalue()
+
+
+VALID = valid_blob()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=0, max_size=400))
+def test_random_bytes_never_crash_dfa_loader(blob):
+    try:
+        load_dfa(io.BytesIO(blob))
+    except SerializationError:
+        pass  # the contract
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=0, max_size=400))
+def test_random_bytes_never_crash_stt_loader(blob):
+    try:
+        STT.load(io.BytesIO(blob))
+    except SerializationError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(VALID) - 1),
+    st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_corruption_controlled(pos, value):
+    """Flip any one byte of a valid artifact: load either succeeds
+    (the byte was in a don't-care position or produced an equally
+    valid machine) or raises SerializationError."""
+    blob = bytearray(VALID)
+    blob[pos] = value
+    try:
+        dfa = load_dfa(io.BytesIO(bytes(blob)))
+    except SerializationError:
+        return
+    # If it loaded, it must be a *valid* machine.
+    from repro.core.serialization import validate_dfa
+
+    assert validate_dfa(dfa) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=len(VALID)))
+def test_truncation_controlled(cut):
+    try:
+        load_dfa(io.BytesIO(VALID[:cut]))
+    except SerializationError:
+        pass
+    else:
+        assert cut == len(VALID)  # only the full blob may load

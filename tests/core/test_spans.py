@@ -1,0 +1,134 @@
+"""Tests for span utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DFA, PatternSet, match_serial
+from repro.core.spans import (
+    coverage,
+    merge_spans,
+    redact,
+    split_uncovered,
+    to_spans,
+)
+from repro.errors import ReproError
+
+
+def spans(*pairs):
+    return np.array(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+class TestToSpans:
+    def test_paper_example(self, paper_dfa, paper_patterns):
+        result = match_serial(paper_dfa, "ushers")
+        s = to_spans(result, paper_patterns.lengths())
+        # she [1,4), he [2,4), hers [2,6) sorted by start.
+        assert s.tolist() == [[1, 4], [2, 4], [2, 6]]
+
+    def test_slices_recover_patterns(self, paper_dfa, paper_patterns):
+        text = "she sells hers"
+        result = match_serial(paper_dfa, text)
+        for start, end in to_spans(result, paper_patterns.lengths()).tolist():
+            assert text[start:end].encode() in paper_patterns
+
+
+class TestMergeSpans:
+    def test_disjoint_untouched(self):
+        assert merge_spans(spans((0, 2), (5, 7))).tolist() == [[0, 2], [5, 7]]
+
+    def test_overlap_merges(self):
+        assert merge_spans(spans((0, 4), (2, 6))).tolist() == [[0, 6]]
+
+    def test_adjacent_merges(self):
+        assert merge_spans(spans((0, 3), (3, 5))).tolist() == [[0, 5]]
+
+    def test_gap_parameter(self):
+        assert merge_spans(spans((0, 2), (4, 6)), gap=2).tolist() == [[0, 6]]
+        assert merge_spans(spans((0, 2), (5, 6)), gap=2).tolist() == [
+            [0, 2], [5, 6],
+        ]
+
+    def test_containment(self):
+        assert merge_spans(spans((0, 10), (2, 4))).tolist() == [[0, 10]]
+
+    def test_unsorted_input(self):
+        assert merge_spans(spans((5, 7), (0, 2))).tolist() == [[0, 2], [5, 7]]
+
+    def test_empty(self):
+        assert merge_spans(np.zeros((0, 2), np.int64)).shape == (0, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            merge_spans(spans((3, 3)))
+        with pytest.raises(ReproError):
+            merge_spans(np.zeros((2, 3), np.int64))
+        with pytest.raises(ReproError):
+            merge_spans(spans((0, 1)), gap=-1)
+
+
+class TestCoverageRedactSplit:
+    def test_coverage(self):
+        covered, frac = coverage(spans((0, 3), (2, 5)), text_length=10)
+        assert covered == 5 and frac == 0.5
+
+    def test_coverage_empty(self):
+        assert coverage(np.zeros((0, 2), np.int64), 10) == (0, 0.0)
+
+    def test_redact(self):
+        out = redact(b"hello world", spans((0, 5)))
+        assert out == b"***** world"
+
+    def test_redact_custom_fill(self):
+        assert redact(b"abc", spans((1, 2)), fill=ord("X")) == b"aXc"
+
+    def test_redact_bounds(self):
+        with pytest.raises(ReproError):
+            redact(b"abc", spans((0, 9)))
+
+    def test_split_uncovered(self):
+        out = split_uncovered(spans((2, 4), (6, 8)), text_length=10)
+        assert out.tolist() == [[0, 2], [4, 6], [8, 10]]
+
+    def test_split_fully_covered(self):
+        assert split_uncovered(spans((0, 10)), 10).shape == (0, 2)
+
+    def test_split_no_spans(self):
+        assert split_uncovered(np.zeros((0, 2), np.int64), 5).tolist() == [
+            [0, 5]
+        ]
+
+    def test_redaction_pipeline_end_to_end(self):
+        """Sanitize every dictionary hit out of a log line."""
+        dfa = DFA.build(PatternSet.from_strings(["password", "secret"]))
+        text = b"user=bob password=hunter2 note=secret stuff"
+        result = match_serial(dfa, text)
+        s = to_spans(result, dfa.patterns.lengths())
+        out = redact(text, s)
+        assert b"password" not in out and b"secret" not in out
+        assert out.count(b"*") == len("password") + len("secret")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_merge_invariants(raw):
+    arr = np.array([(s, s + l) for s, l in raw], dtype=np.int64)
+    merged = merge_spans(arr)
+    # Disjoint, sorted, same total coverage as the input's union.
+    assert np.all(merged[1:, 0] > merged[:-1, 1] - 1 + 1) or len(merged) <= 1
+    covered_in = set()
+    for s, e in arr.tolist():
+        covered_in.update(range(s, e))
+    covered_out = set()
+    for s, e in merged.tolist():
+        covered_out.update(range(s, e))
+    assert covered_in == covered_out

@@ -1,0 +1,72 @@
+"""Tests for automaton/visit statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import AhoCorasickAutomaton, DFA, PatternSet
+from repro.core.serial import serial_state_histogram
+from repro.core.stats import automaton_stats, visit_stats
+from repro.errors import ReproError
+
+
+class TestAutomatonStats:
+    def test_paper_machine(self, paper_automaton):
+        s = automaton_stats(paper_automaton)
+        assert s.n_states == 10
+        assert s.max_depth == 4
+        # Fig. 1a depths: 1 root, 2 at d1, 3 at d2, 3 at d3, 1 at d4.
+        assert s.states_per_depth == (1, 2, 3, 3, 1)
+        assert s.emitting_states == 4
+        assert s.emitting_fraction == pytest.approx(0.4)
+
+    def test_branching(self):
+        ac = AhoCorasickAutomaton.build(
+            PatternSet.from_strings(["aa", "ab", "ac"])
+        )
+        s = automaton_stats(ac)
+        # 'a' state has 3 children; root has 1.
+        assert s.max_branching == 3
+
+    def test_describe(self, paper_automaton):
+        text = automaton_stats(paper_automaton).describe()
+        assert "states=10" in text and "max_depth=4" in text
+
+
+class TestVisitStats:
+    def test_histogram_shapes(self, paper_automaton, paper_dfa):
+        hist = serial_state_histogram(paper_dfa, b"ushers ushers")
+        v = visit_stats(paper_automaton, hist)
+        assert v.total_visits == hist.sum()
+        assert 0 < v.distinct_states_visited <= 10
+
+    def test_entropy_bounds(self, paper_automaton, paper_dfa):
+        hist = serial_state_histogram(paper_dfa, b"she hers his he " * 20)
+        v = visit_stats(paper_automaton, hist)
+        assert 0.0 < v.entropy_bits <= np.log2(10)
+
+    def test_degenerate_single_state(self, paper_automaton):
+        hist = np.zeros(10, dtype=np.int64)
+        hist[0] = 100
+        v = visit_stats(paper_automaton, hist)
+        assert v.entropy_bits == 0.0
+        assert v.mean_visit_depth == 0.0
+        assert v.hot_coverage[0] == (8, 1.0)
+
+    def test_empty_histogram(self, paper_automaton):
+        v = visit_stats(paper_automaton, np.zeros(10, dtype=np.int64))
+        assert v.total_visits == 0 and v.entropy_bits == 0.0
+
+    def test_shape_mismatch(self, paper_automaton):
+        with pytest.raises(ReproError):
+            visit_stats(paper_automaton, np.zeros(5, dtype=np.int64))
+
+    def test_matchy_text_visits_deeper(self, paper_automaton, paper_dfa):
+        shallow = serial_state_histogram(paper_dfa, b"zzzz " * 50)
+        deep = serial_state_histogram(paper_dfa, b"hershers " * 50)
+        vs = visit_stats(paper_automaton, shallow)
+        vd = visit_stats(paper_automaton, deep)
+        assert vd.mean_visit_depth > vs.mean_visit_depth
+
+    def test_describe(self, paper_automaton, paper_dfa):
+        hist = serial_state_histogram(paper_dfa, b"ushers")
+        assert "visits=" in visit_stats(paper_automaton, hist).describe()

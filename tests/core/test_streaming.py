@@ -1,0 +1,120 @@
+"""Tests for the streaming matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DFA, PatternSet, match_serial
+from repro.core.streaming import StreamMatcher, VECTOR_THRESHOLD, scan_stream
+
+
+class TestBasics:
+    def test_doc_example(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        assert m.feed(b"ush") == []
+        assert m.feed(b"ers") == [(3, 0), (3, 1), (5, 3)]
+
+    def test_match_straddles_boundary(self):
+        dfa = DFA.build(PatternSet.from_strings(["hers"]))
+        m = StreamMatcher(dfa)
+        assert m.feed(b"ush") == []
+        assert m.feed(b"ers") == [(5, 0)]
+
+    def test_byte_at_a_time(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        out = []
+        for b in b"ushers":
+            out.extend(m.feed(bytes([b])))
+        assert out == [(3, 0), (3, 1), (5, 3)]
+
+    def test_empty_feed(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        assert m.feed(b"") == []
+        assert m.position == 0
+
+    def test_position_and_counters(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        m.feed(b"ushers")
+        assert m.position == 6
+        assert m.total_matches == 3
+
+    def test_reset(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        m.feed(b"ush")
+        m.reset()
+        assert m.position == 0 and m.state == 0
+        # After reset, "ers" alone matches nothing.
+        assert m.feed(b"ers") == []
+
+    def test_feed_result_container(self, paper_dfa):
+        m = StreamMatcher(paper_dfa)
+        r = m.feed_result(b"ushers")
+        assert r.as_pairs() == [(3, 0), (3, 1), (5, 3)]
+
+
+class TestVectorPath:
+    def test_large_feed_uses_vector_path(self, paper_dfa):
+        text = b"ushers " * 400  # > VECTOR_THRESHOLD
+        assert len(text) >= VECTOR_THRESHOLD
+        m = StreamMatcher(paper_dfa)
+        got = m.feed(text)
+        want = match_serial(paper_dfa, text).as_pairs()
+        assert got == want
+
+    def test_vector_scalar_agreement_across_boundary(self, english_dfa):
+        text = (b"they say that she will make all of this work " * 60)
+        big = StreamMatcher(english_dfa)
+        out_a = big.feed(text)  # single large feed
+        small = StreamMatcher(english_dfa)
+        out_b = []
+        for i in range(0, len(text), 97):  # many small feeds
+            out_b.extend(small.feed(text[i : i + 97]))
+        assert out_a == sorted(out_b)
+
+    def test_state_carries_across_vector_feeds(self, paper_dfa):
+        half = b"x" * (VECTOR_THRESHOLD - 1) + b"ush"
+        m = StreamMatcher(paper_dfa)
+        m.feed(half)
+        out = m.feed(b"ers" + b"y" * VECTOR_THRESHOLD)
+        assert (len(half) + 2, 3) in out  # "hers" ends 3 bytes into feed 2
+
+
+class TestScanStream:
+    def test_generator_input(self, paper_dfa):
+        feeds = (chunk for chunk in [b"us", b"he", b"rs"])
+        r = scan_stream(paper_dfa, feeds)
+        assert r.as_pairs() == [(3, 0), (3, 1), (5, 3)]
+
+    def test_equals_whole_input(self, english_dfa, rng):
+        from tests.conftest import random_text
+
+        text = random_text(rng, 5000, alphabet=b"thesayout ")
+        pieces = []
+        i = 0
+        while i < len(text):
+            step = int(rng.integers(1, 400))
+            pieces.append(text[i : i + step])
+            i += step
+        assert scan_stream(english_dfa, pieces) == match_serial(
+            english_dfa, text
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.text(alphabet="hers u", min_size=0, max_size=400),
+    st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
+)
+def test_property_chunking_never_changes_stream_matches(text, cuts):
+    """Any partition of the stream yields the whole-input match set."""
+    ps = PatternSet.from_strings(["he", "she", "his", "hers"])
+    dfa = DFA.build(ps)
+    pieces = []
+    i = 0
+    k = 0
+    while i < len(text):
+        step = cuts[k % len(cuts)]
+        pieces.append(text[i : i + step])
+        i += step
+        k += 1
+    assert scan_stream(dfa, pieces) == match_serial(dfa, text)

@@ -1,0 +1,113 @@
+"""Unit tests for STT storage and serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import STT
+from repro.core.stt import roundtrip_bytes
+from repro.errors import SerializationError
+
+
+def small_stt() -> STT:
+    table = np.zeros((4, 257), dtype=np.int32)
+    table[0, ord("a")] = 1
+    table[1, ord("b")] = 2
+    table[2, 256] = 1
+    return STT(table)
+
+
+class TestConstruction:
+    def test_wrong_columns_rejected(self):
+        with pytest.raises(SerializationError):
+            STT(np.zeros((3, 256), dtype=np.int32))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(SerializationError):
+            STT(np.zeros(257, dtype=np.int32))
+
+    def test_table_is_readonly(self):
+        stt = small_stt()
+        with pytest.raises(ValueError):
+            stt.table[0, 0] = 9
+
+    def test_views_share_memory(self):
+        stt = small_stt()
+        assert np.shares_memory(stt.next_states, stt.table)
+        assert np.shares_memory(stt.match_flags, stt.table)
+
+    def test_dtype_coerced_to_int32(self):
+        stt = STT(np.zeros((2, 257), dtype=np.int64))
+        assert stt.table.dtype == np.int32
+
+
+class TestStats:
+    def test_footprint(self):
+        stt = small_stt()
+        s = stt.stats()
+        assert s.n_states == 4
+        assert s.bytes_per_row == 257 * 4
+        assert s.bytes_total == 4 * 257 * 4
+        assert s.megabytes == pytest.approx(s.bytes_total / 2**20)
+
+    def test_paper_scale_footprint(self):
+        # ~20k patterns -> O(10^5) states -> STT far exceeds the 8 KB
+        # texture cache; the stats make that visible.
+        table = np.zeros((100_000, 257), dtype=np.int32)
+        assert STT(table).stats().megabytes > 90
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        stt = small_stt()
+        _, loaded = roundtrip_bytes(stt)
+        assert loaded == stt
+
+    def test_roundtrip_path(self, tmp_path):
+        stt = small_stt()
+        p = str(tmp_path / "a.stt")
+        stt.save(p)
+        assert STT.load(p) == stt
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            STT.load(io.BytesIO(b"NOTSTT\x00\x00 junk"))
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError, match="header"):
+            STT.load(io.BytesIO(b"REPROSTT{\"version\": 2"))
+
+    def test_corrupt_header_json(self):
+        with pytest.raises(SerializationError, match="corrupt"):
+            STT.load(io.BytesIO(b"REPROSTT{nope}\n"))
+
+    def test_truncated_body(self):
+        data, _ = roundtrip_bytes(small_stt())
+        with pytest.raises(SerializationError, match="truncated STT body"):
+            STT.load(io.BytesIO(data[:-8]))
+
+    def test_unsupported_version(self):
+        data, _ = roundtrip_bytes(small_stt())
+        bad = data.replace(b'"version": 2', b'"version": 9')
+        with pytest.raises(SerializationError, match="version"):
+            STT.load(io.BytesIO(bad))
+
+    def test_wrong_column_count_in_header(self):
+        data, _ = roundtrip_bytes(small_stt())
+        bad = data.replace(b'"n_columns": 257', b'"n_columns": 99')
+        with pytest.raises(SerializationError, match="columns"):
+            STT.load(io.BytesIO(bad))
+
+
+class TestEquality:
+    def test_eq_and_neq(self):
+        a = small_stt()
+        b = small_stt()
+        assert a == b
+        t = np.array(b.table, copy=True)
+        t[3, 3] = 7
+        assert a != STT(t)
+
+    def test_eq_other_type(self):
+        assert small_stt() != "not an stt"

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.trie (goto-function skeleton)."""
+
+from repro.core import PatternSet
+from repro.core.trie import ROOT, Trie
+
+
+class TestPaperTrie:
+    """The trie of paper Fig. 1(a): states 0..9 for {he,she,his,hers}."""
+
+    def test_state_count(self, paper_patterns):
+        # Fig. 1(a) has exactly 10 states (0..9).
+        trie = Trie.from_patterns(paper_patterns)
+        assert trie.n_states == 10
+
+    def test_goto_edges(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        h = trie.goto(ROOT, ord("h"))
+        s = trie.goto(ROOT, ord("s"))
+        assert h > 0 and s > 0 and h != s
+        he = trie.goto(h, ord("e"))
+        assert trie.terminal[he] == [0]  # "he" is pattern 0
+        sh = trie.goto(s, ord("h"))
+        she = trie.goto(sh, ord("e"))
+        assert trie.terminal[she] == [1]  # "she" is pattern 1
+
+    def test_goto_fail_is_minus_one(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        assert trie.goto(ROOT, ord("z")) == -1  # raw trie: no root loop
+
+    def test_depth_tracks_prefix_length(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        state = ROOT
+        for i, ch in enumerate(b"hers"):
+            state = trie.goto(state, ch)
+            assert trie.depth[state] == i + 1
+
+    def test_parent_and_symbol_invert_edges(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        for state, byte, child in trie.edges():
+            assert trie.parent[child] == state
+            assert trie.symbol[child] == byte
+
+    def test_root_has_no_parent(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        assert trie.parent[ROOT] == -1
+        assert trie.symbol[ROOT] == -1
+
+
+class TestBfsOrder:
+    def test_bfs_is_depth_monotone(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        depths = [trie.depth[s] for s in trie.bfs_order()]
+        assert depths == sorted(depths)
+
+    def test_bfs_covers_all_nonroot_states(self, paper_patterns):
+        trie = Trie.from_patterns(paper_patterns)
+        visited = set(trie.bfs_order())
+        assert visited == set(range(1, trie.n_states))
+
+
+class TestSharedPrefixes:
+    def test_shared_prefixes_share_states(self):
+        ps = PatternSet.from_strings(["abc", "abd", "ab"])
+        trie = Trie.from_patterns(ps)
+        # Root, a, ab, abc, abd = 5 states.
+        assert trie.n_states == 5
+
+    def test_terminal_on_inner_state(self):
+        ps = PatternSet.from_strings(["abc", "ab"])
+        trie = Trie.from_patterns(ps)
+        a = trie.goto(ROOT, ord("a"))
+        ab = trie.goto(a, ord("b"))
+        assert trie.terminal[ab] == [1]
+
+    def test_multiple_patterns_same_string_deduped_upstream(self):
+        # PatternSet removes duplicates, so a terminal list has one id.
+        ps = PatternSet.from_strings(["xx", "xx"])
+        trie = Trie.from_patterns(ps)
+        terminals = [t for t in trie.terminal if t]
+        assert terminals == [[0]]
+
+    def test_binary_patterns(self):
+        ps = PatternSet.from_bytes([bytes([0, 255]), bytes([255, 0])])
+        trie = Trie.from_patterns(ps)
+        assert trie.goto(ROOT, 0) > 0
+        assert trie.goto(ROOT, 255) > 0

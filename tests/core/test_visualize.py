@@ -1,0 +1,86 @@
+"""Tests for the automaton renderers (paper Figs. 1/3/5 reproduction)."""
+
+import pytest
+
+from repro.core import AhoCorasickAutomaton, DFA, PatternSet
+from repro.core.visualize import (
+    failure_table,
+    goto_table,
+    output_table,
+    stt_table,
+    to_dot,
+)
+from repro.errors import ReproError
+
+
+class TestTextTables:
+    def test_goto_table_lists_root_edges(self, paper_automaton):
+        text = goto_table(paper_automaton)
+        assert "h->" in text and "s->" in text
+        assert text.splitlines()[1].startswith("    0")
+
+    def test_failure_table_shape(self, paper_automaton):
+        text = failure_table(paper_automaton)
+        lines = text.splitlines()
+        assert lines[0].startswith("i")
+        assert lines[1].startswith("f(i)")
+        # 9 non-root states in the paper machine.
+        assert len(lines[0].split()) == 10
+
+    def test_output_table_lists_keywords(self, paper_automaton):
+        text = output_table(paper_automaton)
+        assert "{he, she}" in text or "{she, he}" in text
+        assert "hers" in text
+
+    def test_output_table_empty_machine(self):
+        ac = AhoCorasickAutomaton.build(PatternSet.from_strings(["zz"]))
+        # Only one emitting state; remove it from view by checking a
+        # machine whose text has it — just assert rendering works.
+        assert "zz" in output_table(ac)
+
+
+class TestSttTable:
+    def test_match_column_first(self, paper_dfa):
+        text = stt_table(paper_dfa)
+        header = text.splitlines()[0]
+        assert header.startswith("state |   M |")
+
+    def test_shows_paper_symbols(self, paper_dfa):
+        text = stt_table(paper_dfa)
+        for ch in "hers i":
+            if ch != " ":
+                assert ch in text
+
+    def test_truncation(self, english_dfa):
+        text = stt_table(english_dfa, max_states=5)
+        assert "more states" in text
+
+    def test_explicit_symbols(self, paper_dfa):
+        text = stt_table(paper_dfa, symbols=[ord("h")])
+        assert "h" in text.splitlines()[0]
+
+    def test_invalid_max_states(self, paper_dfa):
+        with pytest.raises(ReproError):
+            stt_table(paper_dfa, max_states=0)
+
+
+class TestDot:
+    def test_structure(self, paper_automaton):
+        dot = to_dot(paper_automaton)
+        assert dot.startswith("digraph ac {") and dot.endswith("}")
+        assert 'n0 -> n' in dot
+        assert "doublecircle" in dot  # emitting states
+        assert "style=dashed" in dot  # failure edges
+
+    def test_failure_edges_optional(self, paper_automaton):
+        dot = to_dot(paper_automaton, include_failure_edges=False)
+        assert "dashed" not in dot
+
+    def test_size_guard(self, paper_automaton):
+        with pytest.raises(ReproError, match="refusing"):
+            to_dot(paper_automaton, max_states=2)
+
+    def test_nonprintable_labels_escaped(self):
+        ac = AhoCorasickAutomaton.build(PatternSet.from_bytes([b"\x00\x01"]))
+        dot = to_dot(ac)
+        assert "\\x00" in dot and "\\x01" in dot

@@ -1,0 +1,123 @@
+"""Unit tests for the global-memory coalescer (paper Figs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.gpu.coalesce import (
+    coalesce_halfwarp_batch,
+    cooperative_word_addresses,
+    strided_chunk_addresses,
+)
+
+
+class TestCoalesceBasics:
+    def test_consecutive_words_one_transaction(self):
+        # 16 lanes × 4 B consecutive = 64 B inside one 128 B segment.
+        addr = (np.arange(16) * 4).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, access_bytes=4)
+        assert s.transactions == 1
+        assert s.useful_bytes == 64
+
+    def test_segment_straddle_two_transactions(self):
+        addr = (64 + np.arange(16) * 4 + 32).reshape(1, 16)  # crosses 128 B
+        s = coalesce_halfwarp_batch(addr, access_bytes=4)
+        assert s.transactions == 2
+
+    def test_fully_scattered_sixteen_transactions(self):
+        addr = (np.arange(16) * 1024).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, access_bytes=1)
+        assert s.transactions == 16
+
+    def test_same_address_all_lanes_one_transaction(self):
+        addr = np.full((1, 16), 4096)
+        s = coalesce_halfwarp_batch(addr, access_bytes=4)
+        assert s.transactions == 1
+
+    def test_batch_rows_accumulate(self):
+        a = (np.arange(16) * 4).reshape(1, 16)
+        batch = np.concatenate([a, a + 4096], axis=0)
+        s = coalesce_halfwarp_batch(batch, access_bytes=4)
+        assert s.accesses == 2
+        assert s.transactions == 2
+
+    def test_active_mask_drops_lanes(self):
+        addr = (np.arange(16) * 1024).reshape(1, 16)
+        active = np.zeros((1, 16), dtype=bool)
+        active[0, :4] = True
+        s = coalesce_halfwarp_batch(addr, 1, active=active)
+        assert s.transactions == 4
+        assert s.useful_bytes == 4
+
+    def test_fully_inactive_row_issues_nothing(self):
+        addr = np.zeros((1, 16), dtype=np.int64)
+        s = coalesce_halfwarp_batch(addr, 1, active=np.zeros((1, 16), bool))
+        assert s.transactions == 0 and s.accesses == 0
+
+
+class TestErrors:
+    def test_bad_shape(self):
+        with pytest.raises(MemoryModelError):
+            coalesce_halfwarp_batch(np.arange(16), 4)
+
+    def test_negative_address(self):
+        with pytest.raises(MemoryModelError):
+            coalesce_halfwarp_batch(np.array([[-4] * 16]), 4)
+
+    def test_bad_sizes(self):
+        with pytest.raises(MemoryModelError):
+            coalesce_halfwarp_batch(np.zeros((1, 16), int), 0)
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(MemoryModelError):
+            coalesce_halfwarp_batch(
+                np.zeros((1, 16), int), 4, active=np.ones((2, 16), bool)
+            )
+
+
+class TestSummaryMetrics:
+    def test_transactions_per_access(self):
+        addr = (np.arange(16) * 256).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, 1)
+        assert s.transactions_per_access == 16.0
+
+    def test_bus_efficiency_perfect_for_coalesced_words(self):
+        addr = (np.arange(16) * 4).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, 4)
+        assert s.bus_efficiency == pytest.approx(1.0)
+
+    def test_bus_efficiency_poor_for_scattered_bytes(self):
+        addr = (np.arange(16) * 1024).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, 1)
+        # Each 1-byte read drags a 32-byte minimum transaction.
+        assert s.bus_efficiency == pytest.approx(1 / 32)
+
+
+class TestAddressGenerators:
+    def test_cooperative_pattern_is_perfectly_coalesced(self):
+        # Paper Fig. 10: 1024 B staged by 16 threads = 16 coalesced loads.
+        addr = cooperative_word_addresses(base=0, total_words=256, n_threads=16)
+        s = coalesce_halfwarp_batch(addr, 4)
+        assert s.accesses == 16
+        assert s.transactions_per_access == pytest.approx(1.0)
+
+    def test_strided_pattern_scatters(self):
+        addr = strided_chunk_addresses(
+            base=0, chunk_len=1024, step=0, n_threads=64
+        )
+        s = coalesce_halfwarp_batch(addr, 1)
+        assert s.transactions_per_access == pytest.approx(16.0)
+
+    def test_strided_small_chunks_share_segments(self):
+        # chunk_len 32: four thread chunks share each 128 B segment.
+        addr = strided_chunk_addresses(base=0, chunk_len=32, step=0, n_threads=16)
+        s = coalesce_halfwarp_batch(addr, 1)
+        assert s.transactions == 4
+
+    def test_ragged_tail_padding(self):
+        addr = strided_chunk_addresses(base=0, chunk_len=64, step=3, n_threads=10)
+        assert addr.shape == (1, 16)
+        # Padding repeats the last address; distinct segments = 10 threads
+        # at 64-byte strides -> ceil spread over 128 B segments = 5.
+        s = coalesce_halfwarp_batch(addr, 1)
+        assert s.transactions == 5

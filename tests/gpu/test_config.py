@@ -1,0 +1,126 @@
+"""Unit tests for device configuration and occupancy."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import DeviceConfig, fermi_c2050, gtx285
+
+
+class TestPresets:
+    def test_gtx285_matches_paper_headline(self):
+        cfg = gtx285()
+        # Paper Section V: 240 thread processors at 1.48 GHz, 1 GB device
+        # memory, 16 KB shared with 16 banks.
+        assert cfg.total_cores == 240
+        assert cfg.clock_ghz == pytest.approx(1.476, abs=0.01)
+        assert cfg.global_mem_bytes == 1024**3
+        assert cfg.shared_mem_per_sm == 16 * 1024
+        assert cfg.shared_banks == 16
+
+    def test_fermi_preset_differs(self):
+        cfg = fermi_c2050()
+        assert cfg.shared_banks == 32
+        assert cfg.shared_mem_per_sm == 48 * 1024
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceConfig(sm_count=0)
+        with pytest.raises(DeviceError):
+            DeviceConfig(clock_ghz=0)
+        with pytest.raises(DeviceError):
+            DeviceConfig(warp_size=24, half_warp=16)
+
+    def test_with_overrides(self):
+        cfg = gtx285().with_overrides(sm_count=8)
+        assert cfg.sm_count == 8
+        assert gtx285().sm_count == 30  # original untouched
+
+    def test_describe_keys(self):
+        d = gtx285().describe()
+        assert d["cores"] == 240 and "banks" in d
+
+
+class TestClockConversions:
+    def test_roundtrip(self):
+        cfg = gtx285()
+        assert cfg.seconds_to_cycles(cfg.cycles_to_seconds(1e6)) == pytest.approx(1e6)
+
+    def test_one_second_is_clock_hz(self):
+        cfg = gtx285()
+        assert cfg.seconds_to_cycles(1.0) == pytest.approx(1.476e9, rel=1e-3)
+
+
+class TestOccupancy:
+    def test_small_block_limited_by_block_slots(self):
+        cfg = gtx285()
+        occ = cfg.occupancy(threads_per_block=64, shared_bytes_per_block=0)
+        assert occ.blocks_per_sm == cfg.max_blocks_per_sm
+        assert occ.limiting_resource == "block_slots"
+
+    def test_shared_memory_limits_blocks(self):
+        # Paper: 8-12 KB of the 16 KB shared used for input staging.
+        cfg = gtx285()
+        occ = cfg.occupancy(threads_per_block=128, shared_bytes_per_block=9 * 1024)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_resource == "shared_memory"
+
+    def test_half_shared_gives_two_blocks(self):
+        cfg = gtx285()
+        occ = cfg.occupancy(threads_per_block=128, shared_bytes_per_block=8 * 1024)
+        assert occ.blocks_per_sm == 2
+
+    def test_thread_slots_limit(self):
+        cfg = gtx285()
+        occ = cfg.occupancy(threads_per_block=512, shared_bytes_per_block=0)
+        assert occ.blocks_per_sm == 2  # 1024 threads / 512
+        assert occ.threads_per_sm == 1024
+
+    def test_warps_accounting(self):
+        cfg = gtx285()
+        occ = cfg.occupancy(threads_per_block=96, shared_bytes_per_block=0)
+        assert occ.warps_per_block == 3
+        assert occ.warps_per_sm == occ.blocks_per_sm * 3
+
+    def test_fraction(self):
+        cfg = gtx285()
+        occ = cfg.occupancy(512, 0)
+        assert occ.fraction(cfg) == pytest.approx(1.0)
+
+    def test_register_limit(self):
+        cfg = gtx285()
+        # 128 threads x 32 regs = 4096 regs/block; 16K regs/SM -> 4 blocks.
+        occ = cfg.occupancy(128, 0, registers_per_thread=32)
+        assert occ.blocks_per_sm == 4
+        assert occ.limiting_resource == "registers"
+
+    def test_register_free_kernels_unconstrained(self):
+        cfg = gtx285()
+        a = cfg.occupancy(128, 0)
+        b = cfg.occupancy(128, 0, registers_per_thread=8)
+        # 8 regs/thread never binds before block slots on GT200.
+        assert a.blocks_per_sm == b.blocks_per_sm
+
+    def test_register_overflow_rejected(self):
+        cfg = gtx285()
+        with pytest.raises(DeviceError, match="registers"):
+            cfg.occupancy(512, 0, registers_per_thread=64)
+        with pytest.raises(DeviceError):
+            cfg.occupancy(128, 0, registers_per_thread=-1)
+
+    def test_block_too_large_rejected(self):
+        cfg = gtx285()
+        with pytest.raises(DeviceError):
+            cfg.occupancy(1024, 0)
+        with pytest.raises(DeviceError):
+            cfg.occupancy(128, 17 * 1024)
+        with pytest.raises(DeviceError):
+            cfg.occupancy(0, 0)
+
+
+class TestTextureCacheConfig:
+    def test_geometry(self):
+        from repro.gpu import TextureCacheConfig
+
+        tc = TextureCacheConfig(size_bytes=8192, line_bytes=32, associativity=8)
+        assert tc.n_lines == 256
+        assert tc.n_sets == 32

@@ -1,0 +1,73 @@
+"""Tests for SIMT launch geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import LaunchConfig, gtx285
+from repro.gpu.geometry import halfwarp_lanes
+
+
+class TestLaunchConfig:
+    def test_totals(self):
+        lc = LaunchConfig(n_blocks=10, threads_per_block=128)
+        assert lc.total_threads == 1280
+        assert lc.warps_per_block(gtx285()) == 4
+
+    def test_ragged_warp_count(self):
+        lc = LaunchConfig(n_blocks=1, threads_per_block=33)
+        assert lc.warps_per_block(gtx285()) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_blocks=0, threads_per_block=128),
+            dict(n_blocks=1, threads_per_block=0),
+            dict(n_blocks=1, threads_per_block=1, shared_bytes_per_block=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(LaunchError):
+            LaunchConfig(**kwargs)
+
+    def test_validate_returns_occupancy(self):
+        cfg = gtx285()
+        occ = LaunchConfig(60, 256).validate(cfg)
+        assert occ.warps_per_sm == 32
+
+    def test_validate_limits(self):
+        cfg = gtx285()
+        with pytest.raises(LaunchError):
+            LaunchConfig(1, 1024).validate(cfg)
+        with pytest.raises(LaunchError):
+            LaunchConfig(1, 128, shared_bytes_per_block=20_000).validate(cfg)
+
+    def test_round_robin_distribution(self):
+        cfg = gtx285()
+        lc = LaunchConfig(n_blocks=31, threads_per_block=64)
+        counts = [lc.blocks_on_sm(cfg, i) for i in range(cfg.sm_count)]
+        assert sum(counts) == 31
+        assert counts[0] == 2 and counts[-1] == 1
+
+    def test_blocks_on_sm_range(self):
+        cfg = gtx285()
+        lc = LaunchConfig(4, 64)
+        with pytest.raises(LaunchError):
+            lc.blocks_on_sm(cfg, 30)
+
+    def test_busiest_sm(self):
+        cfg = gtx285()
+        assert LaunchConfig(31, 64).max_blocks_per_sm_used(cfg) == 2
+        assert LaunchConfig(30, 64).max_blocks_per_sm_used(cfg) == 1
+
+
+class TestHalfwarpLanes:
+    def test_exact_multiple(self):
+        rows = halfwarp_lanes(np.arange(32))
+        assert rows.shape == (2, 16)
+        assert rows[1, 0] == 16
+
+    def test_ragged_tail_padded_with_last(self):
+        rows = halfwarp_lanes(np.arange(18))
+        assert rows.shape == (2, 16)
+        assert rows[1].tolist() == [16, 17] + [17] * 14

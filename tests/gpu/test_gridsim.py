@@ -1,0 +1,82 @@
+"""Tests for the grid-level discrete-event simulation."""
+
+import pytest
+
+from repro.analysis.waves import analyze_waves
+from repro.errors import DeviceError
+from repro.gpu import LaunchConfig, gtx285
+from repro.gpu.gridsim import simulate_grid, uniform_grid
+
+
+def grid(n_blocks, warps=4, iters=50, c=10.0, m=0.0, latency=500.0):
+    return uniform_grid(n_blocks, warps, iters, c, m, latency)
+
+
+class TestScheduling:
+    def test_single_block(self):
+        r = simulate_grid(grid(1))
+        assert r.total_cycles == pytest.approx(4 * 50 * 10.0)
+        assert r.n_waves_observed == 1
+
+    def test_one_full_wave_runs_concurrently(self):
+        cfg = gtx285()
+        r = simulate_grid(grid(cfg.sm_count), config=cfg)
+        # 30 identical blocks on 30 SMs: same time as one block.
+        assert r.total_cycles == pytest.approx(4 * 50 * 10.0)
+
+    def test_tail_wave_doubles_time(self):
+        cfg = gtx285()
+        r = simulate_grid(grid(cfg.sm_count + 1), config=cfg)
+        assert r.total_cycles == pytest.approx(2 * 4 * 50 * 10.0)
+        assert r.n_waves_observed == 2
+
+    def test_blocks_per_sm_slots(self):
+        cfg = gtx285()
+        r = simulate_grid(grid(60), blocks_per_sm=2, config=cfg)
+        assert r.n_waves_observed == 1
+        assert r.total_cycles == pytest.approx(4 * 50 * 10.0)
+
+    def test_unequal_blocks_load_balance(self):
+        cfg = gtx285()
+        # One long block + many short ones: greedy scheduling lets the
+        # short ones pack around it; total = the long block (it starts
+        # in wave 1) as long as short work fits alongside.
+        progs = grid(29, iters=10) + grid(1, iters=1000)
+        r = simulate_grid(progs, config=cfg)
+        assert r.total_cycles == pytest.approx(4 * 1000 * 10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DeviceError):
+            simulate_grid([])
+        with pytest.raises(DeviceError):
+            simulate_grid(grid(1), blocks_per_sm=0)
+        with pytest.raises(DeviceError):
+            uniform_grid(0, 1, 1, 1.0, 0.0, 0.0)
+
+
+class TestAgainstAnalyticApproximations:
+    def test_quantization_matches_static_wave_analysis(self):
+        """The dynamic simulation reproduces analyze_waves' bound for
+        uniform blocks (where the bound is exact)."""
+        cfg = gtx285()
+        for n_blocks in (1, 15, 30, 31, 61, 120):
+            r = simulate_grid(grid(n_blocks), blocks_per_sm=1, config=cfg)
+            wa = analyze_waves(
+                LaunchConfig(n_blocks, 128, shared_bytes_per_block=9 * 1024),
+                cfg,
+            )
+            assert r.n_waves_observed == wa.n_waves, n_blocks
+            assert r.quantization_ratio == pytest.approx(
+                wa.quantization_factor
+            ), n_blocks
+
+    def test_even_division_exact_in_many_wave_limit(self):
+        cfg = gtx285()
+        r = simulate_grid(grid(30 * 40), config=cfg)
+        assert r.quantization_ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_even_division_optimistic_for_tiny_grids(self):
+        cfg = gtx285()
+        r = simulate_grid(grid(1), config=cfg)
+        # One block on a 30-SM machine: 30x worse than even division.
+        assert r.quantization_ratio == pytest.approx(30.0)

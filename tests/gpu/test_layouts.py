@@ -1,0 +1,163 @@
+"""Unit tests for store schemes (paper Figs. 11-12 and the Fig. 23 cast)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.gpu.layouts import (
+    SCHEMES,
+    BlockGeometry,
+    DiagonalLayout,
+    LinearLayout,
+    NaiveLayout,
+    TransposedLayout,
+    get_scheme,
+)
+from repro.gpu.shared_memory import summarize
+
+#: The paper's illustration geometry: 1024-byte block, 16 threads,
+#: 64-byte chunks (Fig. 10).
+PAPER_GEOM = BlockGeometry(n_threads=16, chunk_bytes=64, overlap_bytes=0)
+
+#: A production-scale geometry: 128 threads × 64 B = 8 KB staged
+#: (the paper's "8~12 KB of the 16 KB shared memory").
+PROD_GEOM = BlockGeometry(n_threads=128, chunk_bytes=64, overlap_bytes=32)
+
+
+class TestGeometry:
+    def test_paper_geometry_derived_sizes(self):
+        g = PAPER_GEOM
+        assert g.owned_bytes == 1024
+        assert g.staged_words == 256
+        assert g.chunk_words == 16
+        assert g.window_bytes == 64
+
+    def test_overlap_padded_to_words(self):
+        g = BlockGeometry(n_threads=16, chunk_bytes=64, overlap_bytes=5)
+        assert g.staged_bytes % 4 == 0
+        assert g.staged_bytes >= g.owned_bytes + 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_threads=10, chunk_bytes=64, overlap_bytes=0),  # not multiple of 16
+            dict(n_threads=16, chunk_bytes=6, overlap_bytes=0),  # not multiple of 4
+            dict(n_threads=16, chunk_bytes=64, overlap_bytes=-1),
+            dict(n_threads=0, chunk_bytes=64, overlap_bytes=0),
+        ],
+    )
+    def test_invalid_geometry(self, kwargs):
+        with pytest.raises(MemoryModelError):
+            BlockGeometry(**kwargs)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    @pytest.mark.parametrize("geom", [PAPER_GEOM, PROD_GEOM])
+    def test_every_scheme_is_a_permutation(self, name, geom):
+        # A store scheme must lose no bytes: word->slot is a bijection.
+        assert get_scheme(name).is_bijective(geom)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(MemoryModelError, match="unknown store scheme"):
+            get_scheme("zigzag")
+
+
+class TestPaperConflictClaims:
+    """The quantitative content of Figs. 11-12."""
+
+    def test_diagonal_store_conflict_free(self):
+        addr, act = DiagonalLayout().staging_store_addresses(PAPER_GEOM)
+        assert summarize(addr, active=act).conflict_free
+
+    def test_diagonal_load_conflict_free(self):
+        addr, act = DiagonalLayout().match_load_addresses(PAPER_GEOM)
+        assert summarize(addr, active=act).conflict_free
+
+    def test_linear_store_conflict_free_but_loads_collide(self):
+        lin = LinearLayout()
+        st_addr, st_act = lin.staging_store_addresses(PAPER_GEOM)
+        assert summarize(st_addr, active=st_act).conflict_free
+        ld_addr, ld_act = lin.match_load_addresses(PAPER_GEOM)
+        s = summarize(ld_addr, active=ld_act)
+        assert s.max_degree == 16  # 64-byte chunks: all lanes on one bank
+
+    def test_naive_conflicts_both_phases(self):
+        nv = NaiveLayout()
+        st_addr, st_act = nv.staging_store_addresses(PAPER_GEOM)
+        assert summarize(st_addr, active=st_act).max_degree == 16
+        ld_addr, ld_act = nv.match_load_addresses(PAPER_GEOM)
+        assert summarize(ld_addr, active=ld_act).max_degree == 16
+
+    def test_transposed_fixes_loads_breaks_stores(self):
+        tr = TransposedLayout()
+        ld_addr, ld_act = tr.match_load_addresses(PAPER_GEOM)
+        assert summarize(ld_addr, active=ld_act).conflict_free
+        st_addr, st_act = tr.staging_store_addresses(PAPER_GEOM)
+        assert not summarize(st_addr, active=st_act).conflict_free
+
+    def test_production_geometry_diagonal_still_free(self):
+        d = DiagonalLayout()
+        st_addr, st_act = d.staging_store_addresses(PROD_GEOM)
+        ld_addr, ld_act = d.match_load_addresses(PROD_GEOM)
+        assert summarize(st_addr, active=st_act).conflict_free
+        assert summarize(ld_addr, active=ld_act).conflict_free
+
+    def test_naive_staging_flag(self):
+        assert NaiveLayout().cooperative_staging is False
+        assert DiagonalLayout().cooperative_staging is True
+
+
+class TestAddressPatterns:
+    def test_staging_covers_every_word_exactly_once(self):
+        for name in sorted(SCHEMES):
+            scheme = get_scheme(name)
+            addr, act = scheme.staging_store_addresses(PAPER_GEOM)
+            slots = (addr[act] // 4)
+            assert np.unique(slots).size == PAPER_GEOM.staged_words, name
+
+    def test_match_loads_read_back_own_chunk(self):
+        # Under any bijective layout, the word thread t loads at step q
+        # must be the slot holding block word t*chunk_words + q.
+        geom = PAPER_GEOM
+        for name in sorted(SCHEMES):
+            scheme = get_scheme(name)
+            addr, act = scheme.match_load_addresses(geom)
+            window_words = geom.window_bytes // 4
+            addr = addr.reshape(window_words, geom.n_threads // 16, 16)
+            for q in (0, geom.chunk_words - 1):
+                for t in (0, 5, 15):
+                    w = (t * geom.chunk_bytes) // 4 + q
+                    expected_slot = scheme.slot_of_word(np.array([w]), geom)[0]
+                    assert addr[q, t // 16, t % 16] == expected_slot * 4, name
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_threads=st.sampled_from([16, 32, 64, 128]),
+    chunk_words=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    overlap=st.integers(min_value=0, max_value=64),
+)
+def test_property_all_schemes_bijective(n_threads, chunk_words, overlap):
+    geom = BlockGeometry(
+        n_threads=n_threads, chunk_bytes=chunk_words * 4, overlap_bytes=overlap
+    )
+    for name in sorted(SCHEMES):
+        assert get_scheme(name).is_bijective(geom), (name, geom)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_threads=st.sampled_from([16, 32, 64, 128]),
+    chunk_words=st.sampled_from([4, 8, 16]),
+)
+def test_property_diagonal_never_worse_than_linear_on_loads(
+    n_threads, chunk_words
+):
+    geom = BlockGeometry(n_threads=n_threads, chunk_bytes=chunk_words * 4, overlap_bytes=0)
+    d_addr, d_act = DiagonalLayout().match_load_addresses(geom)
+    l_addr, l_act = LinearLayout().match_load_addresses(geom)
+    d = summarize(d_addr, active=d_act)
+    lin = summarize(l_addr, active=l_act)
+    assert d.serialized_accesses <= lin.serialized_accesses

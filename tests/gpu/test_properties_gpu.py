@@ -1,0 +1,108 @@
+"""Property-based tests for the GPU substrate's memory models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.coalesce import coalesce_halfwarp_batch
+from repro.gpu.config import TextureCacheConfig
+from repro.gpu.shared_memory import bruteforce_degree, conflict_degrees
+from repro.gpu.texture import TextureCacheSim, hot_set_hit_rate
+
+addresses_row = st.lists(
+    st.integers(min_value=0, max_value=1 << 16), min_size=16, max_size=16
+)
+
+
+class TestCoalesceProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(addresses_row)
+    def test_transactions_bounded_by_lanes(self, lanes):
+        addr = np.array(lanes).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, access_bytes=4)
+        assert 1 <= s.transactions <= 16
+
+    @settings(max_examples=80, deadline=None)
+    @given(addresses_row, st.integers(min_value=0, max_value=1 << 12))
+    def test_shift_invariance(self, lanes, shift):
+        """Translating every address by a segment multiple preserves
+        the transaction count."""
+        addr = np.array(lanes).reshape(1, 16)
+        shifted = addr + shift * 128
+        a = coalesce_halfwarp_batch(addr, 4).transactions
+        b = coalesce_halfwarp_batch(shifted, 4).transactions
+        assert a == b
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_row)
+    def test_bruteforce_segment_count(self, lanes):
+        addr = np.array(lanes).reshape(1, 16)
+        s = coalesce_halfwarp_batch(addr, 1)
+        expected = len({a // 128 for a in lanes})
+        assert s.transactions == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_row)
+    def test_masking_lane_never_increases_transactions(self, lanes):
+        addr = np.array(lanes).reshape(1, 16)
+        full = coalesce_halfwarp_batch(addr, 1).transactions
+        mask = np.ones((1, 16), dtype=bool)
+        mask[0, 7] = False
+        masked = coalesce_halfwarp_batch(addr, 1, active=mask).transactions
+        assert masked <= full
+
+
+class TestConflictProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(addresses_row)
+    def test_degree_bounds(self, lanes):
+        addr = np.array(lanes).reshape(1, 16)
+        d = int(conflict_degrees(addr)[0])
+        assert 1 <= d <= 16
+
+    @settings(max_examples=80, deadline=None)
+    @given(addresses_row, st.integers(min_value=0, max_value=64))
+    def test_uniform_word_shift_invariance(self, lanes, words):
+        """Shifting all lanes by whole bank rows preserves degrees."""
+        addr = np.array(lanes).reshape(1, 16)
+        shifted = addr + words * 64  # 16 banks x 4 B
+        assert conflict_degrees(addr)[0] == conflict_degrees(shifted)[0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(addresses_row)
+    def test_matches_bruteforce(self, lanes):
+        addr = np.array(lanes).reshape(1, 16)
+        assert conflict_degrees(addr)[0] == bruteforce_degree(addr)
+
+
+class TestTextureProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=400)
+    )
+    def test_hit_rate_monotone_in_capacity(self, trace):
+        ids = np.array(trace)
+        small = hot_set_hit_rate(
+            ids, TextureCacheConfig(size_bytes=4 * 32), capacity_efficiency=1.0
+        )
+        big = hot_set_hit_rate(
+            ids, TextureCacheConfig(size_bytes=64 * 32), capacity_efficiency=1.0
+        )
+        assert big.hit_rate >= small.hit_rate - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300)
+    )
+    def test_hot_set_upper_bounds_exact_lru(self, trace):
+        """The analytic model is an upper bound on exact LRU hits when
+        everything fits; and never reports negative rates otherwise."""
+        ids = np.array(trace)
+        cfg = TextureCacheConfig(size_bytes=64 * 32, associativity=64)
+        est = hot_set_hit_rate(ids, cfg, capacity_efficiency=1.0)
+        sim = TextureCacheSim(cfg)
+        hits, misses = sim.run_trace(ids)
+        if len(set(trace)) <= cfg.n_lines:
+            # Everything resident: both models count only compulsory
+            # misses, and they agree exactly.
+            assert est.misses == misses
+        assert 0.0 <= est.hit_rate <= 1.0

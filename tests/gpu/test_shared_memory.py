@@ -1,0 +1,104 @@
+"""Unit tests for the banked shared-memory conflict model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.gpu.shared_memory import (
+    bank_of,
+    bruteforce_degree,
+    conflict_degrees,
+    summarize,
+)
+
+
+class TestBankMapping:
+    def test_successive_words_successive_banks(self):
+        addr = np.arange(16) * 4
+        assert bank_of(addr).tolist() == list(range(16))
+
+    def test_wraparound(self):
+        assert bank_of(np.array([64])).tolist() == [0]
+
+    def test_bytes_within_word_same_bank(self):
+        assert set(bank_of(np.array([0, 1, 2, 3])).tolist()) == {0}
+
+
+class TestConflictDegrees:
+    def test_conflict_free_row(self):
+        addr = (np.arange(16) * 4).reshape(1, 16)
+        assert conflict_degrees(addr).tolist() == [1]
+
+    def test_same_word_broadcast(self):
+        addr = np.full((1, 16), 128)
+        assert conflict_degrees(addr).tolist() == [1]
+
+    def test_same_bank_different_words_serialize(self):
+        addr = (np.arange(16) * 64).reshape(1, 16)  # all bank 0
+        assert conflict_degrees(addr).tolist() == [16]
+
+    def test_two_way_conflict(self):
+        addr = ((np.arange(16) % 8) * 4 + (np.arange(16) // 8) * 64).reshape(1, 16)
+        assert conflict_degrees(addr).tolist() == [2]
+
+    def test_mixed_broadcast_and_conflict(self):
+        # 8 lanes on word 0 (broadcast) + 8 lanes on distinct words of
+        # bank 1 -> degree 8.
+        addr = np.concatenate([np.zeros(8, int), 4 + np.arange(8) * 64]).reshape(1, 16)
+        assert conflict_degrees(addr).tolist() == [8]
+
+    def test_batch_rows_independent(self):
+        free = np.arange(16) * 4
+        bad = np.arange(16) * 64
+        batch = np.stack([free, bad])
+        assert conflict_degrees(batch).tolist() == [1, 16]
+
+    def test_active_mask(self):
+        addr = (np.arange(16) * 64).reshape(1, 16)
+        active = np.zeros((1, 16), bool)
+        active[0, :3] = True
+        assert conflict_degrees(addr, active=active).tolist() == [3]
+
+    def test_inactive_row_degree_zero(self):
+        addr = np.zeros((1, 16), int)
+        assert conflict_degrees(addr, active=np.zeros((1, 16), bool)).tolist() == [0]
+
+    def test_bad_shape(self):
+        with pytest.raises(MemoryModelError):
+            conflict_degrees(np.arange(16))
+
+    def test_32_bank_geometry(self):
+        addr = (np.arange(32) * 4).reshape(1, 32)
+        assert conflict_degrees(addr, n_banks=32).tolist() == [1]
+        addr2 = (np.arange(32) * 128).reshape(1, 32)
+        assert conflict_degrees(addr2, n_banks=32).tolist() == [32]
+
+
+class TestSummarize:
+    def test_conflict_free_summary(self):
+        addr = np.tile(np.arange(16) * 4, (5, 1))
+        s = summarize(addr)
+        assert s.conflict_free
+        assert s.accesses == 5
+        assert s.serialized_accesses == 5
+        assert s.avg_degree == 1.0
+
+    def test_conflicting_summary(self):
+        addr = np.tile(np.arange(16) * 64, (3, 1))
+        s = summarize(addr)
+        assert not s.conflict_free
+        assert s.max_degree == 16
+        assert s.serialized_accesses == 48
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=4095), min_size=16, max_size=16
+    )
+)
+def test_vectorized_matches_bruteforce(lane_addresses):
+    """The vectorized degree equals the set-based reference, always."""
+    addr = np.array(lane_addresses, dtype=np.int64).reshape(1, 16)
+    assert conflict_degrees(addr)[0] == bruteforce_degree(addr)

@@ -1,0 +1,107 @@
+"""Discrete-event SIMT scheduler tests + analytic-model validation.
+
+These tests pin the Fig. 19 mechanics and then enforce that the
+analytic latency model agrees with the mechanistic scheduler in both
+regimes — the core credibility argument of the substrate.
+"""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.simt import SMScheduler, WarpProgram, uniform_warps
+
+
+def sched(mwp=32, dep=10):
+    return SMScheduler(mwp_limit=mwp, departure_cycles=dep)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert sched().run([]).total_cycles == 0
+
+    def test_single_warp_pure_compute(self):
+        r = sched().run(uniform_warps(1, 100, 4, 0.0, 500))
+        assert r.total_cycles == 400
+        assert r.utilization == 1.0
+
+    def test_compute_serializes_across_warps(self):
+        # One issue port: 4 warps of pure compute take 4x one warp.
+        r = sched().run(uniform_warps(4, 100, 4, 0.0, 500))
+        assert r.total_cycles == 1600
+
+    def test_single_warp_every_iter_misses(self):
+        # No other warp to hide latency: time ~ n*(c+L).
+        r = sched().run(uniform_warps(1, 10, 4, 1.0, 500))
+        assert r.total_cycles == pytest.approx(10 * (4 + 500), rel=0.01)
+        assert r.misses_issued == 10
+
+    def test_invalid_params(self):
+        with pytest.raises(DeviceError):
+            SMScheduler(mwp_limit=0, departure_cycles=1)
+        with pytest.raises(DeviceError):
+            WarpProgram(-1, 1, 0, 0)
+        with pytest.raises(DeviceError):
+            uniform_warps(1, 1, 1, 1.5, 1)
+
+
+class TestFig19Regimes:
+    def test_fig19a_latency_fully_hidden(self):
+        """Many warps + rare misses: utilization ~ 1 (Fig. 19a)."""
+        r = sched().run(uniform_warps(16, 500, 40, 0.02, 500))
+        compute = 16 * 500 * 40
+        assert r.total_cycles == pytest.approx(compute, rel=0.02)
+        assert r.utilization > 0.97
+
+    def test_fig19b_saturation(self):
+        """Frequent misses: the SM idles on memory (Fig. 19b)."""
+        r = sched().run(uniform_warps(16, 500, 10, 0.5, 500))
+        assert r.utilization < 0.7
+        assert r.idle_cycles > 0
+
+    def test_more_warps_hide_more(self):
+        """Increasing the resident-warp pool monotonically improves
+        utilization at fixed miss rate — multithreading as latency
+        hiding."""
+        utils = [
+            sched().run(uniform_warps(w, 300, 10, 0.2, 500)).utilization
+            for w in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(utils, utils[1:]))
+        assert utils[0] < 0.3 and utils[-1] > 0.9
+
+    def test_mwp_cap_limits_hiding(self):
+        """With MWP capped at 1, requests serialize end to end."""
+        free = sched(mwp=32, dep=0).run(uniform_warps(16, 100, 10, 1.0, 500))
+        capped = sched(mwp=1, dep=0).run(uniform_warps(16, 100, 10, 1.0, 500))
+        assert capped.total_cycles > 2 * free.total_cycles
+
+    def test_departure_delay_throttles(self):
+        fast = sched(mwp=32, dep=0).run(uniform_warps(16, 200, 4, 1.0, 500))
+        slow = sched(mwp=32, dep=50).run(uniform_warps(16, 200, 4, 1.0, 500))
+        assert slow.total_cycles > fast.total_cycles
+
+
+class TestAnalyticAgreement:
+    """The analytic model's two asymptotes vs the mechanistic scheduler."""
+
+    @pytest.mark.parametrize(
+        "warps,c,miss_rate,latency",
+        [
+            (16, 40, 0.02, 500),   # compute bound
+            (24, 60, 0.01, 400),   # compute bound
+            (8, 10, 0.5, 500),     # latency bound
+            (4, 8, 1.0, 600),      # latency bound
+        ],
+    )
+    def test_max_rule_within_tolerance(self, warps, c, miss_rate, latency):
+        iters = 400
+        dep = 10.0
+        r = sched(mwp=64, dep=dep).run(
+            uniform_warps(warps, iters, c, miss_rate, latency)
+        )
+        compute = warps * iters * c
+        misses = r.misses_issued
+        mwp = min(warps, latency / dep)
+        memory = misses * latency / mwp
+        analytic = max(compute, memory)
+        assert analytic == pytest.approx(r.total_cycles, rel=0.35)

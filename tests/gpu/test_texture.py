@@ -1,0 +1,133 @@
+"""Unit tests for the texture memory/cache models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.gpu import TextureCacheConfig, TextureCacheSim, hot_set_hit_rate
+from repro.gpu.texture import sample_trace, stt_line_ids
+
+
+def tiny_cache(lines=8, assoc=2):
+    return TextureCacheConfig(
+        size_bytes=lines * 32, line_bytes=32, associativity=assoc
+    )
+
+
+class TestLineIds:
+    def test_row_major_addressing(self):
+        # state 0, symbol 0 -> line 0; symbol 8 -> byte 32 -> line 1.
+        lids = stt_line_ids(np.array([0, 0, 1]), np.array([0, 8, 0]))
+        assert lids[0] == 0 and lids[1] == 1
+        # state 1 starts at byte 1028 -> line 32.
+        assert lids[2] == 1028 // 32
+
+    def test_neighbouring_symbols_share_lines(self):
+        lids = stt_line_ids(np.zeros(8, int), np.arange(8))
+        assert np.unique(lids).size == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MemoryModelError):
+            stt_line_ids(np.zeros(3, int), np.zeros(4, int))
+
+
+class TestExactSim:
+    def test_repeat_hits(self):
+        sim = TextureCacheSim(tiny_cache())
+        assert sim.access(5) is False  # compulsory miss
+        assert sim.access(5) is True
+        assert sim.hit_rate == 0.5
+
+    def test_capacity_eviction_lru(self):
+        # Direct-mapped-ish: 1 set of assoc 2 when lines=2.
+        cfg = TextureCacheConfig(size_bytes=64, line_bytes=32, associativity=2)
+        sim = TextureCacheSim(cfg)
+        sim.access(0)
+        sim.access(1)
+        sim.access(0)       # 0 now MRU
+        assert sim.access(2) is False  # evicts 1 (LRU)
+        assert sim.access(0) is True
+        assert sim.access(1) is False  # 1 was evicted
+
+    def test_set_mapping_isolates_sets(self):
+        cfg = tiny_cache(lines=8, assoc=2)  # 4 sets
+        sim = TextureCacheSim(cfg)
+        # Lines 0,4,8 map to set 0; lines 1,5 to set 1.
+        sim.access(0)
+        sim.access(4)
+        sim.access(1)
+        assert sim.access(0) is True  # still resident in set 0
+        sim.access(8)                 # evicts LRU of set 0 (line 4)
+        assert sim.access(4) is False
+
+    def test_run_trace_counts(self):
+        sim = TextureCacheSim(tiny_cache())
+        hits, misses = sim.run_trace(np.array([1, 1, 2, 1]))
+        assert hits == 2 and misses == 2
+
+    def test_reset(self):
+        sim = TextureCacheSim(tiny_cache())
+        sim.run_trace(np.arange(10))
+        sim.reset()
+        assert sim.hits == 0 and sim.misses == 0
+        assert sim.hit_rate == 1.0
+
+    def test_invalid_assoc(self):
+        with pytest.raises(MemoryModelError):
+            TextureCacheSim(TextureCacheConfig(associativity=0))
+
+
+class TestHotSetModel:
+    def test_empty_trace(self):
+        est = hot_set_hit_rate(np.array([], dtype=int), tiny_cache())
+        assert est.hit_rate == 1.0
+
+    def test_single_hot_line(self):
+        est = hot_set_hit_rate(np.zeros(1000, int), tiny_cache())
+        assert est.misses == 1  # one compulsory miss
+        assert est.hit_rate == pytest.approx(0.999)
+
+    def test_working_set_fits(self):
+        trace = np.tile(np.arange(4), 100)
+        est = hot_set_hit_rate(trace, tiny_cache(lines=8), capacity_efficiency=1.0)
+        assert est.misses == 4
+
+    def test_working_set_exceeds_capacity(self):
+        # 100 lines uniformly -> only ~capacity stays hot.
+        trace = np.tile(np.arange(100), 50)
+        est = hot_set_hit_rate(trace, tiny_cache(lines=8), capacity_efficiency=1.0)
+        assert 0.0 < est.hit_rate < 0.2
+
+    def test_capacity_efficiency_bounds(self):
+        with pytest.raises(MemoryModelError):
+            hot_set_hit_rate(np.zeros(4, int), tiny_cache(), capacity_efficiency=0)
+
+    def test_agrees_with_exact_sim_on_skewed_trace(self, rng):
+        """The load-bearing validation: on a Zipf-like stationary trace
+        (what AC over natural text produces) the analytic model tracks
+        exact LRU within a few points."""
+        zipf = rng.zipf(1.5, size=20_000) % 500
+        cfg = TextureCacheConfig(size_bytes=4096, line_bytes=32, associativity=8)
+        sim = TextureCacheSim(cfg)
+        _, misses = sim.run_trace(zipf)
+        exact_rate = 1 - misses / zipf.size
+        est = hot_set_hit_rate(zipf, cfg)
+        assert est.hit_rate == pytest.approx(exact_rate, abs=0.08)
+
+    def test_monotone_in_cache_size(self, rng):
+        zipf = rng.zipf(1.3, size=5_000) % 1000
+        small = hot_set_hit_rate(zipf, tiny_cache(lines=8))
+        big = hot_set_hit_rate(zipf, tiny_cache(lines=128))
+        assert big.hit_rate >= small.hit_rate
+
+
+class TestSampleTrace:
+    def test_short_trace_returned_whole(self):
+        s, y = sample_trace(np.arange(10), np.arange(10), 100)
+        assert s.size == 10
+
+    def test_long_trace_contiguous_window(self):
+        states = np.arange(1000)
+        s, y = sample_trace(states, states, 64, seed=7)
+        assert s.size == 64
+        assert np.all(np.diff(s) == 1)  # contiguous

@@ -1,0 +1,65 @@
+"""Tests for the analytic-vs-mechanistic validation harness."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.gpu.validate import (
+    DEFAULT_SWEEP,
+    analytic_cycles,
+    run_validation,
+    validation_report,
+)
+from repro.gpu import gtx285
+
+
+class TestAnalyticCycles:
+    def test_pure_compute(self):
+        cfg = gtx285()
+        cycles, regime = analytic_cycles(4, 100, 10.0, 0.0, 500.0, cfg)
+        assert cycles == pytest.approx(4 * 100 * 10.0)
+        assert regime == "compute_bound"
+
+    def test_memory_dominates_at_high_miss_rate(self):
+        cfg = gtx285()
+        _, regime = analytic_cycles(4, 100, 5.0, 1.0, 500.0, cfg)
+        assert regime == "latency_bound"
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_validation(iters=300)
+
+    def test_covers_both_regimes(self, points):
+        regimes = {p.regime for p in points}
+        assert regimes == {"compute_bound", "latency_bound"}
+
+    def test_agreement_within_band(self, points):
+        """The repository's standing model-credibility claim."""
+        worst = max(abs(math.log(p.ratio)) for p in points)
+        assert worst <= 0.5, validation_report(points)
+
+    def test_compute_bound_points_are_tight(self, points):
+        for p in points:
+            if p.regime == "compute_bound" and p.miss_rate == 0.0:
+                assert p.ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_sweep_size(self, points):
+        assert len(points) == len(DEFAULT_SWEEP)
+
+
+class TestReport:
+    def test_report_renders_and_passes(self):
+        text = validation_report(run_validation(iters=200))
+        assert "PASS" in text
+        assert "analytic" in text
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ExperimentError):
+            validation_report(tolerance=0)
+
+    def test_report_fails_on_tight_tolerance(self):
+        text = validation_report(run_validation(iters=200), tolerance=1e-6)
+        assert "FAIL" in text

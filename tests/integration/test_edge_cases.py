@@ -1,0 +1,99 @@
+"""Edge-case stress tests across the whole stack.
+
+Pathological dictionaries and geometries that historically break AC
+implementations: patterns longer than chunks, single-byte dictionaries,
+pattern == whole text, overlap exceeding block staging, maximal
+alphabet usage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet, match_serial, naive_find_all
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_pfac_kernel, run_shared_kernel
+
+
+def all_kernels(dfa, text):
+    return {
+        "global": run_global_kernel(dfa, text, Device(), chunk_len=64),
+        "shared": run_shared_kernel(dfa, text, Device()),
+        "pfac": run_pfac_kernel(dfa, text, Device()),
+    }
+
+
+class TestLongPatterns:
+    def test_pattern_longer_than_thread_chunk(self):
+        # 100-byte pattern vs 64-byte shared chunks: every occurrence
+        # spans >= 2 chunks and the staging overlap exceeds one chunk.
+        pat = bytes(range(100))
+        dfa = DFA.build(PatternSet.from_bytes([pat]))
+        text = b"\xaa" * 37 + pat + b"\xbb" * 41 + pat + b"\xcc" * 11
+        expected = set(naive_find_all(dfa.patterns, text))
+        for name, r in all_kernels(dfa, text).items():
+            assert r.matches.as_set() == expected, name
+
+    def test_pattern_is_whole_text(self, paper_dfa):
+        dfa = DFA.build(PatternSet.from_bytes([b"exactly this"]))
+        r = run_shared_kernel(dfa, b"exactly this", Device())
+        assert r.matches.as_pairs() == [(11, 0)]
+
+    def test_pattern_longer_than_text(self):
+        dfa = DFA.build(PatternSet.from_bytes([b"looooooooooong"]))
+        assert len(match_serial(dfa, b"short")) == 0
+        r = run_shared_kernel(dfa, b"short", Device())
+        assert len(r.matches) == 0
+
+    def test_overlap_exceeds_block_chunk_in_shared_kernel(self):
+        # overlap (= maxlen-1 = 199) >> chunk_bytes (64): the staging
+        # buffer must grow accordingly and still fit / or raise clearly.
+        pat = b"x" * 200
+        dfa = DFA.build(PatternSet.from_bytes([pat]))
+        text = b"y" * 300 + pat + b"y" * 300
+        r = run_shared_kernel(dfa, text, Device())
+        assert r.matches.as_set() == set(naive_find_all(dfa.patterns, text))
+        assert r.launch.shared_bytes_per_block >= 128 * 64 + 199
+
+
+class TestDegenerateDictionaries:
+    def test_single_byte_pattern_matches_everywhere(self):
+        dfa = DFA.build(PatternSet.from_bytes([b"a"]))
+        text = b"a" * 500
+        for name, r in all_kernels(dfa, text).items():
+            assert len(r.matches) == 500, name
+
+    def test_all_256_single_bytes(self):
+        dfa = DFA.build(PatternSet.from_bytes([bytes([b]) for b in range(256)]))
+        text = bytes(range(256)) * 4
+        r = run_shared_kernel(dfa, text, Device())
+        assert len(r.matches) == 1024  # every byte matches its pattern
+
+    def test_self_overlapping_pattern_dense_text(self):
+        dfa = DFA.build(PatternSet.from_bytes([b"abab"]))
+        text = b"ab" * 200
+        expected = set(naive_find_all(dfa.patterns, text))
+        assert len(expected) == 199
+        for name, r in all_kernels(dfa, text).items():
+            assert r.matches.as_set() == expected, name
+
+    def test_nested_prefix_chain(self):
+        pats = [b"a" * k for k in range(1, 20)]
+        dfa = DFA.build(PatternSet.from_bytes(pats))
+        text = b"a" * 100
+        expected = set(naive_find_all(dfa.patterns, text))
+        r = run_shared_kernel(dfa, text, Device())
+        assert r.matches.as_set() == expected
+
+
+class TestTinyInputs:
+    @pytest.mark.parametrize("n", [1, 2, 15, 16, 17, 63, 64, 65])
+    def test_inputs_around_chunk_boundaries(self, paper_dfa, n):
+        text = (b"hers" * 20)[:n]
+        expected = set(naive_find_all(paper_dfa.patterns, text))
+        r = run_shared_kernel(paper_dfa, text, Device())
+        assert r.matches.as_set() == expected, n
+
+    def test_one_byte_input(self, paper_dfa):
+        r = run_global_kernel(paper_dfa, b"h", Device())
+        assert len(r.matches) == 0
+        assert r.counters.bytes_owned == 1

@@ -1,0 +1,58 @@
+"""Fuzz: kernels stay functionally exact under arbitrary device configs.
+
+The separation the repository guarantees — device parameters affect
+*timing only*, never matches — is fuzzed here: random (but valid)
+device configurations must leave every kernel's match set untouched and
+every counter bundle internally consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DFA, PatternSet, naive_find_all
+from repro.gpu import Device, DeviceConfig, TextureCacheConfig
+from repro.kernels import run_global_kernel, run_shared_kernel
+
+PATTERNS = PatternSet.from_strings(["ab", "abc", "bca", "aaaa", "cb"])
+DFA_ = DFA.build(PATTERNS)
+TEXT = (b"abcabcaaaabcacbacb" * 40)
+EXPECTED = set(naive_find_all(PATTERNS, TEXT))
+
+
+def device_configs():
+    return st.builds(
+        DeviceConfig,
+        sm_count=st.integers(min_value=1, max_value=64),
+        cores_per_sm=st.sampled_from([8, 16, 32]),
+        clock_ghz=st.floats(min_value=0.5, max_value=2.0),
+        shared_mem_per_sm=st.sampled_from([16 * 1024, 48 * 1024]),
+        global_latency_cycles=st.floats(min_value=100, max_value=1000),
+        memory_departure_cycles=st.floats(min_value=1, max_value=50),
+        texture_cache=st.builds(
+            TextureCacheConfig,
+            size_bytes=st.sampled_from([2048, 8192, 16384]),
+            associativity=st.sampled_from([2, 4, 8]),
+        ),
+        kernel_launch_overhead_us=st.floats(min_value=0, max_value=50),
+        dram_scatter_efficiency=st.floats(min_value=0.1, max_value=1.0),
+        overlap_inefficiency=st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(device_configs())
+def test_global_kernel_functionally_invariant(cfg):
+    r = run_global_kernel(DFA_, TEXT, Device(cfg))
+    assert r.matches.as_set() == EXPECTED
+    r.counters.validate()
+    assert r.seconds > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(device_configs(), st.sampled_from(["diagonal", "coalesce_only", "naive"]))
+def test_shared_kernel_functionally_invariant(cfg, scheme):
+    r = run_shared_kernel(DFA_, TEXT, Device(cfg), scheme=scheme)
+    assert r.matches.as_set() == EXPECTED
+    r.counters.validate()
+    assert r.seconds > 0

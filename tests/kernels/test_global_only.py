@@ -1,0 +1,92 @@
+"""Tests for the global-memory-only kernel (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import naive_find_all
+from repro.errors import LaunchError
+from repro.gpu import Device
+from repro.kernels import run_global_kernel
+
+
+class TestCorrectness:
+    def test_matches_equal_oracle(self, paper_dfa, paper_patterns):
+        text = b"ushers and sheriffs hiss at hers " * 100
+        r = run_global_kernel(paper_dfa, text, Device(), chunk_len=64)
+        assert r.matches.as_set() == set(naive_find_all(paper_patterns, text))
+
+    def test_chunk_len_invariance(self, english_dfa):
+        text = b"they say that she will make all of this work out " * 50
+        base = run_global_kernel(english_dfa, text, Device(), chunk_len=512)
+        for chunk in (17, 100, 4096):
+            r = run_global_kernel(english_dfa, text, Device(), chunk_len=chunk)
+            assert r.matches == base.matches
+
+    def test_empty_input_rejected(self, paper_dfa):
+        with pytest.raises(LaunchError):
+            run_global_kernel(paper_dfa, b"", Device())
+
+    def test_bad_chunk_len(self, paper_dfa):
+        with pytest.raises(LaunchError):
+            run_global_kernel(paper_dfa, b"abc", Device(), chunk_len=0)
+
+    def test_input_shorter_than_chunk(self, paper_dfa):
+        r = run_global_kernel(paper_dfa, b"ushers", Device(), chunk_len=4096)
+        assert r.matches.as_pairs() == [(3, 0), (3, 1), (5, 3)]
+
+
+class TestAccounting:
+    def test_uncoalesced_loads_dominate_transactions(self, paper_dfa):
+        text = bytes(100_000)
+        r = run_global_kernel(paper_dfa, text, Device(), chunk_len=512)
+        # Each scanned byte is an uncoalesced read: at chunk strides
+        # >= 128 B every lane is its own transaction.
+        assert r.counters.global_transactions >= r.counters.bytes_scanned * 0.9
+
+    def test_small_chunks_coalesce_partially(self, paper_dfa):
+        text = bytes(100_000)
+        wide = run_global_kernel(paper_dfa, text, Device(), chunk_len=512)
+        narrow = run_global_kernel(paper_dfa, text, Device(), chunk_len=32)
+        # 32-byte chunks put 4 lanes in each 128 B segment.
+        assert (
+            narrow.counters.global_transactions
+            < wide.counters.global_transactions
+        )
+
+    def test_no_shared_memory_used(self, paper_dfa):
+        r = run_global_kernel(paper_dfa, b"x" * 10000, Device())
+        assert r.counters.shared_accesses == 0
+        assert r.launch.shared_bytes_per_block == 0
+
+    def test_full_occupancy_without_shared(self, paper_dfa):
+        r = run_global_kernel(paper_dfa, b"x" * 100000, Device())
+        # 256-thread blocks, no shared: 4 blocks x 8 warps = 32 warps/SM.
+        assert r.occupancy.warps_per_sm == 32
+
+    def test_bytes_owned_equals_input(self, paper_dfa):
+        r = run_global_kernel(paper_dfa, b"y" * 5000, Device())
+        assert r.counters.bytes_owned == 5000
+        assert r.counters.bytes_scanned >= 5000
+
+    def test_counters_validate(self, paper_dfa):
+        import numpy as np
+
+        r = run_global_kernel(paper_dfa, b"hers" * 1000, Device())
+        r.counters.validate()
+        # One raw write per matched (position, state) hit; a hit can
+        # expand into several pattern ids, so compare against distinct
+        # match end positions.
+        assert r.counters.raw_match_writes >= np.unique(r.matches.ends).size
+
+    def test_usually_memory_bound(self, english_dfa):
+        # The kernel's defining property: uncoalesced input loads put it
+        # in the paper's Fig. 19(b) regime — bound by memory latency or
+        # by the bus, never by compute.
+        text = b"the quick brown fox jumps over the lazy dog " * 5000
+        r = run_global_kernel(english_dfa, text, Device())
+        assert r.timing.regime in ("latency_bound", "bandwidth_bound")
+
+    def test_summary_keys(self, paper_dfa):
+        s = run_global_kernel(paper_dfa, b"x" * 1000, Device()).summary()
+        assert s["kernel"] == "global_only"
+        assert s["gbps"] > 0

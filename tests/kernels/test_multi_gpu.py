@@ -1,0 +1,76 @@
+"""Tests for the multi-GPU partitioning extension."""
+
+import pytest
+
+from repro.core import DFA, PatternSet, match_serial, naive_find_all
+from repro.errors import LaunchError
+from repro.kernels import run_global_kernel
+from repro.kernels.multi_gpu import run_multi_gpu
+
+TEXT = b"she sells seashells; he and hers went there with his hat " * 400
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n_devices", [1, 2, 3, 7])
+    def test_matches_equal_single_device(self, paper_dfa, paper_patterns, n_devices):
+        expected = set(naive_find_all(paper_patterns, TEXT))
+        r = run_multi_gpu(paper_dfa, TEXT, n_devices)
+        assert r.matches.as_set() == expected
+
+    def test_boundary_straddling_matches_owned_once(self):
+        # Pattern spans every slice boundary; no loss, no duplication.
+        dfa = DFA.build(PatternSet.from_strings(["abcdef"]))
+        text = b"abcdef" * 50
+        for n in (2, 3, 5):
+            r = run_multi_gpu(dfa, text, n)
+            assert r.matches == match_serial(dfa, text), n
+
+    def test_more_devices_than_bytes(self, paper_dfa):
+        r = run_multi_gpu(paper_dfa, b"ushers", 64)
+        assert r.matches.as_pairs() == [(3, 0), (3, 1), (5, 3)]
+        assert r.n_devices <= 6
+
+    def test_alternate_kernel(self, paper_dfa):
+        r = run_multi_gpu(paper_dfa, TEXT, 2, kernel=run_global_kernel)
+        assert r.matches == match_serial(paper_dfa, TEXT)
+
+    def test_invalid_inputs(self, paper_dfa):
+        with pytest.raises(LaunchError):
+            run_multi_gpu(paper_dfa, TEXT, 0)
+        with pytest.raises(LaunchError):
+            run_multi_gpu(paper_dfa, b"", 2)
+
+
+class TestScaling:
+    def test_big_inputs_scale(self, english_dfa):
+        # Compute-dominated slices: more devices help.
+        text = TEXT * 180  # ~4 MB
+        t1 = run_multi_gpu(english_dfa, text, 1).seconds
+        t4 = run_multi_gpu(english_dfa, text, 4).seconds
+        assert t4 < t1
+
+    def test_scaling_efficiency_below_one(self, english_dfa):
+        text = TEXT * 180
+        t1 = run_multi_gpu(english_dfa, text, 1).seconds
+        r4 = run_multi_gpu(english_dfa, text, 4)
+        eff = r4.scaling_efficiency(t1)
+        # Dispatch overhead + fixed launch costs: sublinear scaling.
+        assert 0.1 < eff < 1.0
+
+    def test_tiny_inputs_do_not_scale(self, english_dfa):
+        # Launch+dispatch dominated: adding devices hurts — the serial
+        # fraction the extension makes explicit.
+        t1 = run_multi_gpu(english_dfa, TEXT, 1).seconds
+        t8 = run_multi_gpu(english_dfa, TEXT, 8).seconds
+        assert t8 > t1
+
+    def test_throughput_aggregates(self, english_dfa):
+        r = run_multi_gpu(english_dfa, TEXT, 2)
+        assert r.throughput_gbps == pytest.approx(
+            len(TEXT) * 8 / r.seconds / 1e9
+        )
+
+    def test_per_device_results_exposed(self, english_dfa):
+        r = run_multi_gpu(english_dfa, TEXT, 3)
+        assert len(r.per_device) == 3
+        assert all(k.name == "shared_memory" for k in r.per_device)

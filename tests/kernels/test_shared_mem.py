@@ -1,0 +1,147 @@
+"""Tests for the shared-memory kernel and its store schemes."""
+
+import pytest
+
+from repro.core import naive_find_all
+from repro.errors import LaunchError
+from repro.gpu import Device
+from repro.kernels import run_shared_kernel
+
+TEXT = b"she sells seashells; he and hers went there with his hat " * 300
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "scheme", ["diagonal", "coalesce_only", "naive", "transposed"]
+    )
+    def test_every_scheme_matches_oracle(self, paper_dfa, paper_patterns, scheme):
+        r = run_shared_kernel(paper_dfa, TEXT, Device(), scheme=scheme)
+        assert r.matches.as_set() == set(naive_find_all(paper_patterns, TEXT))
+
+    def test_matches_equal_global_kernel(self, english_dfa):
+        from repro.kernels import run_global_kernel
+
+        g = run_global_kernel(english_dfa, TEXT, Device())
+        s = run_shared_kernel(english_dfa, TEXT, Device())
+        assert g.matches == s.matches
+
+    def test_scheme_never_changes_matches(self, english_dfa):
+        results = [
+            run_shared_kernel(english_dfa, TEXT, Device(), scheme=s).matches
+            for s in ("diagonal", "coalesce_only", "naive", "transposed")
+        ]
+        assert all(r == results[0] for r in results)
+
+    def test_empty_input_rejected(self, paper_dfa):
+        with pytest.raises(LaunchError):
+            run_shared_kernel(paper_dfa, b"", Device())
+
+    def test_unknown_scheme_rejected(self, paper_dfa):
+        from repro.errors import MemoryModelError
+
+        with pytest.raises(MemoryModelError):
+            run_shared_kernel(paper_dfa, b"abc", Device(), scheme="bogus")
+
+    def test_oversized_staging_rejected(self, paper_dfa):
+        with pytest.raises(LaunchError, match="shared memory"):
+            run_shared_kernel(
+                paper_dfa,
+                b"abcd" * 100,
+                Device(),
+                threads_per_block=256,
+                chunk_bytes=128,  # 32 KB > 16 KB shared
+            )
+
+
+class TestAccounting:
+    def test_diagonal_is_conflict_free(self, paper_dfa):
+        r = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="diagonal")
+        assert r.counters.avg_conflict_degree == pytest.approx(1.0)
+        assert r.counters.bank_conflict_excess == 0
+
+    def test_coalesce_only_conflicts_on_loads(self, paper_dfa):
+        r = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="coalesce_only")
+        assert r.counters.bank_conflict_excess > 0
+
+    def test_naive_has_most_serialization(self, paper_dfa):
+        co = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="coalesce_only")
+        nv = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="naive")
+        assert (
+            nv.counters.shared_serialized_accesses
+            > co.counters.shared_serialized_accesses
+        )
+
+    def test_staging_is_coalesced(self, paper_dfa):
+        r = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="diagonal")
+        # Cooperative staging: ~1 transaction per half-warp access.
+        ratio = r.counters.global_transactions / max(
+            r.counters.global_warp_events, 1
+        )
+        assert ratio <= 1.5
+
+    def test_naive_staging_scatters(self, paper_dfa):
+        co = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="coalesce_only")
+        nv = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="naive")
+        assert (
+            nv.counters.global_transactions
+            > 4 * co.counters.global_transactions
+        )
+
+    def test_shared_kernel_faster_than_global(self, english_dfa):
+        """Paper Fig. 22: the whole point of the shared approach."""
+        from repro.kernels import run_global_kernel
+
+        g = run_global_kernel(english_dfa, TEXT, Device())
+        s = run_shared_kernel(english_dfa, TEXT, Device(), scheme="diagonal")
+        assert s.seconds < g.seconds
+
+    def test_diagonal_faster_than_conflicting_schemes(self, english_dfa):
+        """Paper Fig. 23: the store scheme pays."""
+        d = run_shared_kernel(english_dfa, TEXT, Device(), scheme="diagonal")
+        n = run_shared_kernel(english_dfa, TEXT, Device(), scheme="naive")
+        assert d.seconds < n.seconds
+
+    def test_scheme_recorded_on_result(self, paper_dfa):
+        r = run_shared_kernel(paper_dfa, TEXT, Device(), scheme="diagonal")
+        assert r.scheme == "diagonal"
+        assert r.summary()["scheme"] == "diagonal"
+
+    def test_custom_geometry(self, paper_dfa):
+        r = run_shared_kernel(
+            paper_dfa,
+            TEXT,
+            Device(),
+            threads_per_block=256,
+            chunk_bytes=32,
+        )
+        assert r.matches.as_set() == set(
+            naive_find_all(paper_dfa.patterns, TEXT)
+        )
+        assert r.launch.shared_bytes_per_block >= 8 * 1024
+
+    def test_counters_validate(self, paper_dfa):
+        r = run_shared_kernel(paper_dfa, TEXT, Device())
+        r.counters.validate()
+
+
+class TestTexturePlacementAblation:
+    def test_uncached_stt_same_matches(self, english_dfa):
+        cached = run_shared_kernel(english_dfa, TEXT, Device())
+        uncached = run_shared_kernel(
+            english_dfa, TEXT, Device(), stt_in_texture=False
+        )
+        assert cached.matches == uncached.matches
+
+    def test_texture_placement_always_pays(self, english_dfa):
+        """The paper's Section IV-B-2 design choice, quantified."""
+        cached = run_shared_kernel(english_dfa, TEXT, Device())
+        uncached = run_shared_kernel(
+            english_dfa, TEXT, Device(), stt_in_texture=False
+        )
+        assert cached.seconds < uncached.seconds
+
+    def test_uncached_is_memory_bound(self, english_dfa):
+        r = run_shared_kernel(
+            english_dfa, TEXT, Device(), stt_in_texture=False
+        )
+        assert r.timing.regime in ("latency_bound", "bandwidth_bound")

@@ -1,0 +1,40 @@
+"""Execute the doctests embedded in module/class docstrings.
+
+The documented examples (e.g. :class:`repro.core.streaming.StreamMatcher`'s
+feed sequence, the package quickstart) must actually run — stale doc
+examples are documentation bugs.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.streaming
+import repro.matcher
+
+MODULES_WITH_EXAMPLES = [
+    repro.core.streaming,
+    repro.matcher,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0
+
+
+def test_package_quickstart_docstring():
+    """The `repro` package docstring's quickstart snippet runs.
+
+    The package docstring uses a prose code block, not >>> format;
+    execute it manually to keep it honest.
+    """
+    from repro import PatternSet, DFA, match_serial
+
+    dfa = DFA.build(PatternSet.from_strings(["he", "she", "his", "hers"]))
+    assert match_serial(dfa, "ushers").as_pairs() == [(3, 0), (3, 1), (5, 3)]

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AutomatonError,
+    ChunkingError,
+    DeviceError,
+    ExperimentError,
+    LaunchError,
+    MemoryModelError,
+    PatternError,
+    ReproError,
+    SerializationError,
+)
+
+ALL = [
+    AutomatonError,
+    ChunkingError,
+    DeviceError,
+    ExperimentError,
+    LaunchError,
+    MemoryModelError,
+    PatternError,
+    SerializationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL)
+    def test_every_error_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_launch_error_is_device_error(self):
+        assert issubclass(LaunchError, DeviceError)
+
+    def test_memory_model_error_is_device_error(self):
+        assert issubclass(MemoryModelError, DeviceError)
+
+    def test_single_catch_covers_library_failures(self):
+        """The documented usage contract: one except clause suffices."""
+        from repro.core import PatternSet
+
+        caught = None
+        try:
+            PatternSet([])
+        except ReproError as exc:
+            caught = exc
+        assert isinstance(caught, PatternError)

@@ -1,0 +1,101 @@
+"""Tests for the antivirus/binary workload generators."""
+
+import pytest
+
+from repro.core import DFA, match_serial
+from repro.errors import ReproError
+from repro.workload.binary import (
+    implant_signatures,
+    signature_dictionary,
+    synthetic_executable,
+)
+
+
+class TestExecutable:
+    def test_length_and_determinism(self):
+        a = synthetic_executable(50_000, seed=1)
+        b = synthetic_executable(50_000, seed=1)
+        assert len(a) == 50_000 and a == b
+        assert synthetic_executable(50_000, seed=2) != a
+
+    def test_contains_zero_runs_and_strings(self):
+        data = synthetic_executable(200_000, seed=3)
+        assert b"\x00" * 32 in data          # padding sections
+        assert b".text" in data or b"GLIBC" in data  # string table
+
+    def test_full_byte_alphabet(self):
+        data = synthetic_executable(200_000, seed=4)
+        assert len(set(data)) > 200  # high-entropy sections cover bytes
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ReproError):
+            synthetic_executable(10, code_fraction=0.9, zero_fraction=0.2)
+        with pytest.raises(ReproError):
+            synthetic_executable(-1)
+
+    def test_empty(self):
+        assert synthetic_executable(0) == b""
+
+
+class TestSignatures:
+    def test_count_lengths_distinct(self):
+        ps = signature_dictionary(100, seed=1)
+        assert len(ps) == 100
+        lengths = ps.lengths()
+        assert lengths.min() >= 8 and lengths.max() <= 24
+
+    def test_no_zero_led_signatures(self):
+        ps = signature_dictionary(200, seed=2)
+        assert all(p[0] != 0 for p in ps.as_bytes_list())
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            signature_dictionary(0)
+        with pytest.raises(ReproError):
+            signature_dictionary(5, min_len=1)
+
+
+class TestImplanting:
+    def test_ground_truth_found_by_scan(self):
+        sigs = signature_dictionary(50, seed=3)
+        clean = synthetic_executable(100_000, seed=4)
+        infected, truth = implant_signatures(clean, sigs, 20, seed=5)
+        assert len(truth) == 20
+        dfa = DFA.build(sigs)
+        found = match_serial(dfa, infected)
+        lengths = sigs.lengths()
+        found_starts = {
+            (int(e - lengths[p] + 1), int(p))
+            for e, p in zip(found.ends, found.pattern_ids)
+        }
+        for start, pid in truth:
+            assert (start, pid) in found_starts, (start, pid)
+
+    def test_false_positive_rate_is_low(self):
+        # High-entropy 8+ byte signatures essentially never occur by
+        # chance in 100 KB.
+        sigs = signature_dictionary(50, seed=6)
+        clean = synthetic_executable(100_000, seed=7)
+        dfa = DFA.build(sigs)
+        assert len(match_serial(dfa, clean)) == 0
+
+    def test_implants_do_not_overlap(self):
+        sigs = signature_dictionary(10, seed=8)
+        clean = synthetic_executable(50_000, seed=9)
+        infected, truth = implant_signatures(clean, sigs, 15, seed=10)
+        lengths = sigs.lengths()
+        spans = sorted(
+            (start, start + int(lengths[pid])) for start, pid in truth
+        )
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_zero_implants(self):
+        sigs = signature_dictionary(5, seed=11)
+        data, truth = implant_signatures(b"\x01" * 1000, sigs, 0)
+        assert truth == [] and data == b"\x01" * 1000
+
+    def test_data_too_small(self):
+        sigs = signature_dictionary(5, seed=12)
+        with pytest.raises(ReproError):
+            implant_signatures(b"\x01\x02", sigs, 1)

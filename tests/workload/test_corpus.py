@@ -1,0 +1,89 @@
+"""Tests for the magazine-corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import CORE_VOCABULARY, MagazineCorpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return MagazineCorpus(seed=42, vocabulary_size=2000)
+
+
+class TestDeterminism:
+    def test_same_seed_same_text(self):
+        a = MagazineCorpus(seed=7, vocabulary_size=1000).generate(10_000)
+        b = MagazineCorpus(seed=7, vocabulary_size=1000).generate(10_000)
+        assert a == b
+
+    def test_different_seed_different_text(self):
+        a = MagazineCorpus(seed=7, vocabulary_size=1000).generate(10_000)
+        b = MagazineCorpus(seed=8, vocabulary_size=1000).generate(10_000)
+        assert a != b
+
+    def test_stream_seed_varies_text_not_vocab(self, corpus):
+        a = corpus.generate(5_000, stream_seed=1)
+        b = corpus.generate(5_000, stream_seed=2)
+        assert a != b
+
+
+class TestShape:
+    def test_exact_length(self, corpus):
+        for n in (0, 1, 100, 12_345):
+            assert len(corpus.generate(n)) == n
+
+    def test_negative_rejected(self, corpus):
+        with pytest.raises(ReproError):
+            corpus.generate(-1)
+
+    def test_ascii_prose_alphabet(self, corpus):
+        text = corpus.generate(20_000)
+        allowed = set(b"abcdefghijklmnopqrstuvwxyz"
+                      b"ABCDEFGHIJKLMNOPQRSTUVWXYZ. ")
+        assert set(text) <= allowed
+
+    def test_contains_sentences(self, corpus):
+        text = corpus.generate(20_000)
+        assert b". " in text
+        assert text.count(b" ") > 1000
+
+    def test_array_form(self, corpus):
+        arr = corpus.generate_array(1000)
+        assert arr.dtype == np.uint8 and arr.size == 1000
+
+
+class TestStatistics:
+    def test_zipf_head_dominates(self, corpus):
+        """'the' should be among the most frequent tokens (Zipf head)."""
+        words = corpus.generate(200_000).lower().split()
+        counts = {}
+        for w in words:
+            counts[w.strip(b".")] = counts.get(w.strip(b"."), 0) + 1
+        top10 = sorted(counts, key=counts.get, reverse=True)[:10]
+        assert b"the" in top10
+
+    def test_mean_word_length_prose_like(self, corpus):
+        words = corpus.generate(100_000).split()
+        mean = sum(len(w) for w in words) / len(words)
+        assert 3.0 <= mean <= 8.0
+
+    def test_e_is_frequent_letter(self, corpus):
+        text = corpus.generate(100_000).lower()
+        counts = {c: text.count(bytes([c])) for c in range(ord("a"), ord("z") + 1)}
+        top5 = sorted(counts, key=counts.get, reverse=True)[:5]
+        assert ord("e") in top5
+
+    def test_vocabulary_includes_core_words(self, corpus):
+        vocab = set(corpus.vocabulary)
+        assert b"the" in vocab and b"government" in vocab
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(ReproError):
+            MagazineCorpus(vocabulary_size=10)
+
+    def test_vocabulary_size_honoured(self):
+        c = MagazineCorpus(seed=1, vocabulary_size=len(CORE_VOCABULARY) + 50)
+        assert len(c.vocabulary) == len(CORE_VOCABULARY) + 50
+        assert len(set(c.vocabulary)) == len(c.vocabulary)  # distinct

@@ -1,0 +1,97 @@
+"""Tests for the DNA workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, match_serial
+from repro.errors import ReproError
+from repro.workload.dna import (
+    RESTRICTION_SITES,
+    expected_iid_occurrences,
+    motif_dictionary,
+    synthetic_genome,
+)
+
+
+class TestGenome:
+    def test_length_and_alphabet(self):
+        g = synthetic_genome(10_000, seed=1)
+        assert len(g) == 10_000
+        assert set(g) <= set(b"ACGT")
+
+    def test_deterministic(self):
+        assert synthetic_genome(5_000, seed=3) == synthetic_genome(5_000, seed=3)
+        assert synthetic_genome(5_000, seed=3) != synthetic_genome(5_000, seed=4)
+
+    def test_gc_content_respected(self):
+        g = synthetic_genome(200_000, seed=2, gc_content=0.6, repeat_fraction=0)
+        gc = (g.count(b"G"[0]) + g.count(b"C"[0])) / len(g)
+        assert gc == pytest.approx(0.6, abs=0.02)
+
+    def test_repeats_create_low_complexity_regions(self):
+        g = synthetic_genome(100_000, seed=5, repeat_fraction=0.3)
+        # Tandem repeats leave detectable periodicity: some 10-mer
+        # occurs implausibly often for IID sequence.
+        counts = {}
+        for i in range(0, len(g) - 10, 7):
+            counts[g[i : i + 10]] = counts.get(g[i : i + 10], 0) + 1
+        assert max(counts.values()) > 10
+
+    def test_empty_and_invalid(self):
+        assert synthetic_genome(0) == b""
+        with pytest.raises(ReproError):
+            synthetic_genome(-1)
+        with pytest.raises(ReproError):
+            synthetic_genome(10, gc_content=1.5)
+        with pytest.raises(ReproError):
+            synthetic_genome(10, repeat_fraction=1.0)
+
+
+class TestMotifs:
+    def test_count_and_distinctness(self):
+        ps = motif_dictionary(50, seed=1)
+        assert len(ps) == 50
+        assert len(set(ps.as_bytes_list())) == 50
+
+    def test_restriction_sites_included(self):
+        ps = motif_dictionary(50, seed=1)
+        blobs = ps.as_bytes_list()
+        assert b"GAATTC" in blobs  # EcoRI
+
+    def test_restriction_sites_can_be_excluded(self):
+        ps = motif_dictionary(20, seed=1, include_restriction_sites=False)
+        assert b"GAATTC" not in ps.as_bytes_list()
+
+    def test_extracted_motifs_occur_in_genome(self):
+        g = synthetic_genome(100_000, seed=9)
+        ps = motif_dictionary(40, genome=g, seed=2)
+        dfa = DFA.build(ps)
+        assert len(match_serial(dfa, g)) > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            motif_dictionary(0)
+        with pytest.raises(ReproError):
+            motif_dictionary(5, min_len=10, max_len=5)
+
+
+class TestExpectedOccurrences:
+    def test_matches_empirical_iid_rate(self):
+        g = synthetic_genome(500_000, seed=11, repeat_fraction=0.0)
+        k = 6
+        expected = expected_iid_occurrences(len(g), k)
+        # Scan many random 6-mers; the mean count should track the formula.
+        rng = np.random.default_rng(0)
+        motifs = [
+            bytes(np.frombuffer(b"ACGT", dtype=np.uint8)[rng.integers(0, 4, k)])
+            for _ in range(30)
+        ]
+        from repro.core import PatternSet
+
+        dfa = DFA.build(PatternSet.from_bytes(motifs))
+        counts = match_serial(dfa, g).count_by_pattern(len(motifs))
+        assert counts.mean() == pytest.approx(expected, rel=0.5)
+
+    def test_degenerate_inputs(self):
+        assert expected_iid_occurrences(5, 10) == 0.0
+        assert expected_iid_occurrences(100, 0) == 0.0

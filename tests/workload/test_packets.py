@@ -1,0 +1,89 @@
+"""Tests for the packet-stream workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet, match_serial
+from repro.errors import ReproError
+from repro.workload.packets import BENIGN_TEMPLATES, generate_stream
+
+ATTACKS = [b"GET /admin HTTP/1.1\r\n\r\n", b"\x90\x90\x90\x90/bin/sh"]
+
+
+class TestGeneration:
+    def test_packet_count_and_offsets(self):
+        s = generate_stream(100, ATTACKS, seed=1)
+        assert s.n_packets == 100
+        assert s.offsets[0] == 0
+        assert s.offsets[-1] == len(s.payload)
+        assert np.all(np.diff(s.offsets) > 0)
+
+    def test_deterministic(self):
+        a = generate_stream(50, ATTACKS, seed=3)
+        b = generate_stream(50, ATTACKS, seed=3)
+        assert a.payload == b.payload and a.attack_labels == b.attack_labels
+
+    def test_attack_rate_respected(self):
+        s = generate_stream(2000, ATTACKS, attack_rate=0.2, seed=4)
+        rate = sum(s.attack_labels) / s.n_packets
+        assert rate == pytest.approx(0.2, abs=0.04)
+
+    def test_zero_attack_rate_allows_empty_payloads(self):
+        s = generate_stream(10, [], attack_rate=0.0)
+        assert not any(s.attack_labels)
+
+    def test_benign_packets_use_templates(self):
+        s = generate_stream(50, ATTACKS, attack_rate=0.0, seed=5)
+        assert all(
+            pkt.startswith((b"GET", b"POST", b"HTTP/1.1"))
+            for pkt in (s.packet(i) for i in range(s.n_packets))
+        )
+        assert all(b"%s" not in pkt for pkt in
+                   (s.packet(i) for i in range(s.n_packets)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_packets=0, attack_payloads=ATTACKS),
+            dict(n_packets=5, attack_payloads=ATTACKS, attack_rate=1.5),
+            dict(n_packets=5, attack_payloads=[], attack_rate=0.5),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ReproError):
+            generate_stream(**kwargs)
+
+
+class TestMapping:
+    def test_packet_accessor(self):
+        s = generate_stream(20, ATTACKS, seed=6)
+        rebuilt = b"".join(s.packet(i) for i in range(s.n_packets))
+        assert rebuilt == s.payload
+
+    def test_packet_index_bounds(self):
+        s = generate_stream(5, ATTACKS, seed=7)
+        with pytest.raises(ReproError):
+            s.packet(5)
+
+    def test_position_mapping(self):
+        s = generate_stream(10, ATTACKS, seed=8)
+        # First byte of each packet maps back to its own index.
+        firsts = s.offsets[:-1]
+        assert s.packet_of_position(firsts).tolist() == list(range(10))
+        # Last byte too.
+        lasts = s.offsets[1:] - 1
+        assert s.packet_of_position(lasts).tolist() == list(range(10))
+
+    def test_position_bounds(self):
+        s = generate_stream(3, ATTACKS, seed=9)
+        with pytest.raises(ReproError):
+            s.packet_of_position(np.array([len(s.payload)]))
+
+
+class TestEndToEndScan:
+    def test_attack_detection_pipeline(self):
+        s = generate_stream(500, ATTACKS, attack_rate=0.1, seed=10)
+        dfa = DFA.build(PatternSet.from_bytes([b"/admin", b"\x90\x90\x90\x90"]))
+        matches = match_serial(dfa, s.payload)
+        flagged = set(s.packet_of_position(matches.ends).tolist())
+        assert flagged == set(s.attack_packet_indices)

@@ -1,0 +1,105 @@
+"""Tests for pattern extraction and the dataset factory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import (
+    DatasetFactory,
+    MagazineCorpus,
+    PAPER_PATTERN_COUNTS,
+    PAPER_SIZES,
+    extract_patterns,
+)
+
+
+@pytest.fixture(scope="module")
+def source():
+    return MagazineCorpus(seed=5, vocabulary_size=3000).generate(500_000)
+
+
+class TestExtractPatterns:
+    def test_count_and_distinctness(self, source):
+        ps = extract_patterns(source, 500, seed=1)
+        assert len(ps) == 500
+        assert len(set(ps.as_bytes_list())) == 500
+
+    def test_patterns_occur_in_source(self, source):
+        ps = extract_patterns(source, 100, seed=2)
+        for pat in ps.as_bytes_list()[:20]:
+            assert pat in source
+
+    def test_length_bounds(self, source):
+        ps = extract_patterns(source, 300, seed=3)
+        lengths = ps.lengths()
+        assert lengths.min() >= 4 and lengths.max() <= 16
+
+    def test_deterministic(self, source):
+        a = extract_patterns(source, 50, seed=9)
+        b = extract_patterns(source, 50, seed=9)
+        assert a == b
+
+    def test_seed_changes_selection(self, source):
+        a = extract_patterns(source, 50, seed=1)
+        b = extract_patterns(source, 50, seed=2)
+        assert a != b
+
+    def test_invalid_args(self, source):
+        with pytest.raises(ReproError):
+            extract_patterns(source, 0)
+        with pytest.raises(ReproError):
+            extract_patterns(b"tiny", 5)
+        with pytest.raises(ReproError):
+            extract_patterns(source, 10, min_len=20, max_len=10)
+
+    def test_impossible_count_raises(self):
+        tiny = b"aaaa bbbb cccc dddd " * 2
+        with pytest.raises(ReproError, match="distinct patterns"):
+            extract_patterns(tiny, 10_000)
+
+
+class TestDatasetFactory:
+    def test_scale_bounds(self):
+        with pytest.raises(ReproError):
+            DatasetFactory(scale=0)
+        with pytest.raises(ReproError):
+            DatasetFactory(scale=1.5)
+
+    def test_sim_bytes_floor(self):
+        f = DatasetFactory(scale=0.001)
+        # The floor (200 KB) never exceeds the paper size itself.
+        assert f.sim_bytes_for(PAPER_SIZES["50KB"]) == 50_000
+        assert f.sim_bytes_for(PAPER_SIZES["200MB"]) == 200_000
+
+    def test_cell_materialization(self):
+        f = DatasetFactory(scale=0.001)
+        cell = f.cell("1MB", 100)
+        assert cell.paper_bytes == 1_000_000
+        assert cell.sim_bytes == 200_000  # floor applies
+        assert cell.data.size == cell.sim_bytes
+        assert len(cell.patterns) == 100
+        assert cell.scale == pytest.approx(0.2)
+
+    def test_caching_returns_same_objects(self):
+        f = DatasetFactory(scale=0.001)
+        a = f.cell("50KB", 100)
+        b = f.cell("50KB", 100)
+        assert a.data is b.data
+        assert a.patterns is b.patterns
+
+    def test_unknown_size_label(self):
+        f = DatasetFactory(scale=0.01)
+        with pytest.raises(ReproError, match="unknown size label"):
+            f.text_for("3TB")
+
+    def test_grid_covers_requested_cells(self):
+        f = DatasetFactory(scale=0.001)
+        cells = f.grid(sizes=["50KB", "1MB"], pattern_counts=[100])
+        assert [(c.size_label, c.n_patterns) for c in cells] == [
+            ("50KB", 100),
+            ("1MB", 100),
+        ]
+
+    def test_paper_constants(self):
+        assert set(PAPER_SIZES) == {"50KB", "1MB", "10MB", "100MB", "200MB"}
+        assert PAPER_PATTERN_COUNTS == (100, 1_000, 5_000, 10_000, 20_000)

@@ -1,0 +1,95 @@
+"""Tests for the Snort-rule parser substrate."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import parse_rule, parse_rules, rules_to_patterns
+
+RULE = (
+    'alert tcp any any -> any 80 (msg:"admin probe"; '
+    'content:"GET /admin"; sid:1000001;)'
+)
+
+
+class TestParseRule:
+    def test_basic_fields(self):
+        r = parse_rule(RULE)
+        assert r.action == "alert"
+        assert r.protocol == "tcp"
+        assert r.msg == "admin probe"
+        assert r.sid == 1000001
+        assert r.contents == (b"GET /admin",)
+        assert not r.nocase
+
+    def test_hex_escape(self):
+        r = parse_rule(
+            'alert tcp any any -> any any (content:"|90 90|ABC|00|"; sid:7;)'
+        )
+        assert r.contents == (b"\x90\x90ABC\x00",)
+
+    def test_multiple_contents(self):
+        r = parse_rule(
+            'alert tcp any any -> any any '
+            '(content:"user="; content:"passwd="; sid:8;)'
+        )
+        assert r.contents == (b"user=", b"passwd=")
+
+    def test_nocase_flag(self):
+        r = parse_rule(
+            'alert tcp any any -> any any (content:"SELECT"; nocase; sid:9;)'
+        )
+        assert r.nocase
+
+    def test_malformed_rule(self):
+        with pytest.raises(ReproError, match="malformed"):
+            parse_rule("this is not a rule")
+
+    def test_rule_without_content(self):
+        with pytest.raises(ReproError, match="no content"):
+            parse_rule('alert tcp any any -> any any (msg:"x"; sid:1;)')
+
+    def test_odd_hex_rejected(self):
+        with pytest.raises(ReproError, match="hex"):
+            parse_rule('alert tcp any any -> any any (content:"|ABC|"; sid:2;)')
+
+    def test_bad_sid_rejected(self):
+        with pytest.raises(ReproError, match="sid"):
+            parse_rule('alert tcp any any -> any any (content:"x"; sid:abc;)')
+
+
+class TestParseRules:
+    def test_comments_and_blanks_skipped(self):
+        body = f"# header comment\n\n{RULE}\n  \n{RULE.replace('1000001', '1000002')}\n"
+        rules = parse_rules(body)
+        assert [r.sid for r in rules] == [1000001, 1000002]
+
+
+class TestRulesToPatterns:
+    def test_flattening_and_ownership(self):
+        rules = parse_rules(
+            'alert tcp any any -> any any (content:"aaa"; sid:1;)\n'
+            'alert tcp any any -> any any (content:"bbb"; content:"ccc"; sid:2;)\n'
+        )
+        ps, owners = rules_to_patterns(rules)
+        assert ps.as_bytes_list() == [b"aaa", b"bbb", b"ccc"]
+        assert owners == [(0, 1), (1, 2), (1, 2)]
+
+    def test_nocase_lowercases(self):
+        rules = parse_rules(
+            'alert tcp any any -> any any (content:"SELECT"; nocase; sid:3;)\n'
+        )
+        ps, _ = rules_to_patterns(rules)
+        assert ps.as_bytes_list() == [b"select"]
+
+    def test_duplicate_contents_merged(self):
+        rules = parse_rules(
+            'alert tcp any any -> any any (content:"dup"; sid:1;)\n'
+            'alert tcp any any -> any any (content:"dup"; sid:2;)\n'
+        )
+        ps, owners = rules_to_patterns(rules)
+        assert len(ps) == 1
+        assert owners == [(0, 1)]
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ReproError):
+            rules_to_patterns([])
