@@ -118,6 +118,51 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--text-file", required=True, help="input bytes")
     m.add_argument("--kernel", default="shared",
                    choices=["shared", "global", "pfac"])
+    m.add_argument(
+        "--resilient", action="store_true",
+        help="scan through the resilient pipeline (retry + backend "
+        "fallback) and print its health report",
+    )
+    m.add_argument(
+        "--chain", default="gpu,double_array,serial",
+        help="resilient fallback chain, comma list (default "
+        "gpu,double_array,serial)",
+    )
+    m.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per backend for transient faults (default 2)",
+    )
+    m.add_argument(
+        "--inject", default=None,
+        help="comma list of fault kinds to inject (testing aid), e.g. "
+        "stt_bitflip,launch_failure; see 'repro-ac campaign' for kinds",
+    )
+    m.add_argument(
+        "--inject-seed", type=int, default=0,
+        help="seed for injected fault payloads (default 0)",
+    )
+    m.add_argument(
+        "--inject-persistent", action="store_true",
+        help="make injected faults survive retries (forces fallbacks)",
+    )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run the fault-injection campaign against the serial oracle",
+    )
+    camp.add_argument(
+        "--trials", type=int, default=40,
+        help="seeded trials per fault class (default 40)",
+    )
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument(
+        "--kinds", default=None,
+        help="comma list of fault kinds (default: all)",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per backend inside each trial (default 2)",
+    )
     return p
 
 
@@ -215,6 +260,91 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_match_resilient(args, patterns, text) -> int:
+    from repro.core import PatternSet
+    from repro.errors import ReproError
+    from repro.resilience import (
+        FaultInjector,
+        FaultKind,
+        FaultPlan,
+        Fault,
+        ResilientMatcher,
+    )
+
+    injector = None
+    if args.inject:
+        try:
+            faults = [
+                Fault(
+                    kind=FaultKind(tok.strip()),
+                    seed=args.inject_seed,
+                    persistent=args.inject_persistent,
+                )
+                for tok in args.inject.split(",")
+                if tok.strip()
+            ]
+        except ValueError:
+            valid = ", ".join(k.value for k in FaultKind)
+            print(f"error: unknown fault kind in --inject {args.inject!r}; "
+                  f"valid kinds: {valid}")
+            return 2
+        injector = FaultInjector(FaultPlan(faults))
+    chain = tuple(s.strip() for s in args.chain.split(",") if s.strip())
+    try:
+        rm = ResilientMatcher(
+            PatternSet.from_strings(patterns),
+            chain=chain,
+            max_retries=args.retries,
+            injector=injector,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        result, health = rm.scan_with_health(text)
+    except Exception as exc:
+        print(f"scan failed: {type(exc).__name__}: {exc}")
+        if rm.last_health is not None:
+            print()
+            print(rm.last_health.render())
+        return 1
+    print(f"matches       : {len(result)}")
+    for m in list(result)[:10]:
+        print(f"  end={m.end} pattern={m.pattern_id}")
+    if len(result) > 10:
+        print(f"  ... {len(result) - 10} more")
+    print()
+    print(health.render())
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.resilience import FaultKind, run_campaign
+
+    if args.trials < 1:
+        print("error: --trials must be >= 1 (a 0-trial campaign would "
+              "hold its invariant vacuously)")
+        return 2
+    kinds = None
+    if args.kinds:
+        try:
+            kinds = [FaultKind(tok.strip()) for tok in args.kinds.split(",")
+                     if tok.strip()]
+        except ValueError:
+            valid = ", ".join(k.value for k in FaultKind)
+            print(f"error: unknown fault kind in --kinds {args.kinds!r}; "
+                  f"valid kinds: {valid}")
+            return 2
+    report = run_campaign(
+        kinds=kinds,
+        trials_per_kind=args.trials,
+        seed=args.seed,
+        max_retries=args.retries,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_match(args) -> int:
     from repro.core import DFA, PatternSet
     from repro.kernels import (
@@ -227,6 +357,8 @@ def _cmd_match(args) -> int:
         patterns = [line.rstrip("\n") for line in fh if line.strip()]
     with open(args.text_file, "rb") as fh:
         text = fh.read()
+    if args.resilient:
+        return _cmd_match_resilient(args, patterns, text)
     dfa = DFA.build(PatternSet.from_strings(patterns))
     kernel = {
         "shared": run_shared_kernel,
@@ -275,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_dot(args)
     if args.command == "match":
         return _cmd_match(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse guards
 
 

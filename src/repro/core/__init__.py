@@ -11,11 +11,23 @@ from repro.core.automaton import AhoCorasickAutomaton, naive_find_all
 from repro.core.chunking import ChunkPlan, plan_chunks, required_overlap
 from repro.core.dfa import DFA, build_dfa
 from repro.core.double_array import DoubleArrayAC
+from repro.core.integrity import (
+    crc32_bytes,
+    stt_row_checksums,
+    verify_row_checksums,
+)
 from repro.core.lockstep import match_text_lockstep
 from repro.core.match import Match, MatchResult
 from repro.core.pattern_set import PatternSet, PatternStats
 from repro.core.serial import match_serial, match_serial_python
-from repro.core.serialization import load_dfa, save_dfa, validate_dfa, validate_stt
+from repro.core.serialization import (
+    LoadedDFA,
+    load_dfa,
+    load_dfa_meta,
+    save_dfa,
+    validate_dfa,
+    validate_stt,
+)
 from repro.core.spans import coverage, merge_spans, redact, split_uncovered, to_spans
 from repro.core.stats import automaton_stats, visit_stats
 from repro.core.streaming import StreamMatcher, scan_stream
@@ -24,7 +36,12 @@ from repro.core.trie import Trie
 
 __all__ = [
     "DoubleArrayAC",
+    "crc32_bytes",
+    "stt_row_checksums",
+    "verify_row_checksums",
+    "LoadedDFA",
     "load_dfa",
+    "load_dfa_meta",
     "save_dfa",
     "validate_dfa",
     "validate_stt",

@@ -1,0 +1,77 @@
+"""CRC32 integrity primitives for compiled automata.
+
+The paper's deployment scenario compiles dictionaries offline and ships
+the STT to NIDS sensors, where it sits resident in device memory for
+days.  A single flipped transition entry silently reroutes the DFA —
+matches are dropped or invented with no error — so both the on-disk
+format (:mod:`repro.core.serialization`, ``REPRODFA`` v2) and the
+simulated device (:meth:`repro.gpu.device.Device.bind_texture`) carry
+**per-row CRC32 checksums** of the transition table and re-verify them
+before the table is allowed to drive a scan.
+
+Per-row (rather than whole-table) checksums cost the same 4 bytes/KB
+but localize the damage: an :class:`~repro.errors.IntegrityError`
+names the corrupted state rows, which is what an operator needs to
+distinguish "re-push the artifact" from "this sensor's memory is bad".
+
+CRC32 is an integrity check against *accidental* corruption (bit rot,
+truncated copies, DMA errors), not an authenticity check: an attacker
+who can rewrite the artifact can rewrite the checksums.  Authenticated
+distribution is a transport concern, out of scope here.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.stt import STT
+
+__all__ = [
+    "crc32_bytes",
+    "stt_row_checksums",
+    "verify_row_checksums",
+    "CHECKSUM_DTYPE",
+]
+
+#: On-disk / in-header dtype of a checksum vector (one CRC32 per row).
+CHECKSUM_DTYPE = np.dtype("<u4")
+
+
+def crc32_bytes(data: Union[bytes, bytearray, memoryview, np.ndarray]) -> int:
+    """CRC32 of a byte buffer (NumPy arrays hash their C-order bytes)."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+def stt_row_checksums(stt: Union[STT, np.ndarray]) -> np.ndarray:
+    """One CRC32 per STT row, over the row's little-endian ``int32`` bytes.
+
+    The little-endian canonical form makes the checksums portable
+    across hosts (the table itself is already serialized as ``<i4``).
+    """
+    table = stt.table if isinstance(stt, STT) else np.asarray(stt)
+    canon = np.ascontiguousarray(table, dtype="<i4")
+    out = np.empty(canon.shape[0], dtype=CHECKSUM_DTYPE)
+    for i in range(canon.shape[0]):
+        out[i] = zlib.crc32(canon[i].tobytes()) & 0xFFFFFFFF
+    return out
+
+
+def verify_row_checksums(
+    table: Union[STT, np.ndarray], expected: np.ndarray
+) -> List[int]:
+    """Row indices whose current CRC32 disagrees with *expected*.
+
+    An empty list means the table is intact.  A shape mismatch (the
+    table does not even have the checksummed number of rows) reports
+    row ``-1`` so callers surface it rather than zip-truncate.
+    """
+    actual = stt_row_checksums(table)
+    expected = np.asarray(expected, dtype=CHECKSUM_DTYPE)
+    if actual.shape != expected.shape:
+        return [-1]
+    return np.flatnonzero(actual != expected).tolist()

@@ -12,24 +12,46 @@ instead of silently mis-matching.
 Format: ``REPRODFA`` magic, one JSON header line (versions, section
 lengths), then raw little-endian sections in fixed order.  No pickle —
 artifacts from untrusted sources stay safe to load.
+
+Version 2 (current) extends version 1 with the integrity layer the
+shipped-automaton deployment needs (see :mod:`repro.core.integrity`):
+
+* a CRC32 per section in the header — any bit flip or truncation in
+  the body raises :class:`~repro.errors.IntegrityError` on load;
+* a fifth section of per-STT-row CRC32s, carried alongside the table
+  so the GPU substrate can re-verify the texture-resident copy on
+  bind and after runs, not just at load time;
+* the ``case_insensitive`` build flag, so a matcher restored from disk
+  folds scanned text exactly like the one that was saved.
+
+Version 1 artifacts (no checksums, case-sensitive) remain readable.
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import BinaryIO, List, Union
+from dataclasses import dataclass, field
+from typing import BinaryIO, List, Optional, Union
 
 import numpy as np
 
 from repro.core.alphabet import ALPHABET_SIZE, MATCH_COLUMN
 from repro.core.dfa import DFA
+from repro.core.integrity import (
+    CHECKSUM_DTYPE,
+    crc32_bytes,
+    stt_row_checksums,
+    verify_row_checksums,
+)
 from repro.core.pattern_set import PatternSet
 from repro.core.stt import STT
-from repro.errors import SerializationError
+from repro.errors import IntegrityError, SerializationError
 
 _MAGIC = b"REPRODFA"
-_VERSION = 1
+_VERSION = 2
+#: Section counts per readable version (v1 had no row-checksum section).
+_N_SECTIONS = {1: 4, 2: 5}
 
 
 def validate_stt(stt: STT) -> List[str]:
@@ -93,8 +115,25 @@ def validate_dfa(dfa: DFA) -> List[str]:
     return problems
 
 
-def save_dfa(dfa: DFA, fp: Union[str, BinaryIO]) -> None:
-    """Serialize the full phase-1 artifact."""
+@dataclass(frozen=True)
+class LoadedDFA:
+    """A deserialized artifact plus the metadata its header carried.
+
+    ``row_checksums`` is the per-row CRC32 vector (recomputed for v1
+    artifacts, verified for v2), ready to hand to
+    :meth:`repro.gpu.device.Device.bind_texture`.
+    """
+
+    dfa: DFA
+    version: int
+    case_insensitive: bool = False
+    row_checksums: Optional[np.ndarray] = field(default=None, repr=False)
+
+
+def save_dfa(
+    dfa: DFA, fp: Union[str, BinaryIO], *, case_insensitive: bool = False
+) -> None:
+    """Serialize the full phase-1 artifact (current, v2, format)."""
     pattern_blob = b"\n".join(
         p.hex().encode("ascii") for p in dfa.patterns.as_bytes_list()
     )
@@ -103,12 +142,15 @@ def save_dfa(dfa: DFA, fp: Union[str, BinaryIO]) -> None:
         dfa.out_offsets.astype("<i8").tobytes(),
         dfa.out_ids.astype("<i8").tobytes(),
         pattern_blob,
+        stt_row_checksums(dfa.stt).tobytes(),
     ]
     header = {
         "version": _VERSION,
         "n_states": dfa.n_states,
         "n_patterns": len(dfa.patterns),
+        "case_insensitive": bool(case_insensitive),
         "sections": [len(s) for s in sections],
+        "section_crcs": [crc32_bytes(s) for s in sections],
     }
     payload = json.dumps(header).encode("ascii") + b"\n"
     if isinstance(fp, str):
@@ -127,13 +169,18 @@ def _write(fh: BinaryIO, header: bytes, sections) -> None:
 
 def load_dfa(fp: Union[str, BinaryIO]) -> DFA:
     """Inverse of :func:`save_dfa`; validates before returning."""
+    return load_dfa_meta(fp).dfa
+
+
+def load_dfa_meta(fp: Union[str, BinaryIO]) -> LoadedDFA:
+    """Like :func:`load_dfa` but also returns the header metadata."""
     if isinstance(fp, str):
         with open(fp, "rb") as fh:
             return _read(fh)
     return _read(fp)
 
 
-def _read(fh: BinaryIO) -> DFA:
+def _read(fh: BinaryIO) -> LoadedDFA:
     magic = fh.read(len(_MAGIC))
     if magic != _MAGIC:
         raise SerializationError("not a DFA artifact (bad magic)")
@@ -149,15 +196,22 @@ def _read(fh: BinaryIO) -> DFA:
         header = json.loads(line.decode("ascii"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"corrupt DFA header: {exc}") from exc
-    if header.get("version") != _VERSION:
+    version = header.get("version")
+    if version not in _N_SECTIONS:
         raise SerializationError(
-            f"unsupported DFA artifact version {header.get('version')!r}"
+            f"unsupported DFA artifact version {version!r}"
         )
+    n_sections = _N_SECTIONS[version]
     try:
         n_states = int(header["n_states"])
+        case_insensitive = bool(header.get("case_insensitive", False))
         sizes = [int(x) for x in header["sections"]]
-        if len(sizes) != 4:
+        if len(sizes) != n_sections:
             raise KeyError("sections")
+        if version >= 2:
+            crcs = [int(x) for x in header["section_crcs"]]
+            if len(crcs) != n_sections:
+                raise KeyError("section_crcs")
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed DFA header: {exc}") from exc
 
@@ -165,6 +219,15 @@ def _read(fh: BinaryIO) -> DFA:
     for got, want in zip(raw, sizes):
         if len(got) != want:
             raise SerializationError("truncated DFA artifact body")
+
+    if version >= 2:
+        for i, (section, want_crc) in enumerate(zip(raw, crcs)):
+            got_crc = crc32_bytes(section)
+            if got_crc != want_crc:
+                raise IntegrityError(
+                    f"DFA artifact section {i} failed its CRC32 check "
+                    f"(stored {want_crc:#010x}, computed {got_crc:#010x})"
+                )
 
     table = np.frombuffer(raw[0], dtype="<i4")
     if table.size != n_states * (ALPHABET_SIZE + 1):
@@ -179,10 +242,29 @@ def _read(fh: BinaryIO) -> DFA:
     except ValueError as exc:
         raise SerializationError(f"corrupt pattern section: {exc}") from exc
 
+    if version >= 2:
+        row_crcs = np.frombuffer(raw[4], dtype=CHECKSUM_DTYPE)
+        if row_crcs.size != n_states:
+            raise SerializationError("row-checksum section size mismatch")
+        bad = verify_row_checksums(table, row_crcs)
+        if bad:
+            raise IntegrityError(
+                f"STT rows failed their CRC32 check: {bad[:8]}"
+                + ("..." if len(bad) > 8 else "")
+            )
+        row_crcs = row_crcs.copy()
+    else:
+        row_crcs = stt_row_checksums(table)
+
     dfa = DFA(STT(table), offsets, ids, patterns)
     problems = validate_dfa(dfa)
     if problems:
         raise SerializationError(
             "DFA artifact failed validation: " + "; ".join(problems)
         )
-    return dfa
+    return LoadedDFA(
+        dfa=dfa,
+        version=version,
+        case_insensitive=case_insensitive,
+        row_checksums=row_crcs,
+    )

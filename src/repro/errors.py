@@ -46,5 +46,39 @@ class SerializationError(ReproError):
     """Raised when loading a corrupt or incompatible serialized STT."""
 
 
+class IntegrityError(SerializationError):
+    """Raised when checksummed data fails verification.
+
+    Covers both the on-disk artifact (a ``REPRODFA`` v2 section whose
+    CRC32 no longer matches) and the simulated device (an STT resident
+    in texture memory, or an input buffer after the modeled host→device
+    copy, that differs from what was uploaded).  Subclasses
+    :class:`SerializationError` because every integrity violation means
+    the same thing to a caller: the stored bytes can no longer be
+    trusted to reproduce the machine that was saved.
+    """
+
+
+class KernelTimeoutError(DeviceError):
+    """Raised when a kernel's modeled runtime exceeds its deadline.
+
+    Real deployments guard kernel launches with a watchdog; the
+    simulated substrate models that by comparing the priced launch time
+    against a deadline (normally infinite, finite under fault
+    injection).
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault plans or misuse of the injector itself.
+
+    Note: *injected* faults never raise this type — they surface as the
+    error the real failure would produce (:class:`DeviceError` for
+    exhausted memory, :class:`LaunchError` for failed launches,
+    :class:`IntegrityError` for corrupted buffers...), so the recovery
+    paths exercised by fault campaigns are the production ones.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the benchmark harness for unknown experiments/params."""

@@ -1,23 +1,54 @@
 """Device facade: binds the pieces of the substrate together.
 
 A :class:`Device` owns a :class:`~repro.gpu.config.DeviceConfig` and
-provides the three operations a CUDA host program performs in the
-paper's workflow: copy data to the device, bind the STT to texture
-memory, and launch a kernel (price a :class:`~repro.gpu.latency.KernelCost`).
+provides the operations a CUDA host program performs in the paper's
+workflow: allocate/free global memory, copy data to the device, bind
+the STT to texture memory, and launch a kernel (price a
+:class:`~repro.gpu.latency.KernelCost`).
 
 The functional side of "running" a kernel (producing matches) is done
 by the kernel modules themselves; the Device is the accounting
 authority — it validates launches against hardware limits and converts
 costs into a :class:`~repro.gpu.counters.TimingBreakdown`.
+
+Integrity and fault injection
+-----------------------------
+The device is also where the resilience layer hooks in
+(:mod:`repro.resilience`): every state-changing operation exposes a
+named **injection site** ("alloc", "copy_input", "bind_texture",
+"launch", "timeout").  When an injector is attached (see
+:attr:`Device.injector`) it may return a typed fault at a site; the
+device then behaves exactly as the real failure would — raising
+:class:`~repro.errors.DeviceError`/:class:`~repro.errors.LaunchError`/
+:class:`~repro.errors.KernelTimeoutError`, or corrupting the
+device-resident copy of a buffer.  Corruption is *detectable* because
+the device checksums what it receives: the modeled host→device copy
+verifies a CRC32 over the staged bytes, and the texture binding keeps
+per-row CRC32s of the STT (:mod:`repro.core.integrity`) that
+:meth:`verify_texture` re-checks before a kernel is allowed to trust
+the table.  Without an injector every hook is a no-op.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
+import numpy as np
+
+from repro.core.integrity import (
+    crc32_bytes,
+    stt_row_checksums,
+    verify_row_checksums,
+)
 from repro.core.stt import STT
-from repro.errors import DeviceError, LaunchError
+from repro.errors import (
+    DeviceError,
+    IntegrityError,
+    KernelTimeoutError,
+    LaunchError,
+)
 from repro.gpu.config import DeviceConfig, gtx285
 from repro.gpu.counters import TimingBreakdown
 from repro.gpu.geometry import LaunchConfig
@@ -38,14 +69,43 @@ class TextureBinding:
 
 
 class Device:
-    """A simulated CUDA device (defaults to the paper's GTX 285)."""
+    """A simulated CUDA device (defaults to the paper's GTX 285).
 
-    def __init__(self, config: Optional[DeviceConfig] = None):
+    Parameters
+    ----------
+    config:
+        Hardware parameters (default: the paper's GTX 285).
+    injector:
+        Optional fault injector (any object with a
+        ``poke(site, **context)`` method returning ``None`` or a typed
+        fault — see :mod:`repro.resilience.faults`).  Production code
+        never sets this; fault campaigns do.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DeviceConfig] = None,
+        injector=None,
+    ):
         self.config = config or gtx285()
+        self.injector = injector
         self._texture: Optional[TextureBinding] = None
+        self._texture_table: Optional[np.ndarray] = None
+        self._texture_crcs: Optional[np.ndarray] = None
         self._allocated_bytes = 0
 
+    def _poke(self, site: str, **context):
+        """Fire an injection site; returns the triggered fault, if any."""
+        if self.injector is None:
+            return None
+        return self.injector.poke(site, **context)
+
     # -- host <-> device ---------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Global memory currently reserved (simulation bookkeeping)."""
+        return self._allocated_bytes
 
     def alloc(self, nbytes: int) -> int:
         """Reserve global memory; returns total allocated after the call.
@@ -55,10 +115,17 @@ class Device:
         DeviceError
             If the device memory would be exceeded (the paper's 200 MB
             inputs + a 20k-pattern STT fit comfortably in 1 GB; this
-            guard catches unscaled misuse).
+            guard catches unscaled misuse), or under an injected
+            allocation-exhaustion fault.
         """
         if nbytes < 0:
             raise DeviceError("cannot allocate a negative size")
+        fault = self._poke("alloc", nbytes=nbytes)
+        if fault is not None and fault.kind == "alloc_exhaustion":
+            raise DeviceError(
+                f"device memory exhausted (injected): {nbytes} B requested "
+                f"with {self._allocated_bytes} B already in use"
+            )
         if self._allocated_bytes + nbytes > self.config.global_mem_bytes:
             raise DeviceError(
                 f"device memory exhausted: {self._allocated_bytes + nbytes} B "
@@ -67,25 +134,142 @@ class Device:
         self._allocated_bytes += nbytes
         return self._allocated_bytes
 
+    def free(self, nbytes: int) -> int:
+        """Release a previous :meth:`alloc`; returns total still allocated.
+
+        The pair discipline (every buffer freed with its own size) is
+        what lets long-lived devices survive repeated kernel runs —
+        ``free_all`` is only for teardown.
+        """
+        if nbytes < 0:
+            raise DeviceError("cannot free a negative size")
+        if nbytes > self._allocated_bytes:
+            raise DeviceError(
+                f"free of {nbytes} B exceeds the {self._allocated_bytes} B "
+                "currently allocated (double free?)"
+            )
+        self._allocated_bytes -= nbytes
+        return self._allocated_bytes
+
+    @contextmanager
+    def allocation(self, nbytes: int) -> Iterator[int]:
+        """Scoped allocation: ``with device.allocation(n): ...`` frees on exit."""
+        self.alloc(nbytes)
+        try:
+            yield nbytes
+        finally:
+            self.free(nbytes)
+
     def free_all(self) -> None:
         """Release all allocations (simulation-level bookkeeping)."""
         self._allocated_bytes = 0
         self._texture = None
+        self._texture_table = None
+        self._texture_crcs = None
 
     def copy_h2d_seconds(self, nbytes: int) -> float:
         """Host→device copy time over PCIe (reported, never benchmarked:
         the paper excludes one-time copies from its measurements)."""
         return h2d_copy_seconds(nbytes, self.config)
 
-    def bind_texture(self, stt: STT) -> TextureBinding:
-        """Place the STT in texture memory (paper Section IV-B-2)."""
+    def copy_input(self, data: np.ndarray) -> np.ndarray:
+        """Model a checksummed host→device copy of an input buffer.
+
+        Allocates ``data.nbytes`` on the device (pair with
+        :meth:`free`), stages the bytes, and verifies length + CRC32 of
+        the staged copy against the host buffer — the standard guard a
+        capture pipeline puts around DMA.  Under injected truncation or
+        garbling faults the staged copy differs and the mismatch raises
+        :class:`~repro.errors.IntegrityError` *before* any allocation
+        is recorded, so a failed copy never leaks device memory.
+        """
+        data = np.ascontiguousarray(data)
+        staged = data
+        fault = self._poke("copy_input", nbytes=data.nbytes)
+        if fault is not None:
+            staged = fault.mutate_input(data)
+        if staged.nbytes != data.nbytes:
+            raise IntegrityError(
+                f"input buffer corrupted during host-to-device copy: sent "
+                f"{data.nbytes} B, staged copy truncated to {staged.nbytes} B"
+            )
+        if crc32_bytes(staged) != crc32_bytes(data):
+            raise IntegrityError(
+                f"input buffer corrupted during host-to-device copy: staged "
+                f"{data.nbytes} B copy fails its CRC32 check"
+            )
+        self.alloc(data.nbytes)
+        return staged
+
+    def bind_texture(
+        self, stt: STT, row_checksums: Optional[np.ndarray] = None
+    ) -> TextureBinding:
+        """Place the STT in texture memory (paper Section IV-B-2).
+
+        The device keeps its own copy of the table (as real texture
+        memory does) plus the expected per-row CRC32s — either the
+        vector carried by a v2 artifact (*row_checksums*) or one
+        computed from the table being bound.  The checksums are
+        verified immediately (a corrupt artifact must not reach the
+        texture path) and again by :meth:`verify_texture` before each
+        run, so bit flips that land *after* binding are also caught.
+
+        Rebinding replaces (and frees) any previous binding.
+        """
+        if self._texture is not None:
+            self.unbind_texture()
+        if row_checksums is None:
+            row_checksums = stt_row_checksums(stt)
+        else:
+            row_checksums = np.asarray(row_checksums)
+            bad = verify_row_checksums(stt.table, row_checksums)
+            if bad:
+                raise IntegrityError(
+                    "STT rejected at texture bind: rows failed their "
+                    f"CRC32 check: {bad[:8]}"
+                    + ("..." if len(bad) > 8 else "")
+                )
         stats = stt.stats()
         self.alloc(stats.bytes_total)
+        table = np.array(stt.table, copy=True)  # device-resident copy
         binding = TextureBinding(
             n_states=stats.n_states, bytes_total=stats.bytes_total
         )
         self._texture = binding
+        self._texture_table = table
+        self._texture_crcs = row_checksums
+        fault = self._poke("bind_texture", n_states=stats.n_states)
+        if fault is not None:
+            fault.mutate_table(table)
         return binding
+
+    def unbind_texture(self) -> None:
+        """Release the texture binding and its global-memory footprint."""
+        if self._texture is None:
+            return
+        self.free(self._texture.bytes_total)
+        self._texture = None
+        self._texture_table = None
+        self._texture_crcs = None
+
+    def verify_texture(self) -> None:
+        """Re-checksum the texture-resident STT against its bind-time CRCs.
+
+        No-op when nothing is bound.  Raises
+        :class:`~repro.errors.IntegrityError` naming the corrupted rows
+        — callers run this before trusting the table for a scan, which
+        is what makes post-bind corruption loud instead of a silent
+        mis-match.
+        """
+        if self._texture_table is None:
+            return
+        bad = verify_row_checksums(self._texture_table, self._texture_crcs)
+        if bad:
+            raise IntegrityError(
+                "texture-resident STT corrupted after bind: rows "
+                f"{bad[:8]}" + ("..." if len(bad) > 8 else "")
+                + " fail their CRC32 check"
+            )
 
     @property
     def texture(self) -> Optional[TextureBinding]:
@@ -95,7 +279,18 @@ class Device:
     # -- launches -----------------------------------------------------------
 
     def launch(self, launch: LaunchConfig, cost: KernelCost) -> TimingBreakdown:
-        """Validate the launch against device limits and price it."""
+        """Validate the launch against device limits and price it.
+
+        Raises :class:`~repro.errors.LaunchError` for geometry/limit
+        violations (or an injected launch failure) and
+        :class:`~repro.errors.KernelTimeoutError` when an injected
+        watchdog deadline is shorter than the priced kernel time.
+        """
+        fault = self._poke("launch", n_blocks=launch.n_blocks)
+        if fault is not None and fault.kind == "launch_failure":
+            raise LaunchError(
+                "kernel launch failed (injected): unspecified launch failure"
+            )
         occ = launch.validate(self.config)
         if occ.warps_per_sm != cost.occupancy.warps_per_sm:
             raise LaunchError(
@@ -104,4 +299,11 @@ class Device:
                 f"({occ.warps_per_sm} warps/SM)"
             )
         cost.counters.validate()
-        return estimate_time(cost, self.config)
+        timing = estimate_time(cost, self.config)
+        fault = self._poke("timeout", seconds=timing.seconds)
+        if fault is not None and timing.seconds > fault.deadline_seconds:
+            raise KernelTimeoutError(
+                f"kernel exceeded its watchdog deadline: modeled "
+                f"{timing.seconds:.6f} s > {fault.deadline_seconds:.6f} s"
+            )
+        return timing

@@ -206,14 +206,31 @@ def run_global_kernel(
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
     params: Optional[CostParams] = None,
 ) -> KernelResult:
-    """Run the global-memory-only kernel on *data* (measure + price)."""
+    """Run the global-memory-only kernel on *data* (measure + price).
+
+    Same device lifecycle as the shared kernel: checksummed input copy,
+    texture bind + integrity verification, and paired release of every
+    allocation in a ``finally`` so long-lived devices survive repeated
+    runs.
+    """
     device = device or Device()
-    meas = measure_global(
-        dfa,
-        data,
-        device.config,
-        chunk_len=chunk_len,
-        threads_per_block=threads_per_block,
-        params=params,
-    )
-    return price_global(meas, device, params)
+    arr = encode(data, name="data")
+    staged = device.copy_input(arr)  # pairs with the free() below
+    owns_texture = device.texture is None
+    try:
+        if owns_texture:
+            device.bind_texture(dfa.stt)
+        device.verify_texture()
+        meas = measure_global(
+            dfa,
+            staged,
+            device.config,
+            chunk_len=chunk_len,
+            threads_per_block=threads_per_block,
+            params=params,
+        )
+        return price_global(meas, device, params)
+    finally:
+        device.free(arr.nbytes)
+        if owns_texture:
+            device.unbind_texture()

@@ -312,17 +312,36 @@ def run_shared_kernel(
     params: Optional[CostParams] = None,
     stt_in_texture: bool = True,
 ) -> KernelResult:
-    """Run the shared-memory kernel on *data* (measure + price)."""
+    """Run the shared-memory kernel on *data* (measure + price).
+
+    Performs the full host-program lifecycle on the device: a
+    checksummed host→device copy of the input, a texture bind of the
+    STT (skipped when the caller pre-bound one), an integrity check of
+    the texture-resident table, and — win or lose — paired release of
+    every byte it allocated, so repeated runs on a long-lived device
+    never exhaust the simulated global memory.
+    """
     device = device or Device()
-    meas = measure_shared(
-        dfa,
-        data,
-        device.config,
-        scheme=scheme,
-        threads_per_block=threads_per_block,
-        chunk_bytes=chunk_bytes,
-        reserved_shared=reserved_shared,
-        params=params,
-        stt_in_texture=stt_in_texture,
-    )
-    return price_shared(meas, device, params)
+    arr = encode(data, name="data")
+    staged = device.copy_input(arr)  # pairs with the free() below
+    owns_texture = device.texture is None
+    try:
+        if owns_texture:
+            device.bind_texture(dfa.stt)
+        device.verify_texture()
+        meas = measure_shared(
+            dfa,
+            staged,
+            device.config,
+            scheme=scheme,
+            threads_per_block=threads_per_block,
+            chunk_bytes=chunk_bytes,
+            reserved_shared=reserved_shared,
+            params=params,
+            stt_in_texture=stt_in_texture,
+        )
+        return price_shared(meas, device, params)
+    finally:
+        device.free(arr.nbytes)
+        if owns_texture:
+            device.unbind_texture()

@@ -27,7 +27,7 @@ from repro.core.dfa import DFA
 from repro.core.match import MatchResult
 from repro.core.pattern_set import PatternSet
 from repro.core.serial import match_serial
-from repro.core.serialization import load_dfa, save_dfa
+from repro.core.serialization import load_dfa_meta, save_dfa
 from repro.core.streaming import StreamMatcher
 from repro.errors import ReproError
 
@@ -49,7 +49,13 @@ class Matcher:
         Lowercase the dictionary at build time and every scanned text
         at scan time (the standard single-case AC trick used by IDS
         engines; only ASCII letters fold).  Patterns that collide after
-        folding ("He"/"he") are merged, first id wins.
+        folding ("He"/"he") are merged, first id wins.  The flag is
+        persisted by :meth:`save` and restored by :meth:`load`.
+    device:
+        Optional persistent :class:`~repro.gpu.device.Device` for the
+        ``gpu`` backend.  Default: a fresh device per scan.  Kernels
+        pair every allocation with a release, so a long-lived device
+        can serve unboundedly many scans.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class Matcher:
         *,
         backend: str = "serial",
         case_insensitive: bool = False,
+        device=None,
     ):
         if backend not in BACKENDS:
             raise ReproError(
@@ -72,6 +79,9 @@ class Matcher:
             )
         self._dfa = DFA.build(patterns)
         self.backend = backend
+        self.device = device
+        self.last_health = None
+        self._resilient = None
         self._double_array = None
         if backend == "double_array":
             from repro.core.double_array import DoubleArrayAC
@@ -80,8 +90,20 @@ class Matcher:
 
     # -- constructors ------------------------------------------------------
     @classmethod
-    def from_dfa(cls, dfa: DFA, *, backend: str = "serial") -> "Matcher":
-        """Wrap a pre-built DFA (e.g. loaded from disk)."""
+    def from_dfa(
+        cls,
+        dfa: DFA,
+        *,
+        backend: str = "serial",
+        case_insensitive: bool = False,
+        device=None,
+    ) -> "Matcher":
+        """Wrap a pre-built DFA (e.g. loaded from disk).
+
+        ``case_insensitive`` must match the flag the DFA was *built*
+        with (a folded dictionary plus unfolded scan texts would miss
+        matches); :meth:`load` restores it from the artifact header.
+        """
         obj = cls.__new__(cls)
         if backend not in BACKENDS:
             raise ReproError(
@@ -89,7 +111,10 @@ class Matcher:
             )
         obj._dfa = dfa
         obj.backend = backend
-        obj.case_insensitive = False
+        obj.case_insensitive = case_insensitive
+        obj.device = device
+        obj.last_health = None
+        obj._resilient = None
         obj._double_array = None
         if backend == "double_array":
             from repro.core.automaton import AhoCorasickAutomaton
@@ -102,12 +127,20 @@ class Matcher:
 
     @classmethod
     def load(cls, path: str, *, backend: str = "serial") -> "Matcher":
-        """Load a matcher persisted with :meth:`save`."""
-        return cls.from_dfa(load_dfa(path), backend=backend)
+        """Load a matcher persisted with :meth:`save`.
+
+        Restores the ``case_insensitive`` build flag from the artifact
+        header (v2; v1 artifacts predate the flag and load as
+        case-sensitive).
+        """
+        meta = load_dfa_meta(path)
+        return cls.from_dfa(
+            meta.dfa, backend=backend, case_insensitive=meta.case_insensitive
+        )
 
     def save(self, path: str) -> None:
         """Persist the compiled machine (see repro.core.serialization)."""
-        save_dfa(self._dfa, path)
+        save_dfa(self._dfa, path, case_insensitive=self.case_insensitive)
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -146,17 +179,48 @@ class Matcher:
         return arr
 
     # -- scanning ------------------------------------------------------------
-    def scan(self, text: BytesLike) -> MatchResult:
-        """Scan *text*; returns the raw :class:`MatchResult`."""
+    def scan(self, text: BytesLike, *, resilient: bool = False) -> MatchResult:
+        """Scan *text*; returns the raw :class:`MatchResult`.
+
+        With ``resilient=True`` the scan runs through a
+        :class:`~repro.resilience.pipeline.ResilientMatcher` whose
+        fallback chain starts at this matcher's backend: transient
+        device failures are retried with backoff, persistent ones fall
+        back toward the serial matcher, and the episode's
+        :class:`~repro.resilience.pipeline.HealthReport` lands in
+        :attr:`last_health`.
+        """
+        if resilient:
+            rm = self._resilient_pipeline()
+            result = rm.scan(text)
+            self.last_health = rm.last_health
+            return result
         text = self._fold(text)
         if self.backend == "gpu":
             from repro.gpu.device import Device
             from repro.kernels.shared_mem import run_shared_kernel
 
-            return run_shared_kernel(self._dfa, text, Device()).matches
+            device = self.device if self.device is not None else Device()
+            return run_shared_kernel(self._dfa, text, device).matches
         if self.backend == "double_array":
             return self._double_array.match(text)
         return match_serial(self._dfa, text)
+
+    def _resilient_pipeline(self):
+        """The lazily built resilient wrapper sharing this automaton."""
+        if self._resilient is None:
+            from repro.resilience.pipeline import (
+                DEFAULT_CHAIN,
+                ResilientMatcher,
+            )
+
+            chain = (
+                DEFAULT_CHAIN[DEFAULT_CHAIN.index(self.backend):]
+                if self.backend in DEFAULT_CHAIN
+                else DEFAULT_CHAIN
+            )
+            self._resilient = ResilientMatcher(self, chain=chain)
+        return self._resilient
 
     def scan_with_timing(self, text: BytesLike):
         """GPU backend only: full KernelResult with modeled timing."""
@@ -165,7 +229,8 @@ class Matcher:
         from repro.gpu.device import Device
         from repro.kernels.shared_mem import run_shared_kernel
 
-        return run_shared_kernel(self._dfa, text, Device())
+        device = self.device if self.device is not None else Device()
+        return run_shared_kernel(self._dfa, text, device)
 
     def finditer(
         self, text: BytesLike

@@ -1,0 +1,59 @@
+"""Fault injection and resilient scanning (the NIDS-sensor hardening layer).
+
+The paper's deployment target is a sensor scanning live traffic with a
+compiled automaton shipped from an offline build host.  In that setting
+a corrupted STT, an exhausted device, or a failed kernel launch must
+degrade *loudly or recoverably* — never silently drop matches.  This
+subpackage provides both halves of that guarantee:
+
+* :mod:`repro.resilience.faults` — typed, seed-driven fault plans
+  injected into the simulated GPU substrate (STT bit flips after
+  texture bind, truncated/garbled input copies, allocation exhaustion,
+  launch failures, watchdog timeouts);
+* :mod:`repro.resilience.pipeline` — :class:`ResilientMatcher`, a
+  :class:`~repro.matcher.Matcher` wrapper with a backend fallback
+  chain, bounded retry with exponential backoff, and a structured
+  :class:`HealthReport`;
+* :mod:`repro.resilience.campaign` — the property campaign enforcing
+  the subsystem's invariant against the serial oracle: under every
+  fault class a scan either returns byte-exact matches or raises a
+  typed :class:`~repro.errors.ReproError`.
+"""
+
+from repro.resilience.campaign import (
+    CampaignReport,
+    TrialOutcome,
+    run_campaign,
+    run_trial,
+)
+from repro.resilience.faults import (
+    INJECTION_SITES,
+    Fault,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
+from repro.resilience.pipeline import (
+    DEFAULT_CHAIN,
+    AttemptRecord,
+    HealthReport,
+    ResilientMatcher,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CampaignReport",
+    "DEFAULT_CHAIN",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "HealthReport",
+    "INJECTION_SITES",
+    "ResilientMatcher",
+    "TrialOutcome",
+    "run_campaign",
+    "run_trial",
+]

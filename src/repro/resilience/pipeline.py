@@ -1,0 +1,304 @@
+"""Resilient scanning pipeline: fallback chain + bounded retry + health.
+
+:class:`ResilientMatcher` wraps :class:`~repro.matcher.Matcher` with
+the degradation policy a production sensor wants:
+
+1. **Retry** — transient device failures (exhausted allocations, failed
+   launches, watchdog timeouts, integrity check failures that a rebind
+   can repair) are retried on the same backend with exponential
+   backoff, up to ``max_retries`` times.  Each GPU attempt gets a fresh
+   :class:`~repro.gpu.device.Device`, so a corrupted texture binding or
+   leaked allocation cannot poison the retry.
+2. **Fall back** — when retries are exhausted (or the error is not a
+   transient class) the pipeline advances along the backend chain,
+   by default ``gpu → double_array → serial``.  Every backend is
+   byte-exact against the serial oracle, so a fallback changes
+   throughput, never results.
+3. **Report** — the whole episode is recorded in a structured
+   :class:`HealthReport`: every attempt, every backoff, every fault the
+   injector fired, which backends were abandoned, and where the scan
+   finally ran.
+
+The invariant (enforced by :mod:`repro.resilience.campaign`): a scan
+either returns matches byte-exact with the serial oracle or raises a
+typed :class:`~repro.errors.ReproError`.  Silent wrong results are
+impossible because corruption is caught by the integrity layer before
+a damaged table or buffer can drive a scan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.match import MatchResult
+from repro.core.pattern_set import PatternSet
+from repro.errors import DeviceError, IntegrityError, ReproError
+from repro.gpu.config import DeviceConfig
+from repro.gpu.device import Device
+from repro.matcher import BACKENDS, Matcher
+from repro.resilience.faults import FaultInjector
+
+#: Default backend fallback chain, fastest first.
+DEFAULT_CHAIN = ("gpu", "double_array", "serial")
+
+#: Error classes retried on the same backend before falling back.
+#: DeviceError covers allocation exhaustion, launch failures and
+#: kernel timeouts; IntegrityError covers corruption a fresh bind or
+#: copy genuinely repairs when the fault was transient.
+TRANSIENT_ERRORS = (DeviceError, IntegrityError)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One scan attempt (successful or not)."""
+
+    backend: str
+    attempt: int  # 1-based, per backend
+    ok: bool
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    backoff_seconds: float = 0.0  # slept *after* this attempt failed
+
+
+@dataclass
+class HealthReport:
+    """Structured outcome of one resilient scan."""
+
+    ok: bool
+    final_backend: Optional[str]
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    faults_seen: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first on each backend."""
+        per_backend: dict = {}
+        for a in self.attempts:
+            per_backend[a.backend] = per_backend.get(a.backend, 0) + 1
+        return sum(n - 1 for n in per_backend.values())
+
+    @property
+    def fallbacks(self) -> List[str]:
+        """Backends abandoned before the final one (chain order)."""
+        seen: List[str] = []
+        for a in self.attempts:
+            if a.backend not in seen:
+                seen.append(a.backend)
+        return seen[:-1] if seen else []
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        """Total time spent backing off."""
+        return sum(a.backoff_seconds for a in self.attempts)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (CLI output)."""
+        lines = [
+            f"status        : {'ok' if self.ok else 'FAILED'}",
+            f"final backend : {self.final_backend or '-'}",
+            f"retries       : {self.retries}",
+            f"fallbacks     : {', '.join(self.fallbacks) or '-'}",
+            f"backoff total : {self.total_backoff_seconds * 1e3:.1f} ms",
+        ]
+        if self.faults_seen:
+            lines.append("faults seen   : " + "; ".join(self.faults_seen))
+        for a in self.attempts:
+            status = "ok" if a.ok else f"{a.error_type}: {a.error}"
+            lines.append(
+                f"  [{a.backend} #{a.attempt}] {status}"
+            )
+        if self.error:
+            lines.append(f"final error   : {self.error}")
+        return "\n".join(lines)
+
+
+class ResilientMatcher:
+    """A :class:`~repro.matcher.Matcher` with retries and backend fallback.
+
+    Parameters
+    ----------
+    patterns:
+        Patterns (as for :class:`Matcher`), a ``PatternSet``, or an
+        existing ``Matcher`` whose compiled automaton is reused.
+    chain:
+        Backend fallback order; defaults to :data:`DEFAULT_CHAIN`.
+    max_retries:
+        Retries per backend *beyond* the first attempt, for transient
+        error classes only.
+    backoff_base, backoff_cap:
+        Exponential backoff: attempt *k* sleeps
+        ``min(backoff_base * 2**(k-1), backoff_cap)`` seconds.
+    case_insensitive:
+        As for :class:`Matcher` (ignored when wrapping an existing one).
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`
+        attached to every GPU device the pipeline creates.  Shared
+        across attempts so one-shot faults model transients and
+        persistent faults force fallbacks.
+    device_config:
+        Hardware config for GPU attempts (default GTX 285).
+    sleep:
+        Replacement for :func:`time.sleep` (tests pass a recorder; the
+        campaign passes a no-op).
+    """
+
+    def __init__(
+        self,
+        patterns: Union[Sequence, PatternSet, Matcher],
+        *,
+        chain: Sequence[str] = DEFAULT_CHAIN,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        case_insensitive: bool = False,
+        injector: Optional[FaultInjector] = None,
+        device_config: Optional[DeviceConfig] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        chain = tuple(chain)
+        if not chain:
+            raise ReproError("fallback chain must name at least one backend")
+        for b in chain:
+            if b not in BACKENDS:
+                raise ReproError(
+                    f"unknown backend {b!r} in fallback chain; "
+                    f"choose from {BACKENDS}"
+                )
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if isinstance(patterns, Matcher):
+            base = patterns
+        else:
+            base = Matcher(
+                patterns,
+                backend=chain[0] if chain[0] != "gpu" else "serial",
+                case_insensitive=case_insensitive,
+            )
+        self.chain = chain
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.injector = injector
+        self.device_config = device_config
+        self._sleep = sleep if sleep is not None else time.sleep
+        # GPU attempts always run on a pipeline-owned matcher so the
+        # per-attempt device swap never mutates a caller's Matcher.
+        self._matchers = {} if base.backend == "gpu" else {base.backend: base}
+        self._base = base
+        self.last_health: Optional[HealthReport] = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _matcher_for(self, backend: str) -> Matcher:
+        if backend not in self._matchers:
+            self._matchers[backend] = Matcher.from_dfa(
+                self._base.dfa,
+                backend=backend,
+                case_insensitive=self._base.case_insensitive,
+            )
+        return self._matchers[backend]
+
+    def _fresh_device(self) -> Device:
+        return Device(self.device_config, injector=self.injector)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+
+    def _fault_log(self) -> List[str]:
+        if self.injector is None:
+            return []
+        return [
+            f"{e.kind.value}@{e.site}#{e.invocation}"
+            for e in self.injector.events
+        ]
+
+    # -- scanning --------------------------------------------------------
+
+    def scan(self, text) -> MatchResult:
+        """Resilient scan; the episode's report lands in :attr:`last_health`."""
+        result, _ = self.scan_with_health(text)
+        return result
+
+    def scan_with_health(self, text) -> Tuple[MatchResult, HealthReport]:
+        """Scan *text*, returning ``(matches, health_report)``.
+
+        Raises the last typed :class:`~repro.errors.ReproError` when
+        every backend in the chain has been exhausted; the report is
+        still available via :attr:`last_health`.
+        """
+        attempts: List[AttemptRecord] = []
+        last_error: Optional[ReproError] = None
+        for backend in self.chain:
+            matcher = self._matcher_for(backend)
+            attempt = 0
+            while True:
+                attempt += 1
+                if backend == "gpu":
+                    matcher.device = self._fresh_device()
+                try:
+                    result = matcher.scan(text)
+                except ReproError as exc:
+                    last_error = exc
+                    transient = isinstance(exc, TRANSIENT_ERRORS)
+                    will_retry = transient and attempt <= self.max_retries
+                    backoff = self._backoff(attempt) if will_retry else 0.0
+                    attempts.append(
+                        AttemptRecord(
+                            backend=backend,
+                            attempt=attempt,
+                            ok=False,
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            backoff_seconds=backoff,
+                        )
+                    )
+                    if not will_retry:
+                        break  # advance the fallback chain
+                    self._sleep(backoff)
+                    continue
+                attempts.append(
+                    AttemptRecord(backend=backend, attempt=attempt, ok=True)
+                )
+                health = HealthReport(
+                    ok=True,
+                    final_backend=backend,
+                    attempts=attempts,
+                    faults_seen=self._fault_log(),
+                )
+                self.last_health = health
+                return result, health
+        health = HealthReport(
+            ok=False,
+            final_backend=None,
+            attempts=attempts,
+            faults_seen=self._fault_log(),
+            error=f"{type(last_error).__name__}: {last_error}",
+        )
+        self.last_health = health
+        assert last_error is not None
+        raise last_error
+
+    # -- conveniences mirrored from Matcher ------------------------------
+
+    @property
+    def dfa(self):
+        """The underlying automaton (shared by all backends)."""
+        return self._base.dfa
+
+    def count(self, text) -> int:
+        """Total occurrences of any pattern."""
+        return len(self.scan(text))
+
+    def findall(self, text) -> List[Tuple[int, int, int]]:
+        """``(start, end_exclusive, pattern_id)`` triples, sorted."""
+        result = self.scan(text)
+        lengths = self._base.dfa.pattern_lengths
+        triples = [
+            (int(e) - int(lengths[p]) + 1, int(e) + 1, int(p))
+            for e, p in zip(result.ends, result.pattern_ids)
+        ]
+        triples.sort()
+        return triples

@@ -67,7 +67,7 @@ class TestCorruptArtifacts:
 
     def test_wrong_version(self, paper_dfa):
         data = self.payload(paper_dfa).replace(
-            b'"version": 1', b'"version": 7'
+            b'"version": 2', b'"version": 7'
         )
         with pytest.raises(SerializationError, match="version"):
             load_dfa(io.BytesIO(data))
@@ -81,10 +81,11 @@ class TestCorruptArtifacts:
 
     def test_corrupted_transition_fails_validation(self, paper_dfa):
         data = bytearray(self.payload(paper_dfa))
-        # Flip a transition entry to an out-of-range state id.
+        # Flip a transition entry to an out-of-range state id.  The v2
+        # section CRC catches the damage before structural validation.
         header_end = data.index(b"\n") + 1
         data[header_end : header_end + 4] = (9999).to_bytes(4, "little")
-        with pytest.raises(SerializationError, match="validation"):
+        with pytest.raises(SerializationError, match="CRC32"):
             load_dfa(io.BytesIO(bytes(data)))
 
 

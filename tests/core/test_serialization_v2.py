@@ -1,0 +1,194 @@
+"""Version-2 artifact format: flags round-trip, CRCs, v1 compatibility.
+
+Covers the two serialization satellites of the resilience issue:
+
+* the ``case_insensitive`` build flag must survive a save → load →
+  scan round trip (it used to be silently dropped and every loaded
+  matcher scanned case-sensitively);
+* systematic corruption — truncating the artifact at every section
+  boundary and flipping a bit inside each section — must always raise
+  :class:`~repro.errors.SerializationError` (of which
+  :class:`~repro.errors.IntegrityError` is the checksum-specific
+  subclass), never load a damaged automaton.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet
+from repro.core.integrity import stt_row_checksums
+from repro.core.serialization import load_dfa, load_dfa_meta, save_dfa
+from repro.errors import IntegrityError, SerializationError
+from repro.matcher import Matcher
+
+PATTERNS = ["He", "She", "HIS", "hers"]
+TEXT = "USHERS and Sheriffs"
+
+
+@pytest.fixture()
+def dfa():
+    return DFA.build(PatternSet.from_strings([p.lower() for p in PATTERNS]))
+
+
+def v2_blob(dfa, **kw):
+    buf = io.BytesIO()
+    save_dfa(dfa, buf, **kw)
+    return buf.getvalue()
+
+
+class TestCaseInsensitiveRoundTrip:
+    """Satellite: the flag used to be dropped on load (hardcoded False)."""
+
+    def test_flag_round_trips(self, tmp_path, dfa):
+        path = str(tmp_path / "ci.dfa")
+        m = Matcher(PATTERNS, case_insensitive=True)
+        m.save(path)
+        loaded = Matcher.load(path)
+        assert loaded.case_insensitive is True
+
+    def test_loaded_matcher_scans_case_insensitively(self, tmp_path):
+        path = str(tmp_path / "ci.dfa")
+        m = Matcher(PATTERNS, case_insensitive=True)
+        m.save(path)
+        loaded = Matcher.load(path)
+        assert loaded.scan(TEXT) == m.scan(TEXT)
+        assert loaded.count(TEXT) == m.count(TEXT) > 0
+
+    def test_case_sensitive_stays_sensitive(self, tmp_path):
+        path = str(tmp_path / "cs.dfa")
+        m = Matcher(PATTERNS)
+        m.save(path)
+        loaded = Matcher.load(path)
+        assert loaded.case_insensitive is False
+        assert loaded.scan(TEXT) == m.scan(TEXT)
+
+    def test_from_dfa_accepts_flag(self, dfa):
+        m = Matcher.from_dfa(dfa, case_insensitive=True)
+        assert m.case_insensitive is True
+        assert m.count("USHERS") == m.count("ushers")
+
+    def test_meta_carries_flag_and_checksums(self, dfa):
+        blob = v2_blob(dfa, case_insensitive=True)
+        meta = load_dfa_meta(io.BytesIO(blob))
+        assert meta.version == 2
+        assert meta.case_insensitive is True
+        assert np.array_equal(meta.row_checksums, stt_row_checksums(dfa.stt))
+
+
+def section_boundaries(blob):
+    """Byte offsets at each section edge (header end + cumulative sizes)."""
+    header_end = blob.index(b"\n") + 1
+    header = json.loads(blob[len(b"REPRODFA"):header_end].decode("ascii"))
+    edges = [header_end]
+    for size in header["sections"]:
+        edges.append(edges[-1] + size)
+    assert edges[-1] == len(blob)
+    return header_end, edges
+
+
+class TestSystematicCorruption:
+    """Satellite: fuzz every section boundary and every section body."""
+
+    def test_truncation_at_every_boundary(self, dfa):
+        blob = v2_blob(dfa)
+        _, edges = section_boundaries(blob)
+        cuts = {e for e in edges[:-1]}
+        cuts |= {e - 1 for e in edges[1:]}  # one byte short of each edge
+        for cut in sorted(cuts):
+            with pytest.raises(SerializationError):
+                load_dfa(io.BytesIO(blob[:cut]))
+
+    def test_bit_flip_in_every_section(self, dfa):
+        blob = v2_blob(dfa)
+        _, edges = section_boundaries(blob)
+        for start, end in zip(edges[:-1], edges[1:]):
+            mid = (start + end) // 2
+            damaged = bytearray(blob)
+            damaged[mid] ^= 0x40
+            with pytest.raises(SerializationError):
+                load_dfa(io.BytesIO(bytes(damaged)))
+
+    def test_bit_flip_raises_integrity_error_specifically(self, dfa):
+        blob = v2_blob(dfa)
+        _, edges = section_boundaries(blob)
+        damaged = bytearray(blob)
+        damaged[edges[0]] ^= 0x01  # first byte of the STT section
+        with pytest.raises(IntegrityError, match="CRC32"):
+            load_dfa(io.BytesIO(bytes(damaged)))
+
+    def test_header_corruption(self, dfa):
+        blob = v2_blob(dfa)
+        with pytest.raises(SerializationError):
+            load_dfa(io.BytesIO(b"NOTADFA!" + blob[8:]))
+        with pytest.raises(SerializationError):
+            load_dfa(io.BytesIO(blob[: len(b"REPRODFA") + 4]))
+
+    def test_row_checksum_section_guards_stt(self, dfa):
+        """A mismatched checksum vector is rejected even when the header
+        CRC is patched to match (a deliberate-tamper scenario)."""
+        blob = v2_blob(dfa)
+        header_end, edges = section_boundaries(blob)
+        header = json.loads(
+            blob[len(b"REPRODFA"):header_end].decode("ascii")
+        )
+        crc_start, crc_end = edges[-2], edges[-1]
+        bad_crcs = bytearray(blob[crc_start:crc_end])
+        bad_crcs[0] ^= 0xFF
+        import zlib
+
+        header["section_crcs"][-1] = zlib.crc32(bytes(bad_crcs)) & 0xFFFFFFFF
+        rebuilt = (
+            b"REPRODFA"
+            + json.dumps(header).encode("ascii")
+            + b"\n"
+            + blob[header_end:crc_start]
+            + bytes(bad_crcs)
+        )
+        with pytest.raises(IntegrityError, match="CRC32"):
+            load_dfa(io.BytesIO(rebuilt))
+
+
+class TestV1Compatibility:
+    """Old artifacts (4 sections, no flag, no checksums) remain readable."""
+
+    def v1_blob(self, dfa):
+        pattern_blob = b"\n".join(
+            p.hex().encode("ascii") for p in dfa.patterns.as_bytes_list()
+        )
+        sections = [
+            dfa.stt.table.astype("<i4").tobytes(),
+            dfa.out_offsets.astype("<i8").tobytes(),
+            dfa.out_ids.astype("<i8").tobytes(),
+            pattern_blob,
+        ]
+        header = {
+            "version": 1,
+            "n_states": dfa.n_states,
+            "n_patterns": len(dfa.patterns),
+            "sections": [len(s) for s in sections],
+        }
+        return (
+            b"REPRODFA"
+            + json.dumps(header).encode("ascii")
+            + b"\n"
+            + b"".join(sections)
+        )
+
+    def test_v1_loads(self, dfa):
+        meta = load_dfa_meta(io.BytesIO(self.v1_blob(dfa)))
+        assert meta.version == 1
+        assert meta.case_insensitive is False
+        assert meta.dfa.n_states == dfa.n_states
+        assert np.array_equal(meta.dfa.stt.table, dfa.stt.table)
+
+    def test_v1_row_checksums_recomputed(self, dfa):
+        meta = load_dfa_meta(io.BytesIO(self.v1_blob(dfa)))
+        assert np.array_equal(meta.row_checksums, stt_row_checksums(dfa.stt))
+
+    def test_v1_truncation_still_caught(self, dfa):
+        blob = self.v1_blob(dfa)
+        with pytest.raises(SerializationError):
+            load_dfa(io.BytesIO(blob[:-1]))

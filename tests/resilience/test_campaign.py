@@ -1,0 +1,97 @@
+"""The acceptance property: no fault class can cause a silent mismatch.
+
+Runs >= 200 seeded trials (40 per fault class x 5 classes, plus the
+kind-specific spot checks) of the resilient pipeline against the serial
+oracle.  Every trial must land on one of the two permitted outcomes —
+``exact`` (byte-identical matches) or ``typed_error`` (a
+:class:`~repro.errors.ReproError` subclass) — and the campaign as a
+whole must include trials that actually recovered, so the invariant is
+not vacuously holding on an always-failing pipeline.
+"""
+
+import pytest
+
+from repro.resilience import FaultKind, run_campaign, run_trial
+from repro.resilience.campaign import (
+    STATUS_EXACT,
+    STATUS_SILENT_MISMATCH,
+    STATUS_TYPED_ERROR,
+    STATUS_UNTYPED_ERROR,
+)
+
+#: 40 x 5 fault classes = 200 trials minimum for the acceptance gate.
+TRIALS_PER_KIND = 40
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(trials_per_kind=TRIALS_PER_KIND, seed=2013)
+
+
+class TestInvariant:
+    def test_zero_silent_mismatches(self, campaign):
+        bad = [o for o in campaign.outcomes
+               if o.status == STATUS_SILENT_MISMATCH]
+        assert bad == [], f"silent mismatches: {bad}"
+
+    def test_zero_untyped_errors(self, campaign):
+        bad = [o for o in campaign.outcomes
+               if o.status == STATUS_UNTYPED_ERROR]
+        assert bad == [], f"untyped errors: {bad}"
+
+    def test_at_least_200_trials(self, campaign):
+        assert campaign.n_trials >= 200
+
+    def test_every_fault_class_covered(self, campaign):
+        assert set(o.kind for o in campaign.outcomes) == set(FaultKind)
+
+    def test_faults_actually_fired(self, campaign):
+        """The campaign must be injecting, not scanning happily.
+
+        Not every trial fires: a trigger-2 fault on a site visited once
+        per attempt never goes off when attempt 1 succeeds.  But every
+        fault class must fire somewhere, and at least half the trials
+        overall must see their fault.
+        """
+        fired = sum(o.faults_fired > 0 for o in campaign.outcomes)
+        assert fired >= campaign.n_trials * 0.5
+        for kind in FaultKind:
+            kind_fired = [o for o in campaign.outcomes
+                          if o.kind is kind and o.faults_fired > 0]
+            assert kind_fired, f"no trial ever fired a {kind.value} fault"
+
+    def test_recovery_paths_exercised(self, campaign):
+        """Both retry-recovery and fallback-recovery must occur."""
+        exact = [o for o in campaign.outcomes if o.status == STATUS_EXACT]
+        assert any(o.retries > 0 for o in exact)
+        assert any(o.fallbacks > 0 for o in exact)
+
+    def test_typed_error_surface_exercised(self, campaign):
+        """GPU-only chains + persistent faults must surface typed errors."""
+        assert campaign.count(STATUS_TYPED_ERROR) > 0
+
+    def test_report_renders(self, campaign):
+        text = campaign.render()
+        assert "invariant HELD" in text
+        assert campaign.ok
+
+
+class TestDeterminism:
+    def test_trials_reproducible(self):
+        a = run_trial(FaultKind.STT_BITFLIP, seed=77)
+        b = run_trial(FaultKind.STT_BITFLIP, seed=77)
+        assert a == b
+
+    def test_seed_changes_trial(self):
+        outcomes = {run_trial(FaultKind.INPUT_GARBLE, seed=s).status
+                    for s in range(12)}
+        assert outcomes  # all classified, none crashed
+
+
+@pytest.mark.parametrize("kind", list(FaultKind))
+def test_per_kind_smoke(kind):
+    """Each class individually: forced fallback chain, forced gpu-only."""
+    full = run_trial(kind, seed=5, chain=("gpu", "double_array", "serial"))
+    assert full.ok
+    gpu_only = run_trial(kind, seed=5, chain=("gpu",))
+    assert gpu_only.ok

@@ -1,0 +1,159 @@
+"""Unit tests of the fault-injection substrate itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet
+from repro.errors import (
+    DeviceError,
+    FaultInjectionError,
+    IntegrityError,
+    KernelTimeoutError,
+    LaunchError,
+    ReproError,
+)
+from repro.gpu.device import Device
+from repro.kernels.shared_mem import run_shared_kernel
+from repro.resilience import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    INJECTION_SITES,
+)
+
+PATTERNS = PatternSet.from_strings(["he", "she", "his", "hers"])
+TEXT = b"ushers and sheriffs " * 100
+
+
+@pytest.fixture()
+def dfa():
+    return DFA.build(PATTERNS)
+
+
+class TestInjectorMechanics:
+    def test_unknown_site_rejected(self):
+        inj = FaultInjector(FaultPlan())
+        with pytest.raises(FaultInjectionError, match="unknown injection"):
+            inj.poke("nonsense")
+
+    def test_bad_trigger_rejected(self):
+        with pytest.raises(FaultInjectionError, match="trigger"):
+            Fault(kind=FaultKind.LAUNCH_FAILURE, trigger=0)
+
+    def test_one_shot_fires_exactly_once(self):
+        inj = FaultInjector(FaultPlan.single(FaultKind.LAUNCH_FAILURE))
+        assert inj.poke("launch") is not None
+        assert inj.poke("launch") is None
+        assert inj.poke("launch") is None
+        assert len(inj.events) == 1
+
+    def test_persistent_fires_from_trigger_onwards(self):
+        inj = FaultInjector(
+            FaultPlan.single(
+                FaultKind.LAUNCH_FAILURE, trigger=2, persistent=True
+            )
+        )
+        assert inj.poke("launch") is None
+        assert inj.poke("launch") is not None
+        assert inj.poke("launch") is not None
+
+    def test_trigger_counts_per_site(self):
+        inj = FaultInjector(
+            FaultPlan.single(FaultKind.ALLOC_EXHAUSTION, trigger=2)
+        )
+        assert inj.poke("launch") is None  # different site: no count
+        assert inj.poke("alloc") is None
+        assert inj.poke("alloc") is not None
+
+    def test_every_kind_has_a_known_site(self):
+        for kind in FaultKind:
+            assert Fault(kind=kind).site in INJECTION_SITES
+
+    def test_random_plans_deterministic(self):
+        a = FaultPlan.random(seed=42)
+        b = FaultPlan.random(seed=42)
+        assert a.faults == b.faults
+        assert a.faults != FaultPlan.random(seed=43).faults
+
+    def test_describe_mentions_kind_and_site(self):
+        text = Fault(kind=FaultKind.STT_BITFLIP, bits=3).describe()
+        assert "stt_bitflip" in text and "bind_texture" in text
+
+
+class TestDeviceFaultSurface:
+    """Each fault class surfaces as the real production error type."""
+
+    def run(self, dfa, kind, **kw):
+        inj = FaultInjector(FaultPlan.single(kind, **kw))
+        return run_shared_kernel(dfa, TEXT, Device(injector=inj))
+
+    def test_alloc_exhaustion_is_device_error(self, dfa):
+        with pytest.raises(DeviceError, match="exhausted"):
+            self.run(dfa, FaultKind.ALLOC_EXHAUSTION)
+
+    def test_launch_failure_is_launch_error(self, dfa):
+        with pytest.raises(LaunchError, match="launch failed"):
+            self.run(dfa, FaultKind.LAUNCH_FAILURE)
+
+    def test_timeout_is_kernel_timeout_error(self, dfa):
+        with pytest.raises(KernelTimeoutError, match="deadline"):
+            self.run(dfa, FaultKind.KERNEL_TIMEOUT, deadline_seconds=0.0)
+
+    def test_generous_deadline_does_not_trip(self, dfa):
+        result = self.run(dfa, FaultKind.KERNEL_TIMEOUT, deadline_seconds=60.0)
+        assert len(result.matches) > 0
+
+    def test_stt_bitflip_is_integrity_error(self, dfa):
+        with pytest.raises(IntegrityError, match="CRC32"):
+            self.run(dfa, FaultKind.STT_BITFLIP)
+
+    def test_input_truncate_is_integrity_error(self, dfa):
+        with pytest.raises(IntegrityError, match="truncated"):
+            self.run(dfa, FaultKind.INPUT_TRUNCATE)
+
+    def test_input_garble_is_integrity_error(self, dfa):
+        with pytest.raises(IntegrityError, match="CRC32"):
+            self.run(dfa, FaultKind.INPUT_GARBLE)
+
+    def test_every_fault_is_a_typed_repro_error(self, dfa):
+        for kind in FaultKind:
+            with pytest.raises(ReproError):
+                self.run(dfa, kind)
+
+    def test_failed_runs_release_device_memory(self, dfa):
+        """No fault class may leak simulated allocations."""
+        for kind in FaultKind:
+            inj = FaultInjector(FaultPlan.single(kind))
+            dev = Device(injector=inj)
+            with pytest.raises(ReproError):
+                run_shared_kernel(dfa, TEXT, dev)
+            assert dev.allocated_bytes == 0
+
+
+class TestCorruptionPayloads:
+    def test_bitflip_changes_requested_bits(self):
+        fault = Fault(kind=FaultKind.STT_BITFLIP, bits=4, seed=1)
+        table = np.zeros((4, 257), dtype=np.int32)
+        fault.mutate_table(table)
+        flipped = sum(
+            bin(b).count("1") for b in table.view(np.uint8).reshape(-1).tolist()
+        )
+        assert 1 <= flipped <= 4  # collisions can only reduce the count
+
+    def test_truncate_shortens(self):
+        fault = Fault(kind=FaultKind.INPUT_TRUNCATE, drop_bytes=10)
+        data = np.arange(100, dtype=np.uint8)
+        assert fault.mutate_input(data).size == 90
+
+    def test_garble_same_length_different_bytes(self):
+        fault = Fault(kind=FaultKind.INPUT_GARBLE, garble_bytes=8, seed=5)
+        data = np.arange(100, dtype=np.uint8)
+        staged = fault.mutate_input(data)
+        assert staged.size == data.size
+        assert not np.array_equal(staged, data)
+
+    def test_payloads_deterministic_in_seed(self):
+        data = np.arange(256, dtype=np.uint8)
+        f = lambda: Fault(kind=FaultKind.INPUT_GARBLE, seed=9).mutate_input(data)
+        assert np.array_equal(f(), f())

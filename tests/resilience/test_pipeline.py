@@ -1,0 +1,162 @@
+"""Tests of the resilient scanning pipeline (retry, fallback, health)."""
+
+import pytest
+
+from repro.core import DFA, PatternSet, match_serial
+from repro.errors import LaunchError, ReproError
+from repro.matcher import Matcher
+from repro.resilience import (
+    DEFAULT_CHAIN,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ResilientMatcher,
+)
+
+PATTERNS = ["he", "she", "his", "hers"]
+TEXT = "ushers and sheriffs went fishing with her"
+
+
+def oracle(text=TEXT):
+    return match_serial(DFA.build(PatternSet.from_strings(PATTERNS)), text)
+
+
+def make(plan=None, **kw):
+    injector = FaultInjector(plan) if plan is not None else None
+    kw.setdefault("sleep", lambda s: None)
+    return ResilientMatcher(PATTERNS, injector=injector, **kw)
+
+
+class TestHappyPath:
+    def test_no_faults_uses_first_backend(self):
+        rm = make()
+        result, health = rm.scan_with_health(TEXT)
+        assert result == oracle()
+        assert health.ok
+        assert health.final_backend == "gpu"
+        assert health.retries == 0
+        assert health.fallbacks == []
+        assert health.faults_seen == []
+
+    def test_scan_sets_last_health(self):
+        rm = make()
+        rm.scan(TEXT)
+        assert rm.last_health is not None and rm.last_health.ok
+
+    def test_convenience_wrappers(self):
+        rm = make()
+        assert rm.count(TEXT) == len(oracle())
+        triples = rm.findall(TEXT)
+        assert all(s < e for s, e, _ in triples)
+
+    def test_wraps_existing_matcher_without_rebuilding(self):
+        m = Matcher(PATTERNS, backend="serial")
+        rm = ResilientMatcher(m, sleep=lambda s: None)
+        assert rm.dfa is m.dfa
+        assert rm.scan(TEXT) == oracle()
+
+
+class TestRetry:
+    def test_transient_fault_retried_same_backend(self):
+        rm = make(FaultPlan.single(FaultKind.LAUNCH_FAILURE))
+        result, health = rm.scan_with_health(TEXT)
+        assert result == oracle()
+        assert health.final_backend == "gpu"
+        assert health.retries == 1
+        assert health.fallbacks == []
+        assert [a.ok for a in health.attempts] == [False, True]
+
+    def test_exponential_backoff_schedule(self):
+        sleeps = []
+        rm = ResilientMatcher(
+            PATTERNS,
+            injector=FaultInjector(
+                FaultPlan.single(
+                    FaultKind.LAUNCH_FAILURE, persistent=True
+                )
+            ),
+            chain=("gpu", "serial"),
+            max_retries=3,
+            backoff_base=0.01,
+            backoff_cap=0.03,
+            sleep=sleeps.append,
+        )
+        rm.scan(TEXT)
+        assert sleeps == [0.01, 0.02, 0.03]  # doubled, then capped
+
+    def test_retry_budget_respected(self):
+        rm = make(
+            FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True),
+            max_retries=1,
+        )
+        _, health = rm.scan_with_health(TEXT)
+        gpu_attempts = [a for a in health.attempts if a.backend == "gpu"]
+        assert len(gpu_attempts) == 2  # initial + one retry
+
+
+class TestFallback:
+    def test_persistent_fault_falls_back(self):
+        rm = make(FaultPlan.single(FaultKind.STT_BITFLIP, persistent=True))
+        result, health = rm.scan_with_health(TEXT)
+        assert result == oracle()
+        assert health.final_backend == "double_array"
+        assert health.fallbacks == ["gpu"]
+
+    def test_chain_exhaustion_raises_typed_error_with_health(self):
+        rm = make(
+            FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True),
+            chain=("gpu",),
+        )
+        with pytest.raises(LaunchError):
+            rm.scan(TEXT)
+        health = rm.last_health
+        assert health is not None and not health.ok
+        assert health.final_backend is None
+        assert "LaunchError" in health.error
+
+    def test_all_backends_byte_exact(self):
+        for chain in (("gpu",), ("double_array",), ("serial",)):
+            assert make(chain=chain).scan(TEXT) == oracle()
+
+    def test_render_is_printable(self):
+        rm = make(FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True))
+        _, health = rm.scan_with_health(TEXT)
+        text = health.render()
+        assert "fallbacks" in text and "gpu" in text
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ReproError, match="chain"):
+            ResilientMatcher(PATTERNS, chain=())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            ResilientMatcher(PATTERNS, chain=("quantum",))
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ReproError, match="max_retries"):
+            ResilientMatcher(PATTERNS, max_retries=-1)
+
+
+class TestMatcherIntegration:
+    def test_matcher_scan_resilient_option(self):
+        inj_free = Matcher(PATTERNS, backend="gpu")
+        result = inj_free.scan(TEXT, resilient=True)
+        assert result == oracle()
+        assert inj_free.last_health is not None
+        assert inj_free.last_health.final_backend == "gpu"
+
+    def test_resilient_chain_starts_at_backend(self):
+        m = Matcher(PATTERNS, backend="double_array")
+        m.scan(TEXT, resilient=True)
+        assert m.last_health.final_backend == "double_array"
+
+    def test_case_insensitive_resilient_scan(self):
+        m = Matcher(["HE", "She"], backend="gpu", case_insensitive=True)
+        up = m.scan("USHERS", resilient=True)
+        lo = m.scan("ushers", resilient=True)
+        assert up == lo and len(up) == 2
+
+    def test_default_chain_constant(self):
+        assert DEFAULT_CHAIN == ("gpu", "double_array", "serial")
