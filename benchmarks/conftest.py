@@ -9,6 +9,11 @@ simulation.
 
 The grid is the paper's full size axis and a four-point pattern axis
 (10,000 dropped for bench runtime; the CLI regenerates the full grid).
+
+A session-scoped :class:`~repro.obs.BenchCollector` rides on the
+runner, so a bench run leaves a machine-readable per-cell trajectory
+in ``BENCH_session.json`` (schema-validated on write) alongside
+pytest-benchmark's own timings.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.runner import ExperimentRunner
+from repro.obs import BenchCollector
 
 #: Paper sizes (full axis) and a reduced pattern axis.
 BENCH_SIZES = ["50KB", "1MB", "10MB", "100MB", "200MB"]
@@ -24,10 +30,28 @@ BENCH_COUNTS = [100, 1_000, 5_000, 20_000]
 #: Functional-simulation scale for benches (see DESIGN.md §2).
 BENCH_SCALE = 0.005
 
+#: Where the session's cell trajectory lands.
+BENCH_TRAJECTORY = "BENCH_session.json"
+
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner(scale=BENCH_SCALE, seed=2013)
+def collector() -> BenchCollector:
+    return BenchCollector(label="benchmarks")
+
+
+@pytest.fixture(scope="session")
+def runner(collector) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=BENCH_SCALE, seed=2013, collector=collector
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_trajectory(collector):
+    """Dump the collected cells once the bench session ends."""
+    yield
+    if collector.records:
+        collector.write_json(BENCH_TRAJECTORY)
 
 
 def regenerate(benchmark, figure_id: str, runner: ExperimentRunner):

@@ -34,6 +34,7 @@ from repro.kernels.base import CostParams, KernelResult
 from repro.kernels.global_only import run_global_kernel
 from repro.kernels.pfac import run_pfac_kernel
 from repro.kernels.shared_mem import run_shared_kernel
+from repro.obs import NULL_TRACER
 from repro.workload.datasets import DatasetFactory, Workload
 
 #: Kernel registry names accepted by run_cell.
@@ -146,7 +147,15 @@ def scale_breakdown(
 
 
 class ExperimentRunner:
-    """Executes grid cells with caching of dictionaries and cells."""
+    """Executes grid cells with caching of dictionaries and cells.
+
+    ``collector`` is an optional :class:`~repro.obs.BenchCollector`
+    (or any object with ``on_runner(config)``/``on_cell(result,
+    cached=...)``): every :meth:`run_cell` outcome — cache hits
+    included, flagged — is recorded, which is how ``BENCH_*.json``
+    trajectories are produced by the harness instead of by hand.
+    ``tracer`` records a ``run_cell`` span per cell.
+    """
 
     def __init__(
         self,
@@ -159,7 +168,11 @@ class ExperimentRunner:
         shared_threads_per_block: int = 128,
         shared_chunk_bytes: int = 64,
         wave_correction: bool = False,
+        collector=None,
+        tracer=None,
     ):
+        self.scale = scale
+        self.seed = seed
         self.factory = DatasetFactory(seed=seed, scale=scale)
         self.device_config = device_config or gtx285()
         self.cpu = cpu or CpuConfig()
@@ -173,8 +186,39 @@ class ExperimentRunner:
         #: exposes the small-input underutilization the paper's 50 KB
         #: cells really suffer (see repro.analysis.waves).
         self.wave_correction = wave_correction
+        self.collector = collector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if collector is not None:
+            collector.on_runner(self.config_dict())
         self._dfa_cache: Dict[int, DFA] = {}
-        self._cell_cache: Dict[Tuple[str, int, Tuple[str, ...]], CellResult] = {}
+        self._cell_cache: Dict[tuple, CellResult] = {}
+
+    def config_dict(self) -> Dict[str, object]:
+        """The tunable configuration, export form (bench documents)."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "global_chunk_len": self.global_chunk_len,
+            "shared_threads_per_block": self.shared_threads_per_block,
+            "shared_chunk_bytes": self.shared_chunk_bytes,
+            "wave_correction": self.wave_correction,
+        }
+
+    def _config_key(self) -> tuple:
+        """The mutable knobs that change what a cell measures.
+
+        Part of every cell-cache key: mutating ``wave_correction``,
+        ``shared_chunk_bytes``, ``shared_threads_per_block`` or
+        ``global_chunk_len`` between runs must invalidate cached cells
+        (regression: stale results used to be returned).
+        """
+        return (
+            self.global_chunk_len,
+            self.shared_threads_per_block,
+            self.shared_chunk_bytes,
+            self.wave_correction,
+            self.params,
+        )
 
     # -- building blocks ---------------------------------------------------
     def dfa_for(self, n_patterns: int) -> DFA:
@@ -250,10 +294,37 @@ class ExperimentRunner:
             raise ExperimentError(
                 f"unknown kernels {sorted(unknown)}; valid: {KERNEL_NAMES}"
             )
-        key = (size_label, n_patterns, tuple(sorted(kernels)))
+        key = (
+            size_label,
+            n_patterns,
+            tuple(sorted(kernels)),
+            self._config_key(),
+        )
         if key in self._cell_cache:
-            return self._cell_cache[key]
+            cached = self._cell_cache[key]
+            if self.collector is not None:
+                self.collector.on_cell(cached, cached=True)
+            return cached
 
+        with self.tracer.span(
+            "run_cell",
+            size=size_label,
+            n_patterns=n_patterns,
+            kernels=",".join(sorted(kernels)),
+        ):
+            out = self._compute_cell(size_label, n_patterns, kernels)
+        self._cell_cache[key] = out
+        if self.collector is not None:
+            self.collector.on_cell(out, cached=False)
+        return out
+
+    def _compute_cell(
+        self,
+        size_label: str,
+        n_patterns: int,
+        kernels: Sequence[str],
+    ) -> CellResult:
+        """Uncached cell execution (see :meth:`run_cell`)."""
         cell = self.factory.cell(size_label, n_patterns)
         dfa = self.dfa_for(n_patterns)
         out = CellResult(
@@ -318,8 +389,6 @@ class ExperimentRunner:
                 dfa, cell.data, self._fresh_device(dfa), params=self.params
             )
             out.kernels["pfac"] = self._scaled(r, cell)
-
-        self._cell_cache[key] = out
         return out
 
     def run_grid(

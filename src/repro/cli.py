@@ -145,6 +145,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-persistent", action="store_true",
         help="make injected faults survive retries (forces fallbacks)",
     )
+    m.add_argument(
+        "--trace", action="store_true",
+        help="record the scan through the tracing layer and print the "
+        "span tree (build, copy_input, bind_texture, kernel_body, ...)",
+    )
+
+    st = sub.add_parser(
+        "stats",
+        help="scan your data and emit the metrics registry (JSON and/or "
+        "Prometheus text exposition)",
+    )
+    st.add_argument("--patterns-file", required=True,
+                    help="one pattern per line")
+    st.add_argument("--text-file", required=True, help="input bytes")
+    st.add_argument("--backend", default="gpu",
+                    choices=["gpu", "double_array", "serial"])
+    st.add_argument("--case-insensitive", action="store_true")
+    st.add_argument(
+        "--format", default="both", choices=["json", "prometheus", "both"],
+        help="export format (default both)",
+    )
+    st.add_argument(
+        "--resilient", action="store_true",
+        help="scan through the resilient pipeline so retry/fallback "
+        "counters are exercised",
+    )
+
+    be = sub.add_parser(
+        "bench",
+        help="run benchmark smoke cells with a collector attached and "
+        "write a schema-validated BENCH_*.json trajectory",
+    )
+    be.add_argument(
+        "--figures", default="fig13,fig18",
+        help="comma list of figure ids to smoke (default fig13,fig18)",
+    )
+    be.add_argument("--sizes", default="1MB", help="comma list (default 1MB)")
+    be.add_argument("--patterns", default="100,1000",
+                    help="comma list (default 100,1000)")
+    be.add_argument("--scale", type=float, default=0.005)
+    be.add_argument("--seed", type=int, default=2013)
+    be.add_argument(
+        "--out", default="BENCH_smoke.json",
+        help="output path for the cell trajectory (default BENCH_smoke.json)",
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -290,12 +335,18 @@ def _cmd_match_resilient(args, patterns, text) -> int:
             return 2
         injector = FaultInjector(FaultPlan(faults))
     chain = tuple(s.strip() for s in args.chain.split(",") if s.strip())
+    tracer = None
+    if getattr(args, "trace", False):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     try:
         rm = ResilientMatcher(
             PatternSet.from_strings(patterns),
             chain=chain,
             max_retries=args.retries,
             injector=injector,
+            tracer=tracer,
         )
     except ReproError as exc:
         print(f"error: {exc}")
@@ -307,6 +358,9 @@ def _cmd_match_resilient(args, patterns, text) -> int:
         if rm.last_health is not None:
             print()
             print(rm.last_health.render())
+        if tracer is not None:
+            print()
+            print(tracer.render())
         return 1
     print(f"matches       : {len(result)}")
     for m in list(result)[:10]:
@@ -315,6 +369,9 @@ def _cmd_match_resilient(args, patterns, text) -> int:
         print(f"  ... {len(result) - 10} more")
     print()
     print(health.render())
+    if tracer is not None:
+        print()
+        print(tracer.render())
     return 0
 
 
@@ -359,13 +416,18 @@ def _cmd_match(args) -> int:
         text = fh.read()
     if args.resilient:
         return _cmd_match_resilient(args, patterns, text)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     dfa = DFA.build(PatternSet.from_strings(patterns))
     kernel = {
         "shared": run_shared_kernel,
         "global": run_global_kernel,
         "pfac": run_pfac_kernel,
     }[args.kernel]
-    result = kernel(dfa, text)
+    result = kernel(dfa, text, tracer=tracer)
     from repro.analysis import event_report
 
     print(f"kernel        : {result.name}")
@@ -379,6 +441,80 @@ def _cmd_match(args) -> int:
         print(f"  ... {len(result.matches) - 10} more")
     print()
     print(event_report(result))
+    if tracer is not None:
+        print()
+        print(tracer.render())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.matcher import Matcher
+    from repro.obs import Metrics, Tracer
+
+    with open(args.patterns_file, "r", encoding="latin-1") as fh:
+        patterns = [line.rstrip("\n") for line in fh if line.strip()]
+    with open(args.text_file, "rb") as fh:
+        text = fh.read()
+    metrics = Metrics()
+    tracer = Tracer()
+    matcher = Matcher(
+        patterns,
+        backend=args.backend,
+        case_insensitive=args.case_insensitive,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    backend = args.backend
+    if args.resilient:
+        from repro.resilience import ResilientMatcher
+
+        rm = ResilientMatcher(
+            matcher, tracer=tracer, metrics=metrics
+        )
+        result = rm.scan(text)
+        if rm.last_health is not None and rm.last_health.final_backend:
+            backend = rm.last_health.final_backend
+    else:
+        result = matcher.scan(text)
+    print(f"# backend={backend} matches={len(result)}", file=sys.stderr)
+    if args.format in ("json", "both"):
+        print(metrics.to_json())
+    if args.format in ("prometheus", "both"):
+        print(metrics.to_prometheus())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.experiments import run_figure
+    from repro.errors import SchemaError
+    from repro.obs import BenchCollector, validate_bench_document
+
+    fids = [s.strip() for s in args.figures.split(",") if s.strip()]
+    known = FIGURES | ABLATIONS
+    for fid in fids:
+        if fid not in known:
+            print(f"error: unknown figure id {fid!r}; "
+                  f"choose from {', '.join(sorted(known))}")
+            return 2
+    collector = BenchCollector()
+    runner = ExperimentRunner(
+        scale=args.scale, seed=args.seed, collector=collector
+    )
+    sizes = _parse_sizes(args.sizes)
+    counts = _parse_counts(args.patterns)
+    for fid in fids:
+        run_figure(fid, runner, sizes, counts)
+        print(f"ran {fid}: {len(collector.records)} cells collected so far")
+    try:
+        doc = collector.as_document()
+        validate_bench_document(doc)
+    except SchemaError as exc:
+        print(f"schema drift: {exc}")
+        return 1
+    collector.write_json(args.out)
+    print(f"wrote {args.out} "
+          f"({len(doc['cells'])} cells, schema {doc['schema']} "
+          f"v{doc['version']})")
     return 0
 
 
@@ -407,6 +543,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_dot(args)
     if args.command == "match":
         return _cmd_match(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse guards

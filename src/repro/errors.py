@@ -82,3 +82,13 @@ class FaultInjectionError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the benchmark harness for unknown experiments/params."""
+
+
+class SchemaError(ReproError):
+    """Raised when a machine-readable export drifts from its schema.
+
+    The observability layer versions its JSON documents (bench cells,
+    metrics); CI validates emitted artifacts against the declared
+    schema so a renamed or retyped field fails the build instead of
+    silently breaking downstream consumers.
+    """

@@ -80,15 +80,25 @@ class Device:
         ``poke(site, **context)`` method returning ``None`` or a typed
         fault — see :mod:`repro.resilience.faults`).  Production code
         never sets this; fault campaigns do.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  Every state-changing
+        device operation emits a ``device.*`` event (alloc, free,
+        copy_input, bind_texture, launch) with its byte counts, so a
+        traced scan shows the full host-program lifecycle.  Default:
+        the shared no-op tracer.
     """
 
     def __init__(
         self,
         config: Optional[DeviceConfig] = None,
         injector=None,
+        tracer=None,
     ):
+        from repro.obs import NULL_TRACER
+
         self.config = config or gtx285()
         self.injector = injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._texture: Optional[TextureBinding] = None
         self._texture_table: Optional[np.ndarray] = None
         self._texture_crcs: Optional[np.ndarray] = None
@@ -132,6 +142,9 @@ class Device:
                 f"requested of {self.config.global_mem_bytes} B"
             )
         self._allocated_bytes += nbytes
+        self.tracer.event(
+            "device.alloc", nbytes=nbytes, allocated=self._allocated_bytes
+        )
         return self._allocated_bytes
 
     def free(self, nbytes: int) -> int:
@@ -149,6 +162,9 @@ class Device:
                 "currently allocated (double free?)"
             )
         self._allocated_bytes -= nbytes
+        self.tracer.event(
+            "device.free", nbytes=nbytes, allocated=self._allocated_bytes
+        )
         return self._allocated_bytes
 
     @contextmanager
@@ -198,6 +214,11 @@ class Device:
                 f"input buffer corrupted during host-to-device copy: staged "
                 f"{data.nbytes} B copy fails its CRC32 check"
             )
+        self.tracer.event(
+            "device.copy_input",
+            nbytes=data.nbytes,
+            modeled_seconds=self.copy_h2d_seconds(data.nbytes),
+        )
         self.alloc(data.nbytes)
         return staged
 
@@ -238,6 +259,11 @@ class Device:
         self._texture = binding
         self._texture_table = table
         self._texture_crcs = row_checksums
+        self.tracer.event(
+            "device.bind_texture",
+            n_states=stats.n_states,
+            nbytes=stats.bytes_total,
+        )
         fault = self._poke("bind_texture", n_states=stats.n_states)
         if fault is not None:
             fault.mutate_table(table)
@@ -306,4 +332,11 @@ class Device:
                 f"kernel exceeded its watchdog deadline: modeled "
                 f"{timing.seconds:.6f} s > {fault.deadline_seconds:.6f} s"
             )
+        self.tracer.event(
+            "device.launch",
+            n_blocks=launch.n_blocks,
+            threads_per_block=launch.threads_per_block,
+            modeled_seconds=timing.seconds,
+            regime=timing.regime,
+        )
         return timing

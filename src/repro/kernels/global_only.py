@@ -44,6 +44,7 @@ from repro.kernels.base import (
     grouped_thread_addresses,
     texture_traffic,
 )
+from repro.obs import coalesce
 
 #: Default chunk per thread.  Large enough to amortize per-thread state,
 #: small enough to spawn a grid that fills 30 SMs on megabyte inputs.
@@ -76,9 +77,11 @@ def measure_global(
     chunk_len: int = DEFAULT_CHUNK_LEN,
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
     params: Optional[CostParams] = None,
+    tracer=None,
 ) -> GlobalMeasurement:
     """Functional pass + event measurement (no pricing)."""
     params = params or CostParams()
+    tracer = coalesce(tracer)
     arr = encode(data, name="data")
     if arr.size == 0:
         raise LaunchError("cannot launch a kernel over an empty input")
@@ -89,7 +92,9 @@ def measure_global(
     plan = plan_chunks(arr.size, chunk_len, overlap)
     windows = build_windows(arr, plan)
     trace = run_dfa_lockstep(dfa, windows, plan)
-    matches, raw_hits = extract_matches(dfa, trace)
+    with tracer.span("ownership_filter") as sp:
+        matches, raw_hits = extract_matches(dfa, trace)
+        sp.set(raw_hits=raw_hits, matches=len(matches))
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -205,31 +210,46 @@ def run_global_kernel(
     chunk_len: int = DEFAULT_CHUNK_LEN,
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
     params: Optional[CostParams] = None,
+    tracer=None,
 ) -> KernelResult:
     """Run the global-memory-only kernel on *data* (measure + price).
 
     Same device lifecycle as the shared kernel: checksummed input copy,
     texture bind + integrity verification, and paired release of every
     allocation in a ``finally`` so long-lived devices survive repeated
-    runs.
+    runs.  ``tracer`` (default: the device's, else no-op) records the
+    lifecycle spans.
     """
     device = device or Device()
+    if tracer is None:
+        tracer = getattr(device, "tracer", None)
+    tracer = coalesce(tracer)
     arr = encode(data, name="data")
-    staged = device.copy_input(arr)  # pairs with the free() below
+    with tracer.span("copy_input", nbytes=int(arr.nbytes)):
+        staged = device.copy_input(arr)  # pairs with the free() below
     owns_texture = device.texture is None
     try:
         if owns_texture:
-            device.bind_texture(dfa.stt)
+            with tracer.span("bind_texture", n_states=dfa.n_states):
+                device.bind_texture(dfa.stt)
         device.verify_texture()
-        meas = measure_global(
-            dfa,
-            staged,
-            device.config,
-            chunk_len=chunk_len,
-            threads_per_block=threads_per_block,
-            params=params,
-        )
-        return price_global(meas, device, params)
+        with tracer.span("kernel_body", kernel="global_only") as sp:
+            meas = measure_global(
+                dfa,
+                staged,
+                device.config,
+                chunk_len=chunk_len,
+                threads_per_block=threads_per_block,
+                params=params,
+                tracer=tracer,
+            )
+            result = price_global(meas, device, params)
+            sp.set(
+                matches=len(result.matches),
+                modeled_seconds=result.seconds,
+                regime=result.timing.regime,
+            )
+        return result
     finally:
         device.free(arr.nbytes)
         if owns_texture:

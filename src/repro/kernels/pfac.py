@@ -38,6 +38,7 @@ from repro.gpu.geometry import LaunchConfig
 from repro.gpu.latency import KernelCost
 from repro.gpu.texture import stt_line_ids
 from repro.kernels.base import CostParams, KernelResult
+from repro.obs import coalesce
 
 #: Dead state of the failureless trie.
 DEAD = -1
@@ -191,22 +192,59 @@ def run_pfac_kernel(
     *,
     threads_per_block: int = 256,
     params: Optional[CostParams] = None,
+    tracer=None,
 ) -> KernelResult:
     """Run PFAC over *data*; matches are identical to the AC kernels.
 
     ``dfa`` supplies the pattern set (the failureless table is built
     from it); reusing the DFA argument keeps the kernel signatures
-    uniform across the bench harness.
+    uniform across the bench harness.  ``tracer`` (default: the
+    device's, else no-op) records the build and kernel-body spans.
     """
     device = device or Device()
+    if tracer is None:
+        tracer = getattr(device, "tracer", None)
+    tracer = coalesce(tracer)
     params = params or CostParams()
     config = device.config
     arr = encode(data, name="data")
     if arr.size == 0:
         raise LaunchError("cannot launch a kernel over an empty input")
 
-    pfac = PfacAutomaton.build(dfa.patterns)
+    with tracer.span("build", kernel="pfac") as sp:
+        pfac = PfacAutomaton.build(dfa.patterns)
+        sp.set(n_states=pfac.n_states)
 
+    with tracer.span("kernel_body", kernel="pfac") as kernel_span:
+        matches, counters, cost, launch, occupancy = _pfac_passes(
+            pfac, arr, device, params, threads_per_block
+        )
+        timing = device.launch(launch, cost)
+        kernel_span.set(
+            matches=len(matches),
+            modeled_seconds=timing.seconds,
+            regime=timing.regime,
+        )
+
+    return KernelResult(
+        name="pfac",
+        matches=matches,
+        counters=counters,
+        timing=timing,
+        launch=launch,
+        occupancy=occupancy,
+    )
+
+
+def _pfac_passes(
+    pfac: PfacAutomaton,
+    arr: np.ndarray,
+    device: Device,
+    params: CostParams,
+    threads_per_block: int,
+):
+    """Both functional passes + cost assembly (no launch pricing)."""
+    config = device.config
     # ---- pass A: functional + line histogram ------------------------------
     all_ends: List[np.ndarray] = []
     all_pids: List[np.ndarray] = []
@@ -297,16 +335,7 @@ def run_pfac_kernel(
         mem_bytes_total=input_bus + miss_requests * config.texture_cache.line_bytes,
         input_bytes=int(arr.size),
     )
-    timing = device.launch(launch, cost)
-
-    return KernelResult(
-        name="pfac",
-        matches=matches,
-        counters=counters,
-        timing=timing,
-        launch=launch,
-        occupancy=occupancy,
-    )
+    return matches, counters, cost, launch, occupancy
 
 
 def _collect_sample_lines(

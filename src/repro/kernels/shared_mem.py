@@ -57,6 +57,7 @@ from repro.kernels.base import (
     TextureTraffic,
     texture_traffic,
 )
+from repro.obs import coalesce
 
 #: Paper geometry: 128 threads x 64-byte chunks = 8 KB staged per block.
 DEFAULT_THREADS_PER_BLOCK = 128
@@ -100,9 +101,11 @@ def measure_shared(
     reserved_shared: int = DEFAULT_RESERVED_SHARED,
     params: Optional[CostParams] = None,
     stt_in_texture: bool = True,
+    tracer=None,
 ) -> SharedMeasurement:
     """Functional pass + event measurement (no pricing)."""
     params = params or CostParams()
+    tracer = coalesce(tracer)
     store = get_scheme(scheme)
     arr = encode(data, name="data")
     if arr.size == 0:
@@ -127,7 +130,9 @@ def measure_shared(
     plan = plan_chunks(arr.size, chunk_bytes, overlap)
     windows = build_windows(arr, plan)
     trace = run_dfa_lockstep(dfa, windows, plan)
-    matches, raw_hits = extract_matches(dfa, trace)
+    with tracer.span("ownership_filter") as sp:
+        matches, raw_hits = extract_matches(dfa, trace)
+        sp.set(raw_hits=raw_hits, matches=len(matches))
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -311,6 +316,7 @@ def run_shared_kernel(
     reserved_shared: int = DEFAULT_RESERVED_SHARED,
     params: Optional[CostParams] = None,
     stt_in_texture: bool = True,
+    tracer=None,
 ) -> KernelResult:
     """Run the shared-memory kernel on *data* (measure + price).
 
@@ -320,27 +326,46 @@ def run_shared_kernel(
     the texture-resident table, and — win or lose — paired release of
     every byte it allocated, so repeated runs on a long-lived device
     never exhaust the simulated global memory.
+
+    ``tracer`` (default: the device's, else the no-op tracer) records
+    ``copy_input``/``bind_texture``/``kernel_body`` spans around each
+    lifecycle phase.
     """
     device = device or Device()
+    if tracer is None:
+        tracer = getattr(device, "tracer", None)
+    tracer = coalesce(tracer)
     arr = encode(data, name="data")
-    staged = device.copy_input(arr)  # pairs with the free() below
+    with tracer.span("copy_input", nbytes=int(arr.nbytes)):
+        staged = device.copy_input(arr)  # pairs with the free() below
     owns_texture = device.texture is None
     try:
         if owns_texture:
-            device.bind_texture(dfa.stt)
+            with tracer.span("bind_texture", n_states=dfa.n_states):
+                device.bind_texture(dfa.stt)
         device.verify_texture()
-        meas = measure_shared(
-            dfa,
-            staged,
-            device.config,
-            scheme=scheme,
-            threads_per_block=threads_per_block,
-            chunk_bytes=chunk_bytes,
-            reserved_shared=reserved_shared,
-            params=params,
-            stt_in_texture=stt_in_texture,
-        )
-        return price_shared(meas, device, params)
+        with tracer.span(
+            "kernel_body", kernel="shared_memory", scheme=scheme
+        ) as sp:
+            meas = measure_shared(
+                dfa,
+                staged,
+                device.config,
+                scheme=scheme,
+                threads_per_block=threads_per_block,
+                chunk_bytes=chunk_bytes,
+                reserved_shared=reserved_shared,
+                params=params,
+                stt_in_texture=stt_in_texture,
+                tracer=tracer,
+            )
+            result = price_shared(meas, device, params)
+            sp.set(
+                matches=len(result.matches),
+                modeled_seconds=result.seconds,
+                regime=result.timing.regime,
+            )
+        return result
     finally:
         device.free(arr.nbytes)
         if owns_texture:

@@ -20,6 +20,7 @@ byte-exact against the oracle.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.alphabet import BytesLike
@@ -30,6 +31,7 @@ from repro.core.serial import match_serial
 from repro.core.serialization import load_dfa_meta, save_dfa
 from repro.core.streaming import StreamMatcher
 from repro.errors import ReproError
+from repro.obs import NULL_METRICS, NULL_TRACER
 
 #: Valid backend names.
 BACKENDS = ("serial", "gpu", "double_array")
@@ -56,6 +58,15 @@ class Matcher:
         ``gpu`` backend.  Default: a fresh device per scan.  Kernels
         pair every allocation with a release, so a long-lived device
         can serve unboundedly many scans.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When set, every scan
+        records a typed span tree (``scan`` → ``fold`` →
+        ``copy_input``/``kernel_body``/...).  Default: the shared
+        no-op tracer — instrumentation costs nothing.
+    metrics:
+        Optional :class:`~repro.obs.Metrics` registry.  When set, scans
+        update the per-backend counters/histograms documented in
+        docs/MODEL.md §7.
     """
 
     def __init__(
@@ -65,6 +76,8 @@ class Matcher:
         backend: str = "serial",
         case_insensitive: bool = False,
         device=None,
+        tracer=None,
+        metrics=None,
     ):
         if backend not in BACKENDS:
             raise ReproError(
@@ -77,7 +90,13 @@ class Matcher:
             patterns = PatternSet.from_bytes(
                 [p.lower() for p in patterns.as_bytes_list()]
             )
-        self._dfa = DFA.build(patterns)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        with self.tracer.span(
+            "build", n_patterns=len(patterns), backend=backend
+        ) as sp:
+            self._dfa = DFA.build(patterns)
+            sp.set(n_states=self._dfa.n_states)
         self.backend = backend
         self.device = device
         self.last_health = None
@@ -97,6 +116,8 @@ class Matcher:
         backend: str = "serial",
         case_insensitive: bool = False,
         device=None,
+        tracer=None,
+        metrics=None,
     ) -> "Matcher":
         """Wrap a pre-built DFA (e.g. loaded from disk).
 
@@ -113,6 +134,8 @@ class Matcher:
         obj.backend = backend
         obj.case_insensitive = case_insensitive
         obj.device = device
+        obj.tracer = tracer if tracer is not None else NULL_TRACER
+        obj.metrics = metrics if metrics is not None else NULL_METRICS
         obj.last_health = None
         obj._resilient = None
         obj._double_array = None
@@ -166,17 +189,18 @@ class Matcher:
     def _fold(self, text: BytesLike) -> BytesLike:
         if not self.case_insensitive:
             return text
-        if isinstance(text, str):
-            return text.lower()
-        if isinstance(text, (bytes, bytearray, memoryview)):
-            return bytes(text).lower()
-        # uint8 ndarray: fold ASCII uppercase in place-free form.
-        import numpy as np
+        with self.tracer.span("fold"):
+            if isinstance(text, str):
+                return text.lower()
+            if isinstance(text, (bytes, bytearray, memoryview)):
+                return bytes(text).lower()
+            # uint8 ndarray: fold ASCII uppercase in place-free form.
+            import numpy as np
 
-        arr = text.copy()
-        upper = (arr >= 65) & (arr <= 90)
-        arr[upper] += 32
-        return arr
+            arr = text.copy()
+            upper = (arr >= 65) & (arr <= 90)
+            arr[upper] += 32
+            return arr
 
     # -- scanning ------------------------------------------------------------
     def scan(self, text: BytesLike, *, resilient: bool = False) -> MatchResult:
@@ -195,16 +219,66 @@ class Matcher:
             result = rm.scan(text)
             self.last_health = rm.last_health
             return result
-        text = self._fold(text)
-        if self.backend == "gpu":
-            from repro.gpu.device import Device
-            from repro.kernels.shared_mem import run_shared_kernel
+        t0 = time.perf_counter() if self.metrics.enabled else 0.0
+        with self.tracer.span("scan", backend=self.backend) as sp:
+            text = self._fold(text)
+            if self.backend == "gpu":
+                kr = self._run_gpu_kernel(text)
+                self._observe_kernel(kr)
+                result = kr.matches
+            elif self.backend == "double_array":
+                result = self._double_array.match(text)
+            else:
+                result = match_serial(self._dfa, text)
+            sp.set(matches=len(result))
+        self._record_scan(result, len(text), t0)
+        return result
 
-            device = self.device if self.device is not None else Device()
-            return run_shared_kernel(self._dfa, text, device).matches
-        if self.backend == "double_array":
-            return self._double_array.match(text)
-        return match_serial(self._dfa, text)
+    def _run_gpu_kernel(self, text: BytesLike):
+        """GPU-backend scan: device selection shared by every GPU path."""
+        from repro.gpu.device import Device
+        from repro.kernels.shared_mem import run_shared_kernel
+
+        device = (
+            self.device
+            if self.device is not None
+            else Device(tracer=self.tracer)
+        )
+        return run_shared_kernel(self._dfa, text, device, tracer=self.tracer)
+
+    def _observe_kernel(self, result) -> None:
+        """Export a KernelResult's modeled stats as gauges."""
+        if not self.metrics.enabled:
+            return
+        self.metrics.gauge(
+            "kernel_modeled_seconds", "last modeled GPU kernel time"
+        ).set(result.seconds)
+        self.metrics.gauge(
+            "texture_hit_rate", "last kernel's texture hit rate"
+        ).set(result.counters.texture_hit_rate)
+        self.metrics.gauge(
+            "avg_conflict_degree", "last kernel's bank-conflict degree"
+        ).set(result.counters.avg_conflict_degree)
+
+    def _record_scan(
+        self, result: MatchResult, n_bytes: int, t0: float
+    ) -> None:
+        """Update the per-backend scan counters/histograms."""
+        if not self.metrics.enabled:
+            return
+        backend = self.backend
+        self.metrics.counter(
+            "scans_total", "scans completed"
+        ).inc(backend=backend)
+        self.metrics.counter(
+            "scan_bytes_total", "input bytes scanned"
+        ).inc(n_bytes, backend=backend)
+        self.metrics.counter(
+            "scan_matches_total", "matches returned"
+        ).inc(len(result), backend=backend)
+        self.metrics.histogram(
+            "scan_seconds", "wall-clock scan latency"
+        ).observe(time.perf_counter() - t0, backend=backend)
 
     def _resilient_pipeline(self):
         """The lazily built resilient wrapper sharing this automaton."""
@@ -219,18 +293,29 @@ class Matcher:
                 if self.backend in DEFAULT_CHAIN
                 else DEFAULT_CHAIN
             )
-            self._resilient = ResilientMatcher(self, chain=chain)
+            self._resilient = ResilientMatcher(
+                self, chain=chain, tracer=self.tracer, metrics=self.metrics
+            )
         return self._resilient
 
     def scan_with_timing(self, text: BytesLike):
-        """GPU backend only: full KernelResult with modeled timing."""
+        """GPU backend only: full KernelResult with modeled timing.
+
+        Byte-exact with :meth:`scan`: the text goes through the same
+        case fold and the same kernel/device selection, so a
+        ``case_insensitive`` matcher reports identical matches on both
+        paths (regression: the timing path used to skip the fold).
+        """
         if self.backend != "gpu":
             raise ReproError("scan_with_timing requires the 'gpu' backend")
-        from repro.gpu.device import Device
-        from repro.kernels.shared_mem import run_shared_kernel
-
-        device = self.device if self.device is not None else Device()
-        return run_shared_kernel(self._dfa, text, device)
+        t0 = time.perf_counter() if self.metrics.enabled else 0.0
+        with self.tracer.span("scan", backend=self.backend, timing=True) as sp:
+            text = self._fold(text)
+            result = self._run_gpu_kernel(text)
+            sp.set(matches=len(result.matches))
+        self._observe_kernel(result)
+        self._record_scan(result.matches, len(text), t0)
+        return result
 
     def finditer(
         self, text: BytesLike
@@ -303,7 +388,10 @@ class Matcher:
             if best is not None:
                 # An earlier-starting match could still be in flight;
                 # it must end before best_start + max_len.  Drain up to
-                # that position, then the minimum is final.
+                # that position, then the minimum is final.  When the
+                # drain itself surfaces an earlier start the bound
+                # tightens, so the limit is recomputed from the new
+                # best instead of scanning to the stale one.
                 limit = best[0] + max_len
                 while pos < min(limit, n):
                     more = stream.feed(data[pos : pos + chunk])
@@ -311,6 +399,7 @@ class Matcher:
                     cand = best_of(more)
                     if cand is not None and cand < best:
                         best = cand
+                        limit = best[0] + max_len
                 return best
         return best
 

@@ -1,0 +1,59 @@
+"""Observability layer: tracing, metrics and bench collectors.
+
+Three cooperating pieces, all opt-in and all zero-cost when absent:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — typed, timestamped span trees
+  over the scan path (``build``, ``fold``, ``copy_input``,
+  ``bind_texture``, ``kernel_body``, ``ownership_filter``, ``retry``,
+  ``fallback``);
+* :class:`Metrics` / :data:`NULL_METRICS` — a counter/gauge/histogram
+  registry with JSON and Prometheus-text exporters;
+* :class:`BenchCollector` — per-cell hooks on the experiment runner
+  that emit versioned, schema-validated ``BENCH_*.json`` documents.
+
+See docs/MODEL.md §7 for the event taxonomy and metric names.
+"""
+
+from repro.obs.collector import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchCollector,
+    CellRecord,
+    validate_bench_document,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+    coalesce_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    coalesce,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchCollector",
+    "CellRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "coalesce",
+    "coalesce_metrics",
+    "validate_bench_document",
+]

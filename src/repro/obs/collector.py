@@ -1,0 +1,240 @@
+"""Bench collectors: machine-readable ``BENCH_*.json`` trajectories.
+
+A :class:`BenchCollector` attaches to an
+:class:`~repro.bench.runner.ExperimentRunner` (the ``collector``
+constructor argument) and receives every cell result the runner
+produces — including cache hits, which are flagged so a trajectory
+distinguishes fresh simulation from replay.  :meth:`as_document`
+assembles the versioned JSON document the CI bench-smoke job uploads
+as ``BENCH_pr.json``; :func:`validate_bench_document` is the schema
+gate that job fails on.
+
+The schema is deliberately flat and explicit (no implicit nulls beyond
+the absent baselines), so drift — a renamed field, a type change, a
+missing kernel stat — is a loud CI failure rather than a silently
+broken dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SchemaError
+
+#: Document identifier + version; bump on any breaking field change.
+BENCH_SCHEMA = "repro-ac/bench-cells"
+BENCH_SCHEMA_VERSION = 1
+
+#: Required per-kernel stats and their types.
+_KERNEL_FIELDS = {
+    "seconds": float,
+    "gbps": float,
+    "regime": str,
+    "tex_hit_rate": float,
+    "avg_conflict_degree": float,
+    "warps_per_sm": int,
+    "matches": int,
+}
+
+#: Required per-cell fields and their types.
+_CELL_FIELDS = {
+    "size_label": str,
+    "n_patterns": int,
+    "paper_bytes": int,
+    "sim_bytes": int,
+    "n_states": int,
+    "cached": bool,
+    "kernels": dict,
+}
+
+#: Required baseline stats (when the baseline was run).
+_BASELINE_FIELDS = {"seconds": float, "gbps": float}
+
+
+@dataclass
+class CellRecord:
+    """One ``run_cell`` outcome in export form."""
+
+    size_label: str
+    n_patterns: int
+    paper_bytes: int
+    sim_bytes: int
+    n_states: int
+    cached: bool
+    serial: Optional[Dict[str, float]] = None
+    serial_mt: Optional[Dict[str, float]] = None
+    kernels: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form for the JSON document."""
+        return {
+            "size_label": self.size_label,
+            "n_patterns": self.n_patterns,
+            "paper_bytes": self.paper_bytes,
+            "sim_bytes": self.sim_bytes,
+            "n_states": self.n_states,
+            "cached": self.cached,
+            "serial": self.serial,
+            "serial_mt": self.serial_mt,
+            "kernels": self.kernels,
+        }
+
+
+class BenchCollector:
+    """Accumulates cell results into a versioned bench document."""
+
+    def __init__(self, label: str = "bench") -> None:
+        self.label = label
+        self.records: List[CellRecord] = []
+        self.config: Dict[str, Any] = {}
+
+    # -- runner hooks ----------------------------------------------------
+
+    def on_runner(self, config: Dict[str, Any]) -> None:
+        """Record the runner configuration the cells were produced under."""
+        self.config = dict(config)
+
+    def on_cell(self, result: Any, *, cached: bool) -> None:
+        """Record one :class:`~repro.bench.runner.CellResult`."""
+
+        def _baseline(cost: Any) -> Optional[Dict[str, float]]:
+            if cost is None:
+                return None
+            return {
+                "seconds": float(cost.seconds),
+                "gbps": float(cost.throughput_gbps),
+            }
+
+        kernels: Dict[str, Dict[str, Any]] = {}
+        for name, sk in result.kernels.items():
+            kernels[name] = {
+                "seconds": float(sk.seconds),
+                "gbps": float(sk.gbps),
+                "regime": str(sk.regime),
+                "tex_hit_rate": float(sk.tex_hit_rate),
+                "avg_conflict_degree": float(sk.avg_conflict_degree),
+                "warps_per_sm": int(sk.warps_per_sm),
+                "matches": int(sk.matches),
+            }
+        self.records.append(
+            CellRecord(
+                size_label=str(result.size_label),
+                n_patterns=int(result.n_patterns),
+                paper_bytes=int(result.paper_bytes),
+                sim_bytes=int(result.sim_bytes),
+                n_states=int(result.n_states),
+                cached=cached,
+                serial=_baseline(result.serial),
+                serial_mt=_baseline(result.serial_mt),
+                kernels=kernels,
+            )
+        )
+
+    # -- export ----------------------------------------------------------
+
+    def as_document(self) -> Dict[str, Any]:
+        """The versioned, schema-checked bench document."""
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "version": BENCH_SCHEMA_VERSION,
+            "label": self.label,
+            "config": dict(self.config),
+            "cells": [r.as_dict() for r in self.records],
+        }
+        validate_bench_document(doc)
+        return doc
+
+    def write_json(self, path: str) -> None:
+        """Write the document (validated) to *path*."""
+        with open(path, "w", encoding="ascii") as fh:
+            json.dump(self.as_document(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _check_type(value: Any, expect: type, where: str, errors: List[str]) -> None:
+    # bool is an int subclass; keep the check strict so a schema drift
+    # from int to bool (or vice versa) is caught.
+    if expect is int and isinstance(value, bool):
+        errors.append(f"{where}: expected int, got bool")
+        return
+    if expect is float and isinstance(value, int) and not isinstance(value, bool):
+        return  # JSON round-trips whole floats as ints; accept.
+    if not isinstance(value, expect):
+        errors.append(
+            f"{where}: expected {expect.__name__}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def validate_bench_document(doc: Any) -> None:
+    """Raise :class:`~repro.errors.SchemaError` on any schema drift.
+
+    Checks the document header, every cell's required fields and types,
+    every kernel stat block, and baseline blocks when present.  The
+    error message lists *all* problems, so one CI run surfaces the full
+    drift.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        raise SchemaError(f"bench document must be a dict, got {type(doc)}")
+    if doc.get("schema") != BENCH_SCHEMA:
+        errors.append(
+            f"schema: expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if doc.get("version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"version: expected {BENCH_SCHEMA_VERSION}, "
+            f"got {doc.get('version')!r}"
+        )
+    if not isinstance(doc.get("config"), dict):
+        errors.append("config: expected dict")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        errors.append("cells: expected list")
+        cells = []
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: expected dict")
+            continue
+        for name, expect in _CELL_FIELDS.items():
+            if name not in cell:
+                errors.append(f"{where}.{name}: missing")
+                continue
+            _check_type(cell[name], expect, f"{where}.{name}", errors)
+        for baseline in ("serial", "serial_mt"):
+            block = cell.get(baseline)
+            if block is None:
+                continue
+            if not isinstance(block, dict):
+                errors.append(f"{where}.{baseline}: expected dict or null")
+                continue
+            for name, expect in _BASELINE_FIELDS.items():
+                if name not in block:
+                    errors.append(f"{where}.{baseline}.{name}: missing")
+                else:
+                    _check_type(
+                        block[name], expect, f"{where}.{baseline}.{name}",
+                        errors,
+                    )
+        for kname, block in (cell.get("kernels") or {}).items():
+            kwhere = f"{where}.kernels[{kname}]"
+            if not isinstance(block, dict):
+                errors.append(f"{kwhere}: expected dict")
+                continue
+            for name, expect in _KERNEL_FIELDS.items():
+                if name not in block:
+                    errors.append(f"{kwhere}.{name}: missing")
+                else:
+                    _check_type(block[name], expect, f"{kwhere}.{name}", errors)
+            extra = set(block) - set(_KERNEL_FIELDS)
+            if extra:
+                errors.append(f"{kwhere}: unknown fields {sorted(extra)}")
+    if errors:
+        raise SchemaError(
+            "bench document fails schema "
+            f"{BENCH_SCHEMA} v{BENCH_SCHEMA_VERSION}:\n  "
+            + "\n  ".join(errors)
+        )

@@ -1,0 +1,342 @@
+"""Metrics registry: counters, gauges and histograms for the scan path.
+
+The product surface Bellekens et al. motivate for a GPU IDS — per-scan
+counters exported in machine-readable form — is modeled here in the
+Prometheus data model: a :class:`Metrics` registry owns named
+:class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments, each
+keyed by a (sorted) label set, with two exporters:
+
+* :meth:`Metrics.to_json` — one JSON document, schema-stable, for the
+  bench harness and tests;
+* :meth:`Metrics.to_prometheus` — the Prometheus text exposition
+  format, for scraping.
+
+The canonical scan-path metric names (docs/MODEL.md §7):
+
+========================= ======== ==========================================
+name                      kind     meaning
+========================= ======== ==========================================
+scans_total               counter  scans completed, labeled by backend
+scan_bytes_total          counter  input bytes scanned, labeled by backend
+scan_matches_total        counter  matches returned, labeled by backend
+scan_seconds              histo    wall-clock scan latency per backend
+kernel_modeled_seconds    gauge    last modeled GPU kernel time
+texture_hit_rate          gauge    last kernel's texture hit rate
+avg_conflict_degree       gauge    last kernel's bank-conflict degree
+retries_total             counter  resilient-pipeline retries, by backend
+fallbacks_total           counter  backend abandonments, by from/to
+========================= ======== ==========================================
+
+As with tracing, the default is :data:`NULL_METRICS` whose instruments
+swallow updates, so the instrumented hot paths pay nothing unless a
+caller opts in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default histogram bucket upper bounds (seconds; +Inf is implicit).
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_str(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add *amount* (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        key = _labels_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current total for a label set (0 if never incremented)."""
+        return self._values.get(_labels_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        """All labeled series (copy)."""
+        return dict(self._values)
+
+
+class Gauge:
+    """A value that is *set* (last write wins) per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Record the current value for the labeled series."""
+        self._values[_labels_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> Optional[float]:
+        """Last value set, or None."""
+        return self._values.get(_labels_key(labels))
+
+    def series(self) -> Dict[LabelKey, float]:
+        """All labeled series (copy)."""
+        return dict(self._values)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(
+            tuple(buckets)
+        ):
+            raise ReproError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sum: Dict[LabelKey, float] = {}
+        self._n: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labeled series."""
+        key = _labels_key(labels)
+        if key not in self._counts:
+            self._counts[key] = [0] * (len(self.buckets) + 1)
+        counts = self._counts[key]
+        placed = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                placed = i
+                break
+        counts[placed] += 1
+        self._sum[key] = self._sum.get(key, 0.0) + value
+        self._n[key] = self._n.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded for a label set."""
+        return self._n.get(_labels_key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observed values for a label set."""
+        return self._sum.get(_labels_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, Dict[str, Any]]:
+        """Per-label-set {buckets, sum, count} (cumulative counts)."""
+        out: Dict[LabelKey, Dict[str, Any]] = {}
+        for key, counts in self._counts.items():
+            cum: List[int] = []
+            running = 0
+            for c in counts:
+                running += c
+                cum.append(running)
+            out[key] = {
+                "buckets": cum,
+                "sum": self._sum[key],
+                "count": self._n[key],
+            }
+        return out
+
+
+class _NullInstrument:
+    """Shared sink for disabled metrics."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """No-op."""
+
+    def set(self, value: float, **labels: Any) -> None:
+        """No-op."""
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """No-op."""
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every instrument is the shared no-op sink."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        """No-op counter."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        """No-op gauge."""
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = ()
+    ) -> _NullInstrument:
+        """No-op histogram."""
+        return _NULL_INSTRUMENT
+
+
+#: Module-level singleton used as the default registry everywhere.
+NULL_METRICS = NullMetrics()
+
+
+def coalesce_metrics(metrics: Optional["Metrics"]) -> "Metrics":
+    """``metrics`` if given, else the shared null registry."""
+    return metrics if metrics is not None else NULL_METRICS
+
+
+class Metrics:
+    """Registry of named instruments with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, *args: Any) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name, *args)
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, kind):
+            raise ReproError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested {kind.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get(name, Histogram, help, buckets)
+
+    def instruments(self) -> List[Any]:
+        """All registered instruments, sorted by name."""
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    # -- exporters -------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Schema-stable dict form (the JSON exporter's payload)."""
+        out: Dict[str, Any] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                series = [
+                    {
+                        "labels": dict(key),
+                        "buckets": list(
+                            zip(
+                                [*inst.buckets, float("inf")],
+                                data["buckets"],
+                            )
+                        ),
+                        "sum": data["sum"],
+                        "count": data["count"],
+                    }
+                    for key, data in sorted(inst.series().items())
+                ]
+            else:
+                series = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(inst.series().items())
+                ]
+            out[inst.name] = {
+                "kind": inst.kind,
+                "help": inst.help,
+                "series": series,
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON exposition (see :meth:`as_dict`)."""
+
+        def _inf_safe(obj: Any) -> Any:
+            if isinstance(obj, dict):
+                return {k: _inf_safe(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [_inf_safe(v) for v in obj]
+            if isinstance(obj, float) and obj == float("inf"):
+                return "+Inf"
+            return obj
+
+        return json.dumps(_inf_safe(self.as_dict()), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for inst in self.instruments():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            if isinstance(inst, Histogram):
+                for key, data in sorted(inst.series().items()):
+                    bounds = [*inst.buckets, float("inf")]
+                    for bound, cum in zip(bounds, data["buckets"]):
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        bkey = key + (("le", le),)
+                        lines.append(
+                            f"{inst.name}_bucket{_labels_str(bkey)} {cum}"
+                        )
+                    lines.append(
+                        f"{inst.name}_sum{_labels_str(key)} {data['sum']:g}"
+                    )
+                    lines.append(
+                        f"{inst.name}_count{_labels_str(key)} {data['count']}"
+                    )
+            else:
+                for key, value in sorted(inst.series().items()):
+                    lines.append(f"{inst.name}{_labels_str(key)} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

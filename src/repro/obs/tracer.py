@@ -1,0 +1,246 @@
+"""Structured tracing: typed, timestamped span events for the scan path.
+
+A :class:`Tracer` records a tree of **spans** — named, attributed,
+wall-clock-timed intervals — plus zero-duration **events** attached to
+whatever span is open when they fire.  The scan path is instrumented
+with a fixed taxonomy (see docs/MODEL.md §7): ``build``, ``fold``,
+``copy_input``, ``bind_texture``, ``kernel_body``, ``ownership_filter``
+for a plain scan; ``resilient_scan``/``attempt`` spans with ``retry``
+and ``fallback`` events for the resilient pipeline; ``run_cell`` for
+the bench harness.
+
+The default everywhere is :data:`NULL_TRACER`, whose ``span()`` returns
+a shared no-op context manager and whose ``event()`` is a single
+attribute lookup + call — instrumentation costs nothing unless a caller
+passes a real :class:`Tracer`.  Timestamps come from
+:func:`time.perf_counter` (or an injected clock, which tests use for
+deterministic durations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One named interval in the trace tree.
+
+    ``t_start``/``t_end`` are clock readings (perf_counter seconds by
+    default); ``t_end`` is ``None`` while the span is open.  ``attrs``
+    holds typed key/value context (byte counts, backend names, ...);
+    events are recorded as zero-duration child spans.
+    """
+
+    name: str
+    t_start: float
+    t_end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def is_event(self) -> bool:
+        """True for zero-duration point events."""
+        return self.t_end == self.t_start and not self.children
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span (returns self for chaining)."""
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (and self) with the given name, pre-order."""
+        out = [self] if self.name == name else []
+        for c in self.children:
+            out.extend(c.find(name))
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested representation."""
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "duration_seconds": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class _SpanHandle:
+    """Context manager that closes its span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self.span.set(**attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self.span)
+
+
+class _NullSpanHandle:
+    """Shared no-op handle returned by the null tracer."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, **attrs: Any) -> "_NullSpanHandle":
+        return self
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullSpanHandle()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    This is the default for every instrumented call site, so tracing
+    adds no allocation and no clock reads unless explicitly enabled
+    (the acceptance bar for instrumenting hot paths).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanHandle:
+        """No-op span."""
+        return _NULL_HANDLE
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """No-op event."""
+
+    @property
+    def roots(self) -> List[Span]:
+        """Always empty."""
+        return []
+
+
+#: Module-level singleton used as the default tracer everywhere.
+NULL_TRACER = NullTracer()
+
+
+def coalesce(tracer: Optional["Tracer"]) -> "Tracer":
+    """``tracer`` if given, else the shared null tracer."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+class Tracer:
+    """Records a forest of spans with strict nesting.
+
+    Not thread-safe by design: a tracer belongs to one scan pipeline
+    (the same discipline as a CUDA profiler range stack).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("kernel_body"): ...``."""
+        s = Span(name=name, t_start=self._clock(), attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self._roots.append(s)
+        self._stack.append(s)
+        return _SpanHandle(self, s)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration point event under the open span."""
+        t = self._clock()
+        s = Span(name=name, t_start=t, t_end=t, attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self._roots.append(s)
+        return s
+
+    def _close(self, span: Span) -> None:
+        span.t_end = self._clock()
+        # Pop through abandoned children (defensive: a handle leaked
+        # past its parent's exit must not corrupt the stack).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        """Top-level spans in recording order."""
+        return list(self._roots)
+
+    def find(self, name: str) -> List[Span]:
+        """All spans/events with *name* across the forest, pre-order."""
+        out: List[Span] = []
+        for r in self._roots:
+            out.extend(r.find(name))
+        return out
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of root span trees."""
+        return [r.as_dict() for r in self._roots]
+
+    def clear(self) -> None:
+        """Drop all recorded spans (the stack must be empty)."""
+        self._roots = []
+        self._stack = []
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII span tree with durations and attributes (CLI output)."""
+        lines: List[str] = []
+        for root in self._roots:
+            self._render_span(root, 0, lines)
+        return "\n".join(lines)
+
+    def _render_span(self, span: Span, depth: int, lines: List[str]) -> None:
+        indent = "  " * depth
+        attrs = " ".join(
+            f"{k}={self._fmt(v)}" for k, v in sorted(span.attrs.items())
+        )
+        if span.is_event:
+            head = f"{indent}* {span.name}"
+        else:
+            head = f"{indent}{span.name}  [{span.duration * 1e3:.3f} ms]"
+        lines.append(head + (f"  ({attrs})" if attrs else ""))
+        for c in span.children:
+            self._render_span(c, depth + 1, lines)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)

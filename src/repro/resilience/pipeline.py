@@ -38,6 +38,7 @@ from repro.errors import DeviceError, IntegrityError, ReproError
 from repro.gpu.config import DeviceConfig
 from repro.gpu.device import Device
 from repro.matcher import BACKENDS, Matcher
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.resilience.faults import FaultInjector
 
 #: Default backend fallback chain, fastest first.
@@ -143,6 +144,13 @@ class ResilientMatcher:
     sleep:
         Replacement for :func:`time.sleep` (tests pass a recorder; the
         campaign passes a no-op).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; each episode records a
+        ``resilient_scan`` span with per-``attempt`` children plus
+        ``retry``/``fallback`` events.  Default: no-op.
+    metrics:
+        Optional :class:`~repro.obs.Metrics`; retries and fallbacks
+        update ``retries_total``/``fallbacks_total``.  Default: no-op.
     """
 
     def __init__(
@@ -157,6 +165,8 @@ class ResilientMatcher:
         injector: Optional[FaultInjector] = None,
         device_config: Optional[DeviceConfig] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        tracer=None,
+        metrics=None,
     ):
         chain = tuple(chain)
         if not chain:
@@ -183,6 +193,8 @@ class ResilientMatcher:
         self.backoff_cap = backoff_cap
         self.injector = injector
         self.device_config = device_config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._sleep = sleep if sleep is not None else time.sleep
         # GPU attempts always run on a pipeline-owned matcher so the
         # per-attempt device swap never mutates a caller's Matcher.
@@ -198,11 +210,15 @@ class ResilientMatcher:
                 self._base.dfa,
                 backend=backend,
                 case_insensitive=self._base.case_insensitive,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         return self._matchers[backend]
 
     def _fresh_device(self) -> Device:
-        return Device(self.device_config, injector=self.injector)
+        return Device(
+            self.device_config, injector=self.injector, tracer=self.tracer
+        )
 
     def _backoff(self, attempt: int) -> float:
         return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
@@ -231,55 +247,87 @@ class ResilientMatcher:
         """
         attempts: List[AttemptRecord] = []
         last_error: Optional[ReproError] = None
-        for backend in self.chain:
-            matcher = self._matcher_for(backend)
-            attempt = 0
-            while True:
-                attempt += 1
-                if backend == "gpu":
-                    matcher.device = self._fresh_device()
-                try:
-                    result = matcher.scan(text)
-                except ReproError as exc:
-                    last_error = exc
-                    transient = isinstance(exc, TRANSIENT_ERRORS)
-                    will_retry = transient and attempt <= self.max_retries
-                    backoff = self._backoff(attempt) if will_retry else 0.0
-                    attempts.append(
-                        AttemptRecord(
+        retries_c = self.metrics.counter(
+            "retries_total", "resilient-pipeline retries"
+        )
+        fallbacks_c = self.metrics.counter(
+            "fallbacks_total", "backend abandonments"
+        )
+        with self.tracer.span(
+            "resilient_scan", chain=",".join(self.chain)
+        ) as episode:
+            for chain_pos, backend in enumerate(self.chain):
+                matcher = self._matcher_for(backend)
+                attempt = 0
+                while True:
+                    attempt += 1
+                    if backend == "gpu":
+                        matcher.device = self._fresh_device()
+                    try:
+                        with self.tracer.span(
+                            "attempt", backend=backend, attempt=attempt
+                        ):
+                            result = matcher.scan(text)
+                    except ReproError as exc:
+                        last_error = exc
+                        transient = isinstance(exc, TRANSIENT_ERRORS)
+                        will_retry = transient and attempt <= self.max_retries
+                        backoff = self._backoff(attempt) if will_retry else 0.0
+                        attempts.append(
+                            AttemptRecord(
+                                backend=backend,
+                                attempt=attempt,
+                                ok=False,
+                                error_type=type(exc).__name__,
+                                error=str(exc),
+                                backoff_seconds=backoff,
+                            )
+                        )
+                        if not will_retry:
+                            break  # advance the fallback chain
+                        self.tracer.event(
+                            "retry",
                             backend=backend,
                             attempt=attempt,
-                            ok=False,
-                            error_type=type(exc).__name__,
-                            error=str(exc),
                             backoff_seconds=backoff,
                         )
+                        retries_c.inc(backend=backend)
+                        self._sleep(backoff)
+                        continue
+                    attempts.append(
+                        AttemptRecord(
+                            backend=backend, attempt=attempt, ok=True
+                        )
                     )
-                    if not will_retry:
-                        break  # advance the fallback chain
-                    self._sleep(backoff)
-                    continue
-                attempts.append(
-                    AttemptRecord(backend=backend, attempt=attempt, ok=True)
-                )
-                health = HealthReport(
-                    ok=True,
-                    final_backend=backend,
-                    attempts=attempts,
-                    faults_seen=self._fault_log(),
-                )
-                self.last_health = health
-                return result, health
-        health = HealthReport(
-            ok=False,
-            final_backend=None,
-            attempts=attempts,
-            faults_seen=self._fault_log(),
-            error=f"{type(last_error).__name__}: {last_error}",
-        )
-        self.last_health = health
-        assert last_error is not None
-        raise last_error
+                    health = HealthReport(
+                        ok=True,
+                        final_backend=backend,
+                        attempts=attempts,
+                        faults_seen=self._fault_log(),
+                    )
+                    self.last_health = health
+                    episode.set(ok=True, final_backend=backend)
+                    return result, health
+                if chain_pos + 1 < len(self.chain):
+                    nxt = self.chain[chain_pos + 1]
+                    self.tracer.event(
+                        "fallback",
+                        from_backend=backend,
+                        to_backend=nxt,
+                        error=type(last_error).__name__,
+                    )
+                    fallbacks_c.inc(**{"from": backend, "to": nxt})
+            health = HealthReport(
+                ok=False,
+                final_backend=None,
+                attempts=attempts,
+                faults_seen=self._fault_log(),
+                error=f"{type(last_error).__name__}: {last_error}",
+            )
+            self.last_health = health
+            episode.set(ok=False)
+            assert last_error is not None
+            raise last_error
 
     # -- conveniences mirrored from Matcher ------------------------------
 

@@ -123,3 +123,121 @@ class TestCommands:
         )
         assert rc == 0
         assert "pfac" in capsys.readouterr().out
+
+
+@pytest.fixture
+def data_files(tmp_path):
+    pat = tmp_path / "patterns.txt"
+    pat.write_text("he\nshe\nhis\nhers\n")
+    txt = tmp_path / "input.bin"
+    txt.write_bytes(b"He saw USHERS and hers ")
+    return str(pat), str(txt)
+
+
+class TestTraceFlag:
+    def test_match_trace_prints_span_tree(self, data_files, capsys):
+        pat, txt = data_files
+        rc = main(
+            ["match", "--patterns-file", pat, "--text-file", txt, "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("copy_input", "bind_texture", "kernel_body",
+                     "ownership_filter"):
+            assert name in out
+        assert "ms]" in out  # rendered durations
+
+    def test_match_without_trace_has_no_spans(self, data_files, capsys):
+        pat, txt = data_files
+        assert main(
+            ["match", "--patterns-file", pat, "--text-file", txt]
+        ) == 0
+        assert "kernel_body" not in capsys.readouterr().out
+
+    def test_resilient_match_trace(self, data_files, capsys):
+        pat, txt = data_files
+        rc = main(
+            ["match", "--patterns-file", pat, "--text-file", txt,
+             "--resilient", "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resilient_scan" in out
+        assert "attempt" in out
+
+
+class TestStatsCommand:
+    def test_json_reconciles_with_scan(self, data_files, capsys):
+        import json
+
+        pat, txt = data_files
+        rc = main(
+            ["stats", "--patterns-file", pat, "--text-file", txt,
+             "--backend", "gpu", "--case-insensitive", "--format", "json"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        from repro.matcher import Matcher
+
+        with open(pat) as fh:
+            patterns = [l.strip() for l in fh if l.strip()]
+        with open(txt, "rb") as fh:
+            expected = Matcher(patterns, case_insensitive=True).scan(
+                fh.read()
+            )
+        (series,) = doc["scan_matches_total"]["series"]
+        assert series["value"] == len(expected)
+        assert doc["scans_total"]["series"][0]["value"] == 1
+
+    def test_prometheus_output(self, data_files, capsys):
+        pat, txt = data_files
+        rc = main(
+            ["stats", "--patterns-file", pat, "--text-file", txt,
+             "--backend", "serial", "--format", "prometheus"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE scans_total counter" in out
+        assert 'scans_total{backend="serial"} 1' in out
+        assert "scan_seconds_bucket" in out
+
+    def test_resilient_stats(self, data_files, capsys):
+        pat, txt = data_files
+        rc = main(
+            ["stats", "--patterns-file", pat, "--text-file", txt,
+             "--resilient", "--format", "prometheus"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert 'scans_total{backend="gpu"} 1' in captured.out
+        assert "backend=gpu" in captured.err
+
+
+class TestBenchCommand:
+    def test_writes_validated_document(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_pr.json"
+        rc = main(
+            ["bench", "--figures", "fig13,fig18", "--sizes", "1MB",
+             "--patterns", "100", "--scale", "0.002",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        from repro.obs import validate_bench_document
+
+        doc = json.loads(out_path.read_text())
+        validate_bench_document(doc)
+        assert doc["schema"] == "repro-ac/bench-cells"
+        assert len(doc["cells"]) == 2
+        assert doc["config"]["scale"] == 0.002
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "--figures", "fig99",
+             "--out", str(tmp_path / "x.json")]
+        )
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().out

@@ -53,6 +53,28 @@ class TestRunCell:
         b = runner.run_cell("50KB", 100)
         assert a is b
 
+    def test_config_mutation_invalidates_cache(self):
+        # Regression: the cache key ignored the tunable knobs, so
+        # mutating one after a run returned the stale cell.
+        runner = ExperimentRunner(scale=0.001, seed=99)
+        a = runner.run_cell("50KB", 100, kernels=("shared",))
+        runner.shared_chunk_bytes = 32
+        b = runner.run_cell("50KB", 100, kernels=("shared",))
+        assert a is not b
+        assert a.seconds("shared") != b.seconds("shared")
+        runner.wave_correction = True
+        c = runner.run_cell("50KB", 100, kernels=("shared",))
+        assert c is not b
+        g1 = runner.run_cell("50KB", 100, kernels=("global",))
+        runner.global_chunk_len = 1024
+        g2 = runner.run_cell("50KB", 100, kernels=("global",))
+        assert g2 is not g1
+        # Restoring the original knobs finds the original cell again.
+        runner.shared_chunk_bytes = 64
+        runner.wave_correction = False
+        runner.global_chunk_len = 512
+        assert runner.run_cell("50KB", 100, kernels=("shared",)) is a
+
     def test_dfa_cache_shared_across_sizes(self, runner):
         runner.run_cell("50KB", 100)
         dfa_a = runner.dfa_for(100)

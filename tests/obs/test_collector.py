@@ -1,0 +1,106 @@
+"""Tests for the bench collector and its schema gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.errors import SchemaError
+from repro.obs import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchCollector,
+    validate_bench_document,
+)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    collector = BenchCollector(label="test")
+    runner = ExperimentRunner(scale=0.001, seed=7, collector=collector)
+    runner.run_cell("50KB", 100)
+    runner.run_cell("50KB", 100)  # cache hit, still collected
+    return collector
+
+
+class TestCollection:
+    def test_cells_recorded_with_cache_flag(self, collected):
+        assert [r.cached for r in collected.records] == [False, True]
+        fresh, hit = collected.records
+        assert fresh.kernels == hit.kernels  # replay of the same cell
+
+    def test_runner_config_captured(self, collected):
+        assert collected.config["scale"] == 0.001
+        assert collected.config["seed"] == 7
+        assert "wave_correction" in collected.config
+        assert "shared_chunk_bytes" in collected.config
+
+    def test_kernel_stats_present(self, collected):
+        kernels = collected.records[0].kernels
+        assert set(kernels) == {"global", "shared"}
+        shared = kernels["shared"]
+        assert shared["seconds"] > 0
+        assert shared["matches"] > 0
+        assert 0.0 <= shared["tex_hit_rate"] <= 1.0
+        assert collected.records[0].serial is not None
+
+
+class TestDocument:
+    def test_header_and_validation(self, collected):
+        doc = collected.as_document()
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["version"] == BENCH_SCHEMA_VERSION
+        assert doc["label"] == "test"
+        validate_bench_document(doc)  # must not raise
+
+    def test_write_json_round_trips(self, collected, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        collected.write_json(str(path))
+        doc = json.loads(path.read_text())
+        validate_bench_document(doc)
+        assert len(doc["cells"]) == 2
+
+
+class TestSchemaGate:
+    @pytest.fixture
+    def doc(self, collected):
+        return copy.deepcopy(collected.as_document())
+
+    def test_wrong_version_fails(self, doc):
+        doc["version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="version"):
+            validate_bench_document(doc)
+
+    def test_missing_field_fails(self, doc):
+        del doc["cells"][0]["n_states"]
+        with pytest.raises(SchemaError, match="n_states"):
+            validate_bench_document(doc)
+
+    def test_type_drift_fails(self, doc):
+        doc["cells"][0]["paper_bytes"] = "50000"
+        with pytest.raises(SchemaError, match="paper_bytes"):
+            validate_bench_document(doc)
+
+    def test_bool_int_drift_fails(self, doc):
+        doc["cells"][0]["n_states"] = True
+        with pytest.raises(SchemaError, match="n_states"):
+            validate_bench_document(doc)
+
+    def test_kernel_stat_drift_fails(self, doc):
+        del doc["cells"][0]["kernels"]["shared"]["tex_hit_rate"]
+        with pytest.raises(SchemaError, match="tex_hit_rate"):
+            validate_bench_document(doc)
+
+    def test_all_problems_listed(self, doc):
+        del doc["cells"][0]["n_states"]
+        del doc["cells"][1]["kernels"]["shared"]["gbps"]
+        doc["version"] = 99
+        with pytest.raises(SchemaError) as exc:
+            validate_bench_document(doc)
+        msg = str(exc.value)
+        assert "n_states" in msg and "gbps" in msg and "version" in msg
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_bench_document([])

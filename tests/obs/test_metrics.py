@@ -1,0 +1,135 @@
+"""Tests for the metrics registry and its two exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    coalesce_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("scans_total")
+        c.inc(backend="gpu")
+        c.inc(2.0, backend="gpu")
+        c.inc(backend="serial")
+        assert c.value(backend="gpu") == 3.0
+        assert c.value(backend="serial") == 1.0
+        assert c.value(backend="pfac") == 0.0
+        assert c.total() == 4.0
+
+    def test_negative_inc_rejected(self):
+        c = Counter("scans_total")
+        with pytest.raises(ReproError, match="cannot decrease"):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("texture_hit_rate")
+        g.set(0.5)
+        g.set(0.9)
+        assert g.value() == 0.9
+        assert g.value(kernel="pfac") is None
+
+
+class TestHistogram:
+    def test_bucket_placement_and_cumulative(self):
+        h = Histogram("scan_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.1)   # on the boundary -> the 0.1 bucket (le semantics)
+        h.observe(0.5)
+        h.observe(99.0)  # +Inf
+        (data,) = h.series().values()
+        assert data["buckets"] == [2, 3, 4]  # cumulative incl. +Inf
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(99.65)
+        assert h.count() == 4
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        m = Metrics()
+        m.counter("a")
+        with pytest.raises(ReproError, match="already registered"):
+            m.gauge("a")
+
+    def test_instruments_sorted(self):
+        m = Metrics()
+        m.gauge("z")
+        m.counter("a")
+        assert [i.name for i in m.instruments()] == ["a", "z"]
+
+
+class TestExporters:
+    @pytest.fixture
+    def registry(self):
+        m = Metrics()
+        m.counter("scans_total", "scans completed").inc(backend="gpu")
+        m.gauge("texture_hit_rate").set(0.875)
+        m.histogram("scan_seconds", buckets=(0.1, 1.0)).observe(
+            0.2, backend="gpu"
+        )
+        return m
+
+    def test_json_round_trips(self, registry):
+        doc = json.loads(registry.to_json())
+        assert doc["scans_total"]["kind"] == "counter"
+        assert doc["scans_total"]["series"] == [
+            {"labels": {"backend": "gpu"}, "value": 1.0}
+        ]
+        hist = doc["scan_seconds"]["series"][0]
+        # +Inf bound must be JSON-safe.
+        assert hist["buckets"][-1][0] == "+Inf"
+        assert hist["count"] == 1
+
+    def test_prometheus_text_format(self, registry):
+        text = registry.to_prometheus()
+        assert "# HELP scans_total scans completed" in text
+        assert "# TYPE scans_total counter" in text
+        assert 'scans_total{backend="gpu"} 1' in text
+        assert "texture_hit_rate 0.875" in text
+        assert 'scan_seconds_bucket{backend="gpu",le="0.1"} 0' in text
+        assert 'scan_seconds_bucket{backend="gpu",le="+Inf"} 1' in text
+        assert 'scan_seconds_sum{backend="gpu"} 0.2' in text
+        assert 'scan_seconds_count{backend="gpu"} 1' in text
+        assert text.endswith("\n")
+
+    def test_empty_registry(self):
+        m = Metrics()
+        assert json.loads(m.to_json()) == {}
+        assert m.to_prometheus() == ""
+
+
+class TestNullMetrics:
+    def test_disabled_sink(self):
+        assert NULL_METRICS.enabled is False
+        # All instruments share the no-op sink; updates vanish.
+        c = NULL_METRICS.counter("scans_total")
+        c.inc(5, backend="gpu")
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(0.5)
+        assert NULL_METRICS.counter("x") is c
+
+    def test_coalesce(self):
+        m = Metrics()
+        assert coalesce_metrics(m) is m
+        assert coalesce_metrics(None) is NULL_METRICS

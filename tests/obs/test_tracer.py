@@ -1,0 +1,161 @@
+"""Tests for the span tracer (deterministic via an injected clock)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, coalesce
+from repro.obs.tracer import _NULL_HANDLE
+
+
+class FakeClock:
+    """Monotone clock advancing 1.0 s per reading."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestNesting:
+    def test_child_spans_nest_strictly(self, tracer):
+        with tracer.span("scan"):
+            with tracer.span("copy_input"):
+                pass
+            with tracer.span("kernel_body"):
+                with tracer.span("ownership_filter"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "scan"
+        assert [c.name for c in root.children] == [
+            "copy_input", "kernel_body"
+        ]
+        assert root.children[1].children[0].name == "ownership_filter"
+
+    def test_events_attach_to_open_span(self, tracer):
+        with tracer.span("resilient_scan"):
+            tracer.event("retry", backend="gpu", attempt=1)
+        (root,) = tracer.roots
+        (ev,) = root.children
+        assert ev.is_event
+        assert ev.attrs == {"backend": "gpu", "attempt": 1}
+
+    def test_sibling_roots(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_leaked_child_handle_does_not_corrupt_stack(self, tracer):
+        with tracer.span("outer"):
+            tracer.span("leaked")  # never closed by its own handle
+        with tracer.span("next"):
+            pass
+        # "next" must be a new root, not a child of the leaked span.
+        assert [r.name for r in tracer.roots] == ["outer", "next"]
+
+
+class TestTiming:
+    def test_duration_from_clock(self, tracer):
+        with tracer.span("scan"):
+            pass
+        (root,) = tracer.roots
+        assert root.duration == pytest.approx(1.0)
+
+    def test_open_span_duration_zero(self, tracer):
+        handle = tracer.span("open")
+        assert handle.span.duration == 0.0
+        handle.__exit__(None, None, None)
+
+    def test_event_zero_duration(self, tracer):
+        ev = tracer.event("fallback")
+        assert ev.duration == 0.0
+        assert ev.is_event
+
+
+class TestAttrs:
+    def test_attrs_at_open_and_set(self, tracer):
+        with tracer.span("kernel_body", kernel="shared") as sp:
+            sp.set(matches=7)
+        (root,) = tracer.roots
+        assert root.attrs == {"kernel": "shared", "matches": 7}
+
+    def test_error_attr_on_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("scan"):
+                raise ValueError("boom")
+        (root,) = tracer.roots
+        assert root.attrs["error"] == "ValueError"
+        assert root.t_end is not None  # closed despite the raise
+
+
+class TestInspection:
+    def test_find_across_forest(self, tracer):
+        with tracer.span("scan"):
+            with tracer.span("kernel_body"):
+                pass
+        with tracer.span("scan"):
+            pass
+        assert len(tracer.find("scan")) == 2
+        assert len(tracer.find("kernel_body")) == 1
+
+    def test_as_dicts_shape(self, tracer):
+        with tracer.span("scan", backend="gpu"):
+            tracer.event("retry")
+        (d,) = tracer.as_dicts()
+        assert d["name"] == "scan"
+        assert d["attrs"] == {"backend": "gpu"}
+        assert d["duration_seconds"] == pytest.approx(2.0)
+        assert d["children"][0]["name"] == "retry"
+
+    def test_clear(self, tracer):
+        with tracer.span("scan"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+
+
+class TestRender:
+    def test_tree_with_durations_and_events(self, tracer):
+        with tracer.span("scan", backend="gpu"):
+            with tracer.span("kernel_body"):
+                pass
+            tracer.event("retry", attempt=1)
+        out = tracer.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("scan  [")
+        assert "ms]" in lines[0] and "backend=gpu" in lines[0]
+        assert lines[1].startswith("  kernel_body")
+        assert lines[2] == "  * retry  (attempt=1)"
+
+
+class TestNullTracer:
+    def test_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("scan", backend="gpu"):
+            NULL_TRACER.event("retry")
+        assert NULL_TRACER.roots == []
+
+    def test_shared_handle_no_allocation(self):
+        # The null span handle is a module singleton: zero per-call cost.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b") is _NULL_HANDLE
+        assert _NULL_HANDLE.set(x=1) is _NULL_HANDLE
+
+    def test_coalesce(self):
+        t = Tracer()
+        assert coalesce(t) is t
+        assert coalesce(None) is NULL_TRACER
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestSpanObject:
+    def test_find_includes_self(self):
+        s = Span(name="x", t_start=0.0, t_end=1.0)
+        assert s.find("x") == [s]
+        assert s.find("y") == []

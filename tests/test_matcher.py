@@ -102,6 +102,19 @@ class TestCaseInsensitive:
         # The caller's array is untouched (fold copies).
         assert bytes(arr) == b"xxABCxx"
 
+    def test_all_scan_paths_byte_exact(self):
+        # Regression: scan_with_timing skipped the case fold, so a
+        # case-insensitive GPU matcher silently missed uppercase
+        # matches on the timing path only.
+        text = b"He said SHE saw HIS and HERS in USHERS"
+        oracle = Matcher(PAPER, backend="serial", case_insensitive=True)
+        expected = oracle.scan(text)
+        assert len(expected) > 0
+        gpu = Matcher(PAPER, backend="gpu", case_insensitive=True)
+        assert gpu.scan(text) == expected
+        assert gpu.scan_with_timing(text).matches == expected
+        assert gpu.scan(text, resilient=True) == expected
+
 
 class TestStreamAndHighlight:
     def test_stream_shares_dictionary(self):
@@ -165,6 +178,29 @@ class TestFindFirst:
     def test_respects_case_folding(self):
         m = Matcher(["admin"], case_insensitive=True)
         assert m.find_first(b"GET /ADMIN") == (5, 10, 0)
+
+    def test_drain_limit_tightens_on_earlier_start(self, monkeypatch):
+        # Regression: when the drain surfaced an earlier-starting
+        # match, the stop position stayed derived from the stale best
+        # and the scan kept feeding chunks past the now-final answer.
+        from repro.core.streaming import StreamMatcher
+
+        feeds = []
+        real_feed = StreamMatcher.feed
+
+        def counting_feed(self, data):
+            feeds.append(len(data))
+            return real_feed(self, data)
+
+        monkeypatch.setattr(StreamMatcher, "feed", counting_feed)
+        long = "m" * 10 + "cdm"  # starts at 0, ends at 13
+        m = Matcher([long, "cd"])
+        text = long + "z" * 50
+        # chunk=4: "cd" (start 10) reports first; the drain then
+        # surfaces the full 13-char pattern (start 0), which tightens
+        # the drain limit from 23 to 13 and stops the scan at pos 16.
+        assert m.find_first(text, chunk=4) == (0, 13, 0)
+        assert len(feeds) == 4  # stale-limit bug needed 6
 
 
 class TestScanPackets:
