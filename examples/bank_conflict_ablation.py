@@ -2,10 +2,12 @@
 """Store-scheme ablation — the paper's Fig. 23 on your own workload.
 
 Runs the shared-memory kernel under all four store schemes on one
-magazine-corpus cell and prints the per-scheme conflict accounting and
-modeled time, making the mechanism of the paper's diagonal scheme
-visible: same coalesced staging traffic, wildly different bank
-serialization.
+magazine-corpus cell, feeds every launch through the hardware-counter
+profiler, and prints the per-scheme :class:`~repro.obs.ProfileReport`
+columns — conflict degree, bus efficiency, modeled time — making the
+mechanism of the paper's diagonal scheme visible: same coalesced
+staging traffic (bus efficiency identical), wildly different bank
+serialization (conflict degree 1.00 vs 16.00).
 
 Run:  python examples/bank_conflict_ablation.py [n_patterns]
 """
@@ -15,12 +17,14 @@ import sys
 from repro.core import DFA
 from repro.gpu import Device
 from repro.kernels import run_shared_kernel
+from repro.obs import KernelProfiler
 from repro.workload import DatasetFactory
 
 SCHEMES = ["naive", "coalesce_only", "transposed", "diagonal"]
 
 
 def main(n_patterns: int = 5000) -> None:
+    """Run the four-scheme ablation and print the profiler columns."""
     factory = DatasetFactory(scale=0.01)
     cell = factory.cell("10MB", n_patterns)
     dfa = DFA.build(cell.patterns)
@@ -28,27 +32,31 @@ def main(n_patterns: int = 5000) -> None:
           f"(simulated at {cell.sim_bytes:,} B), "
           f"{n_patterns} patterns, {dfa.n_states} states\n")
 
-    header = (f"{'scheme':>14} {'store deg':>10} {'load deg':>9} "
-              f"{'glob txns':>10} {'ms (model)':>11} {'Gbps':>7}")
-    print(header)
-    print("-" * len(header))
-    baseline = None
+    profiler = KernelProfiler()
+    results = {}
     for scheme in SCHEMES:
         r = run_shared_kernel(dfa, cell.data, Device(), scheme=scheme)
-        c = r.counters
-        if baseline is None:
-            baseline = r.seconds
+        results[scheme] = r
+        profiler.observe(r)
+
+    header = (f"{'scheme':>14} {'conflict deg':>12} {'bus eff':>8} "
+              f"{'glob txns':>10} {'ms (model)':>11} {'Gbps':>7} "
+              f"{'of peak':>8}")
+    print(header)
+    print("-" * len(header))
+    for scheme, report in zip(SCHEMES, profiler.reports):
         print(f"{scheme:>14} "
-              f"{c.avg_conflict_degree:>10.2f} "
-              f"{'-':>9} "
-              f"{c.global_transactions:>10,} "
-              f"{r.seconds * 1e3:>11.3f} "
-              f"{r.throughput_gbps:>7.1f}")
+              f"{report.conflict_degree:>12.2f} "
+              f"{report.bus_efficiency:>8.3f} "
+              f"{report.counters.global_transactions:>10,} "
+              f"{report.seconds * 1e3:>11.3f} "
+              f"{report.achieved_gbps:>7.1f} "
+              f"{report.fraction_of_peak:>8.1%}")
     print()
 
-    naive = run_shared_kernel(dfa, cell.data, Device(), scheme="naive")
-    diag = run_shared_kernel(dfa, cell.data, Device(), scheme="diagonal")
-    co = run_shared_kernel(dfa, cell.data, Device(), scheme="coalesce_only")
+    naive, diag, co = (
+        results["naive"], results["diagonal"], results["coalesce_only"]
+    )
     print(f"diagonal vs coalesce-only : {co.seconds / diag.seconds:5.2f}x "
           f"(paper Fig. 23 band: 1.5-5.3x)")
     print(f"diagonal vs naive staging : {naive.seconds / diag.seconds:5.2f}x")

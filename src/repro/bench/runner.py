@@ -63,6 +63,11 @@ class ScaledKernel:
     avg_conflict_degree: float
     warps_per_sm: int
     matches: int
+    #: Counter-derived summary (bench schema v2 ``counters`` block):
+    #: scale-invariant rates plus the raw event totals the perf gate
+    #: diffs.  ``achieved_gbps`` inside is *sim-scale* (the modeled
+    #: throughput before paper rescaling), unlike :attr:`gbps`.
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -154,7 +159,10 @@ class ExperimentRunner:
     cached=...)``): every :meth:`run_cell` outcome — cache hits
     included, flagged — is recorded, which is how ``BENCH_*.json``
     trajectories are produced by the harness instead of by hand.
-    ``tracer`` records a ``run_cell`` span per cell.
+    ``tracer`` records a ``run_cell`` span per cell.  ``profiler``
+    (a :class:`~repro.obs.KernelProfiler`) receives every freshly
+    simulated kernel result as a validated per-launch
+    :class:`~repro.obs.ProfileReport`.
     """
 
     def __init__(
@@ -170,6 +178,7 @@ class ExperimentRunner:
         wave_correction: bool = False,
         collector=None,
         tracer=None,
+        profiler=None,
     ):
         self.scale = scale
         self.seed = seed
@@ -188,6 +197,10 @@ class ExperimentRunner:
         self.wave_correction = wave_correction
         self.collector = collector
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional :class:`~repro.obs.KernelProfiler`: every *fresh*
+        #: kernel result is observed at sim scale (cache replays are
+        #: not re-fed — the reports would be byte-identical).
+        self.profiler = profiler
         if collector is not None:
             collector.on_runner(self.config_dict())
         self._dfa_cache: Dict[int, DFA] = {}
@@ -268,6 +281,21 @@ class ExperimentRunner:
             cell.paper_bytes,
             body_multiplier=body_multiplier,
         )
+        if self.profiler is not None:
+            self.profiler.observe(result)
+        c = result.counters
+        counter_summary = {
+            "achieved_gbps": float(result.throughput_gbps),
+            "global_transactions": int(c.global_transactions),
+            "global_bytes": int(c.global_bytes),
+            "bus_efficiency": float(c.bus_efficiency),
+            "transactions_per_access": float(c.transactions_per_access),
+            "shared_accesses": int(c.shared_accesses),
+            "bank_conflict_excess": int(c.bank_conflict_excess),
+            "texture_accesses": int(c.texture_accesses),
+            "texture_misses": int(c.texture_misses),
+            "overlap_ratio": float(c.overlap_ratio),
+        }
         return ScaledKernel(
             name=result.name if result.scheme in (None, "diagonal") else (
                 f"{result.name}[{result.scheme}]"
@@ -279,6 +307,7 @@ class ExperimentRunner:
             avg_conflict_degree=result.counters.avg_conflict_degree,
             warps_per_sm=result.occupancy.warps_per_sm,
             matches=len(result.matches),
+            counters=counter_summary,
         )
 
     # -- cells ---------------------------------------------------------------

@@ -191,6 +191,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for the cell trajectory (default BENCH_smoke.json)",
     )
 
+    prof = sub.add_parser(
+        "profile",
+        help="run one kernel under the hardware-counter profiler and "
+        "report the per-launch ProfileReport (text, JSON, or a "
+        "Perfetto-loadable trace.json)",
+    )
+    prof.add_argument(
+        "--kernel", default="shared_mem",
+        choices=["shared_mem", "global_only", "pfac", "multi_gpu"],
+    )
+    prof.add_argument(
+        "--scheme", default="diagonal",
+        choices=["diagonal", "coalesce_only", "naive", "transposed"],
+        help="shared-memory store scheme (shared_mem/multi_gpu only; "
+        "default diagonal)",
+    )
+    prof.add_argument("--size", default="1MB",
+                      help="synthetic input size label (default 1MB)")
+    prof.add_argument("--patterns", type=int, default=1000,
+                      help="synthetic dictionary size (default 1000)")
+    prof.add_argument("--scale", type=float, default=0.01)
+    prof.add_argument("--seed", type=int, default=2013)
+    prof.add_argument(
+        "--patterns-file", default=None,
+        help="profile your own dictionary instead (one pattern per line; "
+        "requires --text-file)",
+    )
+    prof.add_argument("--text-file", default=None,
+                      help="input bytes for --patterns-file mode")
+    prof.add_argument(
+        "--devices", type=int, default=2,
+        help="simulated device count for --kernel multi_gpu (default 2)",
+    )
+    prof.add_argument(
+        "--format", default="text", choices=["text", "json", "trace"],
+        help="text report, JSON reports, or Chrome-trace export "
+        "(default text)",
+    )
+    prof.add_argument(
+        "--out", default="trace.json",
+        help="output path for --format trace (default trace.json)",
+    )
+
+    pd = sub.add_parser(
+        "perfdiff",
+        help="diff two BENCH_*.json documents with noise-aware "
+        "thresholds; exit 1 if any metric regressed",
+    )
+    pd.add_argument("baseline", help="baseline BENCH_*.json path")
+    pd.add_argument("current", help="current BENCH_*.json path")
+    pd.add_argument(
+        "--threshold", action="append", default=[],
+        metavar="METRIC=FRAC",
+        help="override a relative threshold, e.g. --threshold gbps=0.2 "
+        "or --threshold counters.achieved_gbps=0.05 (repeatable; the "
+        "metric's better-direction is kept)",
+    )
+
     camp = sub.add_parser(
         "campaign",
         help="run the fault-injection campaign against the serial oracle",
@@ -484,6 +542,87 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.core import DFA, PatternSet
+    from repro.obs import KernelProfiler, Tracer, profile_kernel
+    from repro.obs.traceexport import write_chrome_trace
+
+    if (args.patterns_file is None) != (args.text_file is None):
+        print("error: --patterns-file and --text-file go together")
+        return 2
+    if args.patterns_file is not None:
+        with open(args.patterns_file, "r", encoding="latin-1") as fh:
+            patterns = [line.rstrip("\n") for line in fh if line.strip()]
+        with open(args.text_file, "rb") as fh:
+            data = fh.read()
+        dfa = DFA.build(PatternSet.from_strings(patterns))
+    else:
+        from repro.workload.datasets import DatasetFactory
+
+        factory = DatasetFactory(seed=args.seed, scale=args.scale)
+        cell = factory.cell(args.size, args.patterns)
+        dfa = DFA.build(cell.patterns)
+        data = cell.data
+
+    profiler = KernelProfiler()
+    tracer = Tracer() if args.format == "trace" else None
+    reports = profile_kernel(
+        args.kernel,
+        dfa,
+        data,
+        profiler=profiler,
+        tracer=tracer,
+        scheme=args.scheme,
+        n_devices=args.devices,
+    )
+    if args.format == "json":
+        print(json.dumps([r.as_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    elif args.format == "trace":
+        doc = write_chrome_trace(tracer, args.out)
+        print(profiler.render())
+        print()
+        print(f"wrote {args.out} ({len(doc['traceEvents'])} trace events; "
+              "load it at ui.perfetto.dev)")
+    else:
+        print(profiler.render())
+    return 0
+
+
+def _cmd_perfdiff(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs.perfdiff import DEFAULT_THRESHOLDS, diff_files
+
+    overrides = {}
+    for spec in args.threshold:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            print(f"error: --threshold expects METRIC=FRAC, got {spec!r}")
+            return 2
+        if name not in DEFAULT_THRESHOLDS:
+            print(f"error: unknown metric {name!r}; known: "
+                  f"{', '.join(sorted(DEFAULT_THRESHOLDS))}")
+            return 2
+        direction, _ = DEFAULT_THRESHOLDS[name]
+        overrides[name] = (direction, float(value))
+    try:
+        report = diff_files(
+            args.baseline, args.current,
+            thresholds=overrides or None,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    except (ReproError, ValueError) as exc:
+        # SchemaError (version/field drift) or unparseable JSON.
+        print(f"error: {exc}")
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.experiments import run_figure
     from repro.errors import SchemaError
@@ -547,6 +686,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "perfdiff":
+        return _cmd_perfdiff(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse guards

@@ -32,6 +32,10 @@ class EventCounters:
     global_transactions: int = 0
     #: Bytes moved across the device-memory bus (segment-granular).
     global_bytes: int = 0
+    #: Bytes the program actually requested from global memory (the
+    #: coalescer's ``useful_bytes``); ``global_bytes`` minus this is
+    #: pure segment-padding waste.
+    global_useful_bytes: int = 0
     #: Warp-level long-latency global events (one per warp memory
     #: instruction that had to go off-chip).
     global_warp_events: int = 0
@@ -92,6 +96,52 @@ class EventCounters:
         if self.bytes_owned == 0:
             return 1.0
         return self.bytes_scanned / self.bytes_owned
+
+    @property
+    def bus_efficiency(self) -> float:
+        """global_useful_bytes / global_bytes — 1.0 = no padding waste.
+
+        A perfectly coalesced stream moves only requested bytes; a
+        scattered byte-granular access pattern moves a whole minimum
+        transaction per byte and the ratio collapses.
+        """
+        if self.global_bytes == 0:
+            return 1.0
+        return min(self.global_useful_bytes / self.global_bytes, 1.0)
+
+    @property
+    def transactions_per_access(self) -> float:
+        """Global transactions per half-warp memory instruction.
+
+        1.0 = perfectly coalesced (paper Figs. 9-10); 16.0 = every lane
+        in its own segment (the global-only kernel's strided reads).
+        """
+        if self.global_warp_events == 0:
+            return 0.0
+        return self.global_transactions / self.global_warp_events
+
+    def as_span_attrs(self) -> dict:
+        """Flat attribute dict for tracer spans and Perfetto ``args``.
+
+        Attached to ``kernel_body`` spans by every kernel entry point so
+        ``--trace`` output and the Chrome-trace export carry the
+        hardware-counter story without a separate profiler run.
+        """
+        return {
+            "global_transactions": self.global_transactions,
+            "global_bytes": self.global_bytes,
+            "bus_efficiency": self.bus_efficiency,
+            "transactions_per_access": self.transactions_per_access,
+            "shared_accesses": self.shared_accesses,
+            "avg_conflict_degree": self.avg_conflict_degree,
+            "bank_conflict_excess": self.bank_conflict_excess,
+            "texture_accesses": self.texture_accesses,
+            "texture_misses": self.texture_misses,
+            "tex_hit_rate": self.texture_hit_rate,
+            "overlap_ratio": self.overlap_ratio,
+            "warp_iterations": self.warp_iterations,
+            "raw_match_writes": self.raw_match_writes,
+        }
 
     def validate(self) -> None:
         """Internal consistency checks (used by tests and the runner).

@@ -149,6 +149,7 @@ def price_global(
         bytes_scanned=meas.bytes_scanned,
         global_transactions=meas.input_summary.transactions,
         global_bytes=meas.input_summary.bus_bytes,
+        global_useful_bytes=meas.input_summary.useful_bytes,
         global_warp_events=meas.input_summary.accesses,
         texture_accesses=meas.tex.accesses,
         # "Misses" = fills from device memory; L1 misses served by the
@@ -248,6 +249,7 @@ def run_global_kernel(
                 matches=len(result.matches),
                 modeled_seconds=result.seconds,
                 regime=result.timing.regime,
+                **result.counters.as_span_attrs(),
             )
         return result
     finally:

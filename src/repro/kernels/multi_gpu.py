@@ -62,6 +62,22 @@ class MultiGpuResult:
             return 0.0
         return self.input_bytes * 8 / self.seconds / 1e9
 
+    @property
+    def counters(self):
+        """Cluster-wide :class:`~repro.gpu.counters.EventCounters`.
+
+        Element-wise sum of every device's bundle — the aggregate the
+        profiler feeds on alongside the per-device reports.  Overlap
+        bytes re-scanned at slice boundaries are included, so the
+        cluster's ``overlap_ratio`` exceeds any single device's.
+        """
+        from repro.gpu.counters import EventCounters
+
+        total = EventCounters()
+        for r in self.per_device:
+            total.add(r.counters)
+        return total
+
     def scaling_efficiency(self, single_device_seconds: float) -> float:
         """speedup / n_devices (1.0 = perfect strong scaling)."""
         return (single_device_seconds / self.seconds) / self.n_devices

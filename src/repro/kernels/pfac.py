@@ -224,6 +224,7 @@ def run_pfac_kernel(
             matches=len(matches),
             modeled_seconds=timing.seconds,
             regime=timing.regime,
+            **counters.as_span_attrs(),
         )
 
     return KernelResult(
@@ -308,6 +309,7 @@ def _pfac_passes(
         bytes_scanned=fetches_total,
         global_transactions=input_transactions,
         global_bytes=input_bus,
+        global_useful_bytes=fetches_total,
         global_warp_events=warp_iters,
         texture_accesses=int(fetches_total / config.half_warp) or 1,
         texture_misses=int(miss_requests),

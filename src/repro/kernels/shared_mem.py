@@ -228,6 +228,7 @@ def price_shared(
         bytes_scanned=meas.bytes_scanned,
         global_transactions=meas.staging_global.transactions * nb,
         global_bytes=meas.staging_global.bus_bytes * nb,
+        global_useful_bytes=meas.staging_global.useful_bytes * nb,
         global_warp_events=meas.staging_global.accesses * nb,
         shared_accesses=(meas.staging_stores.accesses + ld_accesses) * nb,
         shared_serialized_accesses=(
@@ -364,6 +365,7 @@ def run_shared_kernel(
                 matches=len(result.matches),
                 modeled_seconds=result.seconds,
                 regime=result.timing.regime,
+                **result.counters.as_span_attrs(),
             )
         return result
     finally:

@@ -67,6 +67,13 @@ class Matcher:
         Optional :class:`~repro.obs.Metrics` registry.  When set, scans
         update the per-backend counters/histograms documented in
         docs/MODEL.md §7.
+    profiler:
+        Optional :class:`~repro.obs.KernelProfiler`.  When set, every
+        ``gpu``-backend scan feeds its
+        :class:`~repro.kernels.base.KernelResult` to the profiler,
+        which joins counters + timing + occupancy into a validated
+        :class:`~repro.obs.ProfileReport` (independent of ``metrics``
+        — profiling works with the metrics registry absent).
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class Matcher:
         device=None,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         if backend not in BACKENDS:
             raise ReproError(
@@ -92,6 +100,7 @@ class Matcher:
             )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.profiler = profiler
         with self.tracer.span(
             "build", n_patterns=len(patterns), backend=backend
         ) as sp:
@@ -118,6 +127,7 @@ class Matcher:
         device=None,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> "Matcher":
         """Wrap a pre-built DFA (e.g. loaded from disk).
 
@@ -136,6 +146,7 @@ class Matcher:
         obj.device = device
         obj.tracer = tracer if tracer is not None else NULL_TRACER
         obj.metrics = metrics if metrics is not None else NULL_METRICS
+        obj.profiler = profiler
         obj.last_health = None
         obj._resilient = None
         obj._double_array = None
@@ -247,7 +258,14 @@ class Matcher:
         return run_shared_kernel(self._dfa, text, device, tracer=self.tracer)
 
     def _observe_kernel(self, result) -> None:
-        """Export a KernelResult's modeled stats as gauges."""
+        """Feed a KernelResult to the profiler and export gauges.
+
+        The profiler feed is independent of the metrics gate: a
+        profiler-only matcher still collects full
+        :class:`~repro.obs.ProfileReport` bundles.
+        """
+        if self.profiler is not None:
+            self.profiler.observe(result)
         if not self.metrics.enabled:
             return
         self.metrics.gauge(

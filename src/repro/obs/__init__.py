@@ -1,6 +1,6 @@
-"""Observability layer: tracing, metrics and bench collectors.
+"""Observability layer: tracing, metrics, profiling and bench collectors.
 
-Three cooperating pieces, all opt-in and all zero-cost when absent:
+Cooperating pieces, all opt-in and all zero-cost when absent:
 
 * :class:`Tracer` / :data:`NULL_TRACER` — typed, timestamped span trees
   over the scan path (``build``, ``fold``, ``copy_input``,
@@ -8,8 +8,15 @@ Three cooperating pieces, all opt-in and all zero-cost when absent:
   ``fallback``);
 * :class:`Metrics` / :data:`NULL_METRICS` — a counter/gauge/histogram
   registry with JSON and Prometheus-text exporters;
+* :class:`KernelProfiler` / :class:`ProfileReport` — per-launch joins
+  of hardware counters, occupancy and the timing model with exact
+  cycle attribution (``repro-ac profile``);
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Perfetto /
+  ``chrome://tracing`` export of recorded span forests;
 * :class:`BenchCollector` — per-cell hooks on the experiment runner
-  that emit versioned, schema-validated ``BENCH_*.json`` documents.
+  that emit versioned, schema-validated ``BENCH_*.json`` documents;
+* :func:`diff_documents` — the noise-aware perf-regression gate over
+  two bench documents (``repro-ac perfdiff``).
 
 See docs/MODEL.md §7 for the event taxonomy and metric names.
 """
@@ -17,6 +24,7 @@ See docs/MODEL.md §7 for the event taxonomy and metric names.
 from repro.obs.collector import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_VERSION,
+    BENCH_SCHEMA_VERSIONS,
     BenchCollector,
     CellRecord,
     validate_bench_document,
@@ -30,6 +38,21 @@ from repro.obs.metrics import (
     NullMetrics,
     coalesce_metrics,
 )
+from repro.obs.perfdiff import (
+    DEFAULT_THRESHOLDS,
+    MetricDelta,
+    PerfDiffReport,
+    diff_documents,
+    diff_files,
+)
+from repro.obs.profiler import (
+    KernelProfiler,
+    PROFILE_KERNELS,
+    ProfileReport,
+    build_report,
+    profile_kernel,
+)
+from repro.obs.traceexport import to_chrome_trace, write_chrome_trace
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -41,19 +64,32 @@ from repro.obs.tracer import (
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
+    "BENCH_SCHEMA_VERSIONS",
     "BenchCollector",
     "CellRecord",
     "Counter",
+    "DEFAULT_THRESHOLDS",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "Metrics",
+    "MetricDelta",
     "NULL_METRICS",
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "PROFILE_KERNELS",
+    "PerfDiffReport",
+    "ProfileReport",
     "Span",
     "Tracer",
+    "build_report",
     "coalesce",
     "coalesce_metrics",
+    "diff_documents",
+    "diff_files",
+    "profile_kernel",
+    "to_chrome_trace",
     "validate_bench_document",
+    "write_chrome_trace",
 ]

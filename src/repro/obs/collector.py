@@ -25,9 +25,15 @@ from repro.errors import SchemaError
 
 #: Document identifier + version; bump on any breaking field change.
 BENCH_SCHEMA = "repro-ac/bench-cells"
-BENCH_SCHEMA_VERSION = 1
+#: v1: flat kernel stats.  v2: adds the required per-kernel
+#: ``counters`` summary block (hardware-event derived metrics the
+#: perf gate diffs).  New documents are always written at the latest
+#: version; validation accepts every version listed here so archived
+#: v1 baselines still load.
+BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSIONS = frozenset({1, 2})
 
-#: Required per-kernel stats and their types.
+#: Required per-kernel stats and their types (all versions).
 _KERNEL_FIELDS = {
     "seconds": float,
     "gbps": float,
@@ -36,6 +42,23 @@ _KERNEL_FIELDS = {
     "avg_conflict_degree": float,
     "warps_per_sm": int,
     "matches": int,
+}
+
+#: Required fields of the v2 per-kernel ``counters`` block.  The
+#: ``achieved_gbps`` here is the *sim-scale* modeled throughput (the
+#: unscaled counter-level number), distinct from the paper-scale
+#: ``gbps`` kernel stat.
+_COUNTER_FIELDS = {
+    "achieved_gbps": float,
+    "global_transactions": int,
+    "global_bytes": int,
+    "bus_efficiency": float,
+    "transactions_per_access": float,
+    "shared_accesses": int,
+    "bank_conflict_excess": int,
+    "texture_accesses": int,
+    "texture_misses": int,
+    "overlap_ratio": float,
 }
 
 #: Required per-cell fields and their types.
@@ -117,6 +140,7 @@ class BenchCollector:
                 "avg_conflict_degree": float(sk.avg_conflict_degree),
                 "warps_per_sm": int(sk.warps_per_sm),
                 "matches": int(sk.matches),
+                "counters": dict(sk.counters),
             }
         self.records.append(
             CellRecord(
@@ -183,11 +207,18 @@ def validate_bench_document(doc: Any) -> None:
         errors.append(
             f"schema: expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
         )
-    if doc.get("version") != BENCH_SCHEMA_VERSION:
+    version = doc.get("version")
+    if version not in BENCH_SCHEMA_VERSIONS:
         errors.append(
-            f"version: expected {BENCH_SCHEMA_VERSION}, "
-            f"got {doc.get('version')!r}"
+            f"version: expected one of {sorted(BENCH_SCHEMA_VERSIONS)}, "
+            f"got {version!r}"
         )
+        # Keep checking against the latest schema so one run still
+        # surfaces field-level drift alongside the version error.
+        version = BENCH_SCHEMA_VERSION
+    kernel_fields = dict(_KERNEL_FIELDS)
+    if version >= 2:
+        kernel_fields["counters"] = dict
     if not isinstance(doc.get("config"), dict):
         errors.append("config: expected dict")
     cells = doc.get("cells")
@@ -224,17 +255,32 @@ def validate_bench_document(doc: Any) -> None:
             if not isinstance(block, dict):
                 errors.append(f"{kwhere}: expected dict")
                 continue
-            for name, expect in _KERNEL_FIELDS.items():
+            for name, expect in kernel_fields.items():
                 if name not in block:
                     errors.append(f"{kwhere}.{name}: missing")
                 else:
                     _check_type(block[name], expect, f"{kwhere}.{name}", errors)
-            extra = set(block) - set(_KERNEL_FIELDS)
+            extra = set(block) - set(kernel_fields)
             if extra:
                 errors.append(f"{kwhere}: unknown fields {sorted(extra)}")
+            counters = block.get("counters")
+            if version >= 2 and isinstance(counters, dict):
+                cwhere = f"{kwhere}.counters"
+                for name, expect in _COUNTER_FIELDS.items():
+                    if name not in counters:
+                        errors.append(f"{cwhere}.{name}: missing")
+                    else:
+                        _check_type(
+                            counters[name], expect, f"{cwhere}.{name}", errors
+                        )
+                extra = set(counters) - set(_COUNTER_FIELDS)
+                if extra:
+                    errors.append(
+                        f"{cwhere}: unknown fields {sorted(extra)}"
+                    )
     if errors:
         raise SchemaError(
             "bench document fails schema "
-            f"{BENCH_SCHEMA} v{BENCH_SCHEMA_VERSION}:\n  "
+            f"{BENCH_SCHEMA} v{version}:\n  "
             + "\n  ".join(errors)
         )

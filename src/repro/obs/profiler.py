@@ -1,0 +1,401 @@
+"""Hardware-counter profiler: per-launch ``ProfileReport`` bundles.
+
+The kernels already *measure* everything the paper's memory-hierarchy
+story turns on — coalesced transactions, bank-conflict serialization,
+two-level texture traffic, occupancy — but PR 2's observability layer
+only surfaced wall-clock spans and scalar gauges.  This module closes
+the gap: a :class:`KernelProfiler` is fed every
+:class:`~repro.kernels.base.KernelResult` (all four kernels:
+``global_only``, ``shared_mem``, ``pfac``, and ``multi_gpu``'s
+per-device results) and joins the
+:class:`~repro.gpu.counters.EventCounters` bundle with the timing
+model's :class:`~repro.gpu.counters.TimingBreakdown` and the launch's
+:class:`~repro.gpu.config.Occupancy` into one typed, validated
+:class:`ProfileReport` per launch.
+
+Derived rates (all dimensionless, all in ``[0, 1]`` unless noted):
+
+* ``bus_efficiency`` — requested / moved global-bus bytes;
+* ``transactions_per_access`` — coalescer quality (1 = perfect, up to
+  16; not a rate);
+* ``conflict_degree`` — mean bank serialization (1.0 = conflict-free,
+  the diagonal scheme's invariant; not a rate);
+* ``texture_hit_rate`` — fraction of STT fetches served on chip;
+* ``occupancy_fraction`` — resident warps over the SM's slots;
+* ``fraction_of_peak`` — achieved Gbps over the device's bus ceiling.
+
+Phase attribution re-derives the timing model's composition rule
+(:func:`repro.gpu.latency.estimate_time`) so the three phases —
+``critical_path`` (the binding resource), ``overlap_leak`` (the slack
+resource's imperfect-overlap spill), ``launch_overhead`` — sum
+*exactly* to ``total_cycles``; the invariant is enforced by
+:meth:`ProfileReport.validate` and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.gpu.config import DeviceConfig, gtx285
+from repro.gpu.counters import EventCounters, TimingBreakdown
+
+#: Phase names of the cycle attribution, in render order.
+PHASE_NAMES = ("critical_path", "overlap_leak", "launch_overhead")
+
+#: Kernel names accepted by :func:`profile_kernel`.
+PROFILE_KERNELS = ("shared_mem", "global_only", "pfac", "multi_gpu")
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One kernel launch, fully attributed.
+
+    Everything is derived from *measured* events plus the fixed device
+    constants — no field is re-estimated downstream, so the report is
+    the auditable join of the counter, occupancy and timing layers.
+    """
+
+    kernel: str
+    scheme: Optional[str]
+    input_bytes: int
+    matches: int
+
+    # -- headline ---------------------------------------------------------
+    seconds: float
+    achieved_gbps: float
+    #: Bus-bandwidth ceiling in the paper's unit (input bits/s): every
+    #: input byte crosses the device bus at least once.
+    peak_gbps: float
+    regime: str
+
+    # -- occupancy --------------------------------------------------------
+    warps_per_sm: int
+    occupancy_fraction: float
+    #: Memory-level parallelism the latency model granted.
+    mwp: float
+
+    # -- derived counter rates -------------------------------------------
+    bus_efficiency: float
+    transactions_per_access: float
+    conflict_degree: float
+    bank_conflict_excess: int
+    texture_hit_rate: float
+    overlap_ratio: float
+
+    # -- cycle attribution ------------------------------------------------
+    compute_cycles: float
+    memory_latency_cycles: float
+    bandwidth_cycles: float
+    total_cycles: float
+    #: ``critical_path`` + ``overlap_leak`` + ``launch_overhead`` ==
+    #: ``total_cycles`` (exactly; see :meth:`validate`).
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Which resource the critical path is (matches ``regime``).
+    critical_resource: str = "compute"
+
+    #: The raw event bundle the report was derived from.
+    counters: EventCounters = field(default_factory=EventCounters)
+
+    @property
+    def fraction_of_peak(self) -> float:
+        """achieved_gbps / peak_gbps — headroom left on the bus."""
+        if self.peak_gbps <= 0:
+            return 0.0
+        return self.achieved_gbps / self.peak_gbps
+
+    def validate(self) -> None:
+        """Enforce the report's invariants (tests call this on every
+        launch; the profiler calls it at construction).
+
+        * phase cycles sum to ``total_cycles`` (1e-6 relative);
+        * every phase is non-negative;
+        * true rates lie in ``[0, 1]``;
+        * ``conflict_degree >= 1`` whenever shared memory was touched.
+        """
+        total = sum(self.phases.values())
+        scale = max(abs(self.total_cycles), 1.0)
+        if abs(total - self.total_cycles) > 1e-6 * scale:
+            raise ReproError(
+                f"phase cycles {total} != total {self.total_cycles}"
+            )
+        for name in PHASE_NAMES:
+            if name not in self.phases:
+                raise ReproError(f"missing phase {name!r}")
+            if self.phases[name] < 0:
+                raise ReproError(f"negative phase {name!r}")
+        for name in (
+            "bus_efficiency",
+            "texture_hit_rate",
+            "occupancy_fraction",
+            "fraction_of_peak",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ReproError(f"{name} {value} outside [0, 1]")
+        if self.counters.shared_accesses and self.conflict_degree < 1.0:
+            raise ReproError(
+                f"conflict degree {self.conflict_degree} below 1"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready flat form (CLI ``--format json``, tests)."""
+        return {
+            "kernel": self.kernel,
+            "scheme": self.scheme,
+            "input_bytes": self.input_bytes,
+            "matches": self.matches,
+            "seconds": self.seconds,
+            "achieved_gbps": self.achieved_gbps,
+            "peak_gbps": self.peak_gbps,
+            "fraction_of_peak": self.fraction_of_peak,
+            "regime": self.regime,
+            "warps_per_sm": self.warps_per_sm,
+            "occupancy_fraction": self.occupancy_fraction,
+            "mwp": self.mwp,
+            "bus_efficiency": self.bus_efficiency,
+            "transactions_per_access": self.transactions_per_access,
+            "conflict_degree": self.conflict_degree,
+            "bank_conflict_excess": self.bank_conflict_excess,
+            "texture_hit_rate": self.texture_hit_rate,
+            "overlap_ratio": self.overlap_ratio,
+            "compute_cycles": self.compute_cycles,
+            "memory_latency_cycles": self.memory_latency_cycles,
+            "bandwidth_cycles": self.bandwidth_cycles,
+            "total_cycles": self.total_cycles,
+            "phases": dict(self.phases),
+            "critical_resource": self.critical_resource,
+            "counters": {
+                "bytes_owned": self.counters.bytes_owned,
+                "bytes_scanned": self.counters.bytes_scanned,
+                "global_transactions": self.counters.global_transactions,
+                "global_bytes": self.counters.global_bytes,
+                "global_useful_bytes": self.counters.global_useful_bytes,
+                "shared_accesses": self.counters.shared_accesses,
+                "shared_serialized_accesses": (
+                    self.counters.shared_serialized_accesses
+                ),
+                "texture_accesses": self.counters.texture_accesses,
+                "texture_misses": self.counters.texture_misses,
+                "warp_iterations": self.counters.warp_iterations,
+                "raw_match_writes": self.counters.raw_match_writes,
+            },
+        }
+
+    def render(self) -> str:
+        """Fixed-width text block (CLI ``--format text``)."""
+        c = self.counters
+        total = max(self.total_cycles, 1.0)
+        lines = [
+            f"kernel {self.kernel}"
+            + (f" [{self.scheme}]" if self.scheme else "")
+            + f" over {self.input_bytes:,} bytes",
+            f"  throughput  : {self.seconds * 1e3:.3f} ms modeled -> "
+            f"{self.achieved_gbps:.2f} Gbps "
+            f"({self.fraction_of_peak:.1%} of {self.peak_gbps:.0f} Gbps "
+            f"bus peak), {self.regime}",
+            f"  occupancy   : {self.warps_per_sm} warps/SM "
+            f"({self.occupancy_fraction:.0%} of slots), "
+            f"MWP {self.mwp:.1f}",
+            f"  global mem  : {c.global_transactions:,} transactions "
+            f"({self.transactions_per_access:.2f} per access), "
+            f"bus efficiency {self.bus_efficiency:.3f}",
+        ]
+        if c.shared_accesses:
+            lines.append(
+                f"  shared mem  : {c.shared_accesses:,} half-warp "
+                f"accesses, conflict degree {self.conflict_degree:.2f} "
+                f"({self.bank_conflict_excess:,} serialized extra)"
+            )
+        lines += [
+            f"  texture     : {c.texture_accesses:,} fetches, "
+            f"hit rate {self.texture_hit_rate:.3f} "
+            f"({c.texture_misses:,} DRAM line fills)",
+            f"  overlap     : x{self.overlap_ratio:.3f} scan redundancy, "
+            f"{self.matches:,} matches",
+            f"  phase cycles: "
+            + " | ".join(
+                f"{name} {self.phases[name] / total:.1%}"
+                for name in PHASE_NAMES
+            )
+            + f"  (critical: {self.critical_resource})",
+        ]
+        return "\n".join(lines)
+
+
+def _attribute_phases(tb: TimingBreakdown) -> Dict[str, float]:
+    """Decompose a breakdown into phases that sum exactly to total.
+
+    Mirrors :func:`repro.gpu.latency.estimate_time`'s composition rule
+    (``max(compute, memory) + kappa*min(...) + launch``) without
+    needing ``kappa``: the leak term is recovered as the remainder, so
+    the attribution is exact by construction for any device constants.
+    """
+    memory_term = max(tb.memory_latency_cycles, tb.bandwidth_cycles)
+    critical = max(tb.compute_cycles, memory_term)
+    leak = tb.total_cycles - tb.launch_overhead_cycles - critical
+    return {
+        "critical_path": critical,
+        "overlap_leak": max(leak, 0.0),
+        "launch_overhead": tb.launch_overhead_cycles,
+    }
+
+
+def build_report(
+    result, config: Optional[DeviceConfig] = None
+) -> ProfileReport:
+    """Join one :class:`~repro.kernels.base.KernelResult` into a
+    validated :class:`ProfileReport`.
+
+    ``config`` supplies the peak-bandwidth ceiling and warp-slot count
+    (GTX 285 by default — the constants every kernel in this repo is
+    priced with).
+    """
+    config = config or gtx285()
+    c = result.counters
+    tb = result.timing
+    phases = _attribute_phases(tb)
+    memory_term = max(tb.memory_latency_cycles, tb.bandwidth_cycles)
+    if tb.compute_cycles >= memory_term:
+        critical = "compute"
+    elif tb.memory_latency_cycles >= tb.bandwidth_cycles:
+        critical = "memory_latency"
+    else:
+        critical = "bandwidth"
+    report = ProfileReport(
+        kernel=result.name,
+        scheme=result.scheme,
+        input_bytes=c.bytes_owned,
+        matches=len(result.matches),
+        seconds=tb.seconds,
+        achieved_gbps=result.throughput_gbps,
+        peak_gbps=config.global_bandwidth_gbs * 8.0,
+        regime=tb.regime,
+        warps_per_sm=result.occupancy.warps_per_sm,
+        occupancy_fraction=result.occupancy.fraction(config),
+        mwp=tb.mwp,
+        bus_efficiency=c.bus_efficiency,
+        transactions_per_access=c.transactions_per_access,
+        conflict_degree=c.avg_conflict_degree,
+        bank_conflict_excess=c.bank_conflict_excess,
+        texture_hit_rate=c.texture_hit_rate,
+        overlap_ratio=c.overlap_ratio,
+        compute_cycles=tb.compute_cycles,
+        memory_latency_cycles=tb.memory_latency_cycles,
+        bandwidth_cycles=tb.bandwidth_cycles,
+        total_cycles=tb.total_cycles,
+        phases=phases,
+        critical_resource=critical,
+        counters=c,
+    )
+    report.validate()
+    return report
+
+
+class KernelProfiler:
+    """Accumulates :class:`ProfileReport` bundles across launches.
+
+    Thread it anywhere a kernel result surfaces: ``Matcher(profiler=)``
+    feeds every GPU-backend scan, ``ExperimentRunner(profiler=)`` feeds
+    every bench-cell kernel, and :func:`profile_kernel` drives a named
+    kernel directly (the ``repro-ac profile`` path).
+    """
+
+    def __init__(self, config: Optional[DeviceConfig] = None):
+        self.config = config or gtx285()
+        self.reports: List[ProfileReport] = []
+
+    def observe(self, result) -> ProfileReport:
+        """Record one kernel result; returns its validated report."""
+        report = build_report(result, self.config)
+        self.reports.append(report)
+        return report
+
+    def observe_multi(self, result) -> List[ProfileReport]:
+        """Record a :class:`~repro.kernels.multi_gpu.MultiGpuResult`.
+
+        One report per device (cluster wall-time and the merge overhead
+        live on the result itself, not in any single device's cycles).
+        """
+        return [self.observe(r) for r in result.per_device]
+
+    @property
+    def last(self) -> Optional[ProfileReport]:
+        """Most recent report, or None before the first launch."""
+        return self.reports[-1] if self.reports else None
+
+    def render(self) -> str:
+        """All recorded reports, blank-line separated."""
+        return "\n\n".join(r.render() for r in self.reports)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of every recorded report."""
+        return [r.as_dict() for r in self.reports]
+
+    def clear(self) -> None:
+        """Drop all recorded reports."""
+        self.reports = []
+
+
+def profile_kernel(
+    kernel: str,
+    dfa,
+    data,
+    *,
+    config: Optional[DeviceConfig] = None,
+    profiler: Optional[KernelProfiler] = None,
+    tracer=None,
+    scheme: str = "diagonal",
+    n_devices: int = 2,
+    **kernel_kwargs,
+) -> List[ProfileReport]:
+    """Run a named kernel and return its validated report(s).
+
+    ``kernel`` is one of :data:`PROFILE_KERNELS`.  ``multi_gpu`` slices
+    the input over ``n_devices`` simulated devices and returns one
+    report per device; the others return a single-element list.  Extra
+    keyword arguments pass through to the kernel entry point.
+    """
+    if kernel not in PROFILE_KERNELS:
+        raise ReproError(
+            f"unknown kernel {kernel!r}; choose from {PROFILE_KERNELS}"
+        )
+    config = config or gtx285()
+    profiler = profiler if profiler is not None else KernelProfiler(config)
+    if kernel == "multi_gpu":
+        from repro.kernels.multi_gpu import run_multi_gpu
+
+        result = run_multi_gpu(
+            dfa,
+            data,
+            n_devices,
+            device_config=config,
+            scheme=scheme,
+            tracer=tracer,
+            **kernel_kwargs,
+        )
+        return profiler.observe_multi(result)
+
+    from repro.gpu.device import Device
+
+    device = Device(config, tracer=tracer)
+    if kernel == "shared_mem":
+        from repro.kernels.shared_mem import run_shared_kernel
+
+        result = run_shared_kernel(
+            dfa, data, device, scheme=scheme, tracer=tracer, **kernel_kwargs
+        )
+    elif kernel == "global_only":
+        from repro.kernels.global_only import run_global_kernel
+
+        result = run_global_kernel(
+            dfa, data, device, tracer=tracer, **kernel_kwargs
+        )
+    else:
+        from repro.kernels.pfac import run_pfac_kernel
+
+        result = run_pfac_kernel(
+            dfa, data, device, tracer=tracer, **kernel_kwargs
+        )
+    return [profiler.observe(result)]

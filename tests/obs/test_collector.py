@@ -45,6 +45,19 @@ class TestCollection:
         assert 0.0 <= shared["tex_hit_rate"] <= 1.0
         assert collected.records[0].serial is not None
 
+    def test_counters_block_present(self, collected):
+        """Schema v2: every kernel stat block embeds the counter
+        summary the perf gate diffs."""
+        shared = collected.records[0].kernels["shared"]["counters"]
+        assert shared["achieved_gbps"] > 0
+        assert shared["global_transactions"] > 0
+        assert shared["bank_conflict_excess"] == 0  # diagonal scheme
+        assert 0.0 < shared["bus_efficiency"] <= 1.0
+        glob = collected.records[0].kernels["global"]["counters"]
+        assert glob["transactions_per_access"] > shared[
+            "transactions_per_access"
+        ]
+
 
 class TestDocument:
     def test_header_and_validation(self, collected):
@@ -91,6 +104,25 @@ class TestSchemaGate:
         del doc["cells"][0]["kernels"]["shared"]["tex_hit_rate"]
         with pytest.raises(SchemaError, match="tex_hit_rate"):
             validate_bench_document(doc)
+
+    def test_counter_drift_fails(self, doc):
+        del doc["cells"][0]["kernels"]["shared"]["counters"]["bus_efficiency"]
+        with pytest.raises(SchemaError, match="bus_efficiency"):
+            validate_bench_document(doc)
+
+    def test_missing_counters_block_fails_v2(self, doc):
+        del doc["cells"][0]["kernels"]["shared"]["counters"]
+        with pytest.raises(SchemaError, match="counters"):
+            validate_bench_document(doc)
+
+    def test_v1_document_without_counters_still_validates(self, doc):
+        """Backward compatibility: archived v1 baselines (no counters
+        blocks) validate under the v1 rules."""
+        doc["version"] = 1
+        for cell in doc["cells"]:
+            for block in cell["kernels"].values():
+                del block["counters"]
+        validate_bench_document(doc)  # must not raise
 
     def test_all_problems_listed(self, doc):
         del doc["cells"][0]["n_states"]

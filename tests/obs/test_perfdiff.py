@@ -1,0 +1,175 @@
+"""Tests for the noise-aware perf-regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.errors import SchemaError
+from repro.obs import BenchCollector, diff_documents
+from repro.obs.perfdiff import HIGHER, LOWER
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    collector = BenchCollector(label="baseline")
+    runner = ExperimentRunner(scale=0.001, seed=7, collector=collector)
+    runner.run_cell("50KB", 100)
+    runner.run_cell("50KB", 1000)
+    return collector.as_document()
+
+
+@pytest.fixture
+def current_doc(baseline_doc):
+    return copy.deepcopy(baseline_doc)
+
+
+def _shared(doc, cell=0):
+    return doc["cells"][cell]["kernels"]["shared"]
+
+
+class TestVerdicts:
+    def test_identical_documents_pass(self, baseline_doc, current_doc):
+        report = diff_documents(baseline_doc, current_doc)
+        assert report.ok
+        assert report.regressions == []
+        assert report.deltas  # something was actually compared
+        assert not report.missing_cells and not report.extra_cells
+
+    def test_throughput_drop_is_regression(self, baseline_doc, current_doc):
+        _shared(current_doc)["gbps"] *= 0.8  # -20% past the 10% gate
+        report = diff_documents(baseline_doc, current_doc)
+        assert not report.ok
+        (d,) = report.regressions
+        assert d.metric == "gbps" and d.kernel == "shared"
+        assert d.cell == "50KB/p100"
+        assert d.rel_change == pytest.approx(-0.2)
+
+    def test_counter_throughput_drop_is_regression(
+        self, baseline_doc, current_doc
+    ):
+        _shared(current_doc)["counters"]["achieved_gbps"] *= 0.5
+        report = diff_documents(baseline_doc, current_doc)
+        assert [d.metric for d in report.regressions] == [
+            "counters.achieved_gbps"
+        ]
+
+    def test_improvement_passes_and_is_reported(
+        self, baseline_doc, current_doc
+    ):
+        _shared(current_doc)["gbps"] *= 1.5
+        report = diff_documents(baseline_doc, current_doc)
+        assert report.ok
+        (d,) = report.improvements
+        assert d.metric == "gbps" and d.improved and not d.regressed
+
+    def test_lower_is_better_direction(self, baseline_doc, current_doc):
+        _shared(current_doc)["seconds"] *= 1.3  # slower = worse
+        report = diff_documents(baseline_doc, current_doc)
+        assert [d.metric for d in report.regressions] == ["seconds"]
+
+    def test_conflict_regression_from_zero_baseline(
+        self, baseline_doc, current_doc
+    ):
+        """A conflict-free baseline gaining its first serialized access
+        is an infinite relative change and must flag."""
+        _shared(current_doc)["counters"]["bank_conflict_excess"] = 50
+        report = diff_documents(baseline_doc, current_doc)
+        metrics = [d.metric for d in report.regressions]
+        assert "counters.bank_conflict_excess" in metrics
+        d = next(
+            d for d in report.regressions
+            if d.metric == "counters.bank_conflict_excess"
+        )
+        assert d.rel_change == float("inf")
+
+
+class TestThresholds:
+    def test_change_within_threshold_passes(self, baseline_doc, current_doc):
+        _shared(current_doc)["gbps"] *= 0.95  # -5%, under the 10% gate
+        assert diff_documents(baseline_doc, current_doc).ok
+
+    def test_exact_threshold_edge_passes(self, baseline_doc, current_doc):
+        # The gate is strict (> threshold): exactly -10% is tolerated.
+        _shared(current_doc)["gbps"] *= 0.90
+        assert diff_documents(baseline_doc, current_doc).ok
+
+    def test_just_past_threshold_fails(self, baseline_doc, current_doc):
+        _shared(current_doc)["gbps"] *= 0.89
+        assert not diff_documents(baseline_doc, current_doc).ok
+
+    def test_threshold_override(self, baseline_doc, current_doc):
+        _shared(current_doc)["gbps"] *= 0.8
+        report = diff_documents(
+            baseline_doc, current_doc, thresholds={"gbps": (HIGHER, 0.5)}
+        )
+        assert report.ok
+        tight = diff_documents(
+            baseline_doc, current_doc,
+            thresholds={"seconds": (LOWER, 0.0001)},
+        )
+        assert not tight.ok or tight.ok  # still a valid report
+        assert all(d.threshold == 0.5 for d in report.deltas
+                   if d.metric == "gbps")
+
+
+class TestStructure:
+    def test_schema_version_mismatch_rejected(
+        self, baseline_doc, current_doc
+    ):
+        current_doc["version"] = 1
+        # Strip the v2-only counters blocks so the doc validates as v1.
+        for cell in current_doc["cells"]:
+            for block in cell["kernels"].values():
+                del block["counters"]
+        with pytest.raises(SchemaError, match="version mismatch"):
+            diff_documents(baseline_doc, current_doc)
+
+    def test_invalid_document_rejected(self, baseline_doc, current_doc):
+        del current_doc["cells"][0]["n_states"]
+        with pytest.raises(SchemaError, match="n_states"):
+            diff_documents(baseline_doc, current_doc)
+
+    def test_missing_and_extra_cells_reported_not_failed(
+        self, baseline_doc, current_doc
+    ):
+        del current_doc["cells"][1]
+        report = diff_documents(baseline_doc, current_doc)
+        assert report.ok
+        assert report.missing_cells == ["50KB/p1000"]
+        reverse = diff_documents(current_doc, baseline_doc)
+        assert reverse.extra_cells == ["50KB/p1000"]
+
+    def test_render_names_regressed_metric(self, baseline_doc, current_doc):
+        _shared(current_doc)["gbps"] *= 0.5
+        text = diff_documents(baseline_doc, current_doc).render()
+        assert "FAIL" in text
+        assert "50KB/p100/shared/gbps" in text
+        ok_text = diff_documents(baseline_doc, baseline_doc).render()
+        assert "PASS" in ok_text
+
+    def test_serial_baseline_blocks_gated(self, baseline_doc, current_doc):
+        current_doc["cells"][0]["serial"]["seconds"] *= 2.0
+        report = diff_documents(baseline_doc, current_doc)
+        assert [d.kernel for d in report.regressions] == ["serial"]
+
+
+class TestCliIntegration:
+    def test_cli_exit_codes(self, baseline_doc, current_doc, tmp_path):
+        """repro-ac perfdiff exits 0 on pass, 1 on regression, 2 on a
+        schema error."""
+        import json
+
+        from repro.cli import main
+
+        _shared(current_doc)["counters"]["achieved_gbps"] *= 0.5
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(baseline_doc))
+        cur.write_text(json.dumps(current_doc))
+        assert main(["perfdiff", str(base), str(base)]) == 0
+        assert main(["perfdiff", str(base), str(cur)]) == 1
+        assert main(["perfdiff", str(base), "/nonexistent.json"]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["perfdiff", str(base), str(bad)]) == 2

@@ -1,0 +1,203 @@
+"""Tests for the kernel profiler and ProfileReport invariants."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import DFA, PatternSet
+from repro.errors import ReproError
+from repro.obs import (
+    KernelProfiler,
+    PROFILE_KERNELS,
+    build_report,
+    profile_kernel,
+)
+from repro.obs.profiler import PHASE_NAMES
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    rng = np.random.default_rng(7)
+    words = [
+        bytes(rng.integers(97, 123, size=rng.integers(2, 6)).astype(np.uint8))
+        for _ in range(50)
+    ]
+    return DFA.build(PatternSet.from_bytes(words))
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    return rng.integers(97, 123, size=20_000).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def reports(dfa, data):
+    """One profiled launch per kernel (multi_gpu: one per device)."""
+    out = {}
+    for kernel in PROFILE_KERNELS:
+        out[kernel] = profile_kernel(kernel, dfa, data)
+    return out
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("kernel", PROFILE_KERNELS)
+    def test_validate_passes(self, reports, kernel):
+        for r in reports[kernel]:
+            r.validate()  # must not raise
+
+    @pytest.mark.parametrize("kernel", PROFILE_KERNELS)
+    def test_phases_sum_to_total(self, reports, kernel):
+        for r in reports[kernel]:
+            assert set(r.phases) == set(PHASE_NAMES)
+            assert sum(r.phases.values()) == pytest.approx(
+                r.total_cycles, rel=1e-9
+            )
+            assert all(v >= 0 for v in r.phases.values())
+
+    @pytest.mark.parametrize("kernel", PROFILE_KERNELS)
+    def test_rates_in_unit_interval(self, reports, kernel):
+        for r in reports[kernel]:
+            for name in (
+                "bus_efficiency",
+                "texture_hit_rate",
+                "occupancy_fraction",
+                "fraction_of_peak",
+            ):
+                assert 0.0 <= getattr(r, name) <= 1.0
+
+    @pytest.mark.parametrize("kernel", PROFILE_KERNELS)
+    def test_headline_consistency(self, reports, kernel):
+        for r in reports[kernel]:
+            assert r.seconds > 0
+            assert r.achieved_gbps > 0
+            assert r.achieved_gbps < r.peak_gbps
+            assert r.regime in (
+                "compute_bound", "latency_bound", "bandwidth_bound"
+            )
+            assert r.critical_resource in (
+                "compute", "memory_latency", "bandwidth"
+            )
+
+    def test_multi_gpu_one_report_per_device(self, reports):
+        assert len(reports["multi_gpu"]) == 2
+        singles = [k for k in PROFILE_KERNELS if k != "multi_gpu"]
+        for k in singles:
+            assert len(reports[k]) == 1
+
+
+class TestSchemeContrast:
+    def test_diagonal_conflict_free_naive_degraded(self, dfa, data):
+        """The paper's Fig. 23 contrast, visible straight from the
+        profiler: diagonal stores are conflict-free, naive stores
+        serialize every half-warp."""
+        (diag,) = profile_kernel("shared_mem", dfa, data, scheme="diagonal")
+        (naive,) = profile_kernel("shared_mem", dfa, data, scheme="naive")
+        assert diag.conflict_degree == 1.0
+        assert diag.bank_conflict_excess == 0
+        assert naive.conflict_degree > 1.0
+        assert naive.bank_conflict_excess > 0
+
+    def test_global_kernel_poorly_coalesced(self, reports):
+        (g,) = reports["global_only"]
+        (s,) = reports["shared_mem"]
+        assert g.transactions_per_access > s.transactions_per_access
+        assert g.bus_efficiency < s.bus_efficiency
+
+
+class TestValidateRejects:
+    def _report(self, reports, **overrides):
+        return dataclasses.replace(reports["shared_mem"][0], **overrides)
+
+    def test_phase_sum_mismatch(self, reports):
+        r = reports["shared_mem"][0]
+        bad = self._report(
+            reports,
+            phases={**r.phases, "launch_overhead": r.total_cycles},
+        )
+        with pytest.raises(ReproError, match="phase"):
+            bad.validate()
+
+    def test_missing_phase(self, reports):
+        bad = self._report(reports, phases={}, total_cycles=0.0)
+        with pytest.raises(ReproError, match="missing phase"):
+            bad.validate()
+
+    def test_rate_out_of_range(self, reports):
+        bad = self._report(reports, bus_efficiency=1.5)
+        with pytest.raises(ReproError, match="bus_efficiency"):
+            bad.validate()
+
+    def test_conflict_degree_below_one(self, reports):
+        bad = self._report(reports, conflict_degree=0.5)
+        with pytest.raises(ReproError, match="conflict degree"):
+            bad.validate()
+
+
+class TestProfilerPlumbing:
+    def test_unknown_kernel_rejected(self, dfa, data):
+        with pytest.raises(ReproError, match="unknown kernel"):
+            profile_kernel("warp_speed", dfa, data)
+
+    def test_profiler_accumulates_and_clears(self, dfa, data):
+        profiler = KernelProfiler()
+        profile_kernel("shared_mem", dfa, data, profiler=profiler)
+        profile_kernel("global_only", dfa, data, profiler=profiler)
+        assert [r.kernel for r in profiler.reports] == [
+            "shared_memory", "global_only"
+        ]
+        assert profiler.last is profiler.reports[-1]
+        assert len(profiler.as_dicts()) == 2
+        profiler.clear()
+        assert profiler.last is None
+
+    def test_render_mentions_conflicts_and_peak(self, dfa, data):
+        profiler = KernelProfiler()
+        profile_kernel("shared_mem", dfa, data, profiler=profiler)
+        text = profiler.render()
+        assert "conflict degree 1.00" in text
+        assert "bus peak" in text
+
+    def test_as_dict_round_trips_json(self, reports):
+        import json
+
+        doc = json.loads(json.dumps(reports["pfac"][0].as_dict()))
+        assert doc["kernel"] == "pfac"
+        assert doc["counters"]["global_transactions"] > 0
+
+    def test_matcher_feeds_profiler(self, tmp_path):
+        from repro.matcher import Matcher
+
+        profiler = KernelProfiler()
+        m = Matcher(["ab", "bc"], backend="gpu", profiler=profiler)
+        m.scan(b"abcabc" * 100)
+        assert profiler.last is not None
+        assert profiler.last.kernel == "shared_memory"
+        profiler.last.validate()
+
+    def test_runner_feeds_profiler(self):
+        from repro.bench.runner import ExperimentRunner
+
+        profiler = KernelProfiler()
+        runner = ExperimentRunner(scale=0.001, seed=7, profiler=profiler)
+        runner.run_cell("50KB", 100)
+        observed = {r.kernel for r in profiler.reports}
+        assert "shared_memory" in observed
+        assert "global_only" in observed
+        # Cache replays are not re-fed.
+        n = len(profiler.reports)
+        runner.run_cell("50KB", 100)
+        assert len(profiler.reports) == n
+
+    def test_build_report_matches_kernel_result(self, dfa, data):
+        from repro.gpu.device import Device
+        from repro.kernels.shared_mem import run_shared_kernel
+
+        result = run_shared_kernel(dfa, data, Device())
+        report = build_report(result)
+        assert report.matches == len(result.matches)
+        assert report.seconds == result.seconds
+        assert report.conflict_degree == (
+            result.counters.avg_conflict_degree
+        )

@@ -1,0 +1,153 @@
+"""Tests for the Chrome-trace / Perfetto exporter."""
+
+import json
+
+import pytest
+
+from repro.gpu.counters import EventCounters
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances 1 ms."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.001
+        return self.t
+
+
+@pytest.fixture
+def traced():
+    """A deterministic span forest shaped like a real GPU scan."""
+    tracer = Tracer(clock=FakeClock())
+    counters = EventCounters(
+        bytes_owned=1000,
+        bytes_scanned=1100,
+        global_transactions=64,
+        global_bytes=2048,
+        global_useful_bytes=2048,
+        global_warp_events=64,
+        shared_accesses=128,
+        shared_serialized_accesses=128,
+    )
+    with tracer.span("scan", backend="gpu"):
+        with tracer.span("copy_input", nbytes=1000):
+            pass
+        with tracer.span("kernel_body", kernel="shared_memory") as sp:
+            tracer.event("stage_round", round=0)
+            sp.set(matches=7, **counters.as_span_attrs())
+        with tracer.span("ownership_filter"):
+            pass
+    return tracer
+
+
+class TestDocumentShape:
+    def test_valid_json_and_header(self, traced):
+        doc = to_chrome_trace(traced)
+        # Round-trips through the JSON codec without custom encoders.
+        again = json.loads(json.dumps(doc))
+        assert again["displayTimeUnit"] == "ms"
+        assert isinstance(again["traceEvents"], list)
+
+    def test_metadata_events_name_process_and_thread(self, traced):
+        events = to_chrome_trace(traced, label="my-scan")["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        proc = next(e for e in meta if e["name"] == "process_name")
+        assert proc["args"]["name"] == "my-scan"
+
+    def test_empty_tracer_exports_metadata_only(self):
+        doc = to_chrome_trace(Tracer(clock=FakeClock()))
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_write_loads_back(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(traced, str(path))
+        assert json.loads(path.read_text()) == json.loads(json.dumps(doc))
+
+
+class TestNesting:
+    def _complete(self, tracer):
+        events = to_chrome_trace(tracer)["traceEvents"]
+        return {e["name"]: e for e in events if e["ph"] == "X"}
+
+    def test_all_spans_exported_as_complete_events(self, traced):
+        spans = self._complete(traced)
+        assert set(spans) == {
+            "scan", "copy_input", "kernel_body", "ownership_filter"
+        }
+
+    def test_children_contained_in_parent_interval(self, traced):
+        spans = self._complete(traced)
+        parent = spans["scan"]
+        for child in ("copy_input", "kernel_body", "ownership_filter"):
+            c = spans[child]
+            assert c["ts"] >= parent["ts"]
+            assert c["ts"] + c["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_siblings_do_not_overlap(self, traced):
+        spans = self._complete(traced)
+        a, b = spans["copy_input"], spans["kernel_body"]
+        assert a["ts"] + a["dur"] <= b["ts"]
+
+    def test_timestamps_relative_microseconds(self, traced):
+        spans = self._complete(traced)
+        # The root starts at the origin; the fake clock ticks 1 ms.
+        assert spans["scan"]["ts"] == 0.0
+        assert spans["copy_input"]["ts"] == pytest.approx(1000.0)
+
+    def test_tracer_event_becomes_instant(self, traced):
+        events = to_chrome_trace(traced)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["stage_round"]
+        assert instants[0]["args"]["round"] == 0
+
+    def test_open_span_flagged(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.span("scan")  # never closed
+        spans = self._complete(tracer)
+        assert spans["scan"]["dur"] == 0.0
+        assert spans["scan"]["args"]["open"] is True
+
+
+class TestCounterArgs:
+    def test_kernel_body_carries_counter_args(self, traced):
+        events = to_chrome_trace(traced)["traceEvents"]
+        body = next(e for e in events if e["name"] == "kernel_body")
+        args = body["args"]
+        assert args["matches"] == 7
+        assert args["global_transactions"] == 64
+        assert args["bus_efficiency"] == 1.0
+        assert args["avg_conflict_degree"] == 1.0
+        assert args["overlap_ratio"] == pytest.approx(1.1)
+
+    def test_args_are_json_native(self, traced):
+        import numpy as np
+
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("scan", n=np.int64(3), arr=np.arange(2)):
+            pass
+        body = to_chrome_trace(tracer)["traceEvents"][-1]
+        assert body["args"]["n"] == 3  # numpy scalar unwrapped
+        assert isinstance(body["args"]["arr"], str)  # stringified
+        json.dumps(body)  # and the whole event serializes
+
+
+class TestRealScanExport:
+    def test_gpu_scan_trace_exports_counters(self, tmp_path):
+        """End-to-end: a traced GPU-backend scan exports a loadable
+        trace whose kernel_body carries the hardware counters."""
+        from repro.matcher import Matcher
+
+        tracer = Tracer()
+        m = Matcher(["ab", "bc"], backend="gpu", tracer=tracer)
+        m.scan(b"abcabc" * 200)
+        doc = write_chrome_trace(tracer, str(tmp_path / "t.json"))
+        body = next(
+            e for e in doc["traceEvents"] if e["name"] == "kernel_body"
+        )
+        assert body["args"]["avg_conflict_degree"] == 1.0
+        assert body["args"]["global_transactions"] > 0
