@@ -151,6 +151,31 @@ def scale_breakdown(
     return seconds, gbps, regime
 
 
+def counter_summary(result: KernelResult) -> Dict[str, float]:
+    """The bench-schema-v2 ``counters`` block for one kernel result.
+
+    The exact key set is enforced by
+    :func:`repro.obs.validate_bench_document` (extras are schema
+    errors), so every producer of bench cells — the experiment runner
+    and the serving benchmark alike — must build the block here.
+    ``achieved_gbps`` is *sim-scale* (the modeled throughput before
+    paper rescaling).
+    """
+    c = result.counters
+    return {
+        "achieved_gbps": float(result.throughput_gbps),
+        "global_transactions": int(c.global_transactions),
+        "global_bytes": int(c.global_bytes),
+        "bus_efficiency": float(c.bus_efficiency),
+        "transactions_per_access": float(c.transactions_per_access),
+        "shared_accesses": int(c.shared_accesses),
+        "bank_conflict_excess": int(c.bank_conflict_excess),
+        "texture_accesses": int(c.texture_accesses),
+        "texture_misses": int(c.texture_misses),
+        "overlap_ratio": float(c.overlap_ratio),
+    }
+
+
 class ExperimentRunner:
     """Executes grid cells with caching of dictionaries and cells.
 
@@ -283,19 +308,6 @@ class ExperimentRunner:
         )
         if self.profiler is not None:
             self.profiler.observe(result)
-        c = result.counters
-        counter_summary = {
-            "achieved_gbps": float(result.throughput_gbps),
-            "global_transactions": int(c.global_transactions),
-            "global_bytes": int(c.global_bytes),
-            "bus_efficiency": float(c.bus_efficiency),
-            "transactions_per_access": float(c.transactions_per_access),
-            "shared_accesses": int(c.shared_accesses),
-            "bank_conflict_excess": int(c.bank_conflict_excess),
-            "texture_accesses": int(c.texture_accesses),
-            "texture_misses": int(c.texture_misses),
-            "overlap_ratio": float(c.overlap_ratio),
-        }
         return ScaledKernel(
             name=result.name if result.scheme in (None, "diagonal") else (
                 f"{result.name}[{result.scheme}]"
@@ -307,7 +319,7 @@ class ExperimentRunner:
             avg_conflict_degree=result.counters.avg_conflict_degree,
             warps_per_sm=result.occupancy.warps_per_sm,
             matches=len(result.matches),
-            counters=counter_summary,
+            counters=counter_summary(result),
         )
 
     # -- cells ---------------------------------------------------------------

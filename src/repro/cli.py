@@ -249,6 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
         "metric's better-direction is kept)",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="batched scan serving: sweep the pipelined scheduler vs the "
+        "per-request loop, optionally with a demo walkthrough",
+    )
+    sv.add_argument(
+        "--demo", action="store_true",
+        help="also run a narrated scheduler demo (mixed dictionaries, "
+        "cache hits, bind reuse, per-batch pipeline timings)",
+    )
+    sv.add_argument(
+        "--batch-sizes", default="1,2,4,8,16",
+        help="comma list of batch sizes to sweep (default 1,2,4,8,16)",
+    )
+    sv.add_argument("--patterns", type=int, default=100,
+                    help="dictionary size (default 100)")
+    sv.add_argument("--text-bytes", type=int, default=4096,
+                    help="bytes per request (default 4096)")
+    sv.add_argument("--seed", type=int, default=2013)
+    sv.add_argument(
+        "--out", default=None,
+        help="write the sweep as schema-validated bench cells "
+        "(BENCH_*.json) to this path",
+    )
+    sv.add_argument(
+        "--trace-out", default=None,
+        help="write a Perfetto-loadable trace of the demo's scheduler "
+        "spans (requires --demo)",
+    )
+
     camp = sub.add_parser(
         "campaign",
         help="run the fault-injection campaign against the serial oracle",
@@ -430,6 +460,95 @@ def _cmd_match_resilient(args, patterns, text) -> int:
     if tracer is not None:
         print()
         print(tracer.render())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.bench.serve_bench import ServeBenchmark, render_sweep
+    from repro.obs import BenchCollector, Metrics, Tracer
+
+    try:
+        batch_sizes = [
+            int(s) for s in args.batch_sizes.split(",") if s.strip()
+        ]
+    except ValueError:
+        print(f"error: --batch-sizes expects a comma list of ints, got "
+              f"{args.batch_sizes!r}")
+        return 2
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        print("error: --batch-sizes needs at least one size >= 1")
+        return 2
+    if args.trace_out and not args.demo:
+        print("error: --trace-out requires --demo")
+        return 2
+
+    if args.demo:
+        from repro.serve import ScanScheduler
+
+        tracer = Tracer()
+        metrics = Metrics()
+        sched = ScanScheduler(
+            max_batch=8, tracer=tracer, metrics=metrics
+        )
+        ids = ["he", "she", "his", "hers"]
+        av = ["virus", "worm", "trojan"]
+        print("demo: two dictionaries, six requests, two drains")
+        for pats, text in [
+            (ids, "ushers in the house"),
+            (ids, "she sells seashells"),
+            (av, "a worm and a trojan walk into a bar"),
+            (ids, "hishers"),
+        ]:
+            sched.submit(pats, text)
+        sched.drain()
+        for pats, text in [(ids, "hers truly"), (av, "no virus here")]:
+            sched.submit(pats, text)
+        sched.drain()
+        for r in sched.reports:
+            t = r.timing
+            pipeline = (
+                f" makespan={t.makespan_seconds * 1e6:.2f}us "
+                f"saved={t.overlap_saved_seconds * 1e9:.0f}ns"
+                if t is not None
+                else ""
+            )
+            print(
+                f"  batch digest={r.digest[:12]} n={r.n_requests} "
+                f"cache_hit={r.cache_hit} bind_skipped={r.bind_skipped}"
+                f"{pipeline}"
+            )
+        s = sched.summary()
+        print(
+            f"  cache: {s['cache_hits']} hits / {s['cache_misses']} misses"
+            f"; overlap saved {s['overlap_saved_seconds'] * 1e9:.0f} ns "
+            "total"
+        )
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            doc = write_chrome_trace(tracer, args.trace_out)
+            print(f"  wrote {args.trace_out} "
+                  f"({len(doc['traceEvents'])} trace events)")
+        print()
+
+    collector = BenchCollector(label="serve") if args.out else None
+    bench = ServeBenchmark(
+        seed=args.seed,
+        n_patterns=args.patterns,
+        text_bytes=args.text_bytes,
+        collector=collector,
+    )
+    cells = bench.run(batch_sizes)
+    print(render_sweep(cells))
+    if collector is not None:
+        collector.write_json(args.out)
+        print(f"wrote {args.out} ({len(cells)} batch cells)")
+    worst = min(
+        (c.speedup for c in cells if c.batch_size >= 8), default=None
+    )
+    if worst is not None and worst < 1.5:
+        print(f"FAIL: scheduler speedup {worst:.2f}x < 1.5x at batch >= 8")
+        return 1
     return 0
 
 
@@ -690,6 +809,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "perfdiff":
         return _cmd_perfdiff(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse guards

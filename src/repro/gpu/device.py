@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +66,123 @@ class TextureBinding:
     def megabytes(self) -> float:
         """Texture footprint in MiB."""
         return self.bytes_total / 2**20
+
+
+@dataclass(frozen=True)
+class DeviceEvent:
+    """A point on a stream's modeled timeline (``cudaEventRecord``).
+
+    ``seconds`` is the modeled time at which every operation enqueued
+    on the recording stream before the event has completed.  Another
+    stream that :meth:`Stream.wait_event`\\ s on it will not start any
+    later work before that time — the standard cross-stream dependency
+    primitive a double-buffered pipeline is built from.
+    """
+
+    name: str
+    stream: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One operation on a stream's modeled timeline (for inspection)."""
+
+    kind: str  # "copy_h2d" | "kernel" | "wait"
+    name: str
+    t_start: float
+    t_end: float
+    nbytes: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Modeled duration of the operation."""
+        return self.t_end - self.t_start
+
+
+class Stream:
+    """A modeled in-order command queue on a :class:`Device`.
+
+    Real CUDA streams are what make copy/compute overlap possible: work
+    issued to different streams may run concurrently, while work within
+    one stream is strictly ordered.  The simulated form keeps a
+    *cursor* — the modeled time at which the stream next becomes idle —
+    and advances it by the priced duration of each enqueued operation.
+    Cross-stream ordering is expressed with :meth:`record_event` /
+    :meth:`wait_event`, exactly the ``cudaEventRecord`` /
+    ``cudaStreamWaitEvent`` pair a dual-stream pipeline uses.
+
+    Streams never run *functional* work — kernels still produce their
+    matches synchronously — they are the accounting substrate the
+    serving scheduler uses to model H2D copies overlapping
+    ``kernel_body`` and to report how much serialization the overlap
+    removed (docs/MODEL.md §8).
+    """
+
+    def __init__(self, device: "Device", name: str):
+        self.device = device
+        self.name = name
+        self._cursor = 0.0
+        self.ops: List[StreamOp] = []
+
+    @property
+    def cursor(self) -> float:
+        """Modeled time at which the stream becomes idle."""
+        return self._cursor
+
+    def _advance(self, kind: str, name: str, seconds: float, nbytes: int = 0) -> DeviceEvent:
+        if seconds < 0:
+            raise DeviceError(f"negative duration for stream op {name!r}")
+        t0 = self._cursor
+        self._cursor = t0 + seconds
+        self.ops.append(
+            StreamOp(kind=kind, name=name, t_start=t0, t_end=self._cursor,
+                     nbytes=nbytes)
+        )
+        self.device.tracer.event(
+            f"stream.{kind}",
+            stream=self.name,
+            op=name,
+            modeled_start=t0,
+            modeled_end=self._cursor,
+            nbytes=nbytes,
+        )
+        return DeviceEvent(name=name, stream=self.name, seconds=self._cursor)
+
+    def enqueue_copy(self, nbytes: int, name: str = "copy_h2d") -> DeviceEvent:
+        """Enqueue a host→device copy; returns its completion event."""
+        seconds = self.device.copy_h2d_seconds(int(nbytes))
+        return self._advance("copy_h2d", name, seconds, nbytes=int(nbytes))
+
+    def enqueue_kernel(self, seconds: float, name: str = "kernel_body") -> DeviceEvent:
+        """Enqueue a priced kernel; returns its completion event."""
+        return self._advance("kernel", name, float(seconds))
+
+    def wait_event(self, event: DeviceEvent) -> None:
+        """Stall the stream until *event*'s recording point has passed."""
+        if event.seconds > self._cursor:
+            self.ops.append(
+                StreamOp(
+                    kind="wait",
+                    name=f"wait:{event.name}@{event.stream}",
+                    t_start=self._cursor,
+                    t_end=event.seconds,
+                )
+            )
+            self._cursor = event.seconds
+
+    def record_event(self, name: str = "event") -> DeviceEvent:
+        """Record an event at the stream's current cursor."""
+        return DeviceEvent(name=name, stream=self.name, seconds=self._cursor)
+
+    def synchronize(self) -> float:
+        """Modeled ``cudaStreamSynchronize``: the stream's idle time."""
+        return self._cursor
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total modeled time spent executing (waits excluded)."""
+        return sum(op.seconds for op in self.ops if op.kind != "wait")
 
 
 class Device:
@@ -103,12 +220,34 @@ class Device:
         self._texture_table: Optional[np.ndarray] = None
         self._texture_crcs: Optional[np.ndarray] = None
         self._allocated_bytes = 0
+        self._streams: List[Stream] = []
+        #: Lifetime count of texture binds (the serving scheduler and
+        #: the bind-reuse regression test read this).
+        self.bind_count = 0
 
     def _poke(self, site: str, **context):
         """Fire an injection site; returns the triggered fault, if any."""
         if self.injector is None:
             return None
         return self.injector.poke(site, **context)
+
+    # -- streams -----------------------------------------------------------
+
+    def stream(self, name: Optional[str] = None) -> Stream:
+        """Create a modeled stream (``cudaStreamCreate``).
+
+        Streams share the device's timing constants but keep their own
+        timelines; the scheduler's dual-stream pipeline creates a copy
+        stream and a compute stream per batch.
+        """
+        s = Stream(self, name or f"stream{len(self._streams)}")
+        self._streams.append(s)
+        return s
+
+    @property
+    def streams(self) -> Tuple[Stream, ...]:
+        """Streams created on this device, in creation order."""
+        return tuple(self._streams)
 
     # -- host <-> device ---------------------------------------------------
 
@@ -259,6 +398,7 @@ class Device:
         self._texture = binding
         self._texture_table = table
         self._texture_crcs = row_checksums
+        self.bind_count += 1
         self.tracer.event(
             "device.bind_texture",
             n_states=stats.n_states,

@@ -201,6 +201,8 @@ class ResilientMatcher:
         self._matchers = {} if base.backend == "gpu" else {base.backend: base}
         self._base = base
         self.last_health: Optional[HealthReport] = None
+        #: Per-text episodes of the most recent :meth:`scan_many`.
+        self.last_batch_health: List[HealthReport] = []
 
     # -- plumbing --------------------------------------------------------
 
@@ -328,6 +330,52 @@ class ResilientMatcher:
             episode.set(ok=False)
             assert last_error is not None
             raise last_error
+
+    def scan_many(
+        self, texts, *, return_exceptions: bool = False
+    ) -> List[MatchResult]:
+        """Resiliently scan many independent texts, one result each.
+
+        Every text runs through its **own** retry/fallback episode, so
+        a request that exhausts the GPU (or the whole chain) never
+        poisons the rest of the batch — the serving scheduler's
+        per-request degradation contract.  The per-text
+        :class:`HealthReport` episodes land in :attr:`last_batch_health`
+        (in input order); :attr:`last_health` keeps the final episode.
+
+        With ``return_exceptions=False`` (default) the first text whose
+        chain is fully exhausted re-raises *after* every other text has
+        been scanned; with ``True`` the failed slots hold the raised
+        :class:`~repro.errors.ReproError` instead, asyncio-gather
+        style, and nothing raises.
+        """
+        texts = list(texts)
+        results: List[MatchResult] = []
+        health: List[HealthReport] = []
+        first_error: Optional[ReproError] = None
+        with self.tracer.span(
+            "resilient_scan_many", n_texts=len(texts)
+        ) as sp:
+            for text in texts:
+                try:
+                    result, h = self.scan_with_health(text)
+                except ReproError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    results.append(exc)  # type: ignore[arg-type]
+                    health.append(self.last_health)
+                    continue
+                results.append(result)
+                health.append(h)
+            sp.set(
+                failed=sum(
+                    1 for r in results if not isinstance(r, MatchResult)
+                )
+            )
+        self.last_batch_health = health
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
 
     # -- conveniences mirrored from Matcher ------------------------------
 

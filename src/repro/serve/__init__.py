@@ -1,0 +1,42 @@
+"""Serving layer: batched, pipelined, cached scan scheduling.
+
+The library's scan path is one-shot: build an automaton, bind it,
+scan a text.  A serving front end amortizes all three across many
+concurrent requests — :class:`AutomatonCache` memoizes compiled
+automata by content digest, and :class:`ScanScheduler` fuses queued
+requests per dictionary into single kernel batches driven through a
+modeled dual-stream copy/compute pipeline (docs/MODEL.md §8).
+
+    >>> from repro.serve import ScanScheduler
+    >>> s = ScanScheduler()
+    >>> t1 = s.submit(["he", "she"], "ushers")
+    >>> t2 = s.submit(["he", "she"], "checkers")
+    >>> len(t1.result()), len(t2.result())
+    (2, 1)
+"""
+
+from repro.serve.cache import (
+    AutomatonCache,
+    CacheEntry,
+    pattern_set_digest,
+)
+from repro.serve.scheduler import (
+    BatchReport,
+    PipelineTiming,
+    SCHEDULER_BACKENDS,
+    ScanRequest,
+    ScanScheduler,
+    ScanTicket,
+)
+
+__all__ = [
+    "AutomatonCache",
+    "BatchReport",
+    "CacheEntry",
+    "PipelineTiming",
+    "SCHEDULER_BACKENDS",
+    "ScanRequest",
+    "ScanScheduler",
+    "ScanTicket",
+    "pattern_set_digest",
+]

@@ -1,0 +1,202 @@
+"""LRU automaton cache keyed by pattern-set digest.
+
+The paper's 127 Gbps headline assumes the STT is *resident* — build
+and bind are one-time costs amortized over days of scanning.  A
+serving front end sees the same shape at request granularity: most
+requests reuse one of a handful of dictionaries (an IDS rule set, an
+AV signature DB, a tenant's watchlist), so rebuilding the automaton
+per request would dwarf the scan itself.  :class:`AutomatonCache`
+memoizes compiled :class:`~repro.core.dfa.DFA`\\ s behind a
+content-addressed key so a repeat pattern set skips phase-1
+construction entirely, and carries the STT's per-row CRC32 vector
+(:mod:`repro.core.integrity`) so every consumer can re-verify that the
+cached table is byte-identical to a fresh build.
+
+Keying rules (docs/MODEL.md §8):
+
+* the key is a SHA-256 over the patterns **in id order**, each
+  length-prefixed (so ``["ab","c"]`` and ``["a","bc"]`` cannot
+  collide), plus the ``case_insensitive`` build flag;
+* the fold flag is part of the key because a folded and an unfolded
+  build of the same patterns are *different automata*;
+* pattern order matters — ids are positional and results carry
+  pattern ids, so a reordered dictionary is a different entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dfa import DFA
+from repro.core.integrity import stt_row_checksums, verify_row_checksums
+from repro.core.pattern_set import PatternSet
+from repro.errors import IntegrityError, ReproError
+from repro.obs import NULL_METRICS, NULL_TRACER
+
+#: Domain separator baked into every digest (bump on format change).
+_DIGEST_DOMAIN = b"repro-ac/pattern-set/v1\x00"
+
+
+def pattern_set_digest(
+    patterns: Union[Sequence, PatternSet], *, case_insensitive: bool = False
+) -> str:
+    """Content digest of a dictionary + build flags (hex, 64 chars).
+
+    Two pattern sets share a digest iff they build byte-identical
+    automata: same patterns, same id order, same fold flag.
+    """
+    if not isinstance(patterns, PatternSet):
+        patterns = PatternSet(patterns)
+    h = hashlib.sha256()
+    h.update(_DIGEST_DOMAIN)
+    h.update(b"ci=1\x00" if case_insensitive else b"ci=0\x00")
+    for raw in patterns.as_bytes_list():
+        if case_insensitive:
+            raw = raw.lower()
+        h.update(len(raw).to_bytes(4, "little"))
+        h.update(raw)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One resident automaton plus its integrity vector."""
+
+    digest: str
+    dfa: DFA
+    #: Per-row CRC32 of the STT at build time; consumers bind with
+    #: ``device.bind_texture(dfa.stt, row_checksums)`` so a corrupted
+    #: cache entry is rejected before it can drive a scan.
+    row_checksums: np.ndarray
+    case_insensitive: bool
+    hits: int = 0
+
+    def verify(self) -> None:
+        """Re-checksum the cached STT against its build-time CRCs."""
+        bad = verify_row_checksums(self.dfa.stt.table, self.row_checksums)
+        if bad:
+            raise IntegrityError(
+                f"cached automaton {self.digest[:12]} corrupted: rows "
+                f"{bad[:8]}" + ("..." if len(bad) > 8 else "")
+                + " fail their CRC32 check"
+            )
+
+
+class AutomatonCache:
+    """Bounded LRU of compiled automata, content-addressed.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries; the least-recently-*used* entry is
+        evicted when a build would exceed it.
+    metrics:
+        Optional :class:`~repro.obs.Metrics`; hits/misses/evictions
+        update ``automaton_cache_{hits,misses,evictions}_total`` and
+        the ``automaton_cache_entries`` gauge.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every build records a
+        ``cache_build`` span, every hit a ``cache_hit`` event.
+    """
+
+    def __init__(self, capacity: int = 8, *, metrics=None, tracer=None):
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    @property
+    def digests(self) -> Tuple[str, ...]:
+        """Resident digests, least-recently-used first."""
+        return tuple(self._entries)
+
+    def get(self, digest: str) -> Optional[CacheEntry]:
+        """The entry for *digest* (refreshing its recency), or None."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            return None
+        self._entries.move_to_end(digest)
+        entry.hits += 1
+        self.hits += 1
+        self.metrics.counter(
+            "automaton_cache_hits_total", "automaton cache hits"
+        ).inc()
+        self.tracer.event("cache_hit", digest=digest[:12])
+        return entry
+
+    def get_or_build(
+        self,
+        patterns: Union[Sequence, PatternSet],
+        *,
+        case_insensitive: bool = False,
+    ) -> Tuple[CacheEntry, bool]:
+        """``(entry, was_hit)`` for a dictionary, building on miss.
+
+        The build path folds the dictionary exactly as
+        :class:`~repro.matcher.Matcher` does, computes the STT row
+        checksums, and inserts the entry (evicting the LRU entry when
+        over capacity), so a hit and a fresh build are byte-identical
+        by construction — the cache-fuzz test pins this.
+        """
+        digest = pattern_set_digest(
+            patterns, case_insensitive=case_insensitive
+        )
+        entry = self.get(digest)
+        if entry is not None:
+            return entry, True
+        self.misses += 1
+        self.metrics.counter(
+            "automaton_cache_misses_total", "automaton cache misses"
+        ).inc()
+        if not isinstance(patterns, PatternSet):
+            patterns = PatternSet(patterns)
+        if case_insensitive:
+            patterns = PatternSet.from_bytes(
+                [p.lower() for p in patterns.as_bytes_list()]
+            )
+        with self.tracer.span(
+            "cache_build", digest=digest[:12], n_patterns=len(patterns)
+        ) as sp:
+            dfa = DFA.build(patterns)
+            entry = CacheEntry(
+                digest=digest,
+                dfa=dfa,
+                row_checksums=stt_row_checksums(dfa.stt),
+                case_insensitive=case_insensitive,
+            )
+            sp.set(n_states=dfa.n_states)
+        self._entries[digest] = entry
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self.metrics.counter(
+                "automaton_cache_evictions_total", "automaton cache evictions"
+            ).inc()
+            self.tracer.event("cache_evict", digest=evicted[:12])
+        self.metrics.gauge(
+            "automaton_cache_entries", "resident cached automata"
+        ).set(len(self._entries))
+        return entry, False
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+        self.metrics.gauge(
+            "automaton_cache_entries", "resident cached automata"
+        ).set(0)

@@ -1,0 +1,544 @@
+"""Pipelined batch-scan scheduler: the serving front end.
+
+:class:`ScanScheduler` turns the library's one-shot ``scan`` calls
+into a batched, pipelined service.  Concurrent requests are queued
+(:meth:`ScanScheduler.submit` returns a :class:`ScanTicket` future),
+grouped per pattern-set digest, and driven through a modeled
+**dual-stream pipeline**: while the compute stream runs ``kernel_body``
+over one request's bytes, the copy stream stages the next request's
+input over PCIe — the double-buffered overlap the hybrid CUDA/MPI
+follow-up (Kouzinopoulos et al., arXiv:1407.2889) uses to hide data
+distribution behind matching.  Repeat pattern sets hit the
+:class:`~repro.serve.cache.AutomatonCache` and the per-digest matcher's
+persistent texture binding, so they skip phase-1 build *and* the STT
+upload entirely (the PFAC-style persistent-automaton trick,
+arXiv:1811.10498).
+
+Semantics are sacred: every request's :class:`MatchResult` is
+byte-exact with the serial oracle run on that request alone.  Batching
+concatenates request texts into one kernel buffer, so the splitter
+drops any occurrence straddling a seam between two requests (it could
+not occur in either request scanned alone) — the differential harness
+(tests/serve/test_differential.py) pins this across every backend.
+
+Failure isolation: if the batch kernel path raises, the batch is
+re-run request-by-request through a
+:class:`~repro.resilience.pipeline.ResilientMatcher`, so one poisoned
+request degrades itself (retry → backend fallback) without taking the
+rest of the batch with it.
+
+Everything the scheduler decides is deterministic in (arrival order,
+configuration): batch composition, span-tree shape, and all modeled
+timing numbers — the seeded-determinism test pins all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.match import MatchResult
+from repro.core.pattern_set import PatternSet
+from repro.errors import ReproError
+from repro.matcher import Matcher
+from repro.obs import KernelProfiler, NULL_METRICS, NULL_TRACER
+from repro.serve.cache import AutomatonCache, pattern_set_digest
+
+#: Backends the scheduler can drive a batch on.
+SCHEDULER_BACKENDS = ("gpu", "serial", "double_array")
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """One queued scan: a dictionary reference plus input bytes."""
+
+    request_id: int
+    digest: str
+    patterns: PatternSet
+    text: Union[bytes, str]
+    case_insensitive: bool = False
+
+    @property
+    def n_bytes(self) -> int:
+        """Input length in bytes."""
+        return len(self.text)
+
+
+class ScanTicket:
+    """Future-style handle for a submitted request.
+
+    ``result()`` drains the scheduler if the request has not run yet,
+    then returns the request's :class:`MatchResult` — or re-raises the
+    typed error if the request's whole fallback chain was exhausted.
+    """
+
+    def __init__(self, scheduler: "ScanScheduler", request: ScanRequest):
+        self._scheduler = scheduler
+        self.request = request
+        self.done = False
+        self._result: Optional[MatchResult] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, result=None, error=None) -> None:
+        self.done = True
+        self._result = result
+        self._error = error
+
+    def result(self) -> MatchResult:
+        """The request's matches (drains the queue on first call)."""
+        if not self.done:
+            self._scheduler.drain()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class PipelineTiming:
+    """Modeled dual-stream timeline of one batch (docs/MODEL.md §8)."""
+
+    #: Per-request H2D copy seconds, arrival order.
+    copy_seconds: List[float] = field(default_factory=list)
+    #: Per-request kernel seconds (batch kernel prorated by bytes).
+    kernel_seconds: List[float] = field(default_factory=list)
+    #: One-time STT upload paid by this batch (0.0 when the binding
+    #: was already resident — the cache-hit fast path).
+    bind_seconds: float = 0.0
+    #: End-to-end modeled time with copy/compute overlap.
+    makespan_seconds: float = 0.0
+    #: The same work fully serialized (copy; kernel; copy; kernel ...).
+    serial_seconds: float = 0.0
+
+    @property
+    def overlap_saved_seconds(self) -> float:
+        """Serialization removed by the dual-stream overlap."""
+        return self.serial_seconds - self.makespan_seconds
+
+    @property
+    def copy_exposed_seconds(self) -> float:
+        """Copy time left on the critical path (the pipeline's
+        ``overlap_leak`` analogue: with perfect overlap only the first
+        copy is exposed)."""
+        return self.makespan_seconds - sum(self.kernel_seconds)
+
+
+@dataclass
+class BatchReport:
+    """Everything one executed batch decided and modeled."""
+
+    digest: str
+    request_ids: List[int]
+    total_bytes: int
+    cache_hit: bool
+    bind_skipped: bool
+    backend: str
+    #: Requests that ran through the per-request resilient path.
+    fallback_request_ids: List[int] = field(default_factory=list)
+    timing: Optional[PipelineTiming] = None
+    matches: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        """Requests in the batch."""
+        return len(self.request_ids)
+
+
+class ScanScheduler:
+    """Batches concurrent scan requests and pipelines their execution.
+
+    Parameters
+    ----------
+    backend:
+        ``"gpu"`` (default; the only backend with a modeled pipeline),
+        ``"serial"`` or ``"double_array"`` (batching still amortizes
+        automaton builds via the cache).
+    cache:
+        Optional shared :class:`~repro.serve.cache.AutomatonCache`;
+        default: a private cache of ``cache_capacity`` entries.
+    cache_capacity:
+        Capacity of the private cache when ``cache`` is not given.
+    max_batch:
+        Largest number of requests fused into one kernel buffer; a
+        digest group with more pending requests is split.
+    device_config:
+        Hardware config for GPU batches (default GTX 285).
+    injector:
+        Optional fault injector attached to every device the scheduler
+        creates (fault campaigns; production never sets this).
+    tracer / metrics / profiler:
+        Observability hooks, all optional and zero-cost when absent.
+        The tracer records ``serve_drain`` → ``serve_batch`` span trees
+        (Perfetto-exportable via :func:`repro.obs.to_chrome_trace`);
+        metrics gain queue-depth/batch-size series; the profiler
+        receives every batch's kernel launch.  When no profiler is
+        given the scheduler keeps a private one — the pipeline model
+        prices kernel slices from the batch's observed launch.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "gpu",
+        cache: Optional[AutomatonCache] = None,
+        cache_capacity: int = 8,
+        max_batch: int = 32,
+        device_config=None,
+        injector=None,
+        tracer=None,
+        metrics=None,
+        profiler=None,
+    ):
+        if backend not in SCHEDULER_BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; choose from "
+                f"{SCHEDULER_BACKENDS}"
+            )
+        if max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {max_batch}")
+        self.backend = backend
+        self.max_batch = max_batch
+        self.device_config = device_config
+        self.injector = injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.profiler = (
+            profiler
+            if profiler is not None
+            else KernelProfiler(device_config)
+        )
+        self.cache = cache if cache is not None else AutomatonCache(
+            cache_capacity, metrics=self.metrics, tracer=self.tracer
+        )
+        self._pending: List[Tuple[ScanRequest, ScanTicket]] = []
+        self._matchers: Dict[str, Matcher] = {}
+        self._next_id = 0
+        self.reports: List[BatchReport] = []
+
+    # -- submission ------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the next :meth:`drain`."""
+        return len(self._pending)
+
+    def submit(
+        self,
+        patterns: Union[Sequence, PatternSet],
+        text: Union[bytes, str],
+        *,
+        case_insensitive: bool = False,
+    ) -> ScanTicket:
+        """Queue one scan; returns its :class:`ScanTicket`.
+
+        Pattern validation happens here (a malformed dictionary is the
+        submitter's error, surfaced synchronously); the automaton build
+        is deferred to the batch so repeats of an already-cached
+        dictionary never build at all.
+        """
+        if not isinstance(patterns, PatternSet):
+            patterns = PatternSet(patterns)
+        request = ScanRequest(
+            request_id=self._next_id,
+            digest=pattern_set_digest(
+                patterns, case_insensitive=case_insensitive
+            ),
+            patterns=patterns,
+            text=text,
+            case_insensitive=case_insensitive,
+        )
+        self._next_id += 1
+        ticket = ScanTicket(self, request)
+        self._pending.append((request, ticket))
+        self.metrics.counter(
+            "serve_requests_total", "scan requests submitted"
+        ).inc(backend=self.backend)
+        self.metrics.gauge(
+            "serve_queue_depth", "requests waiting to be batched"
+        ).set(len(self._pending))
+        return ticket
+
+    def scan_many(
+        self,
+        patterns: Union[Sequence, PatternSet],
+        texts: Sequence[Union[bytes, str]],
+        *,
+        case_insensitive: bool = False,
+    ) -> List[MatchResult]:
+        """Submit *texts* against one dictionary and drain; results in
+        input order."""
+        tickets = [
+            self.submit(patterns, t, case_insensitive=case_insensitive)
+            for t in texts
+        ]
+        self.drain()
+        return [t.result() for t in tickets]
+
+    # -- batching --------------------------------------------------------
+
+    def _plan_batches(self) -> List[List[Tuple[ScanRequest, ScanTicket]]]:
+        """Group pending requests per digest, preserving arrival order.
+
+        Deterministic in arrival order: groups are emitted in order of
+        each digest's first arrival, and a group larger than
+        ``max_batch`` is split into consecutive slices.
+        """
+        groups: "Dict[str, List[Tuple[ScanRequest, ScanTicket]]]" = {}
+        for item in self._pending:
+            groups.setdefault(item[0].digest, []).append(item)
+        batches = []
+        for digest, items in groups.items():
+            for i in range(0, len(items), self.max_batch):
+                batches.append(items[i : i + self.max_batch])
+        return batches
+
+    def drain(self) -> List[BatchReport]:
+        """Run every queued request; returns this drain's batch reports.
+
+        Tickets are resolved in place — a request whose whole fallback
+        chain is exhausted gets its typed error (re-raised by
+        ``ticket.result()``), never a partial or silently wrong result.
+        """
+        if not self._pending:
+            return []
+        batches = self._plan_batches()
+        self._pending = []
+        reports: List[BatchReport] = []
+        with self.tracer.span(
+            "serve_drain",
+            n_requests=sum(len(b) for b in batches),
+            n_batches=len(batches),
+        ):
+            for batch in batches:
+                reports.append(self._run_batch(batch))
+        self.metrics.gauge(
+            "serve_queue_depth", "requests waiting to be batched"
+        ).set(0)
+        self.reports.extend(reports)
+        return reports
+
+    # -- execution -------------------------------------------------------
+
+    def _matcher_for(self, request: ScanRequest) -> Tuple[Matcher, bool, bool]:
+        """``(matcher, cache_hit, bind_resident)`` for a request's digest.
+
+        ``bind_resident`` is True when the digest's matcher already has
+        its STT texture-bound from a previous batch — the repeat-path
+        that skips both build and bind.
+        """
+        digest = request.digest
+        matcher = self._matchers.get(digest)
+        if matcher is not None:
+            entry = self.cache.get(digest)
+            if entry is not None:
+                entry.verify()
+                bind_resident = (
+                    matcher.device is not None
+                    and matcher.device.texture is not None
+                )
+                return matcher, True, bind_resident
+            # Evicted behind our back: rebuild through the cache below.
+            self._matchers.pop(digest, None)
+        entry, hit = self.cache.get_or_build(
+            request.patterns, case_insensitive=request.case_insensitive
+        )
+        entry.verify()
+        matcher = Matcher.from_dfa(
+            entry.dfa,
+            backend=self.backend,
+            case_insensitive=request.case_insensitive,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
+        if self.backend == "gpu":
+            from repro.gpu.device import Device
+
+            matcher.device = Device(
+                self.device_config,
+                injector=self.injector,
+                tracer=self.tracer,
+            )
+        self._matchers[digest] = matcher
+        # Matchers follow their cache entry's lifetime.
+        for stale in [d for d in self._matchers if d not in self.cache]:
+            del self._matchers[stale]
+        return matcher, hit, False
+
+    def _run_batch(self, batch) -> BatchReport:
+        requests = [r for r, _ in batch]
+        tickets = [t for _, t in batch]
+        digest = requests[0].digest
+        total_bytes = sum(r.n_bytes for r in requests)
+        with self.tracer.span(
+            "serve_batch",
+            digest=digest[:12],
+            n_requests=len(requests),
+            total_bytes=total_bytes,
+            backend=self.backend,
+        ) as sp:
+            matcher, cache_hit, bind_resident = self._matcher_for(requests[0])
+            sp.set(cache_hit=cache_hit, bind_skipped=bind_resident)
+            report = BatchReport(
+                digest=digest,
+                request_ids=[r.request_id for r in requests],
+                total_bytes=total_bytes,
+                cache_hit=cache_hit,
+                bind_skipped=bind_resident,
+                backend=self.backend,
+            )
+            texts = [r.text for r in requests]
+            try:
+                results = matcher.scan_many(texts)
+            except ReproError:
+                results = self._fallback_batch(matcher, requests, tickets)
+                report.fallback_request_ids = [
+                    r.request_id
+                    for r, t in zip(requests, tickets)
+                    if t.done and t._error is None
+                ]
+                report.matches = sum(
+                    len(t._result) for t in tickets
+                    if t.done and t._result is not None
+                )
+                sp.set(fallback=True, matches=report.matches)
+                self._record_batch_metrics(report)
+                return report
+            for ticket, result in zip(tickets, results):
+                ticket._resolve(result=result)
+            report.matches = sum(len(r) for r in results)
+            if self.backend == "gpu":
+                report.timing = self._model_pipeline(
+                    matcher, requests, bind_resident
+                )
+                sp.set(
+                    makespan_seconds=report.timing.makespan_seconds,
+                    serial_seconds=report.timing.serial_seconds,
+                    overlap_saved_seconds=(
+                        report.timing.overlap_saved_seconds
+                    ),
+                    copy_exposed_seconds=(
+                        report.timing.copy_exposed_seconds
+                    ),
+                )
+            sp.set(matches=report.matches)
+        self._record_batch_metrics(report)
+        return report
+
+    def _fallback_batch(self, matcher, requests, tickets):
+        """Per-request resilient re-run after a failed batch pass.
+
+        Each request gets its own retry/fallback episode
+        (:meth:`~repro.resilience.pipeline.ResilientMatcher.scan_many`
+        with ``return_exceptions=True``), so one poisoned request
+        cannot take down its batchmates.
+        """
+        from repro.resilience.pipeline import DEFAULT_CHAIN, ResilientMatcher
+
+        chain = (
+            DEFAULT_CHAIN[DEFAULT_CHAIN.index(self.backend):]
+            if self.backend in DEFAULT_CHAIN
+            else DEFAULT_CHAIN
+        )
+        rm = ResilientMatcher(
+            matcher,
+            chain=chain,
+            injector=self.injector,
+            device_config=self.device_config,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        outcomes = rm.scan_many(
+            [r.text for r in requests], return_exceptions=True
+        )
+        for ticket, outcome in zip(tickets, outcomes):
+            if isinstance(outcome, MatchResult):
+                ticket._resolve(result=outcome)
+            else:
+                ticket._resolve(error=outcome)
+        self.metrics.counter(
+            "serve_fallback_requests_total",
+            "requests served through the per-request resilient path",
+        ).inc(len(requests), backend=self.backend)
+        return outcomes
+
+    def _model_pipeline(
+        self, matcher: Matcher, requests, bind_resident: bool
+    ) -> PipelineTiming:
+        """Price the batch's dual-stream timeline on the matcher's device.
+
+        The functional kernel already ran (once, over the concatenated
+        buffer); this models how the same work *schedules*: H2D copies
+        double-buffered on a copy stream, per-request kernel slices on
+        a compute stream gated by each copy's completion event.
+        """
+        device = matcher.device
+        last = self.profiler.last
+        kernel_seconds = last.seconds if last is not None else 0.0
+        sizes = [r.n_bytes for r in requests]
+        total = max(sum(sizes), 1)
+        timing = PipelineTiming(
+            bind_seconds=(
+                0.0
+                if bind_resident
+                else device.copy_h2d_seconds(device.texture.bytes_total)
+                if device.texture is not None
+                else 0.0
+            ),
+        )
+        copy_stream = device.stream("h2d")
+        compute_stream = device.stream("compute")
+        for i, nbytes in enumerate(sizes):
+            k_i = kernel_seconds * (nbytes / total)
+            timing.copy_seconds.append(device.copy_h2d_seconds(nbytes))
+            timing.kernel_seconds.append(k_i)
+            if nbytes == 0:
+                continue
+            ev = copy_stream.enqueue_copy(nbytes, name=f"copy_req{i}")
+            compute_stream.wait_event(ev)
+            compute_stream.enqueue_kernel(k_i, name=f"kernel_req{i}")
+        timing.makespan_seconds = (
+            compute_stream.synchronize() + timing.bind_seconds
+        )
+        timing.serial_seconds = timing.bind_seconds + sum(
+            c + k
+            for c, k in zip(timing.copy_seconds, timing.kernel_seconds)
+        )
+        return timing
+
+    # -- reporting -------------------------------------------------------
+
+    def _record_batch_metrics(self, report: BatchReport) -> None:
+        self.metrics.counter(
+            "serve_batches_total", "batches executed"
+        ).inc(backend=self.backend)
+        self.metrics.histogram(
+            "serve_batch_size", "requests fused per batch"
+        ).observe(report.n_requests, backend=self.backend)
+        if report.timing is not None:
+            self.metrics.gauge(
+                "serve_overlap_saved_seconds",
+                "last batch's modeled copy/compute overlap savings",
+            ).set(report.timing.overlap_saved_seconds)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate serving stats (demo CLI, tests)."""
+        timings = [r.timing for r in self.reports if r.timing is not None]
+        return {
+            "requests": sum(r.n_requests for r in self.reports),
+            "batches": len(self.reports),
+            "batch_sizes": [r.n_requests for r in self.reports],
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_evictions": self.cache.evictions,
+            "fallback_requests": sum(
+                len(r.fallback_request_ids) for r in self.reports
+            ),
+            "makespan_seconds": sum(t.makespan_seconds for t in timings),
+            "serial_seconds": sum(t.serial_seconds for t in timings),
+            "overlap_saved_seconds": sum(
+                t.overlap_saved_seconds for t in timings
+            ),
+        }

@@ -1,0 +1,91 @@
+"""Serving benchmark: batch-size sweep, schema export, speedup gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.serve_bench import (
+    DEFAULT_BATCH_SIZES,
+    ServeBenchmark,
+    render_sweep,
+)
+from repro.errors import ExperimentError
+from repro.obs import BenchCollector, validate_bench_document
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    collector = BenchCollector(label="serve")
+    bench = ServeBenchmark(text_bytes=1024, collector=collector)
+    cells = bench.run((1, 2, 8))
+    return cells, collector
+
+
+class TestSweep:
+    def test_batch_one_is_break_even(self, sweep):
+        cells, _ = sweep
+        assert cells[0].batch_size == 1
+        assert cells[0].speedup == pytest.approx(1.0, rel=1e-9)
+
+    def test_scheduler_beats_per_request_at_batch_8(self, sweep):
+        """The PR's acceptance floor: >= 1.5x at batch size >= 8."""
+        cells, _ = sweep
+        c8 = [c for c in cells if c.batch_size == 8][0]
+        assert c8.speedup >= 1.5
+
+    def test_speedup_grows_with_batch_size(self, sweep):
+        cells, _ = sweep
+        speedups = [c.speedup for c in cells]
+        assert speedups == sorted(speedups)
+
+    def test_overlap_savings_positive_beyond_one(self, sweep):
+        cells, _ = sweep
+        for c in cells:
+            if c.batch_size > 1:
+                assert c.overlap_saved_seconds > 0.0
+            else:
+                assert c.overlap_saved_seconds == 0.0
+
+    def test_render_sweep_lists_every_cell(self, sweep):
+        cells, _ = sweep
+        out = render_sweep(cells)
+        assert "speedup" in out
+        assert len(out.splitlines()) == len(cells) + 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ExperimentError):
+            ServeBenchmark(text_bytes=0)
+        with pytest.raises(ExperimentError):
+            ServeBenchmark().run_cell(0)
+
+
+class TestExport:
+    def test_document_is_schema_valid(self, sweep):
+        _, collector = sweep
+        doc = collector.as_document()
+        validate_bench_document(doc)
+        assert [c["size_label"] for c in doc["cells"]] == [
+            "batch1",
+            "batch2",
+            "batch8",
+        ]
+
+    def test_cells_carry_both_policies(self, sweep):
+        _, collector = sweep
+        doc = collector.as_document()
+        for cell in doc["cells"]:
+            assert set(cell["kernels"]) == {"scheduler", "per_request"}
+            sched = cell["kernels"]["scheduler"]
+            loop = cell["kernels"]["per_request"]
+            assert sched["seconds"] <= loop["seconds"]
+            assert sched["matches"] == loop["matches"]
+            # Same functional kernel → same counters block.
+            assert sched["counters"] == loop["counters"]
+
+    def test_config_recorded(self, sweep):
+        _, collector = sweep
+        doc = collector.as_document()
+        assert doc["config"]["serve_text_bytes"] == 1024
+
+    def test_default_batch_sizes_cover_the_gate(self):
+        assert any(b >= 8 for b in DEFAULT_BATCH_SIZES)

@@ -7,6 +7,22 @@ import pytest
 
 from repro.core import DFA, AhoCorasickAutomaton, PatternSet
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # ``ci`` keeps the differential harness fast and deterministic in
+    # CI (--hypothesis-profile=ci); ``dev`` digs deeper locally.
+    settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=200, deadline=None)
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    pass
+
 #: The dictionary of paper Fig. 1/3: {he, she, his, hers}.
 PAPER_PATTERNS = ["he", "she", "his", "hers"]
 

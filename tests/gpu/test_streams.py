@@ -1,0 +1,112 @@
+"""Stream/event primitives: the modeled dual-stream timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import Device
+from repro.obs import Tracer
+
+
+class TestStreamBasics:
+    def test_cursor_advances_by_priced_ops(self):
+        d = Device()
+        s = d.stream()
+        ev = s.enqueue_copy(1 << 20)
+        assert s.cursor == pytest.approx(d.copy_h2d_seconds(1 << 20))
+        assert ev.seconds == s.cursor
+        s.enqueue_kernel(1e-3)
+        assert s.cursor == pytest.approx(ev.seconds + 1e-3)
+        assert s.synchronize() == s.cursor
+
+    def test_auto_naming_and_registry(self):
+        d = Device()
+        a, b = d.stream(), d.stream("copy")
+        assert (a.name, b.name) == ("stream0", "copy")
+        assert d.streams == (a, b)
+
+    def test_negative_duration_rejected(self):
+        s = Device().stream()
+        with pytest.raises(DeviceError):
+            s.enqueue_kernel(-1.0)
+
+    def test_busy_seconds_excludes_waits(self):
+        d = Device()
+        copy, compute = d.stream(), d.stream()
+        ev = copy.enqueue_copy(1 << 20)
+        compute.wait_event(ev)
+        compute.enqueue_kernel(2e-3)
+        assert compute.busy_seconds == pytest.approx(2e-3)
+        assert compute.cursor == pytest.approx(ev.seconds + 2e-3)
+
+    def test_wait_on_past_event_is_free(self):
+        d = Device()
+        a, b = d.stream(), d.stream()
+        b.enqueue_kernel(1.0)
+        ev = a.record_event()  # a's cursor is still 0
+        before = b.cursor
+        b.wait_event(ev)
+        assert b.cursor == before
+        assert all(op.kind != "wait" for op in b.ops)
+
+
+class TestOverlap:
+    def test_double_buffering_beats_serial(self):
+        """Copy(i+1) hides under kernel(i): the textbook pipeline."""
+        d = Device()
+        copy, compute = d.stream("h2d"), d.stream("compute")
+        nbytes, kernel_s = 4 << 20, 2e-3
+        serial = 0.0
+        for i in range(4):
+            ev = copy.enqueue_copy(nbytes)
+            compute.wait_event(ev)
+            compute.enqueue_kernel(kernel_s)
+            serial += d.copy_h2d_seconds(nbytes) + kernel_s
+        makespan = compute.synchronize()
+        assert makespan < serial
+        # Perfect overlap here: only the first copy is exposed.
+        expected = d.copy_h2d_seconds(nbytes) + 4 * kernel_s
+        assert makespan == pytest.approx(expected)
+
+    def test_copy_bound_pipeline_exposes_copies(self):
+        """When copies outweigh kernels, the copy stream is the
+        bottleneck and the makespan tracks it."""
+        d = Device()
+        copy, compute = d.stream(), d.stream()
+        nbytes, kernel_s = 32 << 20, 1e-6
+        for _ in range(3):
+            ev = copy.enqueue_copy(nbytes)
+            compute.wait_event(ev)
+            compute.enqueue_kernel(kernel_s)
+        assert compute.synchronize() == pytest.approx(
+            3 * d.copy_h2d_seconds(nbytes) + kernel_s
+        )
+
+    def test_events_order_across_streams(self):
+        d = Device()
+        a, b = d.stream(), d.stream()
+        a.enqueue_kernel(5e-3)
+        ev = a.record_event("after_k")
+        b.wait_event(ev)
+        b.enqueue_kernel(1e-3)
+        kernel_op = [op for op in b.ops if op.kind == "kernel"][0]
+        assert kernel_op.t_start >= 5e-3
+
+
+class TestStreamTracing:
+    def test_ops_emit_trace_events(self):
+        tracer = Tracer()
+        d = Device(tracer=tracer)
+        s = d.stream("h2d")
+        s.enqueue_copy(1024, name="copy_req0")
+        s.enqueue_kernel(1e-3, name="kernel_req0")
+        copies = tracer.find("stream.copy_h2d")
+        kernels = tracer.find("stream.kernel")
+        assert len(copies) == len(kernels) == 1
+        assert copies[0].attrs["stream"] == "h2d"
+        assert copies[0].attrs["op"] == "copy_req0"
+        assert copies[0].attrs["nbytes"] == 1024
+        assert kernels[0].attrs["modeled_end"] > kernels[0].attrs[
+            "modeled_start"
+        ]

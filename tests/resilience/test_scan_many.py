@@ -1,0 +1,56 @@
+"""ResilientMatcher.scan_many: per-text episodes, batch isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.matcher import Matcher
+from repro.resilience.faults import FaultInjector, FaultKind, FaultPlan
+from repro.resilience.pipeline import ResilientMatcher
+
+IDS = ["he", "she", "his", "hers"]
+
+
+class TestScanMany:
+    def test_results_match_the_loop(self):
+        rm = ResilientMatcher(IDS, sleep=lambda s: None)
+        texts = ["ushers", "", "she he his"]
+        assert rm.scan_many(texts) == [rm.scan(t) for t in texts]
+
+    def test_each_text_gets_its_own_episode(self):
+        inj = FaultInjector(
+            FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True)
+        )
+        rm = ResilientMatcher(IDS, injector=inj, sleep=lambda s: None)
+        texts = ["ushers", "hers"]
+        results = rm.scan_many(texts)
+        oracle = Matcher(IDS)
+        assert results == [oracle.scan(t) for t in texts]
+        assert len(rm.last_batch_health) == 2
+        for h in rm.last_batch_health:
+            assert h.ok
+            assert h.final_backend == "double_array"
+            assert "gpu" in h.fallbacks
+
+    def test_chain_exhaustion_raises_after_full_batch(self):
+        rm = ResilientMatcher(
+            IDS, chain=("serial",), sleep=lambda s: None
+        )
+        with pytest.raises(ReproError):
+            rm.scan_many(["ok", 123, "also ok"])  # middle one is garbage
+        # The failure did not stop the rest of the batch from running.
+        assert len(rm.last_batch_health) == 3
+        assert rm.last_batch_health[0].ok
+        assert not rm.last_batch_health[1].ok
+        assert rm.last_batch_health[2].ok
+
+    def test_return_exceptions_gather_style(self):
+        rm = ResilientMatcher(
+            IDS, chain=("serial",), sleep=lambda s: None
+        )
+        out = rm.scan_many(
+            ["ushers", 123], return_exceptions=True
+        )
+        assert len(out[0]) == 3
+        assert isinstance(out[1], ReproError)

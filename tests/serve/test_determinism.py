@@ -1,0 +1,109 @@
+"""Seeded determinism: same seed + same arrival order ⇒ same everything.
+
+The scheduler makes no hidden nondeterministic choices: batch
+composition, the span-tree shape of a drain, and every modeled bench
+number are functions of (arrival order, configuration, seed) alone.
+These tests replay identical workloads and assert bit-for-bit equal
+outcomes — the property that makes serve bench cells diffable by
+``repro-ac perfdiff`` at all.
+"""
+
+from __future__ import annotations
+
+from repro.bench.serve_bench import ServeBenchmark
+from repro.obs import BenchCollector, Tracer
+from repro.serve import ScanScheduler
+
+IDS = ["he", "she", "his", "hers"]
+AV = ["virus", "worm"]
+
+WORKLOAD = [
+    (IDS, "ushers in the house"),
+    (AV, "a worm turned"),
+    (IDS, "she said"),
+    (IDS, "hers"),
+    (AV, "virus scan"),
+]
+
+
+def run_workload(tracer=None):
+    sched = ScanScheduler(max_batch=2, tracer=tracer)
+    tickets = [sched.submit(p, t) for p, t in WORKLOAD]
+    sched.drain()
+    return sched, [t.result() for t in tickets]
+
+
+def span_shape(span):
+    """The nested (name, children-shapes) tuple of a span tree."""
+    return (span.name, tuple(span_shape(c) for c in span.children))
+
+
+class TestSchedulerDeterminism:
+    def test_batch_composition_replays_identically(self):
+        a, ra = run_workload()
+        b, rb = run_workload()
+        assert ra == rb
+        assert [r.request_ids for r in a.reports] == [
+            r.request_ids for r in b.reports
+        ]
+        assert [r.digest for r in a.reports] == [
+            r.digest for r in b.reports
+        ]
+        assert [r.cache_hit for r in a.reports] == [
+            r.cache_hit for r in b.reports
+        ]
+
+    def test_modeled_timings_replay_identically(self):
+        a, _ = run_workload()
+        b, _ = run_workload()
+        for x, y in zip(a.reports, b.reports):
+            assert (x.timing is None) == (y.timing is None)
+            if x.timing is not None:
+                assert x.timing.makespan_seconds == y.timing.makespan_seconds
+                assert x.timing.serial_seconds == y.timing.serial_seconds
+                assert x.timing.copy_seconds == y.timing.copy_seconds
+                assert x.timing.kernel_seconds == y.timing.kernel_seconds
+
+    def test_span_tree_shape_replays_identically(self):
+        ta, tb = Tracer(), Tracer()
+        run_workload(tracer=ta)
+        run_workload(tracer=tb)
+        shape_a = tuple(span_shape(r) for r in ta.roots)
+        shape_b = tuple(span_shape(r) for r in tb.roots)
+        assert shape_a == shape_b
+
+    def test_arrival_order_changes_batches_deterministically(self):
+        """Reordering arrivals is *allowed* to change batching — but the
+        same reordering must replay the same way."""
+
+        def reordered():
+            sched = ScanScheduler(max_batch=2)
+            for p, t in reversed(WORKLOAD):
+                sched.submit(p, t)
+            sched.drain()
+            return [r.request_ids for r in sched.reports]
+
+        assert reordered() == reordered()
+
+
+class TestBenchDeterminism:
+    def test_bench_cells_replay_bit_identically(self):
+        def sweep():
+            collector = BenchCollector(label="serve")
+            ServeBenchmark(seed=7, text_bytes=512, collector=collector).run(
+                (1, 3, 8)
+            )
+            return collector.as_document()
+
+        a, b = sweep(), sweep()
+        assert a["cells"] == b["cells"]
+
+    def test_different_seeds_change_the_workload(self):
+        cells_a = ServeBenchmark(seed=1, text_bytes=512).run((4,))
+        cells_b = ServeBenchmark(seed=2, text_bytes=512).run((4,))
+        # Modeled kernel time depends on match/state trajectories, so
+        # distinct corpora almost surely price differently.
+        assert (
+            cells_a[0].scheduler_seconds != cells_b[0].scheduler_seconds
+            or cells_a[0].matches != cells_b[0].matches
+        )
