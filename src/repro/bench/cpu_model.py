@@ -29,7 +29,10 @@ from repro.core.dfa import DFA
 from repro.core.lockstep import LockstepTrace
 from repro.errors import ExperimentError
 from repro.gpu.config import TextureCacheConfig
-from repro.gpu.texture import hot_set_hit_rate, stt_line_ids
+from repro.gpu.texture import (
+    hot_set_hit_rate_from_counts,
+    stt_line_ids,
+)
 
 
 @dataclass(frozen=True)
@@ -96,19 +99,38 @@ def serial_cost_from_trace(
     distribution (the harness reuses the shared kernel's); only its
     line-level access *distribution* matters here.
     """
-    if paper_bytes <= 0:
-        raise ExperimentError("paper_bytes must be positive")
     line_ids = stt_line_ids(
         trace.states_fetched(), windows, line_bytes=cpu.line_bytes
     )
     flat = line_ids[trace.valid]
+    uniq, counts = np.unique(flat, return_counts=True)
+    return serial_cost_from_histogram(uniq, counts, paper_bytes, cpu)
+
+
+def serial_cost_from_histogram(
+    uniq: np.ndarray,
+    counts: np.ndarray,
+    paper_bytes: int,
+    cpu: CpuConfig = CpuConfig(),
+) -> SerialCost:
+    """Price a serial scan from an accumulated line-visit histogram.
+
+    ``uniq``/``counts`` is the distinct-line/visit-count pair in
+    ascending-line order (the form the tiled engine's
+    :class:`~repro.kernels.base.TextureLineHistogram` sink produces at
+    the CPU's line granularity) — bit-identical pricing to
+    :func:`serial_cost_from_trace` without materializing the trace.
+    """
+    if paper_bytes <= 0:
+        raise ExperimentError("paper_bytes must be positive")
     l2_as_cache = TextureCacheConfig(
         size_bytes=cpu.l2_bytes, line_bytes=cpu.line_bytes, associativity=16
     )
     # Steady-state rate: the sim trace is a scaled sample of a
     # paper-scale scan, where first-touch misses amortize to nothing.
-    est = hot_set_hit_rate(
-        flat,
+    est = hot_set_hit_rate_from_counts(
+        uniq,
+        counts,
         l2_as_cache,
         capacity_efficiency=cpu.capacity_efficiency,
         include_compulsory=False,

@@ -22,10 +22,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bench.cpu_model import CpuConfig, SerialCost, serial_cost_from_trace
-from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.bench.cpu_model import (
+    CpuConfig,
+    SerialCost,
+    serial_cost_from_histogram,
+)
 from repro.core.dfa import DFA
-from repro.core.lockstep import run_dfa_lockstep
+from repro.core.tiled import DEFAULT_TILE_LEN, scan_tiled
 from repro.errors import ExperimentError
 from repro.gpu.config import DeviceConfig, gtx285
 from repro.gpu.counters import TimingBreakdown
@@ -201,12 +204,18 @@ class ExperimentRunner:
         shared_threads_per_block: int = 128,
         shared_chunk_bytes: int = 64,
         wave_correction: bool = False,
+        tile_len: Optional[int] = None,
         collector=None,
         tracer=None,
         profiler=None,
     ):
         self.scale = scale
         self.seed = seed
+        #: Step-tile length of the tiled lockstep engine (None → the
+        #: engine default).  Part of the cell-cache key: the modeled
+        #: counters are tile-invariant, so mutating it between runs is
+        #: how the tile-size ablation shares one runner.
+        self.tile_len = tile_len if tile_len is not None else DEFAULT_TILE_LEN
         self.factory = DatasetFactory(seed=seed, scale=scale)
         self.device_config = device_config or gtx285()
         self.cpu = cpu or CpuConfig()
@@ -240,6 +249,7 @@ class ExperimentRunner:
             "shared_threads_per_block": self.shared_threads_per_block,
             "shared_chunk_bytes": self.shared_chunk_bytes,
             "wave_correction": self.wave_correction,
+            "tile_len": self.tile_len,
         }
 
     def _config_key(self) -> tuple:
@@ -255,6 +265,7 @@ class ExperimentRunner:
             self.shared_threads_per_block,
             self.shared_chunk_bytes,
             self.wave_correction,
+            self.tile_len,
             self.params,
         )
 
@@ -273,13 +284,13 @@ class ExperimentRunner:
         return dev
 
     def _serial(self, dfa: DFA, cell: Workload) -> SerialCost:
-        plan = plan_chunks(
-            cell.data.size, 4096, required_overlap(dfa.patterns.max_length)
-        )
-        windows = build_windows(cell.data, plan)
-        trace = run_dfa_lockstep(dfa, windows, plan)
-        return serial_cost_from_trace(
-            dfa, trace, windows, cell.paper_bytes, self.cpu
+        from repro.kernels.base import TextureLineHistogram
+
+        hist = TextureLineHistogram(dfa.n_states, self.cpu.line_bytes)
+        scan_tiled(dfa, cell.data, chunk_len=4096, sinks=[hist])
+        uniq, counts = hist.nonzero()
+        return serial_cost_from_histogram(
+            uniq, counts, cell.paper_bytes, self.cpu
         )
 
     def _scaled(self, result: KernelResult, cell: Workload) -> ScaledKernel:
@@ -389,6 +400,7 @@ class ExperimentRunner:
                 self._fresh_device(dfa),
                 chunk_len=self.global_chunk_len,
                 params=self.params,
+                tile_len=self.tile_len,
             )
             out.kernels["global"] = self._scaled(r, cell)
         shared_variants = {
@@ -407,6 +419,7 @@ class ExperimentRunner:
                     threads_per_block=self.shared_threads_per_block,
                     chunk_bytes=self.shared_chunk_bytes,
                     params=self.params,
+                    tile_len=self.tile_len,
                 )
                 sk = self._scaled(r, cell)
                 out.kernels[kname] = ScaledKernel(**{**sk.__dict__, "name": kname})
@@ -420,6 +433,7 @@ class ExperimentRunner:
                 chunk_bytes=self.shared_chunk_bytes,
                 params=self.params,
                 stt_in_texture=False,
+                tile_len=self.tile_len,
             )
             sk = self._scaled(r, cell)
             out.kernels["shared_global_stt"] = ScaledKernel(

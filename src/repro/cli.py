@@ -119,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--kernel", default="shared",
                    choices=["shared", "global", "pfac"])
     m.add_argument(
+        "--tile-len", type=int, default=None,
+        help="step-tile size for the tiled engine (shared/global; "
+        "default 256 — results are identical for any value)",
+    )
+    m.add_argument(
         "--resilient", action="store_true",
         help="scan through the resilient pipeline (retry + backend "
         "fallback) and print its health report",
@@ -223,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--devices", type=int, default=2,
         help="simulated device count for --kernel multi_gpu (default 2)",
+    )
+    prof.add_argument(
+        "--tile-len", type=int, default=None,
+        help="step-tile size for the tiled engine (shared_mem/"
+        "global_only; default 256 — results are identical for any value)",
     )
     prof.add_argument(
         "--format", default="text", choices=["text", "json", "trace"],
@@ -604,7 +614,10 @@ def _cmd_match(args) -> int:
         "global": run_global_kernel,
         "pfac": run_pfac_kernel,
     }[args.kernel]
-    result = kernel(dfa, text, tracer=tracer)
+    kwargs = {}
+    if args.tile_len is not None and args.kernel in ("shared", "global"):
+        kwargs["tile_len"] = args.tile_len
+    result = kernel(dfa, text, tracer=tracer, **kwargs)
     from repro.analysis import event_report
 
     print(f"kernel        : {result.name}")
@@ -687,6 +700,11 @@ def _cmd_profile(args) -> int:
 
     profiler = KernelProfiler()
     tracer = Tracer() if args.format == "trace" else None
+    kernel_kwargs = {}
+    if args.tile_len is not None and args.kernel in (
+        "shared_mem", "global_only"
+    ):
+        kernel_kwargs["tile_len"] = args.tile_len
     reports = profile_kernel(
         args.kernel,
         dfa,
@@ -695,6 +713,7 @@ def _cmd_profile(args) -> int:
         tracer=tracer,
         scheme=args.scheme,
         n_devices=args.devices,
+        **kernel_kwargs,
     )
     if args.format == "json":
         print(json.dumps([r.as_dict() for r in reports], indent=2,

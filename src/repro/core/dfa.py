@@ -52,7 +52,14 @@ class DFA:
         The dictionary this DFA recognizes.
     """
 
-    __slots__ = ("stt", "out_offsets", "out_ids", "pattern_lengths", "patterns")
+    __slots__ = (
+        "stt",
+        "out_offsets",
+        "out_ids",
+        "pattern_lengths",
+        "patterns",
+        "_compact",
+    )
 
     def __init__(
         self,
@@ -66,6 +73,7 @@ class DFA:
         self.out_ids = np.ascontiguousarray(out_ids, dtype=np.int64)
         self.pattern_lengths = patterns.lengths()
         self.patterns = patterns
+        self._compact = None
 
     # -- construction ---------------------------------------------------
 
@@ -129,6 +137,21 @@ class DFA:
     def is_match_state(self, state: int) -> bool:
         """True when entering *state* emits at least one pattern."""
         return bool(self.stt.table[state, MATCH_COLUMN])
+
+    def compact_stt(self):
+        """The alphabet-compacted transition table, built once and cached.
+
+        See :mod:`repro.core.compact` — exactly equivalent to the dense
+        STT (``C[s, class_of[b]] == δ(s, b)`` for all state/byte pairs)
+        with a working set proportional to the bytes the dictionary
+        actually uses.  The tiled engine gathers through this by
+        default.
+        """
+        if self._compact is None:
+            from repro.core.compact import CompactSTT
+
+            self._compact = CompactSTT.from_dfa(self)
+        return self._compact
 
     def outputs_of(self, state: int) -> np.ndarray:
         """Pattern ids emitted on entering *state* (possibly empty)."""

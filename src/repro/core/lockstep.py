@@ -90,8 +90,16 @@ def run_dfa_lockstep(
     dfa: DFA,
     windows: np.ndarray,
     plan: ChunkPlan,
+    *,
+    table=None,
 ) -> LockstepTrace:
     """Advance every chunk through the DFA one byte per step.
+
+    Thin adapter over the tiled engine's δ-gather: the full trace is
+    still materialized (this is the trace-retaining API; large scans
+    should use :func:`repro.core.tiled.scan_tiled` instead), but the
+    per-step gather runs through preallocated buffers in one dtype —
+    no per-step temporaries, no int32→int64 ``astype`` round trip.
 
     Parameters
     ----------
@@ -102,24 +110,59 @@ def run_dfa_lockstep(
         :func:`repro.core.chunking.build_windows`.
     plan:
         Chunk geometry (for validity masking).
+    table:
+        Optional :class:`~repro.core.compact.CompactSTT` to gather
+        through instead of the dense STT (exactly equivalent).
 
     Returns
     -------
     LockstepTrace
     """
+    from repro.core.tiled import GatherKernel
+
     window_len, n_threads = windows.shape
-    next_states = dfa.stt.next_states  # (n_states, 256) read-only view
+    gather = GatherKernel(dfa, table)
+    gather.alloc(n_threads)
     states_after = np.empty((window_len, n_threads), dtype=STATE_DTYPE)
     state = np.zeros(n_threads, dtype=np.int64)
     for j in range(window_len):
-        # δ gather: one fused fancy-index per step (flat index keeps
-        # NumPy from materializing an intermediate row selection).
-        state = next_states[state, windows[j]].astype(np.int64, copy=False)
-        states_after[j] = state
+        gather.step(state, windows[j], states_after[j])
 
     positions = plan.starts[None, :] + np.arange(window_len, dtype=np.int64)[:, None]
     valid = positions < plan.n
     return LockstepTrace(states_after=states_after, valid=valid, plan=plan)
+
+
+class TraceRecorder:
+    """Tile sink that rebuilds a full :class:`LockstepTrace`.
+
+    The explicit opt-in path for callers that genuinely need the whole
+    state trace (``KernelProfiler(retain_traces=True)``, the exact
+    texture-cache simulator): it reintroduces the O(input) memory the
+    tiled engine exists to avoid, so kernels only attach it behind
+    their ``retain_trace`` flag.
+    """
+
+    needs_fetched = False
+    needs_windows = False
+
+    def __init__(self, plan: ChunkPlan):
+        self.plan = plan
+        self.states_after = np.empty(
+            (plan.window_len, plan.n_chunks), dtype=STATE_DTYPE
+        )
+        self.valid = np.empty((plan.window_len, plan.n_chunks), dtype=bool)
+
+    def on_tile(self, tile) -> None:
+        """Copy one tile's rows into the full trace matrices."""
+        self.states_after[tile.j0 : tile.j1] = tile.states_after
+        self.valid[tile.j0 : tile.j1] = tile.valid
+
+    def trace(self) -> LockstepTrace:
+        """The assembled trace (call after the scan completes)."""
+        return LockstepTrace(
+            states_after=self.states_after, valid=self.valid, plan=self.plan
+        )
 
 
 def extract_matches(dfa: DFA, trace: LockstepTrace) -> Tuple[MatchResult, int]:
@@ -166,17 +209,24 @@ def match_text_lockstep(
     data: np.ndarray,
     chunk_len: int,
     overlap: Optional[int] = None,
+    *,
+    tile_len: Optional[int] = None,
+    compact: bool = True,
 ) -> MatchResult:
-    """Convenience: plan chunks, build windows, run, extract — one call.
+    """Convenience: plan chunks, scan tiled, extract — one call.
 
-    *overlap* defaults to the tight value (longest pattern − 1).
+    Streams through the tiled engine (peak memory O(n_threads × tile),
+    not O(input)); *overlap* defaults to the tight value (longest
+    pattern − 1) and ``compact`` gathers through the alphabet-compacted
+    table (exactly equivalent, faster).
     """
-    from repro.core.chunking import build_windows, plan_chunks, required_overlap
+    from repro.core.tiled import DEFAULT_TILE_LEN, scan_tiled
 
-    if overlap is None:
-        overlap = required_overlap(dfa.patterns.max_length)
-    plan = plan_chunks(data.size, chunk_len, overlap)
-    windows = build_windows(data, plan)
-    trace = run_dfa_lockstep(dfa, windows, plan)
-    matches, _ = extract_matches(dfa, trace)
-    return matches
+    return scan_tiled(
+        dfa,
+        data,
+        chunk_len=chunk_len,
+        overlap=overlap,
+        tile_len=tile_len if tile_len is not None else DEFAULT_TILE_LEN,
+        compact=compact,
+    ).matches

@@ -82,15 +82,11 @@ def serial_state_histogram(
     restarts at the root, perturbing at most ``overlap`` fetches per
     chunk).
     """
-    from repro.core.chunking import build_windows, plan_chunks, required_overlap
-    from repro.core.lockstep import run_dfa_lockstep
+    from repro.core.tiled import StateVisitHistogram, scan_tiled
 
     data = encode(text, name="text")
     if data.size == 0:
         return np.zeros(dfa.n_states, dtype=np.int64)
-    plan = plan_chunks(
-        data.size, chunk_len, required_overlap(dfa.patterns.max_length)
-    )
-    windows = build_windows(data, plan)
-    trace = run_dfa_lockstep(dfa, windows, plan)
-    return trace.visit_histogram(dfa.n_states)
+    hist = StateVisitHistogram(dfa.n_states)
+    scan_tiled(dfa, data, chunk_len=chunk_len, sinks=[hist])
+    return hist.hist

@@ -114,25 +114,49 @@ def coalesce_halfwarp_batch(
         if active.shape != addresses.shape:
             raise MemoryModelError("active mask shape mismatch")
         active_count = int(active.sum())
-        # Inactive lanes get a sentinel that collapses into the row's
-        # first active segment count via masking below.
-        segs = np.where(active, addresses // segment_bytes, -1)
-        segs = np.sort(segs, axis=1)
-        is_new = np.empty_like(segs, dtype=bool)
-        is_new[:, 0] = segs[:, 0] >= 0
-        is_new[:, 1:] = (np.diff(segs, axis=1) != 0) & (segs[:, 1:] >= 0)
-        per_row = is_new.sum(axis=1)
+        per_row = _active_row_transactions(addresses, active, segment_bytes)
         transactions = int(per_row.sum())
         n_rows = int((per_row > 0).sum())
 
-    per_transaction = min(
-        segment_bytes, max(min_transaction_bytes, access_bytes)
+    return _finish_summary(
+        n_rows, transactions, active_count, access_bytes, min_transaction_bytes
     )
-    # A transaction moves at least `min_transaction_bytes`; a fully
-    # coalesced half-warp moves lanes*access_bytes in one transaction.
-    # We approximate bus bytes as max(min granule, useful bytes within
-    # that transaction).  For scattered accesses the per-transaction
-    # useful payload is `access_bytes`.
+
+
+def _active_row_transactions(
+    addresses: np.ndarray, active: np.ndarray, segment_bytes: int
+) -> np.ndarray:
+    """Distinct aligned segments touched per half-warp row (masked).
+
+    Inactive lanes get a sentinel that collapses into the row's first
+    active segment count via masking.
+    """
+    segs = np.where(active, addresses // segment_bytes, -1)
+    segs = np.sort(segs, axis=1)
+    is_new = np.empty_like(segs, dtype=bool)
+    is_new[:, 0] = segs[:, 0] >= 0
+    is_new[:, 1:] = (np.diff(segs, axis=1) != 0) & (segs[:, 1:] >= 0)
+    return is_new.sum(axis=1)
+
+
+def _finish_summary(
+    n_rows: int,
+    transactions: int,
+    active_count: int,
+    access_bytes: int,
+    min_transaction_bytes: int,
+) -> CoalesceSummary:
+    """Assemble a :class:`CoalesceSummary` from accumulated raw counts.
+
+    A transaction moves at least `min_transaction_bytes`; a fully
+    coalesced half-warp moves lanes*access_bytes in one transaction.
+    We approximate bus bytes as max(min granule, useful bytes within
+    that transaction).  For scattered accesses the per-transaction
+    useful payload is `access_bytes`.  The averaging is global — it
+    must run once over the whole run's totals, which is why the tiled
+    kernels accumulate raw counts (:class:`CoalesceAccumulator`) and
+    finish here instead of summing per-tile summaries.
+    """
     if transactions:
         useful = active_count * access_bytes
         avg_useful_per_txn = useful / transactions
@@ -148,6 +172,63 @@ def coalesce_halfwarp_batch(
         bus_bytes=bus_bytes,
         useful_bytes=useful,
     )
+
+
+class CoalesceAccumulator:
+    """Streaming form of :func:`coalesce_halfwarp_batch` for tiled runs.
+
+    Feed it half-warp address/active blocks tile by tile; `finish`
+    produces the same :class:`CoalesceSummary` as one monolithic call
+    over the concatenated rows (per-row segment counts are additive;
+    the bus-byte averaging runs once over the final totals).
+    """
+
+    def __init__(
+        self,
+        access_bytes: int,
+        *,
+        segment_bytes: int = 128,
+        min_transaction_bytes: int = 32,
+    ):
+        if access_bytes <= 0 or segment_bytes <= 0:
+            raise MemoryModelError(
+                "access_bytes and segment_bytes must be positive"
+            )
+        self.access_bytes = access_bytes
+        self.segment_bytes = segment_bytes
+        self.min_transaction_bytes = min_transaction_bytes
+        self.transactions = 0
+        self.n_rows = 0
+        self.active_count = 0
+
+    def add(self, addresses: np.ndarray, active: np.ndarray) -> None:
+        """Accumulate one ``(n_halfwarps, lanes)`` block."""
+        addresses = np.asarray(addresses)
+        if addresses.ndim != 2:
+            raise MemoryModelError(
+                f"addresses must be (n_halfwarps, lanes); got {addresses.shape}"
+            )
+        active = np.asarray(active, dtype=bool)
+        if active.shape != addresses.shape:
+            raise MemoryModelError("active mask shape mismatch")
+        if np.any(addresses[active] < 0):
+            raise MemoryModelError("negative byte address in access batch")
+        per_row = _active_row_transactions(
+            addresses, active, self.segment_bytes
+        )
+        self.transactions += int(per_row.sum())
+        self.n_rows += int((per_row > 0).sum())
+        self.active_count += int(active.sum())
+
+    def finish(self) -> CoalesceSummary:
+        """The summary over everything accumulated so far."""
+        return _finish_summary(
+            self.n_rows,
+            self.transactions,
+            self.active_count,
+            self.access_bytes,
+            self.min_transaction_bytes,
+        )
 
 
 def strided_chunk_addresses(

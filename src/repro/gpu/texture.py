@@ -160,16 +160,45 @@ def hot_set_hit_rate(
     length and would otherwise be over-weighted by the sample.
     """
     line_ids = np.asarray(line_ids).ravel()
-    accesses = int(line_ids.size)
+    if line_ids.size == 0:
+        return CacheEstimate(0, 0, 0, 0)
+    uniq, counts = np.unique(line_ids, return_counts=True)
+    return hot_set_hit_rate_from_counts(
+        uniq,
+        counts,
+        config,
+        capacity_efficiency=capacity_efficiency,
+        include_compulsory=include_compulsory,
+    )
+
+
+def hot_set_hit_rate_from_counts(
+    uniq: np.ndarray,
+    counts: np.ndarray,
+    config: TextureCacheConfig,
+    *,
+    capacity_efficiency: float = 0.8,
+    include_compulsory: bool = True,
+) -> CacheEstimate:
+    """:func:`hot_set_hit_rate` from a precomputed line histogram.
+
+    ``uniq``/``counts`` must be what ``np.unique(line_ids,
+    return_counts=True)`` would return (distinct lines ascending, with
+    their visit counts) — the tiled engine accumulates exactly this
+    form incrementally, so megabyte traces never need materializing.
+    Results are bit-identical to the trace form, including the ranking
+    tie-breaks (``argsort`` over the same counts ordering).
+    """
+    uniq = np.asarray(uniq).ravel()
+    counts = np.asarray(counts).ravel()
+    accesses = int(counts.sum())
     if accesses == 0:
         return CacheEstimate(0, 0, 0, 0)
     if not 0 < capacity_efficiency <= 1:
         raise MemoryModelError("capacity_efficiency must be in (0, 1]")
-    uniq, counts = np.unique(line_ids, return_counts=True)
-    order = np.argsort(counts)[::-1]
-    counts = counts[order]
-    resident = min(int(config.n_lines * capacity_efficiency), counts.size)
-    hot_mass = int(counts[:resident].sum())
+    ranked = counts[np.argsort(counts)[::-1]]
+    resident = min(int(config.n_lines * capacity_efficiency), ranked.size)
+    hot_mass = int(ranked[:resident].sum())
     # Non-resident lines miss on every access; each resident line also
     # takes one compulsory first-touch miss unless amortized away.
     misses = accesses - hot_mass

@@ -134,6 +134,25 @@ def _distinct_per_row(rows: np.ndarray, mask: np.ndarray) -> int:
     return int(is_new.sum())
 
 
+def hot_line_set_from_counts(
+    uniq: np.ndarray, counts: np.ndarray, capacity_lines: int
+) -> np.ndarray:
+    """Hot-set selection from a (distinct-line, count) histogram.
+
+    ``uniq`` must be in ascending line-id order with ``counts``
+    aligned — the order :func:`numpy.unique` produces and the order a
+    dense line histogram's nonzero entries produce, so both the
+    monolithic and the tiled accounting paths rank ties identically
+    and select byte-identical hot sets.
+    """
+    if uniq.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if uniq.size <= capacity_lines:
+        return np.sort(uniq)
+    order = np.argsort(counts)[::-1][:capacity_lines]
+    return np.sort(uniq[order])
+
+
 def hot_line_set(
     line_ids: np.ndarray, valid: np.ndarray, capacity_lines: int
 ) -> np.ndarray:
@@ -146,10 +165,168 @@ def hot_line_set(
     if flat.size == 0:
         return np.empty(0, dtype=np.int64)
     uniq, counts = np.unique(flat, return_counts=True)
-    if uniq.size <= capacity_lines:
-        return np.sort(uniq)
-    order = np.argsort(counts)[::-1][:capacity_lines]
-    return np.sort(uniq[order])
+    return hot_line_set_from_counts(uniq, counts, capacity_lines)
+
+
+def _stt_line_id_limit(n_states: int, line_bytes: int) -> int:
+    """One past the largest STT texture line id (for histogram sizing)."""
+    from repro.core.alphabet import STT_COLUMNS
+
+    return (n_states * STT_COLUMNS * 4 - 1) // line_bytes + 1
+
+
+class TextureLineHistogram:
+    """Tile sink: dense per-line fetch histogram of the STT texture.
+
+    Pass 1 of the tiled texture accounting.  Its nonzero entries are,
+    by construction, the exact ``(uniq, counts)`` pair ``np.unique``
+    returns over the monolithic trace, so the hot sets derived from it
+    are byte-identical to the old whole-trace path.
+    """
+
+    needs_fetched = True
+    needs_windows = True
+
+    def __init__(self, n_states: int, line_bytes: int):
+        self.line_bytes = line_bytes
+        self.hist = np.zeros(
+            _stt_line_id_limit(n_states, line_bytes), dtype=np.int64
+        )
+
+    def update(
+        self, fetched: np.ndarray, windows: np.ndarray, valid: np.ndarray
+    ) -> None:
+        """Accumulate one (fetched, windows, valid) block."""
+        line_ids = stt_line_ids(fetched, windows, line_bytes=self.line_bytes)
+        flat = line_ids[valid]
+        if flat.size:
+            self.hist += np.bincount(flat, minlength=self.hist.size)
+
+    def on_tile(self, tile) -> None:
+        """Accumulate one tile's line visits."""
+        self.update(tile.fetched, tile.windows, tile.valid)
+
+    def nonzero(self):
+        """The (uniq, counts) pair of the accumulated histogram."""
+        uniq = np.flatnonzero(self.hist)
+        return uniq, self.hist[uniq]
+
+    def hot_sets(self, config: DeviceConfig, params: CostParams):
+        """(hot_l1, hot_l2) under the hot-set LRU approximation."""
+        uniq, counts = self.nonzero()
+        l1_capacity = int(
+            config.texture_cache.n_lines * params.tex_capacity_efficiency
+        )
+        l2_capacity = int(
+            (config.texture_l2_bytes // self.line_bytes)
+            * params.tex_capacity_efficiency
+        )
+        # Nested hot sets: L1-hot ⊂ L2-hot by construction (same ranking).
+        hot_l1 = hot_line_set_from_counts(uniq, counts, l1_capacity)
+        hot_l2 = hot_line_set_from_counts(uniq, counts, l2_capacity)
+        return hot_l1, hot_l2
+
+
+class TextureClassifier:
+    """Tile sink: two-level hit/miss classification against fixed hot sets.
+
+    Pass 2 of the tiled texture accounting.  Tiles split the step axis
+    only, so the (step × half-warp) rows every statistic is defined
+    over are preserved and all row-wise counts are additive; the final
+    :class:`TextureTraffic` is byte-identical to the monolithic
+    :func:`texture_traffic` computation.
+    """
+
+    needs_fetched = True
+    needs_windows = True
+
+    def __init__(
+        self,
+        hot_l1: np.ndarray,
+        hot_l2: np.ndarray,
+        line_bytes: int,
+        lanes: int = 16,
+    ):
+        self.hot_l1 = hot_l1
+        self.hot_l2 = hot_l2
+        self.line_bytes = line_bytes
+        self.lanes = lanes
+        self.accesses = 0
+        self.l2_lines = 0
+        self.dram_lines = 0
+        self.total_lines = 0
+        self.dram_instr = 0
+        self.total_valid = 0
+        self.n_l2_lanes = 0
+        self.n_dram_lanes = 0
+
+    def update(
+        self, fetched: np.ndarray, windows: np.ndarray, valid: np.ndarray
+    ) -> None:
+        """Classify one (fetched, windows, valid) block."""
+        lanes = self.lanes
+        line_ids = stt_line_ids(fetched, windows, line_bytes=self.line_bytes)
+
+        in_l1 = np.isin(line_ids, self.hot_l1)
+        in_l2 = np.isin(line_ids, self.hot_l2)
+        l1_miss = valid & ~in_l1
+        dram = valid & ~in_l2
+        l2_serviced = l1_miss & in_l2
+
+        n_rows, n_threads = line_ids.shape
+        pad = (-n_threads) % lanes
+        if pad:
+            line_ids = np.pad(line_ids, ((0, 0), (0, pad)))
+            valid_p = np.pad(valid, ((0, 0), (0, pad)))
+            l2_p = np.pad(l2_serviced, ((0, 0), (0, pad)))
+            dram_p = np.pad(dram, ((0, 0), (0, pad)))
+        else:
+            valid_p, l2_p, dram_p = valid, l2_serviced, dram
+        groups = line_ids.shape[1] // lanes
+        rows_lines = line_ids.reshape(n_rows * groups, lanes)
+        rows_valid = valid_p.reshape(n_rows * groups, lanes)
+        rows_l2 = l2_p.reshape(n_rows * groups, lanes)
+        rows_dram = dram_p.reshape(n_rows * groups, lanes)
+
+        self.accesses += int(rows_valid.any(axis=1).sum())
+        self.l2_lines += _distinct_per_row(rows_lines, rows_l2)
+        self.dram_lines += _distinct_per_row(rows_lines, rows_dram)
+        self.total_lines += _distinct_per_row(rows_lines, rows_valid)
+        self.dram_instr += int((rows_dram.any(axis=1)).sum())
+        self.total_valid += int(valid.sum())
+        self.n_l2_lanes += int(l2_serviced.sum())
+        self.n_dram_lanes += int(dram.sum())
+
+    def on_tile(self, tile) -> None:
+        """Classify one tile's fetches against the fixed hot sets."""
+        self.update(tile.fetched, tile.windows, tile.valid)
+
+    def finish(self, config: DeviceConfig) -> TextureTraffic:
+        """Assemble the accumulated counts into a :class:`TextureTraffic`."""
+        # Mean-lane severity: each lane contributes its own latency; the
+        # instruction's expected stall is the lane average.
+        if self.total_valid:
+            lane_avg_total = (
+                self.n_l2_lanes * config.texture_l2_latency_cycles
+                + self.n_dram_lanes * config.texture_miss_latency_cycles
+            ) / self.lanes
+        else:
+            lane_avg_total = 0.0
+        return TextureTraffic(
+            accesses=self.accesses,
+            dependent_latency_cycles=lane_avg_total,
+            l2_line_requests=self.l2_lines,
+            dram_line_requests=self.dram_lines,
+            dram_instr_rate=(
+                self.dram_instr / self.accesses if self.accesses else 0.0
+            ),
+            lane_l1_hit_rate=(
+                1.0 - (self.n_l2_lanes + self.n_dram_lanes) / self.total_valid
+                if self.total_valid
+                else 1.0
+            ),
+            total_line_requests=self.total_lines,
+        )
 
 
 def texture_traffic(
@@ -160,76 +337,23 @@ def texture_traffic(
     params: CostParams,
     lanes: int = 16,
 ) -> TextureTraffic:
-    """Price the STT texture fetches of a lockstep run (two-level model)."""
+    """Price the STT texture fetches of a lockstep run (two-level model).
+
+    Whole-trace entry point, implemented on the same histogram +
+    classifier accumulators the tiled kernels stream through — one
+    code path, identical numbers either way.
+    """
     fetched = trace.states_fetched()
     line_bytes = config.texture_cache.line_bytes
-    line_ids = stt_line_ids(fetched, windows, line_bytes=line_bytes)
     valid = trace.valid
 
-    l1_capacity = int(
-        config.texture_cache.n_lines * params.tex_capacity_efficiency
-    )
-    l2_capacity = int(
-        (config.texture_l2_bytes // line_bytes) * params.tex_capacity_efficiency
-    )
-    # Nested hot sets: L1-hot ⊂ L2-hot by construction (same ranking).
-    hot_l2 = hot_line_set(line_ids, valid, l2_capacity)
-    hot_l1 = hot_line_set(line_ids, valid, l1_capacity)
+    hist = TextureLineHistogram(dfa.n_states, line_bytes)
+    hist.update(fetched, windows, valid)
+    hot_l1, hot_l2 = hist.hot_sets(config, params)
 
-    in_l1 = np.isin(line_ids, hot_l1)
-    in_l2 = np.isin(line_ids, hot_l2)
-    l1_miss = valid & ~in_l1
-    dram = valid & ~in_l2
-    l2_serviced = l1_miss & in_l2
-
-    # Group the thread axis into half-warps.
-    window_len, n_threads = line_ids.shape
-    pad = (-n_threads) % lanes
-    if pad:
-        line_ids = np.pad(line_ids, ((0, 0), (0, pad)))
-        valid_p = np.pad(valid, ((0, 0), (0, pad)))
-        l2_p = np.pad(l2_serviced, ((0, 0), (0, pad)))
-        dram_p = np.pad(dram, ((0, 0), (0, pad)))
-    else:
-        valid_p, l2_p, dram_p = valid, l2_serviced, dram
-    groups = line_ids.shape[1] // lanes
-    rows_lines = line_ids.reshape(window_len * groups, lanes)
-    rows_valid = valid_p.reshape(window_len * groups, lanes)
-    rows_l2 = l2_p.reshape(window_len * groups, lanes)
-    rows_dram = dram_p.reshape(window_len * groups, lanes)
-
-    accesses = int(rows_valid.any(axis=1).sum())
-    l2_lines = _distinct_per_row(rows_lines, rows_l2)
-    dram_lines = _distinct_per_row(rows_lines, rows_dram)
-    total_lines = _distinct_per_row(rows_lines, rows_valid)
-    dram_instr = int((rows_dram.any(axis=1)).sum())
-
-    # Mean-lane severity: each lane contributes its own latency; the
-    # instruction's expected stall is the lane average.
-    total_valid = int(valid.sum())
-    n_l2_lanes = int(l2_serviced.sum())
-    n_dram_lanes = int(dram.sum())
-    if total_valid:
-        lane_avg_total = (
-            n_l2_lanes * config.texture_l2_latency_cycles
-            + n_dram_lanes * config.texture_miss_latency_cycles
-        ) / lanes
-    else:
-        lane_avg_total = 0.0
-
-    return TextureTraffic(
-        accesses=accesses,
-        dependent_latency_cycles=lane_avg_total,
-        l2_line_requests=l2_lines,
-        dram_line_requests=dram_lines,
-        dram_instr_rate=(dram_instr / accesses) if accesses else 0.0,
-        lane_l1_hit_rate=(
-            1.0 - (n_l2_lanes + n_dram_lanes) / total_valid
-            if total_valid
-            else 1.0
-        ),
-        total_line_requests=total_lines,
-    )
+    cls = TextureClassifier(hot_l1, hot_l2, line_bytes, lanes=lanes)
+    cls.update(fetched, windows, valid)
+    return cls.finish(config)
 
 
 @dataclass
@@ -244,6 +368,10 @@ class KernelResult:
     occupancy: Occupancy
     #: Present for shared-memory kernels: the store scheme used.
     scheme: Optional[str] = None
+    #: Full lockstep state trace — only populated when the kernel was
+    #: run with ``retain_trace=True`` (O(input) memory; the tiled
+    #: engine discards per-tile state by default).
+    trace: Optional[LockstepTrace] = None
 
     @property
     def seconds(self) -> float:

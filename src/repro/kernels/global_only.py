@@ -27,12 +27,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.alphabet import encode
-from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.core.chunking import plan_chunks, required_overlap
 from repro.core.dfa import DFA
-from repro.core.lockstep import extract_matches, run_dfa_lockstep
+from repro.core.lockstep import LockstepTrace, TraceRecorder
 from repro.core.match import MatchResult
+from repro.core.tiled import DEFAULT_TILE_LEN, iter_dfa_tiles, scan_tiled
 from repro.errors import LaunchError
-from repro.gpu.coalesce import CoalesceSummary, coalesce_halfwarp_batch
+from repro.gpu.coalesce import CoalesceAccumulator, CoalesceSummary
 from repro.gpu.counters import EventCounters
 from repro.gpu.device import Device
 from repro.gpu.geometry import LaunchConfig
@@ -40,9 +41,10 @@ from repro.gpu.latency import KernelCost
 from repro.kernels.base import (
     CostParams,
     KernelResult,
+    TextureClassifier,
+    TextureLineHistogram,
     TextureTraffic,
     grouped_thread_addresses,
-    texture_traffic,
 )
 from repro.obs import coalesce
 
@@ -67,6 +69,24 @@ class GlobalMeasurement:
     input_summary: CoalesceSummary
     tex: TextureTraffic
     launch: LaunchConfig
+    #: Full lockstep trace, only retained on request (O(input) memory).
+    trace: Optional[LockstepTrace] = None
+
+
+class _InputLoadSink:
+    """Tile sink: streams the naive per-thread byte loads into the
+    coalescing accumulator (each (step, thread) cell is one lane of a
+    half-warp load instruction)."""
+
+    needs_windows = False
+    needs_fetched = False
+
+    def __init__(self, accum: CoalesceAccumulator):
+        self.accum = accum
+
+    def on_tile(self, tile) -> None:
+        rows, active = grouped_thread_addresses(tile.positions(), tile.valid)
+        self.accum.add(rows, active)
 
 
 def measure_global(
@@ -78,8 +98,24 @@ def measure_global(
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
     params: Optional[CostParams] = None,
     tracer=None,
+    tile_len: int = DEFAULT_TILE_LEN,
+    compact: bool = True,
+    retain_trace: bool = False,
 ) -> GlobalMeasurement:
-    """Functional pass + event measurement (no pricing)."""
+    """Functional pass + event measurement (no pricing).
+
+    Runs the tiled streaming engine in two passes — pass 1 fuses match
+    extraction, the input-load coalescing accumulator and the texture
+    line histogram into each tile; pass 2 classifies every fetch
+    against the hot sets the histogram fixed — so peak memory stays
+    O(n_threads × tile_len) while every modeled counter is
+    byte-identical to the old whole-trace computation.  ``compact``
+    gathers δ through the alphabet-compacted table (functionally exact;
+    modeled texture traffic is unchanged because line ids are always
+    computed from the dense STT layout).  ``retain_trace`` additionally
+    materializes the full :class:`LockstepTrace` (explicit O(input)
+    opt-in for the profiler).
+    """
     params = params or CostParams()
     tracer = coalesce(tracer)
     arr = encode(data, name="data")
@@ -90,11 +126,25 @@ def measure_global(
 
     overlap = required_overlap(dfa.patterns.max_length)
     plan = plan_chunks(arr.size, chunk_len, overlap)
-    windows = build_windows(arr, plan)
-    trace = run_dfa_lockstep(dfa, windows, plan)
+    table = dfa.compact_stt() if compact else None
+    line_bytes = config.texture_cache.line_bytes
+
+    hist = TextureLineHistogram(dfa.n_states, line_bytes)
+    input_accum = CoalesceAccumulator(
+        1,
+        segment_bytes=config.coalesce_segment_bytes,
+        min_transaction_bytes=config.min_transaction_bytes,
+    )
+    sinks = [hist, _InputLoadSink(input_accum)]
+    recorder = TraceRecorder(plan) if retain_trace else None
+    if recorder is not None:
+        sinks.append(recorder)
     with tracer.span("ownership_filter") as sp:
-        matches, raw_hits = extract_matches(dfa, trace)
-        sp.set(raw_hits=raw_hits, matches=len(matches))
+        outcome = scan_tiled(
+            dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
+        )
+        sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
+    matches, raw_hits = outcome.matches, outcome.raw_hits
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -104,30 +154,32 @@ def measure_global(
         shared_bytes_per_block=0,
     )
 
-    positions = (
-        plan.starts[None, :]
-        + np.arange(plan.window_len, dtype=np.int64)[:, None]
-    )
-    rows, active = grouped_thread_addresses(positions, trace.valid)
-    input_summary = coalesce_halfwarp_batch(
-        rows,
-        access_bytes=1,
-        segment_bytes=config.coalesce_segment_bytes,
-        min_transaction_bytes=config.min_transaction_bytes,
-        active=active,
-    )
-    tex = texture_traffic(dfa, trace, windows, config, params)
+    input_summary = input_accum.finish()
+    hot_l1, hot_l2 = hist.hot_sets(config, params)
+    classifier = TextureClassifier(hot_l1, hot_l2, line_bytes)
+    for tile in iter_dfa_tiles(
+        dfa,
+        arr,
+        plan,
+        tile_len=tile_len,
+        table=table,
+        want_windows=True,
+        want_fetched=True,
+    ):
+        classifier.on_tile(tile)
+    tex = classifier.finish(config)
 
     return GlobalMeasurement(
         matches=matches,
         raw_hits=raw_hits,
         input_bytes=int(arr.size),
-        bytes_scanned=trace.total_fetches(),
+        bytes_scanned=outcome.bytes_scanned,
         window_len=plan.window_len,
         n_threads=n_threads,
         input_summary=input_summary,
         tex=tex,
         launch=launch,
+        trace=recorder.trace() if recorder is not None else None,
     )
 
 
@@ -200,6 +252,7 @@ def price_global(
         timing=timing,
         launch=meas.launch,
         occupancy=occupancy,
+        trace=meas.trace,
     )
 
 
@@ -212,6 +265,9 @@ def run_global_kernel(
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
     params: Optional[CostParams] = None,
     tracer=None,
+    tile_len: int = DEFAULT_TILE_LEN,
+    compact: bool = True,
+    retain_trace: bool = False,
 ) -> KernelResult:
     """Run the global-memory-only kernel on *data* (measure + price).
 
@@ -243,6 +299,9 @@ def run_global_kernel(
                 threads_per_block=threads_per_block,
                 params=params,
                 tracer=tracer,
+                tile_len=tile_len,
+                compact=compact,
+                retain_trace=retain_trace,
             )
             result = price_global(meas, device, params)
             sp.set(

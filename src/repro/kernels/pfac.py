@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE, encode
+from repro.core.compact import ByteClassMap, compact_columns
 from repro.core.dfa import DFA
 from repro.core.match import MatchResult
 from repro.core.pattern_set import PatternSet
@@ -100,6 +101,32 @@ class PfacAutomaton:
         )
 
 
+class _PfacGather:
+    """δ-gather for the failureless trie, dense or alphabet-compacted.
+
+    Compaction is exact for PFAC because a byte used by no pattern
+    labels no trie edge at all, so its dense column is all-:data:`DEAD`
+    — exactly the compacted "other" column.  Texture line ids are
+    always computed from the dense (state, symbol) layout, so the
+    modeled traffic is independent of which table the gather uses.
+    """
+
+    __slots__ = ("table", "class_of")
+
+    def __init__(self, pfac: PfacAutomaton, compact: bool):
+        if compact:
+            cmap = ByteClassMap.from_patterns(pfac.patterns)
+            self.table = compact_columns(pfac.table, cmap, DEAD)
+            self.class_of = cmap.class_of
+        else:
+            self.table = pfac.table
+            self.class_of = None
+
+    def next_states(self, state: np.ndarray, sym: np.ndarray) -> np.ndarray:
+        cols = sym if self.class_of is None else self.class_of[sym]
+        return self.table[np.minimum(state, self.table.shape[0] - 1), cols]
+
+
 def _run_batch(
     pfac: PfacAutomaton,
     data: np.ndarray,
@@ -107,6 +134,7 @@ def _run_batch(
     stop: int,
     hot_lines: Optional[np.ndarray],
     line_bytes: int,
+    gather: Optional[_PfacGather] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int]:
     """Walk threads [start, stop); returns matches + fetch accounting.
 
@@ -124,7 +152,8 @@ def _run_batch(
     misses = 0
     lines_seen: List[np.ndarray] = []
     warp_iters = 0
-    table = pfac.table
+    if gather is None:
+        gather = _PfacGather(pfac, compact=False)
     offs = pfac.out_offsets
 
     for d in range(pfac.max_depth):
@@ -150,7 +179,7 @@ def _run_batch(
             alive_w = np.pad(alive, (0, pad)).reshape(-1, 32)
         warp_iters += int(alive_w.any(axis=1).sum())
 
-        nxt = np.where(alive, table[np.minimum(state, table.shape[0] - 1), sym], DEAD)
+        nxt = np.where(alive, gather.next_states(state, sym), DEAD)
         state = np.where(nxt >= 0, nxt, 0)
         newly_dead = alive & (nxt < 0)
         alive = alive & ~newly_dead
@@ -193,6 +222,7 @@ def run_pfac_kernel(
     threads_per_block: int = 256,
     params: Optional[CostParams] = None,
     tracer=None,
+    compact: bool = True,
 ) -> KernelResult:
     """Run PFAC over *data*; matches are identical to the AC kernels.
 
@@ -217,7 +247,7 @@ def run_pfac_kernel(
 
     with tracer.span("kernel_body", kernel="pfac") as kernel_span:
         matches, counters, cost, launch, occupancy = _pfac_passes(
-            pfac, arr, device, params, threads_per_block
+            pfac, arr, device, params, threads_per_block, compact=compact
         )
         timing = device.launch(launch, cost)
         kernel_span.set(
@@ -243,9 +273,11 @@ def _pfac_passes(
     device: Device,
     params: CostParams,
     threads_per_block: int,
+    compact: bool = True,
 ):
     """Both functional passes + cost assembly (no launch pricing)."""
     config = device.config
+    gather = _PfacGather(pfac, compact=compact)
     # ---- pass A: functional + line histogram ------------------------------
     all_ends: List[np.ndarray] = []
     all_pids: List[np.ndarray] = []
@@ -255,7 +287,8 @@ def _pfac_passes(
     for start in range(0, arr.size, BATCH_THREADS):
         stop = min(start + BATCH_THREADS, arr.size)
         ends, pids, uniq, fetches, _, iters = _run_batch(
-            pfac, arr, start, stop, None, config.texture_cache.line_bytes
+            pfac, arr, start, stop, None, config.texture_cache.line_bytes,
+            gather=gather,
         )
         all_ends.append(ends)
         all_pids.append(pids)
@@ -272,7 +305,7 @@ def _pfac_passes(
     # first batch's full trace as the frequency sample.
     sample_stop = min(BATCH_THREADS, arr.size)
     sample_lines = _collect_sample_lines(
-        pfac, arr, sample_stop, config.texture_cache.line_bytes
+        pfac, arr, sample_stop, config.texture_cache.line_bytes, gather=gather
     )
     capacity = int(
         config.texture_cache.n_lines * params.tex_capacity_efficiency
@@ -289,7 +322,8 @@ def _pfac_passes(
     for start in range(0, arr.size, BATCH_THREADS):
         stop = min(start + BATCH_THREADS, arr.size)
         _, _, _, _, misses, _ = _run_batch(
-            pfac, arr, start, stop, hot, config.texture_cache.line_bytes
+            pfac, arr, start, stop, hot, config.texture_cache.line_bytes,
+            gather=gather,
         )
         misses_total += misses
     miss_requests = misses_total / HALFWARP_MISS_MERGE
@@ -341,9 +375,15 @@ def _pfac_passes(
 
 
 def _collect_sample_lines(
-    pfac: PfacAutomaton, data: np.ndarray, stop: int, line_bytes: int
+    pfac: PfacAutomaton,
+    data: np.ndarray,
+    stop: int,
+    line_bytes: int,
+    gather: Optional[_PfacGather] = None,
 ) -> np.ndarray:
     """Full (not unique) line trace of threads [0, stop) for frequency."""
+    if gather is None:
+        gather = _PfacGather(pfac, compact=False)
     n = data.size
     idx = np.arange(0, stop, dtype=np.int64)
     state = np.zeros(idx.size, dtype=np.int64)
@@ -360,9 +400,7 @@ def _collect_sample_lines(
                 state[alive], sym[alive].astype(np.int64), line_bytes=line_bytes
             )
         )
-        nxt = np.where(
-            alive, pfac.table[np.minimum(state, pfac.n_states - 1), sym], DEAD
-        )
+        nxt = np.where(alive, gather.next_states(state, sym), DEAD)
         state = np.where(nxt >= 0, nxt, 0)
         alive = alive & (nxt >= 0)
     return np.concatenate(out) if out else np.empty(0, dtype=np.int64)

@@ -34,10 +34,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.alphabet import encode
-from repro.core.chunking import build_windows, plan_chunks, required_overlap
+from repro.core.chunking import plan_chunks, required_overlap
 from repro.core.dfa import DFA
-from repro.core.lockstep import extract_matches, run_dfa_lockstep
+from repro.core.lockstep import LockstepTrace, TraceRecorder
 from repro.core.match import MatchResult
+from repro.core.tiled import DEFAULT_TILE_LEN, iter_dfa_tiles, scan_tiled
 from repro.errors import LaunchError
 from repro.gpu.coalesce import (
     CoalesceSummary,
@@ -54,8 +55,9 @@ from repro.gpu.shared_memory import SharedAccessSummary, summarize
 from repro.kernels.base import (
     CostParams,
     KernelResult,
+    TextureClassifier,
+    TextureLineHistogram,
     TextureTraffic,
-    texture_traffic,
 )
 from repro.obs import coalesce
 
@@ -88,6 +90,8 @@ class SharedMeasurement:
     #: False = the texture-placement ablation: the STT lives in plain
     #: (uncached) global memory; every fetch pays a DRAM round trip.
     stt_in_texture: bool = True
+    #: Full lockstep trace, only retained on request (O(input) memory).
+    trace: Optional[LockstepTrace] = None
 
 
 def measure_shared(
@@ -102,8 +106,17 @@ def measure_shared(
     params: Optional[CostParams] = None,
     stt_in_texture: bool = True,
     tracer=None,
+    tile_len: int = DEFAULT_TILE_LEN,
+    compact: bool = True,
+    retain_trace: bool = False,
 ) -> SharedMeasurement:
-    """Functional pass + event measurement (no pricing)."""
+    """Functional pass + event measurement (no pricing).
+
+    The matching phase runs on the tiled streaming engine (see
+    :func:`repro.kernels.global_only.measure_global` for the two-pass
+    counter scheme); the staging/bank summaries are data-independent
+    per-block templates and are untouched by tiling.
+    """
     params = params or CostParams()
     tracer = coalesce(tracer)
     store = get_scheme(scheme)
@@ -128,11 +141,20 @@ def measure_shared(
         )
 
     plan = plan_chunks(arr.size, chunk_bytes, overlap)
-    windows = build_windows(arr, plan)
-    trace = run_dfa_lockstep(dfa, windows, plan)
+    table = dfa.compact_stt() if compact else None
+    line_bytes = config.texture_cache.line_bytes
+
+    hist = TextureLineHistogram(dfa.n_states, line_bytes)
+    sinks = [hist]
+    recorder = TraceRecorder(plan) if retain_trace else None
+    if recorder is not None:
+        sinks.append(recorder)
     with tracer.span("ownership_filter") as sp:
-        matches, raw_hits = extract_matches(dfa, trace)
-        sp.set(raw_hits=raw_hits, matches=len(matches))
+        outcome = scan_tiled(
+            dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
+        )
+        sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
+    matches, raw_hits = outcome.matches, outcome.raw_hits
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -172,13 +194,25 @@ def measure_shared(
         ld_addr, config.shared_banks, config.bank_width_bytes, active=ld_act
     )
 
-    tex = texture_traffic(dfa, trace, windows, config, params)
+    hot_l1, hot_l2 = hist.hot_sets(config, params)
+    classifier = TextureClassifier(hot_l1, hot_l2, line_bytes)
+    for tile in iter_dfa_tiles(
+        dfa,
+        arr,
+        plan,
+        tile_len=tile_len,
+        table=table,
+        want_windows=True,
+        want_fetched=True,
+    ):
+        classifier.on_tile(tile)
+    tex = classifier.finish(config)
 
     return SharedMeasurement(
         matches=matches,
         raw_hits=raw_hits,
         input_bytes=int(arr.size),
-        bytes_scanned=trace.total_fetches(),
+        bytes_scanned=outcome.bytes_scanned,
         window_len=plan.window_len,
         n_threads=n_threads,
         n_blocks=n_blocks,
@@ -190,6 +224,7 @@ def measure_shared(
         tex=tex,
         launch=launch,
         stt_in_texture=stt_in_texture,
+        trace=recorder.trace() if recorder is not None else None,
     )
 
 
@@ -303,6 +338,7 @@ def price_shared(
         launch=meas.launch,
         occupancy=occupancy,
         scheme=meas.scheme_name,
+        trace=meas.trace,
     )
 
 
@@ -318,6 +354,9 @@ def run_shared_kernel(
     params: Optional[CostParams] = None,
     stt_in_texture: bool = True,
     tracer=None,
+    tile_len: int = DEFAULT_TILE_LEN,
+    compact: bool = True,
+    retain_trace: bool = False,
 ) -> KernelResult:
     """Run the shared-memory kernel on *data* (measure + price).
 
@@ -359,6 +398,9 @@ def run_shared_kernel(
                 params=params,
                 stt_in_texture=stt_in_texture,
                 tracer=tracer,
+                tile_len=tile_len,
+                compact=compact,
+                retain_trace=retain_trace,
             )
             result = price_shared(meas, device, params)
             sp.set(

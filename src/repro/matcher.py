@@ -79,6 +79,15 @@ class Matcher:
         which joins counters + timing + occupancy into a validated
         :class:`~repro.obs.ProfileReport` (independent of ``metrics``
         — profiling works with the metrics registry absent).
+    tile_len:
+        Step-tile size for the tiled streaming engine the GPU backend
+        runs on (default: :data:`repro.core.tiled.DEFAULT_TILE_LEN`).
+        Peak scan memory is O(n_threads × tile_len), independent of
+        input size; results are byte-identical for every value.
+    compact:
+        Gather δ through the alphabet-compacted transition table
+        (default True; exactly equivalent to the dense STT, smaller
+        working set).  Set False to force dense gathers.
     """
 
     def __init__(
@@ -91,6 +100,8 @@ class Matcher:
         tracer=None,
         metrics=None,
         profiler=None,
+        tile_len: Optional[int] = None,
+        compact: bool = True,
     ):
         if backend not in BACKENDS:
             raise ReproError(
@@ -113,6 +124,8 @@ class Matcher:
             sp.set(n_states=self._dfa.n_states)
         self.backend = backend
         self.device = device
+        self.tile_len = tile_len
+        self.compact = compact
         self.last_health = None
         self._resilient = None
         self._double_array = None
@@ -133,6 +146,8 @@ class Matcher:
         tracer=None,
         metrics=None,
         profiler=None,
+        tile_len: Optional[int] = None,
+        compact: bool = True,
     ) -> "Matcher":
         """Wrap a pre-built DFA (e.g. loaded from disk).
 
@@ -152,6 +167,8 @@ class Matcher:
         obj.tracer = tracer if tracer is not None else NULL_TRACER
         obj.metrics = metrics if metrics is not None else NULL_METRICS
         obj.profiler = profiler
+        obj.tile_len = tile_len
+        obj.compact = compact
         obj.last_health = None
         obj._resilient = None
         obj._double_array = None
@@ -275,10 +292,20 @@ class Matcher:
 
     def _run_gpu_kernel(self, text: BytesLike):
         """GPU-backend scan: device selection shared by every GPU path."""
+        from repro.core.tiled import DEFAULT_TILE_LEN
         from repro.kernels.shared_mem import run_shared_kernel
 
         device = self._gpu_device()
-        return run_shared_kernel(self._dfa, text, device, tracer=self.tracer)
+        return run_shared_kernel(
+            self._dfa,
+            text,
+            device,
+            tracer=self.tracer,
+            tile_len=(
+                self.tile_len if self.tile_len is not None else DEFAULT_TILE_LEN
+            ),
+            compact=self.compact,
+        )
 
     def _observe_kernel(self, result) -> None:
         """Feed a KernelResult to the profiler and export gauges.

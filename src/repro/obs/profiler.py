@@ -300,16 +300,32 @@ class KernelProfiler:
     feeds every GPU-backend scan, ``ExperimentRunner(profiler=)`` feeds
     every bench-cell kernel, and :func:`profile_kernel` drives a named
     kernel directly (the ``repro-ac profile`` path).
+
+    ``retain_traces=True`` additionally keeps every observed result's
+    full :class:`~repro.core.lockstep.LockstepTrace` in
+    :attr:`traces`.  This is an explicit O(input)-memory opt-in — the
+    kernels run on the tiled streaming engine and only carry a trace
+    when launched with ``retain_trace=True``; results without one are
+    skipped silently.
     """
 
-    def __init__(self, config: Optional[DeviceConfig] = None):
+    def __init__(
+        self,
+        config: Optional[DeviceConfig] = None,
+        *,
+        retain_traces: bool = False,
+    ):
         self.config = config or gtx285()
         self.reports: List[ProfileReport] = []
+        self.retain_traces = retain_traces
+        self.traces: List[Any] = []
 
     def observe(self, result) -> ProfileReport:
         """Record one kernel result; returns its validated report."""
         report = build_report(result, self.config)
         self.reports.append(report)
+        if self.retain_traces and getattr(result, "trace", None) is not None:
+            self.traces.append(result.trace)
         return report
 
     def observe_multi(self, result) -> List[ProfileReport]:
@@ -334,8 +350,9 @@ class KernelProfiler:
         return [r.as_dict() for r in self.reports]
 
     def clear(self) -> None:
-        """Drop all recorded reports."""
+        """Drop all recorded reports (and retained traces)."""
         self.reports = []
+        self.traces = []
 
 
 def profile_kernel(
@@ -380,6 +397,10 @@ def profile_kernel(
     from repro.gpu.device import Device
 
     device = Device(config, tracer=tracer)
+    # A trace-retaining profiler asks the AC kernels to keep the full
+    # lockstep trace (pfac/multi_gpu have no trace to retain).
+    if profiler.retain_traces and kernel in ("shared_mem", "global_only"):
+        kernel_kwargs.setdefault("retain_trace", True)
     if kernel == "shared_mem":
         from repro.kernels.shared_mem import run_shared_kernel
 

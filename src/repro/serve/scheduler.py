@@ -176,6 +176,11 @@ class ScanScheduler:
         receives every batch's kernel launch.  When no profiler is
         given the scheduler keeps a private one — the pipeline model
         prices kernel slices from the batch's observed launch.
+    tile_len:
+        Step-tile size for the tiled streaming engine behind every
+        matcher this scheduler builds (default: the engine's).  Peak
+        batch-scan memory is O(lanes × tile_len) regardless of how
+        large a batch buffer the requests concatenate into.
     """
 
     def __init__(
@@ -190,6 +195,7 @@ class ScanScheduler:
         tracer=None,
         metrics=None,
         profiler=None,
+        tile_len: Optional[int] = None,
     ):
         if backend not in SCHEDULER_BACKENDS:
             raise ReproError(
@@ -200,6 +206,7 @@ class ScanScheduler:
             raise ReproError(f"max_batch must be >= 1, got {max_batch}")
         self.backend = backend
         self.max_batch = max_batch
+        self.tile_len = tile_len
         self.device_config = device_config
         self.injector = injector
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -352,6 +359,7 @@ class ScanScheduler:
             tracer=self.tracer,
             metrics=self.metrics,
             profiler=self.profiler,
+            tile_len=self.tile_len,
         )
         if self.backend == "gpu":
             from repro.gpu.device import Device

@@ -1,0 +1,93 @@
+"""Tile-size and compaction invariance of the modeled kernels.
+
+The tiled two-pass engine is an execution strategy, not a model change:
+for any tile size and with or without the alphabet-compacted STT, every
+kernel must produce byte-identical matches AND byte-identical modeled
+counters (texture hits/misses, coalescing transactions, bank-conflict
+excess) to the default configuration.  These tests pin that contract so
+future tiling work cannot silently shift the performance model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import naive_find_all
+from repro.gpu import Device
+from repro.kernels import run_global_kernel, run_pfac_kernel, run_shared_kernel
+
+TEXT = b"she sells sea shells by the seashore; ushers saw hers " * 120
+TILE_LENS = [7, 64, 256]
+
+
+def _counters_equal(a, b):
+    """Field-by-field EventCounters comparison with a useful diff."""
+    da, db = vars(a), vars(b)
+    diff = {k: (da[k], db[k]) for k in da if da[k] != db[k]}
+    assert not diff, f"counters differ: {diff}"
+
+
+class TestGlobalKernel:
+    def test_tile_len_and_compact_invariance(self, paper_dfa, paper_patterns):
+        base = run_global_kernel(paper_dfa, TEXT, Device(), chunk_len=100)
+        oracle = set(naive_find_all(paper_patterns, TEXT))
+        assert base.matches.as_set() == oracle
+        for tile_len in TILE_LENS:
+            for compact in (False, True):
+                r = run_global_kernel(
+                    paper_dfa,
+                    TEXT,
+                    Device(),
+                    chunk_len=100,
+                    tile_len=tile_len,
+                    compact=compact,
+                )
+                assert r.matches == base.matches
+                _counters_equal(r.counters, base.counters)
+                assert r.timing.seconds == base.timing.seconds
+
+    def test_retain_trace_reconstructs_run(self, paper_dfa):
+        r = run_global_kernel(
+            paper_dfa, TEXT, Device(), chunk_len=100, retain_trace=True
+        )
+        bare = run_global_kernel(paper_dfa, TEXT, Device(), chunk_len=100)
+        assert bare.trace is None
+        assert r.trace is not None
+        assert r.trace.total_fetches() == r.counters.bytes_scanned
+        hist = r.trace.visit_histogram(paper_dfa.n_states)
+        assert int(hist.sum()) == r.counters.bytes_scanned
+
+
+class TestSharedKernel:
+    @pytest.mark.parametrize("scheme", ["diagonal", "naive"])
+    def test_tile_len_and_compact_invariance(self, english_dfa, scheme):
+        base = run_shared_kernel(english_dfa, TEXT, Device(), scheme=scheme)
+        for tile_len in TILE_LENS:
+            for compact in (False, True):
+                r = run_shared_kernel(
+                    english_dfa,
+                    TEXT,
+                    Device(),
+                    scheme=scheme,
+                    tile_len=tile_len,
+                    compact=compact,
+                )
+                assert r.matches == base.matches
+                _counters_equal(r.counters, base.counters)
+                assert r.timing.seconds == base.timing.seconds
+
+    def test_retain_trace(self, english_dfa):
+        r = run_shared_kernel(english_dfa, TEXT, Device(), retain_trace=True)
+        assert r.trace is not None
+        assert r.trace.total_fetches() == r.counters.bytes_scanned
+
+
+class TestPfacKernel:
+    def test_compact_invariance(self, paper_dfa, paper_patterns):
+        dense = run_pfac_kernel(paper_dfa, TEXT, Device(), compact=False)
+        comp = run_pfac_kernel(paper_dfa, TEXT, Device(), compact=True)
+        assert dense.matches == comp.matches
+        assert dense.matches.as_set() == set(
+            naive_find_all(paper_patterns, TEXT)
+        )
+        _counters_equal(dense.counters, comp.counters)
+        assert dense.timing.seconds == comp.timing.seconds
