@@ -4,6 +4,13 @@ from repro.bench.cpu_model import CpuConfig, SerialCost, serial_cost_from_trace
 from repro.bench.experiments import ABLATIONS, FIGURES, FigureSpec, get_figure, run_figure
 from repro.bench.report import FigureTable, build_table
 from repro.bench.runner import CellResult, ExperimentRunner, ScaledKernel
+from repro.bench.swap_bench import (
+    RebuildCell,
+    SwapBenchmark,
+    SwapDipCell,
+    render_dip_cells,
+    render_rebuild_cells,
+)
 
 __all__ = [
     "CpuConfig",
@@ -19,4 +26,9 @@ __all__ = [
     "CellResult",
     "ExperimentRunner",
     "ScaledKernel",
+    "RebuildCell",
+    "SwapBenchmark",
+    "SwapDipCell",
+    "render_dip_cells",
+    "render_rebuild_cells",
 ]

@@ -138,6 +138,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per backend for transient faults (default 2)",
     )
     m.add_argument(
+        "--backoff-jitter", type=float, default=0.0,
+        help="backoff jitter fraction in [0, 1]: each retry sleep is "
+        "scaled by a draw from U[1-j, 1] (default 0 = no jitter)",
+    )
+    m.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="seed for the jitter stream, so jittered runs replay "
+        "bit-identically (default 0)",
+    )
+    m.add_argument(
+        "--backoff-max", type=float, default=1.0,
+        help="cap on a single backoff sleep in seconds (default 1.0)",
+    )
+    m.add_argument(
         "--inject", default=None,
         help="comma list of fault kinds to inject (testing aid), e.g. "
         "stt_bitflip,launch_failure; see 'repro-ac campaign' for kinds",
@@ -306,6 +320,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2,
         help="retries per backend inside each trial (default 2)",
     )
+    camp.add_argument(
+        "--swap", action="store_true",
+        help="run only the mid-swap fault classes (delta_corrupt, "
+        "swap_stt_mismatch, rebuild_timeout) through the epoch-swap "
+        "chaos harness",
+    )
+    camp.add_argument(
+        "--backoff-jitter", type=float, default=0.0,
+        help="backoff jitter fraction in [0, 1] for trial pipelines "
+        "(default 0)",
+    )
+    camp.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="seed for the jitter stream; replays are bit-reproducible "
+        "(default 0)",
+    )
+    camp.add_argument(
+        "--backoff-max", type=float, default=1.0,
+        help="cap on a single (recorded, never slept) backoff in "
+        "seconds (default 1.0)",
+    )
+
+    hs = sub.add_parser(
+        "hotswap",
+        help="zero-downtime rule reload: narrated epoch-swap demo plus "
+        "the rebuild-vs-churn and swap-throughput-dip benchmarks",
+    )
+    hs.add_argument(
+        "--demo", action="store_true",
+        help="narrate a register -> delta swap -> fault abort -> "
+        "rollback sequence with in-flight requests pinned to their "
+        "admitted versions",
+    )
+    hs.add_argument(
+        "--patterns", type=int, default=2000,
+        help="dictionary size for the dip family (default 2000)",
+    )
+    hs.add_argument(
+        "--rebuild-patterns", type=int, default=20000,
+        help="dictionary size for the rebuild family (default 20000, "
+        "the acceptance scale)",
+    )
+    hs.add_argument(
+        "--churns", default="0.001,0.005,0.01,0.05",
+        help="comma list of churn fractions for the rebuild family",
+    )
+    hs.add_argument(
+        "--batch-sizes", default="4,8,16",
+        help="comma list of batch sizes for the dip family",
+    )
+    hs.add_argument(
+        "--repeats", type=int, default=3,
+        help="wall-clock repeats per rebuild cell, min taken (default 3)",
+    )
+    hs.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="acceptance bar: delta builds at <= 1%% churn must beat "
+        "full rebuilds by this factor (default 5.0; 0 disables)",
+    )
+    hs.add_argument(
+        "--skip-rebuild", action="store_true",
+        help="skip the wall-clock rebuild family (CI smoke runs only "
+        "the deterministic dip cells)",
+    )
+    hs.add_argument("--seed", type=int, default=2013)
+    hs.add_argument(
+        "--out", default=None,
+        help="write the dip family as schema-validated bench cells "
+        "(BENCH_*.json) to this path",
+    )
     return p
 
 
@@ -443,6 +527,9 @@ def _cmd_match_resilient(args, patterns, text) -> int:
             PatternSet.from_strings(patterns),
             chain=chain,
             max_retries=args.retries,
+            backoff_cap=args.backoff_max,
+            backoff_jitter=args.backoff_jitter,
+            backoff_seed=args.backoff_seed,
             injector=injector,
             tracer=tracer,
         )
@@ -563,14 +650,19 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from repro.resilience import FaultKind, run_campaign
+    from repro.resilience import SWAP_FAULT_KINDS, FaultKind, run_campaign
 
     if args.trials < 1:
         print("error: --trials must be >= 1 (a 0-trial campaign would "
               "hold its invariant vacuously)")
         return 2
+    if args.swap and args.kinds:
+        print("error: --swap and --kinds are mutually exclusive")
+        return 2
     kinds = None
-    if args.kinds:
+    if args.swap:
+        kinds = list(SWAP_FAULT_KINDS)
+    elif args.kinds:
         try:
             kinds = [FaultKind(tok.strip()) for tok in args.kinds.split(",")
                      if tok.strip()]
@@ -584,9 +676,115 @@ def _cmd_campaign(args) -> int:
         trials_per_kind=args.trials,
         seed=args.seed,
         max_retries=args.retries,
+        backoff_jitter=args.backoff_jitter,
+        backoff_seed=args.backoff_seed,
+        backoff_max=args.backoff_max,
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _hotswap_demo() -> None:
+    from repro.core.delta import PatternDelta
+    from repro.errors import ReproError
+    from repro.resilience import Fault, FaultInjector, FaultKind, FaultPlan
+    from repro.serve import EpochManager, ScanScheduler
+
+    print("demo: register -> delta swap -> fault abort -> rollback")
+    injector = FaultInjector(
+        FaultPlan([Fault(kind=FaultKind.DELTA_CORRUPT, trigger=2)])
+    )
+    mgr = EpochManager(injector=injector)
+    sched = ScanScheduler(epochs=mgr)
+    mgr.register("ids", ["he", "she", "his", "hers"])
+    t1 = sched.submit_named("ids", "ushers in the house")
+    print(f"  v1 active; request admitted under v{t1.request.lease.epoch.version}")
+
+    report = mgr.swap("ids", PatternDelta.from_strings(added=["usher"]))
+    print(f"  {report.describe()}")
+    t2 = sched.submit_named("ids", "ushers in the house")
+    print(
+        f"  overlap={mgr.epoch_overlap('ids')} (v1 pinned by in-flight "
+        f"request, v2 serving new admissions)"
+    )
+
+    sched.drain()
+    print(
+        f"  drained: v1 request saw {len(t1.result())} matches, "
+        f"v2 request saw {len(t2.result())} matches; "
+        f"overlap={mgr.epoch_overlap('ids')}"
+    )
+
+    try:
+        mgr.swap("ids", PatternDelta.from_strings(added=["virus"]))
+    except ReproError as exc:
+        print(f"  injected {type(exc).__name__} mid-swap: aborted, "
+              f"still serving v{mgr.active('ids').version}")
+    report = mgr.rollback("ids")
+    print(f"  {report.describe()}")
+    print(mgr.describe())
+    print()
+
+
+def _cmd_hotswap(args) -> int:
+    from repro.bench.swap_bench import (
+        SwapBenchmark,
+        render_dip_cells,
+        render_rebuild_cells,
+    )
+    from repro.errors import ExperimentError
+    from repro.obs import BenchCollector
+
+    try:
+        churns = [float(s) for s in args.churns.split(",") if s.strip()]
+        batch_sizes = [
+            int(s) for s in args.batch_sizes.split(",") if s.strip()
+        ]
+    except ValueError:
+        print("error: --churns / --batch-sizes expect comma lists of "
+              "numbers")
+        return 2
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        print("error: --batch-sizes needs at least one size >= 1")
+        return 2
+    if not args.skip_rebuild and (
+        not churns or any(not 0.0 < c < 1.0 for c in churns)
+    ):
+        print("error: --churns needs fractions in (0, 1)")
+        return 2
+
+    if args.demo:
+        _hotswap_demo()
+
+    collector = BenchCollector(label="hotswap") if args.out else None
+    bench = SwapBenchmark(
+        seed=args.seed,
+        n_patterns=args.patterns,
+        rebuild_patterns=args.rebuild_patterns,
+        collector=collector,
+    )
+    if not args.skip_rebuild:
+        print(f"rebuild-vs-churn (wall clock, {args.rebuild_patterns} "
+              f"patterns, min of {args.repeats}):")
+        try:
+            rebuild_cells = bench.run_rebuild_cells(
+                churns,
+                repeats=args.repeats,
+                min_speedup=args.min_speedup or None,
+            )
+        except ExperimentError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        print(render_rebuild_cells(rebuild_cells))
+        print()
+    print(f"swap throughput dip (modeled, {args.patterns} patterns, "
+          f"budget {bench.dip_budget:.0%}):")
+    dip_cells = bench.run_dip_cells(batch_sizes)
+    print(render_dip_cells(dip_cells))
+    if collector is not None:
+        collector.write_json(args.out)
+        print(f"wrote {args.out} ({len(dip_cells)} dip cells)")
+    return 0
 
 
 def _cmd_match(args) -> int:
@@ -832,6 +1030,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "hotswap":
+        return _cmd_hotswap(args)
     return 2  # pragma: no cover - argparse guards
 
 

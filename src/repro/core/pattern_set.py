@@ -105,6 +105,30 @@ class PatternSet:
         """Build from a sequence of ``bytes``."""
         return cls(blobs)
 
+    @classmethod
+    def _from_validated_arrays(
+        cls, arrays: Sequence[np.ndarray]
+    ) -> "PatternSet":
+        """Fast path for already-encoded, deduplicated, non-empty arrays.
+
+        Used by the incremental builder (:mod:`repro.core.delta`), where
+        the surviving patterns are the base set's own read-only arrays
+        and re-encoding 20k of them would dominate the delta-build
+        budget.  The *caller* is responsible for the class invariants
+        (no empties, no duplicates, read-only buffers).
+        """
+        ps = cls.__new__(cls)
+        encoded = tuple(arrays)
+        lengths = [p.size for p in encoded]
+        ps._patterns = encoded
+        ps._stats = PatternStats(
+            count=len(encoded),
+            min_length=min(lengths),
+            max_length=max(lengths),
+            total_bytes=sum(lengths),
+        )
+        return ps
+
     # -- protocol -------------------------------------------------------
 
     def __len__(self) -> int:

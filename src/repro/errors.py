@@ -25,6 +25,38 @@ class ChunkingError(ReproError):
     """Raised for invalid chunk geometry (chunk size <= 0, overlap < 0...)."""
 
 
+class DeltaError(AutomatonError):
+    """Raised for invalid pattern deltas or failed incremental builds.
+
+    Covers both user-level misuse (removing a pattern the base set does
+    not contain, adding one it already has, an empty delta) and internal
+    consistency failures of the incremental builder (a delta-built
+    automaton that does not structurally match a from-scratch build).
+    The swap path treats any :class:`DeltaError` as "abort the swap and
+    fall back to a full rebuild or the last good epoch" — it must never
+    surface a torn automaton.
+    """
+
+
+class SwapError(ReproError):
+    """Raised when an epoch swap cannot be admitted or completed.
+
+    Distinct from :class:`DeltaError`: a ``SwapError`` means the swap
+    machinery itself refused (unknown pattern-set name, rollback with no
+    predecessor) — the serving state is still consistent.
+    """
+
+
+class OverlapBudgetError(SwapError):
+    """Raised when a swap would exceed the two-epoch overlap budget.
+
+    Old epochs are retired only when their last in-flight batch drains;
+    if rebuilds outpace drains the scheduler refuses new swaps
+    (backpressure) instead of letting retired-but-referenced STT
+    buffers pile up.
+    """
+
+
 class DeviceError(ReproError):
     """Raised by the GPU substrate for invalid device configuration."""
 

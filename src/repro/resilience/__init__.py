@@ -17,17 +17,25 @@ subpackage provides both halves of that guarantee:
 * :mod:`repro.resilience.campaign` — the property campaign enforcing
   the subsystem's invariant against the serial oracle: under every
   fault class a scan either returns byte-exact matches or raises a
-  typed :class:`~repro.errors.ReproError`.
+  typed :class:`~repro.errors.ReproError`.  Swap-path fault classes
+  (:data:`~repro.resilience.faults.SWAP_FAULT_KINDS`) run mid-swap
+  under concurrent scheduler load, where the same invariant extends to
+  "every request matches the serial oracle of the version it was
+  admitted under" (no torn epoch reads).
 """
 
 from repro.resilience.campaign import (
     CampaignReport,
     TrialOutcome,
     run_campaign,
+    run_swap_campaign,
+    run_swap_trial,
     run_trial,
 )
 from repro.resilience.faults import (
+    DEVICE_FAULT_KINDS,
     INJECTION_SITES,
+    SWAP_FAULT_KINDS,
     Fault,
     FaultEvent,
     FaultInjector,
@@ -45,6 +53,8 @@ __all__ = [
     "AttemptRecord",
     "CampaignReport",
     "DEFAULT_CHAIN",
+    "DEVICE_FAULT_KINDS",
+    "SWAP_FAULT_KINDS",
     "Fault",
     "FaultEvent",
     "FaultInjector",
@@ -55,5 +65,7 @@ __all__ = [
     "ResilientMatcher",
     "TrialOutcome",
     "run_campaign",
+    "run_swap_campaign",
+    "run_swap_trial",
     "run_trial",
 ]

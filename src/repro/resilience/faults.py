@@ -27,6 +27,13 @@ bind_texture ``Device.bind_texture`` (after the copy)      stt_bitflip
 launch     ``Device.launch`` (before validation)           launch_failure
 timeout    ``Device.launch`` (after pricing)               kernel_timeout
 ========== =============================================== ==================
+
+The epoch-swap path (:mod:`repro.serve.epoch`) pokes three more sites
+of its own — ``delta_apply`` (delta_corrupt), ``swap_verify``
+(swap_stt_mismatch), and ``rebuild`` (rebuild_timeout) — so chaos
+campaigns can fire faults mid-swap; the same design rule applies (the
+fault surfaces as the real :class:`~repro.errors.IntegrityError` /
+:class:`~repro.errors.KernelTimeoutError` the failure would produce).
 """
 
 from __future__ import annotations
@@ -49,12 +56,16 @@ class FaultKind(str, Enum):
     ALLOC_EXHAUSTION = "alloc_exhaustion"
     LAUNCH_FAILURE = "launch_failure"
     KERNEL_TIMEOUT = "kernel_timeout"
+    # Swap-path faults (poked by the EpochManager, not the Device):
+    DELTA_CORRUPT = "delta_corrupt"
+    SWAP_STT_MISMATCH = "swap_stt_mismatch"
+    REBUILD_TIMEOUT = "rebuild_timeout"
 
     def __str__(self) -> str:  # pragma: no cover - repr aid
         return self.value
 
 
-#: Which device injection site each fault kind attaches to.
+#: Which injection site each fault kind attaches to.
 SITE_OF: Dict[FaultKind, str] = {
     FaultKind.STT_BITFLIP: "bind_texture",
     FaultKind.INPUT_TRUNCATE: "copy_input",
@@ -62,9 +73,26 @@ SITE_OF: Dict[FaultKind, str] = {
     FaultKind.ALLOC_EXHAUSTION: "alloc",
     FaultKind.LAUNCH_FAILURE: "launch",
     FaultKind.KERNEL_TIMEOUT: "timeout",
+    FaultKind.DELTA_CORRUPT: "delta_apply",
+    FaultKind.SWAP_STT_MISMATCH: "swap_verify",
+    FaultKind.REBUILD_TIMEOUT: "rebuild",
 }
 
-#: All valid site names (the Device pokes exactly these).
+#: Fault kinds fired at the epoch-swap sites rather than device sites.
+#: They are excluded from the default device campaign (a plain scan
+#: never visits a swap site) and exercised by ``run_swap_campaign``.
+SWAP_FAULT_KINDS = (
+    FaultKind.DELTA_CORRUPT,
+    FaultKind.SWAP_STT_MISMATCH,
+    FaultKind.REBUILD_TIMEOUT,
+)
+
+#: Fault kinds fired at the simulated device's injection sites.
+DEVICE_FAULT_KINDS = tuple(
+    k for k in FaultKind if k not in SWAP_FAULT_KINDS
+)
+
+#: All valid site names (the Device and EpochManager poke exactly these).
 INJECTION_SITES = tuple(sorted(set(SITE_OF.values())))
 
 
@@ -151,6 +179,23 @@ class Fault:
             return staged
         return data
 
+    def mutate_blob(self, blob: bytes) -> bytes:
+        """DELTA_CORRUPT: return *blob* with garbled payload bytes.
+
+        The damage lands past the header so the container still parses
+        as a delta and the corruption is caught by the CRC32 trailer
+        (:class:`~repro.errors.IntegrityError`) — the production
+        detection path, not a special injected error.
+        """
+        rng = np.random.default_rng(self.seed)
+        staged = bytearray(blob)
+        lo = min(10, max(len(staged) - 1, 0))  # skip magic + version
+        if len(staged) > lo:
+            n = min(max(int(self.garble_bytes), 1), len(staged) - lo)
+            for pos in rng.integers(lo, len(staged), size=n):
+                staged[int(pos)] ^= int(rng.integers(1, 256))
+        return bytes(staged)
+
     def describe(self) -> str:
         """One-line summary for reports."""
         extra = {
@@ -158,6 +203,9 @@ class Fault:
             FaultKind.INPUT_TRUNCATE: f"drop={self.drop_bytes}B",
             FaultKind.INPUT_GARBLE: f"garble={self.garble_bytes}B",
             FaultKind.KERNEL_TIMEOUT: f"deadline={self.deadline_seconds}s",
+            FaultKind.DELTA_CORRUPT: f"garble={self.garble_bytes}B",
+            FaultKind.SWAP_STT_MISMATCH: f"bits={self.bits}",
+            FaultKind.REBUILD_TIMEOUT: f"deadline={self.deadline_seconds}s",
         }.get(self.kind, "")
         life = "persistent" if self.persistent else "one-shot"
         return (

@@ -32,6 +32,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.match import MatchResult
 from repro.core.pattern_set import PatternSet
 from repro.errors import DeviceError, IntegrityError, ReproError
@@ -132,6 +134,14 @@ class ResilientMatcher:
     backoff_base, backoff_cap:
         Exponential backoff: attempt *k* sleeps
         ``min(backoff_base * 2**(k-1), backoff_cap)`` seconds.
+    backoff_jitter, backoff_seed:
+        Optional full jitter on top of the exponential schedule: with
+        ``backoff_jitter=j`` the sleep is scaled by a factor drawn
+        uniformly from ``[1-j, 1]`` (``0 <= j <= 1``; default 0 — no
+        jitter, fully back-compatible).  The draws come from a private
+        RNG seeded with ``backoff_seed``, **never** from global
+        randomness, so a chaos-campaign replay with the same seed
+        reproduces every backoff bit-for-bit.
     case_insensitive:
         As for :class:`Matcher` (ignored when wrapping an existing one).
     injector:
@@ -161,6 +171,8 @@ class ResilientMatcher:
         max_retries: int = 2,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
         case_insensitive: bool = False,
         injector: Optional[FaultInjector] = None,
         device_config: Optional[DeviceConfig] = None,
@@ -179,6 +191,10 @@ class ResilientMatcher:
                 )
         if max_retries < 0:
             raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ReproError(
+                f"backoff_jitter must be in [0, 1], got {backoff_jitter}"
+            )
         if isinstance(patterns, Matcher):
             base = patterns
         else:
@@ -191,6 +207,9 @@ class ResilientMatcher:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.backoff_seed = backoff_seed
+        self._backoff_rng = np.random.default_rng(backoff_seed)
         self.injector = injector
         self.device_config = device_config
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -223,7 +242,13 @@ class ResilientMatcher:
         )
 
     def _backoff(self, attempt: int) -> float:
-        return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+        base = min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+        if self.backoff_jitter == 0.0:
+            return base
+        # Full jitter, seeded: scale by U[1-j, 1] from the pipeline's
+        # private RNG so campaign replays are bit-reproducible.
+        lo = 1.0 - self.backoff_jitter
+        return base * float(self._backoff_rng.uniform(lo, 1.0))
 
     def _fault_log(self) -> List[str]:
         if self.injector is None:

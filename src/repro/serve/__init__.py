@@ -1,4 +1,4 @@
-"""Serving layer: batched, pipelined, cached scan scheduling.
+"""Serving layer: batched, pipelined, cached scan scheduling + hot-swap.
 
 The library's scan path is one-shot: build an automaton, bind it,
 scan a text.  A serving front end amortizes all three across many
@@ -13,6 +13,13 @@ modeled dual-stream copy/compute pipeline (docs/MODEL.md §8).
     >>> t2 = s.submit(["he", "she"], "checkers")
     >>> len(t1.result()), len(t2.result())
     (2, 1)
+
+Rule sets evolve while the service runs: :class:`PatternSetRegistry`
+versions each named dictionary (content-addressed, with delta lineage)
+and :class:`EpochManager` hot-swaps automaton versions with zero
+downtime — in-flight batches finish on the epoch they were admitted
+under, new submissions take the new one, and any fault mid-swap aborts
+back to the last good epoch (docs/MODEL.md §10).
 """
 
 from repro.serve.cache import (
@@ -20,6 +27,14 @@ from repro.serve.cache import (
     CacheEntry,
     pattern_set_digest,
 )
+from repro.serve.epoch import (
+    Epoch,
+    EpochLease,
+    EpochManager,
+    EpochState,
+    SwapReport,
+)
+from repro.serve.registry import PatternSetRegistry, VersionRecord
 from repro.serve.scheduler import (
     BatchReport,
     PipelineTiming,
@@ -33,10 +48,16 @@ __all__ = [
     "AutomatonCache",
     "BatchReport",
     "CacheEntry",
+    "Epoch",
+    "EpochLease",
+    "EpochManager",
+    "EpochState",
+    "PatternSetRegistry",
     "PipelineTiming",
     "SCHEDULER_BACKENDS",
     "ScanRequest",
     "ScanScheduler",
     "ScanTicket",
-    "pattern_set_digest",
+    "SwapReport",
+    "VersionRecord",
 ]

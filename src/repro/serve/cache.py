@@ -114,6 +114,7 @@ class AutomatonCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -127,9 +128,30 @@ class AutomatonCache:
         return tuple(self._entries)
 
     def get(self, digest: str) -> Optional[CacheEntry]:
-        """The entry for *digest* (refreshing its recency), or None."""
+        """The verified entry for *digest* (refreshing its recency), or None.
+
+        Every hit is re-verified against the entry's build-time row
+        CRCs.  A corrupted entry (bit rot, a stray write) is **evicted,
+        not raised**: the lookup degrades to a miss, so the caller's
+        build path produces a fresh, correct automaton — self-healing
+        instead of wedging every future request on that digest.
+        """
         entry = self._entries.get(digest)
         if entry is None:
+            return None
+        try:
+            entry.verify()
+        except IntegrityError:
+            del self._entries[digest]
+            self.corrupt_evictions += 1
+            self.metrics.counter(
+                "automaton_cache_corrupt_evictions_total",
+                "cache entries evicted after failing CRC verification",
+            ).inc()
+            self.tracer.event("cache_corrupt_evict", digest=digest[:12])
+            self.metrics.gauge(
+                "automaton_cache_entries", "resident cached automata"
+            ).set(len(self._entries))
             return None
         self._entries.move_to_end(digest)
         entry.hits += 1

@@ -45,6 +45,7 @@ from repro.errors import ReproError
 from repro.matcher import Matcher
 from repro.obs import KernelProfiler, NULL_METRICS, NULL_TRACER
 from repro.serve.cache import AutomatonCache, pattern_set_digest
+from repro.serve.epoch import Epoch, EpochLease, EpochManager
 
 #: Backends the scheduler can drive a batch on.
 SCHEDULER_BACKENDS = ("gpu", "serial", "double_array")
@@ -52,13 +53,21 @@ SCHEDULER_BACKENDS = ("gpu", "serial", "double_array")
 
 @dataclass(frozen=True)
 class ScanRequest:
-    """One queued scan: a dictionary reference plus input bytes."""
+    """One queued scan: a dictionary reference plus input bytes.
+
+    ``lease`` is set only for requests admitted through
+    :meth:`ScanScheduler.submit_named`: it pins the epoch (hence the
+    exact automaton version) the request was admitted under, however
+    many hot-swaps land before its batch runs.  The scheduler releases
+    it when the batch drains.
+    """
 
     request_id: int
     digest: str
     patterns: PatternSet
     text: Union[bytes, str]
     case_insensitive: bool = False
+    lease: Optional["EpochLease"] = None
 
     @property
     def n_bytes(self) -> int:
@@ -181,6 +190,13 @@ class ScanScheduler:
         matcher this scheduler builds (default: the engine's).  Peak
         batch-scan memory is O(lanes × tile_len) regardless of how
         large a batch buffer the requests concatenate into.
+    epochs:
+        Optional :class:`~repro.serve.epoch.EpochManager` enabling the
+        named-submission path (:meth:`submit_named`): a request
+        resolves its automaton *version* at admission time and holds a
+        refcounted lease on that epoch until its batch drains, so a
+        hot-swap landing mid-queue never changes what an already
+        admitted request matches against.
     """
 
     def __init__(
@@ -196,6 +212,7 @@ class ScanScheduler:
         metrics=None,
         profiler=None,
         tile_len: Optional[int] = None,
+        epochs: Optional[EpochManager] = None,
     ):
         if backend not in SCHEDULER_BACKENDS:
             raise ReproError(
@@ -219,8 +236,10 @@ class ScanScheduler:
         self.cache = cache if cache is not None else AutomatonCache(
             cache_capacity, metrics=self.metrics, tracer=self.tracer
         )
+        self.epochs = epochs
         self._pending: List[Tuple[ScanRequest, ScanTicket]] = []
         self._matchers: Dict[str, Matcher] = {}
+        self._epoch_matchers: Dict[str, Tuple[Matcher, Epoch]] = {}
         self._next_id = 0
         self.reports: List[BatchReport] = []
 
@@ -256,6 +275,35 @@ class ScanScheduler:
             text=text,
             case_insensitive=case_insensitive,
         )
+        return self._enqueue(request)
+
+    def submit_named(
+        self, name: str, text: Union[bytes, str]
+    ) -> ScanTicket:
+        """Queue one scan against the registered rule set *name*.
+
+        The request is admitted under the epoch active **now** — its
+        version contract.  Swaps that land before the batch runs do not
+        retarget it; its lease keeps the admitted epoch's table alive
+        until the batch drains.
+        """
+        if self.epochs is None:
+            raise ReproError(
+                "submit_named requires an EpochManager; construct the "
+                "scheduler with ScanScheduler(epochs=...)"
+            )
+        lease = self.epochs.admit(name)
+        epoch = lease.epoch
+        request = ScanRequest(
+            request_id=self._next_id,
+            digest=epoch.digest,
+            patterns=epoch.patterns,
+            text=text,
+            lease=lease,
+        )
+        return self._enqueue(request)
+
+    def _enqueue(self, request: ScanRequest) -> ScanTicket:
         self._next_id += 1
         ticket = ScanTicket(self, request)
         self._pending.append((request, ticket))
@@ -280,6 +328,15 @@ class ScanScheduler:
             self.submit(patterns, t, case_insensitive=case_insensitive)
             for t in texts
         ]
+        self.drain()
+        return [t.result() for t in tickets]
+
+    def scan_many_named(
+        self, name: str, texts: Sequence[Union[bytes, str]]
+    ) -> List[MatchResult]:
+        """Submit *texts* against rule set *name* and drain; results in
+        input order (all admitted under the same epoch)."""
+        tickets = [self.submit_named(name, t) for t in texts]
         self.drain()
         return [t.result() for t in tickets]
 
@@ -319,12 +376,38 @@ class ScanScheduler:
             n_batches=len(batches),
         ):
             for batch in batches:
-                reports.append(self._run_batch(batch))
+                try:
+                    reports.append(self._run_batch(batch))
+                finally:
+                    self._release_batch(batch)
         self.metrics.gauge(
             "serve_queue_depth", "requests waiting to be batched"
         ).set(0)
         self.reports.extend(reports)
         return reports
+
+    def _release_batch(self, batch) -> None:
+        """Release every epoch lease the batch held.
+
+        This is the refcount drain that lets the epoch manager retire a
+        superseded epoch (freeing its STT) the moment its last in-flight
+        batch completes.  Matchers pinned to epochs that no longer hold
+        tables are dropped with them.
+        """
+        if self.epochs is None:
+            return
+        released = False
+        for request, _ in batch:
+            if request.lease is not None:
+                self.epochs.release(request.lease)
+                released = True
+        if released:
+            for digest in [
+                d
+                for d, (_, epoch) in self._epoch_matchers.items()
+                if not epoch.holds_table
+            ]:
+                del self._epoch_matchers[digest]
 
     # -- execution -------------------------------------------------------
 
@@ -333,14 +416,20 @@ class ScanScheduler:
 
         ``bind_resident`` is True when the digest's matcher already has
         its STT texture-bound from a previous batch — the repeat-path
-        that skips both build and bind.
+        that skips both build and bind.  Epoch-leased requests bypass
+        the LRU cache: their automaton is the leased epoch's verified
+        table (one per live epoch, dropped at retirement), so two
+        versions of one rule set can serve side by side during a swap.
         """
+        if request.lease is not None:
+            return self._epoch_matcher_for(request)
         digest = request.digest
         matcher = self._matchers.get(digest)
         if matcher is not None:
+            # cache.get re-verifies row checksums; a corrupted entry
+            # comes back as a miss (evicted) and is rebuilt below.
             entry = self.cache.get(digest)
             if entry is not None:
-                entry.verify()
                 bind_resident = (
                     matcher.device is not None
                     and matcher.device.texture is not None
@@ -351,7 +440,6 @@ class ScanScheduler:
         entry, hit = self.cache.get_or_build(
             request.patterns, case_insensitive=request.case_insensitive
         )
-        entry.verify()
         matcher = Matcher.from_dfa(
             entry.dfa,
             backend=self.backend,
@@ -374,6 +462,39 @@ class ScanScheduler:
         for stale in [d for d in self._matchers if d not in self.cache]:
             del self._matchers[stale]
         return matcher, hit, False
+
+    def _epoch_matcher_for(
+        self, request: ScanRequest
+    ) -> Tuple[Matcher, bool, bool]:
+        """Matcher pinned to the request's leased epoch."""
+        epoch = request.lease.epoch
+        cached = self._epoch_matchers.get(request.digest)
+        if cached is not None:
+            matcher, _ = cached
+            bind_resident = (
+                matcher.device is not None
+                and matcher.device.texture is not None
+            )
+            return matcher, True, bind_resident
+        built = self.epochs.built_for(epoch)
+        matcher = Matcher.from_dfa(
+            built.dfa,
+            backend=self.backend,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+            tile_len=self.tile_len,
+        )
+        if self.backend == "gpu":
+            from repro.gpu.device import Device
+
+            matcher.device = Device(
+                self.device_config,
+                injector=self.injector,
+                tracer=self.tracer,
+            )
+        self._epoch_matchers[request.digest] = (matcher, epoch)
+        return matcher, False, False
 
     def _run_batch(self, batch) -> BatchReport:
         requests = [r for r, _ in batch]

@@ -1,0 +1,274 @@
+"""Delta (incremental) automaton builds vs from-scratch ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DFA,
+    AhoCorasickAutomaton,
+    DeltaBuilder,
+    PatternDelta,
+    PatternSet,
+    canonical_fingerprint,
+    dfa_equivalent,
+)
+from repro.core.integrity import stt_row_checksums, verify_row_checksums
+from repro.errors import DeltaError, IntegrityError, SerializationError
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+BASE = ["he", "she", "his", "hers"]
+
+
+def _scan(dfa: DFA, text: bytes):
+    """All (end, pid) matches by direct STT walk — oracle-comparable."""
+    out = []
+    state = 0
+    table = dfa.stt.table
+    for pos, byte in enumerate(text):
+        state = int(table[state, byte])
+        for pid in dfa.outputs_of(state):
+            out.append((pos, int(pid)))
+    out.sort()
+    return out
+
+
+def _texts():
+    return [
+        b"ushers say she is his hero",
+        b"hishershehe",
+        b"xxxxxxx",
+        b"hehehehehehe",
+        b"",
+    ]
+
+
+def _check_delta(base_patterns, added=(), removed=()):
+    """Apply a delta and cross-check against a from-scratch build."""
+    base = DeltaBuilder.full(PatternSet.from_strings(base_patterns))
+    delta = PatternDelta.from_strings(added=added, removed=removed)
+    version = DeltaBuilder.apply(base, delta, validate=True)
+    new_patterns = delta.apply_to(base.patterns)
+    scratch = DFA.build(new_patterns)
+    assert version.patterns == new_patterns
+    for text in _texts():
+        assert _scan(version.dfa, text) == _scan(scratch, text), text
+    # Oracle cross-check: the NFA-style matcher on the new dictionary.
+    ac = AhoCorasickAutomaton.build(new_patterns)
+    for text in _texts():
+        assert _scan(version.dfa, text) == ac.match(text)
+    return version, scratch
+
+
+class TestPatternDelta:
+    def test_apply_to_order_is_kept_then_added(self):
+        ps = PatternSet.from_strings(["a", "b", "c"])
+        delta = PatternDelta.from_strings(added=["d"], removed=["b"])
+        new = delta.apply_to(ps)
+        assert new.as_bytes_list() == [b"a", b"c", b"d"]
+
+    def test_validation_rejects_bad_deltas(self):
+        ps = PatternSet.from_strings(["a", "b"])
+        with pytest.raises(DeltaError):
+            PatternDelta()  # empty
+        with pytest.raises(DeltaError):
+            PatternDelta.from_strings(added=["a"], removed=["a"])
+        with pytest.raises(DeltaError):
+            PatternDelta.from_strings(added=["x", "x"])
+        with pytest.raises(DeltaError):
+            PatternDelta.from_strings(added=[""])
+        with pytest.raises(DeltaError):
+            PatternDelta.from_strings(removed=["zz"]).apply_to(ps)
+        with pytest.raises(DeltaError):
+            PatternDelta.from_strings(added=["a"]).apply_to(ps)
+
+    def test_roundtrip_serialization(self):
+        delta = PatternDelta.from_strings(added=["abc", "x"], removed=["he"])
+        blob = delta.to_bytes()
+        back = PatternDelta.from_bytes(blob)
+        assert back == delta
+
+    def test_corrupt_blob_raises_integrity_error(self):
+        blob = bytearray(PatternDelta.from_strings(added=["abc"]).to_bytes())
+        blob[12] ^= 0x40
+        with pytest.raises(IntegrityError):
+            PatternDelta.from_bytes(bytes(blob))
+
+    def test_truncated_and_foreign_blobs(self):
+        blob = PatternDelta.from_strings(added=["abc"]).to_bytes()
+        with pytest.raises(SerializationError):
+            PatternDelta.from_bytes(blob[:10])
+        with pytest.raises(SerializationError):
+            PatternDelta.from_bytes(b"NOTDELTA" + blob[8:])
+
+    def test_churn(self):
+        d = PatternDelta.from_strings(added=["a", "b"], removed=["c"])
+        assert d.churn == 3
+        assert "+2 -1" in d.describe()
+
+
+class TestDeltaBuilder:
+    def test_add_only_is_byte_identical_to_scratch(self):
+        version, scratch = _check_delta(BASE, added=["ushers", "hi"])
+        # Add-only deltas allocate states in the same insertion order a
+        # scratch build would, so even the raw table matches.
+        assert version.dfa.n_states == scratch.n_states
+        assert np.array_equal(version.dfa.stt.table, scratch.stt.table)
+        assert np.array_equal(
+            version.row_checksums, stt_row_checksums(scratch.stt)
+        )
+
+    def test_remove_leaves_husks_but_equivalent(self):
+        version, scratch = _check_delta(BASE, removed=["his"])
+        assert version.stats.husk_states > 0
+        assert version.live_states == scratch.n_states
+        assert dfa_equivalent(version.dfa, scratch)
+
+    def test_remove_prefix_pattern_keeps_states(self):
+        # "he" ends at an interior state of "hers": no states die.
+        version, _ = _check_delta(BASE, removed=["he"])
+        assert version.stats.husk_states == 0
+
+    def test_add_and_remove_combined(self):
+        _check_delta(BASE, added=["user", "shell"], removed=["she", "his"])
+
+    def test_husk_ids_are_recycled(self):
+        base = DeltaBuilder.full(PatternSet.from_strings(BASE))
+        v1 = DeltaBuilder.apply(
+            base, PatternDelta.from_strings(removed=["his"]), validate=True
+        )
+        assert v1.stats.husk_states > 0
+        v2 = DeltaBuilder.apply(
+            v1, PatternDelta.from_strings(added=["hit"]), validate=True
+        )
+        # The new states reuse pruned ids before growing the table.
+        assert v2.n_states == base.n_states
+        assert v2.stats.husk_states < v1.stats.husk_states
+
+    def test_chained_deltas_stay_equivalent(self):
+        version = DeltaBuilder.full(PatternSet.from_strings(BASE))
+        edits = [
+            (["ushers"], []),
+            ([], ["he"]),
+            (["hero", "herald"], ["his"]),
+            (["x"], ["ushers"]),
+        ]
+        for added, removed in edits:
+            delta = PatternDelta.from_strings(added=added, removed=removed)
+            version = DeltaBuilder.apply(version, delta, validate=True)
+        scratch = DFA.build(version.patterns)
+        assert dfa_equivalent(version.dfa, scratch)
+        for text in _texts():
+            assert _scan(version.dfa, text) == _scan(scratch, text)
+
+    def test_row_checksums_match_full_recompute(self):
+        version, _ = _check_delta(BASE, added=["ushery"], removed=["hers"])
+        assert verify_row_checksums(
+            version.dfa.stt.table, version.row_checksums
+        ) == []
+        assert np.array_equal(
+            version.row_checksums, stt_row_checksums(version.dfa.stt)
+        )
+
+    def test_base_version_is_not_mutated(self):
+        base = DeltaBuilder.full(PatternSet.from_strings(BASE))
+        table_before = base.dfa.stt.table.copy()
+        children_before = [dict(d) for d in base.children]
+        delta = PatternDelta.from_strings(added=["shells"], removed=["his"])
+        DeltaBuilder.apply(base, delta)
+        assert np.array_equal(base.dfa.stt.table, table_before)
+        assert base.children == children_before
+        assert verify_row_checksums(base.dfa.stt.table, base.row_checksums) == []
+
+    def test_pattern_ids_shift_on_removal(self):
+        version, scratch = _check_delta(BASE, removed=["he"])
+        # "she" was pid 1, now pid 0 — matches must report the new ids.
+        got = _scan(version.dfa, b"she")
+        assert got == _scan(scratch, b"she")
+        assert got == [(2, 0)]  # she = pid 0 after "he" is removed
+
+    def test_stats_report_reuse(self):
+        pats = ["ab%03d" % i for i in range(200)]
+        base = DeltaBuilder.full(PatternSet.from_strings(pats))
+        # Shares the "ab" prefix, so the dirty set stays local; a novel
+        # first byte would genuinely rewrite one column of every row.
+        delta = PatternDelta.from_strings(added=["ab200"])
+        version = DeltaBuilder.apply(base, delta, validate=True)
+        assert version.stats.mode == "delta"
+        assert version.stats.reused_rows > version.stats.dirty_rows
+        assert version.stats.churn == 1
+
+    def test_garbage_fraction(self):
+        base = DeltaBuilder.full(PatternSet.from_strings(BASE))
+        assert base.garbage_fraction == 0.0
+        v1 = DeltaBuilder.apply(
+            base, PatternDelta.from_strings(removed=["his"])
+        )
+        assert 0.0 < v1.garbage_fraction < 1.0
+
+
+class TestCanonicalFingerprint:
+    def test_same_dfa_same_fingerprint(self):
+        a = DFA.build(PatternSet.from_strings(BASE))
+        b = DFA.build(PatternSet.from_strings(BASE))
+        assert dfa_equivalent(a, b)
+
+    def test_different_language_differs(self):
+        a = DFA.build(PatternSet.from_strings(BASE))
+        b = DFA.build(PatternSet.from_strings(["he", "she", "his"]))
+        assert not dfa_equivalent(a, b)
+
+    def test_renumbering_invariance(self):
+        # Same language, different insertion order => different state
+        # numbering but identical canonical fingerprints...
+        a = DFA.build(PatternSet.from_strings(["he", "she", "his", "hers"]))
+        b = DFA.build(PatternSet.from_strings(["his", "hers", "she", "he"]))
+        fa = canonical_fingerprint(a)
+        fb = canonical_fingerprint(b)
+        assert fa.shape == fb.shape
+        # ...except the output *ids* are positional, which the
+        # fingerprint must see: permuted dictionaries are not the same
+        # machine from a caller's perspective.
+        assert not np.array_equal(fa, fb)
+        c = DFA.build(PatternSet.from_strings(["he", "she", "his", "hers"]))
+        assert np.array_equal(fa, canonical_fingerprint(c))
+
+
+if HAVE_HYPOTHESIS:
+
+    short_pat = st.text(alphabet="abc", min_size=1, max_size=5)
+
+    @given(
+        base=st.lists(short_pat, min_size=1, max_size=12, unique=True),
+        extra=st.lists(short_pat, min_size=0, max_size=6, unique=True),
+        data=st.data(),
+    )
+    @settings(deadline=None)
+    def test_fuzz_delta_equals_scratch(base, extra, data):
+        """Random add/remove deltas are always equivalent to scratch."""
+        added = [p for p in extra if p not in base]
+        removable = data.draw(
+            st.lists(st.sampled_from(base), max_size=len(base) - 1, unique=True)
+            if len(base) > 1
+            else st.just([])
+        )
+        if not added and not removable:
+            return
+        built = DeltaBuilder.full(PatternSet.from_strings(base))
+        delta = PatternDelta.from_strings(added=added, removed=removable)
+        version = DeltaBuilder.apply(built, delta, validate=True)
+        scratch = DFA.build(delta.apply_to(built.patterns))
+        text = data.draw(st.text(alphabet="abc", max_size=60)).encode("latin-1")
+        assert _scan(version.dfa, text) == _scan(scratch, text)
+        assert verify_row_checksums(
+            version.dfa.stt.table, version.row_checksums
+        ) == []

@@ -11,7 +11,14 @@ not vacuously holding on an always-failing pipeline.
 
 import pytest
 
-from repro.resilience import FaultKind, run_campaign, run_trial
+from repro.resilience import (
+    SWAP_FAULT_KINDS,
+    FaultKind,
+    run_campaign,
+    run_swap_campaign,
+    run_swap_trial,
+    run_trial,
+)
 from repro.resilience.campaign import (
     STATUS_EXACT,
     STATUS_SILENT_MISMATCH,
@@ -95,3 +102,43 @@ def test_per_kind_smoke(kind):
     assert full.ok
     gpu_only = run_trial(kind, seed=5, chain=("gpu",))
     assert gpu_only.ok
+
+
+class TestSwapCampaign:
+    """Mid-swap chaos: the invariant extends to admitted-version oracles."""
+
+    @pytest.fixture(scope="class")
+    def swap_campaign(self):
+        return run_swap_campaign(trials_per_kind=12, seed=2013)
+
+    def test_swap_invariant_holds(self, swap_campaign):
+        assert swap_campaign.ok
+        assert swap_campaign.count(STATUS_SILENT_MISMATCH) == 0
+        assert swap_campaign.count(STATUS_UNTYPED_ERROR) == 0
+
+    def test_only_swap_kinds_run(self, swap_campaign):
+        assert set(o.kind for o in swap_campaign.outcomes) == set(
+            SWAP_FAULT_KINDS
+        )
+
+    def test_swap_faults_fire(self, swap_campaign):
+        for kind in SWAP_FAULT_KINDS:
+            fired = [o for o in swap_campaign.outcomes
+                     if o.kind is kind and o.faults_fired > 0]
+            assert fired, f"no trial ever fired a {kind.value} fault"
+
+    def test_swap_trial_reproducible(self):
+        a = run_swap_trial(FaultKind.DELTA_CORRUPT, seed=31)
+        b = run_swap_trial(FaultKind.DELTA_CORRUPT, seed=31)
+        assert a == b
+
+    def test_run_trial_dispatches_swap_kinds(self):
+        outcome = run_trial(FaultKind.SWAP_STT_MISMATCH, seed=11)
+        assert outcome.kind is FaultKind.SWAP_STT_MISMATCH
+        assert outcome.ok
+
+    def test_aborted_swaps_surface_as_typed_errors(self, swap_campaign):
+        typed = [o for o in swap_campaign.outcomes
+                 if o.status == STATUS_TYPED_ERROR]
+        assert typed  # injected swap faults must abort loudly somewhere
+        assert all(o.error_type for o in typed)

@@ -21,6 +21,7 @@ from repro.resilience import (
     FaultPlan,
     INJECTION_SITES,
 )
+from repro.resilience.faults import DEVICE_FAULT_KINDS, SWAP_FAULT_KINDS
 
 PATTERNS = PatternSet.from_strings(["he", "she", "his", "hers"])
 TEXT = b"ushers and sheriffs " * 100
@@ -117,13 +118,18 @@ class TestDeviceFaultSurface:
             self.run(dfa, FaultKind.INPUT_GARBLE)
 
     def test_every_fault_is_a_typed_repro_error(self, dfa):
-        for kind in FaultKind:
+        for kind in DEVICE_FAULT_KINDS:
             with pytest.raises(ReproError):
                 self.run(dfa, kind)
 
+    def test_device_and_swap_kinds_partition_faultkind(self):
+        """Every fault class is reachable from exactly one surface."""
+        assert set(DEVICE_FAULT_KINDS) | set(SWAP_FAULT_KINDS) == set(FaultKind)
+        assert not set(DEVICE_FAULT_KINDS) & set(SWAP_FAULT_KINDS)
+
     def test_failed_runs_release_device_memory(self, dfa):
         """No fault class may leak simulated allocations."""
-        for kind in FaultKind:
+        for kind in DEVICE_FAULT_KINDS:
             inj = FaultInjector(FaultPlan.single(kind))
             dev = Device(injector=inj)
             with pytest.raises(ReproError):

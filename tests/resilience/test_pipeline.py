@@ -160,3 +160,79 @@ class TestMatcherIntegration:
 
     def test_default_chain_constant(self):
         assert DEFAULT_CHAIN == ("gpu", "double_array", "serial")
+
+
+class TestBackoffJitter:
+    """S2: jitter is seeded, deterministic, and bounded."""
+
+    def _jittered(self, seed, n=4):
+        sleeps = []
+        rm = ResilientMatcher(
+            PATTERNS,
+            injector=FaultInjector(
+                FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True)
+            ),
+            chain=("gpu", "serial"),
+            max_retries=n,
+            backoff_base=0.01,
+            backoff_cap=0.08,
+            backoff_jitter=0.5,
+            backoff_seed=seed,
+            sleep=sleeps.append,
+        )
+        rm.scan(TEXT)
+        return sleeps
+
+    def test_same_seed_replays_bit_identically(self):
+        assert self._jittered(7) == self._jittered(7)
+
+    def test_different_seeds_differ(self):
+        assert self._jittered(7) != self._jittered(8)
+
+    def test_jitter_bounded_below_base_schedule(self):
+        sleeps = self._jittered(3)
+        bases = [0.01, 0.02, 0.04, 0.08]
+        assert len(sleeps) == len(bases)
+        for got, base in zip(sleeps, bases):
+            # Full-jitter draw from U[1 - j, 1] with j = 0.5.
+            assert 0.5 * base <= got <= base
+
+    def test_zero_jitter_keeps_exact_schedule(self):
+        sleeps = []
+        rm = ResilientMatcher(
+            PATTERNS,
+            injector=FaultInjector(
+                FaultPlan.single(FaultKind.LAUNCH_FAILURE, persistent=True)
+            ),
+            chain=("gpu", "serial"),
+            max_retries=2,
+            backoff_base=0.01,
+            backoff_cap=1.0,
+            backoff_jitter=0.0,
+            backoff_seed=123,  # irrelevant without jitter
+            sleep=sleeps.append,
+        )
+        rm.scan(TEXT)
+        assert sleeps == [0.01, 0.02]
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ReproError, match="jitter"):
+            ResilientMatcher(PATTERNS, backoff_jitter=1.5)
+        with pytest.raises(ReproError, match="jitter"):
+            ResilientMatcher(PATTERNS, backoff_jitter=-0.1)
+
+    def test_jitter_recorded_in_health(self):
+        rm = ResilientMatcher(
+            PATTERNS,
+            injector=FaultInjector(
+                FaultPlan.single(FaultKind.LAUNCH_FAILURE)
+            ),
+            backoff_base=0.01,
+            backoff_jitter=0.5,
+            backoff_seed=9,
+            sleep=lambda s: None,
+        )
+        _, health = rm.scan_with_health(TEXT)
+        assert health.total_backoff_seconds > 0
+        slept = [a.backoff_seconds for a in health.attempts if not a.ok]
+        assert all(0.005 <= s <= 0.01 for s in slept)

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import DFA, PatternSet
-from repro.core.integrity import stt_row_checksums
+from repro.core.integrity import stt_row_checksums, verify_row_checksums
 from repro.errors import IntegrityError, ReproError
 from repro.obs import Metrics, Tracer
 from repro.serve import AutomatonCache, pattern_set_digest
@@ -165,3 +165,48 @@ class TestCacheFuzz:
             model.append(digest)
             del model[:-capacity]
             assert list(cache.digests) == model
+
+
+class TestCorruptEntryRecovery:
+    """S1: checksum mismatch at lookup evicts and rebuilds, never raises."""
+
+    def _flip_bit(self, entry) -> None:
+        table = entry.dfa.stt.table
+        table.setflags(write=True)
+        try:
+            table[1, 3] ^= 0x10  # injected bit-flip fault
+        finally:
+            table.setflags(write=False)
+
+    def test_corrupt_hit_degrades_to_miss(self):
+        metrics = Metrics()
+        cache = AutomatonCache(4, metrics=metrics)
+        entry, _ = cache.get_or_build(["he", "she"])
+        digest = entry.digest
+        self._flip_bit(entry)
+        assert cache.get(digest) is None  # evicted, not raised
+        assert digest not in cache
+        assert cache.corrupt_evictions == 1
+        doc = metrics.as_dict()
+        assert any("corrupt_evictions" in k for k in doc)
+
+    def test_rebuild_after_corruption_is_correct(self):
+        cache = AutomatonCache(4)
+        patterns = ["he", "she", "his", "hers"]
+        entry, _ = cache.get_or_build(patterns)
+        self._flip_bit(entry)
+        healed, was_hit = cache.get_or_build(patterns)
+        assert not was_hit  # the corrupt entry could not serve the hit
+        fresh = DFA.build(PatternSet.from_strings(patterns))
+        assert np.array_equal(healed.dfa.stt.table, fresh.stt.table)
+        assert not verify_row_checksums(
+            healed.dfa.stt.table, healed.row_checksums
+        )
+
+    def test_clean_entries_survive_a_neighbors_corruption(self):
+        cache = AutomatonCache(4)
+        bad, _ = cache.get_or_build(["he", "she"])
+        good, _ = cache.get_or_build(["his", "hers"])
+        self._flip_bit(bad)
+        assert cache.get(bad.digest) is None
+        assert cache.get(good.digest) is good

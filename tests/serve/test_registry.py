@@ -1,0 +1,95 @@
+"""PatternSetRegistry: versioning, lineage, and content addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delta import PatternDelta
+from repro.errors import SwapError
+from repro.serve import PatternSetRegistry
+
+
+class TestRegister:
+    def test_first_version_is_root(self):
+        reg = PatternSetRegistry()
+        rec = reg.register("ids", ["he", "she"])
+        assert rec.version == 1
+        assert rec.is_root
+        assert rec.parent_digest is None
+
+    def test_head_tracks_latest(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["he"])
+        rec2 = reg.register("ids", ["he", "she"])
+        assert reg.head("ids") is rec2
+
+    def test_noop_reregistration_refused(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["he", "she"])
+        with pytest.raises(SwapError, match="no-op"):
+            reg.register("ids", ["he", "she"])
+
+    def test_names_are_independent(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["he"])
+        reg.register("av", ["virus"])
+        assert sorted(reg.names) == ["av", "ids"]
+        assert reg.head("ids").version == 1
+        assert reg.head("av").version == 1
+
+    def test_unknown_name_raises(self):
+        reg = PatternSetRegistry()
+        with pytest.raises(SwapError):
+            reg.head("nope")
+
+
+class TestDerive:
+    def test_derive_records_parent_and_delta(self):
+        reg = PatternSetRegistry()
+        rec1 = reg.register("ids", ["he", "she"])
+        delta = PatternDelta.from_strings(added=["hers"])
+        rec2 = reg.derive("ids", delta)
+        assert rec2.version == 2
+        assert rec2.parent_digest == rec1.digest
+        assert rec2.delta is delta
+        assert set(rec2.patterns.as_bytes_list()) == {b"he", b"she", b"hers"}
+
+    def test_digest_is_content_addressed(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["he"])
+        rec2 = reg.derive("ids", PatternDelta.from_strings(added=["she"]))
+        other = PatternSetRegistry()
+        same = other.register("x", ["he", "she"])
+        assert rec2.digest == same.digest
+
+    def test_by_digest_lookup(self):
+        reg = PatternSetRegistry()
+        rec = reg.register("ids", ["he"])
+        assert reg.by_digest(rec.digest) is rec
+
+    def test_lineage_walks_to_root(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["a"])
+        reg.derive("ids", PatternDelta.from_strings(added=["b"]))
+        reg.derive("ids", PatternDelta.from_strings(added=["c"]))
+        chain = reg.lineage("ids")
+        assert [r.version for r in chain] == [3, 2, 1]
+
+    def test_new_root_cuts_lineage(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["a"])
+        reg.derive("ids", PatternDelta.from_strings(added=["b"]))
+        reg.register("ids", ["a"])  # rollback-style root re-registration
+        chain = reg.lineage("ids")
+        assert [r.version for r in chain] == [3]
+        assert chain[0].is_root
+
+    def test_get_specific_version(self):
+        reg = PatternSetRegistry()
+        reg.register("ids", ["a"])
+        reg.derive("ids", PatternDelta.from_strings(added=["b"]))
+        assert reg.get("ids", 1).version == 1
+        assert "ids" in reg
+        assert "other" not in reg
+        with pytest.raises(SwapError):
+            reg.get("ids", 3)
