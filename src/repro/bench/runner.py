@@ -205,6 +205,7 @@ class ExperimentRunner:
         shared_chunk_bytes: int = 64,
         wave_correction: bool = False,
         tile_len: Optional[int] = None,
+        mt_workers: int = 0,
         collector=None,
         tracer=None,
         profiler=None,
@@ -229,6 +230,13 @@ class ExperimentRunner:
         #: exposes the small-input underutilization the paper's 50 KB
         #: cells really suffer (see repro.analysis.waves).
         self.wave_correction = wave_correction
+        #: Core count priced into the ``serial_mt`` baseline (0 → the
+        #: modeled chip's full core count, ``cpu.n_cores``).  The bench
+        #: cells stay deterministic — ``serial_mt`` is priced by the
+        #: :func:`~repro.bench.cpu_model.multicore_cost` contention
+        #: model, while :meth:`measure_serial_mt` measures the real
+        #: thread-pool matcher for cross-validation.
+        self.mt_workers = mt_workers
         self.collector = collector
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional :class:`~repro.obs.KernelProfiler`: every *fresh*
@@ -250,6 +258,7 @@ class ExperimentRunner:
             "shared_chunk_bytes": self.shared_chunk_bytes,
             "wave_correction": self.wave_correction,
             "tile_len": self.tile_len,
+            "mt_workers": self.mt_workers,
         }
 
     def _config_key(self) -> tuple:
@@ -266,6 +275,7 @@ class ExperimentRunner:
             self.shared_chunk_bytes,
             self.wave_correction,
             self.tile_len,
+            self.mt_workers,
             self.params,
         )
 
@@ -392,7 +402,9 @@ class ExperimentRunner:
         if "serial_mt" in kernels:
             from repro.bench.cpu_model import multicore_cost
 
-            out.serial_mt = multicore_cost(out.serial, self.cpu)
+            out.serial_mt = multicore_cost(
+                out.serial, self.cpu, n_cores=self.mt_workers
+            )
         if "global" in kernels:
             r = run_global_kernel(
                 dfa,
@@ -445,6 +457,33 @@ class ExperimentRunner:
             )
             out.kernels["pfac"] = self._scaled(r, cell)
         return out
+
+    def measure_serial_mt(
+        self,
+        size_label: str,
+        n_patterns: int,
+        *,
+        workers: int = 0,
+        repeats: int = 3,
+    ):
+        """Wall-clock-measure the real multicore matcher on a cell's data.
+
+        Runs :func:`repro.core.multicore.measure_multicore` over the
+        same simulated corpus bytes the cell's modeled baselines are
+        priced from.  This is the cross-validation leg for the
+        ``serial_mt`` slots: the committed bench numbers come from the
+        deterministic contention model, and CI measures the real
+        thread pool on the same data to keep the model honest
+        (``repro-ac cpubench``).
+        """
+        from repro.core.multicore import measure_multicore
+
+        cell = self.factory.cell(size_label, n_patterns)
+        dfa = self.dfa_for(n_patterns)
+        workers = workers or self.mt_workers or self.cpu.n_cores
+        return measure_multicore(
+            dfa, cell.data, workers=workers, repeats=repeats
+        )
 
     def run_grid(
         self,

@@ -36,9 +36,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.bench.cpu_model import (
+    CpuConfig,
+    SerialCost,
+    multicore_cost,
+    serial_cost_from_histogram,
+)
 from repro.bench.runner import CellResult, ScaledKernel, counter_summary
 from repro.core.delta import DeltaBuilder, PatternDelta
 from repro.core.dfa import DFA
+from repro.core.tiled import scan_tiled
 from repro.errors import ExperimentError
 from repro.gpu.config import DeviceConfig, gtx285
 from repro.gpu.device import Device
@@ -131,6 +138,8 @@ class SwapBenchmark:
         text_bytes: int = 8192,
         dip_budget: float = 0.05,
         device_config: Optional[DeviceConfig] = None,
+        cpu: Optional[CpuConfig] = None,
+        mt_workers: int = 0,
         collector=None,
     ):
         if not 0.0 < dip_budget < 1.0:
@@ -143,6 +152,13 @@ class SwapBenchmark:
         self.text_bytes = text_bytes
         self.dip_budget = dip_budget
         self.device_config = device_config or gtx285()
+        #: CPU model pricing the dip cells' serial / serial_mt
+        #: baselines (same histogram pricing as the experiment runner,
+        #: so swapdip cells carry non-null baseline slots like every
+        #: other committed cell).  ``mt_workers = 0`` prices serial_mt
+        #: at the chip's full core count.
+        self.cpu = cpu or CpuConfig()
+        self.mt_workers = mt_workers
         self.collector = collector
         self.factory = DatasetFactory(seed=seed)
         if collector is not None:
@@ -152,6 +168,7 @@ class SwapBenchmark:
                     "swap_n_patterns": n_patterns,
                     "swap_text_bytes": text_bytes,
                     "swap_dip_budget": dip_budget,
+                    "swap_mt_workers": mt_workers,
                 }
             )
 
@@ -288,11 +305,10 @@ class SwapBenchmark:
         during = steady + per_batch
 
         dfa = DFA.build(patterns)
+        batch = np.concatenate(texts)
         oracle_device = Device(self.device_config)
         oracle_device.bind_texture(dfa.stt)
-        batch_kr = run_shared_kernel(
-            dfa, np.concatenate(texts), oracle_device
-        )
+        batch_kr = run_shared_kernel(dfa, batch, oracle_device)
 
         cell = SwapDipCell(
             batch_size=batch_size,
@@ -311,7 +327,8 @@ class SwapBenchmark:
             )
         if self.collector is not None:
             self.collector.on_cell(
-                self._dip_cell_result(cell, dfa, batch_kr), cached=False
+                self._dip_cell_result(cell, dfa, batch_kr, batch),
+                cached=False,
             )
         return cell
 
@@ -321,15 +338,35 @@ class SwapBenchmark:
         """Sweep batch sizes; one :class:`SwapDipCell` each."""
         return [self.run_dip_cell(b) for b in batch_sizes]
 
+    def _serial_baseline(self, dfa: DFA, batch: np.ndarray) -> SerialCost:
+        """Histogram-price the serial CPU scan of one batch's bytes.
+
+        Same pricing path as the experiment runner's ``serial``
+        baseline: a tiled functional scan feeds a texture-line
+        histogram, which the CPU cache model turns into seconds.
+        Swapdip cells run at sim scale (``paper_bytes == sim_bytes``),
+        so the batch's own byte count is the pricing denominator.
+        """
+        from repro.kernels.base import TextureLineHistogram
+
+        hist = TextureLineHistogram(dfa.n_states, self.cpu.line_bytes)
+        scan_tiled(dfa, batch, chunk_len=4096, sinks=[hist])
+        uniq, counts = hist.nonzero()
+        return serial_cost_from_histogram(
+            uniq, counts, int(batch.nbytes), self.cpu
+        )
+
     def _dip_cell_result(
-        self, cell: SwapDipCell, dfa: DFA, batch_kr
+        self, cell: SwapDipCell, dfa: DFA, batch_kr, batch: np.ndarray
     ) -> CellResult:
         """Export one dip point as a schema-v2 bench cell.
 
         Both entries carry the batch kernel's counters block — the
         functional work is identical; only the modeled host schedule
         (seconds/gbps) differs, exactly like the serving benchmark's
-        policy pairs.
+        policy pairs.  The cell also carries the two CPU baselines so
+        every ``serial`` / ``serial_mt`` slot in a committed bench
+        document is non-null, swapdip family included.
         """
 
         def _entry(name: str, seconds: float) -> ScaledKernel:
@@ -349,12 +386,17 @@ class SwapBenchmark:
             "steady": _entry("steady", cell.steady_seconds),
             "during_swap": _entry("during_swap", cell.during_swap_seconds),
         }
+        serial = self._serial_baseline(dfa, batch)
         return CellResult(
             size_label=f"swapdip_batch{cell.batch_size}",
             paper_bytes=cell.total_bytes,
             sim_bytes=cell.total_bytes,
             n_patterns=cell.n_patterns,
             n_states=dfa.n_states,
+            serial=serial,
+            serial_mt=multicore_cost(
+                serial, self.cpu, n_cores=self.mt_workers
+            ),
             kernels=kernels,
         )
 

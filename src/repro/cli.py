@@ -179,7 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="one pattern per line")
     st.add_argument("--text-file", required=True, help="input bytes")
     st.add_argument("--backend", default="gpu",
-                    choices=["gpu", "double_array", "serial"])
+                    choices=["gpu", "double_array", "serial", "serial_mt"])
+    st.add_argument(
+        "--workers", type=int, default=0,
+        help="thread count for --backend serial_mt (0 = one per core)",
+    )
     st.add_argument("--case-insensitive", action="store_true")
     st.add_argument(
         "--format", default="both", choices=["json", "prometheus", "both"],
@@ -208,6 +212,33 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument(
         "--out", default="BENCH_smoke.json",
         help="output path for the cell trajectory (default BENCH_smoke.json)",
+    )
+
+    cb = sub.add_parser(
+        "cpubench",
+        help="wall-clock-measure the real multicore CPU matcher "
+        "(scan_multicore) against the single-threaded scan on a bench "
+        "cell, report measured-vs-modeled speedup, and optionally gate "
+        "on a minimum measured speedup",
+    )
+    cb.add_argument("--size", default="100MB",
+                    help="cell size label (default 100MB)")
+    cb.add_argument("--patterns", type=int, default=1000,
+                    help="dictionary size (default 1000)")
+    cb.add_argument("--workers", type=int, default=0,
+                    help="thread count (0 = one per host core)")
+    cb.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats, min taken (default 3)")
+    cb.add_argument(
+        "--scale", type=float, default=0.16,
+        help="sim scale: scanned bytes = size x scale (default "
+        "100MB x 0.16 = the 16 MB bench cell the perf gate uses)",
+    )
+    cb.add_argument("--seed", type=int, default=2013)
+    cb.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit 1 if the measured multicore speedup is below this "
+        "(the CI cpu-baseline job passes 2.0; default 0 = report only)",
     )
 
     prof = sub.add_parser(
@@ -851,6 +882,7 @@ def _cmd_stats(args) -> int:
         case_insensitive=args.case_insensitive,
         tracer=tracer,
         metrics=metrics,
+        workers=args.workers,
     )
     backend = args.backend
     if args.resilient:
@@ -993,6 +1025,42 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_cpubench(args) -> int:
+    import os
+
+    from repro.bench.cpu_model import CpuConfig, multicore_speedup
+    from repro.core.jit import jit_status
+
+    host = os.cpu_count() or 1
+    workers = args.workers or host
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    cell = runner.factory.cell(args.size, args.patterns)
+    print(
+        f"cpubench: {args.size} x {args.patterns} patterns "
+        f"(sim {cell.sim_bytes / 2**20:.1f} MiB), "
+        f"workers={workers}, host cores={host}, jit: {jit_status()}"
+    )
+    meas = runner.measure_serial_mt(
+        args.size, args.patterns, workers=workers, repeats=args.repeats
+    )
+    modeled = multicore_speedup(
+        workers, CpuConfig(n_cores=max(host, workers))
+    )
+    print(f"measured: {meas.describe()}")
+    print(
+        f"modeled:  {modeled:.2f}x "
+        f"(contention model at n_cores={max(host, workers)}, "
+        f"measured/modeled = {meas.speedup / modeled:.2f})"
+    )
+    if args.min_speedup > 0 and meas.speedup < args.min_speedup:
+        print(
+            f"FAIL: measured speedup {meas.speedup:.2f}x is below the "
+            f"--min-speedup {args.min_speedup:.2f}x gate"
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -1022,6 +1090,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "cpubench":
+        return _cmd_cpubench(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "perfdiff":

@@ -24,10 +24,18 @@ from repro.core.integrity import (
     stt_row_checksums,
     verify_row_checksums,
 )
+from repro.core.jit import jit_enabled, jit_requested, jit_status, numba_available
 from repro.core.lockstep import match_text_lockstep
 from repro.core.match import Match, MatchResult
+from repro.core.multicore import (
+    MultiCoreMatcher,
+    MultiCoreScanResult,
+    MulticoreMeasurement,
+    measure_multicore,
+    scan_multicore,
+)
 from repro.core.pattern_set import PatternSet, PatternStats
-from repro.core.serial import match_serial, match_serial_python
+from repro.core.serial import match_serial, match_serial_python, scan_serial
 from repro.core.serialization import (
     LoadedDFA,
     load_dfa,
@@ -79,6 +87,10 @@ __all__ = [
     "required_overlap",
     "DFA",
     "build_dfa",
+    "jit_enabled",
+    "jit_requested",
+    "jit_status",
+    "numba_available",
     "match_text_lockstep",
     "Match",
     "MatchResult",
@@ -86,6 +98,12 @@ __all__ = [
     "PatternStats",
     "match_serial",
     "match_serial_python",
+    "scan_serial",
+    "MultiCoreMatcher",
+    "MultiCoreScanResult",
+    "MulticoreMeasurement",
+    "measure_multicore",
+    "scan_multicore",
     "STT",
     "STTStats",
     "Trie",

@@ -1,0 +1,134 @@
+"""Optional numba-compiled host fast path, behind ``REPRO_JIT=1``.
+
+The tiled engine's hot loop (:meth:`repro.core.tiled.GatherKernel.step`)
+and the streaming matcher's small-feed scalar walk
+(:meth:`repro.core.streaming.StreamMatcher._feed_small`) are the two
+python-dispatch-bound loops left in the simulator.  When the ``REPRO_JIT``
+environment variable is ``1`` *and* numba is importable, both route
+through ``@njit(nogil=True)`` kernels compiled here; in every other case
+(flag unset, numba absent, or compilation failure) they run the exact
+pure-NumPy code they always ran.  The two paths are pinned byte-identical
+by the differential suites (``tests/core/test_jit.py``), and CI runs the
+tier-1 suite in both legs.
+
+``nogil=True`` matters beyond single-thread speed: the multicore matcher
+(:mod:`repro.core.multicore`) runs one tiled scan per worker thread, so
+a compiled gather that releases the GIL for its whole body scales
+strictly better than NumPy's op-by-op release pattern.
+
+Nothing here imports numba at module load — availability is probed
+lazily on first use so plain ``import repro`` stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+#: Environment variable gating the JIT fast path.  Only the exact
+#: value ``"1"`` enables it; anything else is off.
+JIT_ENV_VAR = "REPRO_JIT"
+
+# Tri-state caches: None = not probed yet.
+_numba_ok: Optional[bool] = None
+_kernels: Optional[dict] = None
+_build_failed = False
+# Multicore workers construct GatherKernels concurrently; serialize the
+# one-time compilation.
+_build_lock = threading.Lock()
+
+
+def jit_requested() -> bool:
+    """True when the environment asks for the JIT path (``REPRO_JIT=1``)."""
+    return os.environ.get(JIT_ENV_VAR, "") == "1"
+
+
+def numba_available() -> bool:
+    """True when numba can be imported (probed once, cached)."""
+    global _numba_ok
+    if _numba_ok is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except Exception:
+            _numba_ok = False
+    return _numba_ok
+
+
+def jit_enabled() -> bool:
+    """True when the JIT path will actually run: requested AND buildable."""
+    return jit_requested() and numba_available() and not _build_failed
+
+
+def jit_status() -> str:
+    """One-line status for the CLI / bench metadata."""
+    if not jit_requested():
+        return "off (REPRO_JIT not set)"
+    if not numba_available():
+        return "requested but numba unavailable — pure-numpy fallback"
+    if _build_failed:
+        return "requested but kernel compilation failed — pure-numpy fallback"
+    return "active (numba)"
+
+
+def _build_kernels() -> Optional[dict]:
+    """Compile the kernel set once; any failure demotes to fallback."""
+    global _build_failed
+    try:
+        import numba
+
+        @numba.njit(nogil=True, cache=False)
+        def gather_step_dense(flat, ncols, state, symbols, out_row):
+            for i in range(state.size):
+                s = flat[state[i] * ncols + symbols[i]]
+                state[i] = s
+                out_row[i] = s
+
+        @numba.njit(nogil=True, cache=False)
+        def gather_step_compact(flat, ncols, class_of, state, symbols, out_row):
+            for i in range(state.size):
+                s = flat[state[i] * ncols + class_of[symbols[i]]]
+                state[i] = s
+                out_row[i] = s
+
+        @numba.njit(nogil=True, cache=False)
+        def scalar_walk(table, state, data, states_seq):
+            for i in range(data.size):
+                state = table[state, data[i]]
+                states_seq[i] = state
+            return state
+
+        return {
+            "gather_step_dense": gather_step_dense,
+            "gather_step_compact": gather_step_compact,
+            "scalar_walk": scalar_walk,
+        }
+    except Exception:
+        _build_failed = True
+        return None
+
+
+def jit_kernels() -> Optional[dict]:
+    """The compiled kernel set, or None when the fallback should run.
+
+    Re-checks the environment flag on every call (tests flip it), but
+    compiles at most once per process.
+    """
+    global _kernels
+    if not jit_requested() or not numba_available() or _build_failed:
+        return None
+    if _kernels is None:
+        with _build_lock:
+            if _kernels is None and not _build_failed:
+                _kernels = _build_kernels()
+    return _kernels
+
+
+def _reset_for_tests() -> None:
+    """Drop all probe/compile caches (test helper only)."""
+    global _numba_ok, _kernels, _build_failed
+    _numba_ok = None
+    _kernels = None
+    _build_failed = False

@@ -71,6 +71,13 @@ def match_serial(
     return match_text_lockstep(dfa, data, chunk_len=chunk_len)
 
 
+#: Canonical name for the single-core scan: the multicore matcher
+#: (:func:`repro.core.multicore.scan_multicore`) is differential-tested
+#: byte-identical against this, and docs/tests refer to the pair as
+#: ``scan_serial`` vs ``scan_multicore``.
+scan_serial = match_serial
+
+
 def serial_state_histogram(
     dfa: DFA, text: BytesLike, chunk_len: int = DEFAULT_SERIAL_CHUNK
 ) -> np.ndarray:

@@ -40,6 +40,13 @@ def to_spans(result: MatchResult, pattern_lengths: np.ndarray) -> np.ndarray:
 def merge_spans(spans: np.ndarray, *, gap: int = 0) -> np.ndarray:
     """Union of intervals; spans closer than *gap* bytes also merge.
 
+    Overlapping and exactly-adjacent spans always coalesce.  With a
+    positive *gap*, two disjoint spans separated by **strictly fewer
+    than** ``gap`` uncovered bytes merge too — a separation of exactly
+    ``gap`` stays split, so ``gap=1`` bridges only zero-byte seams
+    (i.e. behaves like ``gap=0``), ``gap=2`` bridges one uncovered
+    byte, and so on.
+
     Input must be ``(n, 2)`` with ``start < end``; output is sorted and
     pairwise disjoint.
     """
@@ -56,7 +63,9 @@ def merge_spans(spans: np.ndarray, *, gap: int = 0) -> np.ndarray:
     spans = spans[order]
     out: List[Tuple[int, int]] = [tuple(spans[0])]
     for s, e in spans[1:].tolist():
-        if s <= out[-1][1] + gap:
+        # Merge on overlap/adjacency, or when the uncovered separation
+        # (s - prev_end) is strictly below the gap threshold.
+        if s <= out[-1][1] or s - out[-1][1] < gap:
             out[-1] = (out[-1][0], max(out[-1][1], e))
         else:
             out.append((s, e))

@@ -106,18 +106,28 @@ class StreamMatcher:
         amortize lockstep lanes the states are computed in a tight loop
         over a pre-converted list (no NumPy scalar boxing), then
         flags/outputs are gathered vectorized — no per-byte Python
-        match bookkeeping.
+        match bookkeeping.  Under ``REPRO_JIT=1`` the walk runs the
+        compiled ``scalar_walk`` kernel instead (identical states,
+        pinned by ``tests/core/test_jit.py``).
         """
+        from repro.core.jit import jit_kernels
+
         table = self.dfa.stt.next_states
-        # Plain-int loop: ~10x faster than ndarray scalar indexing.
-        t = table  # local
-        state = self._state
         states_seq = np.empty(arr.size, dtype=np.int64)
-        data_list = arr.tolist()
-        for i, byte in enumerate(data_list):
-            state = int(t[state, byte])
-            states_seq[i] = state
-        self._state = state
+        kernels = jit_kernels()
+        if kernels is not None:
+            self._state = int(
+                kernels["scalar_walk"](table, self._state, arr, states_seq)
+            )
+        else:
+            # Plain-int loop: ~10x faster than ndarray scalar indexing.
+            t = table  # local
+            state = self._state
+            data_list = arr.tolist()
+            for i, byte in enumerate(data_list):
+                state = int(t[state, byte])
+                states_seq[i] = state
+            self._state = state
 
         flags = self.dfa.stt.match_flags
         hit = np.flatnonzero(flags[states_seq] != 0)

@@ -62,11 +62,19 @@ class GatherKernel:
     allocates nothing (the fix for the old per-step
     ``astype(np.int64, copy=False)`` round trip, which still copied
     because the gather result was int32).
+
+    Under ``REPRO_JIT=1`` (and with numba importable) the step runs a
+    compiled ``nogil`` loop from :mod:`repro.core.jit` instead — same
+    gather, identical output, pinned by ``tests/core/test_jit.py`` —
+    falling back to the NumPy path automatically otherwise.
     """
 
-    __slots__ = ("flat", "ncols", "class_of", "_idx", "_sym", "_res")
+    __slots__ = ("flat", "ncols", "class_of", "_idx", "_sym", "_res", "_jit")
 
     def __init__(self, dfa: DFA, table: Optional[CompactSTT] = None):
+        from repro.core.jit import jit_kernels
+
+        self._jit = jit_kernels()
         if table is None:
             # Dense path: flat row-major view of the full 257-column
             # table; symbols < 256 never index the match column.
@@ -98,6 +106,16 @@ class GatherKernel:
 
         ``out_row`` receives the post-step states in :data:`STATE_DTYPE`.
         """
+        if self._jit is not None:
+            if self.class_of is None:
+                self._jit["gather_step_dense"](
+                    self.flat, self.ncols, state, symbols, out_row
+                )
+            else:
+                self._jit["gather_step_compact"](
+                    self.flat, self.ncols, self.class_of, state, symbols, out_row
+                )
+            return
         np.multiply(state, self.ncols, out=self._idx)
         if self.class_of is None:
             np.add(self._idx, symbols, out=self._idx)

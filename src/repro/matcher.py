@@ -11,11 +11,13 @@ hyperscan bindings):
     >>> [(m.pattern(pid), start, end) for start, end, pid in m.finditer("ushers")]
     [('she', 1, 4), ('he', 2, 4), ('hers', 2, 6)]
 
-Backends: ``"serial"`` (vectorized CPU scan), ``"gpu"`` (the paper's
-shared-memory kernel on the simulated device — identical matches, plus
-modeled timing on the result object), ``"double_array"`` (compact CPU
-form).  All are interchangeable because every backend is tested
-byte-exact against the oracle.
+Backends: ``"serial"`` (vectorized CPU scan), ``"serial_mt"``
+(thread-pool chunk-parallel CPU scan — the honest multicore baseline,
+see :mod:`repro.core.multicore`), ``"gpu"`` (the paper's shared-memory
+kernel on the simulated device — identical matches, plus modeled timing
+on the result object), ``"double_array"`` (compact CPU form).  All are
+interchangeable because every backend is tested byte-exact against the
+oracle.
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ from repro.errors import ReproError
 from repro.obs import NULL_METRICS, NULL_TRACER
 
 #: Valid backend names.
-BACKENDS = ("serial", "gpu", "double_array")
+BACKENDS = ("serial", "serial_mt", "gpu", "double_array")
 
 
 class Matcher:
@@ -48,7 +50,11 @@ class Matcher:
         Sequence of str/bytes patterns, or an existing
         :class:`~repro.core.pattern_set.PatternSet`.
     backend:
-        ``"serial"`` (default), ``"gpu"``, or ``"double_array"``.
+        ``"serial"`` (default), ``"serial_mt"``, ``"gpu"``, or
+        ``"double_array"``.
+    workers:
+        Thread count for the ``serial_mt`` backend (0 → one per host
+        core).  Ignored by the other backends.
     case_insensitive:
         Lowercase the dictionary at build time and every scanned text
         at scan time (the standard single-case AC trick used by IDS
@@ -102,6 +108,7 @@ class Matcher:
         profiler=None,
         tile_len: Optional[int] = None,
         compact: bool = True,
+        workers: int = 0,
     ):
         if backend not in BACKENDS:
             raise ReproError(
@@ -126,6 +133,7 @@ class Matcher:
         self.device = device
         self.tile_len = tile_len
         self.compact = compact
+        self.workers = workers
         self.last_health = None
         self._resilient = None
         self._double_array = None
@@ -148,6 +156,7 @@ class Matcher:
         profiler=None,
         tile_len: Optional[int] = None,
         compact: bool = True,
+        workers: int = 0,
     ) -> "Matcher":
         """Wrap a pre-built DFA (e.g. loaded from disk).
 
@@ -169,6 +178,7 @@ class Matcher:
         obj.profiler = profiler
         obj.tile_len = tile_len
         obj.compact = compact
+        obj.workers = workers
         obj.last_health = None
         obj._resilient = None
         obj._double_array = None
@@ -261,6 +271,15 @@ class Matcher:
                 result = kr.matches
             elif self.backend == "double_array":
                 result = self._double_array.match(text)
+            elif self.backend == "serial_mt":
+                from repro.core.multicore import scan_multicore
+
+                result = scan_multicore(
+                    self._dfa,
+                    text,
+                    workers=self.workers,
+                    compact=self.compact,
+                ).matches
             else:
                 result = match_serial(self._dfa, text)
             sp.set(matches=len(result))

@@ -75,6 +75,11 @@ _CELL_FIELDS = {
 #: Required baseline stats (when the baseline was run).
 _BASELINE_FIELDS = {"seconds": float, "gbps": float}
 
+#: Optional baseline stats: ``workers`` records the core count a
+#: ``serial_mt`` block was priced for (absent in pre-PR-7 documents,
+#: which still validate).
+_BASELINE_OPTIONAL_FIELDS = {"workers": int}
+
 
 @dataclass
 class CellRecord:
@@ -125,10 +130,14 @@ class BenchCollector:
         def _baseline(cost: Any) -> Optional[Dict[str, float]]:
             if cost is None:
                 return None
-            return {
+            block = {
                 "seconds": float(cost.seconds),
                 "gbps": float(cost.throughput_gbps),
             }
+            cores = int(getattr(cost, "cores", 1))
+            if cores > 1:
+                block["workers"] = cores
+            return block
 
         kernels: Dict[str, Dict[str, Any]] = {}
         for name, sk in result.kernels.items():
@@ -250,6 +259,19 @@ def validate_bench_document(doc: Any) -> None:
                         block[name], expect, f"{where}.{baseline}.{name}",
                         errors,
                     )
+            for name, expect in _BASELINE_OPTIONAL_FIELDS.items():
+                if name in block:
+                    _check_type(
+                        block[name], expect, f"{where}.{baseline}.{name}",
+                        errors,
+                    )
+            extra = set(block) - set(_BASELINE_FIELDS) - set(
+                _BASELINE_OPTIONAL_FIELDS
+            )
+            if extra:
+                errors.append(
+                    f"{where}.{baseline}: unknown fields {sorted(extra)}"
+                )
         for kname, block in (cell.get("kernels") or {}).items():
             kwhere = f"{where}.kernels[{kname}]"
             if not isinstance(block, dict):

@@ -202,6 +202,16 @@ class TestStatsCommand:
         assert 'scans_total{backend="serial"} 1' in out
         assert "scan_seconds_bucket" in out
 
+    def test_serial_mt_backend_with_workers(self, data_files, capsys):
+        pat, txt = data_files
+        rc = main(
+            ["stats", "--patterns-file", pat, "--text-file", txt,
+             "--backend", "serial_mt", "--workers", "2",
+             "--format", "prometheus"]
+        )
+        assert rc == 0
+        assert 'scans_total{backend="serial_mt"} 1' in capsys.readouterr().out
+
     def test_resilient_stats(self, data_files, capsys):
         pat, txt = data_files
         rc = main(
@@ -241,3 +251,43 @@ class TestBenchCommand:
         )
         assert rc == 2
         assert "unknown figure" in capsys.readouterr().out
+
+    def test_fig13_cells_carry_both_cpu_baselines(self, tmp_path):
+        """fig13/fig18 cells commit with non-null serial_mt slots."""
+        import json
+
+        out_path = tmp_path / "BENCH_mt.json"
+        rc = main(
+            ["bench", "--figures", "fig13", "--sizes", "1MB",
+             "--patterns", "100", "--scale", "0.002",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        for cell in doc["cells"]:
+            assert cell["serial"] is not None
+            assert cell["serial_mt"] is not None
+            assert cell["serial_mt"]["workers"] == 4
+            assert cell["serial_mt"]["seconds"] < cell["serial"]["seconds"]
+
+
+class TestCpubenchCommand:
+    def test_smoke_reports_measured_and_modeled(self, capsys):
+        rc = main(
+            ["cpubench", "--size", "1MB", "--patterns", "100",
+             "--scale", "0.01", "--workers", "2", "--repeats", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured:" in out and "modeled:" in out
+        assert "jit:" in out
+
+    def test_min_speedup_gate_fails(self, capsys):
+        # An absurd bar guarantees the gate trips on any host.
+        rc = main(
+            ["cpubench", "--size", "1MB", "--patterns", "100",
+             "--scale", "0.01", "--workers", "1", "--repeats", "1",
+             "--min-speedup", "1000"]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out

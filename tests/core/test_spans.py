@@ -44,10 +44,52 @@ class TestMergeSpans:
         assert merge_spans(spans((0, 3), (3, 5))).tolist() == [[0, 5]]
 
     def test_gap_parameter(self):
-        assert merge_spans(spans((0, 2), (4, 6)), gap=2).tolist() == [[0, 6]]
+        # Separation 1 (< gap=2) merges; separation 2 (== gap) and 3
+        # (> gap) stay split — "closer than gap" is strict.
+        assert merge_spans(spans((0, 2), (3, 6)), gap=2).tolist() == [[0, 6]]
+        assert merge_spans(spans((0, 2), (4, 6)), gap=2).tolist() == [
+            [0, 2], [4, 6],
+        ]
         assert merge_spans(spans((0, 2), (5, 6)), gap=2).tolist() == [
             [0, 2], [5, 6],
         ]
+
+    @pytest.mark.parametrize("gap", [1, 2, 5])
+    def test_gap_boundary_gap_minus_one_gap_gap_plus_one(self, gap):
+        # Spans separated by exactly gap-1 / gap / gap+1 uncovered
+        # bytes: only the first merges under the strict rule.
+        first = (0, 10)
+        for sep, merges in [(gap - 1, True), (gap, False), (gap + 1, False)]:
+            second = (10 + sep, 20 + sep)
+            got = merge_spans(spans(first, second), gap=gap).tolist()
+            if merges:
+                assert got == [[0, 20 + sep]], (gap, sep)
+            else:
+                assert got == [list(first), list(second)], (gap, sep)
+
+    def test_gap_zero_and_one_equal_plain_union(self):
+        # gap=1 can only bridge separations < 1, i.e. none — identical
+        # to gap=0 for disjoint spans, and both still merge touching.
+        cases = [
+            spans((0, 2), (2, 4)),
+            spans((0, 2), (3, 4)),
+            spans((0, 4), (1, 3), (6, 8)),
+        ]
+        for arr in cases:
+            assert (
+                merge_spans(arr, gap=1).tolist()
+                == merge_spans(arr, gap=0).tolist()
+            )
+
+    def test_gap_chains_transitively(self):
+        # Each consecutive pair is within the gap, so all collapse.
+        assert merge_spans(
+            spans((0, 2), (3, 5), (6, 8)), gap=2
+        ).tolist() == [[0, 8]]
+
+    def test_overlapping_spans_merge_regardless_of_gap(self):
+        assert merge_spans(spans((0, 5), (2, 7)), gap=0).tolist() == [[0, 7]]
+        assert merge_spans(spans((0, 5), (2, 7)), gap=3).tolist() == [[0, 7]]
 
     def test_containment(self):
         assert merge_spans(spans((0, 10), (2, 4))).tolist() == [[0, 10]]

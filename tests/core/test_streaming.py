@@ -79,6 +79,107 @@ class TestVectorPath:
         assert (len(half) + 2, 3) in out  # "hers" ends 3 bytes into feed 2
 
 
+class TestVectorThresholdSeam:
+    """The 1024-byte routing seam must be semantically invisible.
+
+    Feeds of 1023 bytes walk the scalar path, 1024/1025 the
+    chunk-parallel tiled path with lane-0 state seeding and the
+    ``max_len`` tail-walk carry recomputation — identical streams cut
+    at those sizes must produce identical global ``(end, id)`` pairs
+    *and* identical carry state at every feed boundary.
+    """
+
+    PIECES = (VECTOR_THRESHOLD - 1, VECTOR_THRESHOLD, VECTOR_THRESHOLD + 1)
+
+    def _run(self, dfa, text, piece):
+        m = StreamMatcher(dfa)
+        pairs, states = [], []
+        for i in range(0, len(text), piece):
+            pairs.extend(m.feed(text[i : i + piece]))
+            states.append(m.state)
+        return sorted(pairs), states[-1], m.position
+
+    def test_1023_1024_1025_pieces_identical(self, english_dfa, rng):
+        from tests.conftest import random_text
+
+        text = random_text(rng, 5 * VECTOR_THRESHOLD + 123, alphabet=b"thesand ")
+        want = match_serial(english_dfa, text).as_pairs()
+        final = set()
+        for piece in self.PIECES:
+            pairs, state, pos = self._run(english_dfa, text, piece)
+            assert pairs == want, f"pair divergence at piece={piece}"
+            assert pos == len(text)
+            final.add(state)
+        # Same stream consumed -> same DFA state, path-independent.
+        assert len(final) == 1
+
+    def test_carry_state_matches_reference_at_every_boundary(self, paper_dfa):
+        # Dense-match text so the carried state is rarely ROOT.
+        text = b"ushershishe" * 300  # > 3x threshold
+        table = paper_dfa.stt.next_states
+        for piece in self.PIECES:
+            m = StreamMatcher(paper_dfa)
+            ref_state = 0
+            for i in range(0, len(text), piece):
+                chunk = text[i : i + piece]
+                m.feed(chunk)
+                for byte in chunk:
+                    ref_state = int(table[ref_state, byte])
+                assert m.state == ref_state, (
+                    f"carry divergence at boundary {i + len(chunk)} "
+                    f"(piece={piece})"
+                )
+
+    def test_match_straddling_threshold_boundary(self):
+        # "hers" straddles the seam between a scalar-path feed and a
+        # vector-path feed in both orders.
+        dfa = DFA.build(PatternSet.from_strings(["hers"]))
+        lead = VECTOR_THRESHOLD - 3
+        # Order 1: scalar feed ends mid-pattern, vector feed completes.
+        m = StreamMatcher(dfa)
+        assert m.feed(b"x" * (lead - 2) + b"he") == []
+        out = m.feed(b"rs" + b"y" * VECTOR_THRESHOLD)
+        assert out == [(lead + 1, 0)]
+        # Order 2: vector feed ends mid-pattern, scalar feed completes.
+        m = StreamMatcher(dfa)
+        assert m.feed(b"x" * (VECTOR_THRESHOLD + 2) + b"he") == []
+        out = m.feed(b"rs")
+        assert out == [(VECTOR_THRESHOLD + 5, 0)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        sizes=st.lists(
+            st.sampled_from(
+                [
+                    1,
+                    17,
+                    VECTOR_THRESHOLD - 1,
+                    VECTOR_THRESHOLD,
+                    VECTOR_THRESHOLD + 1,
+                    3 * VECTOR_THRESHOLD,
+                ]
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_property_mixed_path_feeds(self, seed, sizes):
+        """Arbitrary scalar/vector feed interleavings match the oracle."""
+        ps = PatternSet.from_strings(["he", "she", "his", "hers"])
+        dfa = DFA.build(ps)
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, 6, size=sum(sizes))
+        text = bytes(bytearray(b"hers u"[i] for i in idx))
+        m = StreamMatcher(dfa)
+        pairs = []
+        i = 0
+        for size in sizes:
+            pairs.extend(m.feed(text[i : i + size]))
+            i += size
+        assert sorted(pairs) == match_serial(dfa, text).as_pairs()
+
+
 class TestScanStream:
     def test_generator_input(self, paper_dfa):
         feeds = (chunk for chunk in [b"us", b"he", b"rs"])

@@ -136,3 +136,63 @@ class TestSchemaGate:
     def test_non_dict_rejected(self):
         with pytest.raises(SchemaError):
             validate_bench_document([])
+
+
+class TestSerialMtBaseline:
+    """The serial_mt slots export as real blocks now (PR 7): the
+    collector prices them with a workers field, the schema validates
+    it, and null slots from pre-PR-7 documents still pass."""
+
+    @pytest.fixture(scope="class")
+    def mt_collected(self):
+        collector = BenchCollector(label="mt")
+        runner = ExperimentRunner(scale=0.001, seed=7, collector=collector)
+        runner.run_cell(
+            "50KB", 100, kernels=("serial", "serial_mt", "shared")
+        )
+        return collector
+
+    @pytest.fixture
+    def mt_doc(self, mt_collected):
+        return copy.deepcopy(mt_collected.as_document())
+
+    def test_block_non_null_faster_than_serial(self, mt_collected):
+        rec = mt_collected.records[0]
+        assert rec.serial_mt is not None
+        # CpuConfig default chip: 4 cores at 0.8 efficiency -> 3.2x.
+        assert rec.serial_mt["workers"] == 4
+        assert rec.serial_mt["seconds"] < rec.serial["seconds"]
+        assert rec.serial_mt["gbps"] > rec.serial["gbps"]
+        # The single-core block carries no workers field.
+        assert "workers" not in rec.serial
+
+    def test_mt_workers_config_captured(self, mt_collected):
+        assert mt_collected.config["mt_workers"] == 0
+
+    def test_workers_round_trips_and_validates(self, mt_collected, tmp_path):
+        path = tmp_path / "BENCH_mt.json"
+        mt_collected.write_json(str(path))
+        doc = json.loads(path.read_text())
+        validate_bench_document(doc)
+        assert doc["cells"][0]["serial_mt"]["workers"] == 4
+
+    def test_null_slot_still_validates_as_v2(self, mt_doc):
+        """Pre-PR-7 documents carry serial_mt: null; the v2 schema
+        accepts both the null and the filled form."""
+        mt_doc["cells"][0]["serial_mt"] = None
+        validate_bench_document(mt_doc)  # must not raise
+
+    def test_workers_type_drift_fails(self, mt_doc):
+        mt_doc["cells"][0]["serial_mt"]["workers"] = "4"
+        with pytest.raises(SchemaError, match="workers"):
+            validate_bench_document(mt_doc)
+
+    def test_unknown_baseline_extra_rejected(self, mt_doc):
+        mt_doc["cells"][0]["serial_mt"]["speedup"] = 3.2
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_bench_document(mt_doc)
+
+    def test_missing_required_baseline_field_fails(self, mt_doc):
+        del mt_doc["cells"][0]["serial_mt"]["gbps"]
+        with pytest.raises(SchemaError, match="serial_mt.gbps"):
+            validate_bench_document(mt_doc)

@@ -24,6 +24,15 @@ def current_doc(baseline_doc):
     return copy.deepcopy(baseline_doc)
 
 
+@pytest.fixture(scope="module")
+def mt_baseline_doc():
+    """A trajectory whose cells carry both CPU baselines (PR 7)."""
+    collector = BenchCollector(label="mt-baseline")
+    runner = ExperimentRunner(scale=0.001, seed=7, collector=collector)
+    runner.run_cell("50KB", 100, kernels=("serial", "serial_mt", "shared"))
+    return collector.as_document()
+
+
 def _shared(doc, cell=0):
     return doc["cells"][cell]["kernels"]["shared"]
 
@@ -152,6 +161,56 @@ class TestStructure:
         current_doc["cells"][0]["serial"]["seconds"] *= 2.0
         report = diff_documents(baseline_doc, current_doc)
         assert [d.kernel for d in report.regressions] == ["serial"]
+
+
+class TestSerialMtGate:
+    """The serial_mt baseline blocks are live cells now (PR 7): the
+    gate must flag their regressions and report their improvements the
+    same way it does for the single-core baseline and the kernels."""
+
+    def test_mt_slowdown_is_regression(self, mt_baseline_doc):
+        cur = copy.deepcopy(mt_baseline_doc)
+        cur["cells"][0]["serial_mt"]["seconds"] *= 1.3
+        report = diff_documents(mt_baseline_doc, cur)
+        assert not report.ok
+        (d,) = report.regressions
+        assert d.kernel == "serial_mt" and d.metric == "seconds"
+        assert d.rel_change == pytest.approx(0.3)
+
+    def test_mt_throughput_drop_is_regression(self, mt_baseline_doc):
+        cur = copy.deepcopy(mt_baseline_doc)
+        cur["cells"][0]["serial_mt"]["gbps"] *= 0.8
+        report = diff_documents(mt_baseline_doc, cur)
+        assert [
+            (d.kernel, d.metric) for d in report.regressions
+        ] == [("serial_mt", "gbps")]
+
+    def test_mt_improvement_reported_not_failed(self, mt_baseline_doc):
+        cur = copy.deepcopy(mt_baseline_doc)
+        cur["cells"][0]["serial_mt"]["seconds"] *= 0.5
+        report = diff_documents(mt_baseline_doc, cur)
+        assert report.ok
+        assert [
+            (d.kernel, d.metric) for d in report.improvements
+        ] == [("serial_mt", "seconds")]
+
+    def test_null_to_non_null_transition_not_gated(self, mt_baseline_doc):
+        """A pre-PR-7 baseline (serial_mt null) diffed against a run
+        that fills the slot: both validate as v2 and nothing flags —
+        filling a slot is growth, not a regression."""
+        old = copy.deepcopy(mt_baseline_doc)
+        for cell in old["cells"]:
+            cell["serial_mt"] = None
+        report = diff_documents(old, mt_baseline_doc)
+        assert report.ok
+        assert not any(d.kernel == "serial_mt" for d in report.deltas)
+
+    def test_workers_field_is_not_a_gated_metric(self, mt_baseline_doc):
+        cur = copy.deepcopy(mt_baseline_doc)
+        cur["cells"][0]["serial_mt"]["workers"] = 8
+        report = diff_documents(mt_baseline_doc, cur)
+        assert report.ok
+        assert not any(d.metric == "workers" for d in report.deltas)
 
 
 class TestCliIntegration:

@@ -56,6 +56,15 @@ class TestScanning:
             PAPER
         ).findall("she sells hers usher his")
 
+    def test_serial_mt_workers_thread_through(self):
+        # Long enough to split into real slabs at every worker count.
+        text = "she sells hers usher his " * 200
+        expected = Matcher(PAPER).findall(text)
+        for w in (1, 2, 4):
+            mt = Matcher(PAPER, backend="serial_mt", workers=w)
+            assert mt.workers == w
+            assert mt.findall(text) == expected
+
     def test_gpu_timing_access(self):
         m = Matcher(PAPER, backend="gpu")
         r = m.scan_with_timing(b"ushers " * 500)
