@@ -421,6 +421,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the dip family as schema-validated bench cells "
         "(BENCH_*.json) to this path",
     )
+
+    slo = sub.add_parser(
+        "slo",
+        help="serving SLO dashboard: per-tenant latency quantiles, "
+        "queue-wait vs pipeline decomposition, and burn-rate alerting "
+        "over a seeded multi-tenant run",
+    )
+    slo.add_argument(
+        "--demo", action="store_true",
+        help="narrate the seeded burn episode (steady -> burst -> "
+        "recovery; the victim's alert fires and clears "
+        "deterministically)",
+    )
+    slo.add_argument(
+        "--statusz", action="store_true",
+        help="also print the joined statusz health snapshot "
+        "(queue / cache / fallbacks / slo burn state) as JSON",
+    )
+    slo.add_argument(
+        "--events", action="store_true",
+        help="also print the structured event log (JSONL)",
+    )
+    slo.add_argument("--seed", type=int, default=2013)
+    slo.add_argument(
+        "--burst-factor", type=int, default=5,
+        help="victim load multiplier during burst windows (default 5)",
+    )
+    slo.add_argument(
+        "--text-bytes", type=int, default=512,
+        help="bytes per request payload (default 512)",
+    )
+    slo.add_argument(
+        "--out", default=None,
+        help="write the per-tenant slo_* / slodip_* families as "
+        "schema-validated bench cells (BENCH_*.json) to this path",
+    )
     return p
 
 
@@ -651,6 +687,15 @@ def _cmd_serve(args) -> int:
             f"; overlap saved {s['overlap_saved_seconds'] * 1e9:.0f} ns "
             "total"
         )
+        digests = ", ".join(
+            f"{d}x{n}" for d, n in s["batches_by_digest"].items()
+        )
+        qw = s["queue_wait"]
+        print(
+            f"  batches per digest: {digests}; queue wait p50="
+            f"{qw['p50'] * 1e6:.2f}us p99={qw['p99'] * 1e6:.2f}us "
+            f"over {qw['count']} requests"
+        )
         if args.trace_out:
             from repro.obs import write_chrome_trace
 
@@ -676,6 +721,63 @@ def _cmd_serve(args) -> int:
     )
     if worst is not None and worst < 1.5:
         print(f"FAIL: scheduler speedup {worst:.2f}x < 1.5x at batch >= 8")
+        return 1
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.bench.slo_bench import SloBenchmark, render_dashboard
+    from repro.errors import ExperimentError
+    from repro.obs import BenchCollector
+
+    if args.burst_factor < 2:
+        print("error: --burst-factor must be >= 2 (no burst, no episode)")
+        return 2
+    collector = BenchCollector(label="slo") if args.out else None
+    bench = SloBenchmark(
+        seed=args.seed,
+        burst_factor=args.burst_factor,
+        text_bytes=args.text_bytes,
+        collector=collector,
+    )
+    if args.demo:
+        print(
+            "demo: 3 tenants on one scheduler, seeded manual-clock "
+            "timeline"
+        )
+        print(
+            f"  steady {bench.steady_windows} windows -> burst "
+            f"{bench.burst_windows} windows ({bench.tenants[0].name} at "
+            f"{args.burst_factor}x load) -> recovery "
+            f"{bench.recovery_windows} windows"
+        )
+        p99 = bench.policy.objective("request_p99")
+        print(
+            f"  objectives: p99 {p99.metric} <= "
+            f"{p99.threshold * 1e6:.0f}us (budget "
+            f"{p99.budget_fraction:.0%}), burn fires >= "
+            f"{bench.policy.burn.fire_burn}x fast+slow, clears < "
+            f"{bench.policy.burn.clear_burn}x\n"
+        )
+    try:
+        report = bench.run()
+    except ExperimentError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(render_dashboard(report))
+    if args.events:
+        print("\nevent log:")
+        print(report.events_jsonl.rstrip("\n"))
+    if args.statusz:
+        import json as _json
+
+        print("\nstatusz:")
+        print(_json.dumps(report.status, indent=2, default=str))
+    if collector is not None:
+        collector.write_json(args.out)
+        print(f"\nwrote {args.out} ({len(collector.records)} slo cells)")
+    if report.breached:
+        print("FAIL: SLO breached at end of run")
         return 1
     return 0
 
@@ -1098,6 +1200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perfdiff(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "hotswap":

@@ -124,3 +124,14 @@ class SchemaError(ReproError):
     schema so a renamed or retyped field fails the build instead of
     silently breaking downstream consumers.
     """
+
+
+class MetricsError(ReproError):
+    """Raised for metric-registry misuse.
+
+    The canonical case: re-registering a histogram under an existing
+    name with *different* bucket bounds.  Prometheus semantics make
+    bucket layout part of the series identity — silently keeping the
+    first registration's buckets would record the second caller's
+    observations against bounds it never asked for.
+    """

@@ -16,9 +16,18 @@ Cooperating pieces, all opt-in and all zero-cost when absent:
 * :class:`BenchCollector` — per-cell hooks on the experiment runner
   that emit versioned, schema-validated ``BENCH_*.json`` documents;
 * :func:`diff_documents` — the noise-aware perf-regression gate over
-  two bench documents (``repro-ac perfdiff``).
+  two bench documents (``repro-ac perfdiff``);
+* :class:`LatencySketch` / :class:`WindowedSeries` — mergeable
+  log-bucketed streaming quantile sketches and their sliding-window
+  ring (``repro-ac slo``);
+* :class:`SloPolicy` / :class:`SloTracker` / :func:`statusz` — latency
+  objectives, error budgets, multi-window burn-rate alerting and the
+  joined health snapshot;
+* :class:`EventLog` — severity-tagged, schema-stable JSONL event
+  narration.
 
-See docs/MODEL.md §7 for the event taxonomy and metric names.
+See docs/MODEL.md §7 for the event taxonomy and metric names, and
+§12 for the telemetry plane (sketches, windows, SLOs, statusz).
 """
 
 from repro.obs.collector import (
@@ -28,6 +37,13 @@ from repro.obs.collector import (
     BenchCollector,
     CellRecord,
     validate_bench_document,
+)
+from repro.obs.eventlog import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    SEVERITIES,
+    validate_event_record,
 )
 from repro.obs.metrics import (
     Counter,
@@ -52,6 +68,16 @@ from repro.obs.profiler import (
     build_report,
     profile_kernel,
 )
+from repro.obs.sketch import DEFAULT_ALPHA, LatencySketch
+from repro.obs.slo import (
+    BurnRatePolicy,
+    ManualClock,
+    SloObjective,
+    SloPolicy,
+    SloTracker,
+    WindowedSeries,
+    statusz,
+)
 from repro.obs.traceexport import to_chrome_trace, write_chrome_trace
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -66,12 +92,19 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BENCH_SCHEMA_VERSIONS",
     "BenchCollector",
+    "BurnRatePolicy",
     "CellRecord",
     "Counter",
+    "DEFAULT_ALPHA",
     "DEFAULT_THRESHOLDS",
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
     "Gauge",
     "Histogram",
     "KernelProfiler",
+    "LatencySketch",
+    "ManualClock",
     "Metrics",
     "MetricDelta",
     "NULL_METRICS",
@@ -81,14 +114,20 @@ __all__ = [
     "PROFILE_KERNELS",
     "PerfDiffReport",
     "ProfileReport",
+    "SEVERITIES",
+    "SloObjective",
+    "SloPolicy",
+    "SloTracker",
     "Span",
     "Tracer",
+    "WindowedSeries",
     "build_report",
     "coalesce",
     "coalesce_metrics",
     "diff_documents",
     "diff_files",
     "profile_kernel",
+    "statusz",
     "to_chrome_trace",
     "validate_bench_document",
     "write_chrome_trace",

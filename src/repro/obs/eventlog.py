@@ -1,0 +1,257 @@
+"""Structured JSONL event log: severity-tagged, schema-stable records.
+
+The telemetry plane's third leg (docs/MODEL.md §12): where metrics
+aggregate and traces nest, the event log *narrates* — one flat,
+append-only record per operationally interesting moment (an SLO alert
+firing, an epoch swap aborting, a cache entry evicted for corruption),
+in a schema an operator's log pipeline can ingest without knowing this
+codebase.
+
+Every record carries the same envelope::
+
+    {"schema": "repro-ac/event", "version": 1, "seq": 7,
+     "ts": 12.5, "severity": "warning", "event": "slo_burn_alert",
+     "fields": {...}}
+
+* ``seq`` is a monotonic per-log sequence number, so downstream
+  consumers can detect drops and order records even at equal
+  timestamps (an injected test clock often stands still);
+* ``ts`` comes from the log's clock — ``time.time`` by default, an
+  injected deterministic clock in tests and seeded demos;
+* ``severity`` is one of :data:`SEVERITIES` (ordered, so a minimum-
+  severity filter is a comparison, not a string match);
+* ``fields`` is the event-specific payload, JSON-scalar values only —
+  the emitter coerces anything fancier to ``str`` so a record can
+  always be serialized.
+
+The log keeps records in memory (bounded by ``capacity``, oldest
+dropped first) and optionally appends each record to a JSONL file as
+it is emitted, so a crash loses nothing already written.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError, SchemaError
+
+__all__ = ["EventLog", "SEVERITIES", "validate_event_record"]
+
+#: Event-log schema identifier + version; bump on breaking change.
+EVENT_SCHEMA = "repro-ac/event"
+EVENT_SCHEMA_VERSION = 1
+
+#: Severities in ascending order of urgency.
+SEVERITIES = ("debug", "info", "warning", "error", "critical")
+
+_SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+def _coerce(value: Any) -> Any:
+    """Clamp a field value to a JSON scalar (records must always dump)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # inf/nan are not valid JSON; stringify rather than refuse.
+        return value if value == value and abs(value) != float("inf") \
+            else str(value)
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _coerce(value.item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def validate_event_record(record: Any) -> None:
+    """Raise :class:`~repro.errors.SchemaError` on envelope drift."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        raise SchemaError(f"event record must be a dict, got {type(record)}")
+    if record.get("schema") != EVENT_SCHEMA:
+        errors.append(
+            f"schema: expected {EVENT_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if record.get("version") != EVENT_SCHEMA_VERSION:
+        errors.append(
+            f"version: expected {EVENT_SCHEMA_VERSION}, "
+            f"got {record.get('version')!r}"
+        )
+    if not isinstance(record.get("seq"), int) or isinstance(
+        record.get("seq"), bool
+    ):
+        errors.append("seq: expected int")
+    if not isinstance(record.get("ts"), (int, float)) or isinstance(
+        record.get("ts"), bool
+    ):
+        errors.append("ts: expected number")
+    if record.get("severity") not in SEVERITIES:
+        errors.append(
+            f"severity: expected one of {SEVERITIES}, "
+            f"got {record.get('severity')!r}"
+        )
+    event = record.get("event")
+    if not isinstance(event, str) or not event:
+        errors.append("event: expected non-empty str")
+    fields = record.get("fields")
+    if not isinstance(fields, dict):
+        errors.append("fields: expected dict")
+    else:
+        for k, v in fields.items():
+            if not isinstance(k, str):
+                errors.append(f"fields key {k!r}: expected str")
+            if v is not None and not isinstance(v, (bool, int, float, str)):
+                errors.append(
+                    f"fields[{k}]: expected JSON scalar, "
+                    f"got {type(v).__name__}"
+                )
+    extra = set(record) - {"schema", "version", "seq", "ts", "severity",
+                           "event", "fields"}
+    if extra:
+        errors.append(f"unknown envelope fields {sorted(extra)}")
+    if errors:
+        raise SchemaError(
+            "event record fails schema "
+            f"{EVENT_SCHEMA} v{EVENT_SCHEMA_VERSION}:\n  "
+            + "\n  ".join(errors)
+        )
+
+
+class EventLog:
+    """Append-only severity-tagged event log with JSONL export.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file; every emitted record is appended (and
+        flushed) immediately.
+    clock:
+        Timestamp source (default ``time.time``); inject a
+        deterministic clock for replayable logs.
+    capacity:
+        In-memory record bound; the oldest records are dropped once
+        exceeded (the file, when given, keeps everything).
+    min_severity:
+        Records below this severity are counted but neither stored nor
+        written (default ``"debug"`` = keep everything).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        capacity: int = 10_000,
+        min_severity: str = "debug",
+    ):
+        if capacity < 1:
+            raise ReproError(f"capacity must be >= 1, got {capacity}")
+        if min_severity not in _SEVERITY_RANK:
+            raise ReproError(
+                f"unknown severity {min_severity!r}; "
+                f"choose from {SEVERITIES}"
+            )
+        self.path = path
+        self.clock = clock
+        self.capacity = capacity
+        self.min_severity = min_severity
+        self._records: List[Dict[str, Any]] = []
+        self._seq = 0
+        self.suppressed = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, severity: str, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the (validated) record."""
+        if severity not in _SEVERITY_RANK:
+            raise ReproError(
+                f"unknown severity {severity!r}; choose from {SEVERITIES}"
+            )
+        if not event:
+            raise ReproError("event name must be non-empty")
+        record = {
+            "schema": EVENT_SCHEMA,
+            "version": EVENT_SCHEMA_VERSION,
+            "seq": self._seq,
+            "ts": float(self.clock()),
+            "severity": severity,
+            "event": event,
+            "fields": {str(k): _coerce(v) for k, v in fields.items()},
+        }
+        self._seq += 1
+        if _SEVERITY_RANK[severity] < _SEVERITY_RANK[self.min_severity]:
+            self.suppressed += 1
+            return record
+        self._records.append(record)
+        if len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+        if self.path is not None:
+            with open(self.path, "a", encoding="ascii") as fh:
+                json.dump(record, fh, sort_keys=True)
+                fh.write("\n")
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Emit at ``debug``."""
+        return self.emit("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Emit at ``info``."""
+        return self.emit("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Emit at ``warning``."""
+        return self.emit("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Emit at ``error``."""
+        return self.emit("error", event, **fields)
+
+    # -- inspection ------------------------------------------------------
+
+    def records(
+        self,
+        *,
+        min_severity: str = "debug",
+        event: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stored records, optionally filtered by severity floor / name."""
+        if min_severity not in _SEVERITY_RANK:
+            raise ReproError(
+                f"unknown severity {min_severity!r}; "
+                f"choose from {SEVERITIES}"
+            )
+        floor = _SEVERITY_RANK[min_severity]
+        return [
+            r for r in self._records
+            if _SEVERITY_RANK[r["severity"]] >= floor
+            and (event is None or r["event"] == event)
+        ]
+
+    def to_jsonl(self, *, min_severity: str = "debug") -> str:
+        """The stored records as newline-delimited JSON."""
+        lines = [
+            json.dumps(r, sort_keys=True)
+            for r in self.records(min_severity=min_severity)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render(self, *, min_severity: str = "info", limit: int = 20) -> str:
+        """Human-readable tail of the log (CLI output)."""
+        rows = self.records(min_severity=min_severity)[-limit:]
+        lines = []
+        for r in rows:
+            fields = " ".join(
+                f"{k}={v}" for k, v in sorted(r["fields"].items())
+            )
+            lines.append(
+                f"[{r['ts']:>10.3f}] {r['severity'].upper():>8} "
+                f"{r['event']}" + (f"  {fields}" if fields else "")
+            )
+        return "\n".join(lines)

@@ -37,11 +37,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import MetricsError, ReproError
 
 #: Default histogram bucket upper bounds (seconds; +Inf is implicit).
+#: Starts at 100 ns: modeled kernel slices are sub-10 µs, so a 1e-5
+#: floor would collapse the entire GPU regime into one bucket.
 DEFAULT_BUCKETS = (
-    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+    1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
+    30.0,
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -51,10 +54,19 @@ def _labels_key(labels: Mapping[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Text exposition format 0.0.4: label values escape backslash,
+    # double-quote and newline (in that order — backslash first, or the
+    # other escapes' backslashes would be doubled again).
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _labels_str(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -210,7 +222,10 @@ class NullMetrics:
         return _NULL_INSTRUMENT
 
     def histogram(
-        self, name: str, help: str = "", buckets: Sequence[float] = ()
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
     ) -> _NullInstrument:
         """No-op histogram."""
         return _NULL_INSTRUMENT
@@ -258,10 +273,38 @@ class Metrics:
         self,
         name: str,
         help: str = "",
-        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        buckets: Optional[Sequence[float]] = None,
     ) -> Histogram:
-        """Get or create a histogram."""
-        return self._get(name, Histogram, help, buckets)
+        """Get or create a histogram.
+
+        ``buckets=None`` (the default) means "whatever the histogram
+        already uses", or :data:`DEFAULT_BUCKETS` on first creation.
+        Passing explicit buckets for an already-registered name must
+        match the existing bounds exactly — bucket layout is part of a
+        histogram's identity, so a mismatch raises
+        :class:`~repro.errors.MetricsError` instead of silently
+        recording against the first caller's bounds.
+        """
+        inst = self._instruments.get(name)
+        if inst is not None:
+            if not isinstance(inst, Histogram):
+                raise ReproError(
+                    f"metric {name!r} already registered as {inst.kind}, "
+                    f"requested histogram"
+                )
+            if buckets is not None:
+                requested = tuple(float(b) for b in buckets)
+                if requested != inst.buckets:
+                    raise MetricsError(
+                        f"histogram {name!r} already registered with "
+                        f"buckets {inst.buckets}; re-registration "
+                        f"requested {requested}"
+                    )
+            return inst
+        return self._get(
+            name, Histogram, help,
+            DEFAULT_BUCKETS if buckets is None else buckets,
+        )
 
     def instruments(self) -> List[Any]:
         """All registered instruments, sorted by name."""

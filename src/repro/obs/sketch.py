@@ -1,0 +1,260 @@
+"""Streaming quantile sketches: log-bucketed latency summaries.
+
+A fixed-bucket Prometheus histogram answers "how many scans were under
+10 ms" but not "what was p99 this minute" — and the serving SLOs the
+telemetry plane (docs/MODEL.md §12) enforces are phrased as quantiles.
+:class:`LatencySketch` is the quantile substrate: a DDSketch-style
+log-bucketed streaming sketch with a **relative-error guarantee**.
+Values land in geometrically spaced buckets (growth factor
+``gamma = (1 + alpha) / (1 - alpha)``), so any quantile estimate is
+within ``alpha`` of the true value — with the default ``alpha = 0.01``,
+well inside the 2% acceptance bound, at O(buckets) memory no matter how
+many observations stream through.
+
+Design properties the SLO engine leans on:
+
+* **mergeable** — two sketches with the same ``alpha`` merge by adding
+  bucket counts, so per-window frames combine into sliding-window
+  quantiles and per-worker sketches combine into fleet totals;
+* **deterministic** — no sampling, no randomness: the same
+  observations in any order produce the same sketch (bucket counts are
+  order-free), which the seeded bench/demo replays rely on;
+* **schema-stable export** — :meth:`as_dict`/:meth:`from_dict` round-
+  trip exactly, so sketches can ride inside JSONL telemetry records.
+
+Zero is held in a dedicated bucket (log buckets cannot represent it);
+negative values are a caller bug and raise.  The estimate returned for
+a bucket is the geometric midpoint ``2 * gamma**i / (gamma + 1)``,
+clamped to the observed ``[min, max]`` so tail quantiles never
+overshoot the data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["LatencySketch"]
+
+#: Default relative-error bound (1%; acceptance criterion is <= 2%).
+DEFAULT_ALPHA = 0.01
+
+#: Values at or below this magnitude share the zero bucket — they are
+#: below any latency the modeled pipeline can produce, and log buckets
+#: would need unbounded negative indices to tell them apart.
+MIN_TRACKABLE = 1e-12
+
+
+class LatencySketch:
+    """Log-bucketed streaming quantile sketch with bounded relative error.
+
+    Parameters
+    ----------
+    alpha:
+        Relative accuracy: for any ``q``, ``quantile(q)`` is within
+        ``alpha * true`` of the exact q-th percentile of the observed
+        stream.  Must be in (0, 0.5).
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_buckets", "_zero",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha < 0.5:
+            raise ReproError(
+                f"sketch alpha must be in (0, 0.5), got {alpha}"
+            )
+        self.alpha = float(alpha)
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record *count* observations of *value* (seconds)."""
+        if count < 1:
+            raise ReproError(f"observation count must be >= 1, got {count}")
+        value = float(value)
+        if math.isnan(value) or value < 0.0:
+            raise ReproError(
+                f"latency observations must be finite and >= 0, got {value}"
+            )
+        if value <= MIN_TRACKABLE:
+            self._zero += count
+        else:
+            idx = self._index(value)
+            self._buckets[idx] = self._buckets.get(idx, 0) + count
+        self._count += count
+        self._sum += value * count
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record every value in *values*."""
+        for v in values:
+            self.observe(v)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observation, or None when empty."""
+        return self._min if self._count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observation, or None when empty."""
+        return self._max if self._count else None
+
+    @property
+    def n_buckets(self) -> int:
+        """Resident bucket count (the memory footprint)."""
+        return len(self._buckets) + (1 if self._zero else 0)
+
+    def _estimate(self, idx: int) -> float:
+        # Geometric midpoint of (gamma**(i-1), gamma**i]: relative
+        # distance to either edge is <= alpha by construction.
+        return 2.0 * self._gamma ** idx / (self._gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile estimate (q in [0, 1]).
+
+        Within ``alpha`` relative error of the exact percentile of the
+        observed stream; raises on an empty sketch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile q must be in [0, 1], got {q}")
+        if self._count == 0:
+            raise ReproError("quantile() on an empty sketch")
+        # Rank of the q-th order statistic (0-based, nearest-rank).
+        rank = q * (self._count - 1)
+        running = self._zero
+        if running > rank:
+            return max(0.0, self._min)
+        for idx in sorted(self._buckets):
+            running += self._buckets[idx]
+            if running > rank:
+                est = self._estimate(idx)
+                return min(max(est, self._min), self._max)
+        return self._max  # pragma: no cover - rank < count by construction
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Estimates for several quantiles (one pass per q)."""
+        return [self.quantile(q) for q in qs]
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "LatencySketch") -> "LatencySketch":
+        """Fold *other* into self (in place); returns self.
+
+        Both sketches must share ``alpha`` — merging across accuracies
+        would silently void the error bound.
+        """
+        if not isinstance(other, LatencySketch):
+            raise ReproError(
+                f"can only merge LatencySketch, got {type(other).__name__}"
+            )
+        if other.alpha != self.alpha:
+            raise ReproError(
+                f"cannot merge sketches with different alpha "
+                f"({self.alpha} vs {other.alpha})"
+            )
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self._zero += other._zero
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    @classmethod
+    def merged(cls, sketches: Iterable["LatencySketch"],
+               alpha: float = DEFAULT_ALPHA) -> "LatencySketch":
+        """A fresh sketch holding the union of *sketches*."""
+        out = cls(alpha)
+        for s in sketches:
+            out.merge(s)
+        return out
+
+    # -- export ----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Schema-stable dict form (exact :meth:`from_dict` round-trip)."""
+        return {
+            "alpha": self.alpha,
+            "count": self._count,
+            "sum": self._sum,
+            "zero": self._zero,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": [
+                [idx, self._buckets[idx]] for idx in sorted(self._buckets)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencySketch":
+        """Rebuild a sketch exported by :meth:`as_dict`."""
+        try:
+            sketch = cls(float(data["alpha"]))
+            sketch._count = int(data["count"])
+            sketch._sum = float(data["sum"])
+            sketch._zero = int(data["zero"])
+            sketch._min = (
+                float(data["min"]) if data["min"] is not None else math.inf
+            )
+            sketch._max = (
+                float(data["max"]) if data["max"] is not None else -math.inf
+            )
+            sketch._buckets = {
+                int(idx): int(n) for idx, n in data["buckets"]
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed sketch export: {exc}") from exc
+        return sketch
+
+    def summary(self) -> Dict[str, float]:
+        """The dashboard tuple: count/mean/p50/p95/p99 (zeros if empty)."""
+        if self._count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0}
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencySketch(alpha={self.alpha}, count={self._count}, "
+            f"buckets={self.n_buckets})"
+        )

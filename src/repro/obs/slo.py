@@ -1,0 +1,696 @@
+"""Per-request SLO engine: windowed quantiles, error budgets, burn alerts.
+
+The ROADMAP's serving front-end needs a latency-SLO bench; this module
+is the engine underneath it (docs/MODEL.md §12).  Three layers:
+
+* :class:`WindowedSeries` — a ring of per-window frames, each holding a
+  :class:`~repro.obs.sketch.LatencySketch` plus named counters.  Rates
+  and quantiles over "the last N windows" come from summing counters /
+  merging sketches across the ring — O(windows) work, O(windows ×
+  sketch) memory, regardless of request volume.
+
+* :class:`SloObjective` / :class:`SloPolicy` — declarative objectives
+  of the form *"target fraction of requests must see metric ≤
+  threshold"* (``p99 request_seconds ≤ 800 µs`` is ``target=0.99,
+  threshold=8e-4``).  The complement ``1 - target`` is the **error
+  budget**: the fraction of requests allowed to miss.
+
+* :class:`SloTracker` — the runtime.  Every observation is classified
+  good/bad per objective and recorded per ``(objective, tenant)``
+  window ring; cumulative sketches per tenant and per pattern-set
+  digest keep the dashboard quantiles.  :meth:`SloTracker.evaluate`
+  runs the **multi-window burn-rate** alert rule: with burn rate
+  ``(bad fraction) / (error budget)``, an alert fires only when *both*
+  a fast and a slow lookback exceed ``fire_burn`` (fast catches the
+  spike, slow proves it is not a blip), and clears only when both drop
+  below ``clear_burn < fire_burn`` — hysteresis, so an alert cannot
+  flap across the threshold.  Transitions are emitted to the
+  :class:`~repro.obs.eventlog.EventLog` and mirrored into metrics.
+
+Everything takes an injectable clock (:class:`ManualClock` in tests,
+demos and benches), so burn-rate episodes fire and clear
+deterministically under seeded load — the acceptance criterion.
+
+:func:`statusz` joins the tracker with the serving scheduler, epoch
+manager, automaton cache and metrics registry into one health
+snapshot — the page an operator (or the CI smoke job) reads first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.sketch import DEFAULT_ALPHA, LatencySketch
+
+__all__ = [
+    "BurnRatePolicy",
+    "ManualClock",
+    "SloObjective",
+    "SloPolicy",
+    "SloTracker",
+    "WindowedSeries",
+    "statusz",
+]
+
+#: statusz document identifier + version; bump on breaking change.
+STATUSZ_SCHEMA = "repro-ac/statusz"
+STATUSZ_SCHEMA_VERSION = 1
+
+
+class ManualClock:
+    """A deterministic clock: advances only when told to.
+
+    Inject into :class:`SloTracker`, :class:`~repro.obs.eventlog.
+    EventLog` or the serving scheduler so telemetry timelines replay
+    bit-identically under a seed.
+    """
+
+    __slots__ = ("t",)
+
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by *dt* seconds (must be >= 0)."""
+        if dt < 0:
+            raise ReproError(f"clock cannot run backwards (advance {dt})")
+        self.t += dt
+        return self.t
+
+
+class _Frame:
+    """One window's sketch + counters."""
+
+    __slots__ = ("index", "sketch", "counters")
+
+    def __init__(self, index: int, alpha: float):
+        self.index = index
+        self.sketch = LatencySketch(alpha)
+        self.counters: Dict[str, float] = {}
+
+
+class WindowedSeries:
+    """A ring of time-window frames holding sketches and counters.
+
+    Parameters
+    ----------
+    window_seconds:
+        Width of one frame.  Observations at time ``t`` land in frame
+        ``floor(t / window_seconds)``.
+    n_windows:
+        Ring length; frames older than the newest ``n_windows`` are
+        evicted as time advances.
+    alpha:
+        Relative accuracy of the per-frame sketches.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        n_windows: int = 12,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        if window_seconds <= 0:
+            raise ReproError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        if n_windows < 1:
+            raise ReproError(f"n_windows must be >= 1, got {n_windows}")
+        self.window_seconds = float(window_seconds)
+        self.n_windows = n_windows
+        self.alpha = alpha
+        self._frames: Dict[int, _Frame] = {}
+        self._latest = None  # newest frame index seen
+
+    # -- recording -------------------------------------------------------
+
+    def _frame_index(self, t: float) -> int:
+        return int(t // self.window_seconds)
+
+    def _frame(self, t: float) -> _Frame:
+        idx = self._frame_index(t)
+        frame = self._frames.get(idx)
+        if frame is None:
+            frame = _Frame(idx, self.alpha)
+            self._frames[idx] = frame
+        if self._latest is None or idx > self._latest:
+            self._latest = idx
+            floor = idx - self.n_windows + 1
+            for old in [i for i in self._frames if i < floor]:
+                del self._frames[old]
+        return frame
+
+    def observe(self, value: float, t: float) -> None:
+        """Record one latency observation at time *t*."""
+        self._frame(t).sketch.observe(value)
+
+    def inc(self, name: str, t: float, amount: float = 1.0) -> None:
+        """Add *amount* to counter *name* in the frame at time *t*."""
+        counters = self._frame(t).counters
+        counters[name] = counters.get(name, 0.0) + amount
+
+    # -- aggregation -----------------------------------------------------
+
+    def _lookback(
+        self, t: float, windows: Optional[int]
+    ) -> List[_Frame]:
+        if windows is None:
+            windows = self.n_windows
+        if not 1 <= windows <= self.n_windows:
+            raise ReproError(
+                f"lookback must be in [1, {self.n_windows}], got {windows}"
+            )
+        newest = self._frame_index(t)
+        lo = newest - windows + 1
+        return [
+            self._frames[i]
+            for i in range(lo, newest + 1)
+            if i in self._frames
+        ]
+
+    def count(
+        self, name: str, t: float, windows: Optional[int] = None
+    ) -> float:
+        """Counter total over the last *windows* frames ending at *t*."""
+        return sum(
+            f.counters.get(name, 0.0) for f in self._lookback(t, windows)
+        )
+
+    def rate(
+        self, name: str, t: float, windows: Optional[int] = None
+    ) -> float:
+        """Counter total per second over the lookback span."""
+        span = (windows or self.n_windows) * self.window_seconds
+        return self.count(name, t, windows) / span
+
+    def sketch_over(
+        self, t: float, windows: Optional[int] = None
+    ) -> LatencySketch:
+        """Merged sketch over the lookback (may be empty)."""
+        return LatencySketch.merged(
+            (f.sketch for f in self._lookback(t, windows)), self.alpha
+        )
+
+    def quantile(
+        self, q: float, t: float, windows: Optional[int] = None
+    ) -> Optional[float]:
+        """p-quantile over the lookback, or None with no observations."""
+        merged = self.sketch_over(t, windows)
+        return merged.quantile(q) if merged.count else None
+
+    @property
+    def frames(self) -> List[int]:
+        """Resident frame indices, oldest first."""
+        return sorted(self._frames)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One latency objective: ``target`` of requests see ``metric <=
+    threshold``.
+
+    ``p99 request_seconds <= 800us`` is spelled ``SloObjective(
+    name="request_p99", metric="request_seconds", threshold=8e-4,
+    target=0.99)``; the error budget is ``1 - target``.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    target: float = 0.99
+
+    def __post_init__(self):
+        if not self.name:
+            raise ReproError("objective name must be non-empty")
+        if self.threshold <= 0:
+            raise ReproError(
+                f"objective {self.name}: threshold must be > 0, "
+                f"got {self.threshold}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ReproError(
+                f"objective {self.name}: target must be in (0, 1), "
+                f"got {self.target}"
+            )
+
+    @property
+    def budget_fraction(self) -> float:
+        """Allowed bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Multi-window burn-rate alert rule with hysteresis.
+
+    Burn rate 1.0 means the error budget is being consumed exactly at
+    the sustainable pace; ``fire_burn`` of 2.0 fires when budget burns
+    twice as fast as allowed — in *both* the fast and the slow
+    lookback.  ``clear_burn`` must be strictly below ``fire_burn`` so
+    the alert state cannot flap on the firing threshold.
+    """
+
+    fast_windows: int = 1
+    slow_windows: int = 12
+    fire_burn: float = 2.0
+    clear_burn: float = 1.0
+
+    def __post_init__(self):
+        if self.fast_windows < 1 or self.slow_windows < self.fast_windows:
+            raise ReproError(
+                "burn-rate windows must satisfy 1 <= fast <= slow, got "
+                f"fast={self.fast_windows} slow={self.slow_windows}"
+            )
+        if not 0 < self.clear_burn < self.fire_burn:
+            raise ReproError(
+                "hysteresis requires 0 < clear_burn < fire_burn, got "
+                f"clear={self.clear_burn} fire={self.fire_burn}"
+            )
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The full declarative SLO configuration for one serving plane."""
+
+    objectives: Tuple[SloObjective, ...]
+    window_seconds: float = 1.0
+    n_windows: int = 12
+    burn: BurnRatePolicy = field(default_factory=BurnRatePolicy)
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self):
+        if not self.objectives:
+            raise ReproError("an SloPolicy needs at least one objective")
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate objective names in {names}")
+        if self.burn.slow_windows > self.n_windows:
+            raise ReproError(
+                f"slow lookback ({self.burn.slow_windows} windows) cannot "
+                f"exceed the ring ({self.n_windows} windows)"
+            )
+
+    def objective(self, name: str) -> SloObjective:
+        """Look up one objective by name."""
+        for o in self.objectives:
+            if o.name == name:
+                return o
+        raise ReproError(
+            f"unknown objective {name!r}; have "
+            f"{[o.name for o in self.objectives]}"
+        )
+
+
+@dataclass
+class _AlertState:
+    """Mutable alert state for one (objective, tenant)."""
+
+    firing: bool = False
+    fired_at: Optional[float] = None
+    cleared_at: Optional[float] = None
+    fires: int = 0
+    clears: int = 0
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One fire/clear edge returned by :meth:`SloTracker.evaluate`."""
+
+    objective: str
+    tenant: str
+    action: str  # "fired" | "cleared"
+    t: float
+    fast_burn: float
+    slow_burn: float
+
+
+class SloTracker:
+    """Runtime SLO accounting: windows, budgets, burn-rate alerts.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`SloPolicy` to enforce.
+    clock:
+        Time source for observations without an explicit ``t``
+        (default ``time.monotonic``; inject :class:`ManualClock` for
+        deterministic replays).
+    eventlog:
+        Optional :class:`~repro.obs.eventlog.EventLog`; alert
+        transitions are emitted as ``slo_burn_alert`` (warning) /
+        ``slo_burn_clear`` (info) records.
+    metrics:
+        Optional :class:`~repro.obs.Metrics`; maintains
+        ``slo_good_total`` / ``slo_bad_total`` counters and the
+        ``slo_burn_rate`` gauge, labeled by objective and tenant.
+    """
+
+    def __init__(
+        self,
+        policy: SloPolicy,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        eventlog=None,
+        metrics=None,
+    ):
+        from repro.obs.metrics import NULL_METRICS
+
+        self.policy = policy
+        self.clock = clock
+        self.eventlog = eventlog
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: (objective name, tenant) -> good/bad window ring.
+        self._series: Dict[Tuple[str, str], WindowedSeries] = {}
+        #: ("tenant"|"digest", key, metric) -> cumulative sketch.
+        self._sketches: Dict[Tuple[str, str, str], LatencySketch] = {}
+        self._alerts: Dict[Tuple[str, str], _AlertState] = {}
+        self._tenants: List[str] = []
+
+    # -- recording -------------------------------------------------------
+
+    def _series_for(self, objective: str, tenant: str) -> WindowedSeries:
+        key = (objective, tenant)
+        series = self._series.get(key)
+        if series is None:
+            series = WindowedSeries(
+                self.policy.window_seconds,
+                self.policy.n_windows,
+                alpha=self.policy.alpha,
+            )
+            self._series[key] = series
+        return series
+
+    def _sketch_for(
+        self, dimension: str, key: str, metric: str
+    ) -> LatencySketch:
+        k = (dimension, key, metric)
+        sketch = self._sketches.get(k)
+        if sketch is None:
+            sketch = LatencySketch(self.policy.alpha)
+            self._sketches[k] = sketch
+        return sketch
+
+    def observe(
+        self,
+        metric: str,
+        value: float,
+        *,
+        tenant: str = "default",
+        digest: Optional[str] = None,
+        t: Optional[float] = None,
+    ) -> None:
+        """Record one latency observation.
+
+        Classifies the value good/bad for every objective on *metric*,
+        updates the (objective, tenant) window ring, and folds the
+        value into the cumulative per-tenant (and, when given, per-
+        digest) sketches the dashboards read.
+        """
+        if t is None:
+            t = self.clock()
+        if tenant not in self._tenants:
+            self._tenants.append(tenant)
+        self._sketch_for("tenant", tenant, metric).observe(value)
+        if digest is not None:
+            self._sketch_for("digest", digest, metric).observe(value)
+        for obj in self.policy.objectives:
+            if obj.metric != metric:
+                continue
+            series = self._series_for(obj.name, tenant)
+            series.observe(value, t)
+            good = value <= obj.threshold
+            series.inc("good" if good else "bad", t)
+            self.metrics.counter(
+                "slo_good_total" if good else "slo_bad_total",
+                "requests inside/outside their SLO threshold",
+            ).inc(objective=obj.name, tenant=tenant)
+
+    # -- burn-rate accounting --------------------------------------------
+
+    def burn_rate(
+        self,
+        objective: str,
+        *,
+        tenant: str = "default",
+        windows: Optional[int] = None,
+        t: Optional[float] = None,
+    ) -> float:
+        """Error-budget burn rate over a lookback (0.0 with no traffic).
+
+        1.0 = consuming budget exactly at the sustainable pace; ``x`` =
+        at this pace the budget for the lookback span is exhausted
+        ``x`` times over.
+        """
+        obj = self.policy.objective(objective)
+        if t is None:
+            t = self.clock()
+        series = self._series_for(objective, tenant)
+        good = series.count("good", t, windows)
+        bad = series.count("bad", t, windows)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / obj.budget_fraction
+
+    def budget(
+        self, objective: str, *, tenant: str = "default",
+        t: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Error-budget accounting over the full ring for one tenant."""
+        obj = self.policy.objective(objective)
+        if t is None:
+            t = self.clock()
+        series = self._series_for(objective, tenant)
+        good = series.count("good", t)
+        bad = series.count("bad", t)
+        total = good + bad
+        allowed = obj.budget_fraction * total
+        return {
+            "requests": total,
+            "bad": bad,
+            "budget_requests": allowed,
+            "consumed_fraction": (bad / allowed) if allowed > 0 else 0.0,
+        }
+
+    # -- alerting --------------------------------------------------------
+
+    def _alert(self, objective: str, tenant: str) -> _AlertState:
+        key = (objective, tenant)
+        state = self._alerts.get(key)
+        if state is None:
+            state = _AlertState()
+            self._alerts[key] = state
+        return state
+
+    def evaluate(self, t: Optional[float] = None) -> List[AlertTransition]:
+        """Run the burn-rate rule for every (objective, tenant) pair.
+
+        Returns the transitions (fires/clears) this evaluation caused;
+        steady states return nothing.  Deterministic in (observations,
+        evaluation times).
+        """
+        if t is None:
+            t = self.clock()
+        burn = self.policy.burn
+        transitions: List[AlertTransition] = []
+        for obj in self.policy.objectives:
+            for tenant in self._tenants:
+                if (obj.name, tenant) not in self._series:
+                    continue
+                fast = self.burn_rate(
+                    obj.name, tenant=tenant, windows=burn.fast_windows, t=t
+                )
+                slow = self.burn_rate(
+                    obj.name, tenant=tenant, windows=burn.slow_windows, t=t
+                )
+                self.metrics.gauge(
+                    "slo_burn_rate",
+                    "slow-window error-budget burn rate",
+                ).set(slow, objective=obj.name, tenant=tenant)
+                state = self._alert(obj.name, tenant)
+                if (
+                    not state.firing
+                    and fast >= burn.fire_burn
+                    and slow >= burn.fire_burn
+                ):
+                    state.firing = True
+                    state.fired_at = t
+                    state.fires += 1
+                    transitions.append(AlertTransition(
+                        obj.name, tenant, "fired", t, fast, slow
+                    ))
+                    self.metrics.counter(
+                        "slo_alerts_fired_total", "burn-rate alerts fired"
+                    ).inc(objective=obj.name, tenant=tenant)
+                    if self.eventlog is not None:
+                        self.eventlog.warning(
+                            "slo_burn_alert",
+                            objective=obj.name,
+                            tenant=tenant,
+                            fast_burn=fast,
+                            slow_burn=slow,
+                            threshold_seconds=obj.threshold,
+                        )
+                elif (
+                    state.firing
+                    and fast < burn.clear_burn
+                    and slow < burn.clear_burn
+                ):
+                    state.firing = False
+                    state.cleared_at = t
+                    state.clears += 1
+                    transitions.append(AlertTransition(
+                        obj.name, tenant, "cleared", t, fast, slow
+                    ))
+                    if self.eventlog is not None:
+                        self.eventlog.info(
+                            "slo_burn_clear",
+                            objective=obj.name,
+                            tenant=tenant,
+                            fast_burn=fast,
+                            slow_burn=slow,
+                        )
+        return transitions
+
+    def firing(self) -> List[Tuple[str, str]]:
+        """(objective, tenant) pairs whose alert is currently firing."""
+        return sorted(
+            key for key, state in self._alerts.items() if state.firing
+        )
+
+    @property
+    def breached(self) -> bool:
+        """True while any burn-rate alert is firing."""
+        return any(state.firing for state in self._alerts.values())
+
+    # -- dashboards ------------------------------------------------------
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenants seen so far, first-observation order."""
+        return list(self._tenants)
+
+    def tenant_sketch(
+        self, tenant: str, metric: str
+    ) -> Optional[LatencySketch]:
+        """Cumulative sketch for (tenant, metric), or None."""
+        return self._sketches.get(("tenant", tenant, metric))
+
+    def digest_sketch(
+        self, digest: str, metric: str
+    ) -> Optional[LatencySketch]:
+        """Cumulative sketch for (pattern-set digest, metric), or None."""
+        return self._sketches.get(("digest", digest, metric))
+
+    def digests(self) -> List[str]:
+        """Pattern-set digests with recorded observations, sorted."""
+        return sorted({
+            key for dim, key, _ in self._sketches if dim == "digest"
+        })
+
+    def snapshot(self, t: Optional[float] = None) -> Dict[str, Any]:
+        """The SLO block of :func:`statusz` (schema-stable)."""
+        if t is None:
+            t = self.clock()
+        burn = self.policy.burn
+        objectives: List[Dict[str, Any]] = []
+        for obj in self.policy.objectives:
+            tenants: Dict[str, Any] = {}
+            for tenant in self._tenants:
+                if (obj.name, tenant) not in self._series:
+                    continue
+                state = self._alert(obj.name, tenant)
+                tenants[tenant] = {
+                    "fast_burn": self.burn_rate(
+                        obj.name, tenant=tenant,
+                        windows=burn.fast_windows, t=t,
+                    ),
+                    "slow_burn": self.burn_rate(
+                        obj.name, tenant=tenant,
+                        windows=burn.slow_windows, t=t,
+                    ),
+                    "firing": state.firing,
+                    "fires": state.fires,
+                    "budget": self.budget(
+                        obj.name, tenant=tenant, t=t
+                    ),
+                }
+            objectives.append({
+                "name": obj.name,
+                "metric": obj.metric,
+                "threshold_seconds": obj.threshold,
+                "target": obj.target,
+                "tenants": tenants,
+            })
+        return {
+            "window_seconds": self.policy.window_seconds,
+            "n_windows": self.policy.n_windows,
+            "fire_burn": burn.fire_burn,
+            "clear_burn": burn.clear_burn,
+            "breached": self.breached,
+            "objectives": objectives,
+        }
+
+
+def _counter_total(metrics, name: str) -> Optional[float]:
+    """Total of a registry counter, or None when unavailable."""
+    if metrics is None or not getattr(metrics, "enabled", False):
+        return None
+    inst = metrics.counter(name)
+    total = getattr(inst, "total", None)
+    return float(total()) if callable(total) else None
+
+
+def statusz(
+    *,
+    tracker: Optional[SloTracker] = None,
+    scheduler=None,
+    epochs=None,
+    cache=None,
+    metrics=None,
+    t: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One joined health snapshot of the serving telemetry plane.
+
+    Every component is optional — absent components export ``None`` so
+    the document shape is stable whatever subset is wired up:
+
+    * ``queue`` — scheduler depth, per-digest batch counts, queue-wait
+      quantiles (:meth:`~repro.serve.scheduler.ScanScheduler.
+      queue_stats`);
+    * ``epochs`` — per-name epoch lifecycle (:meth:`~repro.serve.epoch.
+      EpochManager.lifecycle_snapshot`);
+    * ``cache`` — hit rate and residency (:meth:`~repro.serve.cache.
+      AutomatonCache.snapshot`);
+    * ``fallbacks`` — retry/fallback/resilient-path counter totals from
+      the metrics registry;
+    * ``slo`` — burn state per objective and tenant
+      (:meth:`SloTracker.snapshot`).
+    """
+    fallbacks = None
+    if metrics is not None and getattr(metrics, "enabled", False):
+        fallbacks = {
+            "retries_total": _counter_total(metrics, "retries_total"),
+            "fallbacks_total": _counter_total(metrics, "fallbacks_total"),
+            "serve_fallback_requests_total": _counter_total(
+                metrics, "serve_fallback_requests_total"
+            ),
+        }
+    return {
+        "schema": STATUSZ_SCHEMA,
+        "version": STATUSZ_SCHEMA_VERSION,
+        "queue": scheduler.queue_stats() if scheduler is not None else None,
+        "epochs": (
+            epochs.lifecycle_snapshot() if epochs is not None else None
+        ),
+        "cache": cache.snapshot() if cache is not None else None,
+        "fallbacks": fallbacks,
+        "slo": tracker.snapshot(t) if tracker is not None else None,
+    }

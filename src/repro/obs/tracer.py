@@ -39,6 +39,11 @@ class Span:
     t_end: Optional[float] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
     children: List["Span"] = field(default_factory=list)
+    #: True for point events (:meth:`Tracer.event`).  Explicit rather
+    #: than inferred from ``t_end == t_start``: under a frozen test
+    #: clock a real interval span can legitimately have zero duration,
+    #: and it must still export as an interval, not an instant.
+    point: bool = False
 
     @property
     def duration(self) -> float:
@@ -49,8 +54,8 @@ class Span:
 
     @property
     def is_event(self) -> bool:
-        """True for zero-duration point events."""
-        return self.t_end == self.t_start and not self.children
+        """True for point events recorded via :meth:`Tracer.event`."""
+        return self.point
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes mid-span (returns self for chaining)."""
@@ -178,7 +183,7 @@ class Tracer:
     def event(self, name: str, **attrs: Any) -> Span:
         """Record a zero-duration point event under the open span."""
         t = self._clock()
-        s = Span(name=name, t_start=t, t_end=t, attrs=attrs)
+        s = Span(name=name, t_start=t, t_end=t, attrs=attrs, point=True)
         if self._stack:
             self._stack[-1].children.append(s)
         else:

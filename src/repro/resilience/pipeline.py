@@ -161,6 +161,12 @@ class ResilientMatcher:
     metrics:
         Optional :class:`~repro.obs.Metrics`; retries and fallbacks
         update ``retries_total``/``fallbacks_total``.  Default: no-op.
+    tenant:
+        Optional tenant label for the telemetry plane (docs/MODEL.md
+        §12).  When set, every retry/fallback counter update carries a
+        ``tenant`` label; when None (the default) the label is omitted
+        entirely, so single-tenant deployments keep their existing
+        series keys.
     """
 
     def __init__(
@@ -179,6 +185,7 @@ class ResilientMatcher:
         sleep: Optional[Callable[[float], None]] = None,
         tracer=None,
         metrics=None,
+        tenant: Optional[str] = None,
     ):
         chain = tuple(chain)
         if not chain:
@@ -214,6 +221,7 @@ class ResilientMatcher:
         self.device_config = device_config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tenant = tenant
         self._sleep = sleep if sleep is not None else time.sleep
         # GPU attempts always run on a pipeline-owned matcher so the
         # per-attempt device swap never mutates a caller's Matcher.
@@ -280,6 +288,9 @@ class ResilientMatcher:
         fallbacks_c = self.metrics.counter(
             "fallbacks_total", "backend abandonments"
         )
+        # Tenant label only when explicitly configured: attaching it
+        # unconditionally would fork every existing series key.
+        tenant_labels = {} if self.tenant is None else {"tenant": self.tenant}
         with self.tracer.span(
             "resilient_scan", chain=",".join(self.chain)
         ) as episode:
@@ -318,7 +329,7 @@ class ResilientMatcher:
                             attempt=attempt,
                             backoff_seconds=backoff,
                         )
-                        retries_c.inc(backend=backend)
+                        retries_c.inc(backend=backend, **tenant_labels)
                         self._sleep(backoff)
                         continue
                     attempts.append(
@@ -343,7 +354,9 @@ class ResilientMatcher:
                         to_backend=nxt,
                         error=type(last_error).__name__,
                     )
-                    fallbacks_c.inc(**{"from": backend, "to": nxt})
+                    fallbacks_c.inc(
+                        **{"from": backend, "to": nxt}, **tenant_labels
+                    )
             health = HealthReport(
                 ok=False,
                 final_backend=None,

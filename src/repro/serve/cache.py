@@ -222,3 +222,21 @@ class AutomatonCache:
         self.metrics.gauge(
             "automaton_cache_entries", "resident cached automata"
         ).set(0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """The cache block of :func:`repro.obs.slo.statusz`."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
+        }

@@ -271,17 +271,47 @@ class EpochManager:
         """How many epochs of *name* hold tables right now."""
         return len(self.live_epochs(name))
 
+    def lifecycle_snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """Per-name epoch lifecycle for :func:`repro.obs.slo.statusz`.
+
+        One entry per epoch ever created, oldest first: id, version,
+        state, refcount and whether its STT is still resident — the
+        at-a-glance answer to "is anything stuck DRAINING and pinning
+        memory".
+        """
+        return {
+            name: [
+                {
+                    "epoch": epoch.epoch_id,
+                    "version": epoch.version,
+                    "state": epoch.state.name.lower(),
+                    "refs": epoch.refs,
+                    "holds_table": epoch.holds_table,
+                }
+                for epoch in epochs
+            ]
+            for name, epochs in sorted(self._epochs.items())
+        }
+
     # -- admission / release ---------------------------------------------
 
-    def admit(self, name: str) -> EpochLease:
+    def admit(self, name: str, *, tenant: Optional[str] = None) -> EpochLease:
         """Pin the active epoch of *name* for one request.
 
         The returned lease is the request's version contract: whatever
         swaps land later, this request scans (and is oracle-checked)
-        against the pinned epoch's automaton.
+        against the pinned epoch's automaton.  ``tenant`` only labels
+        the admission counter (the telemetry plane's per-tenant
+        decomposition); it never affects which epoch is pinned.
         """
         epoch = self.active(name)
         epoch.refs += 1
+        labels = {"pattern_set": name}
+        if tenant is not None:
+            labels["tenant"] = tenant
+        self.metrics.counter(
+            "epoch_admissions_total", "requests admitted onto an epoch"
+        ).inc(**labels)
         return EpochLease(epoch)
 
     def release(self, lease: EpochLease) -> None:

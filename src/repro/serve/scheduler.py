@@ -34,8 +34,9 @@ timing numbers — the seeded-determinism test pins all three.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.core.pattern_set import PatternSet
 from repro.errors import ReproError
 from repro.matcher import Matcher
 from repro.obs import KernelProfiler, NULL_METRICS, NULL_TRACER
+from repro.obs.sketch import LatencySketch
 from repro.serve.cache import AutomatonCache, pattern_set_digest
 from repro.serve.epoch import Epoch, EpochLease, EpochManager
 
@@ -60,6 +62,13 @@ class ScanRequest:
     exact automaton version) the request was admitted under, however
     many hot-swaps land before its batch runs.  The scheduler releases
     it when the batch drains.
+
+    ``tenant`` labels the submitter (docs/MODEL.md §12) so the SLO
+    plane can decompose latency per tenant; ``enqueued_at`` /
+    ``admitted_at`` are stamped from the scheduler's clock at
+    submission (for named submissions, admission is when the epoch
+    lease was granted).  The remaining lifecycle timestamps
+    (batched/completed) live on the mutable :class:`ScanTicket`.
     """
 
     request_id: int
@@ -68,6 +77,9 @@ class ScanRequest:
     text: Union[bytes, str]
     case_insensitive: bool = False
     lease: Optional["EpochLease"] = None
+    tenant: str = "default"
+    enqueued_at: Optional[float] = None
+    admitted_at: Optional[float] = None
 
     @property
     def n_bytes(self) -> int:
@@ -81,6 +93,13 @@ class ScanTicket:
     ``result()`` drains the scheduler if the request has not run yet,
     then returns the request's :class:`MatchResult` — or re-raises the
     typed error if the request's whole fallback chain was exhausted.
+
+    The ticket carries the request's lifecycle timestamps
+    (``batched_at``/``completed_at``, stamped from the scheduler's
+    clock) and — for GPU batches — the request's modeled pipeline
+    share (``pipeline_seconds``: its H2D copy slice plus its prorated
+    kernel slice), so every served request decomposes into queue-wait
+    vs. pipeline time.
     """
 
     def __init__(self, scheduler: "ScanScheduler", request: ScanRequest):
@@ -89,11 +108,22 @@ class ScanTicket:
         self.done = False
         self._result: Optional[MatchResult] = None
         self._error: Optional[BaseException] = None
+        self.batched_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.pipeline_seconds: Optional[float] = None
 
     def _resolve(self, result=None, error=None) -> None:
         self.done = True
         self._result = result
         self._error = error
+
+    @property
+    def queue_wait_seconds(self) -> Optional[float]:
+        """Seconds between submission and batch start (None until
+        batched)."""
+        if self.batched_at is None or self.request.enqueued_at is None:
+            return None
+        return self.batched_at - self.request.enqueued_at
 
     def result(self) -> MatchResult:
         """The request's matches (drains the queue on first call)."""
@@ -197,6 +227,20 @@ class ScanScheduler:
         refcounted lease on that epoch until its batch drains, so a
         hot-swap landing mid-queue never changes what an already
         admitted request matches against.
+    clock:
+        Timestamp source for the request lifecycle
+        (enqueued/admitted/batched/completed; default
+        ``time.monotonic``).  Inject a
+        :class:`~repro.obs.slo.ManualClock` for deterministic
+        queue-wait numbers in demos and benches.
+    slo:
+        Optional :class:`~repro.obs.slo.SloTracker`; every completed
+        request feeds it three observations — ``queue_wait_seconds``,
+        ``pipeline_seconds`` and their sum ``request_seconds`` —
+        labeled by the request's tenant and pattern-set digest.
+    eventlog:
+        Optional :class:`~repro.obs.eventlog.EventLog`; drains and
+        batch fallbacks are narrated as structured events.
     """
 
     def __init__(
@@ -213,6 +257,9 @@ class ScanScheduler:
         profiler=None,
         tile_len: Optional[int] = None,
         epochs: Optional[EpochManager] = None,
+        clock: Callable[[], float] = time.monotonic,
+        slo=None,
+        eventlog=None,
     ):
         if backend not in SCHEDULER_BACKENDS:
             raise ReproError(
@@ -237,11 +284,18 @@ class ScanScheduler:
             cache_capacity, metrics=self.metrics, tracer=self.tracer
         )
         self.epochs = epochs
+        self.clock = clock
+        self.slo = slo
+        self.eventlog = eventlog
         self._pending: List[Tuple[ScanRequest, ScanTicket]] = []
         self._matchers: Dict[str, Matcher] = {}
         self._epoch_matchers: Dict[str, Tuple[Matcher, Epoch]] = {}
         self._next_id = 0
         self.reports: List[BatchReport] = []
+        #: Queue-wait quantiles across every served request.
+        self.queue_wait = LatencySketch()
+        #: Batches executed per pattern-set digest (full digest key).
+        self.batches_by_digest: Dict[str, int] = {}
 
     # -- submission ------------------------------------------------------
 
@@ -256,6 +310,7 @@ class ScanScheduler:
         text: Union[bytes, str],
         *,
         case_insensitive: bool = False,
+        tenant: str = "default",
     ) -> ScanTicket:
         """Queue one scan; returns its :class:`ScanTicket`.
 
@@ -266,6 +321,7 @@ class ScanScheduler:
         """
         if not isinstance(patterns, PatternSet):
             patterns = PatternSet(patterns)
+        now = self.clock()
         request = ScanRequest(
             request_id=self._next_id,
             digest=pattern_set_digest(
@@ -274,11 +330,14 @@ class ScanScheduler:
             patterns=patterns,
             text=text,
             case_insensitive=case_insensitive,
+            tenant=tenant,
+            enqueued_at=now,
+            admitted_at=now,
         )
         return self._enqueue(request)
 
     def submit_named(
-        self, name: str, text: Union[bytes, str]
+        self, name: str, text: Union[bytes, str], *, tenant: str = "default"
     ) -> ScanTicket:
         """Queue one scan against the registered rule set *name*.
 
@@ -292,7 +351,8 @@ class ScanScheduler:
                 "submit_named requires an EpochManager; construct the "
                 "scheduler with ScanScheduler(epochs=...)"
             )
-        lease = self.epochs.admit(name)
+        lease = self.epochs.admit(name, tenant=tenant)
+        admitted_at = self.clock()
         epoch = lease.epoch
         request = ScanRequest(
             request_id=self._next_id,
@@ -300,6 +360,9 @@ class ScanScheduler:
             patterns=epoch.patterns,
             text=text,
             lease=lease,
+            tenant=tenant,
+            enqueued_at=admitted_at,
+            admitted_at=admitted_at,
         )
         return self._enqueue(request)
 
@@ -321,22 +384,30 @@ class ScanScheduler:
         texts: Sequence[Union[bytes, str]],
         *,
         case_insensitive: bool = False,
+        tenant: str = "default",
     ) -> List[MatchResult]:
         """Submit *texts* against one dictionary and drain; results in
         input order."""
         tickets = [
-            self.submit(patterns, t, case_insensitive=case_insensitive)
+            self.submit(
+                patterns, t, case_insensitive=case_insensitive,
+                tenant=tenant,
+            )
             for t in texts
         ]
         self.drain()
         return [t.result() for t in tickets]
 
     def scan_many_named(
-        self, name: str, texts: Sequence[Union[bytes, str]]
+        self,
+        name: str,
+        texts: Sequence[Union[bytes, str]],
+        *,
+        tenant: str = "default",
     ) -> List[MatchResult]:
         """Submit *texts* against rule set *name* and drain; results in
         input order (all admitted under the same epoch)."""
-        tickets = [self.submit_named(name, t) for t in texts]
+        tickets = [self.submit_named(name, t, tenant=tenant) for t in texts]
         self.drain()
         return [t.result() for t in tickets]
 
@@ -384,6 +455,15 @@ class ScanScheduler:
             "serve_queue_depth", "requests waiting to be batched"
         ).set(0)
         self.reports.extend(reports)
+        if self.eventlog is not None:
+            self.eventlog.info(
+                "serve_drain",
+                n_requests=sum(r.n_requests for r in reports),
+                n_batches=len(reports),
+                fallback_requests=sum(
+                    len(r.fallback_request_ids) for r in reports
+                ),
+            )
         return reports
 
     def _release_batch(self, batch) -> None:
@@ -501,6 +581,9 @@ class ScanScheduler:
         tickets = [t for _, t in batch]
         digest = requests[0].digest
         total_bytes = sum(r.n_bytes for r in requests)
+        batched_at = self.clock()
+        for ticket in tickets:
+            ticket.batched_at = batched_at
         with self.tracer.span(
             "serve_batch",
             digest=digest[:12],
@@ -533,7 +616,15 @@ class ScanScheduler:
                     if t.done and t._result is not None
                 )
                 sp.set(fallback=True, matches=report.matches)
+                self._observe_requests(report, requests, tickets)
                 self._record_batch_metrics(report)
+                if self.eventlog is not None:
+                    self.eventlog.warning(
+                        "serve_batch_fallback",
+                        digest=digest[:12],
+                        n_requests=len(requests),
+                        recovered=len(report.fallback_request_ids),
+                    )
                 return report
             for ticket, result in zip(tickets, results):
                 ticket._resolve(result=result)
@@ -553,8 +644,58 @@ class ScanScheduler:
                     ),
                 )
             sp.set(matches=report.matches)
+        self._observe_requests(report, requests, tickets)
         self._record_batch_metrics(report)
         return report
+
+    def _observe_requests(self, report, requests, tickets) -> None:
+        """Stamp completion and feed the per-request telemetry plane.
+
+        Each request's latency decomposes as queue-wait (submission →
+        batch start, from the scheduler's clock) plus pipeline time:
+        for GPU batches the request's modeled H2D copy + prorated
+        kernel slice (+ its even share of any STT bind), otherwise the
+        batch's wall-clock duration prorated by bytes.  The sum is fed
+        to the SLO tracker as ``request_seconds`` per (tenant, digest).
+        """
+        completed_at = self.clock()
+        timing = report.timing
+        wall = None
+        if timing is None and tickets and tickets[0].batched_at is not None:
+            wall = completed_at - tickets[0].batched_at
+        total_bytes = max(report.total_bytes, 1)
+        for i, (request, ticket) in enumerate(zip(requests, tickets)):
+            ticket.completed_at = completed_at
+            if timing is not None:
+                pipeline = (
+                    timing.copy_seconds[i]
+                    + timing.kernel_seconds[i]
+                    + timing.bind_seconds / len(requests)
+                )
+            elif wall is not None:
+                pipeline = wall * (request.n_bytes / total_bytes)
+            else:
+                pipeline = 0.0
+            ticket.pipeline_seconds = pipeline
+            wait = ticket.queue_wait_seconds
+            if wait is None:
+                continue
+            self.queue_wait.observe(wait)
+            self.metrics.histogram(
+                "serve_queue_wait_seconds",
+                "submission-to-batch-start wait per request",
+            ).observe(wait, backend=self.backend)
+            if self.slo is not None:
+                kwargs = dict(
+                    tenant=request.tenant,
+                    digest=request.digest,
+                    t=completed_at,
+                )
+                self.slo.observe("queue_wait_seconds", wait, **kwargs)
+                self.slo.observe("pipeline_seconds", pipeline, **kwargs)
+                self.slo.observe(
+                    "request_seconds", wait + pipeline, **kwargs
+                )
 
     def _fallback_batch(self, matcher, requests, tickets):
         """Per-request resilient re-run after a failed batch pass.
@@ -640,6 +781,9 @@ class ScanScheduler:
     # -- reporting -------------------------------------------------------
 
     def _record_batch_metrics(self, report: BatchReport) -> None:
+        self.batches_by_digest[report.digest] = (
+            self.batches_by_digest.get(report.digest, 0) + 1
+        )
         self.metrics.counter(
             "serve_batches_total", "batches executed"
         ).inc(backend=self.backend)
@@ -659,15 +803,31 @@ class ScanScheduler:
             "requests": sum(r.n_requests for r in self.reports),
             "batches": len(self.reports),
             "batch_sizes": [r.n_requests for r in self.reports],
+            "batches_by_digest": {
+                digest[:12]: count
+                for digest, count in sorted(self.batches_by_digest.items())
+            },
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_evictions": self.cache.evictions,
             "fallback_requests": sum(
                 len(r.fallback_request_ids) for r in self.reports
             ),
+            "queue_wait": self.queue_wait.summary(),
             "makespan_seconds": sum(t.makespan_seconds for t in timings),
             "serial_seconds": sum(t.serial_seconds for t in timings),
             "overlap_saved_seconds": sum(
                 t.overlap_saved_seconds for t in timings
             ),
+        }
+
+    def queue_stats(self) -> Dict[str, object]:
+        """The queue block of :func:`repro.obs.slo.statusz`."""
+        return {
+            "depth": self.queue_depth,
+            "batches_by_digest": {
+                digest[:12]: count
+                for digest, count in sorted(self.batches_by_digest.items())
+            },
+            "queue_wait": self.queue_wait.summary(),
         }

@@ -1,0 +1,206 @@
+"""EventLog: envelope schema, severity filtering, JSONL persistence."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SchemaError
+from repro.obs import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    ManualClock,
+    SEVERITIES,
+    validate_event_record,
+)
+
+
+class TestEnvelope:
+    def test_record_shape(self):
+        clock = ManualClock(12.5)
+        log = EventLog(clock=clock)
+        record = log.warning("slo_burn_alert", tenant="acme", fast_burn=3.5)
+        assert record == {
+            "schema": EVENT_SCHEMA,
+            "version": EVENT_SCHEMA_VERSION,
+            "seq": 0,
+            "ts": 12.5,
+            "severity": "warning",
+            "event": "slo_burn_alert",
+            "fields": {"tenant": "acme", "fast_burn": 3.5},
+        }
+        validate_event_record(record)
+
+    def test_seq_monotonic_even_at_equal_timestamps(self):
+        log = EventLog(clock=ManualClock(1.0))
+        records = [log.info("tick") for _ in range(5)]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+        assert len({r["ts"] for r in records}) == 1
+
+    def test_every_emitted_record_validates(self):
+        log = EventLog(clock=ManualClock())
+        log.debug("a", x=1)
+        log.info("b", y="s")
+        log.warning("c", z=None)
+        log.error("d", ok=True)
+        log.emit("critical", "e")
+        for record in log.records():
+            validate_event_record(record)
+
+    def test_validation_catches_drift(self):
+        log = EventLog(clock=ManualClock())
+        good = log.info("ok", n=1)
+        for mutation in [
+            {"schema": "other/event"},
+            {"version": 99},
+            {"seq": "0"},
+            {"seq": True},
+            {"ts": "now"},
+            {"severity": "fatal"},
+            {"event": ""},
+            {"fields": [1, 2]},
+            {"surprise": 1},
+        ]:
+            record = {**good, **mutation}
+            with pytest.raises(SchemaError):
+                validate_event_record(record)
+        with pytest.raises(SchemaError, match="dict"):
+            validate_event_record(["not", "a", "record"])
+        with pytest.raises(SchemaError, match="JSON scalar"):
+            validate_event_record(
+                {**good, "fields": {"bad": {"nested": 1}}}
+            )
+
+    def test_validation_lists_all_drift(self):
+        with pytest.raises(SchemaError) as exc:
+            validate_event_record({"schema": "x", "version": 0})
+        msg = str(exc.value)
+        for field in ["schema", "version", "seq", "ts", "severity",
+                      "event", "fields"]:
+            assert field in msg
+
+
+class TestFieldCoercion:
+    def test_hostile_fields_stay_json_scalars(self):
+        log = EventLog(clock=ManualClock())
+        record = log.info(
+            "hostile",
+            np_int=np.int64(7),
+            np_float=np.float32(0.5),
+            inf=math.inf,
+            nan=math.nan,
+            none=None,
+            flag=False,
+            arr=[1, 2],
+            obj={"k": "v"},
+        )
+        validate_event_record(record)
+        fields = record["fields"]
+        assert fields["np_int"] == 7 and isinstance(fields["np_int"], int)
+        assert fields["np_float"] == 0.5
+        assert fields["inf"] == "inf"
+        assert fields["nan"] == "nan"
+        assert fields["none"] is None
+        assert fields["flag"] is False
+        assert isinstance(fields["arr"], str)
+        assert isinstance(fields["obj"], str)
+        # The record must always survive a JSON dump.
+        json.dumps(record)
+
+
+class TestSeverity:
+    def test_min_severity_suppresses_but_counts(self):
+        log = EventLog(clock=ManualClock(), min_severity="warning")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        log.error("loud")
+        assert len(log) == 2
+        assert log.suppressed == 2
+        assert {r["severity"] for r in log.records()} == {
+            "warning", "error",
+        }
+
+    def test_records_filter(self):
+        log = EventLog(clock=ManualClock())
+        log.debug("a")
+        log.info("b")
+        log.warning("b")
+        assert [r["severity"] for r in log.records(min_severity="info")] \
+            == ["info", "warning"]
+        assert [r["event"] for r in log.records(event="b")] == ["b", "b"]
+        with pytest.raises(ReproError, match="severity"):
+            log.records(min_severity="loud")
+
+    def test_severities_are_ordered(self):
+        assert SEVERITIES == (
+            "debug", "info", "warning", "error", "critical"
+        )
+
+    def test_invalid_emission(self):
+        log = EventLog(clock=ManualClock())
+        with pytest.raises(ReproError, match="severity"):
+            log.emit("shouting", "x")
+        with pytest.raises(ReproError, match="non-empty"):
+            log.info("")
+        with pytest.raises(ReproError, match="severity"):
+            EventLog(min_severity="quiet")
+
+
+class TestCapacityAndPersistence:
+    def test_capacity_drops_oldest(self):
+        log = EventLog(clock=ManualClock(), capacity=3)
+        for i in range(6):
+            log.info("tick", i=i)
+        assert len(log) == 3
+        assert [r["fields"]["i"] for r in log.records()] == [3, 4, 5]
+        # seq keeps counting across the drop.
+        assert [r["seq"] for r in log.records()] == [3, 4, 5]
+        with pytest.raises(ReproError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_jsonl_file_append(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path), clock=ManualClock(2.0))
+        log.info("first", n=1)
+        log.warning("second")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_event_record(json.loads(line))
+        # A second log appends — the file outlives in-memory capacity.
+        again = EventLog(str(path), clock=ManualClock(3.0))
+        again.error("third")
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_file_keeps_what_capacity_drops(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path), clock=ManualClock(), capacity=2)
+        for i in range(5):
+            log.info("tick", i=i)
+        assert len(log) == 2
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_to_jsonl_round_trip(self):
+        log = EventLog(clock=ManualClock(1.5))
+        log.info("a", n=1)
+        log.debug("b")
+        text = log.to_jsonl(min_severity="info")
+        assert text.endswith("\n")
+        (record,) = [json.loads(line) for line in text.splitlines()]
+        validate_event_record(record)
+        assert record["event"] == "a"
+        assert EventLog(clock=ManualClock()).to_jsonl() == ""
+
+    def test_render_tail(self):
+        log = EventLog(clock=ManualClock(7.0))
+        log.debug("hidden")
+        log.warning("slo_burn_alert", tenant="acme")
+        out = log.render()
+        assert "WARNING" in out and "slo_burn_alert" in out
+        assert "tenant=acme" in out
+        assert "hidden" not in out

@@ -133,3 +133,122 @@ class TestNullMetrics:
         m = Metrics()
         assert coalesce_metrics(m) is m
         assert coalesce_metrics(None) is NULL_METRICS
+
+
+class TestLabelEscaping:
+    """Prometheus text-format 0.0.4 label-value escaping conformance."""
+
+    def assert_series_line(self, value: str, escaped: str):
+        m = Metrics()
+        m.counter("hostile_total").inc(tenant=value)
+        line = [
+            ln for ln in m.to_prometheus().splitlines()
+            if ln.startswith("hostile_total{")
+        ][0]
+        assert line == f'hostile_total{{tenant="{escaped}"}} 1'
+
+    def test_backslash(self):
+        self.assert_series_line("a\\b", "a\\\\b")
+
+    def test_double_quote(self):
+        self.assert_series_line('say "hi"', 'say \\"hi\\"')
+
+    def test_newline(self):
+        self.assert_series_line("line1\nline2", "line1\\nline2")
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # The pathological combo: a literal backslash-n and a real
+        # newline must stay distinguishable after escaping.
+        self.assert_series_line("a\\nb\nc", "a\\\\nb\\nc")
+        self.assert_series_line('\\"', '\\\\\\"')
+
+    def test_hostile_values_keep_exposition_parseable(self):
+        m = Metrics()
+        hostile = 'evil"} 9e9\ninjected_metric 1 # "\\'
+        m.counter("c_total").inc(tenant=hostile)
+        m.gauge("g").set(0.5, tenant=hostile)
+        m.histogram("h", buckets=(1.0,)).observe(0.5, tenant=hostile)
+        text = m.to_prometheus()
+        # One value line per series (+3 for the histogram's le/sum/count
+        # lines) — the injected payload must not create new lines.
+        value_lines = [
+            ln for ln in text.splitlines() if not ln.startswith("#")
+        ]
+        assert len(value_lines) == 1 + 1 + (2 + 2)
+        assert "injected_metric" not in [
+            ln.split("{")[0] for ln in value_lines
+        ]
+        import re
+
+        for ln in value_lines:
+            # Every line still parses as <name>{<labels>} <value> —
+            # spaces may appear only inside the quoted label value.
+            assert re.fullmatch(
+                r"[a-zA-Z_:][a-zA-Z0-9_:]*\{.*\} \S+", ln
+            ), ln
+
+    def test_plain_values_untouched(self):
+        m = Metrics()
+        m.counter("c_total").inc(backend="gpu")
+        assert 'c_total{backend="gpu"} 1' in m.to_prometheus()
+
+
+class TestDefaultBuckets:
+    def test_floor_extends_below_1e5(self):
+        """Satellite: sub-10us pipeline slices need sub-1e-5 buckets."""
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        assert DEFAULT_BUCKETS[0] <= 1e-7
+        assert sum(1 for b in DEFAULT_BUCKETS if b < 1e-5) >= 4
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_sub_10us_observations_resolve(self):
+        """A 2us and a 20us observation land in different buckets."""
+        h = Histogram("pipeline_seconds")
+        h.observe(2e-6)
+        h.observe(2e-5)
+        (data,) = h.series().values()
+        cumulative = data["buckets"]
+        # Strictly between the two observations some bucket boundary
+        # separates them: the first observation is already counted at a
+        # bound where the second is not.
+        assert any(
+            c == 1 for c in cumulative
+        ), "2us and 20us fell in the same bucket"
+
+
+class TestHistogramReRegistration:
+    def test_same_buckets_ok(self):
+        m = Metrics()
+        a = m.histogram("h", buckets=(0.1, 1.0))
+        b = m.histogram("h", buckets=(0.1, 1.0))
+        assert a is b
+
+    def test_none_means_existing(self):
+        """Callers that don't care about buckets never conflict."""
+        m = Metrics()
+        a = m.histogram("h", buckets=(0.1, 1.0))
+        b = m.histogram("h")
+        assert a is b
+        # ...and first creation without buckets uses the defaults.
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        assert m.histogram("h2").buckets == DEFAULT_BUCKETS
+
+    def test_mismatched_buckets_raise_typed_error(self):
+        from repro.errors import MetricsError
+
+        m = Metrics()
+        m.histogram("h", buckets=(0.1, 1.0))
+        with pytest.raises(MetricsError, match="buckets"):
+            m.histogram("h", buckets=(0.5, 5.0))
+        # A MetricsError is still a ReproError (one except clause).
+        assert issubclass(MetricsError, ReproError)
+        # The registered instrument is unchanged by the failed attempt.
+        assert m.histogram("h").buckets == (0.1, 1.0)
+
+    def test_kind_clash_still_generic(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(ReproError, match="already registered"):
+            m.histogram("x")

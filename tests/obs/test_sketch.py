@@ -1,0 +1,265 @@
+"""LatencySketch: relative-error guarantee, merging, export round-trip.
+
+The acceptance criterion for the telemetry plane is that quantile
+estimates stay within 2% relative error of the exact percentiles on
+100k+-sample streams, *including* sketches assembled by merging
+shards.  The property tests here check the tighter design bound
+(``alpha`` = 1% by default) against numpy's exact order statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.obs import DEFAULT_ALPHA, LatencySketch
+
+QS = (0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0)
+
+#: Acceptance bound from ISSUE: <= 2% relative error.
+ACCEPT_REL_ERR = 0.02
+
+
+def exact_quantile(values: np.ndarray, q: float) -> float:
+    """Nearest-rank exact percentile matching the sketch's rank rule."""
+    rank = q * (len(values) - 1)
+    ordered = np.sort(values)
+    # The sketch walks cumulative counts until ``running > rank``; the
+    # first bucket crossing that line holds the order statistic at
+    # index floor(rank).
+    return float(ordered[math.floor(rank)])
+
+
+def assert_same_sketch(a: LatencySketch, b: LatencySketch) -> None:
+    """Equality up to float-summation order (bucket counts exact)."""
+    da, db = a.as_dict(), b.as_dict()
+    assert da.pop("sum") == pytest.approx(db.pop("sum"), rel=1e-9)
+    assert da == db
+
+
+def assert_within(sketch: LatencySketch, values: np.ndarray,
+                  bound: float = ACCEPT_REL_ERR) -> None:
+    for q in QS:
+        exact = exact_quantile(values, q)
+        est = sketch.quantile(q)
+        if exact <= 1e-12:
+            assert est <= 1e-12
+        else:
+            rel = abs(est - exact) / exact
+            assert rel <= bound, (
+                f"q={q}: estimate {est} vs exact {exact} "
+                f"(rel err {rel:.4f} > {bound})"
+            )
+
+
+def big_samples(seed: int, dist: str, n: int = 120_000) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if dist == "lognormal":
+        return rng.lognormal(mean=-9.0, sigma=1.5, size=n)
+    if dist == "uniform":
+        return rng.uniform(1e-6, 1e-2, size=n)
+    if dist == "exponential":
+        return rng.exponential(scale=2e-4, size=n)
+    if dist == "bimodal":
+        fast = rng.normal(1e-4, 1e-5, size=n // 2).clip(min=1e-6)
+        slow = rng.normal(5e-3, 5e-4, size=n - n // 2).clip(min=1e-4)
+        return np.concatenate([fast, slow])
+    raise AssertionError(dist)
+
+
+class TestAccuracy100k:
+    """>=100k-sample accuracy, the headline acceptance criterion."""
+
+    @pytest.mark.parametrize("dist", [
+        "lognormal", "uniform", "exponential", "bimodal",
+    ])
+    @pytest.mark.parametrize("seed", [0, 2013])
+    def test_quantiles_within_2pct(self, dist, seed):
+        values = big_samples(seed, dist)
+        sketch = LatencySketch()
+        sketch.extend(values.tolist())
+        assert sketch.count == len(values)
+        assert_within(sketch, values)
+
+    @pytest.mark.parametrize("dist", ["lognormal", "bimodal"])
+    def test_merged_shards_within_2pct(self, dist):
+        """Sharded ingestion then merge keeps the same bound."""
+        values = big_samples(7, dist)
+        shards = [LatencySketch() for _ in range(8)]
+        for i, chunk in enumerate(np.array_split(values, len(shards))):
+            shards[i].extend(chunk.tolist())
+        merged = LatencySketch.merged(shards)
+        assert merged.count == len(values)
+        assert_within(merged, values)
+
+    def test_merge_equals_single_sketch(self):
+        """Merging shards is bit-identical to one-pass ingestion."""
+        values = big_samples(3, "lognormal", n=100_000)
+        whole = LatencySketch()
+        whole.extend(values.tolist())
+        shards = [LatencySketch() for _ in range(5)]
+        for i, chunk in enumerate(np.array_split(values, len(shards))):
+            shards[i].extend(chunk.tolist())
+        merged = LatencySketch.merged(shards)
+        assert_same_sketch(merged, whole)
+
+    def test_memory_stays_bounded(self):
+        values = big_samples(11, "lognormal")
+        sketch = LatencySketch()
+        sketch.extend(values.tolist())
+        # 100k+ observations across 6 decades fit in O(log-range/alpha)
+        # buckets — the whole point of the log-bucketed design.
+        assert sketch.n_buckets < 2_000
+
+
+class TestAccuracyProperty:
+    """Hypothesis-driven streams: arbitrary values, the same bound."""
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=300,
+        ),
+        q=st.sampled_from(QS),
+    )
+    def test_quantile_within_alpha(self, values, q):
+        sketch = LatencySketch()
+        sketch.extend(values)
+        exact = exact_quantile(np.asarray(values), q)
+        est = sketch.quantile(q)
+        assert abs(est - exact) <= ACCEPT_REL_ERR * exact + 1e-15
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+        n_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_shard_order_free(self, values, n_shards):
+        """Any sharding of the same stream merges to the same sketch."""
+        whole = LatencySketch()
+        whole.extend(values)
+        shards = [LatencySketch() for _ in range(n_shards)]
+        for i, v in enumerate(values):
+            shards[i % n_shards].observe(v)
+        merged = LatencySketch.merged(shards)
+        assert_same_sketch(merged, whole)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+    )
+    def test_round_trip_exact(self, values):
+        sketch = LatencySketch()
+        sketch.extend(values)
+        again = LatencySketch.from_dict(sketch.as_dict())
+        assert again.as_dict() == sketch.as_dict()
+        for q in QS:
+            assert again.quantile(q) == sketch.quantile(q)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+    )
+    def test_quantiles_monotone_and_clamped(self, values):
+        sketch = LatencySketch()
+        sketch.extend(values)
+        estimates = sketch.quantiles(QS)
+        assert estimates == sorted(estimates)
+        assert estimates[0] >= 0.0
+        assert estimates[-1] <= max(values) + 1e-15
+        assert sketch.quantile(1.0) <= sketch.max
+
+
+class TestBasics:
+    def test_empty_sketch(self):
+        sketch = LatencySketch()
+        assert sketch.count == 0
+        assert sketch.mean == 0.0
+        assert sketch.min is None and sketch.max is None
+        assert sketch.summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        with pytest.raises(ReproError, match="empty"):
+            sketch.quantile(0.5)
+
+    def test_zero_and_subtrackable_values(self):
+        sketch = LatencySketch()
+        sketch.observe(0.0)
+        sketch.observe(1e-13)
+        sketch.observe(1e-3)
+        assert sketch.count == 3
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(0.25) == 0.0
+
+    def test_weighted_observe(self):
+        a = LatencySketch()
+        for _ in range(5):
+            a.observe(2e-4)
+        b = LatencySketch()
+        b.observe(2e-4, count=5)
+        assert a.as_dict() == b.as_dict()
+
+    def test_summary_keys(self):
+        sketch = LatencySketch()
+        sketch.extend([1e-4] * 10)
+        s = sketch.summary()
+        assert set(s) == {"count", "mean", "p50", "p95", "p99"}
+        assert s["count"] == 10
+        assert s["p50"] == pytest.approx(1e-4, rel=ACCEPT_REL_ERR)
+
+    def test_invalid_inputs(self):
+        sketch = LatencySketch()
+        with pytest.raises(ReproError, match="alpha"):
+            LatencySketch(0.0)
+        with pytest.raises(ReproError, match="alpha"):
+            LatencySketch(0.5)
+        with pytest.raises(ReproError, match="finite"):
+            sketch.observe(-1.0)
+        with pytest.raises(ReproError, match="finite"):
+            sketch.observe(float("nan"))
+        with pytest.raises(ReproError, match="count"):
+            sketch.observe(1.0, count=0)
+        sketch.observe(1.0)
+        with pytest.raises(ReproError, match="q must be"):
+            sketch.quantile(1.5)
+
+    def test_merge_guards(self):
+        a = LatencySketch(0.01)
+        b = LatencySketch(0.02)
+        with pytest.raises(ReproError, match="different alpha"):
+            a.merge(b)
+        with pytest.raises(ReproError, match="LatencySketch"):
+            a.merge([1.0])
+
+    def test_merge_returns_self_and_accumulates(self):
+        a = LatencySketch()
+        a.extend([1e-4, 2e-4])
+        b = LatencySketch()
+        b.extend([3e-4])
+        out = a.merge(b)
+        assert out is a
+        assert a.count == 3
+        assert a.sum == pytest.approx(6e-4)
+        assert a.max == pytest.approx(3e-4)
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ReproError, match="malformed"):
+            LatencySketch.from_dict({"alpha": 0.01})
+
+    def test_default_alpha_exported(self):
+        assert LatencySketch().alpha == DEFAULT_ALPHA == 0.01

@@ -1,0 +1,340 @@
+"""SLO engine: windowed series, burn-rate math, alert hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    BurnRatePolicy,
+    EventLog,
+    ManualClock,
+    Metrics,
+    SloObjective,
+    SloPolicy,
+    SloTracker,
+    statusz,
+    validate_event_record,
+)
+from repro.obs.slo import STATUSZ_SCHEMA, STATUSZ_SCHEMA_VERSION
+
+
+def make_policy(**overrides):
+    """1s windows, 10% error budget, 1-fast/2-slow burn rule."""
+    kwargs = dict(
+        objectives=(
+            SloObjective(
+                "lat_p90", "lat", threshold=1e-3, target=0.90
+            ),
+        ),
+        window_seconds=1.0,
+        n_windows=4,
+        burn=BurnRatePolicy(
+            fast_windows=1, slow_windows=2, fire_burn=2.0, clear_burn=1.0
+        ),
+    )
+    kwargs.update(overrides)
+    return SloPolicy(**kwargs)
+
+
+GOOD, BAD = 1e-4, 1e-2  # vs the 1e-3 threshold
+
+
+def feed(tracker, t, good=0, bad=0, tenant="default"):
+    for _ in range(good):
+        tracker.observe("lat", GOOD, tenant=tenant, t=t)
+    for _ in range(bad):
+        tracker.observe("lat", BAD, tenant=tenant, t=t)
+
+
+class TestManualClock:
+    def test_advance(self):
+        clock = ManualClock(2.0)
+        assert clock() == 2.0
+        assert clock.advance(0.5) == 2.5
+        assert clock() == 2.5
+        with pytest.raises(ReproError, match="backwards"):
+            clock.advance(-0.1)
+
+
+class TestWindowedSeries:
+    def test_frame_indexing_and_eviction(self):
+        from repro.obs import WindowedSeries
+
+        series = WindowedSeries(window_seconds=1.0, n_windows=3)
+        for t in (0.5, 1.2, 2.9):
+            series.observe(GOOD, t)
+        assert series.frames == [0, 1, 2]
+        series.observe(GOOD, 3.1)  # frame 3 evicts frame 0
+        assert series.frames == [1, 2, 3]
+        # Old frames only age out as *newer* frames appear.
+        series.observe(GOOD, 1.5)
+        assert series.frames == [1, 2, 3]
+
+    def test_counts_and_rates_over_lookbacks(self):
+        from repro.obs import WindowedSeries
+
+        series = WindowedSeries(window_seconds=1.0, n_windows=4)
+        series.inc("good", 0.5, 10)
+        series.inc("good", 1.5, 30)
+        series.inc("bad", 1.5, 2)
+        assert series.count("good", t=1.9, windows=1) == 30
+        assert series.count("good", t=1.9, windows=2) == 40
+        assert series.count("good", t=1.9) == 40  # full ring
+        assert series.count("bad", t=1.9, windows=1) == 2
+        assert series.rate("good", t=1.9, windows=2) == pytest.approx(20.0)
+        with pytest.raises(ReproError, match="lookback"):
+            series.count("good", t=1.9, windows=5)
+
+    def test_windowed_quantiles(self):
+        from repro.obs import WindowedSeries
+
+        series = WindowedSeries(window_seconds=1.0, n_windows=4)
+        assert series.quantile(0.5, t=0.0) is None
+        for _ in range(10):
+            series.observe(1e-4, 0.5)
+        for _ in range(10):
+            series.observe(1e-2, 1.5)
+        assert series.quantile(0.5, t=1.9, windows=1) == pytest.approx(
+            1e-2, rel=0.02
+        )
+        assert series.quantile(0.25, t=1.9, windows=2) == pytest.approx(
+            1e-4, rel=0.02
+        )
+        assert series.sketch_over(t=1.9, windows=2).count == 20
+
+    def test_validation(self):
+        from repro.obs import WindowedSeries
+
+        with pytest.raises(ReproError, match="window_seconds"):
+            WindowedSeries(window_seconds=0.0)
+        with pytest.raises(ReproError, match="n_windows"):
+            WindowedSeries(n_windows=0)
+
+
+class TestPolicyValidation:
+    def test_objective_guards(self):
+        with pytest.raises(ReproError, match="non-empty"):
+            SloObjective("", "lat", threshold=1.0)
+        with pytest.raises(ReproError, match="threshold"):
+            SloObjective("o", "lat", threshold=0.0)
+        with pytest.raises(ReproError, match="target"):
+            SloObjective("o", "lat", threshold=1.0, target=1.0)
+        obj = SloObjective("o", "lat", threshold=1.0, target=0.95)
+        assert obj.budget_fraction == pytest.approx(0.05)
+
+    def test_burn_policy_guards(self):
+        with pytest.raises(ReproError, match="fast <= slow"):
+            BurnRatePolicy(fast_windows=3, slow_windows=2)
+        with pytest.raises(ReproError, match="hysteresis"):
+            BurnRatePolicy(fire_burn=2.0, clear_burn=2.0)
+        with pytest.raises(ReproError, match="hysteresis"):
+            BurnRatePolicy(fire_burn=2.0, clear_burn=0.0)
+
+    def test_policy_guards(self):
+        with pytest.raises(ReproError, match="at least one"):
+            SloPolicy(objectives=())
+        obj = SloObjective("o", "lat", threshold=1.0)
+        with pytest.raises(ReproError, match="duplicate"):
+            SloPolicy(objectives=(obj, obj))
+        with pytest.raises(ReproError, match="ring"):
+            SloPolicy(
+                objectives=(obj,),
+                n_windows=4,
+                burn=BurnRatePolicy(slow_windows=8),
+            )
+        policy = make_policy()
+        assert policy.objective("lat_p90").metric == "lat"
+        with pytest.raises(ReproError, match="unknown objective"):
+            policy.objective("nope")
+
+
+class TestBurnRateMath:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        feed(tracker, t=0.5, good=90, bad=10)
+        # 10% bad against a 10% budget: burning exactly at pace.
+        assert tracker.burn_rate("lat_p90", windows=1, t=0.5) \
+            == pytest.approx(1.0)
+        feed(tracker, t=1.5, good=0, bad=10)
+        assert tracker.burn_rate("lat_p90", windows=1, t=1.5) \
+            == pytest.approx(10.0)
+        # Slow lookback blends both windows: 20 bad / 110 total.
+        assert tracker.burn_rate("lat_p90", windows=2, t=1.5) \
+            == pytest.approx((20 / 110) / 0.1)
+
+    def test_no_traffic_is_zero_burn(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        assert tracker.burn_rate("lat_p90", t=0.0) == 0.0
+
+    def test_budget_accounting(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        feed(tracker, t=0.5, good=95, bad=5)
+        budget = tracker.budget("lat_p90", t=0.5)
+        assert budget["requests"] == 100
+        assert budget["bad"] == 5
+        assert budget["budget_requests"] == pytest.approx(10.0)
+        assert budget["consumed_fraction"] == pytest.approx(0.5)
+        empty = tracker.budget("lat_p90", tenant="ghost", t=0.5)
+        assert empty["requests"] == 0
+        assert empty["consumed_fraction"] == 0.0
+
+    def test_threshold_boundary_is_good(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        tracker.observe("lat", 1e-3, t=0.5)  # exactly at threshold
+        assert tracker.burn_rate("lat_p90", windows=1, t=0.5) == 0.0
+
+    def test_unrelated_metric_ignored_by_objectives(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        tracker.observe("other_metric", 5.0, t=0.5)
+        assert tracker.burn_rate("lat_p90", windows=1, t=0.5) == 0.0
+        # ...but it still lands in the dashboard sketch.
+        assert tracker.tenant_sketch("default", "other_metric").count == 1
+
+
+class TestAlerting:
+    def test_deterministic_fire_then_clear(self):
+        eventlog = EventLog(clock=ManualClock())
+        metrics = Metrics()
+        tracker = SloTracker(
+            make_policy(), clock=ManualClock(), eventlog=eventlog,
+            metrics=metrics,
+        )
+        feed(tracker, t=0.5, good=10)
+        assert tracker.evaluate(t=0.5) == []
+        feed(tracker, t=1.5, bad=10)
+        (fired,) = tracker.evaluate(t=1.5)
+        assert (fired.action, fired.objective, fired.tenant) \
+            == ("fired", "lat_p90", "default")
+        assert fired.fast_burn == pytest.approx(10.0)
+        assert tracker.breached
+        assert tracker.firing() == [("lat_p90", "default")]
+        # Steady state: evaluating again produces no new edge.
+        assert tracker.evaluate(t=1.6) == []
+        # Recovery: fast drops immediately, slow still remembers.
+        feed(tracker, t=2.5, good=10)
+        assert tracker.evaluate(t=2.5) == []
+        assert tracker.breached
+        feed(tracker, t=3.5, good=10)
+        (cleared,) = tracker.evaluate(t=3.5)
+        assert cleared.action == "cleared"
+        assert not tracker.breached
+        assert tracker.firing() == []
+        # The episode narrated itself into the event log...
+        (alert,) = eventlog.records(event="slo_burn_alert")
+        assert alert["severity"] == "warning"
+        assert alert["fields"]["tenant"] == "default"
+        (clear,) = eventlog.records(event="slo_burn_clear")
+        assert clear["severity"] == "info"
+        for record in eventlog.records():
+            validate_event_record(record)
+        # ...and into the metrics registry.
+        assert metrics.counter("slo_alerts_fired_total").value(
+            objective="lat_p90", tenant="default"
+        ) == 1
+        assert metrics.counter("slo_bad_total").value(
+            objective="lat_p90", tenant="default"
+        ) == 10
+
+    def test_fast_spike_alone_does_not_fire(self):
+        """The slow window must corroborate — blips are not pages."""
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        feed(tracker, t=0.5, good=30)
+        feed(tracker, t=1.5, good=7, bad=3)
+        # fast burn = 3/10/0.1 = 3.0 >= fire; slow = 3/40/0.1 < fire.
+        assert tracker.burn_rate("lat_p90", windows=1, t=1.5) \
+            == pytest.approx(3.0)
+        assert tracker.evaluate(t=1.5) == []
+        assert not tracker.breached
+
+    def test_hysteresis_does_not_flap(self):
+        """Burn between clear and fire thresholds changes nothing."""
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        # Not firing + burn 1.5 (fire needs 2.0): stays quiet.
+        feed(tracker, t=0.5, good=85, bad=15)
+        feed(tracker, t=1.5, good=85, bad=15)
+        assert tracker.evaluate(t=1.5) == []
+        # Blow through the threshold: fires.
+        feed(tracker, t=2.5, bad=100)
+        (fired,) = tracker.evaluate(t=2.5)
+        assert fired.action == "fired"
+        # Firing + burn 1.5 (clear needs < 1.0): stays firing.
+        feed(tracker, t=3.5, good=85, bad=15)
+        assert tracker.evaluate(t=3.5) == []
+        assert tracker.breached
+        # Only a genuinely clean lookback clears.
+        feed(tracker, t=4.5, good=100)
+        feed(tracker, t=5.5, good=100)
+        (cleared,) = tracker.evaluate(t=5.5)
+        assert cleared.action == "cleared"
+
+    def test_tenants_are_isolated(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        feed(tracker, t=0.5, good=10, tenant="acme")
+        feed(tracker, t=0.5, good=10, tenant="globex")
+        feed(tracker, t=1.5, bad=10, tenant="acme")
+        feed(tracker, t=1.5, good=10, tenant="globex")
+        (fired,) = tracker.evaluate(t=1.5)
+        assert fired.tenant == "acme"
+        assert tracker.firing() == [("lat_p90", "acme")]
+        assert tracker.burn_rate(
+            "lat_p90", tenant="globex", windows=1, t=1.5
+        ) == 0.0
+
+
+class TestDashboards:
+    def test_tenant_and_digest_sketches(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        tracker.observe("lat", GOOD, tenant="acme", digest="d1" * 32, t=0.5)
+        tracker.observe("lat", BAD, tenant="acme", t=0.5)
+        assert tracker.tenants == ["acme"]
+        assert tracker.tenant_sketch("acme", "lat").count == 2
+        assert tracker.digest_sketch("d1" * 32, "lat").count == 1
+        assert tracker.digests() == ["d1" * 32]
+        assert tracker.tenant_sketch("ghost", "lat") is None
+
+    def test_snapshot_shape(self):
+        tracker = SloTracker(make_policy(), clock=ManualClock())
+        feed(tracker, t=0.5, good=9, bad=1, tenant="acme")
+        snap = tracker.snapshot(t=0.5)
+        assert set(snap) == {
+            "window_seconds", "n_windows", "fire_burn", "clear_burn",
+            "breached", "objectives",
+        }
+        (obj,) = snap["objectives"]
+        assert obj["name"] == "lat_p90"
+        assert obj["threshold_seconds"] == 1e-3
+        acme = obj["tenants"]["acme"]
+        assert set(acme) == {
+            "fast_burn", "slow_burn", "firing", "fires", "budget",
+        }
+        assert acme["fast_burn"] == pytest.approx(1.0)
+        assert acme["firing"] is False
+
+
+class TestStatusz:
+    def test_absent_components_export_none(self):
+        doc = statusz()
+        assert doc == {
+            "schema": STATUSZ_SCHEMA,
+            "version": STATUSZ_SCHEMA_VERSION,
+            "queue": None,
+            "epochs": None,
+            "cache": None,
+            "fallbacks": None,
+            "slo": None,
+        }
+
+    def test_tracker_and_metrics_join(self):
+        metrics = Metrics()
+        tracker = SloTracker(
+            make_policy(), clock=ManualClock(), metrics=metrics
+        )
+        feed(tracker, t=0.5, good=10)
+        doc = statusz(tracker=tracker, metrics=metrics, t=0.5)
+        assert doc["slo"]["breached"] is False
+        assert doc["fallbacks"] == {
+            "retries_total": 0.0,
+            "fallbacks_total": 0.0,
+            "serve_fallback_requests_total": 0.0,
+        }

@@ -151,3 +151,126 @@ class TestRealScanExport:
         )
         assert body["args"]["avg_conflict_degree"] == 1.0
         assert body["args"]["global_transactions"] > 0
+
+
+class StaticClock:
+    """A clock that never advances: every span has zero duration."""
+
+    def __call__(self):
+        return 5.0
+
+
+def _walk_spans(tracer):
+    """Every span in the forest, split into (intervals, instants)."""
+    intervals, instants = [], []
+
+    def visit(span):
+        (instants if span.is_event else intervals).append(span)
+        for child in span.children:
+            visit(child)
+
+    for root in tracer.roots:
+        visit(root)
+    return intervals, instants
+
+
+class TestZeroDurationSpans:
+    def test_zero_duration_span_exports_with_dur_zero(self):
+        tracer = Tracer(clock=StaticClock())
+        with tracer.span("serve_batch", n_requests=0):
+            tracer.event("cache_hit", digest="abc")
+        events = to_chrome_trace(tracer)["traceEvents"]
+        (batch,) = [e for e in events if e["ph"] == "X"]
+        assert batch["dur"] == 0.0
+        assert batch["ts"] == 0.0
+        # A closed zero-duration span is not flagged as open.
+        assert "open" not in batch["args"]
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["name"] == "cache_hit"
+        assert instant["ts"] == 0.0
+        assert "dur" not in instant
+
+    def test_zero_duration_children_stay_contained(self):
+        tracer = Tracer(clock=StaticClock())
+        with tracer.span("serve_drain"):
+            with tracer.span("serve_batch"):
+                pass
+            with tracer.span("serve_batch"):
+                pass
+        events = to_chrome_trace(tracer)["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        assert all(e["ts"] == 0.0 and e["dur"] == 0.0 for e in xs)
+        json.dumps(events)
+
+
+class TestNestedServeSpans:
+    @pytest.fixture
+    def served(self):
+        """A real scheduler drain: serve_drain > serve_batch > ..."""
+        from repro.serve import ScanScheduler
+
+        tracer = Tracer()
+        scheduler = ScanScheduler(backend="gpu", tracer=tracer)
+        scheduler.submit(["he", "she"], b"ushers" * 50)
+        scheduler.submit(["he", "she"], b"hishers" * 50)
+        scheduler.submit(["ab"], b"abab" * 50)
+        scheduler.drain()
+        return tracer
+
+    def test_drain_contains_batches(self, served):
+        events = to_chrome_trace(served)["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        drain = next(e for e in xs if e["name"] == "serve_drain")
+        batches = [e for e in xs if e["name"] == "serve_batch"]
+        assert len(batches) == 2  # two digests -> two batches
+        for batch in batches:
+            assert batch["ts"] >= drain["ts"]
+            assert batch["ts"] + batch["dur"] \
+                <= drain["ts"] + drain["dur"]
+        # The batch work itself (automaton build) nests one level
+        # deeper still.
+        builds = [e for e in xs if e["name"] == "cache_build"]
+        assert len(builds) == 2
+
+    def test_round_trip_references_every_span_exactly_once(self, served):
+        """Exporting loses nothing and invents nothing: one "X" per
+        interval span, one "i" per event, and only the two standard
+        metadata records on top."""
+        intervals, instants = _walk_spans(served)
+        doc = json.loads(json.dumps(to_chrome_trace(served)))
+        events = doc["traceEvents"]
+        by_phase = {}
+        for e in events:
+            by_phase.setdefault(e["ph"], []).append(e)
+        assert sorted(by_phase) == ["M", "X", "i"]
+        assert len(by_phase["M"]) == 2
+        assert len(by_phase["X"]) == len(intervals)
+        assert len(by_phase["i"]) == len(instants)
+
+        def names(items):
+            out = {}
+            for item in items:
+                key = item.name if hasattr(item, "name") else item["name"]
+                out[key] = out.get(key, 0) + 1
+            return out
+
+        assert names(by_phase["X"]) == names(intervals)
+        assert names(by_phase["i"]) == names(instants)
+
+    def test_round_trip_synthetic_forest(self):
+        """Same exactly-once contract on a forest with repeated names,
+        multiple roots and zero-duration leaves."""
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("drain"):
+            for _ in range(3):
+                with tracer.span("batch"):
+                    tracer.event("mark")
+        with tracer.span("drain"):  # second root, same name
+            pass
+        intervals, instants = _walk_spans(tracer)
+        assert len(intervals) == 5 and len(instants) == 3
+        events = to_chrome_trace(tracer)["traceEvents"]
+        assert len([e for e in events if e["ph"] == "X"]) == 5
+        assert len([e for e in events if e["ph"] == "i"]) == 3
+        assert len(events) == 5 + 3 + 2

@@ -1,0 +1,319 @@
+"""Per-request telemetry threading through the serving plane.
+
+Lifecycle timestamps (enqueued/admitted/batched/completed), tenant
+labels, the queue-wait vs. pipeline decomposition and the statusz join
+— everything the SLO engine reads out of the scheduler, epoch manager,
+cache and resilient path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    BurnRatePolicy,
+    EventLog,
+    ManualClock,
+    Metrics,
+    SloObjective,
+    SloPolicy,
+    SloTracker,
+    statusz,
+    validate_event_record,
+)
+from repro.resilience import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ResilientMatcher,
+)
+from repro.serve import AutomatonCache, EpochManager, ScanScheduler
+
+PATTERNS = ["he", "she", "his", "hers"]
+TEXT = b"ushers and fishers" * 20
+
+
+def make_tracker(clock, **kwargs):
+    policy = SloPolicy(
+        objectives=(
+            SloObjective(
+                "request_p99", "request_seconds", threshold=10.0,
+                target=0.99,
+            ),
+        ),
+        window_seconds=1.0,
+        n_windows=12,
+        burn=BurnRatePolicy(),
+    )
+    return SloTracker(policy, clock=clock, **kwargs)
+
+
+class TestRequestLifecycle:
+    def test_timestamps_and_decomposition(self):
+        clock = ManualClock()
+        tracker = make_tracker(clock)
+        scheduler = ScanScheduler(
+            backend="gpu", clock=clock, slo=tracker
+        )
+        t_a = scheduler.submit(PATTERNS, TEXT, tenant="acme")
+        clock.advance(1.0)
+        t_b = scheduler.submit(PATTERNS, TEXT, tenant="acme")
+        clock.advance(1.0)
+        scheduler.drain()
+        # Submission stamps enqueued/admitted; drain stamps the rest.
+        assert t_a.request.enqueued_at == 0.0
+        assert t_a.request.admitted_at == 0.0
+        assert t_b.request.enqueued_at == 1.0
+        assert t_a.batched_at == t_b.batched_at == 2.0
+        assert t_a.completed_at == 2.0
+        # Queue wait is per-request even inside one batch.
+        assert t_a.queue_wait_seconds == pytest.approx(2.0)
+        assert t_b.queue_wait_seconds == pytest.approx(1.0)
+        # GPU batches decompose into a modeled pipeline share.
+        for t in (t_a, t_b):
+            assert t.pipeline_seconds is not None
+            assert t.pipeline_seconds > 0.0
+        assert t_a.request.tenant == "acme"
+
+    def test_pipeline_share_sums_to_batch_model(self):
+        clock = ManualClock()
+        scheduler = ScanScheduler(backend="gpu", clock=clock)
+        tickets = [
+            scheduler.submit(PATTERNS, TEXT),
+            scheduler.submit(PATTERNS, TEXT * 2),
+        ]
+        (report,) = scheduler.drain()
+        modeled = (
+            sum(report.timing.copy_seconds)
+            + sum(report.timing.kernel_seconds)
+            + report.timing.bind_seconds
+        )
+        shares = sum(t.pipeline_seconds for t in tickets)
+        assert shares == pytest.approx(modeled)
+        # The larger request carries the larger share.
+        assert tickets[1].pipeline_seconds > tickets[0].pipeline_seconds
+
+    def test_non_gpu_backend_prorates_wall_clock(self):
+        clock = ManualClock()
+        scheduler = ScanScheduler(backend="serial", clock=clock)
+        ticket = scheduler.submit(PATTERNS, TEXT)
+        clock.advance(0.5)
+        scheduler.drain()
+        # Under a frozen clock the batch takes zero wall time; the
+        # decomposition still resolves (to zero), never to None.
+        assert ticket.queue_wait_seconds == pytest.approx(0.5)
+        assert ticket.pipeline_seconds == 0.0
+        assert ticket.result() is not None
+
+    def test_slo_tracker_fed_per_tenant_and_digest(self):
+        clock = ManualClock()
+        tracker = make_tracker(clock)
+        scheduler = ScanScheduler(backend="gpu", clock=clock, slo=tracker)
+        scheduler.submit(PATTERNS, TEXT, tenant="acme")
+        scheduler.submit(PATTERNS, TEXT, tenant="globex")
+        clock.advance(0.25)
+        scheduler.drain()
+        assert tracker.tenants == ["acme", "globex"]
+        for metric in (
+            "queue_wait_seconds", "pipeline_seconds", "request_seconds"
+        ):
+            assert tracker.tenant_sketch("acme", metric).count == 1
+        (digest,) = tracker.digests()
+        assert tracker.digest_sketch(digest, "request_seconds").count == 2
+        # e2e = wait + pipeline, exactly.
+        e2e = tracker.tenant_sketch("acme", "request_seconds")
+        wait = tracker.tenant_sketch("acme", "queue_wait_seconds")
+        pipe = tracker.tenant_sketch("acme", "pipeline_seconds")
+        assert e2e.sum == pytest.approx(wait.sum + pipe.sum)
+
+    def test_queue_wait_metrics_and_sketch(self):
+        clock = ManualClock()
+        metrics = Metrics()
+        scheduler = ScanScheduler(
+            backend="gpu", clock=clock, metrics=metrics
+        )
+        for _ in range(3):
+            scheduler.submit(PATTERNS, TEXT)
+            clock.advance(0.1)
+        scheduler.drain()
+        assert scheduler.queue_wait.count == 3
+        assert metrics.histogram("serve_queue_wait_seconds").count(
+            backend="gpu"
+        ) == 3
+
+
+class TestSchedulerSummaries:
+    def test_summary_gains_digest_and_wait_blocks(self):
+        clock = ManualClock()
+        scheduler = ScanScheduler(backend="gpu", clock=clock)
+        scheduler.scan_many(PATTERNS, [TEXT, TEXT])
+        scheduler.scan_many(PATTERNS, [TEXT])
+        scheduler.scan_many(["ab"], [b"abab" * 30])
+        s = scheduler.summary()
+        assert sum(s["batches_by_digest"].values()) == s["batches"] == 3
+        assert len(s["batches_by_digest"]) == 2  # two digests
+        assert max(s["batches_by_digest"].values()) == 2
+        assert s["queue_wait"]["count"] == 4
+        assert set(s["queue_wait"]) == {
+            "count", "mean", "p50", "p95", "p99"
+        }
+
+    def test_queue_stats_shape(self):
+        clock = ManualClock()
+        scheduler = ScanScheduler(backend="gpu", clock=clock)
+        scheduler.submit(PATTERNS, TEXT)
+        stats = scheduler.queue_stats()
+        assert stats["depth"] == 1
+        assert stats["batches_by_digest"] == {}
+        scheduler.drain()
+        stats = scheduler.queue_stats()
+        assert stats["depth"] == 0
+        assert list(stats["batches_by_digest"].values()) == [1]
+        assert stats["queue_wait"]["count"] == 1
+
+    def test_drain_narrates_to_eventlog(self):
+        clock = ManualClock()
+        eventlog = EventLog(clock=clock)
+        scheduler = ScanScheduler(
+            backend="gpu", clock=clock, eventlog=eventlog
+        )
+        scheduler.scan_many(PATTERNS, [TEXT, TEXT])
+        (record,) = eventlog.records(event="serve_drain")
+        validate_event_record(record)
+        assert record["fields"]["n_requests"] == 2
+        assert record["fields"]["n_batches"] == 1
+        assert record["fields"]["fallback_requests"] == 0
+
+
+class TestEpochTelemetry:
+    def test_admission_counter_carries_tenant(self):
+        metrics = Metrics()
+        epochs = EpochManager(metrics=metrics)
+        epochs.register("ids", PATTERNS)
+        clock = ManualClock()
+        scheduler = ScanScheduler(
+            backend="gpu", epochs=epochs, clock=clock, metrics=metrics
+        )
+        scheduler.scan_many_named("ids", [TEXT], tenant="acme")
+        scheduler.scan_many_named("ids", [TEXT, TEXT], tenant="globex")
+        admissions = metrics.counter("epoch_admissions_total")
+        assert admissions.value(pattern_set="ids", tenant="acme") == 1
+        assert admissions.value(pattern_set="ids", tenant="globex") == 2
+
+    def test_admission_without_tenant_keeps_old_series(self):
+        """Direct admit() without a tenant must not grow a label."""
+        metrics = Metrics()
+        epochs = EpochManager(metrics=metrics)
+        epochs.register("ids", PATTERNS)
+        lease = epochs.admit("ids")
+        epochs.release(lease)
+        assert metrics.counter("epoch_admissions_total").value(
+            pattern_set="ids"
+        ) == 1
+
+    def test_lifecycle_snapshot(self):
+        epochs = EpochManager()
+        epochs.register("ids", PATTERNS)
+        epochs.swap("ids", patterns=["he", "she", "hers"])
+        snap = epochs.lifecycle_snapshot()
+        assert list(snap) == ["ids"]
+        states = [e["state"] for e in snap["ids"]]
+        assert states == ["retired", "active"]
+        for entry in snap["ids"]:
+            assert set(entry) == {
+                "epoch", "version", "state", "refs", "holds_table",
+            }
+        assert snap["ids"][1]["version"] == 2
+        assert snap["ids"][1]["holds_table"] is True
+        assert snap["ids"][0]["holds_table"] is False
+
+
+class TestCacheTelemetry:
+    def test_hit_rate_and_snapshot(self):
+        cache = AutomatonCache(capacity=2)
+        assert cache.hit_rate == 0.0
+        cache.get_or_build(PATTERNS)
+        cache.get_or_build(PATTERNS)
+        cache.get_or_build(["ab"])
+        assert cache.hit_rate == pytest.approx(1 / 3)
+        snap = cache.snapshot()
+        assert snap == {
+            "entries": 2,
+            "capacity": 2,
+            "hits": 1,
+            "misses": 2,
+            "hit_rate": pytest.approx(1 / 3),
+            "evictions": 0,
+            "corrupt_evictions": 0,
+        }
+
+
+class TestResilientTenantLabels:
+    def _forced_retry(self, tenant):
+        metrics = Metrics()
+        rm = ResilientMatcher(
+            PATTERNS,
+            max_retries=1,
+            injector=FaultInjector(
+                FaultPlan([
+                    Fault(kind=FaultKind.LAUNCH_FAILURE, persistent=True)
+                ])
+            ),
+            sleep=lambda s: None,
+            metrics=metrics,
+            tenant=tenant,
+        )
+        rm.scan(TEXT)
+        return metrics
+
+    def test_tenant_label_attached_when_set(self):
+        metrics = self._forced_retry("acme")
+        assert metrics.counter("retries_total").value(
+            backend="gpu", tenant="acme"
+        ) == 1
+        assert metrics.counter("fallbacks_total").value(
+            **{"from": "gpu", "to": "double_array", "tenant": "acme"}
+        ) == 1
+
+    def test_no_tenant_keeps_unlabeled_series(self):
+        """Back-compat: tenant=None must not grow the label set."""
+        metrics = self._forced_retry(None)
+        assert metrics.counter("retries_total").value(backend="gpu") == 1
+        assert metrics.counter("fallbacks_total").value(
+            **{"from": "gpu", "to": "double_array"}
+        ) == 1
+
+
+class TestStatuszJoin:
+    def test_full_join(self):
+        clock = ManualClock()
+        metrics = Metrics()
+        tracker = make_tracker(clock, metrics=metrics)
+        epochs = EpochManager(metrics=metrics)
+        epochs.register("ids", PATTERNS)
+        scheduler = ScanScheduler(
+            backend="gpu", epochs=epochs, clock=clock, slo=tracker,
+            metrics=metrics,
+        )
+        scheduler.scan_many_named("ids", [TEXT, TEXT], tenant="acme")
+        doc = statusz(
+            tracker=tracker,
+            scheduler=scheduler,
+            epochs=epochs,
+            cache=scheduler.cache,
+            metrics=metrics,
+            t=clock(),
+        )
+        assert doc["queue"]["depth"] == 0
+        assert list(doc["queue"]["batches_by_digest"].values()) == [1]
+        assert doc["epochs"]["ids"][0]["state"] == "active"
+        assert doc["cache"]["capacity"] == 8
+        assert doc["fallbacks"]["retries_total"] == 0.0
+        slo = doc["slo"]
+        assert slo["breached"] is False
+        (obj,) = slo["objectives"]
+        assert "acme" in obj["tenants"]
+        import json
+
+        json.dumps(doc)  # the whole page serializes
