@@ -18,7 +18,7 @@ sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,6 +85,12 @@ class CellResult:
     serial: Optional[SerialCost] = None
     serial_mt: Optional[SerialCost] = None
     kernels: Dict[str, ScaledKernel] = field(default_factory=dict)
+    #: STT storage accounting of the backend the GPU kernels gathered
+    #: through (bench schema v2 optional ``stt`` block): backend name,
+    #: resident table bytes, dense-equivalent bytes, and the
+    #: compression factor ``dense/table`` (1.0 for dense/compact, which
+    #: keep the dense texture footprint by the invariance contract).
+    stt: Optional[Dict[str, Any]] = None
 
     def seconds(self, name: str) -> float:
         """Paper-scale run time of *name* ('serial', 'serial_mt' or a
@@ -205,6 +211,7 @@ class ExperimentRunner:
         shared_chunk_bytes: int = 64,
         wave_correction: bool = False,
         tile_len: Optional[int] = None,
+        stt_backend: Optional[str] = None,
         mt_workers: int = 0,
         collector=None,
         tracer=None,
@@ -217,6 +224,13 @@ class ExperimentRunner:
         #: counters are tile-invariant, so mutating it between runs is
         #: how the tile-size ablation shares one runner.
         self.tile_len = tile_len if tile_len is not None else DEFAULT_TILE_LEN
+        from repro.compress.backend import resolve_backend
+
+        #: STT storage backend every GPU kernel of every cell gathers
+        #: through (dense/compact/banded/bitmap).  Part of the cell
+        #: cache key and of ``config_dict()`` so exported cells say
+        #: which table layout they priced.
+        self.stt_backend = resolve_backend(stt_backend)
         self.factory = DatasetFactory(seed=seed, scale=scale)
         self.device_config = device_config or gtx285()
         self.cpu = cpu or CpuConfig()
@@ -258,6 +272,7 @@ class ExperimentRunner:
             "shared_chunk_bytes": self.shared_chunk_bytes,
             "wave_correction": self.wave_correction,
             "tile_len": self.tile_len,
+            "stt_backend": self.stt_backend,
             "mt_workers": self.mt_workers,
         }
 
@@ -275,11 +290,28 @@ class ExperimentRunner:
             self.shared_chunk_bytes,
             self.wave_correction,
             self.tile_len,
+            self.stt_backend,
             self.mt_workers,
             self.params,
         )
 
     # -- building blocks ---------------------------------------------------
+    def _stt_block(self, dfa: DFA) -> Dict[str, Any]:
+        """The cell's ``stt`` storage-accounting block."""
+        from repro.compress.backend import cost_of
+
+        table = dfa.gather_table(self.stt_backend)
+        c = cost_of(dfa, table, self.stt_backend)
+        ratio = (
+            c.dense_bytes / c.table_bytes if c.table_bytes > 0 else 0.0
+        )
+        return {
+            "backend": c.backend,
+            "table_bytes": int(c.table_bytes),
+            "dense_bytes": int(c.dense_bytes),
+            "ratio": float(ratio),
+        }
+
     def dfa_for(self, n_patterns: int) -> DFA:
         """Build (once) the DFA for a dictionary size."""
         if n_patterns not in self._dfa_cache:
@@ -395,6 +427,7 @@ class ExperimentRunner:
             sim_bytes=cell.sim_bytes,
             n_patterns=n_patterns,
             n_states=dfa.n_states,
+            stt=self._stt_block(dfa),
         )
 
         if "serial" in kernels or "serial_mt" in kernels:
@@ -413,6 +446,7 @@ class ExperimentRunner:
                 chunk_len=self.global_chunk_len,
                 params=self.params,
                 tile_len=self.tile_len,
+                stt_backend=self.stt_backend,
             )
             out.kernels["global"] = self._scaled(r, cell)
         shared_variants = {
@@ -432,6 +466,7 @@ class ExperimentRunner:
                     chunk_bytes=self.shared_chunk_bytes,
                     params=self.params,
                     tile_len=self.tile_len,
+                    stt_backend=self.stt_backend,
                 )
                 sk = self._scaled(r, cell)
                 out.kernels[kname] = ScaledKernel(**{**sk.__dict__, "name": kname})
@@ -446,6 +481,7 @@ class ExperimentRunner:
                 params=self.params,
                 stt_in_texture=False,
                 tile_len=self.tile_len,
+                stt_backend=self.stt_backend,
             )
             sk = self._scaled(r, cell)
             out.kernels["shared_global_stt"] = ScaledKernel(
@@ -453,7 +489,11 @@ class ExperimentRunner:
             )
         if "pfac" in kernels:
             r = run_pfac_kernel(
-                dfa, cell.data, self._fresh_device(dfa), params=self.params
+                dfa,
+                cell.data,
+                self._fresh_device(dfa),
+                params=self.params,
+                stt_backend=self.stt_backend,
             )
             out.kernels["pfac"] = self._scaled(r, cell)
         return out

@@ -124,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         "default 256 — results are identical for any value)",
     )
     m.add_argument(
+        "--stt-backend", default=None,
+        choices=["dense", "compact", "banded", "bitmap"],
+        help="STT storage backend the kernel gathers through (default: "
+        "compact; matches are byte-identical for every choice, only "
+        "the modeled memory footprint and per-fetch cost differ)",
+    )
+    m.add_argument(
         "--resilient", action="store_true",
         help="scan through the resilient pipeline (retry + backend "
         "fallback) and print its health report",
@@ -210,8 +217,53 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--scale", type=float, default=0.005)
     be.add_argument("--seed", type=int, default=2013)
     be.add_argument(
+        "--stt-backend", default=None,
+        choices=["dense", "compact", "banded", "bitmap"],
+        help="STT storage backend for every GPU kernel cell (default: "
+        "compact, the legacy behavior)",
+    )
+    be.add_argument(
         "--out", default="BENCH_smoke.json",
         help="output path for the cell trajectory (default BENCH_smoke.json)",
+    )
+
+    cpb = sub.add_parser(
+        "compressbench",
+        help="memory-vs-throughput trade-off of the compressed STT "
+        "backends over synthetic snort-style rule sets; writes "
+        "schema-validated bench cells and gates on a minimum "
+        "compression ratio",
+    )
+    cpb.add_argument(
+        "--patterns", default="5000,20000,50000",
+        help="comma list of rule-set sizes (default 5000,20000,50000)",
+    )
+    cpb.add_argument(
+        "--backends", default="compact,banded,bitmap",
+        help="comma list of STT backends to sweep "
+        "(default compact,banded,bitmap)",
+    )
+    cpb.add_argument("--scale", type=float, default=0.005)
+    cpb.add_argument("--seed", type=int, default=2013)
+    cpb.add_argument(
+        "--size", default="1MB",
+        help="input size label for the throughput cells (default 1MB)",
+    )
+    cpb.add_argument(
+        "--min-ratio", type=float, default=4.0,
+        help="acceptance gate: the best compressed backend at the "
+        "largest rule-set size must shrink the STT by this factor "
+        "(default 4.0; 0 disables)",
+    )
+    cpb.add_argument(
+        "--gate-patterns", type=int, default=20000,
+        help="rule-set size the --min-ratio gate applies to "
+        "(default 20000)",
+    )
+    cpb.add_argument(
+        "--out", default=None,
+        help="write the sweep as schema-validated bench cells "
+        "(BENCH_*.json) to this path",
     )
 
     cb = sub.add_parser(
@@ -948,6 +1000,8 @@ def _cmd_match(args) -> int:
     kwargs = {}
     if args.tile_len is not None and args.kernel in ("shared", "global"):
         kwargs["tile_len"] = args.tile_len
+    if args.stt_backend is not None:
+        kwargs["stt_backend"] = args.stt_backend
     result = kernel(dfa, text, tracer=tracer, **kwargs)
     from repro.analysis import event_report
 
@@ -1107,7 +1161,10 @@ def _cmd_bench(args) -> int:
             return 2
     collector = BenchCollector()
     runner = ExperimentRunner(
-        scale=args.scale, seed=args.seed, collector=collector
+        scale=args.scale,
+        seed=args.seed,
+        collector=collector,
+        stt_backend=args.stt_backend,
     )
     sizes = _parse_sizes(args.sizes)
     counts = _parse_counts(args.patterns)
@@ -1124,6 +1181,30 @@ def _cmd_bench(args) -> int:
     print(f"wrote {args.out} "
           f"({len(doc['cells'])} cells, schema {doc['schema']} "
           f"v{doc['version']})")
+    return 0
+
+
+def _cmd_compressbench(args) -> int:
+    from repro.bench.compress_bench import run_compress_bench
+    from repro.errors import ExperimentError
+
+    counts = [int(s) for s in args.patterns.split(",") if s.strip()]
+    backends = [s.strip() for s in args.backends.split(",") if s.strip()]
+    try:
+        report = run_compress_bench(
+            pattern_counts=counts,
+            backends=backends,
+            scale=args.scale,
+            seed=args.seed,
+            size_label=args.size,
+            min_ratio=args.min_ratio,
+            gate_patterns=args.gate_patterns,
+            out=args.out,
+        )
+    except ExperimentError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(report)
     return 0
 
 
@@ -1192,6 +1273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "compressbench":
+        return _cmd_compressbench(args)
     if args.command == "cpubench":
         return _cmd_cpubench(args)
     if args.command == "profile":

@@ -16,8 +16,17 @@ from repro.compress.alphabet import (
     ClassCompressedDFA,
     compute_classes,
 )
+from repro.compress.backend import (
+    DEFAULT_BACKEND,
+    STT_BACKENDS,
+    BackendCost,
+    BandedGather,
+    BitmapGather,
+    build_gather_table,
+    resolve_backend,
+)
 from repro.compress.banded import BandedSTT, CompressionStats
-from repro.compress.bitmap import BitmapDeltaSTT
+from repro.compress.bitmap import BitmapDeltaSTT, BitmapRowSTT
 
 __all__ = [
     "AlphabetClasses",
@@ -25,5 +34,13 @@ __all__ = [
     "compute_classes",
     "BandedSTT",
     "BitmapDeltaSTT",
+    "BitmapRowSTT",
     "CompressionStats",
+    "STT_BACKENDS",
+    "DEFAULT_BACKEND",
+    "BackendCost",
+    "BandedGather",
+    "BitmapGather",
+    "build_gather_table",
+    "resolve_backend",
 ]

@@ -28,12 +28,16 @@ set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE
 from repro.core.stt import STT
-from repro.errors import ReproError
+from repro.errors import ReproError, SerializationError
+
+#: Inner blob format tag (the REPRODFA section tag wraps this).
+BANDED_BLOB_FORMAT = "repro-ac/banded-stt/v1"
 
 
 @dataclass(frozen=True)
@@ -73,8 +77,32 @@ class BandedSTT:
     @classmethod
     def from_stt(cls, stt: STT) -> "BandedSTT":
         """Compress a dense STT row by row (vectorized per row)."""
-        table = stt.next_states
-        n = stt.n_states
+        return cls.from_table(
+            stt.next_states,
+            match_flags=np.array(stt.match_flags, dtype=np.int8),
+            dense_bytes=stt.stats().bytes_total,
+        )
+
+    @classmethod
+    def from_table(
+        cls,
+        table: np.ndarray,
+        match_flags: Optional[np.ndarray] = None,
+        dense_bytes: Optional[int] = None,
+    ) -> "BandedSTT":
+        """Compress any dense ``(n, >=256)`` transition table.
+
+        Generalizes :meth:`from_stt` to tables that are not full STTs —
+        the PFAC failureless trie table, whose filler is the DEAD
+        sentinel rather than a failure-chain target, bands just as well
+        (DEAD becomes the row default).  *match_flags* may be omitted
+        for such tables.
+        """
+        table = np.asarray(table)
+        if table.ndim != 2 or table.shape[1] < ALPHABET_SIZE:
+            raise ReproError("table must be (n_states, >=256)")
+        table = table[:, :ALPHABET_SIZE]
+        n = table.shape[0]
         default = np.empty(n, dtype=STATE_DTYPE)
         lo = np.zeros(n, dtype=np.int16)
         width = np.zeros(n, dtype=np.int16)
@@ -97,14 +125,18 @@ class BandedSTT:
             if chunks
             else np.empty(0, dtype=STATE_DTYPE)
         )
+        if match_flags is None:
+            match_flags = np.zeros(n, dtype=np.int8)
+        if dense_bytes is None:
+            dense_bytes = int(table.nbytes)
         return cls(
             default=default,
             lo=lo,
             width=width,
             offsets=offsets,
             values=values,
-            match_flags=np.array(stt.match_flags, dtype=np.int8),
-            dense_bytes=stt.stats().bytes_total,
+            match_flags=np.asarray(match_flags, dtype=np.int8),
+            dense_bytes=int(dense_bytes),
         )
 
     @property
@@ -153,3 +185,89 @@ class BandedSTT:
         syms = np.tile(np.arange(ALPHABET_SIZE, dtype=np.int64), n)
         got = self.next_states(states, syms).reshape(n, ALPHABET_SIZE)
         return bool(np.array_equal(got, stt.next_states))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Self-describing CRC-checked blob (see :mod:`repro.compress.blob`)."""
+        from repro.compress.blob import pack_arrays
+
+        return pack_arrays(
+            BANDED_BLOB_FORMAT,
+            {"n_states": self.n_states, "dense_bytes": int(self._dense_bytes)},
+            [
+                ("default", self.default),
+                ("lo", self.lo),
+                ("width", self.width),
+                ("offsets", self.offsets),
+                ("values", self.values),
+                ("match_flags", self.match_flags),
+            ],
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BandedSTT":
+        """Inverse of :meth:`to_bytes`; validates band structure before use.
+
+        Beyond the blob layer's CRC/truncation checks, the structural
+        pass rejects internally inconsistent payloads: a values array
+        shorter than ``offsets[-1]`` (a silently-truncated band store),
+        non-monotone offsets, offsets that disagree with the widths, or
+        bands hanging past column 255.
+        """
+        from repro.compress.blob import unpack_arrays
+
+        header, arrays = unpack_arrays(data, BANDED_BLOB_FORMAT)
+        try:
+            n = int(header["n_states"])
+            dense_bytes = int(header["dense_bytes"])
+            default = arrays["default"]
+            lo = arrays["lo"]
+            width = arrays["width"]
+            offsets = arrays["offsets"]
+            values = arrays["values"]
+            match_flags = arrays["match_flags"]
+        except KeyError as exc:
+            raise SerializationError(f"banded blob missing {exc}") from exc
+        for name, arr in (
+            ("default", default),
+            ("lo", lo),
+            ("width", width),
+            ("match_flags", match_flags),
+        ):
+            if arr.shape != (n,):
+                raise SerializationError(
+                    f"banded blob: {name} shape {arr.shape} != ({n},)"
+                )
+        if offsets.shape != (n + 1,):
+            raise SerializationError("banded blob: offsets shape mismatch")
+        offsets64 = offsets.astype(np.int64)
+        if n:
+            if offsets64[0] != 0 or np.any(np.diff(offsets64) < 0):
+                raise SerializationError(
+                    "banded blob: offsets not monotone from 0"
+                )
+            if not np.array_equal(np.diff(offsets64), width.astype(np.int64)):
+                raise SerializationError(
+                    "banded blob: offsets disagree with band widths"
+                )
+            if np.any(width.astype(np.int64) < 0) or np.any(
+                lo.astype(np.int64) + width.astype(np.int64) > ALPHABET_SIZE
+            ):
+                raise SerializationError(
+                    "banded blob: band exceeds the symbol range"
+                )
+        if int(offsets64[-1]) != values.size:
+            raise SerializationError(
+                f"banded blob: values store has {values.size} entries, "
+                f"offsets demand {int(offsets64[-1])} (truncated band store)"
+            )
+        return cls(
+            default=default.astype(STATE_DTYPE),
+            lo=lo.astype(np.int16),
+            width=width.astype(np.int16),
+            offsets=offsets64,
+            values=values.astype(STATE_DTYPE),
+            match_flags=match_flags.astype(np.int8),
+            dense_bytes=dense_bytes,
+        )

@@ -1,0 +1,96 @@
+"""Self-describing CRC-checked array blobs for compressed STTs.
+
+Both compressed-table families (:mod:`repro.compress.banded`,
+:mod:`repro.compress.bitmap`) serialize as one *blob*: a JSON header
+line naming each array section (dtype, shape, byte length, CRC32)
+followed by the raw array bytes in order.  The header makes the blob
+self-describing without pickle, and the per-section CRCs mean a
+truncated or bit-flipped payload is rejected before any structural
+validation touches it.  The REPRODFA container embeds these blobs as
+tagged extra sections (:mod:`repro.core.serialization`), which adds a
+second, outer CRC — both layers must pass for a load to succeed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.integrity import crc32_bytes
+from repro.errors import IntegrityError, SerializationError
+
+__all__ = ["pack_arrays", "unpack_arrays"]
+
+
+def pack_arrays(
+    fmt: str, meta: dict, arrays: List[Tuple[str, np.ndarray]]
+) -> bytes:
+    """JSON header line + concatenated raw array sections.
+
+    *fmt* is the blob's format identifier (e.g. ``repro-ac/banded-stt/v1``);
+    *meta* carries scalar fields the reader needs before any array.
+    """
+    sections = [np.ascontiguousarray(a).tobytes() for _, a in arrays]
+    header = dict(meta)
+    header["format"] = fmt
+    header["arrays"] = [
+        {
+            "name": name,
+            "dtype": str(np.ascontiguousarray(a).dtype),
+            "shape": list(a.shape),
+            "length": len(blob),
+            "crc": crc32_bytes(blob),
+        }
+        for (name, a), blob in zip(arrays, sections)
+    ]
+    return json.dumps(header).encode("ascii") + b"\n" + b"".join(sections)
+
+
+def unpack_arrays(data: bytes, fmt: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_arrays`; returns ``(meta, {name: array})``.
+
+    Raises :class:`~repro.errors.SerializationError` on truncation or a
+    malformed header and :class:`~repro.errors.IntegrityError` on a CRC
+    mismatch — a silently-shortened section can never parse.
+    """
+    nl = data.find(b"\n")
+    if nl < 0:
+        raise SerializationError(f"truncated {fmt} blob (no header)")
+    try:
+        header = json.loads(data[:nl].decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt {fmt} header: {exc}") from exc
+    if header.get("format") != fmt:
+        raise SerializationError(
+            f"blob format {header.get('format')!r} != expected {fmt!r}"
+        )
+    body = data[nl + 1 :]
+    arrays: Dict[str, np.ndarray] = {}
+    pos = 0
+    for spec in header.get("arrays", []):
+        try:
+            name = spec["name"]
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(x) for x in spec["shape"])
+            length = int(spec["length"])
+            crc = int(spec["crc"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed {fmt} array spec: {exc}") from exc
+        blob = body[pos : pos + length]
+        if len(blob) != length:
+            raise SerializationError(
+                f"truncated {fmt} blob: section {name!r} has "
+                f"{len(blob)} of {length} bytes"
+            )
+        if crc32_bytes(blob) != crc:
+            raise IntegrityError(f"{fmt} section {name!r} failed its CRC32 check")
+        try:
+            arrays[name] = np.frombuffer(blob, dtype=dtype).reshape(shape).copy()
+        except ValueError as exc:
+            raise SerializationError(
+                f"{fmt} section {name!r} does not fit its declared shape: {exc}"
+            ) from exc
+        pos += length
+    return header, arrays

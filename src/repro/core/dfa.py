@@ -59,6 +59,7 @@ class DFA:
         "pattern_lengths",
         "patterns",
         "_compact",
+        "_backends",
     )
 
     def __init__(
@@ -74,6 +75,7 @@ class DFA:
         self.pattern_lengths = patterns.lengths()
         self.patterns = patterns
         self._compact = None
+        self._backends = {}
 
     # -- construction ---------------------------------------------------
 
@@ -152,6 +154,29 @@ class DFA:
 
             self._compact = CompactSTT.from_dfa(self)
         return self._compact
+
+    def gather_table(self, stt_backend: str = "compact"):
+        """The gather table/adapter for a named STT backend, memoized.
+
+        ``dense`` returns ``None`` (the kernels' flat-view fast path),
+        ``compact`` the cached :meth:`compact_stt`; ``banded`` and
+        ``bitmap`` build their compressed table once per DFA and cache
+        the adapter (see :mod:`repro.compress.backend`).  Every backend
+        realizes the same transition function exactly — they differ
+        only in modeled fetch cost and footprint.
+        """
+        from repro.compress.backend import build_gather_table, resolve_backend
+
+        name = resolve_backend(stt_backend)
+        if name == "dense":
+            return None
+        if name == "compact":
+            return self.compact_stt()
+        table = self._backends.get(name)
+        if table is None:
+            table = build_gather_table(self, name)
+            self._backends[name] = table
+        return table
 
     def outputs_of(self, state: int) -> np.ndarray:
         """Pattern ids emitted on entering *state* (possibly empty)."""

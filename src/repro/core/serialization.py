@@ -25,6 +25,15 @@ shipped-automaton deployment needs (see :mod:`repro.core.integrity`):
   folds scanned text exactly like the one that was saved.
 
 Version 1 artifacts (no checksums, case-sensitive) remain readable.
+
+Version 2 artifacts may additionally carry *extra sections*: tagged,
+individually CRC-checked blobs appended after the five base sections
+and declared in the header's ``"extra"`` list.  Compressed STT backends
+(:mod:`repro.compress`) ship through this channel — tags
+:data:`EXTRA_BANDED` and :data:`EXTRA_BITMAP` — so a sensor can load a
+pre-built succinct table without rebuilding it from the dense STT.
+Readers that predate extra sections ignore the trailing bytes, so the
+format stays forward compatible.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import BinaryIO, List, Optional, Union
+from typing import BinaryIO, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -52,6 +61,13 @@ _MAGIC = b"REPRODFA"
 _VERSION = 2
 #: Section counts per readable version (v1 had no row-checksum section).
 _N_SECTIONS = {1: 4, 2: 5}
+
+#: Extra-section tag carrying a :class:`repro.compress.banded.BandedSTT`
+#: blob (the blob's own inner format is CRC-checked a second time).
+EXTRA_BANDED = "banded_stt_v1"
+#: Extra-section tag carrying a
+#: :class:`repro.compress.bitmap.BitmapDeltaSTT` blob.
+EXTRA_BITMAP = "bitmap_stt_v1"
 
 
 def validate_stt(stt: STT) -> List[str]:
@@ -128,12 +144,26 @@ class LoadedDFA:
     version: int
     case_insensitive: bool = False
     row_checksums: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Tagged extra-section payloads (already CRC-verified), e.g. the
+    #: compressed STT blobs under :data:`EXTRA_BANDED` /
+    #: :data:`EXTRA_BITMAP`.  Empty for artifacts saved without extras.
+    extra: Dict[str, bytes] = field(default_factory=dict, repr=False)
 
 
 def save_dfa(
-    dfa: DFA, fp: Union[str, BinaryIO], *, case_insensitive: bool = False
+    dfa: DFA,
+    fp: Union[str, BinaryIO],
+    *,
+    case_insensitive: bool = False,
+    extras: Optional[Mapping[str, bytes]] = None,
 ) -> None:
-    """Serialize the full phase-1 artifact (current, v2, format)."""
+    """Serialize the full phase-1 artifact (current, v2, format).
+
+    *extras* maps section tags to opaque blobs appended after the base
+    sections; each is declared (tag, length, CRC32) in the header so a
+    flipped bit or a silent truncation fails loudly on load.  Artifacts
+    saved without extras are byte-identical to the pre-extra format.
+    """
     pattern_blob = b"\n".join(
         p.hex().encode("ascii") for p in dfa.patterns.as_bytes_list()
     )
@@ -152,12 +182,28 @@ def save_dfa(
         "sections": [len(s) for s in sections],
         "section_crcs": [crc32_bytes(s) for s in sections],
     }
+    extra_blobs: List[bytes] = []
+    if extras:
+        decl = []
+        for tag, blob in extras.items():
+            if not isinstance(tag, str) or not tag:
+                raise SerializationError(f"invalid extra-section tag {tag!r}")
+            if not isinstance(blob, (bytes, bytearray)):
+                raise SerializationError(
+                    f"extra section {tag!r} payload must be bytes"
+                )
+            blob = bytes(blob)
+            decl.append(
+                {"tag": tag, "length": len(blob), "crc": crc32_bytes(blob)}
+            )
+            extra_blobs.append(blob)
+        header["extra"] = decl
     payload = json.dumps(header).encode("ascii") + b"\n"
     if isinstance(fp, str):
         with open(fp, "wb") as fh:
-            _write(fh, payload, sections)
+            _write(fh, payload, sections + extra_blobs)
     else:
-        _write(fp, payload, sections)
+        _write(fp, payload, sections + extra_blobs)
 
 
 def _write(fh: BinaryIO, header: bytes, sections) -> None:
@@ -215,10 +261,41 @@ def _read(fh: BinaryIO) -> LoadedDFA:
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed DFA header: {exc}") from exc
 
+    extra_decl = header.get("extra", [])
+    if not isinstance(extra_decl, list):
+        raise SerializationError("malformed DFA header: extra")
+    for item in extra_decl:
+        if (
+            not isinstance(item, dict)
+            or not isinstance(item.get("tag"), str)
+            or not isinstance(item.get("length"), int)
+            or not isinstance(item.get("crc"), int)
+            or item["length"] < 0
+        ):
+            raise SerializationError(
+                "malformed DFA header: extra-section declaration"
+            )
+
     raw = [fh.read(sz) for sz in sizes]
     for got, want in zip(raw, sizes):
         if len(got) != want:
             raise SerializationError("truncated DFA artifact body")
+
+    extra: Dict[str, bytes] = {}
+    for item in extra_decl:
+        blob = fh.read(item["length"])
+        if len(blob) != item["length"]:
+            raise SerializationError(
+                f"truncated extra section {item['tag']!r} "
+                f"(declared {item['length']} bytes, got {len(blob)})"
+            )
+        got_crc = crc32_bytes(blob)
+        if got_crc != item["crc"]:
+            raise IntegrityError(
+                f"extra section {item['tag']!r} failed its CRC32 check "
+                f"(stored {item['crc']:#010x}, computed {got_crc:#010x})"
+            )
+        extra[item["tag"]] = blob
 
     if version >= 2:
         for i, (section, want_crc) in enumerate(zip(raw, crcs)):
@@ -267,4 +344,5 @@ def _read(fh: BinaryIO) -> LoadedDFA:
         version=version,
         case_insensitive=case_insensitive,
         row_checksums=row_crcs,
+        extra=extra,
     )

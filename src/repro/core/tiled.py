@@ -67,19 +67,31 @@ class GatherKernel:
     compiled ``nogil`` loop from :mod:`repro.core.jit` instead — same
     gather, identical output, pinned by ``tests/core/test_jit.py`` —
     falling back to the NumPy path automatically otherwise.
+
+    ``table`` may also be a gather *adapter* (an object exposing
+    ``alloc(n)`` / ``step_into(state, symbols, out_row)`` — see
+    :mod:`repro.compress.backend`); the step then delegates to it,
+    which is how the banded and bitmap compressed backends plug in
+    without this module importing them.
     """
 
-    __slots__ = ("flat", "ncols", "class_of", "_idx", "_sym", "_res", "_jit")
+    __slots__ = ("flat", "ncols", "class_of", "adapter", "_idx", "_sym", "_res", "_jit")
 
     def __init__(self, dfa: DFA, table: Optional[CompactSTT] = None):
         from repro.core.jit import jit_kernels
 
         self._jit = jit_kernels()
+        self.adapter = None
         if table is None:
             # Dense path: flat row-major view of the full 257-column
             # table; symbols < 256 never index the match column.
             self.flat = dfa.stt.table.reshape(-1)
             self.ncols = STT_COLUMNS
+            self.class_of = None
+        elif hasattr(table, "step_into"):
+            self.adapter = table
+            self.flat = None
+            self.ncols = 0
             self.class_of = None
         else:
             self.flat = table.flat
@@ -91,6 +103,9 @@ class GatherKernel:
 
     def alloc(self, n_threads: int) -> None:
         """Size the per-step scratch buffers for *n_threads* lanes."""
+        if self.adapter is not None:
+            self.adapter.alloc(n_threads)
+            return
         self._idx = np.empty(n_threads, dtype=np.int64)
         self._res = np.empty(n_threads, dtype=STATE_DTYPE)
         self._sym = (
@@ -106,6 +121,9 @@ class GatherKernel:
 
         ``out_row`` receives the post-step states in :data:`STATE_DTYPE`.
         """
+        if self.adapter is not None:
+            self.adapter.step_into(state, symbols, out_row)
+            return
         if self._jit is not None:
             if self.class_of is None:
                 self._jit["gather_step_dense"](
@@ -283,6 +301,7 @@ def scan_tiled(
     tile_len: int = DEFAULT_TILE_LEN,
     compact: bool = True,
     table: Optional[CompactSTT] = None,
+    stt_backend: Optional[str] = None,
     sinks: Sequence = (),
 ) -> TiledScanResult:
     """Full tiled scan: plan, tile, extract matches, feed sinks.
@@ -296,14 +315,20 @@ def scan_tiled(
     ``compact=True`` (default) gathers through the DFA's cached
     alphabet-compacted table — exactly equivalent and markedly faster
     once the dense STT outgrows cache; pass ``table`` to supply a
-    prebuilt :class:`~repro.core.compact.CompactSTT` instead.
+    prebuilt :class:`~repro.core.compact.CompactSTT` instead, or name
+    any registered backend via ``stt_backend`` (``dense | compact |
+    banded | bitmap`` — see :mod:`repro.compress.backend`), which wins
+    over the boolean flag.
     """
     if plan is None:
         if overlap is None:
             overlap = required_overlap(dfa.patterns.max_length)
         plan = plan_chunks(data.size, chunk_len, overlap)
-    if table is None and compact:
-        table = dfa.compact_stt()
+    if table is None:
+        if stt_backend is not None:
+            table = dfa.gather_table(stt_backend)
+        elif compact:
+            table = dfa.compact_stt()
 
     flags_u8 = (np.asarray(dfa.stt.match_flags) != 0).astype(np.uint8)
     want_windows = any(getattr(s, "needs_windows", False) for s in sinks)

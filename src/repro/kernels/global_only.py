@@ -32,6 +32,7 @@ from repro.core.dfa import DFA
 from repro.core.lockstep import LockstepTrace, TraceRecorder
 from repro.core.match import MatchResult
 from repro.core.tiled import DEFAULT_TILE_LEN, iter_dfa_tiles, scan_tiled
+from repro.compress.backend import BackendCost, cost_of, resolve_backend
 from repro.errors import LaunchError
 from repro.gpu.coalesce import CoalesceAccumulator, CoalesceSummary
 from repro.gpu.counters import EventCounters
@@ -44,6 +45,8 @@ from repro.kernels.base import (
     TextureClassifier,
     TextureLineHistogram,
     TextureTraffic,
+    backend_compute_cycles,
+    backend_footprint_relief,
     grouped_thread_addresses,
 )
 from repro.obs import coalesce
@@ -71,6 +74,9 @@ class GlobalMeasurement:
     launch: LaunchConfig
     #: Full lockstep trace, only retained on request (O(input) memory).
     trace: Optional[LockstepTrace] = None
+    #: Cost snapshot of the gather backend used (None = legacy caller;
+    #: priced as the dense/compact fast path).
+    backend_cost: Optional[BackendCost] = None
 
 
 class _InputLoadSink:
@@ -100,6 +106,7 @@ def measure_global(
     tracer=None,
     tile_len: int = DEFAULT_TILE_LEN,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
     retain_trace: bool = False,
 ) -> GlobalMeasurement:
     """Functional pass + event measurement (no pricing).
@@ -126,7 +133,8 @@ def measure_global(
 
     overlap = required_overlap(dfa.patterns.max_length)
     plan = plan_chunks(arr.size, chunk_len, overlap)
-    table = dfa.compact_stt() if compact else None
+    backend = resolve_backend(stt_backend, compact=compact)
+    table = dfa.gather_table(backend)
     line_bytes = config.texture_cache.line_bytes
 
     hist = TextureLineHistogram(dfa.n_states, line_bytes)
@@ -139,12 +147,23 @@ def measure_global(
     recorder = TraceRecorder(plan) if retain_trace else None
     if recorder is not None:
         sinks.append(recorder)
+    # Snapshot the adapter's cumulative counters around the functional
+    # pass so the recorded walk cost covers exactly this scan.
+    cost_before = cost_of(dfa, table, backend)
     with tracer.span("ownership_filter") as sp:
         outcome = scan_tiled(
             dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
         )
         sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
     matches, raw_hits = outcome.matches, outcome.raw_hits
+    cost_after = cost_of(dfa, table, backend)
+    backend_cost = BackendCost(
+        backend=cost_after.backend,
+        table_bytes=cost_after.table_bytes,
+        dense_bytes=cost_after.dense_bytes,
+        lookups=cost_after.lookups - cost_before.lookups,
+        chain_steps=cost_after.chain_steps - cost_before.chain_steps,
+    )
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -180,6 +199,7 @@ def measure_global(
         tex=tex,
         launch=launch,
         trace=recorder.trace() if recorder is not None else None,
+        backend_cost=backend_cost,
     )
 
 
@@ -217,6 +237,8 @@ def price_global(
         + meas.tex.accesses * config.texture_hit_cycles
         + meas.raw_hits / config.warp_size * params.instr_per_match_write * cpwi
     )
+    compute += backend_compute_cycles(meas.backend_cost, meas.tex, config, params)
+    relief = backend_footprint_relief(meas.backend_cost, params)
 
     # Each input-load instruction stalls its warp for a full DRAM
     # round-trip (global loads are uncached on the GTX 285).
@@ -233,13 +255,15 @@ def price_global(
         occupancy=occupancy,
         compute_cycles_total=compute,
         dependent_latency_cycles=(
-            input_dependent + meas.tex.dependent_latency_cycles
+            input_dependent + meas.tex.dependent_latency_cycles * relief
         ),
         mem_requests_pipelined=(
-            meas.input_summary.transactions + meas.tex.dram_line_requests
+            meas.input_summary.transactions
+            + meas.tex.dram_line_requests * relief
         ),
         mem_bytes_total=(
-            (meas.input_summary.bus_bytes + meas.tex.dram_bytes) / scatter
+            (meas.input_summary.bus_bytes + meas.tex.dram_bytes * relief)
+            / scatter
             + match_bytes
         ),
         input_bytes=meas.input_bytes,
@@ -267,6 +291,7 @@ def run_global_kernel(
     tracer=None,
     tile_len: int = DEFAULT_TILE_LEN,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
     retain_trace: bool = False,
 ) -> KernelResult:
     """Run the global-memory-only kernel on *data* (measure + price).
@@ -301,6 +326,7 @@ def run_global_kernel(
                 tracer=tracer,
                 tile_len=tile_len,
                 compact=compact,
+                stt_backend=stt_backend,
                 retain_trace=retain_trace,
             )
             result = price_global(meas, device, params)

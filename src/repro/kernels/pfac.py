@@ -26,6 +26,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.compress.backend import BackendCost, resolve_backend
+from repro.compress.banded import BandedSTT
+from repro.compress.bitmap import BitmapRowSTT
 from repro.core.alphabet import ALPHABET_SIZE, STATE_DTYPE, encode
 from repro.core.compact import ByteClassMap, compact_columns
 from repro.core.dfa import DFA
@@ -38,7 +41,12 @@ from repro.gpu.device import Device
 from repro.gpu.geometry import LaunchConfig
 from repro.gpu.latency import KernelCost
 from repro.gpu.texture import stt_line_ids
-from repro.kernels.base import CostParams, KernelResult
+from repro.kernels.base import (
+    CostParams,
+    KernelResult,
+    backend_compute_cycles,
+    backend_footprint_relief,
+)
 from repro.obs import coalesce
 
 #: Dead state of the failureless trie.
@@ -102,29 +110,75 @@ class PfacAutomaton:
 
 
 class _PfacGather:
-    """δ-gather for the failureless trie, dense or alphabet-compacted.
+    """δ-gather for the failureless trie over any STT backend.
 
     Compaction is exact for PFAC because a byte used by no pattern
     labels no trie edge at all, so its dense column is all-:data:`DEAD`
-    — exactly the compacted "other" column.  Texture line ids are
-    always computed from the dense (state, symbol) layout, so the
-    modeled traffic is independent of which table the gather uses.
+    — exactly the compacted "other" column.  ``banded`` bands each row
+    around its defined columns (DEAD is the row default) and ``bitmap``
+    uses chain-free popcount-rank rows (:class:`BitmapRowSTT`) — PFAC
+    has no failure function, so the bitmap backend never walks a chain
+    here.  Texture line ids are always computed from the dense (state,
+    symbol) layout, so the modeled traffic counters are independent of
+    which table the gather uses.
     """
 
-    __slots__ = ("table", "class_of")
+    __slots__ = ("n_states", "table", "class_of", "compressed", "backend",
+                 "lookups", "_table_bytes", "_dense_bytes")
 
-    def __init__(self, pfac: PfacAutomaton, compact: bool):
-        if compact:
+    def __init__(
+        self,
+        pfac: PfacAutomaton,
+        compact: bool,
+        stt_backend: Optional[str] = None,
+    ):
+        self.backend = resolve_backend(stt_backend, compact=compact)
+        self.n_states = pfac.n_states
+        self.table = pfac.table
+        self.class_of = None
+        self.compressed = None
+        self.lookups = 0
+        self._dense_bytes = int(pfac.table.nbytes)
+        self._table_bytes = self._dense_bytes
+        if self.backend == "compact":
             cmap = ByteClassMap.from_patterns(pfac.patterns)
             self.table = compact_columns(pfac.table, cmap, DEAD)
             self.class_of = cmap.class_of
-        else:
-            self.table = pfac.table
-            self.class_of = None
+        elif self.backend == "banded":
+            self.compressed = BandedSTT.from_table(pfac.table)
+            self._table_bytes = int(self.compressed.stats().compressed_bytes)
+        elif self.backend == "bitmap":
+            self.compressed = BitmapRowSTT.from_table(pfac.table, default=DEAD)
+            self._table_bytes = int(self.compressed.stats().compressed_bytes)
 
     def next_states(self, state: np.ndarray, sym: np.ndarray) -> np.ndarray:
+        s = np.minimum(state, self.n_states - 1)
+        self.lookups += int(np.asarray(state).size)
+        if self.compressed is not None:
+            return self.compressed.next_states(s, np.asarray(sym, dtype=np.int64))
         cols = sym if self.class_of is None else self.class_of[sym]
-        return self.table[np.minimum(state, self.table.shape[0] - 1), cols]
+        return self.table[s, cols]
+
+    def cost(self) -> BackendCost:
+        """Footprint + lookup accounting (chain-free: zero walk steps)."""
+        return BackendCost(
+            backend=self.backend,
+            table_bytes=self._table_bytes,
+            dense_bytes=self._dense_bytes,
+            lookups=self.lookups,
+            chain_steps=0,
+        )
+
+
+class _TexAccesses:
+    """Minimal ``tex`` view for :func:`backend_compute_cycles` — PFAC
+    builds no :class:`TextureTraffic` object and the pricing helper
+    only reads ``.accesses``."""
+
+    __slots__ = ("accesses",)
+
+    def __init__(self, accesses: int):
+        self.accesses = accesses
 
 
 def _run_batch(
@@ -223,6 +277,7 @@ def run_pfac_kernel(
     params: Optional[CostParams] = None,
     tracer=None,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
 ) -> KernelResult:
     """Run PFAC over *data*; matches are identical to the AC kernels.
 
@@ -247,7 +302,8 @@ def run_pfac_kernel(
 
     with tracer.span("kernel_body", kernel="pfac") as kernel_span:
         matches, counters, cost, launch, occupancy = _pfac_passes(
-            pfac, arr, device, params, threads_per_block, compact=compact
+            pfac, arr, device, params, threads_per_block, compact=compact,
+            stt_backend=stt_backend,
         )
         timing = device.launch(launch, cost)
         kernel_span.set(
@@ -274,10 +330,11 @@ def _pfac_passes(
     params: CostParams,
     threads_per_block: int,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
 ):
     """Both functional passes + cost assembly (no launch pricing)."""
     config = device.config
-    gather = _PfacGather(pfac, compact=compact)
+    gather = _PfacGather(pfac, compact=compact, stt_backend=stt_backend)
     # ---- pass A: functional + line histogram ------------------------------
     all_ends: List[np.ndarray] = []
     all_pids: List[np.ndarray] = []
@@ -299,6 +356,9 @@ def _pfac_passes(
         np.concatenate(all_ends) if all_ends else np.empty(0, dtype=np.int64),
         np.concatenate(all_pids) if all_pids else np.empty(0, dtype=np.int64),
     )
+    # Snapshot here so the modeling passes below (frequency sample +
+    # miss counting) do not inflate the recorded per-scan lookup count.
+    backend_cost = gather.cost()
 
     # Hot set: PFAC visits shallow trie states overwhelmingly; keep the
     # most frequent lines.  Frequency needs a second pass; we use the
@@ -357,18 +417,26 @@ def _pfac_passes(
         + counters.texture_accesses * config.texture_hit_cycles
         + len(matches) / config.warp_size * params.instr_per_match_write * cpwi
     )
+    compute += backend_compute_cycles(
+        backend_cost, _TexAccesses(counters.texture_accesses), config, params
+    )
+    relief = backend_footprint_relief(backend_cost, params)
     cost = KernelCost(
         counters=counters,
         occupancy=occupancy,
         compute_cycles_total=compute,
         # Approximate: every merged miss stalls a warp one L2 latency
         # (PFAC's working set is the shallow failureless trie, which
-        # rarely reaches DRAM).
+        # rarely reaches DRAM).  Compressed backends keep more of the
+        # trie cache-resident, scaling the priced (not counted) misses.
         dependent_latency_cycles=(
-            miss_requests * config.texture_l2_latency_cycles
+            miss_requests * config.texture_l2_latency_cycles * relief
         ),
         mem_requests_pipelined=input_transactions,
-        mem_bytes_total=input_bus + miss_requests * config.texture_cache.line_bytes,
+        mem_bytes_total=(
+            input_bus
+            + miss_requests * config.texture_cache.line_bytes * relief
+        ),
         input_bytes=int(arr.size),
     )
     return matches, counters, cost, launch, occupancy

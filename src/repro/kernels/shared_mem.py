@@ -39,6 +39,7 @@ from repro.core.dfa import DFA
 from repro.core.lockstep import LockstepTrace, TraceRecorder
 from repro.core.match import MatchResult
 from repro.core.tiled import DEFAULT_TILE_LEN, iter_dfa_tiles, scan_tiled
+from repro.compress.backend import BackendCost, cost_of, resolve_backend
 from repro.errors import LaunchError
 from repro.gpu.coalesce import (
     CoalesceSummary,
@@ -58,6 +59,8 @@ from repro.kernels.base import (
     TextureClassifier,
     TextureLineHistogram,
     TextureTraffic,
+    backend_compute_cycles,
+    backend_footprint_relief,
 )
 from repro.obs import coalesce
 
@@ -92,6 +95,9 @@ class SharedMeasurement:
     stt_in_texture: bool = True
     #: Full lockstep trace, only retained on request (O(input) memory).
     trace: Optional[LockstepTrace] = None
+    #: Cost snapshot of the gather backend used (None = legacy caller;
+    #: priced as the dense/compact fast path).
+    backend_cost: Optional[BackendCost] = None
 
 
 def measure_shared(
@@ -108,6 +114,7 @@ def measure_shared(
     tracer=None,
     tile_len: int = DEFAULT_TILE_LEN,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
     retain_trace: bool = False,
 ) -> SharedMeasurement:
     """Functional pass + event measurement (no pricing).
@@ -115,7 +122,13 @@ def measure_shared(
     The matching phase runs on the tiled streaming engine (see
     :func:`repro.kernels.global_only.measure_global` for the two-pass
     counter scheme); the staging/bank summaries are data-independent
-    per-block templates and are untouched by tiling.
+    per-block templates and are untouched by tiling.  ``stt_backend``
+    names the gather backend (wins over ``compact``); every backend is
+    functionally exact and leaves every *counter* unchanged — texture
+    line ids are always computed from the dense layout — but the
+    measurement records a :class:`~repro.compress.backend.BackendCost`
+    snapshot (footprint, exact failure-chain walk counts) that
+    :func:`price_shared` folds into the timing.
     """
     params = params or CostParams()
     tracer = coalesce(tracer)
@@ -141,7 +154,8 @@ def measure_shared(
         )
 
     plan = plan_chunks(arr.size, chunk_bytes, overlap)
-    table = dfa.compact_stt() if compact else None
+    backend = resolve_backend(stt_backend, compact=compact)
+    table = dfa.gather_table(backend)
     line_bytes = config.texture_cache.line_bytes
 
     hist = TextureLineHistogram(dfa.n_states, line_bytes)
@@ -149,12 +163,24 @@ def measure_shared(
     recorder = TraceRecorder(plan) if retain_trace else None
     if recorder is not None:
         sinks.append(recorder)
+    # Chain/lookup counters are cumulative on the (cached) adapter;
+    # snapshot around the functional pass so the recorded cost covers
+    # exactly this scan (the classifier re-pass below is excluded).
+    cost_before = cost_of(dfa, table, backend)
     with tracer.span("ownership_filter") as sp:
         outcome = scan_tiled(
             dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
         )
         sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
     matches, raw_hits = outcome.matches, outcome.raw_hits
+    cost_after = cost_of(dfa, table, backend)
+    backend_cost = BackendCost(
+        backend=cost_after.backend,
+        table_bytes=cost_after.table_bytes,
+        dense_bytes=cost_after.dense_bytes,
+        lookups=cost_after.lookups - cost_before.lookups,
+        chain_steps=cost_after.chain_steps - cost_before.chain_steps,
+    )
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -225,6 +251,7 @@ def measure_shared(
         launch=launch,
         stt_in_texture=stt_in_texture,
         trace=recorder.trace() if recorder is not None else None,
+        backend_cost=backend_cost,
     )
 
 
@@ -292,6 +319,8 @@ def price_shared(
         + meas.raw_hits / config.warp_size * params.instr_per_match_write * cpwi
         + nb * params.sync_cycles_per_block
     )
+    compute += backend_compute_cycles(meas.backend_cost, meas.tex, config, params)
+    relief = backend_footprint_relief(meas.backend_cost, params)
 
     match_bytes = meas.raw_hits * 8
     staging_txns = meas.staging_global.transactions * nb
@@ -302,12 +331,12 @@ def price_shared(
         # cache — every fetch instruction stalls a DRAM round trip and
         # every distinct line is a scattered transaction.
         stt_dependent = meas.tex.accesses * config.global_latency_cycles
-        stt_lines = meas.tex.total_line_requests
+        stt_lines = meas.tex.total_line_requests * relief
         stt_bus = stt_lines * config.texture_cache.line_bytes / scatter
     else:
-        stt_dependent = meas.tex.dependent_latency_cycles
-        stt_lines = meas.tex.dram_line_requests
-        stt_bus = meas.tex.dram_bytes / scatter
+        stt_dependent = meas.tex.dependent_latency_cycles * relief
+        stt_lines = meas.tex.dram_line_requests * relief
+        stt_bus = meas.tex.dram_bytes * relief / scatter
     if meas.cooperative_staging:
         dependent = stt_dependent
         staging_bus = counters.global_bytes  # sequential stream: peak BW
@@ -356,6 +385,7 @@ def run_shared_kernel(
     tracer=None,
     tile_len: int = DEFAULT_TILE_LEN,
     compact: bool = True,
+    stt_backend: Optional[str] = None,
     retain_trace: bool = False,
 ) -> KernelResult:
     """Run the shared-memory kernel on *data* (measure + price).
@@ -400,6 +430,7 @@ def run_shared_kernel(
                 tracer=tracer,
                 tile_len=tile_len,
                 compact=compact,
+                stt_backend=stt_backend,
                 retain_trace=retain_trace,
             )
             result = price_shared(meas, device, params)

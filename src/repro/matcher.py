@@ -94,6 +94,14 @@ class Matcher:
         Gather δ through the alphabet-compacted transition table
         (default True; exactly equivalent to the dense STT, smaller
         working set).  Set False to force dense gathers.
+    stt_backend:
+        STT storage backend for the GPU backend's δ-gather: ``"dense"``,
+        ``"compact"``, ``"banded"``, or ``"bitmap"`` (see
+        :mod:`repro.compress.backend`).  Default ``None`` resolves from
+        ``compact`` — preserving the legacy behavior exactly.  Every
+        backend returns byte-identical matches (pinned by the
+        differential harness); the compressed families trade per-fetch
+        arithmetic for a smaller modeled texture working set.
     """
 
     def __init__(
@@ -108,6 +116,7 @@ class Matcher:
         profiler=None,
         tile_len: Optional[int] = None,
         compact: bool = True,
+        stt_backend: Optional[str] = None,
         workers: int = 0,
     ):
         if backend not in BACKENDS:
@@ -133,6 +142,9 @@ class Matcher:
         self.device = device
         self.tile_len = tile_len
         self.compact = compact
+        from repro.compress.backend import resolve_backend
+
+        self.stt_backend = resolve_backend(stt_backend, compact=compact)
         self.workers = workers
         self.last_health = None
         self._resilient = None
@@ -156,6 +168,7 @@ class Matcher:
         profiler=None,
         tile_len: Optional[int] = None,
         compact: bool = True,
+        stt_backend: Optional[str] = None,
         workers: int = 0,
     ) -> "Matcher":
         """Wrap a pre-built DFA (e.g. loaded from disk).
@@ -178,6 +191,9 @@ class Matcher:
         obj.profiler = profiler
         obj.tile_len = tile_len
         obj.compact = compact
+        from repro.compress.backend import resolve_backend
+
+        obj.stt_backend = resolve_backend(stt_backend, compact=compact)
         obj.workers = workers
         obj.last_health = None
         obj._resilient = None
@@ -324,6 +340,7 @@ class Matcher:
                 self.tile_len if self.tile_len is not None else DEFAULT_TILE_LEN
             ),
             compact=self.compact,
+            stt_backend=self.stt_backend,
         )
 
     def _observe_kernel(self, result) -> None:

@@ -72,6 +72,21 @@ _CELL_FIELDS = {
     "kernels": dict,
 }
 
+#: Optional per-cell fields: ``stt`` records the STT storage backend
+#: the cell's GPU kernels gathered through plus its memory accounting
+#: (absent in pre-compression documents, which still validate).
+_CELL_OPTIONAL_FIELDS = {"stt": dict}
+
+#: Required fields of the optional per-cell ``stt`` block.  ``ratio``
+#: is the compression factor ``dense_bytes / table_bytes`` (1.0 for
+#: the dense-footprint backends).
+_STT_FIELDS = {
+    "backend": str,
+    "table_bytes": int,
+    "dense_bytes": int,
+    "ratio": float,
+}
+
 #: Required baseline stats (when the baseline was run).
 _BASELINE_FIELDS = {"seconds": float, "gbps": float}
 
@@ -94,10 +109,11 @@ class CellRecord:
     serial: Optional[Dict[str, float]] = None
     serial_mt: Optional[Dict[str, float]] = None
     kernels: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    stt: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict form for the JSON document."""
-        return {
+        doc = {
             "size_label": self.size_label,
             "n_patterns": self.n_patterns,
             "paper_bytes": self.paper_bytes,
@@ -108,6 +124,9 @@ class CellRecord:
             "serial_mt": self.serial_mt,
             "kernels": self.kernels,
         }
+        if self.stt is not None:
+            doc["stt"] = self.stt
+        return doc
 
 
 class BenchCollector:
@@ -162,6 +181,11 @@ class BenchCollector:
                 serial=_baseline(result.serial),
                 serial_mt=_baseline(result.serial_mt),
                 kernels=kernels,
+                stt=(
+                    dict(result.stt)
+                    if getattr(result, "stt", None) is not None
+                    else None
+                ),
             )
         )
 
@@ -244,6 +268,20 @@ def validate_bench_document(doc: Any) -> None:
                 errors.append(f"{where}.{name}: missing")
                 continue
             _check_type(cell[name], expect, f"{where}.{name}", errors)
+        for name, expect in _CELL_OPTIONAL_FIELDS.items():
+            if name in cell and cell[name] is not None:
+                _check_type(cell[name], expect, f"{where}.{name}", errors)
+        stt = cell.get("stt")
+        if isinstance(stt, dict):
+            swhere = f"{where}.stt"
+            for name, expect in _STT_FIELDS.items():
+                if name not in stt:
+                    errors.append(f"{swhere}.{name}: missing")
+                else:
+                    _check_type(stt[name], expect, f"{swhere}.{name}", errors)
+            extra = set(stt) - set(_STT_FIELDS)
+            if extra:
+                errors.append(f"{swhere}: unknown fields {sorted(extra)}")
         for baseline in ("serial", "serial_mt"):
             block = cell.get(baseline)
             if block is None:

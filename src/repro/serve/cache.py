@@ -20,7 +20,14 @@ Keying rules (docs/MODEL.md §8):
 * the fold flag is part of the key because a folded and an unfolded
   build of the same patterns are *different automata*;
 * pattern order matters — ids are positional and results carry
-  pattern ids, so a reordered dictionary is a different entry.
+  pattern ids, so a reordered dictionary is a different entry;
+* the resident key additionally carries the ``stt_backend`` the entry
+  was prepared for (dense/compact/banded/bitmap,
+  :mod:`repro.compress.backend`): the same digest under two backends is
+  two entries, because each entry pre-materializes its backend's gather
+  table and a hit must hand back exactly what the consumer will gather
+  through.  The *digest* itself stays backend-free — it names the
+  automaton's content, not its storage layout.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.compress.backend import resolve_backend
 from repro.core.dfa import DFA
 from repro.core.integrity import stt_row_checksums, verify_row_checksums
 from repro.core.pattern_set import PatternSet
@@ -74,6 +82,10 @@ class CacheEntry:
     #: cache entry is rejected before it can drive a scan.
     row_checksums: np.ndarray
     case_insensitive: bool
+    #: STT storage backend this entry's gather table was prepared for;
+    #: part of the resident key (same digest + different backend are
+    #: distinct entries).
+    stt_backend: str = "dense"
     hits: int = 0
 
     def verify(self) -> None:
@@ -110,7 +122,9 @@ class AutomatonCache:
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, str], CacheEntry]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -120,29 +134,38 @@ class AutomatonCache:
         return len(self._entries)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._entries
+        """True when *digest* is resident under **any** backend."""
+        return any(d == digest for d, _ in self._entries)
 
     @property
     def digests(self) -> Tuple[str, ...]:
-        """Resident digests, least-recently-used first."""
-        return tuple(self._entries)
+        """Resident digests, least-recently-used first.
 
-    def get(self, digest: str) -> Optional[CacheEntry]:
-        """The verified entry for *digest* (refreshing its recency), or None.
+        A digest resident under several backends appears once per
+        backend entry (each ages independently in the LRU).
+        """
+        return tuple(d for d, _ in self._entries)
+
+    def get(
+        self, digest: str, *, stt_backend: str = "dense"
+    ) -> Optional[CacheEntry]:
+        """The verified entry for ``(digest, stt_backend)``, or None.
 
         Every hit is re-verified against the entry's build-time row
-        CRCs.  A corrupted entry (bit rot, a stray write) is **evicted,
-        not raised**: the lookup degrades to a miss, so the caller's
-        build path produces a fresh, correct automaton — self-healing
-        instead of wedging every future request on that digest.
+        CRCs — the cached STT must be byte-identical to a fresh build.
+        A corrupted entry (bit rot, a stray write) is **evicted, not
+        raised**: the lookup degrades to a miss, so the caller's build
+        path produces a fresh, correct automaton — self-healing instead
+        of wedging every future request on that digest.
         """
-        entry = self._entries.get(digest)
+        key = (digest, resolve_backend(stt_backend))
+        entry = self._entries.get(key)
         if entry is None:
             return None
         try:
             entry.verify()
         except IntegrityError:
-            del self._entries[digest]
+            del self._entries[key]
             self.corrupt_evictions += 1
             self.metrics.counter(
                 "automaton_cache_corrupt_evictions_total",
@@ -153,7 +176,7 @@ class AutomatonCache:
                 "automaton_cache_entries", "resident cached automata"
             ).set(len(self._entries))
             return None
-        self._entries.move_to_end(digest)
+        self._entries.move_to_end(key)
         entry.hits += 1
         self.hits += 1
         self.metrics.counter(
@@ -167,19 +190,23 @@ class AutomatonCache:
         patterns: Union[Sequence, PatternSet],
         *,
         case_insensitive: bool = False,
+        stt_backend: str = "dense",
     ) -> Tuple[CacheEntry, bool]:
         """``(entry, was_hit)`` for a dictionary, building on miss.
 
         The build path folds the dictionary exactly as
         :class:`~repro.matcher.Matcher` does, computes the STT row
-        checksums, and inserts the entry (evicting the LRU entry when
-        over capacity), so a hit and a fresh build are byte-identical
-        by construction — the cache-fuzz test pins this.
+        checksums, pre-materializes the requested backend's gather
+        table on the DFA (so a hit never pays the compression build),
+        and inserts the entry (evicting the LRU entry when over
+        capacity), so a hit and a fresh build are byte-identical by
+        construction — the cache-fuzz test pins this.
         """
+        backend = resolve_backend(stt_backend)
         digest = pattern_set_digest(
             patterns, case_insensitive=case_insensitive
         )
-        entry = self.get(digest)
+        entry = self.get(digest, stt_backend=backend)
         if entry is not None:
             return entry, True
         self.misses += 1
@@ -193,19 +220,24 @@ class AutomatonCache:
                 [p.lower() for p in patterns.as_bytes_list()]
             )
         with self.tracer.span(
-            "cache_build", digest=digest[:12], n_patterns=len(patterns)
+            "cache_build",
+            digest=digest[:12],
+            n_patterns=len(patterns),
+            stt_backend=backend,
         ) as sp:
             dfa = DFA.build(patterns)
+            dfa.gather_table(backend)
             entry = CacheEntry(
                 digest=digest,
                 dfa=dfa,
                 row_checksums=stt_row_checksums(dfa.stt),
                 case_insensitive=case_insensitive,
+                stt_backend=backend,
             )
             sp.set(n_states=dfa.n_states)
-        self._entries[digest] = entry
+        self._entries[(digest, backend)] = entry
         while len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
+            (evicted, _), _ = self._entries.popitem(last=False)
             self.evictions += 1
             self.metrics.counter(
                 "automaton_cache_evictions_total", "automaton cache evictions"

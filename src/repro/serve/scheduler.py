@@ -220,6 +220,12 @@ class ScanScheduler:
         matcher this scheduler builds (default: the engine's).  Peak
         batch-scan memory is O(lanes × tile_len) regardless of how
         large a batch buffer the requests concatenate into.
+    stt_backend:
+        STT storage backend (dense/compact/banded/bitmap) for every
+        matcher this scheduler builds; also part of the automaton
+        cache's resident key, so two schedulers sharing one cache
+        under different backends never serve each other's tables.
+        Default ``None`` resolves to the compact legacy behavior.
     epochs:
         Optional :class:`~repro.serve.epoch.EpochManager` enabling the
         named-submission path (:meth:`submit_named`): a request
@@ -256,6 +262,7 @@ class ScanScheduler:
         metrics=None,
         profiler=None,
         tile_len: Optional[int] = None,
+        stt_backend: Optional[str] = None,
         epochs: Optional[EpochManager] = None,
         clock: Callable[[], float] = time.monotonic,
         slo=None,
@@ -271,6 +278,12 @@ class ScanScheduler:
         self.backend = backend
         self.max_batch = max_batch
         self.tile_len = tile_len
+        from repro.compress.backend import resolve_backend
+
+        # Resolved once; every cache lookup/build and every matcher this
+        # scheduler constructs uses the same STT storage backend, so the
+        # cache's (digest, backend) keys stay coherent per scheduler.
+        self.stt_backend = resolve_backend(stt_backend)
         self.device_config = device_config
         self.injector = injector
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -508,7 +521,7 @@ class ScanScheduler:
         if matcher is not None:
             # cache.get re-verifies row checksums; a corrupted entry
             # comes back as a miss (evicted) and is rebuilt below.
-            entry = self.cache.get(digest)
+            entry = self.cache.get(digest, stt_backend=self.stt_backend)
             if entry is not None:
                 bind_resident = (
                     matcher.device is not None
@@ -518,7 +531,9 @@ class ScanScheduler:
             # Evicted behind our back: rebuild through the cache below.
             self._matchers.pop(digest, None)
         entry, hit = self.cache.get_or_build(
-            request.patterns, case_insensitive=request.case_insensitive
+            request.patterns,
+            case_insensitive=request.case_insensitive,
+            stt_backend=self.stt_backend,
         )
         matcher = Matcher.from_dfa(
             entry.dfa,
@@ -528,6 +543,7 @@ class ScanScheduler:
             metrics=self.metrics,
             profiler=self.profiler,
             tile_len=self.tile_len,
+            stt_backend=self.stt_backend,
         )
         if self.backend == "gpu":
             from repro.gpu.device import Device
@@ -564,6 +580,7 @@ class ScanScheduler:
             metrics=self.metrics,
             profiler=self.profiler,
             tile_len=self.tile_len,
+            stt_backend=self.stt_backend,
         )
         if self.backend == "gpu":
             from repro.gpu.device import Device

@@ -21,6 +21,8 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.core.pattern_set import PatternSet
 from repro.errors import ReproError
 
@@ -131,3 +133,130 @@ def rules_to_patterns(rules: List[SnortRule]) -> Tuple[PatternSet, List[Tuple[in
             payloads.append(pat)
             owners.append((ridx, rule.sid))
     return PatternSet.from_bytes(payloads), owners
+
+
+# -- synthetic rule generation (IDS-scale benchmarking) -------------------
+
+#: Bytes that may appear literally inside a quoted ``content`` option:
+#: printable ASCII minus the quote, the backslash (parser escapes) and
+#: the pipe (``|hex|`` delimiter).  Everything else is hex-escaped.
+_LITERAL_OK = frozenset(range(0x20, 0x7F)) - {0x22, 0x5C, 0x7C}
+
+#: Token alphabet biasing generated contents toward the HTTP/URI/shell
+#: flavor of real Snort content strings (letters, digits, separators).
+_TOKEN_BYTES = np.frombuffer(
+    b"abcdefghijklmnopqrstuvwxyz"
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    b"0123456789/_-.=%& ",
+    dtype=np.uint8,
+)
+
+_PROTOCOLS = ("tcp", "udp", "ip")
+_PORTS = ("80", "443", "25", "53", "any", "8080")
+
+
+def _encode_content(data: bytes) -> str:
+    """Render *data* as a ``content`` string (inverse of decoding).
+
+    Literal-safe bytes are emitted as-is; runs of everything else
+    become one ``|XX XX|`` hex escape, exactly the dialect
+    :func:`parse_rule` decodes, so generated rules round-trip.
+    """
+    out: List[str] = []
+    hexrun: List[int] = []
+
+    def flush() -> None:
+        if hexrun:
+            out.append("|" + " ".join(f"{b:02X}" for b in hexrun) + "|")
+            hexrun.clear()
+
+    for b in data:
+        if b in _LITERAL_OK:
+            flush()
+            out.append(chr(b))
+        else:
+            hexrun.append(b)
+    flush()
+    return "".join(out)
+
+
+def generate_rules(
+    n_patterns: int,
+    *,
+    seed: int = 2013,
+    avg_content_len: int = 8,
+    nocase_fraction: float = 0.2,
+    binary_fraction: float = 0.15,
+) -> str:
+    """A seeded synthetic rule file with exactly *n_patterns* contents.
+
+    Real Snort rule dumps are not redistributable, so the IDS-scale
+    benchmarks (:mod:`repro.bench.compress_bench`) synthesize one:
+    ``n_patterns`` rules whose content strings average
+    ``avg_content_len`` bytes (uniform in ``[4, 2*avg-4]``), are mostly
+    ASCII tokens with a ``binary_fraction`` sprinkle of raw bytes
+    (rendered as ``|hex|`` escapes), and — after ``nocase`` folding —
+    are **unique**, so ``rules_to_patterns(parse_rules(text))`` yields a
+    :class:`PatternSet` of exactly ``n_patterns`` entries.  The
+    generator loops until the uniqueness target is met, making the
+    output a pure function of its arguments.
+    """
+    if n_patterns < 1:
+        raise ReproError(f"n_patterns must be >= 1, got {n_patterns}")
+    if avg_content_len < 4:
+        raise ReproError(
+            f"avg_content_len must be >= 4, got {avg_content_len}"
+        )
+    rng = np.random.default_rng(np.random.SeedSequence([0x5EED, seed]))
+    lo, hi = 4, 2 * avg_content_len - 4
+    seen = set()
+    lines: List[str] = [
+        f"# synthetic snort-style rules: n={n_patterns} seed={seed}",
+    ]
+    sid = 1_000_000
+    while len(seen) < n_patterns:
+        length = int(rng.integers(lo, hi + 1))
+        raw = _TOKEN_BYTES[
+            rng.integers(0, _TOKEN_BYTES.size, length)
+        ].copy()
+        binary = rng.random(length) < binary_fraction
+        if binary.any():
+            raw[binary] = rng.integers(0, 256, int(binary.sum()))
+        nocase = bool(rng.random() < nocase_fraction)
+        content = raw.tobytes()
+        folded = content.lower() if nocase else content
+        if folded in seen:
+            continue
+        seen.add(folded)
+        sid += 1
+        proto = _PROTOCOLS[int(rng.integers(0, len(_PROTOCOLS)))]
+        port = _PORTS[int(rng.integers(0, len(_PORTS)))]
+        opts = (
+            f'msg:"synthetic {sid}"; '
+            f'content:"{_encode_content(content)}"; '
+            + ("nocase; " if nocase else "")
+            + f"sid:{sid};"
+        )
+        lines.append(
+            f"alert {proto} any any -> any {port} ({opts})"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def generate_pattern_set(n_patterns: int, *, seed: int = 2013) -> PatternSet:
+    """Synthetic IDS dictionary: generate, parse, flatten.
+
+    Round-trips :func:`generate_rules` output through the real parser
+    (:func:`parse_rules` → :func:`rules_to_patterns`) so benchmark
+    dictionaries exercise the same code path as user-supplied rule
+    files, and asserts the exact-count contract.
+    """
+    patterns, _ = rules_to_patterns(
+        parse_rules(generate_rules(n_patterns, seed=seed))
+    )
+    if len(patterns) != n_patterns:
+        raise ReproError(
+            f"synthetic ruleset yielded {len(patterns)} unique patterns, "
+            f"wanted {n_patterns}"
+        )
+    return patterns

@@ -1,0 +1,140 @@
+"""REPRODFA extra sections: compressed STTs ride along, CRC-checked.
+
+PR 9 teaches the REPRODFA container optional *extra* sections —
+length- and CRC32-declared blobs appended after the five base
+sections — and gives the banded/bitmap backends serialized forms that
+round-trip through them.  These tests pin the contract:
+
+* a save with no extras is byte-identical to the pre-extra format
+  (old readers keep working, archived files keep loading);
+* banded/bitmap blobs round-trip bit-exactly and rebuild tables that
+  verify against the source automaton;
+* truncation and bit flips are rejected loudly (``SerializationError``
+  naming the tag / ``IntegrityError`` on CRC), never silently —
+  including the silently-truncated band store a v2 reader must refuse.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.compress.banded import BandedSTT
+from repro.compress.bitmap import BitmapDeltaSTT
+from repro.core import DFA, AhoCorasickAutomaton, PatternSet
+from repro.core.serialization import (
+    EXTRA_BANDED,
+    EXTRA_BITMAP,
+    load_dfa_meta,
+    save_dfa,
+)
+from repro.errors import IntegrityError, SerializationError
+
+PATTERNS = ["he", "she", "his", "hers", "usher", "banded"]
+
+
+@pytest.fixture(scope="module")
+def built():
+    ps = PatternSet.from_strings(PATTERNS)
+    ac = AhoCorasickAutomaton.build(ps)
+    dfa = DFA.from_automaton(ac)
+    banded = BandedSTT.from_stt(dfa.stt)
+    bitmap = BitmapDeltaSTT.from_automaton(ac, dfa)
+    return ac, dfa, banded, bitmap
+
+
+def _save(dfa, extras=None) -> bytes:
+    buf = io.BytesIO()
+    save_dfa(dfa, buf, extras=extras)
+    return buf.getvalue()
+
+
+class TestRoundTrip:
+    def test_both_backends_ride_along(self, built):
+        _, dfa, banded, bitmap = built
+        blob = _save(
+            dfa,
+            extras={
+                EXTRA_BANDED: banded.to_bytes(),
+                EXTRA_BITMAP: bitmap.to_bytes(),
+            },
+        )
+        loaded = load_dfa_meta(io.BytesIO(blob))
+        assert set(loaded.extra) == {EXTRA_BANDED, EXTRA_BITMAP}
+        b2 = BandedSTT.from_bytes(loaded.extra[EXTRA_BANDED])
+        assert b2.verify_against(loaded.dfa.stt)
+        m2 = BitmapDeltaSTT.from_bytes(loaded.extra[EXTRA_BITMAP])
+        assert m2.verify_against(loaded.dfa, sample=2000, seed=3)
+        # bit-exact blob round trip, not just equivalent behavior
+        assert b2.to_bytes() == banded.to_bytes()
+        assert m2.to_bytes() == bitmap.to_bytes()
+
+    def test_no_extras_is_byte_identical_to_legacy_format(self, built):
+        _, dfa, _, _ = built
+        assert _save(dfa) == _save(dfa, extras=None)
+        assert b"extra" not in _save(dfa)[:200]
+
+    def test_legacy_reader_shape_unaffected(self, built):
+        """A file with extras still loads its base DFA correctly."""
+        _, dfa, banded, _ = built
+        blob = _save(dfa, extras={EXTRA_BANDED: banded.to_bytes()})
+        loaded = load_dfa_meta(io.BytesIO(blob))
+        np.testing.assert_array_equal(
+            loaded.dfa.stt.table, dfa.stt.table
+        )
+
+
+class TestCorruption:
+    def test_truncated_extra_names_the_tag(self, built):
+        _, dfa, banded, _ = built
+        blob = _save(dfa, extras={EXTRA_BANDED: banded.to_bytes()})
+        with pytest.raises(SerializationError, match=EXTRA_BANDED):
+            load_dfa_meta(io.BytesIO(blob[:-20]))
+
+    def test_bitflip_in_extra_fails_crc(self, built):
+        _, dfa, banded, _ = built
+        payload = banded.to_bytes()
+        blob = bytearray(_save(dfa, extras={EXTRA_BANDED: payload}))
+        blob[-len(payload) // 2] ^= 0x40
+        with pytest.raises(IntegrityError):
+            load_dfa_meta(io.BytesIO(bytes(blob)))
+
+    def test_silently_truncated_band_store_is_refused(self, built):
+        """The v2 banded reader cross-checks offsets against the values
+        array: a band store whose tail was dropped (with a recomputed
+        CRC, so the container itself looks intact) must still fail
+        structural validation."""
+        _, dfa, banded, _ = built
+        from repro.compress.blob import pack_arrays, unpack_arrays
+
+        header, arrays = unpack_arrays(
+            banded.to_bytes(), "repro-ac/banded-stt/v1"
+        )
+        order = [spec["name"] for spec in header["arrays"]]
+        arrays["values"] = arrays["values"][:-3]  # silent truncation
+        meta = {
+            k: v
+            for k, v in header.items()
+            if k not in ("format", "arrays")
+        }
+        # Re-pack with fresh lengths + CRCs: the *container* is intact,
+        # only the band store is short.
+        forged = pack_arrays(
+            "repro-ac/banded-stt/v1",
+            meta,
+            [(name, arrays[name]) for name in order],
+        )
+        with pytest.raises(SerializationError, match="truncated band"):
+            BandedSTT.from_bytes(forged)
+
+    def test_malformed_extra_declaration_rejected(self, built):
+        """Header surgery: an extra declared with a non-int length is a
+        malformed header, not a crash deeper in the reader."""
+        _, dfa, banded, _ = built
+        blob = _save(dfa, extras={EXTRA_BANDED: banded.to_bytes()})
+        # Corrupt the declared length field in the JSON header.
+        mutated = blob.replace(b'"length":', b'"length": "x", "n":', 1)
+        with pytest.raises(SerializationError):
+            load_dfa_meta(io.BytesIO(mutated))
