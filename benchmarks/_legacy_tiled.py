@@ -1,0 +1,400 @@
+"""Pre-fused-gather tiled engine, pinned verbatim as a benchmark fixture.
+
+This is the ``repro.core.tiled`` module exactly as it stood before the
+fused 2-D gather rewrite (column-major fused tables, uint16 state
+downcast, pooled tile buffers).  ``benchmarks/test_engine_speedup.py``
+scans the same bytes through both engines to (a) assert byte-identical
+matches and (b) assert the >= 3x wall-clock speedup the rewrite is
+pinned to.  Do not modernize this file: its value is that it does not
+change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import STATE_DTYPE, STT_COLUMNS
+from repro.core.chunking import ChunkPlan, ownership_mask, plan_chunks, required_overlap
+from repro.core.compact import CompactSTT
+from repro.core.dfa import DFA
+from repro.core.match import MatchResult
+from repro.core.trie import ROOT
+from repro.errors import ChunkingError
+
+#: Default steps per tile.  Large enough to amortize per-tile Python
+#: overhead, small enough that a tile's working set (≈8 bytes per
+#: element) stays cache-friendly; the tile-size ablation bench
+#: (benchmarks/test_ablation_tilesize.py) sweeps this.
+DEFAULT_TILE_LEN = 256
+
+#: Default owned bytes per lockstep thread for full-text scans.
+DEFAULT_CHUNK_LEN = 4096
+
+
+class GatherKernel:
+    """Zero-allocation δ-gather over a flat transition table.
+
+    One fused flat-index gather per step — ``flat[state * ncols + col]``
+    — through preallocated int64 index buffers, so the hot loop
+    allocates nothing (the fix for the old per-step
+    ``astype(np.int64, copy=False)`` round trip, which still copied
+    because the gather result was int32).
+
+    Under ``REPRO_JIT=1`` (and with numba importable) the step runs a
+    compiled ``nogil`` loop from :mod:`repro.core.jit` instead — same
+    gather, identical output, pinned by ``tests/core/test_jit.py`` —
+    falling back to the NumPy path automatically otherwise.
+
+    ``table`` may also be a gather *adapter* (an object exposing
+    ``alloc(n)`` / ``step_into(state, symbols, out_row)`` — see
+    :mod:`repro.compress.backend`); the step then delegates to it,
+    which is how the banded and bitmap compressed backends plug in
+    without this module importing them.
+    """
+
+    __slots__ = ("flat", "ncols", "class_of", "adapter", "_idx", "_sym", "_res", "_jit")
+
+    def __init__(self, dfa: DFA, table: Optional[CompactSTT] = None):
+        from repro.core.jit import jit_kernels
+
+        self._jit = jit_kernels()
+        self.adapter = None
+        if table is None:
+            # Dense path: flat row-major view of the full 257-column
+            # table; symbols < 256 never index the match column.
+            self.flat = dfa.stt.table.reshape(-1)
+            self.ncols = STT_COLUMNS
+            self.class_of = None
+        elif hasattr(table, "step_into"):
+            self.adapter = table
+            self.flat = None
+            self.ncols = 0
+            self.class_of = None
+        else:
+            self.flat = table.flat
+            self.ncols = table.n_classes
+            self.class_of = table.class_of
+        self._idx = None
+        self._sym = None
+        self._res = None
+
+    def alloc(self, n_threads: int) -> None:
+        """Size the per-step scratch buffers for *n_threads* lanes."""
+        if self.adapter is not None:
+            self.adapter.alloc(n_threads)
+            return
+        self._idx = np.empty(n_threads, dtype=np.int64)
+        self._res = np.empty(n_threads, dtype=STATE_DTYPE)
+        self._sym = (
+            np.empty(n_threads, dtype=np.int64)
+            if self.class_of is not None
+            else None
+        )
+
+    def step(
+        self, state: np.ndarray, symbols: np.ndarray, out_row: np.ndarray
+    ) -> None:
+        """Advance ``state`` (int64, in place) by one symbol row.
+
+        ``out_row`` receives the post-step states in :data:`STATE_DTYPE`.
+        """
+        if self.adapter is not None:
+            self.adapter.step_into(state, symbols, out_row)
+            return
+        if self._jit is not None:
+            if self.class_of is None:
+                self._jit["gather_step_dense"](
+                    self.flat, self.ncols, state, symbols, out_row
+                )
+            else:
+                self._jit["gather_step_compact"](
+                    self.flat, self.ncols, self.class_of, state, symbols, out_row
+                )
+            return
+        np.multiply(state, self.ncols, out=self._idx)
+        if self.class_of is None:
+            np.add(self._idx, symbols, out=self._idx)
+        else:
+            np.take(self.class_of, symbols, out=self._sym)
+            np.add(self._idx, self._sym, out=self._idx)
+        np.take(self.flat, self._idx, out=self._res)
+        np.copyto(state, self._res)
+        out_row[...] = self._res
+
+
+@dataclass
+class TileView:
+    """One step tile of a running lockstep scan.
+
+    All array fields are views into buffers **reused across tiles** —
+    sinks must copy anything they keep past their ``on_tile`` call.
+
+    Attributes
+    ----------
+    j0, j1:
+        Step range of this tile (``windows[j0:j1]`` of the monolithic
+        run).
+    states_after:
+        ``(j1 - j0, n_threads)`` — DFA state after each step's byte.
+    valid:
+        Same shape, bool — True where the byte lies inside the input.
+    windows:
+        The tile's byte rows (zero in the padded tail), or None unless
+        a sink declared ``needs_windows``.
+    fetched:
+        States whose STT row was *read* at each step (row ``j0`` is the
+        carry-in state vector), or None unless a sink declared
+        ``needs_fetched``.
+    plan:
+        The chunk geometry of the scan.
+    """
+
+    j0: int
+    j1: int
+    states_after: np.ndarray
+    valid: np.ndarray
+    windows: Optional[np.ndarray]
+    fetched: Optional[np.ndarray]
+    plan: ChunkPlan
+
+    def positions(self) -> np.ndarray:
+        """Global byte position of each (step, thread) cell (fresh array)."""
+        steps = np.arange(self.j0, self.j1, dtype=np.int64)
+        return self.plan.starts[None, :] + steps[:, None]
+
+
+def iter_dfa_tiles(
+    dfa: DFA,
+    data: np.ndarray,
+    plan: ChunkPlan,
+    *,
+    tile_len: int = DEFAULT_TILE_LEN,
+    table: Optional[CompactSTT] = None,
+    init_states: Optional[np.ndarray] = None,
+    want_windows: bool = False,
+    want_fetched: bool = False,
+) -> Iterator[TileView]:
+    """Advance every chunk through the DFA, yielding one tile at a time.
+
+    Window rows are gathered from *data* on the fly (clipped positions,
+    zeroed out-of-range suffix), so nothing proportional to the input
+    is ever copied.  ``init_states`` seeds the per-thread carry-in
+    state (default: all ROOT) — the streaming matcher uses it to thread
+    its inter-feed state through lane 0.
+    """
+    if data.dtype != np.uint8 or data.ndim != 1:
+        raise ChunkingError("data must be a 1-D uint8 array (use alphabet.encode)")
+    if data.size != plan.n:
+        raise ChunkingError(
+            f"data length {data.size} does not match plan.n {plan.n}"
+        )
+    if tile_len <= 0:
+        raise ChunkingError(f"tile_len must be > 0, got {tile_len}")
+
+    n = plan.n
+    nt = plan.n_chunks
+    wl = plan.window_len
+    starts = plan.starts
+    if np.any(np.diff(starts) < 0):
+        raise ChunkingError("plan.starts must be non-decreasing")
+    remaining = n - starts  # descending; thread t is valid while j < remaining[t]
+    neg_remaining = -remaining  # ascending, for the valid-prefix search
+
+    gather = GatherKernel(dfa, table)
+    gather.alloc(nt)
+    state = np.zeros(nt, dtype=np.int64)
+    if init_states is not None:
+        if init_states.shape != (nt,):
+            raise ChunkingError(
+                f"init_states must have shape ({nt},); got {init_states.shape}"
+            )
+        state[:] = init_states
+
+    tile_len = min(tile_len, wl)
+    states_buf = np.empty((tile_len, nt), dtype=STATE_DTYPE)
+    valid_buf = np.empty((tile_len, nt), dtype=bool)
+    win_buf = np.empty((tile_len, nt), dtype=np.uint8) if want_windows else None
+    fetch_buf = np.empty((tile_len, nt), dtype=STATE_DTYPE) if want_fetched else None
+    win_row = np.empty(nt, dtype=np.uint8)
+    pos = np.empty(nt, dtype=np.int64)
+    steps = np.arange(wl, dtype=np.int64)
+    clip = max(n - 1, 0)
+
+    for j0 in range(0, wl, tile_len):
+        j1 = min(j0 + tile_len, wl)
+        ts = j1 - j0
+        sb = states_buf[:ts]
+        if want_fetched:
+            fetch_buf[0] = state  # carry-in: the rows *read* at step j0
+        for r in range(ts):
+            j = j0 + r
+            if n:
+                np.add(starts, j, out=pos)
+                np.minimum(pos, clip, out=pos)
+                np.take(data, pos, out=win_row)
+                # Zero the invalid suffix (threads whose window has run
+                # past the input) to reproduce build_windows' padding.
+                k = int(np.searchsorted(neg_remaining, -j, side="left"))
+                if k < nt:
+                    win_row[k:] = 0
+            else:
+                win_row[:] = 0
+            gather.step(state, win_row, sb[r])
+            if want_windows:
+                win_buf[r] = win_row
+        if want_fetched and ts > 1:
+            fetch_buf[1:ts] = sb[: ts - 1]
+        vb = valid_buf[:ts]
+        np.less(steps[j0:j1, None], remaining[None, :], out=vb)
+        yield TileView(
+            j0=j0,
+            j1=j1,
+            states_after=sb,
+            valid=vb,
+            windows=win_buf[:ts] if want_windows else None,
+            fetched=fetch_buf[:ts] if want_fetched else None,
+            plan=plan,
+        )
+
+
+@dataclass
+class TiledScanResult:
+    """Outcome of one tiled scan."""
+
+    matches: MatchResult
+    raw_hits: int
+    bytes_scanned: int
+    n_tiles: int
+    plan: ChunkPlan
+
+
+def scan_tiled(
+    dfa: DFA,
+    data: np.ndarray,
+    *,
+    plan: Optional[ChunkPlan] = None,
+    chunk_len: int = DEFAULT_CHUNK_LEN,
+    overlap: Optional[int] = None,
+    tile_len: int = DEFAULT_TILE_LEN,
+    compact: bool = True,
+    table: Optional[CompactSTT] = None,
+    stt_backend: Optional[str] = None,
+    sinks: Sequence = (),
+) -> TiledScanResult:
+    """Full tiled scan: plan, tile, extract matches, feed sinks.
+
+    Match extraction (flag test, CSR output expansion, overlap
+    ownership) is fused into each tile, so nothing proportional to the
+    input is retained.  ``sinks`` are objects with an ``on_tile(tile)``
+    method; a sink class sets ``needs_windows`` / ``needs_fetched``
+    to request those tile fields.
+
+    ``compact=True`` (default) gathers through the DFA's cached
+    alphabet-compacted table — exactly equivalent and markedly faster
+    once the dense STT outgrows cache; pass ``table`` to supply a
+    prebuilt :class:`~repro.core.compact.CompactSTT` instead, or name
+    any registered backend via ``stt_backend`` (``dense | compact |
+    banded | bitmap`` — see :mod:`repro.compress.backend`), which wins
+    over the boolean flag.
+    """
+    if plan is None:
+        if overlap is None:
+            overlap = required_overlap(dfa.patterns.max_length)
+        plan = plan_chunks(data.size, chunk_len, overlap)
+    if table is None:
+        if stt_backend is not None:
+            table = dfa.gather_table(stt_backend)
+        elif compact:
+            table = dfa.compact_stt()
+
+    flags_u8 = (np.asarray(dfa.stt.match_flags) != 0).astype(np.uint8)
+    want_windows = any(getattr(s, "needs_windows", False) for s in sinks)
+    want_fetched = any(getattr(s, "needs_fetched", False) for s in sinks)
+
+    nt = plan.n_chunks
+    tl = min(tile_len, plan.window_len)
+    flag_buf = np.empty((tl, nt), dtype=np.uint8)
+    hit_buf = np.empty((tl, nt), dtype=bool)
+
+    ends_parts = []
+    pids_parts = []
+    raw_hits = 0
+    bytes_scanned = 0
+    n_tiles = 0
+    for tile in iter_dfa_tiles(
+        dfa,
+        data,
+        plan,
+        tile_len=tile_len,
+        table=table,
+        want_windows=want_windows,
+        want_fetched=want_fetched,
+    ):
+        n_tiles += 1
+        ts = tile.j1 - tile.j0
+        bytes_scanned += int(np.count_nonzero(tile.valid))
+
+        fb = flag_buf[:ts]
+        hb = hit_buf[:ts]
+        # Row-at-a-time flag gather: np.take silently casts its index
+        # array to intp, so a whole-tile gather would allocate an int64
+        # copy of states_after (8 B/cell — the largest transient in the
+        # scan).  One row keeps that cast at n_threads elements.
+        for r in range(ts):
+            np.take(flags_u8, tile.states_after[r], out=fb[r])
+        np.not_equal(fb, 0, out=hb)
+        np.logical_and(hb, tile.valid, out=hb)
+        j_idx, t_idx = np.nonzero(hb)
+        raw_hits += int(j_idx.size)
+        if j_idx.size:
+            ends = plan.starts[t_idx] + j_idx + tile.j0
+            states = tile.states_after[j_idx, t_idx].astype(np.int64)
+            counts = dfa.out_offsets[states + 1] - dfa.out_offsets[states]
+            exp_ends, exp_pids = dfa.gather_matches(ends, states)
+            exp_threads = np.repeat(t_idx, counts)
+            own = ownership_mask(
+                plan, exp_threads, exp_ends, dfa.pattern_lengths[exp_pids]
+            )
+            ends_parts.append(exp_ends[own])
+            pids_parts.append(exp_pids[own])
+
+        for sink in sinks:
+            sink.on_tile(tile)
+
+    if ends_parts:
+        matches = MatchResult(
+            np.concatenate(ends_parts), np.concatenate(pids_parts)
+        )
+    else:
+        matches = MatchResult.empty()
+    return TiledScanResult(
+        matches=matches,
+        raw_hits=raw_hits,
+        bytes_scanned=bytes_scanned,
+        n_tiles=n_tiles,
+        plan=plan,
+    )
+
+
+class StateVisitHistogram:
+    """Sink: per-state STT-row fetch counts (== trace.visit_histogram).
+
+    Exact under tiling: the histogram is a sum of per-tile bincounts
+    over the valid fetched states, and tile rows partition the step
+    axis.
+    """
+
+    needs_fetched = True
+    needs_windows = False
+
+    def __init__(self, n_states: int):
+        self.hist = np.zeros(n_states, dtype=np.int64)
+
+    def on_tile(self, tile: TileView) -> None:
+        """Accumulate one tile's valid fetches into the histogram."""
+        fetched = tile.fetched[tile.valid]
+        if fetched.size:
+            self.hist += np.bincount(fetched, minlength=self.hist.size)

@@ -223,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
         "compact, the legacy behavior)",
     )
     be.add_argument(
+        "--tile-len", type=int, default=None,
+        help="step-tile size for the tiled engine (default 256 — "
+        "results are identical for any value)",
+    )
+    be.add_argument(
+        "--workers", type=int, default=1,
+        help="process count to fan grid cells across (default 1 = "
+        "in-process; results are byte-identical for any count)",
+    )
+    be.add_argument(
+        "--cache-dir", default=None,
+        help="directory for content-keyed on-disk cell caching (fresh "
+        "cells are always written through when set)",
+    )
+    be.add_argument(
+        "--resume", action="store_true",
+        help="with --cache-dir: load completed cells from the cache "
+        "instead of recomputing, so an interrupted grid restarts "
+        "where it left off",
+    )
+    be.add_argument(
         "--out", default="BENCH_smoke.json",
         help="output path for the cell trajectory (default BENCH_smoke.json)",
     )
@@ -265,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep as schema-validated bench cells "
         "(BENCH_*.json) to this path",
     )
+    cpb.add_argument(
+        "--tile-len", type=int, default=None,
+        help="step-tile size for the tiled engine (default 256 — "
+        "results are identical for any value)",
+    )
+    cpb.add_argument(
+        "--workers", type=int, default=1,
+        help="process count to fan trade-off cells across (default 1 "
+        "= in-process; results are byte-identical for any count)",
+    )
 
     cb = sub.add_parser(
         "cpubench",
@@ -291,6 +322,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-speedup", type=float, default=0.0,
         help="exit 1 if the measured multicore speedup is below this "
         "(the CI cpu-baseline job passes 2.0; default 0 = report only)",
+    )
+    cb.add_argument(
+        "--tile-len", type=int, default=None,
+        help="step-tile size for the tiled engine in both measured "
+        "legs (default 256 — matches are identical for any value)",
+    )
+
+    ps = sub.add_parser(
+        "paperscale",
+        help="run the paper's largest grid cell (200MB x 20k patterns) "
+        "through every kernel under a wall-clock budget and write "
+        "schema-validated bench cells with runner wall-clock metadata",
+    )
+    ps.add_argument("--size", default="200MB",
+                    help="cell size label (default 200MB)")
+    ps.add_argument("--patterns", type=int, default=20000,
+                    help="dictionary size (default 20000)")
+    ps.add_argument(
+        "--kernels", default="serial,serial_mt,global,shared,pfac",
+        help="comma list of kernels/baselines to run "
+        "(default serial,serial_mt,global,shared,pfac)",
+    )
+    ps.add_argument(
+        "--scale", type=float, default=0.16,
+        help="sim scale: scanned bytes = size x scale (default 0.16, "
+        "the perf-gate geometry: 200MB x 0.16 = a 32 MB sim cell)",
+    )
+    ps.add_argument("--seed", type=int, default=2013)
+    ps.add_argument(
+        "--stt-backend", default=None,
+        choices=["dense", "compact", "banded", "bitmap"],
+        help="STT storage backend for every GPU kernel (default compact)",
+    )
+    ps.add_argument("--tile-len", type=int, default=None,
+                    help="step-tile size for the tiled engine")
+    ps.add_argument(
+        "--workers", type=int, default=1,
+        help="process count to fan cells across (default 1)",
+    )
+    ps.add_argument(
+        "--cache-dir", default=None,
+        help="directory for content-keyed on-disk cell caching",
+    )
+    ps.add_argument(
+        "--resume", action="store_true",
+        help="with --cache-dir: restart from completed cells",
+    )
+    ps.add_argument(
+        "--budget-seconds", type=float, default=900.0,
+        help="exit 1 if the grid's wall-clock exceeds this "
+        "(default 900; 0 disables)",
+    )
+    ps.add_argument(
+        "--out", default="BENCH_paperscale.json",
+        help="output path (default BENCH_paperscale.json)",
     )
 
     prof = sub.add_parser(
@@ -1159,12 +1245,19 @@ def _cmd_bench(args) -> int:
             print(f"error: unknown figure id {fid!r}; "
                   f"choose from {', '.join(sorted(known))}")
             return 2
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir")
+        return 2
     collector = BenchCollector()
     runner = ExperimentRunner(
         scale=args.scale,
         seed=args.seed,
         collector=collector,
         stt_backend=args.stt_backend,
+        tile_len=args.tile_len,
+        workers=args.workers,
+        cell_cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     sizes = _parse_sizes(args.sizes)
     counts = _parse_counts(args.patterns)
@@ -1200,11 +1293,87 @@ def _cmd_compressbench(args) -> int:
             min_ratio=args.min_ratio,
             gate_patterns=args.gate_patterns,
             out=args.out,
+            workers=args.workers,
+            tile_len=args.tile_len,
         )
     except ExperimentError as exc:
         print(f"FAIL: {exc}")
         return 1
     print(report)
+    return 0
+
+
+def _cmd_paperscale(args) -> int:
+    import json
+    import platform
+    import time
+
+    from repro.bench.runner import KERNEL_NAMES
+    from repro.errors import ReproError
+    from repro.obs import BenchCollector, validate_bench_document
+
+    kernels = tuple(s.strip() for s in args.kernels.split(",") if s.strip())
+    unknown = set(kernels) - set(KERNEL_NAMES)
+    if unknown:
+        print(f"error: unknown kernels {sorted(unknown)}; "
+              f"valid: {', '.join(KERNEL_NAMES)}")
+        return 2
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir")
+        return 2
+
+    collector = BenchCollector(label="paperscale")
+    runner = ExperimentRunner(
+        scale=args.scale,
+        seed=args.seed,
+        stt_backend=args.stt_backend,
+        tile_len=args.tile_len,
+        workers=args.workers,
+        cell_cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+    runner.collector = collector
+    collector.on_runner(runner.config_dict())
+    sim_mb = runner.factory.sim_bytes_for(PAPER_SIZES[args.size]) / 1e6
+    print(
+        f"paperscale: {args.size} x {args.patterns} patterns "
+        f"(sim {sim_mb:.1f} MB), kernels: {', '.join(kernels)}"
+    )
+    t0 = time.perf_counter()
+    try:
+        [cell] = runner.run_grid([args.size], [args.patterns], kernels)
+    except ReproError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    wall = time.perf_counter() - t0
+
+    print(f"  n_states={cell.n_states}, wall-clock {wall:.1f}s")
+    for name in kernels:
+        print(
+            f"  {name:>12}: {cell.seconds(name):10.4f} s modeled, "
+            f"{cell.gbps(name):8.2f} Gbps at paper scale"
+        )
+    doc = collector.as_document()
+    # Grid-generation cost: tracked next to the modeled numbers so perf
+    # PRs can regress on runner wall-clock, not just modeled
+    # throughput.  Validators tolerate unknown top-level keys.
+    doc["wall_clock"] = {
+        "grid_seconds": round(wall, 3),
+        "workers": args.workers,
+        "host": platform.machine() or "unknown",
+        "sim_bytes": int(cell.sim_bytes),
+    }
+    validate_bench_document(doc)
+    with open(args.out, "w", encoding="ascii") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(doc['cells'])} cell)")
+    if args.budget_seconds > 0 and wall > args.budget_seconds:
+        print(
+            f"FAIL: grid wall-clock {wall:.1f}s exceeds the "
+            f"--budget-seconds {args.budget_seconds:.0f}s budget"
+        )
+        return 1
     return 0
 
 
@@ -1216,7 +1385,9 @@ def _cmd_cpubench(args) -> int:
 
     host = os.cpu_count() or 1
     workers = args.workers or host
-    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    runner = ExperimentRunner(
+        scale=args.scale, seed=args.seed, tile_len=args.tile_len
+    )
     cell = runner.factory.cell(args.size, args.patterns)
     print(
         f"cpubench: {args.size} x {args.patterns} patterns "
@@ -1277,6 +1448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compressbench(args)
     if args.command == "cpubench":
         return _cmd_cpubench(args)
+    if args.command == "paperscale":
+        return _cmd_paperscale(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "perfdiff":

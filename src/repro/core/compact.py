@@ -107,7 +107,7 @@ class CompactSTT:
     automaton, just with a cache-resident footprint.
     """
 
-    __slots__ = ("class_map", "table", "flat")
+    __slots__ = ("class_map", "table", "flat", "_flat_small", "_fused")
 
     def __init__(self, class_map: ByteClassMap, table: np.ndarray):
         table = np.ascontiguousarray(table, dtype=STATE_DTYPE)
@@ -122,6 +122,51 @@ class CompactSTT:
         # Row-major flat view for the fused index gather
         # (state * n_classes + class), shared by all tiled steppers.
         self.flat = table.reshape(-1)
+        self._flat_small = None
+        self._fused = {}
+
+    def flat_small(self) -> np.ndarray:
+        """Narrow flat view (uint16) when every state id fits, cached.
+
+        Every compacted entry is a state id, so machines under 2**16
+        states downcast losslessly; the tiled gather stages through
+        this to halve table traffic.  Falls back to the int32 flat
+        view for larger machines.
+        """
+        if self._flat_small is None:
+            if self.n_states <= 0xFFFF:
+                small = self.table.astype(np.uint16).reshape(-1)
+                small.setflags(write=False)
+                self._flat_small = small
+            else:
+                self._flat_small = self.flat
+        return self._flat_small
+
+    def fused_tables(self, match_flags: np.ndarray, dtype):
+        """Column-major fused gather tables for the compacted STT, cached.
+
+        Same contract as :meth:`repro.core.dfa.DFA.dense_fused_tables`,
+        with the byte→offset LUT composed through the class map:
+        ``cls_lut[b] == class_of[b] * n_states``, so
+        ``col_flat[cls_lut[b] + s] == table[s, class_of[b]] == δ(s, b)``
+        and ``flag_flat`` carries the target state's match flag at the
+        same fused index.  Cached per dtype (tests monkeypatch the
+        uint16 cutoff).
+        """
+        key = np.dtype(dtype).str
+        cached = self._fused.get(key)
+        if cached is None:
+            col = np.ascontiguousarray(self.table.T, dtype=dtype)
+            col_flat = col.reshape(-1)
+            col_flat.setflags(write=False)
+            cls_lut = self.class_map.class_of * np.int64(self.n_states)
+            cls_lut.setflags(write=False)
+            flags = np.asarray(match_flags) != 0
+            flag_flat = np.ascontiguousarray(flags[self.table.T]).reshape(-1)
+            flag_flat.setflags(write=False)
+            cached = (col_flat, cls_lut, flag_flat)
+            self._fused[key] = cached
+        return cached
 
     @classmethod
     def from_dfa(cls, dfa) -> "CompactSTT":

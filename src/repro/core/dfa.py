@@ -60,6 +60,13 @@ class DFA:
         "patterns",
         "_compact",
         "_backends",
+        "_flat_small",
+        "_fused_dense",
+        "_digest",
+        # Weak-referenceable so cache-eviction tests (and diagnostics)
+        # can observe that an evicted automaton — and with it every
+        # memoized gather/fused table it owns — was actually freed.
+        "__weakref__",
     )
 
     def __init__(
@@ -76,6 +83,9 @@ class DFA:
         self.patterns = patterns
         self._compact = None
         self._backends = {}
+        self._flat_small = None
+        self._fused_dense = {}
+        self._digest = None
 
     # -- construction ---------------------------------------------------
 
@@ -177,6 +187,81 @@ class DFA:
             table = build_gather_table(self, name)
             self._backends[name] = table
         return table
+
+    def dense_flat_small(self) -> np.ndarray:
+        """Narrow flat view of the dense STT, built once and cached.
+
+        Every table entry is a state id (``< n_states``) or a 0/1
+        match flag, so machines under 2**16 states fit the whole table
+        in uint16 — the tiled gather stages through it to halve table
+        traffic.  Larger machines get the plain int32 flat view; the
+        gathered *values* are identical either way.
+        """
+        if self._flat_small is None:
+            table = self.stt.table
+            if self.n_states <= 0xFFFF:
+                small = np.ascontiguousarray(table, dtype=np.uint16).reshape(-1)
+                small.setflags(write=False)
+                self._flat_small = small
+            else:
+                self._flat_small = table.reshape(-1)
+        return self._flat_small
+
+    def dense_fused_tables(self, dtype) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-major fused gather tables for the dense STT, cached.
+
+        Returns ``(col_flat, cls_lut, flag_flat)`` where
+
+        * ``col_flat[c * n_states + s] == δ(s, c)`` — the transition
+          block transposed and flattened in *dtype*, so a whole symbol
+          class is contiguous;
+        * ``cls_lut[b] == b * n_states`` (int64) — the byte→column
+          base-offset LUT, pre-scaled so the per-step index is a single
+          add (``cls_lut[byte] + state``) with no multiply;
+        * ``flag_flat[i] == (δ-target at i is a match state)`` — the
+          match flag of ``col_flat[i]``, index-aligned with it so the
+          step's match test rides the same fused index.
+
+        Cached per dtype because tests monkeypatch the uint16 cutoff.
+        """
+        key = np.dtype(dtype).str
+        cached = self._fused_dense.get(key)
+        if cached is None:
+            nxt = self.stt.next_states  # (n_states, 256) read-only view
+            col = np.ascontiguousarray(nxt.T, dtype=dtype)
+            col_flat = col.reshape(-1)
+            col_flat.setflags(write=False)
+            cls_lut = np.arange(ALPHABET_SIZE, dtype=np.int64) * np.int64(
+                self.n_states
+            )
+            cls_lut.setflags(write=False)
+            flags = np.asarray(self.stt.match_flags) != 0
+            flag_flat = np.ascontiguousarray(flags[nxt.T]).reshape(-1)
+            flag_flat.setflags(write=False)
+            cached = (col_flat, cls_lut, flag_flat)
+            self._fused_dense[key] = cached
+        return cached
+
+    def content_digest(self) -> str:
+        """Hex digest of the pattern set this DFA was built from, cached.
+
+        The DFA (states, transitions, outputs) is a deterministic
+        function of its pattern list, so the digest identifies the
+        whole machine — the simulation segment cache
+        (:mod:`repro.kernels.segcache`) keys on it instead of holding
+        a reference that would pin the DFA in memory.
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            blobs = self.patterns.as_bytes_list()
+            h.update(len(blobs).to_bytes(8, "little"))
+            for blob in blobs:
+                h.update(len(blob).to_bytes(8, "little"))
+                h.update(blob)
+            self._digest = h.hexdigest()
+        return self._digest
 
     def outputs_of(self, state: int) -> np.ndarray:
         """Pattern ids emitted on entering *state* (possibly empty)."""

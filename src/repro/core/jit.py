@@ -1,10 +1,14 @@
 """Optional numba-compiled host fast path, behind ``REPRO_JIT=1``.
 
-The tiled engine's hot loop (:meth:`repro.core.tiled.GatherKernel.step`)
-and the streaming matcher's small-feed scalar walk
-(:meth:`repro.core.streaming.StreamMatcher._feed_small`) are the two
+The tiled engine's hot loops (:meth:`repro.core.tiled.GatherKernel.step`
+and its fused column-major twin
+:meth:`~repro.core.tiled.GatherKernel.step_fused`),
+the bitmap backend's popcount-rank failure-chain walk
+(:meth:`repro.compress.bitmap.BitmapDeltaSTT.walk_next_states`), and the
+streaming matcher's small-feed scalar walk
+(:meth:`repro.core.streaming.StreamMatcher._feed_small`) are the
 python-dispatch-bound loops left in the simulator.  When the ``REPRO_JIT``
-environment variable is ``1`` *and* numba is importable, both route
+environment variable is ``1`` *and* numba is importable, all of them route
 through ``@njit(nogil=True)`` kernels compiled here; in every other case
 (flag unset, numba absent, or compilation failure) they run the exact
 pure-NumPy code they always ran.  The two paths are pinned byte-identical
@@ -25,6 +29,8 @@ from __future__ import annotations
 import os
 import threading
 from typing import Optional
+
+import numpy as np
 
 #: Environment variable gating the JIT fast path.  Only the exact
 #: value ``"1"`` enables it; anything else is off.
@@ -94,6 +100,63 @@ def _build_kernels() -> Optional[dict]:
                 out_row[i] = s
 
         @numba.njit(nogil=True, cache=False)
+        def gather_cols(col_flat, cls_lut, prev, symbols, out_row):
+            # Column-major fused gather: cls_lut is pre-scaled by
+            # n_states, so the flat index is a single add.
+            for i in range(prev.size):
+                out_row[i] = col_flat[cls_lut[symbols[i]] + np.int64(prev[i])]
+
+        @numba.njit(nogil=True, cache=False)
+        def gather_cols_flag(
+            col_flat, cls_lut, flag_flat, prev, symbols, out_row, hit_row
+        ):
+            # Same gather with the target's match flag riding the same
+            # fused index (flag_flat is index-aligned with col_flat).
+            for i in range(prev.size):
+                idx = cls_lut[symbols[i]] + np.int64(prev[i])
+                out_row[i] = col_flat[idx]
+                hit_row[i] = flag_flat[idx]
+
+        @numba.njit(nogil=True, cache=False)
+        def bitmap_walk(
+            bitmaps, offsets, packed, fail, root_row, depth, popcount,
+            root, states, syms, out_row,
+        ):
+            # Per-lane failure-chain walk with popcount-rank delta
+            # lookup — the compiled twin of
+            # BitmapDeltaSTT.walk_next_states.  Returns the total
+            # fail-links taken (the backend's chain_steps metric), or
+            # -(lane+1) when a lane exceeds its depth bound so the
+            # caller can re-run the numpy walk and raise its canonical
+            # IntegrityError.
+            total = np.int64(0)
+            for i in range(states.size):
+                s = np.int64(states[i])
+                a = np.int64(syms[i])
+                bound = depth[s]
+                hops = np.int64(0)
+                while True:
+                    if s == root:
+                        out_row[i] = root_row[a]
+                        break
+                    b = np.int64(bitmaps[s, a >> 3])
+                    if b & (np.int64(1) << (a & 7)):
+                        rank = np.int64(0)
+                        for c in range(a >> 3):
+                            rank += popcount[bitmaps[s, c]]
+                        rem = a & 7
+                        if rem:
+                            rank += popcount[b & ((np.int64(1) << rem) - 1)]
+                        out_row[i] = packed[offsets[s] + rank]
+                        break
+                    s = fail[s]
+                    hops += 1
+                    total += 1
+                    if hops > bound:
+                        return -(np.int64(i) + 1)
+            return total
+
+        @numba.njit(nogil=True, cache=False)
         def scalar_walk(table, state, data, states_seq):
             for i in range(data.size):
                 state = table[state, data[i]]
@@ -103,6 +166,9 @@ def _build_kernels() -> Optional[dict]:
         return {
             "gather_step_dense": gather_step_dense,
             "gather_step_compact": gather_step_compact,
+            "gather_cols": gather_cols,
+            "gather_cols_flag": gather_cols_flag,
+            "bitmap_walk": bitmap_walk,
             "scalar_walk": scalar_walk,
         }
     except Exception:

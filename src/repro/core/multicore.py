@@ -278,6 +278,7 @@ def measure_multicore(
     workers: int = 0,
     repeats: int = 3,
     chunk_len: int = DEFAULT_MC_CHUNK,
+    tile_len: int = DEFAULT_TILE_LEN,
 ) -> MulticoreMeasurement:
     """Measure real wall-clock ``scan_multicore`` speedup on this host.
 
@@ -296,13 +297,18 @@ def measure_multicore(
     arr = encode(data, name="data")
     # Untimed warm-up: pays one-time costs (compact-table build, buffer
     # allocation, thread-pool spinup) outside both timed legs.
-    scan_multicore(dfa, arr, workers=workers, chunk_len=chunk_len)
+    scan_multicore(
+        dfa, arr, workers=workers, chunk_len=chunk_len, tile_len=tile_len
+    )
 
     def best(n_workers: int) -> float:
         times = []
         for _ in range(repeats):
             t0 = time.perf_counter()
-            scan_multicore(dfa, arr, workers=n_workers, chunk_len=chunk_len)
+            scan_multicore(
+                dfa, arr, workers=n_workers, chunk_len=chunk_len,
+                tile_len=tile_len,
+            )
             times.append(time.perf_counter() - t0)
         return min(times)
 

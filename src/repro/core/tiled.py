@@ -24,17 +24,32 @@ engine (property-tested in ``tests/core/test_tiled.py``):
   partition rows in order, so concatenated per-tile matches reproduce
   the monolithic extraction order exactly.
 
-The δ-gather itself runs through preallocated buffers (no per-step
-temporaries) over either the dense STT or the alphabet-compacted table
-(:mod:`repro.core.compact`), whose equivalence is exact.
+The hot path is fully vectorized at tile granularity over a
+*column-major* fused transition table: the per-step δ-gather is
+``col_flat[cls_lut[byte] + state]`` — one 256-entry LUT take, one add,
+one table take — with the target state's match flag gathered through
+the **same** staged index, so match testing costs one extra take per
+step instead of a separate per-tile pass.  Window bytes for a tile are
+one transpose copy of a strided view into the input (zero position
+arithmetic for the uniform chunk plans ``plan_chunks`` emits),
+validity is never materialized on the match path (it is an analytic
+prefix, one ``searchsorted`` per scan), and every tile-sized scratch
+buffer is checked out of a thread-local pool that persists across
+``scan_tiled`` calls.  When the DFA has fewer than 2**16 states the
+state buffers *and* the fused table are staged in uint16, halving the
+gather working set; all of it is byte-identical to the reference
+engine (values, not storage width, are what every consumer compares).
 """
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from repro.core.alphabet import STATE_DTYPE, STT_COLUMNS
 from repro.core.chunking import ChunkPlan, ownership_mask, plan_chunks, required_overlap
@@ -53,15 +68,70 @@ DEFAULT_TILE_LEN = 256
 #: Default owned bytes per lockstep thread for full-text scans.
 DEFAULT_CHUNK_LEN = 4096
 
+#: State buffers (and the flat gather tables) downcast to uint16 when
+#: the DFA has fewer states than this.  Tests monkeypatch it to force
+#: the wide path on small machines.
+U16_STATE_LIMIT = 1 << 16
+
+
+def tile_state_dtype(dfa: DFA) -> np.dtype:
+    """The storage dtype tile state buffers use for *dfa*."""
+    if dfa.n_states < U16_STATE_LIMIT:
+        return np.dtype(np.uint16)
+    return np.dtype(STATE_DTYPE)
+
+
+class _TileBufferPool(threading.local):
+    """Thread-local arenas backing the tile-sized scratch buffers."""
+
+    def __init__(self) -> None:
+        self.arenas = {}
+
+
+_POOL = _TileBufferPool()
+
+
+def _pool_take(name: str, shape: Tuple[int, ...], dtype) -> Tuple[np.ndarray, np.ndarray]:
+    """Check an arena out of the pool (or allocate a larger one).
+
+    Returns ``(arena, view)`` where ``view`` is the requested shape cut
+    from the arena's head.  Checkout semantics make nested/concurrent
+    scans on the same thread safe: a second taker simply allocates a
+    fresh arena.  The caller must hand ``arena`` back via
+    :func:`_pool_give` when the view is dead.
+    """
+    dtype = np.dtype(dtype)
+    key = (name, dtype.str)
+    n = math.prod(shape)
+    arena = _POOL.arenas.pop(key, None)
+    if arena is None or arena.size < n:
+        arena = np.empty(max(n, 1), dtype=dtype)
+    return arena, arena[:n].reshape(shape)
+
+
+def _pool_give(name: str, arena: np.ndarray) -> None:
+    """Return an arena to the pool, keeping the largest per slot."""
+    key = (name, arena.dtype.str)
+    held = _POOL.arenas.get(key)
+    if held is None or held.size < arena.size:
+        _POOL.arenas[key] = arena
+
+
+def clear_tile_buffer_pool() -> None:
+    """Drop this thread's pooled arenas (tests / memory pressure)."""
+    _POOL.arenas.clear()
+
 
 class GatherKernel:
     """Zero-allocation δ-gather over a flat transition table.
 
     One fused flat-index gather per step — ``flat[state * ncols + col]``
     — through preallocated int64 index buffers, so the hot loop
-    allocates nothing (the fix for the old per-step
-    ``astype(np.int64, copy=False)`` round trip, which still copied
-    because the gather result was int32).
+    allocates nothing.  For DFAs under :data:`U16_STATE_LIMIT` states
+    the flat table is the cached uint16 downcast
+    (:meth:`repro.core.dfa.DFA.dense_flat_small` /
+    :meth:`repro.core.compact.CompactSTT.flat_small`), halving table
+    traffic without changing a single gathered value.
 
     Under ``REPRO_JIT=1`` (and with numba importable) the step runs a
     compiled ``nogil`` loop from :mod:`repro.core.jit` instead — same
@@ -75,17 +145,39 @@ class GatherKernel:
     without this module importing them.
     """
 
-    __slots__ = ("flat", "ncols", "class_of", "adapter", "_idx", "_sym", "_res", "_jit")
+    __slots__ = (
+        "flat",
+        "ncols",
+        "class_of",
+        "adapter",
+        "row_dtype",
+        "col_flat",
+        "cls_lut",
+        "flag_flat",
+        "_src",
+        "_ncols_i64",
+        "_idx",
+        "_sym",
+        "_res",
+        "_jit",
+    )
 
     def __init__(self, dfa: DFA, table: Optional[CompactSTT] = None):
         from repro.core.jit import jit_kernels
 
         self._jit = jit_kernels()
         self.adapter = None
+        self._src = (dfa, table)
+        self.col_flat = None
+        self.cls_lut = None
+        self.flag_flat = None
+        small = dfa.n_states < U16_STATE_LIMIT
         if table is None:
             # Dense path: flat row-major view of the full 257-column
             # table; symbols < 256 never index the match column.
-            self.flat = dfa.stt.table.reshape(-1)
+            self.flat = (
+                dfa.dense_flat_small() if small else dfa.stt.table.reshape(-1)
+            )
             self.ncols = STT_COLUMNS
             self.class_of = None
         elif hasattr(table, "step_into"):
@@ -94,9 +186,18 @@ class GatherKernel:
             self.ncols = 0
             self.class_of = None
         else:
-            self.flat = table.flat
+            self.flat = table.flat_small() if small else table.flat
             self.ncols = table.n_classes
             self.class_of = table.class_of
+        self.row_dtype = (
+            self.flat.dtype
+            if self.flat is not None
+            else (np.dtype(np.uint16) if small else np.dtype(STATE_DTYPE))
+        )
+        # int64 scalar: forces the flat-index arithmetic to promote to
+        # int64 even when the state rows are uint16 (a bare python int
+        # would let NumPy compute — and overflow — in uint16).
+        self._ncols_i64 = np.int64(self.ncols)
         self._idx = None
         self._sym = None
         self._res = None
@@ -107,19 +208,42 @@ class GatherKernel:
             self.adapter.alloc(n_threads)
             return
         self._idx = np.empty(n_threads, dtype=np.int64)
-        self._res = np.empty(n_threads, dtype=STATE_DTYPE)
-        self._sym = (
-            np.empty(n_threads, dtype=np.int64)
-            if self.class_of is not None
-            else None
-        )
+        self._res = np.empty(n_threads, dtype=self.flat.dtype)
+        # The fused column-major step always stages its index in _sym.
+        self._sym = np.empty(n_threads, dtype=np.int64)
+
+    def ensure_fused(self) -> bool:
+        """Build (or fetch cached) column-major fused tables; False for adapters.
+
+        The fused layout transposes the gather table so the per-step
+        flat index is ``cls_lut[byte] + state`` — one LUT take and one
+        add, no multiply — and carries the target state's match flag
+        in an index-aligned bool table, so the match test costs one
+        extra take on the *same* index instead of a separate per-tile
+        gather pass.
+        """
+        if self.adapter is not None:
+            return False
+        if self.col_flat is None:
+            dfa, table = self._src
+            dt = self.row_dtype
+            if table is None:
+                self.col_flat, self.cls_lut, self.flag_flat = (
+                    dfa.dense_fused_tables(dt)
+                )
+            else:
+                self.col_flat, self.cls_lut, self.flag_flat = table.fused_tables(
+                    dfa.stt.match_flags, dt
+                )
+        return True
 
     def step(
         self, state: np.ndarray, symbols: np.ndarray, out_row: np.ndarray
     ) -> None:
         """Advance ``state`` (int64, in place) by one symbol row.
 
-        ``out_row`` receives the post-step states in :data:`STATE_DTYPE`.
+        ``out_row`` receives the post-step states (any integer dtype
+        wide enough for the state ids).
         """
         if self.adapter is not None:
             self.adapter.step_into(state, symbols, out_row)
@@ -134,7 +258,7 @@ class GatherKernel:
                     self.flat, self.ncols, self.class_of, state, symbols, out_row
                 )
             return
-        np.multiply(state, self.ncols, out=self._idx)
+        np.multiply(state, self._ncols_i64, out=self._idx)
         if self.class_of is None:
             np.add(self._idx, symbols, out=self._idx)
         else:
@@ -143,6 +267,50 @@ class GatherKernel:
         np.take(self.flat, self._idx, out=self._res)
         np.copyto(state, self._res)
         out_row[...] = self._res
+
+    def step_fused(
+        self,
+        prev: np.ndarray,
+        symbols: np.ndarray,
+        out_row: np.ndarray,
+        hit_row: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fused column-major δ-gather (and match test) for one step row.
+
+        ``out_row = col_flat[cls_lut[symbols] + prev]`` — two takes and
+        an add, the minimum dispatch count for a table-driven step.
+        ``prev`` is the previous step's state row (the int64 carry
+        vector on a tile's first step, a row of the possibly-uint16
+        tile state buffer afterwards); ``out_row`` must have the fused
+        table's dtype so the gather lands without a cast.  When
+        ``hit_row`` (bool) is given, the target states' match flags are
+        gathered through the *same* staged index — the per-tile flag
+        pass of the row-major engine becomes one extra take per step.
+
+        Requires a prior :meth:`ensure_fused`; under ``REPRO_JIT=1``
+        the whole row runs as one compiled ``nogil`` loop.
+        """
+        if self._jit is not None:
+            if hit_row is None:
+                self._jit["gather_cols"](
+                    self.col_flat, self.cls_lut, prev, symbols, out_row
+                )
+            else:
+                self._jit["gather_cols_flag"](
+                    self.col_flat,
+                    self.cls_lut,
+                    self.flag_flat,
+                    prev,
+                    symbols,
+                    out_row,
+                    hit_row,
+                )
+            return
+        np.take(self.cls_lut, symbols, out=self._sym)
+        np.add(self._sym, prev, out=self._sym)
+        np.take(self.col_flat, self._sym, out=out_row)
+        if hit_row is not None:
+            np.take(self.flag_flat, self._sym, out=hit_row)
 
 
 @dataclass
@@ -158,9 +326,14 @@ class TileView:
         Step range of this tile (``windows[j0:j1]`` of the monolithic
         run).
     states_after:
-        ``(j1 - j0, n_threads)`` — DFA state after each step's byte.
+        ``(j1 - j0, n_threads)`` — DFA state after each step's byte
+        (uint16 storage for small machines; values are what matter).
     valid:
         Same shape, bool — True where the byte lies inside the input.
+        None when the producer was asked to skip it
+        (``want_valid=False``); validity is then recoverable
+        analytically from the plan (threads valid at step ``j`` are
+        exactly those with ``plan.starts[t] + j < plan.n``, a prefix).
     windows:
         The tile's byte rows (zero in the padded tail), or None unless
         a sink declared ``needs_windows``.
@@ -170,15 +343,21 @@ class TileView:
         ``needs_fetched``.
     plan:
         The chunk geometry of the scan.
+    hits:
+        Same shape bool — match flag of ``states_after`` (NOT masked
+        by validity), or None unless requested via ``want_hits``.
+        Gathered inside the step on the fused path, so requesting it
+        costs one extra take per step, not a separate pass.
     """
 
     j0: int
     j1: int
     states_after: np.ndarray
-    valid: np.ndarray
+    valid: Optional[np.ndarray]
     windows: Optional[np.ndarray]
     fetched: Optional[np.ndarray]
     plan: ChunkPlan
+    hits: Optional[np.ndarray] = None
 
     def positions(self) -> np.ndarray:
         """Global byte position of each (step, thread) cell (fresh array)."""
@@ -196,14 +375,22 @@ def iter_dfa_tiles(
     init_states: Optional[np.ndarray] = None,
     want_windows: bool = False,
     want_fetched: bool = False,
+    want_hits: bool = False,
+    want_valid: bool = True,
 ) -> Iterator[TileView]:
     """Advance every chunk through the DFA, yielding one tile at a time.
 
-    Window rows are gathered from *data* on the fly (clipped positions,
-    zeroed out-of-range suffix), so nothing proportional to the input
+    Window rows are gathered from *data* on the fly — for the uniform
+    chunk strides :func:`repro.core.chunking.plan_chunks` produces,
+    each tile is one transpose copy of a strided view into the input
+    (**zero** position arithmetic); irregular plans fall back to one
+    clipped 2-D take per tile — so nothing proportional to the input
     is ever copied.  ``init_states`` seeds the per-thread carry-in
-    state (default: all ROOT) — the streaming matcher uses it to thread
-    its inter-feed state through lane 0.
+    state (default: all ROOT) — the streaming matcher uses it to
+    thread its inter-feed state through lane 0.  ``want_hits``
+    requests per-cell match flags, gathered inside the fused step;
+    ``want_valid=False`` skips materializing the validity mask for
+    consumers (like :func:`scan_tiled`) that filter analytically.
     """
     if data.dtype != np.uint8 or data.ndim != 1:
         raise ChunkingError("data must be a 1-D uint8 array (use alphabet.encode)")
@@ -218,13 +405,16 @@ def iter_dfa_tiles(
     nt = plan.n_chunks
     wl = plan.window_len
     starts = plan.starts
-    if np.any(np.diff(starts) < 0):
+    diffs = np.diff(starts)
+    if np.any(diffs < 0):
         raise ChunkingError("plan.starts must be non-decreasing")
     remaining = n - starts  # descending; thread t is valid while j < remaining[t]
-    neg_remaining = -remaining  # ascending, for the valid-prefix search
+    uniform = nt < 2 or bool(np.all(diffs == diffs[0]))
+    stride = int(diffs[0]) if nt > 1 else 0
 
     gather = GatherKernel(dfa, table)
     gather.alloc(nt)
+    use_fused = gather.ensure_fused()
     state = np.zeros(nt, dtype=np.int64)
     if init_states is not None:
         if init_states.shape != (nt,):
@@ -233,51 +423,133 @@ def iter_dfa_tiles(
             )
         state[:] = init_states
 
+    flag_lut = None
+    if want_hits and not use_fused:
+        # Adapter backends step through step_into, so their match test
+        # is a fused 2-D take over a state-indexed flag LUT per tile.
+        flag_lut = np.asarray(dfa.stt.match_flags) != 0
+
     tile_len = min(tile_len, wl)
-    states_buf = np.empty((tile_len, nt), dtype=STATE_DTYPE)
-    valid_buf = np.empty((tile_len, nt), dtype=bool)
-    win_buf = np.empty((tile_len, nt), dtype=np.uint8) if want_windows else None
-    fetch_buf = np.empty((tile_len, nt), dtype=STATE_DTYPE) if want_fetched else None
-    win_row = np.empty(nt, dtype=np.uint8)
-    pos = np.empty(nt, dtype=np.int64)
+    row_dtype = gather.row_dtype
+    states_arena, states_buf = _pool_take("tile_states", (tile_len, nt), row_dtype)
+    if uniform:
+        # Column-major window buffer: the strided-view window build
+        # below then copies thread-by-thread with both sides contiguous
+        # (a memcpy per thread column) instead of a true byte transpose
+        # — ~65× faster at paper tile shapes.  Step rows come out
+        # strided, which the take-based gather absorbs for ~1µs/step.
+        win_arena, win_cols = _pool_take("tile_windows", (nt, tile_len), np.uint8)
+        win_buf = win_cols.T
+    else:
+        win_arena, win_buf = _pool_take("tile_windows", (tile_len, nt), np.uint8)
+    # Irregular plans zero the padded window tail through the mask, so
+    # they need the buffer even when the caller skipped validity.
+    if want_valid or not uniform:
+        valid_arena, valid_buf = _pool_take("tile_valid", (tile_len, nt), np.bool_)
+    else:
+        valid_arena = valid_buf = None
+    if want_hits:
+        hit_arena, hit_buf = _pool_take("tile_hits", (tile_len, nt), np.bool_)
+    else:
+        hit_arena = hit_buf = None
+    if want_fetched:
+        fetch_arena, fetch_buf = _pool_take(
+            "tile_fetched", (tile_len, nt), row_dtype
+        )
+    else:
+        fetch_arena = fetch_buf = None
     steps = np.arange(wl, dtype=np.int64)
     clip = max(n - 1, 0)
 
-    for j0 in range(0, wl, tile_len):
-        j1 = min(j0 + tile_len, wl)
-        ts = j1 - j0
-        sb = states_buf[:ts]
-        if want_fetched:
-            fetch_buf[0] = state  # carry-in: the rows *read* at step j0
-        for r in range(ts):
-            j = j0 + r
-            if n:
-                np.add(starts, j, out=pos)
+    try:
+        for j0 in range(0, wl, tile_len):
+            j1 = min(j0 + tile_len, wl)
+            ts = j1 - j0
+            sb = states_buf[:ts]
+            wt = win_buf[:ts]
+            vb = valid_buf[:ts] if valid_buf is not None else None
+            hb = hit_buf[:ts] if hit_buf is not None else None
+            if vb is not None:
+                np.less(steps[j0:j1, None], remaining[None, :], out=vb)
+            if uniform:
+                # Strided window build: threads whose whole tile window
+                # is in-bounds form a prefix (starts ascend), and that
+                # prefix is filled with one transpose copy of a strided
+                # view into the input — no position arithmetic, no
+                # clip, no mask.  The few tail threads get an explicit
+                # copy + zero fill, reproducing build_windows' padding.
+                tb = int(np.searchsorted(starts, n - j1, side="right"))
+                if tb:
+                    off = int(starts[0]) + j0
+                    src = as_strided(
+                        data[off:], shape=(tb, ts), strides=(stride, 1)
+                    )
+                    wt[:, :tb] = src.T
+                for t in range(tb, nt):
+                    base = int(starts[t]) + j0
+                    avail = min(max(n - base, 0), ts)
+                    wt[:avail, t] = data[base : base + avail]
+                    wt[avail:, t] = 0
+            elif n:
+                # Irregular plan: clipped 2-D gather through a pooled
+                # int64 position arena, then the invalid tail (threads
+                # whose window has run past the input) is zeroed
+                # through the valid mask — exactly build_windows'
+                # zero padding.
+                pos_arena, pos = _pool_take("tile_i64", (ts, nt), np.int64)
+                np.add(starts[None, :], steps[j0:j1, None], out=pos)
                 np.minimum(pos, clip, out=pos)
-                np.take(data, pos, out=win_row)
-                # Zero the invalid suffix (threads whose window has run
-                # past the input) to reproduce build_windows' padding.
-                k = int(np.searchsorted(neg_remaining, -j, side="left"))
-                if k < nt:
-                    win_row[k:] = 0
+                np.take(data, pos, out=wt)
+                _pool_give("tile_i64", pos_arena)
+                np.multiply(wt, vb, out=wt)
             else:
-                win_row[:] = 0
-            gather.step(state, win_row, sb[r])
-            if want_windows:
-                win_buf[r] = win_row
-        if want_fetched and ts > 1:
-            fetch_buf[1:ts] = sb[: ts - 1]
-        vb = valid_buf[:ts]
-        np.less(steps[j0:j1, None], remaining[None, :], out=vb)
-        yield TileView(
-            j0=j0,
-            j1=j1,
-            states_after=sb,
-            valid=vb,
-            windows=win_buf[:ts] if want_windows else None,
-            fetched=fetch_buf[:ts] if want_fetched else None,
-            plan=plan,
-        )
+                wt[...] = 0
+            if want_fetched:
+                fetch_buf[0] = state  # carry-in: the rows *read* at step j0
+            if use_fused:
+                prev = state
+                if hb is None:
+                    for r in range(ts):
+                        gather.step_fused(prev, wt[r], sb[r])
+                        prev = sb[r]
+                else:
+                    for r in range(ts):
+                        gather.step_fused(prev, wt[r], sb[r], hb[r])
+                        prev = sb[r]
+                state[:] = prev
+            else:
+                for r in range(ts):
+                    gather.step(state, wt[r], sb[r])
+                if hb is not None:
+                    # np.take silently casts its index array to intp;
+                    # staging the cast into the pooled int64 arena
+                    # keeps the flag gather allocation-free (one copy,
+                    # one 2-D take).
+                    idx_arena, idx = _pool_take("tile_i64", (ts, nt), np.int64)
+                    np.copyto(idx, sb, casting="safe")
+                    np.take(flag_lut, idx, out=hb)
+                    _pool_give("tile_i64", idx_arena)
+            if want_fetched and ts > 1:
+                fetch_buf[1:ts] = sb[: ts - 1]
+            yield TileView(
+                j0=j0,
+                j1=j1,
+                states_after=sb,
+                valid=vb if want_valid else None,
+                windows=wt if want_windows else None,
+                fetched=fetch_buf[:ts] if want_fetched else None,
+                plan=plan,
+                hits=hb,
+            )
+    finally:
+        _pool_give("tile_states", states_arena)
+        _pool_give("tile_windows", win_arena)
+        if valid_arena is not None:
+            _pool_give("tile_valid", valid_arena)
+        if hit_arena is not None:
+            _pool_give("tile_hits", hit_arena)
+        if fetch_arena is not None:
+            _pool_give("tile_fetched", fetch_arena)
 
 
 @dataclass
@@ -330,14 +602,18 @@ def scan_tiled(
         elif compact:
             table = dfa.compact_stt()
 
-    flags_u8 = (np.asarray(dfa.stt.match_flags) != 0).astype(np.uint8)
     want_windows = any(getattr(s, "needs_windows", False) for s in sinks)
     want_fetched = any(getattr(s, "needs_fetched", False) for s in sinks)
+    want_valid = bool(sinks)
 
-    nt = plan.n_chunks
-    tl = min(tile_len, plan.window_len)
-    flag_buf = np.empty((tl, nt), dtype=np.uint8)
-    hit_buf = np.empty((tl, nt), dtype=bool)
+    # Validity is analytic: starts ascend, so the threads valid at step
+    # j are exactly the prefix t < kc[j] where kc[j] counts threads
+    # with remaining[t] > j.  One searchsorted per scan replaces the
+    # per-tile mask materialization + count_nonzero of the old engine.
+    remaining = plan.n - plan.starts  # non-increasing
+    kc = np.searchsorted(
+        -remaining, -np.arange(plan.window_len, dtype=np.int64), side="left"
+    )
 
     ends_parts = []
     pids_parts = []
@@ -352,34 +628,34 @@ def scan_tiled(
         table=table,
         want_windows=want_windows,
         want_fetched=want_fetched,
+        want_hits=True,
+        want_valid=want_valid,
     ):
         n_tiles += 1
-        ts = tile.j1 - tile.j0
-        bytes_scanned += int(np.count_nonzero(tile.valid))
+        bytes_scanned += int(kc[tile.j0 : tile.j1].sum())
 
-        fb = flag_buf[:ts]
-        hb = hit_buf[:ts]
-        # Row-at-a-time flag gather: np.take silently casts its index
-        # array to intp, so a whole-tile gather would allocate an int64
-        # copy of states_after (8 B/cell — the largest transient in the
-        # scan).  One row keeps that cast at n_threads elements.
-        for r in range(ts):
-            np.take(flags_u8, tile.states_after[r], out=fb[r])
-        np.not_equal(fb, 0, out=hb)
-        np.logical_and(hb, tile.valid, out=hb)
-        j_idx, t_idx = np.nonzero(hb)
-        raw_hits += int(j_idx.size)
-        if j_idx.size:
-            ends = plan.starts[t_idx] + j_idx + tile.j0
-            states = tile.states_after[j_idx, t_idx].astype(np.int64)
-            counts = dfa.out_offsets[states + 1] - dfa.out_offsets[states]
-            exp_ends, exp_pids = dfa.gather_matches(ends, states)
-            exp_threads = np.repeat(t_idx, counts)
-            own = ownership_mask(
-                plan, exp_threads, exp_ends, dfa.pattern_lengths[exp_pids]
-            )
-            ends_parts.append(exp_ends[own])
-            pids_parts.append(exp_pids[own])
+        # tile.hits is unmasked (padded cells step on byte 0 and can
+        # land in a match state when a pattern contains NUL); the
+        # analytic prefix filter drops them after the — typically
+        # empty — extraction, instead of masking every cell.
+        if np.count_nonzero(tile.hits):
+            j_idx, t_idx = np.nonzero(tile.hits)
+            keep = t_idx < kc[tile.j0 + j_idx]
+            if not keep.all():
+                j_idx = j_idx[keep]
+                t_idx = t_idx[keep]
+            raw_hits += int(j_idx.size)
+            if j_idx.size:
+                ends = plan.starts[t_idx] + j_idx + tile.j0
+                states = tile.states_after[j_idx, t_idx].astype(np.int64)
+                counts = dfa.out_offsets[states + 1] - dfa.out_offsets[states]
+                exp_ends, exp_pids = dfa.gather_matches(ends, states)
+                exp_threads = np.repeat(t_idx, counts)
+                own = ownership_mask(
+                    plan, exp_threads, exp_ends, dfa.pattern_lengths[exp_pids]
+                )
+                ends_parts.append(exp_ends[own])
+                pids_parts.append(exp_pids[own])
 
         for sink in sinks:
             sink.on_tile(tile)

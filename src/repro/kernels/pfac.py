@@ -47,6 +47,7 @@ from repro.kernels.base import (
     backend_compute_cycles,
     backend_footprint_relief,
 )
+from repro.kernels.segcache import segment_get, segment_key, segment_put
 from repro.obs import coalesce
 
 #: Dead state of the failureless trie.
@@ -296,6 +297,43 @@ def run_pfac_kernel(
     if arr.size == 0:
         raise LaunchError("cannot launch a kernel over an empty input")
 
+    # Both functional passes (and the trie build feeding them) are a
+    # deterministic function of the pattern set, input bytes, gather
+    # backend, launch width, and the config/params constants — memoize
+    # the whole measurement so repeated bench cells only re-price.
+    seg_key = segment_key(
+        "pfac-passes",
+        dfa,
+        arr,
+        compact,
+        stt_backend,
+        threads_per_block,
+        repr(config),
+        repr(params),
+    )
+    seg = segment_get(seg_key)
+    if seg is not None:
+        matches, counters, cost, launch, occupancy, n_states = seg
+        with tracer.span("build", kernel="pfac") as sp:
+            sp.set(n_states=n_states, cached=True)
+        with tracer.span("kernel_body", kernel="pfac") as kernel_span:
+            timing = device.launch(launch, cost)
+            kernel_span.set(
+                matches=len(matches),
+                modeled_seconds=timing.seconds,
+                regime=timing.regime,
+                cached=True,
+                **counters.as_span_attrs(),
+            )
+        return KernelResult(
+            name="pfac",
+            matches=matches,
+            counters=counters,
+            timing=timing,
+            launch=launch,
+            occupancy=occupancy,
+        )
+
     with tracer.span("build", kernel="pfac") as sp:
         pfac = PfacAutomaton.build(dfa.patterns)
         sp.set(n_states=pfac.n_states)
@@ -304,6 +342,10 @@ def run_pfac_kernel(
         matches, counters, cost, launch, occupancy = _pfac_passes(
             pfac, arr, device, params, threads_per_block, compact=compact,
             stt_backend=stt_backend,
+        )
+        segment_put(
+            seg_key,
+            (matches, counters, cost, launch, occupancy, pfac.n_states),
         )
         timing = device.launch(launch, cost)
         kernel_span.set(

@@ -62,6 +62,7 @@ from repro.kernels.base import (
     backend_compute_cycles,
     backend_footprint_relief,
 )
+from repro.kernels.segcache import segment_get, segment_key, segment_put
 from repro.obs import coalesce
 
 #: Paper geometry: 128 threads x 64-byte chunks = 8 KB staged per block.
@@ -129,6 +130,12 @@ def measure_shared(
     measurement records a :class:`~repro.compress.backend.BackendCost`
     snapshot (footprint, exact failure-chain walk counts) that
     :func:`price_shared` folds into the timing.
+
+    The scan + texture-classification segment is memoized by content
+    key (:mod:`repro.kernels.segcache`): since ``scheme`` and
+    ``stt_in_texture`` only change staging templates and pricing, the
+    five shared variants of a bench cell run the expensive functional
+    pass once.  ``retain_trace=True`` bypasses the cache.
     """
     params = params or CostParams()
     tracer = coalesce(tracer)
@@ -155,32 +162,74 @@ def measure_shared(
 
     plan = plan_chunks(arr.size, chunk_bytes, overlap)
     backend = resolve_backend(stt_backend, compact=compact)
-    table = dfa.gather_table(backend)
     line_bytes = config.texture_cache.line_bytes
 
-    hist = TextureLineHistogram(dfa.n_states, line_bytes)
-    sinks = [hist]
-    recorder = TraceRecorder(plan) if retain_trace else None
-    if recorder is not None:
-        sinks.append(recorder)
-    # Chain/lookup counters are cumulative on the (cached) adapter;
-    # snapshot around the functional pass so the recorded cost covers
-    # exactly this scan (the classifier re-pass below is excluded).
-    cost_before = cost_of(dfa, table, backend)
-    with tracer.span("ownership_filter") as sp:
-        outcome = scan_tiled(
-            dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
+    # The scan + texture-classification segment is independent of the
+    # bank scheme and of STT placement (both price, they don't
+    # measure), so all five shared variants of a bench cell share one
+    # cached segment.  Trace-retaining runs bypass the cache.
+    seg_key = None
+    if not retain_trace:
+        seg_key = segment_key(
+            "shared-scan",
+            dfa,
+            arr,
+            backend,
+            tile_len,
+            chunk_bytes,
+            overlap,
+            repr(config),
+            repr(params),
         )
-        sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
-    matches, raw_hits = outcome.matches, outcome.raw_hits
-    cost_after = cost_of(dfa, table, backend)
-    backend_cost = BackendCost(
-        backend=cost_after.backend,
-        table_bytes=cost_after.table_bytes,
-        dense_bytes=cost_after.dense_bytes,
-        lookups=cost_after.lookups - cost_before.lookups,
-        chain_steps=cost_after.chain_steps - cost_before.chain_steps,
-    )
+    seg = segment_get(seg_key)
+    recorder = None
+    if seg is not None:
+        matches, raw_hits, bytes_scanned, backend_cost, tex = seg
+        with tracer.span("ownership_filter") as sp:
+            sp.set(raw_hits=raw_hits, matches=len(matches), cached=True)
+    else:
+        table = dfa.gather_table(backend)
+        hist = TextureLineHistogram(dfa.n_states, line_bytes)
+        sinks = [hist]
+        recorder = TraceRecorder(plan) if retain_trace else None
+        if recorder is not None:
+            sinks.append(recorder)
+        # Chain/lookup counters are cumulative on the (cached) adapter;
+        # snapshot around the functional pass so the recorded cost covers
+        # exactly this scan (the classifier re-pass below is excluded).
+        cost_before = cost_of(dfa, table, backend)
+        with tracer.span("ownership_filter") as sp:
+            outcome = scan_tiled(
+                dfa, arr, plan=plan, tile_len=tile_len, table=table, sinks=sinks
+            )
+            sp.set(raw_hits=outcome.raw_hits, matches=len(outcome.matches))
+        matches, raw_hits = outcome.matches, outcome.raw_hits
+        bytes_scanned = outcome.bytes_scanned
+        cost_after = cost_of(dfa, table, backend)
+        backend_cost = BackendCost(
+            backend=cost_after.backend,
+            table_bytes=cost_after.table_bytes,
+            dense_bytes=cost_after.dense_bytes,
+            lookups=cost_after.lookups - cost_before.lookups,
+            chain_steps=cost_after.chain_steps - cost_before.chain_steps,
+        )
+
+        hot_l1, hot_l2 = hist.hot_sets(config, params)
+        classifier = TextureClassifier(hot_l1, hot_l2, line_bytes)
+        for tile in iter_dfa_tiles(
+            dfa,
+            arr,
+            plan,
+            tile_len=tile_len,
+            table=table,
+            want_windows=True,
+            want_fetched=True,
+        ):
+            classifier.on_tile(tile)
+        tex = classifier.finish(config)
+        segment_put(
+            seg_key, (matches, raw_hits, bytes_scanned, backend_cost, tex)
+        )
 
     n_threads = plan.n_chunks
     n_blocks = max(-(-n_threads // threads_per_block), 1)
@@ -220,25 +269,11 @@ def measure_shared(
         ld_addr, config.shared_banks, config.bank_width_bytes, active=ld_act
     )
 
-    hot_l1, hot_l2 = hist.hot_sets(config, params)
-    classifier = TextureClassifier(hot_l1, hot_l2, line_bytes)
-    for tile in iter_dfa_tiles(
-        dfa,
-        arr,
-        plan,
-        tile_len=tile_len,
-        table=table,
-        want_windows=True,
-        want_fetched=True,
-    ):
-        classifier.on_tile(tile)
-    tex = classifier.finish(config)
-
     return SharedMeasurement(
         matches=matches,
         raw_hits=raw_hits,
         input_bytes=int(arr.size),
-        bytes_scanned=outcome.bytes_scanned,
+        bytes_scanned=bytes_scanned,
         window_len=plan.window_len,
         n_threads=n_threads,
         n_blocks=n_blocks,

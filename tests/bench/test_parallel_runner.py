@@ -1,0 +1,232 @@
+"""Parallel, resumable bench grids: serialization and byte-identity.
+
+The paper-scale grids (200 MB cells, 20k-pattern dictionaries) made
+``run_grid`` restartable and process-parallel.  Everything here pins
+the invariant that makes that safe: a cell is a pure function of the
+runner configuration, so however it was produced — in-process, in a
+pool worker, or read back from the on-disk cache — the result is
+byte-identical, floats included.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import (
+    CELL_CACHE_VERSION,
+    ExperimentRunner,
+    cell_from_dict,
+    cell_to_dict,
+)
+from repro.errors import ExperimentError
+
+ALL_FIELD_KERNELS = ("serial", "serial_mt", "global", "shared", "pfac")
+
+
+def make_runner(**kw) -> ExperimentRunner:
+    kw.setdefault("scale", 0.01)
+    kw.setdefault("seed", 7)
+    return ExperimentRunner(**kw)
+
+
+class RecordingCollector:
+    """Minimal collector: remembers every (cell, cached) notification."""
+
+    def __init__(self):
+        self.cells = []
+
+    def on_runner(self, config):
+        self.config = config
+
+    def on_cell(self, cell, cached=False):
+        self.cells.append((cell_to_dict(cell), cached))
+
+
+class TestCellSerialization:
+    def test_round_trip_is_exact(self):
+        cell = make_runner().run_cell("50KB", 20, kernels=ALL_FIELD_KERNELS)
+        doc = cell_to_dict(cell)
+        # Through real JSON text: repr-encoded floats must survive.
+        clone = cell_from_dict(json.loads(json.dumps(doc)))
+        assert clone == cell
+        assert cell_to_dict(clone) == doc
+
+    def test_optional_fields_round_trip_as_none(self):
+        cell = make_runner().run_cell("50KB", 20, kernels=("shared",))
+        assert cell.serial is None and cell.serial_mt is None
+        clone = cell_from_dict(json.loads(json.dumps(cell_to_dict(cell))))
+        assert clone == cell
+
+    def test_version_mismatch_is_rejected(self):
+        cell = make_runner().run_cell("50KB", 20, kernels=("serial",))
+        doc = cell_to_dict(cell)
+        doc["cache_version"] = CELL_CACHE_VERSION + 1
+        with pytest.raises(ExperimentError, match="cache version"):
+            cell_from_dict(doc)
+
+
+class TestRunnerExport:
+    def test_export_reconstructs_exactly(self):
+        r = make_runner(
+            tile_len=128,
+            stt_backend="banded",
+            wave_correction=True,
+            mt_workers=4,
+        )
+        clone = ExperimentRunner.from_export(r.export_config())
+        assert clone.export_config() == r.export_config()
+        assert clone.device_config == r.device_config
+        assert clone.cpu == r.cpu
+        assert clone.params == r.params
+
+    def test_worker_cell_equals_in_process_cell(self):
+        """from_export + run_cell is what pool workers do — the result
+        must equal the parent runner's own computation."""
+        r = make_runner()
+        clone = ExperimentRunner.from_export(r.export_config())
+        a = r.run_cell("50KB", 20, kernels=("serial", "shared"))
+        b = clone.run_cell("50KB", 20, kernels=("serial", "shared"))
+        assert cell_to_dict(a) == cell_to_dict(b)
+
+    def test_cache_key_tracks_config(self):
+        base = make_runner()
+        assert base.cell_cache_key("50KB", 20, ("serial",)) == make_runner(
+        ).cell_cache_key("50KB", 20, ("serial",))
+        for variant in (
+            make_runner(tile_len=64),
+            make_runner(stt_backend="bitmap"),
+            make_runner(scale=0.02),
+            make_runner(seed=8),
+        ):
+            assert variant.cell_cache_key(
+                "50KB", 20, ("serial",)
+            ) != base.cell_cache_key("50KB", 20, ("serial",))
+        # Kernel *set* matters, order does not.
+        assert base.cell_cache_key(
+            "50KB", 20, ("shared", "serial")
+        ) == base.cell_cache_key("50KB", 20, ("serial", "shared"))
+        assert base.cell_cache_key(
+            "50KB", 20, ("serial",)
+        ) != base.cell_cache_key("50KB", 20, ("shared",))
+
+
+class TestParallelGrid:
+    def test_pool_grid_is_byte_identical_to_serial(self):
+        serial = make_runner().run_grid(
+            ["50KB"], [20, 40], kernels=("serial", "shared")
+        )
+        pooled = make_runner().run_grid(
+            ["50KB"], [20, 40], kernels=("serial", "shared"), workers=2
+        )
+        assert [cell_to_dict(c) for c in pooled] == [
+            cell_to_dict(c) for c in serial
+        ]
+
+    def test_collector_sees_grid_order(self):
+        col = RecordingCollector()
+        r = make_runner(collector=col)
+        cells = r.run_grid(
+            ["50KB"], [20, 40], kernels=("serial",), workers=2
+        )
+        assert [d for d, _ in col.cells] == [cell_to_dict(c) for c in cells]
+        assert [flag for _, flag in col.cells] == [False, False]
+
+
+class TestResume:
+    GRID = dict(
+        sizes=["50KB"], pattern_counts=[20, 40], kernels=("serial", "shared")
+    )
+
+    def _grid(self, runner, **kw):
+        return runner.run_grid(
+            self.GRID["sizes"], self.GRID["pattern_counts"],
+            self.GRID["kernels"], **kw,
+        )
+
+    def test_resume_restarts_from_completed_cells(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        first = self._grid(make_runner(), cache_dir=cache)
+        assert len(list((tmp_path / "cells").glob("cell-*.json"))) == 2
+
+        col = RecordingCollector()
+        resumed = self._grid(
+            make_runner(collector=col), cache_dir=cache, resume=True
+        )
+        assert [cell_to_dict(c) for c in resumed] == [
+            cell_to_dict(c) for c in first
+        ]
+        assert [flag for _, flag in col.cells] == [True, True]
+
+    def test_without_resume_disk_cache_is_write_only(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        self._grid(make_runner(), cache_dir=cache)
+        col = RecordingCollector()
+        self._grid(make_runner(collector=col), cache_dir=cache, resume=False)
+        assert [flag for _, flag in col.cells] == [False, False]
+
+    def test_config_change_misses_the_disk_cache(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        self._grid(make_runner(), cache_dir=cache)
+        col = RecordingCollector()
+        self._grid(
+            make_runner(tile_len=64, collector=col),
+            cache_dir=cache,
+            resume=True,
+        )
+        assert [flag for _, flag in col.cells] == [False, False]
+
+    def test_corrupt_cache_file_degrades_to_recompute(self, tmp_path):
+        cache = tmp_path / "cells"
+        first = self._grid(make_runner(), cache_dir=str(cache))
+        for f in cache.glob("cell-*.json"):
+            f.write_text("{not json")
+        col = RecordingCollector()
+        again = self._grid(
+            make_runner(collector=col), cache_dir=str(cache), resume=True
+        )
+        assert [flag for _, flag in col.cells] == [False, False]
+        assert [cell_to_dict(c) for c in again] == [
+            cell_to_dict(c) for c in first
+        ]
+
+
+class TestCli:
+    def test_bench_resume_requires_cache_dir(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--resume"]) != 0
+        assert "--cache-dir" in capsys.readouterr().out
+
+    def test_paperscale_small_cell(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "paperscale.json"
+        rc = main(
+            [
+                "paperscale", "--size", "50KB", "--patterns", "20",
+                "--kernels", "serial,shared", "--scale", "0.01",
+                "--seed", "7", "--out", str(out),
+                "--cache-dir", str(tmp_path / "cells"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["wall_clock"]["grid_seconds"] >= 0.0
+        assert len(doc["cells"]) == 1
+        stdout = capsys.readouterr().out
+        assert "paperscale" in stdout and "shared" in stdout
+
+    def test_paperscale_budget_violation_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "paperscale", "--size", "50KB", "--patterns", "20",
+                "--kernels", "serial", "--scale", "0.01", "--seed", "7",
+                "--out", str(tmp_path / "o.json"),
+                "--budget-seconds", "0.000001",
+            ]
+        )
+        assert rc != 0
